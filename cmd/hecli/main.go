@@ -1,0 +1,246 @@
+// Command hecli is a file-based FV workbench: generate keys, encrypt
+// integers, compute on the ciphertext files, and decrypt — each step a
+// separate invocation, so the encrypted artifacts can be inspected, copied,
+// or shipped to the heserver cloud.
+//
+// Usage:
+//
+//	hecli keygen  -dir keys [-paper] [-t 65537]
+//	hecli encrypt -dir keys -value 123 -out a.ct
+//	hecli add     -dir keys -in a.ct -in2 b.ct -out sum.ct
+//	hecli mul     -dir keys -in a.ct -in2 b.ct -out prod.ct
+//	hecli decrypt -dir keys -in prod.ct
+//	hecli inspect -dir keys -in prod.ct        # noise budget (needs sk)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/fv"
+	"repro/internal/sampler"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd := os.Args[1]
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	dir := fs.String("dir", "keys", "key directory")
+	paper := fs.Bool("paper", false, "use the paper parameter set (n = 4096)")
+	tmod := fs.Uint64("t", 65537, "plaintext modulus (keygen only)")
+	value := fs.Int64("value", 0, "integer to encrypt (encrypt only)")
+	in := fs.String("in", "", "input ciphertext file")
+	in2 := fs.String("in2", "", "second input ciphertext file")
+	out := fs.String("out", "", "output ciphertext file")
+	if err := fs.Parse(os.Args[2:]); err != nil {
+		fatal(err)
+	}
+
+	var err error
+	switch cmd {
+	case "keygen":
+		err = keygen(*dir, *paper, *tmod)
+	case "encrypt":
+		err = encrypt(*dir, *value, *out)
+	case "add", "mul":
+		err = combine(cmd, *dir, *in, *in2, *out)
+	case "decrypt":
+		err = decrypt(*dir, *in)
+	case "inspect":
+		err = inspect(*dir, *in)
+	default:
+		usage()
+	}
+	if err != nil {
+		fatal(err)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: hecli {keygen|encrypt|add|mul|decrypt|inspect} [flags]")
+	os.Exit(2)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hecli:", err)
+	os.Exit(1)
+}
+
+func keygen(dir string, paper bool, tmod uint64) error {
+	cfg := fv.TestConfig(tmod)
+	if paper {
+		cfg = fv.PaperConfig(tmod)
+	}
+	params, err := fv.NewParams(cfg)
+	if err != nil {
+		return err
+	}
+	kg := fv.NewKeyGenerator(params, sampler.NewRandomPRNG())
+	sk, pk, rk := kg.GenKeys()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	if err := writeFile(filepath.Join(dir, "secret.key"), func(f *os.File) error {
+		return fv.WriteSecretKey(f, params, sk)
+	}); err != nil {
+		return err
+	}
+	if err := writeFile(filepath.Join(dir, "public.key"), func(f *os.File) error {
+		return fv.WritePublicKey(f, params, pk)
+	}); err != nil {
+		return err
+	}
+	if err := writeFile(filepath.Join(dir, "relin.key"), func(f *os.File) error {
+		return fv.WriteRelinKey(f, params, rk)
+	}); err != nil {
+		return err
+	}
+	fmt.Printf("hecli: keys written to %s (n=%d, log q=%d, t=%d, ~%d-bit security, depth %d)\n",
+		dir, params.N(), params.LogQ(), params.T(), params.SecurityBits(), params.SupportedDepth())
+	return nil
+}
+
+func writeFile(path string, write func(*os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func loadPublic(dir string) (*fv.Params, *fv.PublicKey, error) {
+	f, err := os.Open(filepath.Join(dir, "public.key"))
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	return fv.ReadPublicKey(f)
+}
+
+func loadSecret(dir string) (*fv.Params, *fv.SecretKey, error) {
+	f, err := os.Open(filepath.Join(dir, "secret.key"))
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	return fv.ReadSecretKey(f)
+}
+
+func loadCiphertext(path string, params *fv.Params) (*fv.Ciphertext, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return fv.ReadCiphertext(f, params)
+}
+
+func encrypt(dir string, value int64, out string) error {
+	if out == "" {
+		return fmt.Errorf("encrypt needs -out")
+	}
+	params, pk, err := loadPublic(dir)
+	if err != nil {
+		return err
+	}
+	enc := fv.NewEncryptor(params, pk, sampler.NewRandomPRNG())
+	ct := enc.Encrypt(fv.NewIntegerEncoder(params).Encode(value))
+	if err := writeFile(out, func(f *os.File) error {
+		return ct.WriteTo(f, params)
+	}); err != nil {
+		return err
+	}
+	fmt.Printf("hecli: %d encrypted to %s (%d bytes)\n", value, out, ct.ByteSize(params))
+	return nil
+}
+
+func combine(op, dir, inA, inB, out string) error {
+	if inA == "" || inB == "" || out == "" {
+		return fmt.Errorf("%s needs -in, -in2, -out", op)
+	}
+	params, _, err := loadPublic(dir)
+	if err != nil {
+		return err
+	}
+	a, err := loadCiphertext(inA, params)
+	if err != nil {
+		return err
+	}
+	b, err := loadCiphertext(inB, params)
+	if err != nil {
+		return err
+	}
+	ev := fv.NewEvaluator(params)
+	var res *fv.Ciphertext
+	if op == "add" {
+		res = ev.Add(a, b)
+	} else {
+		f, err := os.Open(filepath.Join(dir, "relin.key"))
+		if err != nil {
+			return err
+		}
+		_, rk, err := fv.ReadRelinKey(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		res = ev.Mul(a, b, rk)
+	}
+	if err := writeFile(out, func(f *os.File) error {
+		return res.WriteTo(f, params)
+	}); err != nil {
+		return err
+	}
+	fmt.Printf("hecli: %s(%s, %s) -> %s\n", op, inA, inB, out)
+	return nil
+}
+
+func decrypt(dir, in string) error {
+	if in == "" {
+		return fmt.Errorf("decrypt needs -in")
+	}
+	params, sk, err := loadSecret(dir)
+	if err != nil {
+		return err
+	}
+	ct, err := loadCiphertext(in, params)
+	if err != nil {
+		return err
+	}
+	pt := fv.NewDecryptor(params, sk).Decrypt(ct)
+	v, err := fv.NewIntegerEncoder(params).Decode(pt)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("hecli: %s decrypts to %d\n", in, v)
+	return nil
+}
+
+func inspect(dir, in string) error {
+	if in == "" {
+		return fmt.Errorf("inspect needs -in")
+	}
+	params, sk, err := loadSecret(dir)
+	if err != nil {
+		return err
+	}
+	ct, err := loadCiphertext(in, params)
+	if err != nil {
+		return err
+	}
+	budget := fv.NoiseBudget(params, sk, ct)
+	fmt.Printf("hecli: %s — degree %d, %d bytes, noise budget %d bits\n",
+		in, ct.Degree(), ct.ByteSize(params), budget)
+	if budget == 0 {
+		fmt.Println("hecli: WARNING — the ciphertext no longer decrypts correctly")
+	}
+	return nil
+}

@@ -1,0 +1,76 @@
+// Command heserver runs the cloud service of the paper's Fig. 11: a TCP
+// server in front of the simulated Arm+FPGA platform, executing homomorphic
+// Add and Mult on encrypted data it can never read.
+//
+// Usage:
+//
+//	heserver -addr :7100 -seed 42            # small test parameters
+//	heserver -addr :7100 -paper -seed 42     # the paper's n = 4096 set
+//
+// The key material is derived deterministically from -seed so that a client
+// started with the same seed (see examples/cloud) holds the matching keys;
+// in a real deployment the client would upload its public and relin keys
+// instead.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/cloud"
+	"repro/internal/core"
+	"repro/internal/fv"
+	"repro/internal/hwsim"
+	"repro/internal/sampler"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7100", "listen address")
+	paper := flag.Bool("paper", false, "use the paper parameter set (n = 4096) instead of the small test set")
+	tmod := flag.Uint64("t", 65537, "plaintext modulus")
+	seed := flag.Uint64("seed", 42, "deterministic key seed shared with the client")
+	coprocs := flag.Int("coprocs", 2, "number of simulated co-processors")
+	flag.Parse()
+
+	cfg := fv.TestConfig(*tmod)
+	if *paper {
+		cfg = fv.PaperConfig(*tmod)
+	}
+	params, err := fv.NewParams(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	prng := sampler.NewPRNG(*seed)
+	kg := fv.NewKeyGenerator(params, prng)
+	sk, _, rk := kg.GenKeys()
+
+	accel, err := core.New(params, hwsim.VariantHPS, *coprocs)
+	if err != nil {
+		fatal(err)
+	}
+	logger := log.New(os.Stderr, "", log.LstdFlags)
+	srv := cloud.NewServer(params, accel, rk, logger)
+	// Install rotation keys for the common Galois elements (clients would
+	// upload these alongside the relin key). The secret key itself never
+	// leaves this key-derivation step; the server keeps only key-switching
+	// material.
+	for _, g := range []int{3, 9, 2*params.N() - 1} {
+		srv.SetGaloisKey(kg.GenGaloisKey(sk, g))
+	}
+	bound, err := srv.Listen(*addr)
+	if err != nil {
+		fatal(err)
+	}
+	logger.Printf("heserver: listening on %s (n=%d, log q=%d, %d co-processors, seed %d)",
+		bound, params.N(), params.LogQ(), *coprocs, *seed)
+	if err := srv.Serve(); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "heserver:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,224 @@
+// Package circuits evaluates boolean circuits on FV-encrypted bits with
+// t = 2 — the workload class the paper's parameter set targets
+// ("evaluation of low-complexity block cipher such as Rasta on ciphertext,
+// private information retrieval or encrypted search..., encrypted sorting",
+// Sec. III-A). XOR is a homomorphic addition (free), AND a homomorphic
+// multiplication (consumes depth), and everything else is built from those
+// two plus plaintext constants. Each gate tracks multiplicative depth so
+// callers can budget circuits against Params.SupportedDepth().
+package circuits
+
+import (
+	"fmt"
+
+	"repro/internal/fv"
+)
+
+// Engine evaluates gates over encrypted bits.
+type Engine struct {
+	Params *fv.Params
+	Ev     *fv.Evaluator
+	RK     *fv.RelinKey
+
+	one *fv.Plaintext
+
+	// Ands counts the homomorphic multiplications performed — the cost
+	// metric the paper's workload discussion uses (Rasta's selling point is
+	// "low AND-depth and few ANDs per bit").
+	Ands int
+}
+
+// NewEngine builds an evaluator for boolean circuits; the parameter set must
+// have t = 2.
+func NewEngine(params *fv.Params, ev *fv.Evaluator, rk *fv.RelinKey) (*Engine, error) {
+	if params.T() != 2 {
+		return nil, fmt.Errorf("circuits: boolean evaluation requires t = 2, got t = %d", params.T())
+	}
+	one := fv.NewPlaintext(params)
+	one.Coeffs[0] = 1
+	return &Engine{Params: params, Ev: ev, RK: rk, one: one}, nil
+}
+
+// Bit is an encrypted bit with its multiplicative depth (0 for fresh).
+type Bit struct {
+	Ct    *fv.Ciphertext
+	Depth int
+}
+
+// Xor computes a ⊕ b (addition mod 2; depth is the max of the inputs).
+func (e *Engine) Xor(a, b Bit) Bit {
+	return Bit{Ct: e.Ev.Add(a.Ct, b.Ct), Depth: maxInt(a.Depth, b.Depth)}
+}
+
+// And computes a ∧ b (one homomorphic multiplication).
+func (e *Engine) And(a, b Bit) Bit {
+	e.Ands++
+	return Bit{Ct: e.Ev.Mul(a.Ct, b.Ct, e.RK), Depth: maxInt(a.Depth, b.Depth) + 1}
+}
+
+// Not computes ¬a = 1 ⊕ a.
+func (e *Engine) Not(a Bit) Bit {
+	return Bit{Ct: e.Ev.AddPlain(a.Ct, e.one), Depth: a.Depth}
+}
+
+// Or computes a ∨ b = a ⊕ b ⊕ (a ∧ b).
+func (e *Engine) Or(a, b Bit) Bit {
+	return e.Xor(e.Xor(a, b), e.And(a, b))
+}
+
+// Xnor computes ¬(a ⊕ b), the bit-equality gate.
+func (e *Engine) Xnor(a, b Bit) Bit {
+	return e.Not(e.Xor(a, b))
+}
+
+// Mux computes sel ? a : b = b ⊕ sel·(a ⊕ b) — one AND, the standard
+// oblivious selector.
+func (e *Engine) Mux(sel, a, b Bit) Bit {
+	return e.Xor(b, e.And(sel, e.Xor(a, b)))
+}
+
+// Word is a little-endian vector of encrypted bits.
+type Word []Bit
+
+// MaxDepth returns the largest bit depth in the word.
+func (w Word) MaxDepth() int {
+	d := 0
+	for _, b := range w {
+		if b.Depth > d {
+			d = b.Depth
+		}
+	}
+	return d
+}
+
+// Equal computes the k-bit equality of a and b as a single encrypted bit:
+// the AND-tree over the bitwise XNORs, with multiplicative depth ⌈log2 k⌉ —
+// for 16-bit keys exactly the depth-4 circuit of the paper's encrypted
+// search sizing.
+func (e *Engine) Equal(a, b Word) (Bit, error) {
+	if len(a) != len(b) || len(a) == 0 {
+		return Bit{}, fmt.Errorf("circuits: Equal needs equal-length non-empty words")
+	}
+	layer := make([]Bit, len(a))
+	for i := range a {
+		layer[i] = e.Xnor(a[i], b[i])
+	}
+	for len(layer) > 1 {
+		var next []Bit
+		for i := 0; i+1 < len(layer); i += 2 {
+			next = append(next, e.And(layer[i], layer[i+1]))
+		}
+		if len(layer)%2 == 1 {
+			next = append(next, layer[len(layer)-1])
+		}
+		layer = next
+	}
+	return layer[0], nil
+}
+
+// Add computes the k-bit sum a + b with a ripple-carry adder, returning the
+// sum word and the carry-out. Depth grows linearly in k (one AND level per
+// carry stage) — the reason the paper's applications favor shallow
+// arithmetic encodings where possible.
+func (e *Engine) Add(a, b Word) (Word, Bit, error) {
+	if len(a) != len(b) || len(a) == 0 {
+		return nil, Bit{}, fmt.Errorf("circuits: Add needs equal-length non-empty words")
+	}
+	sum := make(Word, len(a))
+	var carry Bit
+	for i := range a {
+		axb := e.Xor(a[i], b[i])
+		if i == 0 {
+			sum[i] = axb
+			carry = e.And(a[i], b[i])
+			continue
+		}
+		sum[i] = e.Xor(axb, carry)
+		// carry' = (a ∧ b) ⊕ (carry ∧ (a ⊕ b))
+		carry = e.Xor(e.And(a[i], b[i]), e.And(carry, axb))
+	}
+	return sum, carry, nil
+}
+
+// LessThan computes the encrypted comparison a < b for unsigned k-bit words
+// by scanning from the most significant bit: lt_i = (¬a_i ∧ b_i) ∨
+// (eq_i ∧ lt_{i-1}). Depth grows linearly in k.
+func (e *Engine) LessThan(a, b Word) (Bit, error) {
+	if len(a) != len(b) || len(a) == 0 {
+		return Bit{}, fmt.Errorf("circuits: LessThan needs equal-length non-empty words")
+	}
+	k := len(a)
+	// Start at the MSB.
+	lt := e.And(e.Not(a[k-1]), b[k-1])
+	eq := e.Xnor(a[k-1], b[k-1])
+	for i := k - 2; i >= 0; i-- {
+		bitLt := e.And(e.Not(a[i]), b[i])
+		lt = e.Xor(lt, e.And(eq, bitLt)) // disjoint cases: OR == XOR here
+		if i > 0 {
+			eq = e.And(eq, e.Xnor(a[i], b[i]))
+		}
+	}
+	return lt, nil
+}
+
+// CompareSwap returns (min(a,b), max(a,b)) obliviously: one LessThan plus a
+// Mux per bit — the comparator of a sorting network.
+func (e *Engine) CompareSwap(a, b Word) (lo, hi Word, err error) {
+	lt, err := e.LessThan(a, b)
+	if err != nil {
+		return nil, nil, err
+	}
+	lo = make(Word, len(a))
+	hi = make(Word, len(a))
+	for i := range a {
+		lo[i] = e.Mux(lt, a[i], b[i])
+		hi[i] = e.Mux(lt, b[i], a[i])
+	}
+	return lo, hi, nil
+}
+
+// SortNetwork sorts the encrypted words ascending with an odd-even
+// transposition network (n rounds of adjacent comparators) — the paper's
+// "encrypted sorting" application. The input slice is not modified.
+func (e *Engine) SortNetwork(words []Word) ([]Word, error) {
+	out := append([]Word(nil), words...)
+	n := len(out)
+	for round := 0; round < n; round++ {
+		start := round % 2
+		for i := start; i+1 < n; i += 2 {
+			lo, hi, err := e.CompareSwap(out[i], out[i+1])
+			if err != nil {
+				return nil, err
+			}
+			out[i], out[i+1] = lo, hi
+		}
+	}
+	return out, nil
+}
+
+// EncryptWord encrypts the k low bits of v.
+func EncryptWord(enc *fv.Encryptor, params *fv.Params, v uint64, k int) Word {
+	w := make(Word, k)
+	for i := 0; i < k; i++ {
+		pt := fv.NewPlaintext(params)
+		pt.Coeffs[0] = (v >> i) & 1
+		w[i] = Bit{Ct: enc.Encrypt(pt)}
+	}
+	return w
+}
+
+// DecryptWord decrypts a word back to an integer.
+func DecryptWord(dec *fv.Decryptor, w Word) uint64 {
+	var v uint64
+	for i, b := range w {
+		v |= (dec.Decrypt(b.Ct).Coeffs[0] & 1) << i
+	}
+	return v
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,228 @@
+package circuits
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/fv"
+	"repro/internal/sampler"
+)
+
+type env struct {
+	p   *fv.Params
+	sk  *fv.SecretKey
+	enc *fv.Encryptor
+	dec *fv.Decryptor
+	eng *Engine
+}
+
+var envCache *env
+
+// deepEnv builds a deep-circuit parameter set: n = 512 with a 10-prime q
+// (≈ 300 bits) supports the linear-depth comparators. Security is
+// irrelevant for these functional tests.
+func deepEnv(t testing.TB) *env {
+	t.Helper()
+	if envCache != nil {
+		return envCache
+	}
+	cfg := fv.Config{N: 512, T: 2, QCount: 10, PCount: 11, PrimeBits: 30,
+		Sigma: 3.2, RelinLogW: 30, RelinDepth: 11}
+	p, err := fv.NewParams(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prng := sampler.NewPRNG(7)
+	kg := fv.NewKeyGenerator(p, prng)
+	sk, pk, rk := kg.GenKeys()
+	ev := fv.NewEvaluator(p)
+	eng, err := NewEngine(p, ev, rk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	envCache = &env{
+		p:   p,
+		sk:  sk,
+		enc: fv.NewEncryptor(p, pk, prng),
+		dec: fv.NewDecryptor(p, sk),
+		eng: eng,
+	}
+	return envCache
+}
+
+func (e *env) bit(t testing.TB, v uint64) Bit {
+	t.Helper()
+	pt := fv.NewPlaintext(e.p)
+	pt.Coeffs[0] = v & 1
+	return Bit{Ct: e.enc.Encrypt(pt)}
+}
+
+func (e *env) val(b Bit) uint64 {
+	return e.dec.Decrypt(b.Ct).Coeffs[0] & 1
+}
+
+func TestEngineRequiresBinaryPlaintext(t *testing.T) {
+	p, err := fv.NewParams(fv.TestConfig(17))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewEngine(p, fv.NewEvaluator(p), nil); err == nil {
+		t.Fatal("t=17 accepted for boolean circuits")
+	}
+}
+
+func TestGateTruthTables(t *testing.T) {
+	e := deepEnv(t)
+	for _, a := range []uint64{0, 1} {
+		for _, b := range []uint64{0, 1} {
+			ba, bb := e.bit(t, a), e.bit(t, b)
+			if got := e.val(e.eng.Xor(ba, bb)); got != a^b {
+				t.Fatalf("XOR(%d,%d) = %d", a, b, got)
+			}
+			if got := e.val(e.eng.And(ba, bb)); got != a&b {
+				t.Fatalf("AND(%d,%d) = %d", a, b, got)
+			}
+			if got := e.val(e.eng.Or(ba, bb)); got != a|b {
+				t.Fatalf("OR(%d,%d) = %d", a, b, got)
+			}
+			if got := e.val(e.eng.Xnor(ba, bb)); got != 1^(a^b) {
+				t.Fatalf("XNOR(%d,%d) = %d", a, b, got)
+			}
+		}
+		if got := e.val(e.eng.Not(e.bit(t, a))); got != 1^a {
+			t.Fatalf("NOT(%d) = %d", a, got)
+		}
+	}
+}
+
+func TestMuxSelects(t *testing.T) {
+	e := deepEnv(t)
+	for _, sel := range []uint64{0, 1} {
+		for _, a := range []uint64{0, 1} {
+			for _, b := range []uint64{0, 1} {
+				got := e.val(e.eng.Mux(e.bit(t, sel), e.bit(t, a), e.bit(t, b)))
+				want := b
+				if sel == 1 {
+					want = a
+				}
+				if got != want {
+					t.Fatalf("MUX(%d;%d,%d) = %d, want %d", sel, a, b, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestEqualDepthAndResult(t *testing.T) {
+	e := deepEnv(t)
+	const k = 8
+	cases := []struct{ a, b uint64 }{{0xA5, 0xA5}, {0xA5, 0xA4}, {0, 0xFF}, {7, 7}}
+	for _, c := range cases {
+		wa := EncryptWord(e.enc, e.p, c.a, k)
+		wb := EncryptWord(e.enc, e.p, c.b, k)
+		eq, err := e.eng.Equal(wa, wb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := uint64(0)
+		if c.a == c.b {
+			want = 1
+		}
+		if got := e.val(eq); got != want {
+			t.Fatalf("Equal(%#x,%#x) = %d, want %d", c.a, c.b, got, want)
+		}
+		// Depth of an 8-bit equality tree is exactly 3 (16-bit would be the
+		// paper's depth-4 circuit).
+		if eq.Depth != 3 {
+			t.Fatalf("8-bit equality depth %d, want 3", eq.Depth)
+		}
+	}
+}
+
+func TestRippleAdder(t *testing.T) {
+	e := deepEnv(t)
+	const k = 4
+	cases := []struct{ a, b uint64 }{{3, 5}, {15, 1}, {0, 0}, {9, 9}, {15, 15}}
+	for _, c := range cases {
+		wa := EncryptWord(e.enc, e.p, c.a, k)
+		wb := EncryptWord(e.enc, e.p, c.b, k)
+		sum, carry, err := e.eng.Add(wa, wb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := DecryptWord(e.dec, sum) | e.val(carry)<<k
+		if got != c.a+c.b {
+			t.Fatalf("%d + %d = %d homomorphically", c.a, c.b, got)
+		}
+	}
+}
+
+func TestLessThan(t *testing.T) {
+	e := deepEnv(t)
+	const k = 4
+	for a := uint64(0); a < 16; a += 3 {
+		for b := uint64(0); b < 16; b += 5 {
+			wa := EncryptWord(e.enc, e.p, a, k)
+			wb := EncryptWord(e.enc, e.p, b, k)
+			lt, err := e.eng.LessThan(wa, wb)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := uint64(0)
+			if a < b {
+				want = 1
+			}
+			if got := e.val(lt); got != want {
+				t.Fatalf("(%d < %d) = %d, want %d", a, b, got, want)
+			}
+		}
+	}
+}
+
+func TestSortNetwork(t *testing.T) {
+	e := deepEnv(t)
+	const k = 3
+	values := []uint64{6, 1, 7, 3}
+	words := make([]Word, len(values))
+	for i, v := range values {
+		words[i] = EncryptWord(e.enc, e.p, v, k)
+	}
+	e.eng.Ands = 0
+	sorted, err := e.eng.SortNetwork(words)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := append([]uint64(nil), values...)
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	for i := range sorted {
+		if got := DecryptWord(e.dec, sorted[i]); got != want[i] {
+			t.Fatalf("position %d: %d, want %d", i, got, want[i])
+		}
+	}
+	// Inputs must be untouched (the network copies).
+	for i, v := range values {
+		if got := DecryptWord(e.dec, words[i]); got != v {
+			t.Fatalf("input %d mutated: %d", i, got)
+		}
+	}
+	if e.eng.Ands == 0 {
+		t.Fatal("AND counter did not advance")
+	}
+	t.Logf("encrypted sort of %d %d-bit values: %d ANDs, output depth %d",
+		len(values), k, e.eng.Ands, sorted[0].MaxDepth())
+}
+
+func TestWordValidation(t *testing.T) {
+	e := deepEnv(t)
+	w1 := EncryptWord(e.enc, e.p, 3, 4)
+	w2 := EncryptWord(e.enc, e.p, 3, 5)
+	if _, err := e.eng.Equal(w1, w2); err == nil {
+		t.Fatal("length mismatch accepted by Equal")
+	}
+	if _, _, err := e.eng.Add(w1, w2); err == nil {
+		t.Fatal("length mismatch accepted by Add")
+	}
+	if _, err := e.eng.LessThan(nil, nil); err == nil {
+		t.Fatal("empty words accepted by LessThan")
+	}
+}

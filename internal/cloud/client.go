@@ -1,0 +1,83 @@
+package cloud
+
+import (
+	"fmt"
+	"net"
+	"time"
+
+	"repro/internal/fv"
+)
+
+// Client is a connection to the cloud service. It is not safe for
+// concurrent use; open one client per goroutine (the server multiplexes).
+type Client struct {
+	conn   net.Conn
+	params *fv.Params
+}
+
+// Dial connects to the service.
+func Dial(addr string, params *fv.Params) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{conn: conn, params: params}, nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// do runs one request/response exchange.
+func (c *Client) do(cmd uint8, a, b *fv.Ciphertext) (*Response, error) {
+	if err := WriteRequest(c.conn, c.params, &Request{Cmd: cmd, A: a, B: b}); err != nil {
+		return nil, err
+	}
+	resp, err := ReadResponse(c.conn, c.params)
+	if err != nil {
+		return nil, err
+	}
+	if resp.Err != "" {
+		return nil, fmt.Errorf("cloud: server error: %s", resp.Err)
+	}
+	return resp, nil
+}
+
+// Add asks the cloud to add two ciphertexts.
+func (c *Client) Add(a, b *fv.Ciphertext) (*fv.Ciphertext, time.Duration, error) {
+	resp, err := c.do(CmdAdd, a, b)
+	if err != nil {
+		return nil, 0, err
+	}
+	return resp.Result, time.Duration(resp.ComputeNanos), nil
+}
+
+// Mul asks the cloud to multiply two ciphertexts (relinearized server-side).
+func (c *Client) Mul(a, b *fv.Ciphertext) (*fv.Ciphertext, time.Duration, error) {
+	resp, err := c.do(CmdMul, a, b)
+	if err != nil {
+		return nil, 0, err
+	}
+	return resp.Result, time.Duration(resp.ComputeNanos), nil
+}
+
+// Rotate asks the cloud to apply the Galois automorphism g (the server must
+// hold the matching key).
+func (c *Client) Rotate(a *fv.Ciphertext, g int) (*fv.Ciphertext, time.Duration, error) {
+	if err := WriteRequest(c.conn, c.params, &Request{Cmd: CmdRotate, G: uint32(g), A: a}); err != nil {
+		return nil, 0, err
+	}
+	resp, err := ReadResponse(c.conn, c.params)
+	if err != nil {
+		return nil, 0, err
+	}
+	if resp.Err != "" {
+		return nil, 0, fmt.Errorf("cloud: server error: %s", resp.Err)
+	}
+	return resp.Result, time.Duration(resp.ComputeNanos), nil
+}
+
+// Ping verifies the service is alive.
+func (c *Client) Ping() error {
+	_, err := c.do(CmdPing, nil, nil)
+	return err
+}

@@ -1,0 +1,266 @@
+package cloud
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fv"
+	"repro/internal/hwsim"
+	"repro/internal/sampler"
+)
+
+type testSystem struct {
+	params *fv.Params
+	sk     *fv.SecretKey
+	pk     *fv.PublicKey
+	rk     *fv.RelinKey
+	accel  *core.Accelerator
+}
+
+func newTestSystem(t testing.TB) *testSystem {
+	t.Helper()
+	params, err := fv.NewParams(fv.TestConfig(257))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prng := sampler.NewPRNG(99)
+	kg := fv.NewKeyGenerator(params, prng)
+	sk, pk, rk := kg.GenKeys()
+	accel, err := core.New(params, hwsim.VariantHPS, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &testSystem{params: params, sk: sk, pk: pk, rk: rk, accel: accel}
+}
+
+func (ts *testSystem) encrypt(t testing.TB, v uint64) *fv.Ciphertext {
+	t.Helper()
+	prng := sampler.NewPRNG(v * 7)
+	enc := fv.NewEncryptor(ts.params, ts.pk, prng)
+	pt := fv.NewPlaintext(ts.params)
+	pt.Coeffs[0] = v % 257
+	return enc.Encrypt(pt)
+}
+
+func (ts *testSystem) decrypt(ct *fv.Ciphertext) uint64 {
+	return fv.NewDecryptor(ts.params, ts.sk).Decrypt(ct).Coeffs[0]
+}
+
+func startServer(t *testing.T, ts *testSystem) (*Server, string) {
+	t.Helper()
+	srv := NewServer(ts.params, ts.accel, ts.rk, nil)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve() }()
+	t.Cleanup(func() {
+		srv.Close()
+		if err := <-done; err != nil {
+			t.Errorf("server exited with %v", err)
+		}
+	})
+	return srv, addr
+}
+
+func TestRequestResponseRoundTrip(t *testing.T) {
+	ts := newTestSystem(t)
+	a := ts.encrypt(t, 5)
+	b := ts.encrypt(t, 6)
+
+	var buf bytes.Buffer
+	if err := WriteRequest(&buf, ts.params, &Request{Cmd: CmdMul, A: a, B: b}); err != nil {
+		t.Fatal(err)
+	}
+	req, err := ReadRequest(&buf, ts.params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.Cmd != CmdMul || !req.A.Equal(a) || !req.B.Equal(b) {
+		t.Fatal("request round trip failed")
+	}
+
+	buf.Reset()
+	resp := &Response{Result: a, ComputeNanos: 12345, Worker: 1}
+	if err := WriteResponse(&buf, ts.params, resp); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadResponse(&buf, ts.params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Result.Equal(a) || got.ComputeNanos != 12345 || got.Worker != 1 {
+		t.Fatal("response round trip failed")
+	}
+
+	// Error responses round trip too.
+	buf.Reset()
+	if err := WriteResponse(&buf, ts.params, &Response{Err: "boom"}); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := ReadResponse(&buf, ts.params); err != nil || got.Err != "boom" {
+		t.Fatalf("error response round trip: %v %v", got, err)
+	}
+}
+
+func TestRequestValidation(t *testing.T) {
+	ts := newTestSystem(t)
+	// Wrong magic.
+	if _, err := ReadRequest(bytes.NewReader([]byte("XXXX\x01")), ts.params); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	// Unknown command.
+	if _, err := ReadRequest(bytes.NewReader([]byte("HEAT\x99")), ts.params); err == nil {
+		t.Fatal("unknown command accepted")
+	}
+	// Truncated body.
+	var buf bytes.Buffer
+	buf.WriteString("HEAT")
+	buf.WriteByte(CmdAdd)
+	buf.Write([]byte{1, 2, 3})
+	if _, err := ReadRequest(&buf, ts.params); err == nil {
+		t.Fatal("truncated request accepted")
+	}
+}
+
+func TestServerEndToEnd(t *testing.T) {
+	ts := newTestSystem(t)
+	srv, addr := startServer(t, ts)
+
+	client, err := Dial(addr, ts.params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	if err := client.Ping(); err != nil {
+		t.Fatal(err)
+	}
+
+	a := ts.encrypt(t, 9)
+	b := ts.encrypt(t, 13)
+
+	sum, _, err := client.Add(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ts.decrypt(sum); got != 22 {
+		t.Fatalf("9+13 = %d over the wire", got)
+	}
+
+	prod, hwTime, err := client.Mul(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ts.decrypt(prod); got != 117 {
+		t.Fatalf("9·13 = %d over the wire", got)
+	}
+	if hwTime <= 0 {
+		t.Fatal("server did not report simulated hardware time")
+	}
+	// Ping is not a homomorphic operation; only Add and Mul count.
+	if srv.Served() != 2 {
+		t.Fatalf("server served %d ops, want 2", srv.Served())
+	}
+}
+
+func TestServerConcurrentClients(t *testing.T) {
+	ts := newTestSystem(t)
+	_, addr := startServer(t, ts)
+
+	const clients = 4
+	var wg sync.WaitGroup
+	errs := make([]error, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c, err := Dial(addr, ts.params)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer c.Close()
+			a := ts.encrypt(t, uint64(i+2))
+			b := ts.encrypt(t, uint64(i+3))
+			prod, _, err := c.Mul(a, b)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			want := uint64((i + 2) * (i + 3) % 257)
+			if got := ts.decrypt(prod); got != want {
+				errs[i] = errResult{got, want}
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("client %d: %v", i, err)
+		}
+	}
+}
+
+type errResult struct{ got, want uint64 }
+
+func (e errResult) Error() string {
+	return "wrong result"
+}
+
+func TestServerRotate(t *testing.T) {
+	ts := newTestSystem(t)
+	srv, addr := startServer(t, ts)
+
+	// Install a Galois key server-side (as a client would upload it).
+	prngK := sampler.NewPRNG(99)
+	kg := fv.NewKeyGenerator(ts.params, prngK)
+	// Re-derive the same secret the test system holds by regenerating with
+	// the same seed: GenKeys consumed the stream in the same order.
+	sk2, _, _ := kg.GenKeys()
+	if !sk2.S.Equal(ts.sk.S) {
+		t.Fatal("deterministic key regeneration out of sync")
+	}
+	const g = 3
+	gk := kg.GenGaloisKey(sk2, g)
+	srv.SetGaloisKey(gk)
+
+	client, err := Dial(addr, ts.params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	pt := fv.NewPlaintext(ts.params)
+	for i := range pt.Coeffs {
+		pt.Coeffs[i] = uint64(2*i + 1)
+	}
+	prng := sampler.NewPRNG(7)
+	enc := fv.NewEncryptor(ts.params, ts.pk, prng)
+	ct := enc.Encrypt(pt)
+
+	rotated, hwTime, err := client.Rotate(ct, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hwTime <= 0 {
+		t.Fatal("no simulated time reported")
+	}
+	want := fv.ApplyAutomorphismPlain(ts.params, g, pt)
+	got := fv.NewDecryptor(ts.params, ts.sk).Decrypt(rotated)
+	if !got.Equal(want) {
+		t.Fatal("cloud rotation decrypts wrong")
+	}
+
+	// Rotating with an uninstalled element must fail cleanly.
+	if _, _, err := client.Rotate(ct, 5); err == nil {
+		t.Fatal("rotation with missing key should error")
+	}
+	// The connection must survive the error response.
+	if err := client.Ping(); err != nil {
+		t.Fatalf("connection broken after error response: %v", err)
+	}
+}

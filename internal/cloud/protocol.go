@@ -1,0 +1,172 @@
+// Package cloud implements the client/server system of the paper's Fig. 11
+// over TCP: a server process owning the (simulated) Arm+FPGA platform — one
+// networking goroutine accepting connections and two application workers,
+// each driving its own co-processor — and a client that uploads encrypted
+// operands and receives encrypted results. This is the deployment shape the
+// paper targets ("make the Arm processor a server for executing different
+// homomorphic applications in the cloud, using this FPGA-based
+// co-processor").
+package cloud
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/fv"
+)
+
+// Command codes of the wire protocol.
+const (
+	CmdAdd    uint8 = 1
+	CmdMul    uint8 = 2
+	CmdPing   uint8 = 3
+	CmdRotate uint8 = 4 // Galois automorphism; G carries the element
+
+	statusOK  uint8 = 0
+	statusErr uint8 = 1
+)
+
+// protocolMagic guards against a client speaking to the wrong service.
+var protocolMagic = [4]byte{'H', 'E', 'A', 'T'}
+
+// Request is one homomorphic operation on uploaded ciphertexts.
+type Request struct {
+	Cmd  uint8
+	G    uint32 // Galois element (CmdRotate only)
+	A, B *fv.Ciphertext
+}
+
+// WriteRequest serializes a request.
+func WriteRequest(w io.Writer, params *fv.Params, req *Request) error {
+	if _, err := w.Write(protocolMagic[:]); err != nil {
+		return err
+	}
+	if _, err := w.Write([]byte{req.Cmd}); err != nil {
+		return err
+	}
+	switch req.Cmd {
+	case CmdPing:
+		return nil
+	case CmdRotate:
+		var g [4]byte
+		binary.LittleEndian.PutUint32(g[:], req.G)
+		if _, err := w.Write(g[:]); err != nil {
+			return err
+		}
+		return req.A.WriteTo(w, params)
+	}
+	if err := req.A.WriteTo(w, params); err != nil {
+		return err
+	}
+	return req.B.WriteTo(w, params)
+}
+
+// ReadRequest deserializes a request.
+func ReadRequest(r io.Reader, params *fv.Params) (*Request, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	if [4]byte(hdr[:4]) != protocolMagic {
+		return nil, fmt.Errorf("cloud: bad protocol magic %q", hdr[:4])
+	}
+	req := &Request{Cmd: hdr[4]}
+	switch req.Cmd {
+	case CmdPing:
+		return req, nil
+	case CmdRotate:
+		var g [4]byte
+		if _, err := io.ReadFull(r, g[:]); err != nil {
+			return nil, err
+		}
+		req.G = binary.LittleEndian.Uint32(g[:])
+		var err error
+		if req.A, err = fv.ReadCiphertext(r, params); err != nil {
+			return nil, fmt.Errorf("cloud: reading operand A: %w", err)
+		}
+		return req, nil
+	case CmdAdd, CmdMul:
+	default:
+		return nil, fmt.Errorf("cloud: unknown command %d", req.Cmd)
+	}
+	var err error
+	if req.A, err = fv.ReadCiphertext(r, params); err != nil {
+		return nil, fmt.Errorf("cloud: reading operand A: %w", err)
+	}
+	if req.B, err = fv.ReadCiphertext(r, params); err != nil {
+		return nil, fmt.Errorf("cloud: reading operand B: %w", err)
+	}
+	return req, nil
+}
+
+// Response carries the result ciphertext and the simulated hardware timing.
+type Response struct {
+	Err          string
+	Result       *fv.Ciphertext
+	ComputeNanos uint64 // simulated co-processor latency
+	Worker       uint32 // which application core / co-processor served it
+}
+
+// WriteResponse serializes a response.
+func WriteResponse(w io.Writer, params *fv.Params, resp *Response) error {
+	if resp.Err != "" {
+		if _, err := w.Write([]byte{statusErr}); err != nil {
+			return err
+		}
+		msg := []byte(resp.Err)
+		var n [4]byte
+		binary.LittleEndian.PutUint32(n[:], uint32(len(msg)))
+		if _, err := w.Write(n[:]); err != nil {
+			return err
+		}
+		_, err := w.Write(msg)
+		return err
+	}
+	if _, err := w.Write([]byte{statusOK}); err != nil {
+		return err
+	}
+	var meta [12]byte
+	binary.LittleEndian.PutUint64(meta[:8], resp.ComputeNanos)
+	binary.LittleEndian.PutUint32(meta[8:], resp.Worker)
+	if _, err := w.Write(meta[:]); err != nil {
+		return err
+	}
+	return resp.Result.WriteTo(w, params)
+}
+
+// ReadResponse deserializes a response.
+func ReadResponse(r io.Reader, params *fv.Params) (*Response, error) {
+	var status [1]byte
+	if _, err := io.ReadFull(r, status[:]); err != nil {
+		return nil, err
+	}
+	if status[0] == statusErr {
+		var n [4]byte
+		if _, err := io.ReadFull(r, n[:]); err != nil {
+			return nil, err
+		}
+		ln := binary.LittleEndian.Uint32(n[:])
+		if ln > 1<<16 {
+			return nil, fmt.Errorf("cloud: implausible error length %d", ln)
+		}
+		msg := make([]byte, ln)
+		if _, err := io.ReadFull(r, msg); err != nil {
+			return nil, err
+		}
+		return &Response{Err: string(msg)}, nil
+	}
+	var meta [12]byte
+	if _, err := io.ReadFull(r, meta[:]); err != nil {
+		return nil, err
+	}
+	ct, err := fv.ReadCiphertext(r, params)
+	if err != nil {
+		return nil, err
+	}
+	return &Response{
+		Result:       ct,
+		ComputeNanos: binary.LittleEndian.Uint64(meta[:8]),
+		Worker:       binary.LittleEndian.Uint32(meta[8:]),
+	}, nil
+}

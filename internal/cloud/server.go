@@ -1,0 +1,165 @@
+package cloud
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fv"
+)
+
+// Server is the cloud service: a listener (the "Networking Arm Core" of
+// Fig. 11) distributing requests to application workers, each owning one
+// simulated co-processor. The relinearization key is installed server-side,
+// as in any FV cloud deployment — the client never sends secret material.
+type Server struct {
+	Params *fv.Params
+	Accel  *core.Accelerator
+	RK     *fv.RelinKey
+	Logger *log.Logger
+
+	ln      net.Listener
+	mu      sync.Mutex
+	served  uint64
+	closing bool
+	wg      sync.WaitGroup
+	galois  map[int]*fv.GaloisKey
+}
+
+// SetGaloisKey installs the key-switching key for one Galois element,
+// enabling CmdRotate requests with that element (clients upload their
+// rotation keys ahead of time, like relin keys).
+func (s *Server) SetGaloisKey(gk *fv.GaloisKey) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.galois == nil {
+		s.galois = map[int]*fv.GaloisKey{}
+	}
+	s.galois[gk.G] = gk
+}
+
+// NewServer prepares a server around an accelerator and relin key.
+func NewServer(params *fv.Params, accel *core.Accelerator, rk *fv.RelinKey, logger *log.Logger) *Server {
+	if logger == nil {
+		logger = log.New(discard{}, "", 0)
+	}
+	return &Server{Params: params, Accel: accel, RK: rk, Logger: logger}
+}
+
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }
+
+// Listen binds the address and returns the bound address (useful with
+// ":0").
+func (s *Server) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.ln = ln
+	return ln.Addr().String(), nil
+}
+
+// Serve accepts connections until Close. Each connection is handled by a
+// goroutine; operations inside a connection dispatch round-robin onto the
+// co-processors (the Accelerator serializes access per co-processor).
+func (s *Server) Serve() error {
+	if s.ln == nil {
+		return fmt.Errorf("cloud: Serve before Listen")
+	}
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closing := s.closing
+			s.mu.Unlock()
+			if closing {
+				s.wg.Wait()
+				return nil
+			}
+			return err
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.handle(conn)
+		}()
+	}
+}
+
+// Close stops accepting and waits for in-flight connections.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closing = true
+	s.mu.Unlock()
+	if s.ln != nil {
+		return s.ln.Close()
+	}
+	return nil
+}
+
+// Served returns the number of operations completed.
+func (s *Server) Served() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.served
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer conn.Close()
+	for {
+		req, err := ReadRequest(conn, s.Params)
+		if err != nil {
+			return // client closed or spoke garbage; drop the connection
+		}
+		resp := s.process(req)
+		if err := WriteResponse(conn, s.Params, resp); err != nil {
+			s.Logger.Printf("cloud: write response: %v", err)
+			return
+		}
+	}
+}
+
+func (s *Server) process(req *Request) *Response {
+	start := time.Now()
+	var (
+		ct  *fv.Ciphertext
+		rep core.Report
+		err error
+	)
+	switch req.Cmd {
+	case CmdPing:
+		return &Response{Result: fv.NewCiphertext(s.Params, 2)}
+	case CmdAdd:
+		ct, rep, err = s.Accel.Add(req.A, req.B)
+	case CmdMul:
+		ct, rep, err = s.Accel.Mul(req.A, req.B, s.RK)
+	case CmdRotate:
+		s.mu.Lock()
+		gk := s.galois[int(req.G)]
+		s.mu.Unlock()
+		if gk == nil {
+			err = fmt.Errorf("no Galois key installed for element %d", req.G)
+		} else {
+			ct, rep, err = s.Accel.Rotate(req.A, gk)
+		}
+	default:
+		err = fmt.Errorf("unknown command %d", req.Cmd)
+	}
+	if err != nil {
+		return &Response{Err: err.Error()}
+	}
+	s.mu.Lock()
+	s.served++
+	s.mu.Unlock()
+	s.Logger.Printf("cloud: cmd %d served in %v (simulated HW %.3f ms)",
+		req.Cmd, time.Since(start), rep.ComputeSeconds()*1e3)
+	return &Response{
+		Result:       ct,
+		ComputeNanos: uint64(rep.ComputeSeconds() * 1e9),
+	}
+}

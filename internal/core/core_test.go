@@ -1,0 +1,184 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/fv"
+	"repro/internal/hwsim"
+	"repro/internal/sampler"
+)
+
+func testAccel(t testing.TB, variant hwsim.Variant, coprocs int) (*Accelerator, *fv.Params) {
+	t.Helper()
+	params, err := fv.NewParams(fv.TestConfig(257))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := New(params, variant, coprocs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a, params
+}
+
+func TestAcceleratorAddMul(t *testing.T) {
+	a, p := testAccel(t, hwsim.VariantHPS, 2)
+	prng := sampler.NewPRNG(1)
+	kg := fv.NewKeyGenerator(p, prng)
+	sk, pk, rk := kg.GenKeys()
+	enc := fv.NewEncryptor(p, pk, prng)
+	dec := fv.NewDecryptor(p, sk)
+	ev := fv.NewEvaluator(p)
+
+	x := fv.NewPlaintext(p)
+	y := fv.NewPlaintext(p)
+	x.Coeffs[0], y.Coeffs[0] = 11, 12
+	cx, cy := enc.Encrypt(x), enc.Encrypt(y)
+
+	sum, repAdd, err := a.Add(cx, cy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sum.Equal(ev.Add(cx, cy)) {
+		t.Fatal("accelerated Add != software Add")
+	}
+	if got := dec.Decrypt(sum).Coeffs[0]; got != 23 {
+		t.Fatalf("11+12 = %d", got)
+	}
+	if repAdd.ComputeCycles == 0 || repAdd.SendCycles == 0 || repAdd.ReceiveCycles == 0 {
+		t.Fatalf("incomplete Add report: %+v", repAdd)
+	}
+
+	prod, repMul, err := a.Mul(cx, cy, rk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !prod.Equal(ev.Mul(cx, cy, rk)) {
+		t.Fatal("accelerated Mul != software Mul")
+	}
+	if got := dec.Decrypt(prod).Coeffs[0]; got != 132 {
+		t.Fatalf("11·12 = %d", got)
+	}
+	// Mult must dominate Add by orders of magnitude (paper: 4.458 ms vs
+	// 0.026 ms).
+	if repMul.ComputeCycles < 20*repAdd.ComputeCycles {
+		t.Fatalf("Mult (%d cycles) should be ≫ Add (%d cycles)",
+			repMul.ComputeCycles, repAdd.ComputeCycles)
+	}
+	if repMul.TotalSeconds() <= repMul.ComputeSeconds() {
+		t.Fatal("total must include transfers")
+	}
+	if repMul.ArmCycles() != repMul.ComputeCycles.ArmCycles() {
+		t.Fatal("Arm cycle view inconsistent")
+	}
+}
+
+func TestMulBatchThroughputScaling(t *testing.T) {
+	p, err := fv.NewParams(fv.TestConfig(257))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prng := sampler.NewPRNG(2)
+	kg := fv.NewKeyGenerator(p, prng)
+	sk, pk, rk := kg.GenKeys()
+	enc := fv.NewEncryptor(p, pk, prng)
+	dec := fv.NewDecryptor(p, sk)
+
+	const jobs = 4
+	xs := make([]*fv.Ciphertext, jobs)
+	ys := make([]*fv.Ciphertext, jobs)
+	for i := range xs {
+		px := fv.NewPlaintext(p)
+		py := fv.NewPlaintext(p)
+		px.Coeffs[0] = uint64(i + 2)
+		py.Coeffs[0] = uint64(i + 3)
+		xs[i] = enc.Encrypt(px)
+		ys[i] = enc.Encrypt(py)
+	}
+
+	one, err := New(p, hwsim.VariantHPS, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	two, err := New(p, hwsim.VariantHPS, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res1, t1, err := one.MulBatch(xs, ys, rk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, t2, err := two.MulBatch(xs, ys, rk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range res1 {
+		want := uint64((i + 2) * (i + 3))
+		if got := dec.Decrypt(res1[i]).Coeffs[0]; got != want%257 {
+			t.Fatalf("job %d (1 coproc): %d, want %d", i, got, want)
+		}
+		if !res1[i].Equal(res2[i]) {
+			t.Fatalf("job %d differs between platforms", i)
+		}
+	}
+	// Two co-processors halve the simulated wall clock (paper: 2x
+	// throughput).
+	ratio := t1 / t2
+	if ratio < 1.9 || ratio > 2.1 {
+		t.Fatalf("2-coproc speedup %.2f, want ≈ 2.0", ratio)
+	}
+}
+
+func TestTraditionalVariantSlower(t *testing.T) {
+	p, err := fv.NewParams(fv.TestConfig(257))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prng := sampler.NewPRNG(3)
+	kg := fv.NewKeyGenerator(p, prng)
+	sk := kg.GenSecretKey()
+	pk := kg.GenPublicKey(sk)
+	rkHPS := kg.GenRelinKey(sk, fv.HPS, 0, 0)
+	rkTrad := kg.GenRelinKey(sk, fv.Traditional, p.Cfg.RelinLogW, p.Cfg.RelinDepth)
+	enc := fv.NewEncryptor(p, pk, prng)
+	ct := enc.Encrypt(fv.NewPlaintext(p))
+
+	fast, err := New(p, hwsim.VariantHPS, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := New(p, hwsim.VariantTraditional, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, repFast, err := fast.Mul(ct, ct, rkHPS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, repSlow, err := slow.Mul(ct, ct, rkTrad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The traditional lift/scale dominates (paper Sec. VI-C: Mult < 2x
+	// slower overall, lift/scale themselves ≫ slower).
+	if repSlow.ComputeCycles <= repFast.ComputeCycles {
+		t.Fatalf("traditional (%d) should be slower than HPS (%d)",
+			repSlow.ComputeCycles, repFast.ComputeCycles)
+	}
+}
+
+func TestNewPaperSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper parameters are slow")
+	}
+	a, err := NewPaper(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumCoprocessors() != 2 {
+		t.Fatal("paper platform has two co-processors")
+	}
+	if a.Params.N() != 4096 || a.Params.QBasis.K() != 6 || a.Params.PBasis.K() != 7 {
+		t.Fatal("paper parameter shape wrong")
+	}
+}

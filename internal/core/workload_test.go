@@ -1,0 +1,94 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/fv"
+	"repro/internal/hwsim"
+	"repro/internal/sampler"
+)
+
+func TestServeWorkloadSaturated(t *testing.T) {
+	a, p := testAccel(t, hwsim.VariantHPS, 2)
+	prng := sampler.NewPRNG(50)
+	kg := fv.NewKeyGenerator(p, prng)
+	sk, pk, rk := kg.GenKeys()
+	enc := fv.NewEncryptor(p, pk, prng)
+	dec := fv.NewDecryptor(p, sk)
+
+	// Everything arrives at t=0: a saturated queue. With two workers the
+	// sustained throughput must be ≈ 2 / multLatency and utilization ≈ 1.
+	const jobs = 8
+	js := make([]Job, jobs)
+	for i := range js {
+		pa := fv.NewPlaintext(p)
+		pb := fv.NewPlaintext(p)
+		pa.Coeffs[0] = uint64(i + 2)
+		pb.Coeffs[0] = uint64(i + 3)
+		js[i] = Job{A: enc.Encrypt(pa), B: enc.Encrypt(pb)}
+	}
+	results, stats, err := a.ServeWorkload(js, rk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, res := range results {
+		want := uint64((i + 2) * (i + 3) % 257)
+		if got := dec.Decrypt(res).Coeffs[0]; got != want {
+			t.Fatalf("job %d: %d, want %d", i, got, want)
+		}
+	}
+	if stats.Jobs != jobs || stats.MakespanSec <= 0 {
+		t.Fatalf("bad stats: %+v", stats)
+	}
+	if stats.Utilization < 0.95 {
+		t.Fatalf("saturated utilization %.2f, want ≈ 1", stats.Utilization)
+	}
+	// Throughput ≈ 2x single-worker rate.
+	_, rep, err := a.Mul(js[0].A, js[0].B, rk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	singleRate := 1 / rep.ComputeSeconds()
+	if stats.ThroughputPerS < 1.8*singleRate || stats.ThroughputPerS > 2.1*singleRate {
+		t.Fatalf("throughput %.0f/s vs single-worker %.0f/s: not ≈ 2x", stats.ThroughputPerS, singleRate)
+	}
+	// Queueing happened (8 jobs, 2 workers, all at t=0).
+	if stats.MaxQueueDelay <= 0 {
+		t.Fatal("saturated queue should produce waiting")
+	}
+}
+
+func TestServeWorkloadIdle(t *testing.T) {
+	a, p := testAccel(t, hwsim.VariantHPS, 2)
+	prng := sampler.NewPRNG(51)
+	kg := fv.NewKeyGenerator(p, prng)
+	_, pk, rk := kg.GenKeys()
+	enc := fv.NewEncryptor(p, pk, prng)
+
+	// Arrivals far apart: no queueing, latency = service time.
+	ct := enc.Encrypt(fv.NewPlaintext(p))
+	js := []Job{
+		{ArrivalSec: 0, A: ct, B: ct},
+		{ArrivalSec: 1, A: ct, B: ct},
+		{ArrivalSec: 2, A: ct, B: ct},
+	}
+	_, stats, err := a.ServeWorkload(js, rk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.MaxQueueDelay != 0 {
+		t.Fatalf("idle system queued jobs: %+v", stats)
+	}
+	if stats.Utilization > 0.01 {
+		t.Fatalf("idle utilization %.3f suspiciously high", stats.Utilization)
+	}
+
+	// Out-of-order arrivals are rejected.
+	js[2].ArrivalSec = 0.5
+	if _, _, err := a.ServeWorkload(js, rk); err == nil {
+		t.Fatal("out-of-order arrivals accepted")
+	}
+	if _, _, err := a.ServeWorkload(nil, rk); err == nil {
+		t.Fatal("empty workload accepted")
+	}
+}

@@ -1,0 +1,147 @@
+package fv
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/poly"
+)
+
+// Plaintext is a polynomial with coefficients modulo the plaintext modulus
+// t, of length n. Encoders produce Plaintexts; Decrypt returns them.
+type Plaintext struct {
+	Coeffs []uint64
+}
+
+// NewPlaintext returns an all-zero plaintext for params.
+func NewPlaintext(params *Params) *Plaintext {
+	return &Plaintext{Coeffs: make([]uint64, params.N())}
+}
+
+// Clone returns a deep copy.
+func (p *Plaintext) Clone() *Plaintext {
+	return &Plaintext{Coeffs: append([]uint64(nil), p.Coeffs...)}
+}
+
+// Equal reports coefficient-wise equality.
+func (p *Plaintext) Equal(o *Plaintext) bool {
+	if len(p.Coeffs) != len(o.Coeffs) {
+		return false
+	}
+	for i := range p.Coeffs {
+		if p.Coeffs[i] != o.Coeffs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Ciphertext is an FV ciphertext: a vector of polynomials over the q basis
+// in coefficient representation. Fresh and relinearized ciphertexts have two
+// elements (c0, c1); an unrelinearized product has three.
+type Ciphertext struct {
+	Els []poly.RNSPoly
+}
+
+// NewCiphertext returns a zero ciphertext with the given element count.
+func NewCiphertext(params *Params, els int) *Ciphertext {
+	ct := &Ciphertext{Els: make([]poly.RNSPoly, els)}
+	for i := range ct.Els {
+		ct.Els[i] = poly.NewRNSPoly(params.QMods, params.N())
+	}
+	return ct
+}
+
+// Degree returns the number of polynomial elements minus one (2-element
+// ciphertexts have degree 1).
+func (c *Ciphertext) Degree() int { return len(c.Els) - 1 }
+
+// Clone returns a deep copy.
+func (c *Ciphertext) Clone() *Ciphertext {
+	out := &Ciphertext{Els: make([]poly.RNSPoly, len(c.Els))}
+	for i := range c.Els {
+		out.Els[i] = c.Els[i].Clone()
+	}
+	return out
+}
+
+// Equal reports deep equality.
+func (c *Ciphertext) Equal(o *Ciphertext) bool {
+	if len(c.Els) != len(o.Els) {
+		return false
+	}
+	for i := range c.Els {
+		if !c.Els[i].Equal(o.Els[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// ByteSize returns the serialized size of c under params: every residue
+// coefficient as 4 bytes (the paper transfers 30-bit residues as 32-bit
+// words; one 4096×6-residue polynomial is the 98,304-byte unit of Table
+// III), plus an 8-byte header.
+func (c *Ciphertext) ByteSize(params *Params) int {
+	return 8 + len(c.Els)*params.QBasis.K()*params.N()*4
+}
+
+// WriteTo serializes c (element count, then residue rows of 32-bit words).
+func (c *Ciphertext) WriteTo(w io.Writer, params *Params) error {
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[:4], uint32(len(c.Els)))
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(params.N()))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	buf := make([]byte, params.N()*4)
+	for _, el := range c.Els {
+		if el.Level() != params.QBasis.K() {
+			return fmt.Errorf("fv: ciphertext element level %d does not match params", el.Level())
+		}
+		for _, row := range el.Rows {
+			for i, v := range row.Coeffs {
+				binary.LittleEndian.PutUint32(buf[i*4:], uint32(v))
+			}
+			if _, err := w.Write(buf); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// ReadCiphertext deserializes a ciphertext written by WriteTo.
+func ReadCiphertext(r io.Reader, params *Params) (*Ciphertext, error) {
+	var hdr [8]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	els := int(binary.LittleEndian.Uint32(hdr[:4]))
+	n := int(binary.LittleEndian.Uint32(hdr[4:]))
+	if n != params.N() {
+		return nil, fmt.Errorf("fv: ciphertext degree %d does not match params degree %d", n, params.N())
+	}
+	if els < 1 || els > 3 {
+		return nil, fmt.Errorf("fv: implausible ciphertext element count %d", els)
+	}
+	ct := NewCiphertext(params, els)
+	buf := make([]byte, n*4)
+	for e := 0; e < els; e++ {
+		for ri, m := range params.QMods {
+			if _, err := io.ReadFull(r, buf); err != nil {
+				return nil, err
+			}
+			row := ct.Els[e].Rows[ri]
+			for i := range row.Coeffs {
+				v := uint64(binary.LittleEndian.Uint32(buf[i*4:]))
+				if v >= m.Q {
+					return nil, fmt.Errorf("fv: residue %d out of range for modulus %d", v, m.Q)
+				}
+				row.Coeffs[i] = v
+			}
+		}
+	}
+	return ct, nil
+}

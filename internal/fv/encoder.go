@@ -1,0 +1,139 @@
+package fv
+
+import (
+	"fmt"
+
+	"repro/internal/poly"
+	"repro/internal/ring"
+)
+
+// IntegerEncoder maps signed integers to plaintext polynomials by binary
+// expansion: v = Σ b_i·2^i becomes m(x) = Σ b_i·x^i with b_i ∈ {0, ±1}
+// (negative inputs negate the digits). Homomorphic addition and
+// multiplication then act on the encoded integers as long as the
+// coefficients, evaluated back at x = 2, stay below t/2 in magnitude — the
+// standard FV encoding the paper's applications (encrypted statistics,
+// encrypted search) rely on.
+type IntegerEncoder struct {
+	params *Params
+}
+
+// NewIntegerEncoder returns an integer encoder for params.
+func NewIntegerEncoder(params *Params) *IntegerEncoder {
+	return &IntegerEncoder{params: params}
+}
+
+// Encode encodes v. It panics if |v| needs more bits than the ring degree.
+func (e *IntegerEncoder) Encode(v int64) *Plaintext {
+	pt := NewPlaintext(e.params)
+	neg := v < 0
+	u := uint64(v)
+	if neg {
+		u = uint64(-v)
+	}
+	t := e.params.Cfg.T
+	for i := 0; u != 0; i++ {
+		if i >= e.params.N() {
+			panic("fv: integer too wide for the ring degree")
+		}
+		if u&1 == 1 {
+			if neg {
+				pt.Coeffs[i] = t - 1
+			} else {
+				pt.Coeffs[i] = 1
+			}
+		}
+		u >>= 1
+	}
+	return pt
+}
+
+// Decode evaluates the plaintext polynomial at x = 2 with centered
+// coefficients. It returns an error if the value overflows int64 — the
+// caller's parameters no longer fit the computation.
+func (e *IntegerEncoder) Decode(pt *Plaintext) (int64, error) {
+	t := e.params.Cfg.T
+	half := t / 2
+	var acc int64
+	// Horner from the top coefficient down.
+	for i := len(pt.Coeffs) - 1; i >= 0; i-- {
+		c := pt.Coeffs[i] % t
+		var signed int64
+		if c > half {
+			signed = int64(c) - int64(t)
+		} else {
+			signed = int64(c)
+		}
+		if acc > 1<<61 || acc < -(1<<61) {
+			return 0, fmt.Errorf("fv: decoded integer overflows int64")
+		}
+		acc = acc*2 + signed
+	}
+	return acc, nil
+}
+
+// BatchEncoder packs n independent values modulo t into the n "slots" of a
+// plaintext, using a negacyclic NTT over Z_t — this requires t to be a
+// prime with t ≡ 1 (mod 2n). Homomorphic Add and Mult then act slot-wise
+// (SIMD), the encoding the smart-grid aggregation example uses.
+type BatchEncoder struct {
+	params *Params
+	table  *poly.NTTTable
+	tMod   ring.Modulus
+}
+
+// NewBatchEncoder returns a batch encoder, or an error if t does not
+// support batching for the ring degree.
+func NewBatchEncoder(params *Params) (*BatchEncoder, error) {
+	t := params.Cfg.T
+	if !ring.IsPrime(t) {
+		return nil, fmt.Errorf("fv: batching requires a prime plaintext modulus, got %d", t)
+	}
+	if (t-1)%uint64(2*params.N()) != 0 {
+		return nil, fmt.Errorf("fv: batching requires t ≡ 1 mod 2n (t=%d, n=%d)", t, params.N())
+	}
+	tMod := ring.NewModulus(t)
+	table, err := poly.NewNTTTable(tMod, params.N())
+	if err != nil {
+		return nil, err
+	}
+	return &BatchEncoder{params: params, table: table, tMod: tMod}, nil
+}
+
+// Slots returns the number of SIMD slots (= n).
+func (e *BatchEncoder) Slots() int { return e.params.N() }
+
+// Encode packs values (length ≤ n, reduced mod t) into a plaintext.
+func (e *BatchEncoder) Encode(values []uint64) (*Plaintext, error) {
+	if len(values) > e.params.N() {
+		return nil, fmt.Errorf("fv: %d values exceed %d slots", len(values), e.params.N())
+	}
+	pt := NewPlaintext(e.params)
+	for i, v := range values {
+		pt.Coeffs[i] = e.tMod.Reduce(v)
+	}
+	// Slots hold evaluations of m(x) at the odd powers of the 2n-th root of
+	// unity; encoding is the inverse transform.
+	e.table.Inverse(pt.Coeffs)
+	return pt, nil
+}
+
+// Decode unpacks the n slot values from a plaintext.
+func (e *BatchEncoder) Decode(pt *Plaintext) []uint64 {
+	out := append([]uint64(nil), pt.Coeffs...)
+	for i := range out {
+		out[i] = e.tMod.Reduce(out[i])
+	}
+	e.table.Forward(out)
+	return out
+}
+
+// BatchingPlaintextModulus finds a prime t ≡ 1 (mod 2n) of the requested
+// bit width, for constructing batching-capable parameter sets.
+func BatchingPlaintextModulus(n, bits int) (uint64, error) {
+	primes, err := ring.GenerateNTTPrimes(bits, n, 1)
+	if err != nil {
+		return 0, err
+	}
+	return primes[0], nil
+}

@@ -1,0 +1,151 @@
+package fv
+
+import (
+	"testing"
+
+	"repro/internal/sampler"
+)
+
+func TestIntegerEncoderRoundTrip(t *testing.T) {
+	p := testParams(t, 65537)
+	e := NewIntegerEncoder(p)
+	for _, v := range []int64{0, 1, -1, 2, 7, -42, 123456789, -987654321} {
+		pt := e.Encode(v)
+		got, err := e.Decode(pt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != v {
+			t.Fatalf("encode/decode %d -> %d", v, got)
+		}
+	}
+}
+
+func TestIntegerEncoderHomomorphic(t *testing.T) {
+	p := testParams(t, 65537)
+	prng := sampler.NewPRNG(20)
+	kg := NewKeyGenerator(p, prng)
+	sk, pk, rk := kg.GenKeys()
+	enc := NewEncryptor(p, pk, prng)
+	dec := NewDecryptor(p, sk)
+	ev := NewEvaluator(p)
+	ie := NewIntegerEncoder(p)
+
+	ca := enc.Encrypt(ie.Encode(123))
+	cb := enc.Encrypt(ie.Encode(-45))
+
+	sum := ev.Add(ca, cb)
+	if v, err := ie.Decode(dec.Decrypt(sum)); err != nil || v != 78 {
+		t.Fatalf("123 + (-45) = %d (err %v), want 78", v, err)
+	}
+	prod := ev.Mul(ca, cb, rk)
+	if v, err := ie.Decode(dec.Decrypt(prod)); err != nil || v != -5535 {
+		t.Fatalf("123 · (-45) = %d (err %v), want -5535", v, err)
+	}
+}
+
+func TestBatchEncoderRoundTrip(t *testing.T) {
+	// t must be prime ≡ 1 mod 2n; for n = 256 use a 20-bit batching prime.
+	tmod, err := BatchingPlaintextModulus(256, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := testParams(t, tmod)
+	be, err := NewBatchEncoder(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if be.Slots() != 256 {
+		t.Fatalf("slots = %d", be.Slots())
+	}
+	values := make([]uint64, 256)
+	for i := range values {
+		values[i] = uint64(i * i)
+	}
+	pt, err := be.Encode(values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := be.Decode(pt)
+	for i := range values {
+		if got[i] != values[i]%tmod {
+			t.Fatalf("slot %d: %d != %d", i, got[i], values[i])
+		}
+	}
+	if _, err := be.Encode(make([]uint64, 257)); err == nil {
+		t.Fatal("expected error for too many values")
+	}
+}
+
+func TestBatchEncoderSIMDSemantics(t *testing.T) {
+	tmod, err := BatchingPlaintextModulus(256, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := testParams(t, tmod)
+	be, err := NewBatchEncoder(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prng := sampler.NewPRNG(21)
+	kg := NewKeyGenerator(p, prng)
+	sk, pk, rk := kg.GenKeys()
+	enc := NewEncryptor(p, pk, prng)
+	dec := NewDecryptor(p, sk)
+	ev := NewEvaluator(p)
+
+	a := make([]uint64, 256)
+	b := make([]uint64, 256)
+	for i := range a {
+		a[i] = uint64(i + 1)
+		b[i] = uint64(2*i + 3)
+	}
+	pa, _ := be.Encode(a)
+	pb, _ := be.Encode(b)
+	ca, cb := enc.Encrypt(pa), enc.Encrypt(pb)
+
+	// Slot-wise addition.
+	sum := be.Decode(dec.Decrypt(ev.Add(ca, cb)))
+	for i := range a {
+		if sum[i] != (a[i]+b[i])%tmod {
+			t.Fatalf("slot %d: add mismatch", i)
+		}
+	}
+	// Slot-wise multiplication.
+	prod := be.Decode(dec.Decrypt(ev.Mul(ca, cb, rk)))
+	for i := range a {
+		if prod[i] != (a[i]*b[i])%tmod {
+			t.Fatalf("slot %d: mul mismatch (%d vs %d)", i, prod[i], a[i]*b[i]%tmod)
+		}
+	}
+}
+
+func TestBatchEncoderRequirements(t *testing.T) {
+	// t = 17 is prime but 16 is not divisible by 2n = 512.
+	p := testParams(t, 17)
+	if _, err := NewBatchEncoder(p); err == nil {
+		t.Fatal("expected error: 17 ≢ 1 mod 512")
+	}
+	// Composite t.
+	p2 := testParams(t, 65536)
+	if _, err := NewBatchEncoder(p2); err == nil {
+		t.Fatal("expected error for composite t")
+	}
+}
+
+func TestIntegerEncoderTooWide(t *testing.T) {
+	cfg := TestConfig(17)
+	cfg.N = 16 // tiny ring
+	cfg.QCount, cfg.PCount = 2, 3
+	p, err := NewParams(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewIntegerEncoder(p)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for integer wider than ring degree")
+		}
+	}()
+	e.Encode(1 << 20)
+}

@@ -1,0 +1,138 @@
+package fv
+
+import (
+	"repro/internal/poly"
+	"repro/internal/sampler"
+)
+
+// Encryptor produces fresh ciphertexts under a public key, following the
+// paper's Fig. 1: sample (u, e1, e2), then
+//
+//	c0 = p0·u + e1 + Δ·m̃,   c1 = p1·u + e2,
+//
+// with Δ = ⌊q/t⌋ scaling the encoded message m̃ into the ciphertext space.
+type Encryptor struct {
+	params *Params
+	pk     *PublicKey
+	prng   *sampler.PRNG
+	gauss  *sampler.Gaussian
+}
+
+// NewEncryptor returns an encryptor drawing randomness from prng.
+func NewEncryptor(params *Params, pk *PublicKey, prng *sampler.PRNG) *Encryptor {
+	return &Encryptor{
+		params: params,
+		pk:     pk,
+		prng:   prng,
+		gauss:  sampler.NewGaussian(params.Cfg.Sigma),
+	}
+}
+
+// Encrypt encrypts pt into a fresh two-element ciphertext.
+func (e *Encryptor) Encrypt(pt *Plaintext) *Ciphertext {
+	p := e.params
+	n := p.N()
+	u := sampler.SignedBinaryPoly(e.prng, p.QMods, n)
+	e1 := e.gauss.SamplePoly(e.prng, p.QMods, n)
+	e2 := e.gauss.SamplePoly(e.prng, p.QMods, n)
+
+	uHat := u.Clone()
+	p.TrQ.Forward(uHat)
+
+	ct := NewCiphertext(p, 2)
+	// c0 = p0·u + e1 + Δ·m.
+	e.pk.P0Hat.MulInto(uHat, ct.Els[0])
+	p.TrQ.Inverse(ct.Els[0])
+	ct.Els[0].AddInto(e1, ct.Els[0])
+	addDeltaM(p, pt, ct.Els[0])
+	// c1 = p1·u + e2.
+	e.pk.P1Hat.MulInto(uHat, ct.Els[1])
+	p.TrQ.Inverse(ct.Els[1])
+	ct.Els[1].AddInto(e2, ct.Els[1])
+	return ct
+}
+
+// addDeltaM adds Δ·m̃ into dst, where m̃ carries the plaintext coefficients
+// (reduced mod t) into each residue row.
+func addDeltaM(p *Params, pt *Plaintext, dst poly.RNSPoly) {
+	t := p.Cfg.T
+	for i, m := range p.QMods {
+		d := p.Delta[i]
+		row := dst.Rows[i]
+		for c, mc := range pt.Coeffs {
+			row.Coeffs[c] = m.Add(row.Coeffs[c], m.Mul(d, m.Reduce(mc%t)))
+		}
+	}
+}
+
+// EncryptZeroSymmetric encrypts the zero plaintext under the secret key
+// directly (c0 = -(a·s + e), c1 = a); used by tests that need minimal-noise
+// ciphertexts.
+func EncryptZeroSymmetric(params *Params, sk *SecretKey, prng *sampler.PRNG) *Ciphertext {
+	p := params
+	n := p.N()
+	gauss := sampler.NewGaussian(p.Cfg.Sigma)
+	a := sampler.UniformPoly(prng, p.QMods, n)
+	eNoise := gauss.SamplePoly(prng, p.QMods, n)
+	aHat := a.Clone()
+	p.TrQ.Forward(aHat)
+	ct := NewCiphertext(p, 2)
+	aHat.MulInto(sk.SHat, ct.Els[0])
+	p.TrQ.Inverse(ct.Els[0])
+	ct.Els[0].AddInto(eNoise, ct.Els[0])
+	ct.Els[0].NegInto(ct.Els[0])
+	ct.Els[1] = a
+	return ct
+}
+
+// Decryptor recovers plaintexts with the secret key: it computes
+// x = c0 + c1·s (+ c2·s² for a degree-2 ciphertext), reconstructs each
+// coefficient's centered value, and rounds t·x/q — the decoder box of the
+// paper's Fig. 1.
+type Decryptor struct {
+	params *Params
+	sk     *SecretKey
+}
+
+// NewDecryptor returns a decryptor for sk.
+func NewDecryptor(params *Params, sk *SecretKey) *Decryptor {
+	return &Decryptor{params: params, sk: sk}
+}
+
+// Decrypt decrypts ct (degree 1 or 2).
+func (d *Decryptor) Decrypt(ct *Ciphertext) *Plaintext {
+	p := d.params
+	x := d.innerPoly(ct)
+	pt := NewPlaintext(p)
+	res := make([]uint64, p.QBasis.K())
+	t := p.Cfg.T
+	for c := 0; c < p.N(); c++ {
+		for i := range x.Rows {
+			res[i] = x.Rows[i].Coeffs[c]
+		}
+		mag, neg := p.QBasis.ReconstructCentered(res)
+		y := p.decryptRecip.DivRound(mag.MulWord(t))
+		v := y.ModWord(t)
+		if neg && v != 0 {
+			v = t - v
+		}
+		pt.Coeffs[c] = v
+	}
+	return pt
+}
+
+// innerPoly returns c0 + c1·s (+ c2·s²) in coefficient representation.
+func (d *Decryptor) innerPoly(ct *Ciphertext) poly.RNSPoly {
+	p := d.params
+	acc := poly.NewRNSPoly(p.QMods, p.N())
+	// Horner over s in the NTT domain: ((c_k·s + c_{k-1})·s + ...) + c_0.
+	for i := len(ct.Els) - 1; i >= 1; i-- {
+		tmp := ct.Els[i].Clone()
+		p.TrQ.Forward(tmp)
+		acc.AddInto(tmp, acc)
+		acc.MulInto(d.sk.SHat, acc)
+	}
+	p.TrQ.Inverse(acc)
+	acc.AddInto(ct.Els[0], acc)
+	return acc
+}

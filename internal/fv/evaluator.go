@@ -1,0 +1,265 @@
+package fv
+
+import (
+	"fmt"
+
+	"repro/internal/poly"
+	"repro/internal/rns"
+)
+
+// Evaluator computes on ciphertexts: the cloud-side Add and Mult of the
+// paper's Sec. II-B, with Mult implementing the full Fig. 2 pipeline.
+type Evaluator struct {
+	params  *Params
+	variant LiftScaleVariant
+}
+
+// NewEvaluator returns an evaluator using the HPS lift/scale variant.
+func NewEvaluator(params *Params) *Evaluator {
+	return &Evaluator{params: params, variant: HPS}
+}
+
+// NewEvaluatorVariant selects the lift/scale variant explicitly (the
+// traditional variant reproduces the paper's slower architecture).
+func NewEvaluatorVariant(params *Params, v LiftScaleVariant) *Evaluator {
+	return &Evaluator{params: params, variant: v}
+}
+
+// Variant returns the lift/scale variant in use.
+func (ev *Evaluator) Variant() LiftScaleVariant { return ev.variant }
+
+// Add returns a + b (FV.Add: element-wise polynomial addition).
+func (ev *Evaluator) Add(a, b *Ciphertext) *Ciphertext {
+	if len(a.Els) != len(b.Els) {
+		a, b = matchDegree(ev.params, a, b)
+	}
+	out := NewCiphertext(ev.params, len(a.Els))
+	for i := range a.Els {
+		a.Els[i].AddInto(b.Els[i], out.Els[i])
+	}
+	return out
+}
+
+// Sub returns a - b.
+func (ev *Evaluator) Sub(a, b *Ciphertext) *Ciphertext {
+	if len(a.Els) != len(b.Els) {
+		a, b = matchDegree(ev.params, a, b)
+	}
+	out := NewCiphertext(ev.params, len(a.Els))
+	for i := range a.Els {
+		a.Els[i].SubInto(b.Els[i], out.Els[i])
+	}
+	return out
+}
+
+// Neg returns -a.
+func (ev *Evaluator) Neg(a *Ciphertext) *Ciphertext {
+	out := NewCiphertext(ev.params, len(a.Els))
+	for i := range a.Els {
+		a.Els[i].NegInto(out.Els[i])
+	}
+	return out
+}
+
+func matchDegree(p *Params, a, b *Ciphertext) (*Ciphertext, *Ciphertext) {
+	for len(a.Els) < len(b.Els) {
+		a = a.Clone()
+		a.Els = append(a.Els, poly.NewRNSPoly(p.QMods, p.N()))
+	}
+	for len(b.Els) < len(a.Els) {
+		b = b.Clone()
+		b.Els = append(b.Els, poly.NewRNSPoly(p.QMods, p.N()))
+	}
+	return a, b
+}
+
+// AddPlain returns ct + Δ·m for a plaintext m.
+func (ev *Evaluator) AddPlain(ct *Ciphertext, pt *Plaintext) *Ciphertext {
+	out := ct.Clone()
+	addDeltaM(ev.params, pt, out.Els[0])
+	return out
+}
+
+// MulPlain returns ct·m̃ for a plaintext m (polynomial product with the
+// unscaled message polynomial; noise grows by a factor ≈ t·n·‖m‖).
+func (ev *Evaluator) MulPlain(ct *Ciphertext, pt *Plaintext) *Ciphertext {
+	p := ev.params
+	mHat := poly.NewRNSPoly(p.QMods, p.N())
+	t := p.Cfg.T
+	for i, m := range p.QMods {
+		for c, mc := range pt.Coeffs {
+			mHat.Rows[i].Coeffs[c] = m.Reduce(mc % t)
+		}
+	}
+	p.TrQ.Forward(mHat)
+	out := NewCiphertext(p, len(ct.Els))
+	for i := range ct.Els {
+		tmp := ct.Els[i].Clone()
+		p.TrQ.Forward(tmp)
+		tmp.MulInto(mHat, tmp)
+		p.TrQ.Inverse(tmp)
+		out.Els[i] = tmp
+	}
+	return out
+}
+
+// MulNoRelin computes the degree-2 product of two degree-1 ciphertexts:
+// Lift q→Q of the four input polynomials, NTT-domain tensor product over the
+// extended basis, inverse transform, and Scale Q→q of the three outputs
+// (paper Fig. 2 without the final ReLin).
+func (ev *Evaluator) MulNoRelin(a, b *Ciphertext) *Ciphertext {
+	p := ev.params
+	if len(a.Els) != 2 || len(b.Els) != 2 {
+		panic(fmt.Sprintf("fv: MulNoRelin needs degree-1 ciphertexts, got %d and %d elements", len(a.Els), len(b.Els)))
+	}
+
+	// Lift q → Q: four polynomials gain the p-basis rows (Fig. 2, left).
+	lift := ev.liftFn()
+	a0 := lift(a.Els[0])
+	a1 := lift(a.Els[1])
+	b0 := lift(b.Els[0])
+	b1 := lift(b.Els[1])
+
+	// NTT over the full basis.
+	p.TrFull.Forward(a0)
+	p.TrFull.Forward(a1)
+	p.TrFull.Forward(b0)
+	p.TrFull.Forward(b1)
+
+	// Tensor product: c̃0 = a0·b0, c̃1 = a0·b1 + a1·b0, c̃2 = a1·b1.
+	n := p.N()
+	t0 := poly.NewRNSPoly(p.AllMods, n)
+	t1 := poly.NewRNSPoly(p.AllMods, n)
+	t2 := poly.NewRNSPoly(p.AllMods, n)
+	a0.MulInto(b0, t0)
+	a0.MulInto(b1, t1)
+	a1.MulAddInto(b0, t1)
+	a1.MulInto(b1, t2)
+
+	p.TrFull.Inverse(t0)
+	p.TrFull.Inverse(t1)
+	p.TrFull.Inverse(t2)
+
+	// Scale Q → q (Fig. 2, right).
+	scale := ev.scaleFn()
+	out := &Ciphertext{Els: []poly.RNSPoly{scale(t0), scale(t1), scale(t2)}}
+	return out
+}
+
+// SquareNoRelin computes the degree-2 square of a ciphertext. The tensor is
+// symmetric — c̃0 = a0², c̃1 = 2·a0·a1, c̃2 = a1² — so it needs three
+// coefficient-wise products instead of the general four, one of the
+// hardware-cost trade-offs the paper's Discussion invites ("the design
+// decisions can be tweaked").
+func (ev *Evaluator) SquareNoRelin(a *Ciphertext) *Ciphertext {
+	p := ev.params
+	if len(a.Els) != 2 {
+		panic("fv: SquareNoRelin needs a degree-1 ciphertext")
+	}
+	lift := ev.liftFn()
+	a0 := lift(a.Els[0])
+	a1 := lift(a.Els[1])
+	p.TrFull.Forward(a0)
+	p.TrFull.Forward(a1)
+
+	n := p.N()
+	t0 := poly.NewRNSPoly(p.AllMods, n)
+	t1 := poly.NewRNSPoly(p.AllMods, n)
+	t2 := poly.NewRNSPoly(p.AllMods, n)
+	a0.MulInto(a0, t0)
+	a0.MulInto(a1, t1)
+	t1.AddInto(t1, t1) // 2·a0·a1
+	a1.MulInto(a1, t2)
+
+	p.TrFull.Inverse(t0)
+	p.TrFull.Inverse(t1)
+	p.TrFull.Inverse(t2)
+
+	scale := ev.scaleFn()
+	return &Ciphertext{Els: []poly.RNSPoly{scale(t0), scale(t1), scale(t2)}}
+}
+
+// Square is SquareNoRelin followed by relinearization.
+func (ev *Evaluator) Square(a *Ciphertext, rk *RelinKey) *Ciphertext {
+	return ev.Relinearize(ev.SquareNoRelin(a), rk)
+}
+
+// Relinearize reduces a degree-2 ciphertext back to degree 1 using rk:
+// c̃2 is decomposed into digits, and c0 += SoP(d, rlk0), c1 += SoP(d, rlk1)
+// (paper Sec. II-B ReLin).
+func (ev *Evaluator) Relinearize(ct *Ciphertext, rk *RelinKey) *Ciphertext {
+	p := ev.params
+	if len(ct.Els) != 3 {
+		panic("fv: Relinearize expects a degree-2 ciphertext")
+	}
+	var digits []poly.RNSPoly
+	switch rk.Variant {
+	case HPS:
+		digits = rns.DecomposeRNS(p.QBasis, ct.Els[2])
+	case Traditional:
+		digits = rns.WordDecompose(p.QBasis, ct.Els[2], rk.LogW, rk.Ell)
+	}
+	if len(digits) != len(rk.Rlk0Hat) {
+		panic(fmt.Sprintf("fv: relin key has %d components, decomposition produced %d", len(rk.Rlk0Hat), len(digits)))
+	}
+
+	sop0 := poly.NewRNSPoly(p.QMods, p.N())
+	sop1 := poly.NewRNSPoly(p.QMods, p.N())
+	for i := range digits {
+		p.TrQ.Forward(digits[i])
+		digits[i].MulAddInto(rk.Rlk0Hat[i], sop0)
+		digits[i].MulAddInto(rk.Rlk1Hat[i], sop1)
+	}
+	p.TrQ.Inverse(sop0)
+	p.TrQ.Inverse(sop1)
+
+	out := NewCiphertext(p, 2)
+	ct.Els[0].AddInto(sop0, out.Els[0])
+	ct.Els[1].AddInto(sop1, out.Els[1])
+	return out
+}
+
+// Mul is the full FV.Mult: MulNoRelin followed by Relinearize.
+func (ev *Evaluator) Mul(a, b *Ciphertext, rk *RelinKey) *Ciphertext {
+	return ev.Relinearize(ev.MulNoRelin(a, b), rk)
+}
+
+// Pow raises a ciphertext to the k-th power (k ≥ 1) by square-and-multiply,
+// consuming ⌈log2 k⌉ + popcount(k) - 1 multiplications at multiplicative
+// depth ⌈log2 k⌉ — the building block of the polynomial evaluations in the
+// paper's statistical applications.
+func (ev *Evaluator) Pow(a *Ciphertext, k uint64, rk *RelinKey) *Ciphertext {
+	if k == 0 {
+		panic("fv: Pow exponent must be ≥ 1 (an encryption of 1 needs no ciphertext)")
+	}
+	var result *Ciphertext
+	base := a
+	for {
+		if k&1 == 1 {
+			if result == nil {
+				result = base
+			} else {
+				result = ev.Mul(result, base, rk)
+			}
+		}
+		k >>= 1
+		if k == 0 {
+			return result
+		}
+		base = ev.Square(base, rk)
+	}
+}
+
+func (ev *Evaluator) liftFn() func(poly.RNSPoly) poly.RNSPoly {
+	if ev.variant == Traditional {
+		return ev.params.Lifter.LiftPolyTraditional
+	}
+	return ev.params.Lifter.LiftPoly
+}
+
+func (ev *Evaluator) scaleFn() func(poly.RNSPoly) poly.RNSPoly {
+	if ev.variant == Traditional {
+		return ev.params.Scaler.ScalePolyTraditional
+	}
+	return ev.params.Scaler.ScalePoly
+}

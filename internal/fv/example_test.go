@@ -1,0 +1,67 @@
+package fv_test
+
+import (
+	"fmt"
+
+	"repro/internal/fv"
+	"repro/internal/sampler"
+)
+
+// The examples use the small test parameter set and a fixed seed so their
+// output is deterministic; substitute fv.PaperConfig(t) and
+// sampler.NewRandomPRNG() in real use.
+
+func Example() {
+	params, _ := fv.NewParams(fv.TestConfig(65537))
+	prng := sampler.NewPRNG(1)
+	kg := fv.NewKeyGenerator(params, prng)
+	sk, pk, rk := kg.GenKeys()
+
+	enc := fv.NewEncryptor(params, pk, prng)
+	dec := fv.NewDecryptor(params, sk)
+	encode := fv.NewIntegerEncoder(params)
+	ev := fv.NewEvaluator(params)
+
+	ctA := enc.Encrypt(encode.Encode(21))
+	ctB := enc.Encrypt(encode.Encode(2))
+	product := ev.Mul(ctA, ctB, rk)
+
+	v, _ := encode.Decode(dec.Decrypt(product))
+	fmt.Println(v)
+	// Output: 42
+}
+
+func ExampleBatchEncoder() {
+	t, _ := fv.BatchingPlaintextModulus(256, 20)
+	params, _ := fv.NewParams(fv.TestConfig(t))
+	be, _ := fv.NewBatchEncoder(params)
+
+	prng := sampler.NewPRNG(2)
+	kg := fv.NewKeyGenerator(params, prng)
+	sk, pk, rk := kg.GenKeys()
+	enc := fv.NewEncryptor(params, pk, prng)
+	dec := fv.NewDecryptor(params, sk)
+	ev := fv.NewEvaluator(params)
+
+	a, _ := be.Encode([]uint64{1, 2, 3, 4})
+	b, _ := be.Encode([]uint64{10, 20, 30, 40})
+	prod := ev.Mul(enc.Encrypt(a), enc.Encrypt(b), rk)
+
+	fmt.Println(be.Decode(dec.Decrypt(prod))[:4])
+	// Output: [10 40 90 160]
+}
+
+func ExampleNoiseBudget() {
+	params, _ := fv.NewParams(fv.TestConfig(2))
+	prng := sampler.NewPRNG(3)
+	kg := fv.NewKeyGenerator(params, prng)
+	sk, pk, rk := kg.GenKeys()
+	enc := fv.NewEncryptor(params, pk, prng)
+	ev := fv.NewEvaluator(params)
+
+	ct := enc.Encrypt(fv.NewPlaintext(params))
+	fresh := fv.NoiseBudget(params, sk, ct)
+	after := fv.NoiseBudget(params, sk, ev.Mul(ct, ct, rk))
+	fmt.Println(fresh > after, after > 0)
+	// Output: true true
+}

@@ -1,0 +1,212 @@
+package fv
+
+import (
+	"testing"
+
+	"repro/internal/sampler"
+)
+
+func TestAutomorphismPlainInvolutions(t *testing.T) {
+	p := testParams(t, 65537)
+	n := p.N()
+	pt := NewPlaintext(p)
+	for i := range pt.Coeffs {
+		pt.Coeffs[i] = uint64(i*i+3) % p.T()
+	}
+	// g = 1 is the identity.
+	if !ApplyAutomorphismPlain(p, 1, pt).Equal(pt) {
+		t.Fatal("σ_1 is not the identity")
+	}
+	// σ_g ∘ σ_{g^-1 mod 2n} is the identity.
+	g := 3
+	gInv := modInvInt(g, 2*n)
+	back := ApplyAutomorphismPlain(p, gInv, ApplyAutomorphismPlain(p, g, pt))
+	if !back.Equal(pt) {
+		t.Fatal("σ_g composed with σ_g⁻¹ is not the identity")
+	}
+	// σ_{2n-1} is "conjugation": applying it twice is the identity.
+	conj := 2*n - 1
+	twice := ApplyAutomorphismPlain(p, conj, ApplyAutomorphismPlain(p, conj, pt))
+	if !twice.Equal(pt) {
+		t.Fatal("conjugation squared is not the identity")
+	}
+}
+
+func modInvInt(a, m int) int {
+	for x := 1; x < m; x++ {
+		if a*x%m == 1 {
+			return x
+		}
+	}
+	panic("no inverse")
+}
+
+func TestApplyGaloisDecryptsToAutomorphism(t *testing.T) {
+	p := testParams(t, 65537)
+	prng := sampler.NewPRNG(40)
+	kg := NewKeyGenerator(p, prng)
+	sk, pk, _ := kg.GenKeys()
+	enc := NewEncryptor(p, pk, prng)
+	dec := NewDecryptor(p, sk)
+	ev := NewEvaluator(p)
+
+	pt := NewPlaintext(p)
+	for i := range pt.Coeffs {
+		pt.Coeffs[i] = uint64(7*i+1) % p.T()
+	}
+	ct := enc.Encrypt(pt)
+
+	for _, g := range []int{3, 5, 2*p.N() - 1} {
+		gk := kg.GenGaloisKey(sk, g)
+		rotated := ev.ApplyGalois(ct, gk)
+		got := dec.Decrypt(rotated)
+		want := ApplyAutomorphismPlain(p, g, pt)
+		if !got.Equal(want) {
+			t.Fatalf("g=%d: decrypt(σ_g(ct)) != σ_g(m)", g)
+		}
+		// The key switch must not exhaust the noise budget.
+		if b := NoiseBudget(p, sk, rotated); b <= 0 {
+			t.Fatalf("g=%d: no budget left after key switch", g)
+		}
+	}
+}
+
+func TestGenGaloisKeyValidation(t *testing.T) {
+	p := testParams(t, 65537)
+	kg := NewKeyGenerator(p, sampler.NewPRNG(41))
+	sk := kg.GenSecretKey()
+	for _, bad := range []int{0, 2, 4, 2 * p.N(), -3} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("g=%d should panic", bad)
+				}
+			}()
+			kg.GenGaloisKey(sk, bad)
+		}()
+	}
+}
+
+func TestSlotPermutationRotatesBatchedCiphertext(t *testing.T) {
+	tmod, err := BatchingPlaintextModulus(256, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := testParams(t, tmod)
+	be, err := NewBatchEncoder(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prng := sampler.NewPRNG(42)
+	kg := NewKeyGenerator(p, prng)
+	sk, pk, _ := kg.GenKeys()
+	enc := NewEncryptor(p, pk, prng)
+	dec := NewDecryptor(p, sk)
+	ev := NewEvaluator(p)
+
+	const g = 3
+	perm, err := be.SlotPermutation(p, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// perm must be a permutation of [0, n).
+	seen := make([]bool, p.N())
+	for _, j := range perm {
+		if j < 0 || j >= p.N() || seen[j] {
+			t.Fatal("SlotPermutation is not a permutation")
+		}
+		seen[j] = true
+	}
+
+	// End to end: encrypt a vector, apply σ_g homomorphically, decrypt, and
+	// confirm the slots moved exactly as SlotPermutation predicts.
+	vals := make([]uint64, p.N())
+	for i := range vals {
+		vals[i] = uint64(3*i+5) % tmod
+	}
+	pt, err := be.Encode(vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct := enc.Encrypt(pt)
+	gk := kg.GenGaloisKey(sk, g)
+	rotated := ev.ApplyGalois(ct, gk)
+	got := be.Decode(dec.Decrypt(rotated))
+	for i := range vals {
+		if got[perm[i]] != vals[i] {
+			t.Fatalf("slot %d: expected value %d at slot %d, got %d",
+				i, vals[i], perm[i], got[perm[i]])
+		}
+	}
+}
+
+func TestSlotPermutationValidation(t *testing.T) {
+	tmod, err := BatchingPlaintextModulus(256, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := testParams(t, tmod)
+	be, err := NewBatchEncoder(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := be.SlotPermutation(p, 4); err == nil {
+		t.Fatal("even Galois element accepted")
+	}
+}
+
+func TestSumSlots(t *testing.T) {
+	tmod, err := BatchingPlaintextModulus(256, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := testParams(t, tmod)
+	be, err := NewBatchEncoder(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prng := sampler.NewPRNG(43)
+	kg := NewKeyGenerator(p, prng)
+	sk, pk, _ := kg.GenKeys()
+	enc := NewEncryptor(p, pk, prng)
+	dec := NewDecryptor(p, sk)
+	ev := NewEvaluator(p)
+	keys := kg.SumSlotsKeys(sk)
+
+	vals := make([]uint64, p.N())
+	var want uint64
+	for i := range vals {
+		vals[i] = uint64(3*i + 1)
+		want = (want + vals[i]) % tmod
+	}
+	pt, err := be.Encode(vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	summed := ev.SumSlots(enc.Encrypt(pt), keys)
+	got := be.Decode(dec.Decrypt(summed))
+	for slot, v := range got {
+		if v != want {
+			t.Fatalf("slot %d holds %d, want the total %d", slot, v, want)
+		}
+	}
+	// Budget survives the log n key switches (no multiplications involved).
+	if b := NoiseBudget(p, sk, summed); b <= 0 {
+		t.Fatal("SumSlots exhausted the budget")
+	}
+}
+
+func TestSumSlotsKeyCountGuard(t *testing.T) {
+	p := testParams(t, 65537)
+	prng := sampler.NewPRNG(44)
+	kg := NewKeyGenerator(p, prng)
+	sk, pk, _ := kg.GenKeys()
+	enc := NewEncryptor(p, pk, prng)
+	ct := enc.Encrypt(NewPlaintext(p))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for wrong key count")
+		}
+	}()
+	NewEvaluator(p).SumSlots(ct, []*GaloisKey{kg.GenGaloisKey(sk, 3)})
+}

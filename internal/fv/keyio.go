@@ -1,0 +1,206 @@
+package fv
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/poly"
+)
+
+// Key and parameter serialization. Every file starts with a self-describing
+// header carrying the Config, so the CLI tools can rebuild matching Params
+// without out-of-band coordination. Residues are stored as 32-bit words
+// (the 30-bit primes fit), the same packing the DMA transfers use.
+
+var fileMagic = [4]byte{'F', 'V', 'k', '1'}
+
+// WriteParamsHeader writes the magic and the JSON-encoded configuration.
+func WriteParamsHeader(w io.Writer, params *Params) error {
+	if _, err := w.Write(fileMagic[:]); err != nil {
+		return err
+	}
+	blob, err := json.Marshal(params.Cfg)
+	if err != nil {
+		return err
+	}
+	var n [4]byte
+	binary.LittleEndian.PutUint32(n[:], uint32(len(blob)))
+	if _, err := w.Write(n[:]); err != nil {
+		return err
+	}
+	_, err = w.Write(blob)
+	return err
+}
+
+// ReadParamsHeader reads a header and instantiates the parameters.
+func ReadParamsHeader(r io.Reader) (*Params, error) {
+	var magic [4]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
+		return nil, err
+	}
+	if magic != fileMagic {
+		return nil, fmt.Errorf("fv: not a key file (magic %q)", magic)
+	}
+	var n [4]byte
+	if _, err := io.ReadFull(r, n[:]); err != nil {
+		return nil, err
+	}
+	ln := binary.LittleEndian.Uint32(n[:])
+	if ln > 1<<16 {
+		return nil, fmt.Errorf("fv: implausible header length %d", ln)
+	}
+	blob := make([]byte, ln)
+	if _, err := io.ReadFull(r, blob); err != nil {
+		return nil, err
+	}
+	var cfg Config
+	if err := json.Unmarshal(blob, &cfg); err != nil {
+		return nil, err
+	}
+	return NewParams(cfg)
+}
+
+func writeRNSPoly(w io.Writer, params *Params, p poly.RNSPoly) error {
+	if p.Level() != params.QBasis.K() || p.N() != params.N() {
+		return fmt.Errorf("fv: polynomial shape mismatch on write")
+	}
+	buf := make([]byte, params.N()*4)
+	for _, row := range p.Rows {
+		for i, v := range row.Coeffs {
+			binary.LittleEndian.PutUint32(buf[i*4:], uint32(v))
+		}
+		if _, err := w.Write(buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func readRNSPoly(r io.Reader, params *Params) (poly.RNSPoly, error) {
+	out := poly.NewRNSPoly(params.QMods, params.N())
+	buf := make([]byte, params.N()*4)
+	for ri, m := range params.QMods {
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return poly.RNSPoly{}, err
+		}
+		for i := range out.Rows[ri].Coeffs {
+			v := uint64(binary.LittleEndian.Uint32(buf[i*4:]))
+			if v >= m.Q {
+				return poly.RNSPoly{}, fmt.Errorf("fv: residue %d out of range for modulus %d", v, m.Q)
+			}
+			out.Rows[ri].Coeffs[i] = v
+		}
+	}
+	return out, nil
+}
+
+// WriteSecretKey serializes params + the coefficient-domain secret.
+func WriteSecretKey(w io.Writer, params *Params, sk *SecretKey) error {
+	if err := WriteParamsHeader(w, params); err != nil {
+		return err
+	}
+	return writeRNSPoly(w, params, sk.S)
+}
+
+// ReadSecretKey reads a secret key and its parameters.
+func ReadSecretKey(r io.Reader) (*Params, *SecretKey, error) {
+	params, err := ReadParamsHeader(r)
+	if err != nil {
+		return nil, nil, err
+	}
+	s, err := readRNSPoly(r, params)
+	if err != nil {
+		return nil, nil, err
+	}
+	sHat := s.Clone()
+	params.TrQ.Forward(sHat)
+	return params, &SecretKey{S: s, SHat: sHat}, nil
+}
+
+// WritePublicKey serializes params + the NTT-domain public key pair.
+func WritePublicKey(w io.Writer, params *Params, pk *PublicKey) error {
+	if err := WriteParamsHeader(w, params); err != nil {
+		return err
+	}
+	if err := writeRNSPoly(w, params, pk.P0Hat); err != nil {
+		return err
+	}
+	return writeRNSPoly(w, params, pk.P1Hat)
+}
+
+// ReadPublicKey reads a public key and its parameters.
+func ReadPublicKey(r io.Reader) (*Params, *PublicKey, error) {
+	params, err := ReadParamsHeader(r)
+	if err != nil {
+		return nil, nil, err
+	}
+	p0, err := readRNSPoly(r, params)
+	if err != nil {
+		return nil, nil, err
+	}
+	p1, err := readRNSPoly(r, params)
+	if err != nil {
+		return nil, nil, err
+	}
+	return params, &PublicKey{P0Hat: p0, P1Hat: p1}, nil
+}
+
+// WriteRelinKey serializes params + the relinearization key.
+func WriteRelinKey(w io.Writer, params *Params, rk *RelinKey) error {
+	if err := WriteParamsHeader(w, params); err != nil {
+		return err
+	}
+	var meta [16]byte
+	binary.LittleEndian.PutUint32(meta[:4], uint32(rk.Variant))
+	binary.LittleEndian.PutUint32(meta[4:8], uint32(rk.LogW))
+	binary.LittleEndian.PutUint32(meta[8:12], uint32(rk.Ell))
+	binary.LittleEndian.PutUint32(meta[12:], uint32(len(rk.Rlk0Hat)))
+	if _, err := w.Write(meta[:]); err != nil {
+		return err
+	}
+	for i := range rk.Rlk0Hat {
+		if err := writeRNSPoly(w, params, rk.Rlk0Hat[i]); err != nil {
+			return err
+		}
+		if err := writeRNSPoly(w, params, rk.Rlk1Hat[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadRelinKey reads a relinearization key and its parameters.
+func ReadRelinKey(r io.Reader) (*Params, *RelinKey, error) {
+	params, err := ReadParamsHeader(r)
+	if err != nil {
+		return nil, nil, err
+	}
+	var meta [16]byte
+	if _, err := io.ReadFull(r, meta[:]); err != nil {
+		return nil, nil, err
+	}
+	count := binary.LittleEndian.Uint32(meta[12:])
+	if count == 0 || count > 64 {
+		return nil, nil, fmt.Errorf("fv: implausible relin component count %d", count)
+	}
+	rk := &RelinKey{
+		Variant: LiftScaleVariant(binary.LittleEndian.Uint32(meta[:4])),
+		LogW:    uint(binary.LittleEndian.Uint32(meta[4:8])),
+		Ell:     int(binary.LittleEndian.Uint32(meta[8:12])),
+	}
+	for i := uint32(0); i < count; i++ {
+		p0, err := readRNSPoly(r, params)
+		if err != nil {
+			return nil, nil, err
+		}
+		p1, err := readRNSPoly(r, params)
+		if err != nil {
+			return nil, nil, err
+		}
+		rk.Rlk0Hat = append(rk.Rlk0Hat, p0)
+		rk.Rlk1Hat = append(rk.Rlk1Hat, p1)
+	}
+	return params, rk, nil
+}

@@ -1,0 +1,86 @@
+package fv
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/sampler"
+)
+
+func TestKeySerializationRoundTrip(t *testing.T) {
+	p := testParams(t, 65537)
+	prng := sampler.NewPRNG(30)
+	kg := NewKeyGenerator(p, prng)
+	sk, pk, rk := kg.GenKeys()
+
+	// Secret key.
+	var buf bytes.Buffer
+	if err := WriteSecretKey(&buf, p, sk); err != nil {
+		t.Fatal(err)
+	}
+	p2, sk2, err := ReadSecretKey(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.Cfg != p.Cfg {
+		t.Fatal("config did not round trip")
+	}
+	if !sk2.S.Equal(sk.S) || !sk2.SHat.Equal(sk.SHat) {
+		t.Fatal("secret key did not round trip")
+	}
+
+	// Public key: loaded key must decrypt what the original encrypts (and
+	// vice versa via a fresh encryptor).
+	buf.Reset()
+	if err := WritePublicKey(&buf, p, pk); err != nil {
+		t.Fatal(err)
+	}
+	p3, pk2, err := ReadPublicKey(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pk2.P0Hat.Equal(pk.P0Hat) || !pk2.P1Hat.Equal(pk.P1Hat) {
+		t.Fatal("public key did not round trip")
+	}
+	enc := NewEncryptor(p3, pk2, prng)
+	dec := NewDecryptor(p, sk)
+	pt := NewPlaintext(p)
+	pt.Coeffs[0] = 777
+	if got := dec.Decrypt(enc.Encrypt(pt)); got.Coeffs[0] != 777 {
+		t.Fatal("loaded public key produces undecryptable ciphertexts")
+	}
+
+	// Relin key: a multiplication with the loaded key must match one with
+	// the original.
+	buf.Reset()
+	if err := WriteRelinKey(&buf, p, rk); err != nil {
+		t.Fatal(err)
+	}
+	_, rk2, err := ReadRelinKey(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := NewEvaluator(p)
+	ie := NewIntegerEncoder(p)
+	ca := enc.Encrypt(ie.Encode(21))
+	cb := enc.Encrypt(ie.Encode(2))
+	if !ev.Mul(ca, cb, rk2).Equal(ev.Mul(ca, cb, rk)) {
+		t.Fatal("relin key did not round trip")
+	}
+}
+
+func TestKeyIORejectsGarbage(t *testing.T) {
+	if _, _, err := ReadSecretKey(bytes.NewReader([]byte("not a key file at all"))); err == nil {
+		t.Fatal("garbage accepted as secret key")
+	}
+	// Valid header, truncated body.
+	p := testParams(t, 65537)
+	var buf bytes.Buffer
+	if err := WriteParamsHeader(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	buf.Write([]byte{1, 2, 3})
+	if _, _, err := ReadSecretKey(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("truncated key accepted")
+	}
+}

@@ -1,0 +1,148 @@
+package fv
+
+import (
+	"repro/internal/mp"
+	"repro/internal/poly"
+	"repro/internal/rns"
+	"repro/internal/sampler"
+)
+
+// SecretKey holds the secret polynomial s (signed binary coefficients, as in
+// the paper) in both coefficient and NTT representation over the q basis.
+type SecretKey struct {
+	S    poly.RNSPoly // coefficient domain
+	SHat poly.RNSPoly // NTT domain
+}
+
+// PublicKey is the ring-LWE pair (p0, p1) = (-(a·s + e), a), stored in the
+// NTT domain where encryption consumes it.
+type PublicKey struct {
+	P0Hat poly.RNSPoly
+	P1Hat poly.RNSPoly
+}
+
+// RelinKey is the relinearization key rlk = (rlk0, rlk1): one pair per
+// decomposition digit, stored in the NTT domain. The fast architecture uses
+// the RNS gadget (ℓ = 6 components for the paper set — "each relinearization
+// key is a vector of six polynomials", Sec. VI-C); the traditional
+// architecture uses positional base-w digits with a configurable, typically
+// smaller, ℓ.
+type RelinKey struct {
+	Variant LiftScaleVariant
+	Rlk0Hat []poly.RNSPoly
+	Rlk1Hat []poly.RNSPoly
+	// LogW and Ell describe the positional decomposition when Variant is
+	// Traditional; the RNS variant always has Ell = len(params.QMods).
+	LogW uint
+	Ell  int
+}
+
+// KeyGenerator samples key material deterministically from its PRNG.
+type KeyGenerator struct {
+	params *Params
+	prng   *sampler.PRNG
+	gauss  *sampler.Gaussian
+}
+
+// NewKeyGenerator returns a generator drawing from prng (pass
+// sampler.NewRandomPRNG() for real keys, a fixed seed for reproducibility).
+func NewKeyGenerator(params *Params, prng *sampler.PRNG) *KeyGenerator {
+	return &KeyGenerator{
+		params: params,
+		prng:   prng,
+		gauss:  sampler.NewGaussian(params.Cfg.Sigma),
+	}
+}
+
+// GenSecretKey samples a fresh signed-binary secret.
+func (kg *KeyGenerator) GenSecretKey() *SecretKey {
+	p := kg.params
+	s := sampler.SignedBinaryPoly(kg.prng, p.QMods, p.N())
+	sHat := s.Clone()
+	p.TrQ.Forward(sHat)
+	return &SecretKey{S: s, SHat: sHat}
+}
+
+// GenPublicKey derives a public key for sk.
+func (kg *KeyGenerator) GenPublicKey(sk *SecretKey) *PublicKey {
+	p := kg.params
+	a := sampler.UniformPoly(kg.prng, p.QMods, p.N())
+	e := kg.gauss.SamplePoly(kg.prng, p.QMods, p.N())
+
+	aHat := a.Clone()
+	p.TrQ.Forward(aHat)
+	// p0 = -(a·s + e): compute a·s in the NTT domain, return to
+	// coefficients to add e, then store in NTT domain.
+	as := poly.NewRNSPoly(p.QMods, p.N())
+	aHat.MulInto(sk.SHat, as)
+	p.TrQ.Inverse(as)
+	as.AddInto(e, as)
+	as.NegInto(as)
+	p.TrQ.Forward(as)
+	return &PublicKey{P0Hat: as, P1Hat: aHat}
+}
+
+// GenRelinKey derives a relinearization key for sk in the given variant.
+// For HPS the decomposition is the RNS gadget g_i = q*_i; for Traditional it
+// is the positional base-2^logW gadget w^i with ell digits.
+func (kg *KeyGenerator) GenRelinKey(sk *SecretKey, variant LiftScaleVariant, logW uint, ell int) *RelinKey {
+	p := kg.params
+	n := p.N()
+	// s² in the NTT domain.
+	s2Hat := poly.NewRNSPoly(p.QMods, n)
+	sk.SHat.MulInto(sk.SHat, s2Hat)
+
+	var gadgets []poly.RNSPoly // per-digit scalar rows g_i (degree-0)
+	switch variant {
+	case HPS:
+		gadgets = rns.GadgetRNS(p.QBasis)
+		ell = p.QBasis.K()
+		logW = 0
+	case Traditional:
+		gadgets = make([]poly.RNSPoly, ell)
+		for i := 0; i < ell; i++ {
+			gadgets[i] = poly.NewRNSPoly(p.QMods, 1)
+			for j, mj := range p.QMods {
+				// w^i mod q_j; w = 2^logW can exceed a word for wide digit
+				// bases, so reduce the shift through mp first.
+				w := mp.NewNat(1).Shl(logW).ModWord(mj.Q)
+				gadgets[i].Rows[j].Coeffs[0] = mj.Pow(w, uint64(i))
+			}
+		}
+	}
+
+	rk := &RelinKey{Variant: variant, LogW: logW, Ell: ell}
+	for i := 0; i < ell; i++ {
+		a := sampler.UniformPoly(kg.prng, p.QMods, n)
+		e := kg.gauss.SamplePoly(kg.prng, p.QMods, n)
+		aHat := a.Clone()
+		p.TrQ.Forward(aHat)
+
+		// rlk0_i = -(a·s + e) + g_i·s².
+		body := poly.NewRNSPoly(p.QMods, n)
+		aHat.MulInto(sk.SHat, body)
+		p.TrQ.Inverse(body)
+		body.AddInto(e, body)
+		body.NegInto(body)
+		for j := range p.QMods {
+			gs := poly.NewPoly(p.QMods[j], n)
+			// g_i·s² has NTT rows s2Hat scaled by the row constant; bring it
+			// back to coefficients before the addition.
+			s2Hat.Rows[j].ScalarMulInto(gadgets[i].Rows[j].Coeffs[0], gs)
+			p.TrQ.Tables[j].Inverse(gs.Coeffs)
+			body.Rows[j].AddInto(gs, body.Rows[j])
+		}
+		p.TrQ.Forward(body)
+		rk.Rlk0Hat = append(rk.Rlk0Hat, body)
+		rk.Rlk1Hat = append(rk.Rlk1Hat, aHat)
+	}
+	return rk
+}
+
+// GenKeys is the common bundle: secret, public, and an HPS relin key.
+func (kg *KeyGenerator) GenKeys() (*SecretKey, *PublicKey, *RelinKey) {
+	sk := kg.GenSecretKey()
+	pk := kg.GenPublicKey(sk)
+	rk := kg.GenRelinKey(sk, HPS, 0, 0)
+	return sk, pk, rk
+}

@@ -1,0 +1,76 @@
+package fv
+
+import (
+	"repro/internal/poly"
+	"repro/internal/rns"
+	"repro/internal/sampler"
+)
+
+// General key switching: re-encrypt a ciphertext from one secret key to
+// another without decrypting. Relinearization (s² → s) and Galois key
+// switching (σ_g(s) → s) are special cases of the same gadget construction;
+// this exported general form additionally enables proxy re-encryption-style
+// handovers between tenants of the cloud service.
+
+// SwitchKey re-encrypts ciphertexts from the key that generated it to the
+// key skTo embedded at generation time.
+type SwitchKey struct {
+	Ks0Hat []poly.RNSPoly
+	Ks1Hat []poly.RNSPoly
+}
+
+// GenSwitchKey derives a key switching ciphertexts from skFrom to skTo:
+// component i encrypts g_i·s_from under s_to.
+func (kg *KeyGenerator) GenSwitchKey(skFrom, skTo *SecretKey) *SwitchKey {
+	p := kg.params
+	n := p.N()
+	gadgets := rns.GadgetRNS(p.QBasis)
+	sw := &SwitchKey{}
+	for i := 0; i < p.QBasis.K(); i++ {
+		a := sampler.UniformPoly(kg.prng, p.QMods, n)
+		e := kg.gauss.SamplePoly(kg.prng, p.QMods, n)
+		aHat := a.Clone()
+		p.TrQ.Forward(aHat)
+
+		// ks0_i = -(a·s_to + e) + g_i·s_from.
+		body := poly.NewRNSPoly(p.QMods, n)
+		aHat.MulInto(skTo.SHat, body)
+		p.TrQ.Inverse(body)
+		body.AddInto(e, body)
+		body.NegInto(body)
+		for j := range p.QMods {
+			gs := poly.NewPoly(p.QMods[j], n)
+			skFrom.SHat.Rows[j].ScalarMulInto(gadgets[i].Rows[j].Coeffs[0], gs)
+			p.TrQ.Tables[j].Inverse(gs.Coeffs)
+			body.Rows[j].AddInto(gs, body.Rows[j])
+		}
+		p.TrQ.Forward(body)
+		sw.Ks0Hat = append(sw.Ks0Hat, body)
+		sw.Ks1Hat = append(sw.Ks1Hat, aHat)
+	}
+	return sw
+}
+
+// SwitchKey re-encrypts ct (valid under the switch key's source secret) to
+// the destination secret: c0' = c0 + SoP(D(c1), ks0), c1' = SoP(D(c1), ks1).
+func (ev *Evaluator) SwitchKey(ct *Ciphertext, sw *SwitchKey) *Ciphertext {
+	p := ev.params
+	if len(ct.Els) != 2 {
+		panic("fv: SwitchKey expects a degree-1 ciphertext")
+	}
+	digits := rns.DecomposeRNS(p.QBasis, ct.Els[1])
+	sop0 := poly.NewRNSPoly(p.QMods, p.N())
+	sop1 := poly.NewRNSPoly(p.QMods, p.N())
+	for i := range digits {
+		p.TrQ.Forward(digits[i])
+		digits[i].MulAddInto(sw.Ks0Hat[i], sop0)
+		digits[i].MulAddInto(sw.Ks1Hat[i], sop1)
+	}
+	p.TrQ.Inverse(sop0)
+	p.TrQ.Inverse(sop1)
+
+	out := NewCiphertext(p, 2)
+	ct.Els[0].AddInto(sop0, out.Els[0])
+	out.Els[1] = sop1
+	return out
+}

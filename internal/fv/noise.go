@@ -1,0 +1,45 @@
+package fv
+
+import (
+	"repro/internal/mp"
+)
+
+// NoiseBudget returns the invariant-noise budget of ct in bits, measured
+// with the secret key: with x = c0 + c1·s (+ c2·s²) and per-coefficient
+// residuals w = t·x̂ - q·round(t·x̂/q), the invariant noise is
+// v = max|w|/q and the budget is ⌊log2(q) - 1 - log2(max|w|)⌋. Decryption
+// is correct while the budget is positive; each homomorphic multiplication
+// consumes roughly log2(2·t·n) bits, which is what makes the paper's
+// depth-4 target need a 180-bit q (Sec. III-A).
+func NoiseBudget(params *Params, sk *SecretKey, ct *Ciphertext) int {
+	d := &Decryptor{params: params, sk: sk}
+	x := d.innerPoly(ct)
+	q := params.QBasis.Product
+	t := params.Cfg.T
+	res := make([]uint64, params.QBasis.K())
+	maxBits := 0
+	for c := 0; c < params.N(); c++ {
+		for i := range x.Rows {
+			res[i] = x.Rows[i].Coeffs[c]
+		}
+		mag, _ := params.QBasis.ReconstructCentered(res)
+		tx := mag.MulWord(t)
+		rounded := params.decryptRecip.DivRound(tx)
+		// |w| = |t·x̂ - q·round|, identical for either sign of x̂.
+		qr := rounded.Mul(q)
+		var w mp.Nat
+		if tx.Cmp(qr) >= 0 {
+			w = tx.Sub(qr)
+		} else {
+			w = qr.Sub(tx)
+		}
+		if b := w.BitLen(); b > maxBits {
+			maxBits = b
+		}
+	}
+	budget := q.BitLen() - 1 - maxBits
+	if budget < 0 {
+		budget = 0
+	}
+	return budget
+}

@@ -1,0 +1,100 @@
+package fv
+
+import "math"
+
+// Analytic noise model: conservative invariant-noise bounds for each
+// homomorphic operation, in "budget bits" (log2(q/t) minus log2 of the
+// noise bound). The model lets applications plan circuits — e.g. verify a
+// depth-4 workload fits the paper's parameter set — without a secret key,
+// complementing the measured NoiseBudget. The bounds follow the standard FV
+// analysis (Fan–Vercauteren 2012, with the HPS variant's small additive
+// terms folded into constants), so predictions are guaranteed-safe: the
+// measured budget is never below the predicted one, which
+// TestNoiseModelIsSafe asserts operation by operation.
+type NoiseModel struct {
+	params *Params
+	logQ   float64
+	logT   float64
+	n      float64
+	sigma  float64
+}
+
+// NewNoiseModel builds a model for the parameter set.
+func NewNoiseModel(params *Params) *NoiseModel {
+	return &NoiseModel{
+		params: params,
+		logQ:   float64(params.LogQ()),
+		logT:   math.Log2(float64(params.Cfg.T)),
+		n:      float64(params.N()),
+		sigma:  params.Cfg.Sigma,
+	}
+}
+
+// budget converts a log2 noise bound to non-negative budget bits.
+func (m *NoiseModel) budget(logNoise float64) float64 {
+	b := -logNoise - 1 // decryption is correct while |v| < 1/2
+	if b < 0 {
+		return 0
+	}
+	return b
+}
+
+// Fresh predicts the budget of a public-key encryption: the invariant noise
+// is bounded by (t/q)·(B·(2n·‖u‖ + 1) + 1) with B = 6σ the error tail bound
+// and ‖u‖ = 1 for signed-binary u.
+func (m *NoiseModel) Fresh() float64 {
+	bound := 6 * m.sigma * (2*m.n + 1)
+	return m.budget(m.logT - m.logQ + math.Log2(bound))
+}
+
+// AfterAdd predicts the budget after adding two ciphertexts with the given
+// budgets: noises add, costing at most one bit off the weaker operand.
+func (m *NoiseModel) AfterAdd(budgetA, budgetB float64) float64 {
+	b := math.Min(budgetA, budgetB) - 1
+	if b < 0 {
+		return 0
+	}
+	return b
+}
+
+// AfterMul predicts the budget after multiplying (and relinearizing with
+// the RNS gadget). The dominant FV term scales the operand noises by
+// ≈ t·(4n + something small); relinearization adds (t/q)·ℓ·w·n·B, which the
+// paper's 180-bit q renders negligible but the model keeps.
+func (m *NoiseModel) AfterMul(budgetA, budgetB float64) float64 {
+	// Noise after mul: v ≈ t·2n·(v_a + v_b) + t²·n/q-ish cross terms.
+	growth := m.logT + math.Log2(8*m.n)
+	vOut := -math.Min(budgetA, budgetB) - 1 + growth
+	// Relinearization additive term: (t/q)·ℓ·w·n·B.
+	ell := float64(m.params.QBasis.K())
+	w := math.Exp2(30)
+	relin := m.logT - m.logQ + math.Log2(ell*w*m.n*6*m.sigma)
+	vTotal := math.Max(vOut, relin) + 1 // +1: sum of the two contributions
+	return m.budget(vTotal)
+}
+
+// AfterGalois predicts the budget after a Galois key switch: the automorphism
+// itself is noise-neutral and the key switch adds the same additive term as
+// relinearization.
+func (m *NoiseModel) AfterGalois(budget float64) float64 {
+	ell := float64(m.params.QBasis.K())
+	w := math.Exp2(30)
+	relin := m.logT - m.logQ + math.Log2(ell*w*m.n*6*m.sigma)
+	v := math.Max(-budget-1, relin) + 1
+	return m.budget(v)
+}
+
+// MaxDepth predicts the supported multiplicative depth for fresh inputs.
+func (m *NoiseModel) MaxDepth() int {
+	b := m.Fresh()
+	depth := 0
+	for depth < 64 {
+		nb := m.AfterMul(b, b)
+		if nb <= 0 {
+			return depth
+		}
+		b = nb
+		depth++
+	}
+	return depth
+}

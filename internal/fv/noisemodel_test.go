@@ -1,0 +1,104 @@
+package fv
+
+import (
+	"testing"
+
+	"repro/internal/sampler"
+)
+
+// TestNoiseModelIsSafe checks the defining property of the analytic model:
+// the measured budget is never below the prediction, at every step of a
+// computation chain, while the prediction stays within a sane distance
+// (conservative, not useless).
+func TestNoiseModelIsSafe(t *testing.T) {
+	const tmod = 257
+	p := testParams(t, tmod)
+	model := NewNoiseModel(p)
+	prng := sampler.NewPRNG(80)
+	kg := NewKeyGenerator(p, prng)
+	sk, pk, rk := kg.GenKeys()
+	enc := NewEncryptor(p, pk, prng)
+	ev := NewEvaluator(p)
+
+	a := NewPlaintext(p)
+	a.Coeffs[0] = 3
+	ctA := enc.Encrypt(a)
+	ctB := enc.Encrypt(a)
+
+	check := func(step string, predicted float64, ct *Ciphertext) {
+		t.Helper()
+		measured := float64(NoiseBudget(p, sk, ct))
+		if measured < predicted {
+			t.Fatalf("%s: measured budget %.0f below prediction %.1f (model unsafe)",
+				step, measured, predicted)
+		}
+		if measured-predicted > 40 {
+			t.Errorf("%s: prediction %.1f is uselessly loose (measured %.0f)",
+				step, predicted, measured)
+		}
+	}
+
+	pFresh := model.Fresh()
+	check("fresh", pFresh, ctA)
+
+	sum := ev.Add(ctA, ctB)
+	pAdd := model.AfterAdd(pFresh, pFresh)
+	check("add", pAdd, sum)
+
+	prod := ev.Mul(ctA, ctB, rk)
+	pMul := model.AfterMul(pFresh, pFresh)
+	check("mul", pMul, prod)
+
+	prod2 := ev.Mul(prod, sum, rk)
+	pMul2 := model.AfterMul(pMul, pAdd)
+	check("mul-of-mul", pMul2, prod2)
+}
+
+func TestNoiseModelGaloisSafe(t *testing.T) {
+	const tmod = 65537
+	p := testParams(t, tmod)
+	model := NewNoiseModel(p)
+	prng := sampler.NewPRNG(81)
+	kg := NewKeyGenerator(p, prng)
+	sk, pk, _ := kg.GenKeys()
+	enc := NewEncryptor(p, pk, prng)
+	ev := NewEvaluator(p)
+	gk := kg.GenGaloisKey(sk, 3)
+
+	ct := enc.Encrypt(NewPlaintext(p))
+	rot := ev.ApplyGalois(ct, gk)
+	predicted := model.AfterGalois(model.Fresh())
+	if measured := float64(NoiseBudget(p, sk, rot)); measured < predicted {
+		t.Fatalf("galois: measured %.0f below predicted %.1f", measured, predicted)
+	}
+}
+
+func TestNoiseModelDepthConsistent(t *testing.T) {
+	// The model's depth must agree with the coarse SupportedDepth estimate
+	// within a couple of levels, and the paper set must support depth ≥ 4.
+	p := testParams(t, 2)
+	model := NewNoiseModel(p)
+	d1 := model.MaxDepth()
+	d2 := p.SupportedDepth()
+	if d1 < d2-2 || d1 > d2+2 {
+		t.Fatalf("model depth %d vs heuristic depth %d", d1, d2)
+	}
+	if testing.Short() {
+		return
+	}
+	paper := MustParams(PaperConfig(2))
+	if d := NewNoiseModel(paper).MaxDepth(); d < 4 {
+		t.Fatalf("paper parameters must support depth 4, model says %d", d)
+	}
+}
+
+func TestNoiseModelClamping(t *testing.T) {
+	p := testParams(t, 257)
+	m := NewNoiseModel(p)
+	if m.AfterAdd(0, 0) != 0 {
+		t.Fatal("exhausted budgets must clamp at 0")
+	}
+	if m.AfterMul(0, 0) != 0 {
+		t.Fatal("multiplying exhausted ciphertexts predicts positive budget")
+	}
+}

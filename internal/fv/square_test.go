@@ -1,0 +1,90 @@
+package fv
+
+import (
+	"testing"
+
+	"repro/internal/sampler"
+)
+
+func TestSquareMatchesMul(t *testing.T) {
+	const tmod = 257
+	p := testParams(t, tmod)
+	prng := sampler.NewPRNG(100)
+	kg := NewKeyGenerator(p, prng)
+	sk, pk, rk := kg.GenKeys()
+	enc := NewEncryptor(p, pk, prng)
+	dec := NewDecryptor(p, sk)
+	ev := NewEvaluator(p)
+
+	a := NewPlaintext(p)
+	a.Coeffs[0], a.Coeffs[1], a.Coeffs[5] = 4, 2, 9
+	ct := enc.Encrypt(a)
+
+	// Square and the general Mul produce bit-identical ciphertexts: the
+	// symmetric tensor computes exactly the same three polynomials.
+	sq := ev.Square(ct, rk)
+	mul := ev.Mul(ct, ct, rk)
+	if !sq.Equal(mul) {
+		t.Fatal("Square(ct) != Mul(ct, ct)")
+	}
+	// And decrypts to the plaintext square: (4 + 2x + 9x^5)².
+	got := dec.Decrypt(sq)
+	if got.Coeffs[0] != 16 || got.Coeffs[1] != 16 || got.Coeffs[2] != 4 {
+		t.Fatalf("square decrypt prefix %v", got.Coeffs[:3])
+	}
+	if got.Coeffs[5] != 72 || got.Coeffs[6] != 36 || got.Coeffs[10] != 81 {
+		t.Fatalf("square decrypt tail %v %v %v", got.Coeffs[5], got.Coeffs[6], got.Coeffs[10])
+	}
+}
+
+func TestSquareNoRelinDegree(t *testing.T) {
+	p := testParams(t, 257)
+	prng := sampler.NewPRNG(101)
+	kg := NewKeyGenerator(p, prng)
+	_, pk, _ := kg.GenKeys()
+	enc := NewEncryptor(p, pk, prng)
+	ct := enc.Encrypt(NewPlaintext(p))
+	if d := NewEvaluator(p).SquareNoRelin(ct).Degree(); d != 2 {
+		t.Fatalf("square degree %d", d)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on degree-2 input")
+		}
+	}()
+	NewEvaluator(p).SquareNoRelin(NewCiphertext(p, 3))
+}
+
+func TestPow(t *testing.T) {
+	const tmod = 65537
+	p := testParams(t, tmod)
+	prng := sampler.NewPRNG(102)
+	kg := NewKeyGenerator(p, prng)
+	sk, pk, rk := kg.GenKeys()
+	enc := NewEncryptor(p, pk, prng)
+	dec := NewDecryptor(p, sk)
+	ev := NewEvaluator(p)
+
+	three := NewPlaintext(p)
+	three.Coeffs[0] = 3
+	ct := enc.Encrypt(three)
+	// The test parameters support depth 2, so exponents up to 4 (3^5 would
+	// chain a depth-0 and a depth-2 ciphertext into depth 3 and exhaust the
+	// budget — verified separately in TestNoiseExhaustionBreaksDecryption).
+	for _, k := range []uint64{1, 2, 3, 4} {
+		got := dec.Decrypt(ev.Pow(ct, k, rk)).Coeffs[0]
+		want := uint64(1)
+		for i := uint64(0); i < k; i++ {
+			want = want * 3 % tmod
+		}
+		if got != want {
+			t.Fatalf("3^%d = %d, want %d", k, got, want)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Pow(ct, 0) should panic")
+		}
+	}()
+	ev.Pow(ct, 0, rk)
+}

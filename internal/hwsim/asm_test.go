@@ -1,0 +1,106 @@
+package hwsim
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestAssembleRoundTrip(t *testing.T) {
+	src := strings.Join([]string{
+		"; a fragment of the Mult pipeline",
+		"lift  s0",
+		"rearr s0 [Q]",
+		"ntt   s0 [Q]",
+		"rearr s0 [P]",
+		"ntt   s0 [P]",
+		"cmul  s4, s0, s2 [P]",
+		"cadd  s4, s4, s3 [Q]",
+		"csub  s5, s4, s3 [Q]",
+		"cmac  s5, s0, s2 [Q]",
+		"wdec  s9, s8, #3",
+		"intt  s4 [P]",
+		"scale s8, s4",
+		"dma   98304",
+	}, "\n")
+	prog, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Steps) != 13 {
+		t.Fatalf("assembled %d steps, want 13", len(prog.Steps))
+	}
+	if err := ValidateProgram(prog, 16); err != nil {
+		t.Fatal(err)
+	}
+	// Disassemble and re-assemble: must be a fixed point.
+	text := DisasmProgram(prog)
+	prog2, err := Assemble(text)
+	if err != nil {
+		t.Fatalf("re-assembly failed: %v\n%s", err, text)
+	}
+	if DisasmProgram(prog2) != text {
+		t.Fatal("assembly/disassembly is not a fixed point")
+	}
+	// Spot checks.
+	in := prog.Steps[5].Instr
+	if in.Op != OpCMul || in.Dst != 4 || in.A != 0 || in.B != 2 || in.Batch != BatchP {
+		t.Fatalf("cmul parsed wrong: %+v", in)
+	}
+	if prog.Steps[12].Transfer == nil || prog.Steps[12].Transfer.Bytes != 98304 {
+		t.Fatal("dma parsed wrong")
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	bad := []string{
+		"frobnicate s0",    // unknown mnemonic
+		"ntt",              // missing operand
+		"ntt s0, s1",       // too many operands
+		"cmul s0, s1",      // too few operands
+		"ntt x0",           // bad slot syntax
+		"ntt s999",         // slot out of range
+		"ntt s0 [X]",       // bad batch
+		"wdec s0, s1, s2",  // digit must be immediate
+		"wdec s0, s1, #-1", // bad digit
+		"dma -5",           // negative transfer
+		"dma many",         // non-numeric transfer
+		"scale s0, s1, s2", // wrong arity
+		"lift s0, s1",      // wrong arity
+	}
+	for _, src := range bad {
+		if _, err := Assemble(src); err == nil {
+			t.Errorf("%q assembled without error", src)
+		}
+	}
+}
+
+func TestAssembledProgramExecutes(t *testing.T) {
+	c := testCoproc(t, 64, VariantHPS)
+	prog, err := Assemble(`
+		; lift operand 0, transform batch Q, inverse, restore
+		lift  s0
+		rearr s0 [Q]
+		ntt   s0 [Q]
+		intt  s0 [Q]
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	polys := randRows(rand.New(rand.NewSource(77)), c.Mods[:c.KQ], 64)
+	c.LoadSlotCoeff(0, 0, polys)
+	total, err := c.Run(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total == 0 {
+		t.Fatal("program consumed no cycles")
+	}
+	// NTT then INTT leaves the q rows unchanged.
+	got := c.ReadSlot(0, 0, c.KQ)
+	for i := range polys {
+		if !got[i].Equal(polys[i]) {
+			t.Fatal("assembled round-trip program corrupted the data")
+		}
+	}
+}

@@ -1,0 +1,387 @@
+package hwsim
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/poly"
+	"repro/internal/ring"
+	"repro/internal/rns"
+)
+
+// domainTag tracks whether a residue row currently holds coefficient- or
+// NTT-domain data. Real hardware has no such tag; the simulator uses it to
+// catch scheduler bugs (e.g. multiplying a transformed row by an
+// untransformed one) instead of silently computing garbage.
+type domainTag uint8
+
+const (
+	domEmpty domainTag = iota
+	domCoeff
+	domNTT
+)
+
+// slot is one entry of the co-processor's memory file: space for a full
+// extended-basis polynomial (residue rows are allocated on first write).
+type slot struct {
+	rows   []poly.Poly
+	domain []domainTag
+}
+
+// Stats accumulates per-opcode call counts and cycles — the raw material of
+// the paper's Table II — plus DMA transfer time.
+type Stats struct {
+	PerOp           map[Op]*OpStat
+	TransferSeconds float64
+	TransferCalls   int
+	Total           Cycles
+}
+
+// OpStat is the per-opcode aggregate.
+type OpStat struct {
+	Calls       int
+	TotalCycles Cycles
+}
+
+// PerCall returns the average cycles per call.
+func (s *OpStat) PerCall() Cycles {
+	if s.Calls == 0 {
+		return 0
+	}
+	return s.TotalCycles / Cycles(s.Calls)
+}
+
+// Ops returns the opcodes seen, in a stable order.
+func (s *Stats) Ops() []Op {
+	var ops []Op
+	for op := range s.PerOp {
+		ops = append(ops, op)
+	}
+	sort.Slice(ops, func(i, j int) bool { return ops[i] < ops[j] })
+	return ops
+}
+
+// Coprocessor is the instruction-set co-processor of the paper's Fig. 10:
+// a memory file, seven (in the paper's configuration) RPAUs serving the
+// 6+7 RNS primes in two batches, and the parallel Lift/Scale cores. It
+// executes programs functionally while accounting cycles.
+type Coprocessor struct {
+	Mods    []ring.Modulus // q primes then p primes
+	KQ, KP  int
+	N       int
+	Variant Variant
+	Timing  Timing
+
+	RPAUs  []*RPAU
+	LiftU  *LiftUnit
+	ScaleU *ScaleUnit
+	DMAEng DMA
+
+	slots []slot
+	Stats *Stats
+}
+
+// NewCoprocessor builds a co-processor over the given bases. slotCount sizes
+// the memory file (the paper provisions enough on-chip memory for two
+// operand ciphertexts and all Mult intermediates; 24 slots suffice for the
+// scheduler in internal/sched).
+func NewCoprocessor(qmods, pmods []ring.Modulus, n int,
+	ext *rns.Extender, sc *rns.ScaleRounder,
+	variant Variant, timing Timing, slotCount int) (*Coprocessor, error) {
+
+	kq, kp := len(qmods), len(pmods)
+	if kq == 0 || kp == 0 {
+		return nil, fmt.Errorf("hwsim: need both q and p primes")
+	}
+	all := append(append([]ring.Modulus(nil), qmods...), pmods...)
+	c := &Coprocessor{
+		Mods: all, KQ: kq, KP: kp, N: n,
+		Variant: variant, Timing: timing,
+		LiftU:  NewLiftUnit(ext, n, timing),
+		ScaleU: NewScaleUnit(sc, n, timing),
+		DMAEng: DMA{Timing: timing},
+		slots:  make([]slot, slotCount),
+		Stats:  &Stats{PerOp: map[Op]*OpStat{}},
+	}
+	// RPAU sharing per Sec. V-A1: RPAU i serves q_i and q_{kq+i}; with
+	// kp = kq+1 the last RPAU serves only the final p prime.
+	numRPAU := kq
+	if kp > numRPAU {
+		numRPAU = kp
+	}
+	for i := 0; i < numRPAU; i++ {
+		var served []ring.Modulus
+		if i < kq {
+			served = append(served, qmods[i])
+		}
+		if i < kp {
+			served = append(served, pmods[i])
+		}
+		r, err := NewRPAU(i, n, served, timing)
+		if err != nil {
+			return nil, err
+		}
+		c.RPAUs = append(c.RPAUs, r)
+	}
+	return c, nil
+}
+
+// NumRPAUs returns the RPAU count (⌈13/2⌉ = 7 for the paper set).
+func (c *Coprocessor) NumRPAUs() int { return len(c.RPAUs) }
+
+// batchRange returns the prime-index range [lo, hi) of a batch.
+func (c *Coprocessor) batchRange(b Batch) (int, int) {
+	if b == BatchQ {
+		return 0, c.KQ
+	}
+	return c.KQ, c.KQ + c.KP
+}
+
+// rpauFor returns the RPAU serving prime index j.
+func (c *Coprocessor) rpauFor(j int) *RPAU {
+	if j < c.KQ {
+		return c.RPAUs[j]
+	}
+	return c.RPAUs[j-c.KQ]
+}
+
+func (c *Coprocessor) slotAt(i uint8) *slot {
+	if int(i) >= len(c.slots) {
+		panic(fmt.Sprintf("hwsim: slot %d out of range (memory file has %d)", i, len(c.slots)))
+	}
+	return &c.slots[i]
+}
+
+func (c *Coprocessor) ensureRows(s *slot) {
+	if s.rows == nil {
+		s.rows = make([]poly.Poly, c.KQ+c.KP)
+		s.domain = make([]domainTag, c.KQ+c.KP)
+	}
+}
+
+func (c *Coprocessor) row(s *slot, j int) poly.Poly {
+	c.ensureRows(s)
+	if s.rows[j].Coeffs == nil {
+		s.rows[j] = poly.NewPoly(c.Mods[j], c.N)
+	}
+	return s.rows[j]
+}
+
+// LoadSlot writes residue rows [lo, lo+len(rows)) of a slot directly (host
+// view; DMA timing is charged by the Transfer steps the scheduler emits).
+func (c *Coprocessor) LoadSlot(idx uint8, lo int, rows []poly.Poly, d domainTag) {
+	s := c.slotAt(idx)
+	c.ensureRows(s)
+	for i, r := range rows {
+		j := lo + i
+		if r.Mod.Q != c.Mods[j].Q {
+			panic("hwsim: LoadSlot modulus mismatch")
+		}
+		s.rows[j] = r.Clone()
+		s.domain[j] = d
+	}
+}
+
+// LoadSlotCoeff loads coefficient-domain rows starting at prime index lo.
+func (c *Coprocessor) LoadSlotCoeff(idx uint8, lo int, rows []poly.Poly) {
+	c.LoadSlot(idx, lo, rows, domCoeff)
+}
+
+// LoadSlotNTT loads NTT-domain rows starting at prime index lo.
+func (c *Coprocessor) LoadSlotNTT(idx uint8, lo int, rows []poly.Poly) {
+	c.LoadSlot(idx, lo, rows, domNTT)
+}
+
+// ReadSlot returns copies of residue rows [lo, hi) of a slot.
+func (c *Coprocessor) ReadSlot(idx uint8, lo, hi int) []poly.Poly {
+	s := c.slotAt(idx)
+	c.ensureRows(s)
+	out := make([]poly.Poly, 0, hi-lo)
+	for j := lo; j < hi; j++ {
+		out = append(out, c.row(s, j).Clone())
+	}
+	return out
+}
+
+// ClearSlots wipes the memory file (between independent operations).
+func (c *Coprocessor) ClearSlots() {
+	for i := range c.slots {
+		c.slots[i] = slot{}
+	}
+}
+
+// ResetStats zeroes the statistics.
+func (c *Coprocessor) ResetStats() {
+	c.Stats = &Stats{PerOp: map[Op]*OpStat{}}
+}
+
+// Run executes a program and returns its total duration in FPGA cycles
+// (instructions plus DMA steps).
+func (c *Coprocessor) Run(p *Program) (Cycles, error) {
+	var total Cycles
+	for _, st := range p.Steps {
+		switch {
+		case st.Instr != nil:
+			cyc, err := c.Exec(*st.Instr)
+			if err != nil {
+				return total, err
+			}
+			total += cyc
+		case st.Transfer != nil:
+			total += c.Transfer(*st.Transfer)
+		}
+	}
+	return total, nil
+}
+
+// Transfer charges a DMA transfer and returns its FPGA-cycle duration.
+func (c *Coprocessor) Transfer(t Transfer) Cycles {
+	sec := c.DMAEng.Seconds(t)
+	c.Stats.TransferSeconds += sec
+	c.Stats.TransferCalls++
+	cyc := Cycles(sec * FPGAClockHz)
+	c.Stats.Total += cyc
+	return cyc
+}
+
+// Exec executes one instruction and returns its FPGA-cycle duration
+// (compute plus dispatch overhead).
+func (c *Coprocessor) Exec(in Instr) (Cycles, error) {
+	var cyc Cycles
+	switch in.Op {
+	case OpNTT, OpINTT:
+		lo, hi := c.batchRange(in.Batch)
+		s := c.slotAt(in.A)
+		want, set := domCoeff, domNTT
+		if in.Op == OpINTT {
+			want, set = domNTT, domCoeff
+		}
+		var unitCycles Cycles
+		for j := lo; j < hi; j++ {
+			if s.domain != nil && s.domain[j] != domEmpty && s.domain[j] != want {
+				return 0, fmt.Errorf("hwsim: %v on slot %d row %d in wrong domain", in.Op, in.A, j)
+			}
+			row := c.row(s, j)
+			if in.Op == OpNTT {
+				unitCycles = c.rpauFor(j).NTT(row)
+			} else {
+				unitCycles = c.rpauFor(j).INTT(row)
+			}
+			s.domain[j] = set
+		}
+		cyc = unitCycles // RPAUs run in parallel: one unit's latency
+
+	case OpCMul, OpCAdd, OpCSub, OpCMac:
+		lo, hi := c.batchRange(in.Batch)
+		sa, sb, sd := c.slotAt(in.A), c.slotAt(in.B), c.slotAt(in.Dst)
+		var unitCycles Cycles
+		for j := lo; j < hi; j++ {
+			a, b, d := c.row(sa, j), c.row(sb, j), c.row(sd, j)
+			r := c.rpauFor(j)
+			switch in.Op {
+			case OpCMul:
+				unitCycles = r.CMul(a, b, d)
+			case OpCAdd:
+				unitCycles = r.CAdd(a, b, d)
+			case OpCSub:
+				unitCycles = r.CSub(a, b, d)
+			case OpCMac:
+				unitCycles = r.CMac(a, b, d)
+			}
+			// Result inherits the operands' domain; flag domain mixing.
+			if sa.domain[j] != domEmpty && sb.domain[j] != domEmpty && sa.domain[j] != sb.domain[j] {
+				return 0, fmt.Errorf("hwsim: %v mixes domains (slot %d row %d)", in.Op, in.A, j)
+			}
+			dom := sa.domain[j]
+			if dom == domEmpty {
+				dom = sb.domain[j]
+			}
+			sd.domain[j] = dom
+		}
+		cyc = unitCycles
+
+	case OpRearr:
+		lo, _ := c.batchRange(in.Batch)
+		cyc = c.rpauFor(lo).Rearrange()
+
+	case OpDecomp:
+		// RNS gadget digit for relinearization (the fast architecture's
+		// WordDecomp, Sec. II-B): d = x_i·q̃_i mod q_i, replicated across the
+		// q rows. The digit streams through the scalar multiplier at the
+		// rearrangement port rate, so it costs one Rearrange pass.
+		i := int(in.B)
+		if i < 0 || i >= c.KQ {
+			return 0, fmt.Errorf("hwsim: Decomp digit index %d out of range", i)
+		}
+		s := c.slotAt(in.A)
+		c.ensureRows(s)
+		if s.domain[i] != domCoeff {
+			return 0, fmt.Errorf("hwsim: Decomp needs coefficient-domain input")
+		}
+		qb := c.LiftU.Ext.Src
+		src := c.row(s, i)
+		sd := c.slotAt(in.Dst)
+		c.ensureRows(sd)
+		m := c.Mods[i]
+		for j := 0; j < c.KQ; j++ {
+			dst := c.row(sd, j)
+			mj := c.Mods[j]
+			for k := 0; k < c.N; k++ {
+				d := m.Mul(src.Coeffs[k], qb.QTilde[i])
+				dst.Coeffs[k] = mj.Reduce(d)
+			}
+			sd.domain[j] = domCoeff
+		}
+		cyc = c.rpauFor(i).Rearrange()
+
+	case OpLift:
+		s := c.slotAt(in.A)
+		c.ensureRows(s)
+		qRows := make([]poly.Poly, c.KQ)
+		for j := 0; j < c.KQ; j++ {
+			if s.domain[j] != domCoeff {
+				return 0, fmt.Errorf("hwsim: Lift needs coefficient-domain input (slot %d row %d)", in.A, j)
+			}
+			qRows[j] = c.row(s, j)
+		}
+		lifted, liftCycles := c.LiftU.Lift(poly.RNSPoly{Rows: qRows}, c.Variant)
+		for j := 0; j < c.KP; j++ {
+			s.rows[c.KQ+j] = lifted.Rows[c.KQ+j]
+			s.domain[c.KQ+j] = domCoeff
+		}
+		cyc = liftCycles
+
+	case OpScale:
+		s := c.slotAt(in.A)
+		c.ensureRows(s)
+		all := make([]poly.Poly, c.KQ+c.KP)
+		for j := range all {
+			if s.domain[j] != domCoeff {
+				return 0, fmt.Errorf("hwsim: Scale needs coefficient-domain input (slot %d row %d)", in.A, j)
+			}
+			all[j] = c.row(s, j)
+		}
+		scaled, scaleCycles := c.ScaleU.Scale(poly.RNSPoly{Rows: all}, c.Variant)
+		sd := c.slotAt(in.Dst)
+		c.ensureRows(sd)
+		for j := 0; j < c.KQ; j++ {
+			sd.rows[j] = scaled.Rows[j]
+			sd.domain[j] = domCoeff
+		}
+		cyc = scaleCycles
+
+	default:
+		return 0, fmt.Errorf("hwsim: unknown opcode %v", in.Op)
+	}
+
+	cyc += Cycles(c.Timing.InstrDispatchCycles)
+	st, ok := c.Stats.PerOp[in.Op]
+	if !ok {
+		st = &OpStat{}
+		c.Stats.PerOp[in.Op] = st
+	}
+	st.Calls++
+	st.TotalCycles += cyc
+	c.Stats.Total += cyc
+	return cyc, nil
+}

@@ -1,0 +1,95 @@
+package hwsim
+
+import "fmt"
+
+// Table-V scaling model (paper Sec. VI-D): starting from the measured
+// (n = 2^12, log q = 180) design point, every doubling of both the
+// polynomial degree and the coefficient size multiplies the computational
+// work by ≈ 4.34x; doubling the number of RPAUs and Lift/Scale cores
+// (≈ 2x logic area) leaves a net ≈ 2.17x computation-time increase, while
+// the off-chip transfer grows ≈ 4x and the polynomial storage ≈ 4x.
+
+// Estimate is one row of Table V.
+type Estimate struct {
+	LogN    int
+	LogQ    int
+	LUT     int     // thousands
+	Reg     int     // thousands
+	BRAM    float64 // thousands
+	DSP     float64 // thousands
+	CompMS  float64
+	CommMS  float64
+	TotalMS float64
+}
+
+// String renders the row in the paper's format.
+func (e Estimate) String() string {
+	return fmt.Sprintf("2^%d, %4d | %dK/%dK/%.1fK/%.1fK | %.2f/%.2f/%.1f msec",
+		e.LogN, e.LogQ, e.LUT, e.Reg, e.BRAM, e.DSP, e.CompMS, e.CommMS, e.TotalMS)
+}
+
+// AWSF1 is the Xilinx Virtex UltraScale+ VU9P of an Amazon EC2 F1 instance
+// ("These FPGAs have five times more resources than our Zynq platform",
+// paper Sec. VII). UltraRAM is counted as BRAM36-equivalents (8x capacity),
+// since the memory file maps onto it naturally.
+var AWSF1 = Resources{
+	LUT:  1182000,
+	FF:   2364000,
+	BRAM: 2160 + 960*8,
+	DSP:  6840,
+}
+
+// F1CoprocessorsPerFPGA estimates how many co-processors of the given
+// configuration fit one F1 FPGA — the paper's Discussion estimates "each
+// Amazon F1 instance could run at least ten coprocessors in parallel".
+func F1CoprocessorsPerFPGA(cfg ResourceConfig) int {
+	one := CoprocessorResources(cfg)
+	fit := func(cap, need int) int {
+		if need == 0 {
+			return 1 << 30
+		}
+		return cap / need
+	}
+	minFit := fit(AWSF1.LUT, one.LUT)
+	if f := fit(AWSF1.FF, one.FF); f < minFit {
+		minFit = f
+	}
+	if f := fit(AWSF1.BRAM, one.BRAM); f < minFit {
+		minFit = f
+	}
+	if f := fit(AWSF1.DSP, one.DSP); f < minFit {
+		minFit = f
+	}
+	return minFit
+}
+
+// EstimateParameterSets applies the scaling model iteratively for `rows`
+// parameter sets starting from the base design point. Pass the measured
+// base computation and communication times of the single-processor design
+// (Table I: 4.46 ms computation, 0.54 ms transfer).
+func EstimateParameterSets(baseCompMS, baseCommMS float64, rows int) []Estimate {
+	out := make([]Estimate, 0, rows)
+	e := Estimate{
+		LogN: 12, LogQ: 180,
+		LUT: 64, Reg: 25, BRAM: 0.4, DSP: 0.2,
+		CompMS: baseCompMS, CommMS: baseCommMS,
+	}
+	e.TotalMS = e.CompMS + e.CommMS
+	out = append(out, e)
+	for i := 1; i < rows; i++ {
+		prev := out[i-1]
+		n := Estimate{
+			LogN:   prev.LogN + 1,
+			LogQ:   prev.LogQ * 2,
+			LUT:    prev.LUT * 2,
+			Reg:    prev.Reg * 2,
+			BRAM:   prev.BRAM * 4,
+			DSP:    prev.DSP * 2,
+			CompMS: prev.CompMS * 2.17,
+			CommMS: prev.CommMS * 4,
+		}
+		n.TotalMS = n.CompMS + n.CommMS
+		out = append(out, n)
+	}
+	return out
+}

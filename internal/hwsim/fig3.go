@@ -1,0 +1,54 @@
+package hwsim
+
+import (
+	"fmt"
+	"io"
+)
+
+// RenderFig3 reproduces the paper's Figure 3 as text: the read-address
+// sequences of the two butterfly cores (R for core 1, R' for core 2) in the
+// three access regimes — small index gap (m ≤ n/4), the inverted-order
+// m = n/2 stage, and the word-at-a-time final stage.
+func RenderFig3(w io.Writer, n int) error {
+	if n < 16 || n&(n-1) != 0 {
+		return fmt.Errorf("hwsim: Fig. 3 rendering needs power-of-two n ≥ 16")
+	}
+	words := n / 2
+	regimes := []struct {
+		m    int
+		name string
+	}{
+		{2, fmt.Sprintf("Iteration m = 2 (index gap 1): cores split lower/upper blocks")},
+		{n / 2, fmt.Sprintf("Iteration m = %d (index gap %d): interleaved, second core order inverted", n/2, n/4)},
+		{n, fmt.Sprintf("Iteration m = %d: one memory word at a time", n)},
+	}
+	fmt.Fprintf(w, "Fig. 3 — memory reads during the two-core NTT (n = %d, %d words, blocks of %d)\n",
+		n, words, words/2)
+	for _, reg := range regimes {
+		fmt.Fprintf(w, "\n%s\n", reg.name)
+		sched := StageReadSchedule(n, reg.m)
+		show := func(c int) {
+			acc := sched[c]
+			fmt.Fprintf(w, "  cycle %4d:  R%-5d -> word %4d (%s)    R'%-4d -> word %4d (%s)\n",
+				c, c, acc[0].Addr, BlockOf(acc[0].Addr, words),
+				c, acc[1].Addr, BlockOf(acc[1].Addr, words))
+		}
+		// First cycles, a middle pair, and the last cycle — enough to see
+		// the pattern without printing thousands of lines.
+		for c := 0; c < 3 && c < len(sched); c++ {
+			show(c)
+		}
+		fmt.Fprintln(w, "  ...")
+		if len(sched) >= 2 {
+			show(len(sched) - 2)
+			show(len(sched) - 1)
+		}
+	}
+	cycles, conflicts, err := ValidateNTTSchedule(n)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "\nfull schedule: %d butterfly-issue cycles across %d stages, %d memory conflicts\n",
+		cycles, log2(n), len(conflicts))
+	return nil
+}

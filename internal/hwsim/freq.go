@@ -1,0 +1,56 @@
+package hwsim
+
+// Clock-frequency model for the circuit-level pipelining ablation
+// (Sec. V-A4: "Pipeline registers are inserted in between several of these
+// steps to achieve a high clock frequency"). The critical path of the
+// butterfly datapath is the 30×30 multiply followed by the 6-step
+// sliding-window reduction and the modular add/sub. Each step contributes
+// a logic delay; pipeline registers bound how many steps share a cycle.
+
+// LogicStep delays in nanoseconds on the UltraScale+ fabric, coarse but
+// representative: a DSP multiply stage, one sliding-window fold (table
+// lookup + add), and a modular add/sub with conditional correction.
+const (
+	dspStageNs   = 4.4
+	windowFoldNs = 1.7
+	modAddNs     = 2.6
+	routingNs    = 0.6 // per-stage routing margin
+)
+
+// butterflyStages returns the per-pipeline-stage delay list of the
+// butterfly datapath: 2 DSP stages, 6 window folds, 1 modular add/sub.
+func butterflyStages() []float64 {
+	stages := []float64{dspStageNs, dspStageNs}
+	for i := 0; i < 6; i++ {
+		stages = append(stages, windowFoldNs)
+	}
+	return append(stages, modAddNs)
+}
+
+// EstimateClockHz estimates the achievable clock with the datapath cut into
+// `stagesPerCycle`-step pipeline segments. stagesPerCycle = 1 is the fully
+// pipelined design (one register after every step, the paper's 200 MHz
+// point); larger values model removing pipeline registers.
+func EstimateClockHz(stagesPerCycle int) float64 {
+	if stagesPerCycle < 1 {
+		stagesPerCycle = 1
+	}
+	stages := butterflyStages()
+	worst := 0.0
+	for i := 0; i < len(stages); i += stagesPerCycle {
+		sum := routingNs
+		for j := i; j < i+stagesPerCycle && j < len(stages); j++ {
+			sum += stages[j]
+		}
+		if sum > worst {
+			worst = sum
+		}
+	}
+	return 1e9 / worst
+}
+
+// UnpipelinedClockHz is the single-cycle (combinational) datapath clock —
+// the baseline the circuit-level pipelining strategy improves on.
+func UnpipelinedClockHz() float64 {
+	return EstimateClockHz(len(butterflyStages()))
+}

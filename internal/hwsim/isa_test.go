@@ -1,0 +1,151 @@
+package hwsim
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestDisasmForms(t *testing.T) {
+	cases := []struct {
+		in   Instr
+		want string
+	}{
+		{Instr{Op: OpNTT, A: 3, Batch: BatchP}, "ntt   s3 [P]"},
+		{Instr{Op: OpINTT, A: 0, Batch: BatchQ}, "intt  s0 [Q]"},
+		{Instr{Op: OpLift, A: 2}, "lift  s2"},
+		{Instr{Op: OpScale, Dst: 8, A: 4}, "scale s8, s4"},
+		{Instr{Op: OpDecomp, Dst: 14, A: 10, B: 5}, "wdec  s14, s10, #5"},
+		{Instr{Op: OpCMul, Dst: 4, A: 0, B: 2, Batch: BatchP}, "cmul  s4, s0, s2 [P]"},
+		{Instr{Op: OpCAdd, Dst: 5, A: 5, B: 7, Batch: BatchQ}, "cadd  s5, s5, s7 [Q]"},
+	}
+	for _, c := range cases {
+		if got := c.in.Disasm(); got != c.want {
+			t.Errorf("Disasm(%+v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+	if got := (Instr{Op: Op(200)}).Disasm(); !strings.HasPrefix(got, ".word") {
+		t.Errorf("unknown opcode should disassemble as raw word, got %q", got)
+	}
+}
+
+func TestValidateProgram(t *testing.T) {
+	good := &Program{}
+	good.AddInstr(Instr{Op: OpNTT, A: 3, Batch: BatchQ})
+	good.AddInstr(Instr{Op: OpCMul, Dst: 4, A: 0, B: 2})
+	good.AddTransfer(Transfer{Bytes: 128})
+	// Decomp's B is a digit index, not a slot; must not be slot-checked.
+	good.AddInstr(Instr{Op: OpDecomp, Dst: 7, A: 3, B: 200})
+	if err := ValidateProgram(good, 8); err != nil {
+		t.Fatalf("valid program rejected: %v", err)
+	}
+
+	bad := &Program{}
+	bad.AddInstr(Instr{Op: OpInvalid})
+	if err := ValidateProgram(bad, 8); err == nil {
+		t.Fatal("invalid opcode accepted")
+	}
+
+	bad = &Program{}
+	bad.AddInstr(Instr{Op: OpCMul, Dst: 20, A: 0, B: 1})
+	if err := ValidateProgram(bad, 8); err == nil {
+		t.Fatal("out-of-range slot accepted")
+	}
+
+	bad = &Program{}
+	bad.AddInstr(Instr{Op: OpNTT, A: 0, Batch: Batch(7)})
+	if err := ValidateProgram(bad, 8); err == nil {
+		t.Fatal("invalid batch accepted")
+	}
+
+	bad = &Program{Steps: []Step{{}}}
+	if err := ValidateProgram(bad, 8); err == nil {
+		t.Fatal("empty step accepted")
+	}
+
+	bad = &Program{}
+	bad.AddTransfer(Transfer{Bytes: -1})
+	if err := ValidateProgram(bad, 8); err == nil {
+		t.Fatal("negative transfer accepted")
+	}
+}
+
+func TestF1Estimate(t *testing.T) {
+	n := F1CoprocessorsPerFPGA(PaperResourceConfig())
+	// Paper Discussion: "each Amazon F1 instance could run at least ten
+	// coprocessors in parallel".
+	if n < 10 {
+		t.Fatalf("F1 fits only %d co-processors, paper claims at least 10", n)
+	}
+	if n > 40 {
+		t.Fatalf("F1 estimate %d implausibly high", n)
+	}
+	// Sanity: the estimate shrinks for a double-size configuration.
+	big := PaperResourceConfig()
+	big.NumRPAUs *= 2
+	big.MemFileSlots *= 2
+	big.LiftScaleCores *= 2
+	if F1CoprocessorsPerFPGA(big) >= n {
+		t.Fatal("bigger co-processor should fit fewer times")
+	}
+}
+
+func TestRenderFig3(t *testing.T) {
+	var sb strings.Builder
+	if err := RenderFig3(&sb, 4096); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	// The paper's characteristic sequences must appear: core 0 starting
+	// 0, 1024 and core 1 starting 1536, 512 in the m = n/2 stage.
+	for _, want := range []string{"word 1536", "word  512", "0 memory conflicts", "m = 2048"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Fig. 3 rendering missing %q", want)
+		}
+	}
+	if err := RenderFig3(&sb, 12); err == nil {
+		t.Fatal("bad size accepted")
+	}
+}
+
+func TestDMAEdgeCases(t *testing.T) {
+	d := DMA{Timing: DefaultTiming()}
+	// Chunk larger than the payload degenerates to a single transfer.
+	a := d.Seconds(Transfer{Bytes: 1000, ChunkSize: 4096})
+	b := d.Seconds(Transfer{Bytes: 1000})
+	if a != b {
+		t.Fatalf("oversized chunk should equal single transfer: %g vs %g", a, b)
+	}
+	// Cycle conversions are consistent.
+	tr := Transfer{Bytes: 98304}
+	if d.FPGACycles(tr).Seconds() < d.Seconds(tr)*0.99 {
+		t.Fatal("FPGA cycle conversion lost time")
+	}
+	if d.ArmCycles(tr) == 0 {
+		t.Fatal("Arm cycle conversion broken")
+	}
+}
+
+func TestSecondCoprocessorIndependence(t *testing.T) {
+	// Two co-processors built from the same factory must not share memory.
+	qm, pm, ext, sc := testBases(t, 64, 3, 4)
+	a, err := NewCoprocessor(qm, pm, 64, ext, sc, VariantHPS, DefaultTiming(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewCoprocessor(qm, pm, 64, ext, sc, VariantHPS, DefaultTiming(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(9))
+	rows := randRows(r, a.Mods[:a.KQ], 64)
+	a.LoadSlotCoeff(0, 0, rows)
+	got := b.ReadSlot(0, 0, b.KQ)
+	for i := range got {
+		for _, c := range got[i].Coeffs {
+			if c != 0 {
+				t.Fatal("co-processors share memory state")
+			}
+		}
+	}
+}

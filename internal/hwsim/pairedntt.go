@@ -1,0 +1,123 @@
+package hwsim
+
+import (
+	"fmt"
+
+	"repro/internal/poly"
+)
+
+// Memory-accurate paired-word NTT execution. The schedule in nttsched.go
+// validates *addresses*; this file validates the *data path*: the transform
+// is executed entirely on the 60-bit paired-word memory of Sec. V-A2/V-A3,
+// the way the two butterfly cores see it:
+//
+//   - every word holds exactly the two operands of one butterfly
+//     (the layout invariant of Roy et al. [30]);
+//   - each core consumes one word and produces one butterfly result per
+//     step;
+//   - the two cores' outputs are re-paired across cores before write-back
+//     (the HL1/HL2 cross-connect of the paper's Fig. 4), which is what
+//     keeps the next stage's operands word-paired;
+//   - the final stage (m = n, operand distance 1) works one memory word at
+//     a time with no re-pairing, exactly as the paper notes.
+//
+// PairedForward is bit-exact against poly.NTTTable.Forward, which the tests
+// assert for all sizes.
+
+// pairedWord is one 2-coefficient memory word plus the coefficient indices
+// it currently holds (the simulator's view of the layout).
+type pairedWord struct {
+	idx [2]int    // coefficient indices (butterfly operand pair)
+	val [2]uint64 // coefficient values
+}
+
+// PairedForward runs the forward negacyclic NTT of tab over coeffs using
+// the paired-word memory model, returning the per-core butterfly step count
+// (which must equal the schedule's issue count). It returns an error if the
+// layout invariant would break — which would mean the re-pairing rule (and
+// hence the architecture) is wrong.
+func PairedForward(tab *poly.NTTTable, coeffs []uint64) (steps int, err error) {
+	n := tab.N
+	if len(coeffs) != n {
+		return 0, fmt.Errorf("hwsim: length mismatch")
+	}
+	if n < 4 {
+		return 0, fmt.Errorf("hwsim: paired NTT needs n ≥ 4")
+	}
+	mod := tab.Mod
+	words := n / 2
+
+	// Initial layout: word w holds the first stage's butterfly pair
+	// (w, w + n/2).
+	mem := make([]pairedWord, words)
+	for w := 0; w < words; w++ {
+		mem[w] = pairedWord{idx: [2]int{w, w + n/2}, val: [2]uint64{coeffs[w], coeffs[w+n/2]}}
+	}
+	// wordOf[j] = memory word whose low operand is coefficient j (the
+	// butterfly leader index).
+	wordOf := make([]int, n)
+
+	span := n / 2
+	for m := 1; m < n; m <<= 1 { // m = group count, as in Alg. 1
+		// Refresh the leader → word map and check the layout invariant:
+		// every word must hold a valid (j, j+span) butterfly pair.
+		for w := range mem {
+			j, j2 := mem[w].idx[0], mem[w].idx[1]
+			if j2 != j+span || j%(2*span) >= span {
+				return 0, fmt.Errorf("hwsim: layout invariant broken at m=%d word %d: (%d,%d)", m, w, j, j2)
+			}
+			wordOf[j] = w
+		}
+
+		twiddle := func(j int) uint64 {
+			group := j / (2 * span)
+			return tab.ForwardTwiddle(m + group)
+		}
+		butterfly := func(w pairedWord, tw uint64) (lo, hi uint64) {
+			u := w.val[0]
+			v := mod.Mul(w.val[1], tw)
+			return mod.Add(u, v), mod.Sub(u, v)
+		}
+
+		if span == 1 {
+			// Final stage: one memory word at a time, in place.
+			for w := range mem {
+				lo, hi := butterfly(mem[w], twiddle(mem[w].idx[0]))
+				mem[w].val = [2]uint64{lo, hi}
+				steps++
+			}
+			break
+		}
+
+		// Re-pairing stage: core A takes the butterfly led by j, core B the
+		// one led by j+span/2; the cross-connected write-back produces the
+		// next stage's word pairs (j, j+span/2) and (j+span, j+3span/2).
+		next := make([]pairedWord, words)
+		out := 0
+		for j := 0; j < n; j++ {
+			if j%(2*span) >= span/2 {
+				continue // not a pair leader
+			}
+			wA := mem[wordOf[j]]
+			wB := mem[wordOf[j+span/2]]
+			aLo, aHi := butterfly(wA, twiddle(j))
+			bLo, bHi := butterfly(wB, twiddle(j+span/2))
+			steps += 2 // one butterfly per core, same cycle
+			next[out] = pairedWord{idx: [2]int{j, j + span/2}, val: [2]uint64{aLo, bLo}}
+			next[out+1] = pairedWord{idx: [2]int{j + span, j + 3*span/2}, val: [2]uint64{aHi, bHi}}
+			out += 2
+		}
+		if out != words {
+			return 0, fmt.Errorf("hwsim: stage m=%d produced %d words, want %d", m, out, words)
+		}
+		mem = next
+		span >>= 1
+	}
+
+	// Unload.
+	for _, w := range mem {
+		coeffs[w.idx[0]] = w.val[0]
+		coeffs[w.idx[1]] = w.val[1]
+	}
+	return steps, nil
+}

@@ -1,0 +1,114 @@
+package hwsim
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/poly"
+	"repro/internal/ring"
+)
+
+func TestPairedForwardMatchesReference(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for _, n := range []int{4, 8, 16, 64, 256, 1024, 4096} {
+		primes, err := ring.GenerateNTTPrimes(30, n, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range primes {
+			m := ring.NewModulus(p)
+			tab, err := poly.NewNTTTable(m, n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for trial := 0; trial < 5; trial++ {
+				a := make([]uint64, n)
+				for i := range a {
+					a[i] = r.Uint64() % m.Q
+				}
+				want := append([]uint64(nil), a...)
+				tab.Forward(want)
+
+				steps, err := PairedForward(tab, a)
+				if err != nil {
+					t.Fatalf("n=%d q=%d: %v", n, p, err)
+				}
+				for i := range a {
+					if a[i] != want[i] {
+						t.Fatalf("n=%d q=%d: paired NTT differs from reference at %d", n, p, i)
+					}
+				}
+				// Total butterflies = log2(n)·n/2; the dual cores issue two
+				// per cycle, so the step count must be exactly twice the
+				// schedule's cycle count.
+				wantSteps := log2(n) * n / 2
+				if steps != wantSteps {
+					t.Fatalf("n=%d: %d butterfly steps, want %d", n, steps, wantSteps)
+				}
+			}
+		}
+	}
+}
+
+func TestPairedForwardStepCountMatchesSchedule(t *testing.T) {
+	n := 4096
+	primes, err := ring.GenerateNTTPrimes(30, n, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := poly.NewNTTTable(ring.NewModulus(primes[0]), n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := make([]uint64, n)
+	for i := range a {
+		a[i] = uint64(i)
+	}
+	steps, err := PairedForward(tab, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cycles, conflicts, err := ValidateNTTSchedule(n)
+	if err != nil || len(conflicts) != 0 {
+		t.Fatalf("schedule invalid: %v %v", err, conflicts)
+	}
+	if steps != 2*cycles {
+		t.Fatalf("paired execution: %d butterflies, schedule issues %d cycles × 2 cores", steps, cycles)
+	}
+}
+
+func TestPairedForwardRejectsBadInput(t *testing.T) {
+	primes, err := ring.GenerateNTTPrimes(30, 16, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := poly.NewNTTTable(ring.NewModulus(primes[0]), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := PairedForward(tab, make([]uint64, 8)); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+func BenchmarkPairedForward4096(b *testing.B) {
+	primes, err := ring.GenerateNTTPrimes(30, 4096, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tab, err := poly.NewNTTTable(ring.NewModulus(primes[0]), 4096)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(1))
+	a := make([]uint64, 4096)
+	for i := range a {
+		a[i] = r.Uint64() % tab.Mod.Q
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := PairedForward(tab, a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

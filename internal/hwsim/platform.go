@@ -1,0 +1,43 @@
+package hwsim
+
+import "fmt"
+
+// Platform is the full Zynq system of the paper's Fig. 11: co-processor
+// instances in the programmable logic (two in the implemented design), each
+// paired with an application Arm core, plus a networking Arm core that
+// distributes work. Independent homomorphic operations run concurrently on
+// the co-processors, doubling throughput ("two Mult operations take roughly
+// the same time as one Mult operation", Sec. VI-A).
+type Platform struct {
+	Coprocs []*Coprocessor
+	Arm     ArmModel
+}
+
+// NewPlatform builds `count` identical co-processors from the factory.
+func NewPlatform(factory func() (*Coprocessor, error), count int) (*Platform, error) {
+	if count < 1 {
+		return nil, fmt.Errorf("hwsim: platform needs at least one co-processor")
+	}
+	p := &Platform{}
+	for i := 0; i < count; i++ {
+		c, err := factory()
+		if err != nil {
+			return nil, err
+		}
+		p.Coprocs = append(p.Coprocs, c)
+		p.Arm = ArmModel{Timing: c.Timing}
+	}
+	return p, nil
+}
+
+// ThroughputPerSec returns operations per second when every co-processor
+// pipelines the same operation of the given latency.
+func (p *Platform) ThroughputPerSec(opSeconds float64) float64 {
+	if opSeconds <= 0 {
+		return 0
+	}
+	return float64(len(p.Coprocs)) / opSeconds
+}
+
+// PowerPeakW returns the platform's power with all co-processors active.
+func (p *Platform) PowerPeakW() float64 { return PowerW(len(p.Coprocs)) }

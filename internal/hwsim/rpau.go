@@ -1,0 +1,96 @@
+package hwsim
+
+import (
+	"repro/internal/poly"
+	"repro/internal/ring"
+)
+
+// RPAU is a Residue Polynomial Arithmetic Unit (paper Sec. V-A): the
+// per-prime compute engine holding two butterfly cores, the dual-block
+// paired-coefficient memory interface, and the coefficient-wise
+// add/sub/multiply datapaths. One RPAU serves up to two primes by resource
+// sharing (the paper keeps ⌈13/2⌉ = 7 RPAUs, each shared by a q prime and a
+// p prime).
+type RPAU struct {
+	Index  int
+	Units  map[uint64]*NTTUnit // transform engine per assigned prime
+	Timing Timing
+	N      int
+}
+
+// NewRPAU builds an RPAU serving the given moduli (1 or 2 of them).
+func NewRPAU(index, n int, mods []ring.Modulus, timing Timing) (*RPAU, error) {
+	r := &RPAU{Index: index, Units: map[uint64]*NTTUnit{}, Timing: timing, N: n}
+	for _, m := range mods {
+		tab, err := poly.NewNTTTable(m, n)
+		if err != nil {
+			return nil, err
+		}
+		r.Units[m.Q] = &NTTUnit{Table: tab, Timing: timing}
+	}
+	return r, nil
+}
+
+// unitFor returns the transform engine for modulus q; the scheduler
+// guarantees the RPAU was built for it.
+func (r *RPAU) unitFor(q uint64) *NTTUnit {
+	u, ok := r.Units[q]
+	if !ok {
+		panic("hwsim: RPAU asked to operate on a prime it does not serve")
+	}
+	return u
+}
+
+// NTT transforms row in place and returns the cycles consumed.
+func (r *RPAU) NTT(row poly.Poly) Cycles {
+	u := r.unitFor(row.Mod.Q)
+	u.Forward(row.Coeffs)
+	return u.ForwardCycles()
+}
+
+// INTT inverse-transforms row in place.
+func (r *RPAU) INTT(row poly.Poly) Cycles {
+	u := r.unitFor(row.Mod.Q)
+	u.Inverse(row.Coeffs)
+	return u.InverseCycles()
+}
+
+// coeffWiseCycles is the cycle count of any coefficient-wise operation: the
+// two arithmetic cores retire two result coefficients per cycle (bounded by
+// the 8-coefficient/cycle memory interface: 2 words read for each operand,
+// 1 word written).
+func (r *RPAU) coeffWiseCycles() Cycles {
+	return Cycles(r.N/2 + r.Timing.ButterflyPipelineDepth)
+}
+
+// CMul sets dst = a ⊙ b.
+func (r *RPAU) CMul(a, b, dst poly.Poly) Cycles {
+	a.MulInto(b, dst)
+	return r.coeffWiseCycles()
+}
+
+// CAdd sets dst = a + b.
+func (r *RPAU) CAdd(a, b, dst poly.Poly) Cycles {
+	a.AddInto(b, dst)
+	return r.coeffWiseCycles()
+}
+
+// CSub sets dst = a - b.
+func (r *RPAU) CSub(a, b, dst poly.Poly) Cycles {
+	a.SubInto(b, dst)
+	return r.coeffWiseCycles()
+}
+
+// CMac sets dst += a ⊙ b (the SoP primitive of relinearization).
+func (r *RPAU) CMac(a, b, dst poly.Poly) Cycles {
+	a.MulAddInto(b, dst)
+	return r.coeffWiseCycles()
+}
+
+// Rearrange models the memory-layout conversion between the linear order
+// the Lift/Scale units stream and the paired two-block layout the NTT unit
+// requires (Table II's "Memory Rearrange"): one coefficient per cycle
+// through the single rearrangement port.
+func (r *RPAU) Rearrange() Cycles {
+	return Cycles(r.N + r.Timing.ButterflyPipelineDepth)
+}

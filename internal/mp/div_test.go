@@ -1,0 +1,147 @@
+package mp
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+)
+
+func TestDivModAgainstBig(t *testing.T) {
+	r := rand.New(rand.NewSource(10))
+	for i := 0; i < 2000; i++ {
+		x := randNat(r, 10)
+		y := randNat(r, 5)
+		if y.IsZero() {
+			y = NewNat(uint64(r.Int63()) | 1)
+		}
+		q, rem := x.DivMod(y)
+		bq, br := new(big.Int).QuoRem(natToBig(x), natToBig(y), new(big.Int))
+		if natToBig(q).Cmp(bq) != 0 || natToBig(rem).Cmp(br) != 0 {
+			t.Fatalf("divmod mismatch:\n x=%s\n y=%s\n q=%s want %s\n r=%s want %s",
+				x, y, q, bq, rem, br)
+		}
+	}
+}
+
+func TestDivModKnuthHardCases(t *testing.T) {
+	// Cases crafted to trigger the q̂ = b-1 estimate and the add-back step.
+	cases := []struct{ x, y Nat }{
+		// Divisor with top limb all-ones: forces tight estimates.
+		{NatFromLimbs([]uint64{0, 0, ^uint64(0), ^uint64(0)}), NatFromLimbs([]uint64{^uint64(0), ^uint64(0)})},
+		// u[j+n] == v[n-1] after normalization.
+		{NatFromLimbs([]uint64{0, ^uint64(0), 1 << 63}), NatFromLimbs([]uint64{1, 1 << 63})},
+		// Knuth's classic add-back example shape.
+		{NatFromLimbs([]uint64{3, 0, 1 << 63}), NatFromLimbs([]uint64{1, 1 << 63})},
+		{NatFromLimbs([]uint64{0, 0, 1 << 63, 1<<63 - 1}), NatFromLimbs([]uint64{^uint64(0), 1 << 63})},
+	}
+	for i, c := range cases {
+		q, rem := c.x.DivMod(c.y)
+		bq, br := new(big.Int).QuoRem(natToBig(c.x), natToBig(c.y), new(big.Int))
+		if natToBig(q).Cmp(bq) != 0 || natToBig(rem).Cmp(br) != 0 {
+			t.Fatalf("case %d mismatch: got q=%s r=%s want q=%s r=%s", i, q, rem, bq, br)
+		}
+	}
+}
+
+func TestDivByZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewNat(5).DivMod(Nat{})
+}
+
+func TestDivModIdentity(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for i := 0; i < 500; i++ {
+		x := randNat(r, 8)
+		y := randNat(r, 4)
+		if y.IsZero() {
+			continue
+		}
+		q, rem := x.DivMod(y)
+		if q.Mul(y).Add(rem).Cmp(x) != 0 {
+			t.Fatalf("q*y + r != x for x=%s y=%s", x, y)
+		}
+		if !rem.IsZero() && rem.Cmp(y) >= 0 {
+			t.Fatalf("remainder out of range")
+		}
+	}
+}
+
+func TestReciprocalDivMod(t *testing.T) {
+	r := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 50; trial++ {
+		d := randNat(r, 3)
+		if d.IsZero() {
+			d = NewNat(3)
+		}
+		const maxBits = 420
+		rec := NewReciprocal(d, maxBits)
+		for i := 0; i < 50; i++ {
+			x := randNat(r, maxBits/64)
+			if x.BitLen() > maxBits {
+				x = x.Shr(uint(x.BitLen() - maxBits))
+			}
+			q, rem := rec.DivMod(x)
+			wq, wr := x.DivMod(d)
+			if q.Cmp(wq) != 0 || rem.Cmp(wr) != 0 {
+				t.Fatalf("reciprocal divmod mismatch: x=%s d=%s", x, d)
+			}
+		}
+	}
+}
+
+func TestReciprocalDivRound(t *testing.T) {
+	d := NewNat(7)
+	rec := NewReciprocal(d, 64)
+	cases := []struct {
+		x    uint64
+		want uint64
+	}{
+		{0, 0}, {3, 0}, {4, 1}, {7, 1}, {10, 1}, {11, 2}, {24, 3}, {25, 4},
+	}
+	for _, c := range cases {
+		got := rec.DivRound(NewNat(c.x)).Uint64()
+		if got != c.want {
+			t.Fatalf("round(%d/7) = %d, want %d", c.x, got, c.want)
+		}
+	}
+}
+
+func TestReciprocalWidthGuard(t *testing.T) {
+	rec := NewReciprocal(NewNat(12345), 100)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for over-wide dividend")
+		}
+	}()
+	rec.DivMod(NewNat(1).Shl(150))
+}
+
+// benchOperands returns a ~768-bit dividend (the Scale dataflow width) and a
+// guaranteed non-zero ~192-bit divisor (q).
+func benchOperands() (Nat, Nat) {
+	r := rand.New(rand.NewSource(13))
+	x := randNat(r, 12)
+	y := NatFromLimbs([]uint64{r.Uint64(), r.Uint64(), r.Uint64() | 1<<63})
+	return x, y
+}
+
+func BenchmarkDivModKnuth(b *testing.B) {
+	x, y := benchOperands()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x.DivMod(y)
+	}
+}
+
+func BenchmarkDivModReciprocal(b *testing.B) {
+	x, y := benchOperands()
+	rec := NewReciprocal(y, 12*64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec.DivMod(x)
+	}
+}

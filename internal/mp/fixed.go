@@ -1,0 +1,108 @@
+package mp
+
+import "math/bits"
+
+// Frac128 is a 128-bit binary fraction representing a value in [0, 1) as
+// (Hi·2^64 + Lo) / 2^128. The HPS approximate-CRT routines (paper Sec. IV-C,
+// IV-D) replace floating-point division by q_i with multiplication by such
+// fixed-point reciprocals. The paper stores reciprocals with 89 bits after
+// the point (error < 2^-80); we keep 128 bits, giving error < 2^-95 after
+// accumulating 13 30-bit terms.
+type Frac128 struct {
+	Hi, Lo uint64
+}
+
+// FracDiv returns the 128-bit fraction floor(num·2^128/den) / 2^128, i.e. the
+// truncated fixed-point expansion of num/den. It requires num < den and
+// panics otherwise (the quotient would not fit in a fraction).
+func FracDiv(num, den uint64) Frac128 {
+	if num >= den {
+		panic("mp: FracDiv requires num < den")
+	}
+	hi, rem := bits.Div64(num, 0, den)
+	lo, _ := bits.Div64(rem, 0, den)
+	return Frac128{Hi: hi, Lo: lo}
+}
+
+// Acc192 is a 192-bit accumulator with 128 fractional bits. It accumulates
+// products x·f where x is a word and f a Frac128, then rounds to the nearest
+// integer. It mirrors the accumulate-and-round step of the paper's HPS Lift
+// and Scale blocks.
+type Acc192 struct {
+	w0, w1, w2 uint64 // value = w2·2^128 + w1·2^64 + w0, scaled by 2^-128
+}
+
+// AddMul accumulates x·f into the accumulator.
+func (a *Acc192) AddMul(x uint64, f Frac128) {
+	// x·f = x·Hi·2^64 + x·Lo, a 192-bit quantity aligned with the
+	// accumulator's fractional limbs.
+	hi1, lo1 := bits.Mul64(x, f.Lo) // contributes to (w1:w0)
+	hi2, lo2 := bits.Mul64(x, f.Hi) // contributes to (w2:w1)
+
+	var c uint64
+	a.w0, c = bits.Add64(a.w0, lo1, 0)
+	a.w1, c = bits.Add64(a.w1, hi1, c)
+	a.w2 += c
+
+	a.w1, c = bits.Add64(a.w1, lo2, 0)
+	a.w2 += hi2 + c
+}
+
+// AddInt accumulates the integer x (aligned above the fractional point).
+func (a *Acc192) AddInt(x uint64) {
+	a.w2 += x
+}
+
+// Round returns the accumulator rounded to the nearest integer
+// (ties round up).
+func (a *Acc192) Round() uint64 {
+	intPart := a.w2
+	if a.w1 >= 1<<63 {
+		intPart++
+	}
+	return intPart
+}
+
+// Floor returns the integer part of the accumulator.
+func (a *Acc192) Floor() uint64 { return a.w2 }
+
+// FracTop returns the most significant 64 bits of the fractional part,
+// useful for inspecting how close an accumulated value sits to a rounding
+// boundary (the approximation-error analyses in the tests use it).
+func (a *Acc192) FracTop() uint64 { return a.w1 }
+
+// Reset clears the accumulator.
+func (a *Acc192) Reset() { a.w0, a.w1, a.w2 = 0, 0, 0 }
+
+// Uint128 is an unsigned 128-bit integer, used for exact 64×64→128
+// intermediate products in modular reduction paths.
+type Uint128 struct {
+	Hi, Lo uint64
+}
+
+// Mul64 returns the 128-bit product of x and y.
+func Mul64(x, y uint64) Uint128 {
+	hi, lo := bits.Mul64(x, y)
+	return Uint128{Hi: hi, Lo: lo}
+}
+
+// Add returns x + y (mod 2^128).
+func (x Uint128) Add(y Uint128) Uint128 {
+	lo, c := bits.Add64(x.Lo, y.Lo, 0)
+	hi, _ := bits.Add64(x.Hi, y.Hi, c)
+	return Uint128{Hi: hi, Lo: lo}
+}
+
+// Shr returns x >> s for 0 ≤ s < 128.
+func (x Uint128) Shr(s uint) Uint128 {
+	switch {
+	case s == 0:
+		return x
+	case s < 64:
+		return Uint128{Hi: x.Hi >> s, Lo: x.Lo>>s | x.Hi<<(64-s)}
+	case s < 128:
+		return Uint128{Hi: 0, Lo: x.Hi >> (s - 64)}
+	default:
+		return Uint128{}
+	}
+}

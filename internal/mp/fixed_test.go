@@ -1,0 +1,110 @@
+package mp
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+)
+
+func TestFracDivAgainstBig(t *testing.T) {
+	r := rand.New(rand.NewSource(20))
+	for i := 0; i < 500; i++ {
+		den := uint64(r.Int63n(1<<30-2)) + 2
+		num := uint64(r.Int63n(int64(den)))
+		f := FracDiv(num, den)
+		// want = floor(num * 2^128 / den)
+		want := new(big.Int).Lsh(new(big.Int).SetUint64(num), 128)
+		want.Quo(want, new(big.Int).SetUint64(den))
+		got := new(big.Int).Lsh(new(big.Int).SetUint64(f.Hi), 64)
+		got.Or(got, new(big.Int).SetUint64(f.Lo))
+		if got.Cmp(want) != 0 {
+			t.Fatalf("FracDiv(%d,%d) mismatch", num, den)
+		}
+	}
+}
+
+func TestFracDivGuard(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for num >= den")
+		}
+	}()
+	FracDiv(5, 5)
+}
+
+// TestAcc192RoundMatchesExactRational accumulates Σ x_i·(r_i/q_i) with the
+// fixed-point machinery and checks the rounded result against an exact
+// rational computation — this is precisely the HPS v' computation of Eq. 2.
+func TestAcc192RoundMatchesExactRational(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 300; trial++ {
+		var acc Acc192
+		// Exact value as a fraction num/den via common denominator.
+		num := big.NewInt(0)
+		den := big.NewInt(1)
+		terms := 6 + r.Intn(8)
+		for i := 0; i < terms; i++ {
+			q := uint64(r.Int63n(1<<30-2)) + 2
+			ri := uint64(r.Int63n(int64(q)))
+			x := uint64(r.Int63n(1 << 30))
+			acc.AddMul(x, FracDiv(ri, q))
+			// num/den += x*ri/q
+			add := new(big.Int).Mul(new(big.Int).SetUint64(x), new(big.Int).SetUint64(ri))
+			num.Mul(num, new(big.Int).SetUint64(q))
+			num.Add(num, add.Mul(add, den))
+			den.Mul(den, new(big.Int).SetUint64(q))
+		}
+		// Exact rounded value: floor((2*num + den) / (2*den)).
+		exact := new(big.Int).Lsh(num, 1)
+		exact.Add(exact, den)
+		exact.Quo(exact, new(big.Int).Lsh(den, 1))
+		got := acc.Round()
+		// The fixed-point truncation can differ from the exact rounding only
+		// when the true value is within ~terms·2^-98 of a half-integer
+		// boundary, which random inputs essentially never hit.
+		if got != exact.Uint64() {
+			t.Fatalf("trial %d: fixed-point round %d, exact %d", trial, got, exact)
+		}
+	}
+}
+
+func TestAcc192AddIntAndFloor(t *testing.T) {
+	var acc Acc192
+	acc.AddInt(41)
+	acc.AddMul(1, FracDiv(1, 2)) // +0.5 exactly
+	if acc.Floor() != 41 {
+		t.Fatalf("floor = %d, want 41", acc.Floor())
+	}
+	if acc.Round() != 42 {
+		t.Fatalf("round = %d, want 42 (ties up)", acc.Round())
+	}
+	acc.Reset()
+	if acc.Round() != 0 || acc.Floor() != 0 || acc.FracTop() != 0 {
+		t.Fatal("reset did not clear accumulator")
+	}
+}
+
+func TestUint128Ops(t *testing.T) {
+	x := Mul64(^uint64(0), ^uint64(0))
+	// (2^64-1)^2 = 2^128 - 2^65 + 1
+	if x.Hi != ^uint64(0)-1 || x.Lo != 1 {
+		t.Fatalf("Mul64 max product wrong: %+v", x)
+	}
+	// (2^128 - 2^65 + 1) + (2^64 - 1) = 2^128 - 2^64, i.e. {Hi: 2^64-1, Lo: 0}.
+	s := x.Add(Uint128{Hi: 0, Lo: ^uint64(0)})
+	if s.Hi != ^uint64(0) || s.Lo != 0 {
+		t.Fatalf("Add carry wrong: %+v", s)
+	}
+	if got := (Uint128{Hi: 1, Lo: 0}).Shr(64); got.Lo != 1 || got.Hi != 0 {
+		t.Fatalf("Shr 64 wrong: %+v", got)
+	}
+	if got := (Uint128{Hi: 1, Lo: 2}).Shr(1); got.Hi != 0 || got.Lo != 1<<63+1 {
+		t.Fatalf("Shr 1 wrong: %+v", got)
+	}
+	if got := (Uint128{Hi: 1, Lo: 2}).Shr(0); got != (Uint128{Hi: 1, Lo: 2}) {
+		t.Fatalf("Shr 0 wrong: %+v", got)
+	}
+	if got := (Uint128{Hi: 1, Lo: 2}).Shr(200); got != (Uint128{}) {
+		t.Fatalf("Shr 200 wrong: %+v", got)
+	}
+}

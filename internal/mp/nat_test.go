@@ -1,0 +1,196 @@
+package mp
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func natToBig(x Nat) *big.Int {
+	z := new(big.Int)
+	limbs := x.Limbs()
+	for i := len(limbs) - 1; i >= 0; i-- {
+		z.Lsh(z, 64)
+		z.Or(z, new(big.Int).SetUint64(limbs[i]))
+	}
+	return z
+}
+
+func bigToNat(z *big.Int) Nat {
+	if z.Sign() < 0 {
+		panic("negative")
+	}
+	return NatFromBytes(z.Bytes())
+}
+
+func randNat(r *rand.Rand, maxLimbs int) Nat {
+	n := r.Intn(maxLimbs + 1)
+	limbs := make([]uint64, n)
+	for i := range limbs {
+		limbs[i] = r.Uint64()
+	}
+	// Occasionally zero the top limbs to exercise normalization.
+	if n > 0 && r.Intn(4) == 0 {
+		limbs[n-1] = 0
+	}
+	return NatFromLimbs(limbs)
+}
+
+func TestNatZeroValue(t *testing.T) {
+	var z Nat
+	if !z.IsZero() || z.BitLen() != 0 || z.String() != "0" {
+		t.Fatalf("zero value misbehaves: %v %v %q", z.IsZero(), z.BitLen(), z.String())
+	}
+	if got := z.Add(NewNat(7)).Uint64(); got != 7 {
+		t.Fatalf("0+7 = %d", got)
+	}
+}
+
+func TestNatRoundTripBytes(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		x := randNat(r, 8)
+		got := NatFromBytes(x.Bytes())
+		if got.Cmp(x) != 0 {
+			t.Fatalf("byte round trip failed for %s", x)
+		}
+	}
+}
+
+func TestNatAddSubAgainstBig(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for i := 0; i < 500; i++ {
+		x, y := randNat(r, 8), randNat(r, 8)
+		sum := x.Add(y)
+		want := new(big.Int).Add(natToBig(x), natToBig(y))
+		if natToBig(sum).Cmp(want) != 0 {
+			t.Fatalf("add mismatch: %s + %s", x, y)
+		}
+		// Subtraction needs x+y >= y.
+		diff := sum.Sub(y)
+		if diff.Cmp(x) != 0 {
+			t.Fatalf("(x+y)-y != x for %s, %s", x, y)
+		}
+	}
+}
+
+func TestNatSubUnderflowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on underflow")
+		}
+	}()
+	NewNat(1).Sub(NewNat(2))
+}
+
+func TestNatMulAgainstBig(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for i := 0; i < 500; i++ {
+		x, y := randNat(r, 7), randNat(r, 7)
+		got := natToBig(x.Mul(y))
+		want := new(big.Int).Mul(natToBig(x), natToBig(y))
+		if got.Cmp(want) != 0 {
+			t.Fatalf("mul mismatch: %s * %s = %s, want %s", x, y, got, want)
+		}
+	}
+}
+
+func TestNatMulWordAgainstBig(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	for i := 0; i < 500; i++ {
+		x, w := randNat(r, 7), r.Uint64()
+		got := natToBig(x.MulWord(w))
+		want := new(big.Int).Mul(natToBig(x), new(big.Int).SetUint64(w))
+		if got.Cmp(want) != 0 {
+			t.Fatalf("mulword mismatch")
+		}
+	}
+}
+
+func TestNatShiftAgainstBig(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for i := 0; i < 500; i++ {
+		x := randNat(r, 6)
+		s := uint(r.Intn(200))
+		if natToBig(x.Shl(s)).Cmp(new(big.Int).Lsh(natToBig(x), s)) != 0 {
+			t.Fatalf("shl mismatch: %s << %d", x, s)
+		}
+		if natToBig(x.Shr(s)).Cmp(new(big.Int).Rsh(natToBig(x), s)) != 0 {
+			t.Fatalf("shr mismatch: %s >> %d", x, s)
+		}
+	}
+}
+
+func TestNatModWordAgainstBig(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	for i := 0; i < 500; i++ {
+		x := randNat(r, 8)
+		m := r.Uint64()
+		if m == 0 {
+			m = 1
+		}
+		got := x.ModWord(m)
+		want := new(big.Int).Mod(natToBig(x), new(big.Int).SetUint64(m)).Uint64()
+		if got != want {
+			t.Fatalf("modword mismatch: %s mod %d = %d, want %d", x, m, got, want)
+		}
+	}
+}
+
+func TestNatStringAgainstBig(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 100; i++ {
+		x := randNat(r, 8)
+		if x.String() != natToBig(x).String() {
+			t.Fatalf("string mismatch: %s vs %s", x.String(), natToBig(x).String())
+		}
+	}
+}
+
+func TestNatBitAccess(t *testing.T) {
+	x := NewNat(0b1011).Shl(70)
+	if x.Bit(70) != 1 || x.Bit(71) != 1 || x.Bit(72) != 0 || x.Bit(73) != 1 {
+		t.Fatalf("bit access wrong")
+	}
+	if x.Bit(-1) != 0 || x.Bit(100000) != 0 {
+		t.Fatalf("out-of-range bits should be 0")
+	}
+	if x.BitLen() != 74 {
+		t.Fatalf("BitLen = %d, want 74", x.BitLen())
+	}
+}
+
+// Property: (x+y)-y == x and x*1 == x and commutativity, via testing/quick.
+func TestNatQuickProperties(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 300}
+	addComm := func(a, b []uint64) bool {
+		x, y := NatFromLimbs(a), NatFromLimbs(b)
+		return x.Add(y).Cmp(y.Add(x)) == 0
+	}
+	if err := quick.Check(addComm, cfg); err != nil {
+		t.Error(err)
+	}
+	mulComm := func(a, b []uint64) bool {
+		x, y := NatFromLimbs(a), NatFromLimbs(b)
+		return x.Mul(y).Cmp(y.Mul(x)) == 0
+	}
+	if err := quick.Check(mulComm, cfg); err != nil {
+		t.Error(err)
+	}
+	distrib := func(a, b, c []uint64) bool {
+		x, y, z := NatFromLimbs(a), NatFromLimbs(b), NatFromLimbs(c)
+		return x.Mul(y.Add(z)).Cmp(x.Mul(y).Add(x.Mul(z))) == 0
+	}
+	if err := quick.Check(distrib, cfg); err != nil {
+		t.Error(err)
+	}
+	shiftInverse := func(a []uint64, sRaw uint8) bool {
+		x := NatFromLimbs(a)
+		s := uint(sRaw % 130)
+		return x.Shl(s).Shr(s).Cmp(x) == 0
+	}
+	if err := quick.Check(shiftInverse, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,134 @@
+// Package poly implements negacyclic polynomial arithmetic over
+// Z_q[x]/(x^n + 1) for the word-sized RNS prime moduli, including the
+// iterative number-theoretic transform (NTT) the paper's RPAU butterfly
+// cores compute (Alg. 1 of the paper), with precomputed twiddle-factor ROMs
+// (the paper stores twiddle factors in on-chip memory to eliminate pipeline
+// bubbles, Sec. V-A4).
+package poly
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/ring"
+)
+
+// NTTTable holds precomputed twiddle factors for a negacyclic NTT of length
+// n over one prime modulus: powers of ψ (a primitive 2n-th root of unity) in
+// bit-reversed order for the forward transform, powers of ψ^-1 for the
+// inverse, and n^-1 for the final scaling. This is the software analogue of
+// the paper's twiddle-factor ROM.
+type NTTTable struct {
+	Mod ring.Modulus
+	N   int
+
+	Psi    uint64 // primitive 2n-th root of unity
+	PsiInv uint64 // ψ^-1 mod q
+	NInv   uint64 // n^-1 mod q
+
+	psiRev    []uint64 // ψ^bitrev(i), i = 0..n-1 (forward twiddles)
+	psiInvRev []uint64 // ψ^-bitrev(i) (inverse twiddles)
+}
+
+// NewNTTTable computes the twiddle ROM for degree n (a power of two ≥ 2)
+// over modulus m. The modulus must satisfy q ≡ 1 (mod 2n).
+func NewNTTTable(m ring.Modulus, n int) (*NTTTable, error) {
+	if n < 2 || n&(n-1) != 0 {
+		return nil, fmt.Errorf("poly: degree %d is not a power of two ≥ 2", n)
+	}
+	if (m.Q-1)%uint64(2*n) != 0 {
+		return nil, fmt.Errorf("poly: modulus %d does not support a %d-point negacyclic NTT", m.Q, n)
+	}
+	psi := ring.RootOfUnity(m, uint64(2*n))
+	t := &NTTTable{
+		Mod:    m,
+		N:      n,
+		Psi:    psi,
+		PsiInv: m.Inv(psi),
+		NInv:   m.Inv(uint64(n)),
+	}
+	t.psiRev = make([]uint64, n)
+	t.psiInvRev = make([]uint64, n)
+	logN := uint(bits.Len(uint(n)) - 1)
+	fwd, inv := uint64(1), uint64(1)
+	powsF := make([]uint64, n)
+	powsI := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		powsF[i], powsI[i] = fwd, inv
+		fwd = m.Mul(fwd, psi)
+		inv = m.Mul(inv, t.PsiInv)
+	}
+	for i := 0; i < n; i++ {
+		r := bitReverse(uint(i), logN)
+		t.psiRev[i] = powsF[r]
+		t.psiInvRev[i] = powsI[r]
+	}
+	return t, nil
+}
+
+func bitReverse(x uint, nbits uint) uint {
+	var r uint
+	for i := uint(0); i < nbits; i++ {
+		r = r<<1 | (x>>i)&1
+	}
+	return r
+}
+
+// Forward transforms a (length n, coefficients < q) in place into the NTT
+// domain, using the Cooley–Tukey decimation-in-time butterfly with the ψ
+// powers merged in (so no separate pre-multiplication is needed for the
+// negacyclic wrap). Output is in standard order.
+func (t *NTTTable) Forward(a []uint64) {
+	if len(a) != t.N {
+		panic("poly: NTT length mismatch")
+	}
+	m := t.Mod
+	span := t.N >> 1 // butterfly distance
+	for stage := 1; stage < t.N; stage <<= 1 {
+		for group := 0; group < stage; group++ {
+			w := t.psiRev[stage+group]
+			base := 2 * span * group
+			for j := base; j < base+span; j++ {
+				u := a[j]
+				v := m.Mul(a[j+span], w)
+				a[j] = m.Add(u, v)
+				a[j+span] = m.Sub(u, v)
+			}
+		}
+		span >>= 1
+	}
+}
+
+// Inverse transforms a (in NTT domain, standard order) back to coefficient
+// representation in place, using the Gentleman–Sande decimation-in-frequency
+// butterfly and a final scaling by n^-1.
+func (t *NTTTable) Inverse(a []uint64) {
+	if len(a) != t.N {
+		panic("poly: NTT length mismatch")
+	}
+	m := t.Mod
+	span := 1
+	for stage := t.N >> 1; stage >= 1; stage >>= 1 {
+		for group := 0; group < stage; group++ {
+			w := t.psiInvRev[stage+group]
+			base := 2 * span * group
+			for j := base; j < base+span; j++ {
+				u := a[j]
+				v := a[j+span]
+				a[j] = m.Add(u, v)
+				a[j+span] = m.Mul(m.Sub(u, v), w)
+			}
+		}
+		span <<= 1
+	}
+	for i := range a {
+		a[i] = m.Mul(a[i], t.NInv)
+	}
+}
+
+// ForwardTwiddle returns forward twiddle ψ^bitrev(i); the hardware simulator
+// reads the ROM through this accessor.
+func (t *NTTTable) ForwardTwiddle(i int) uint64 { return t.psiRev[i] }
+
+// InverseTwiddle returns inverse twiddle ψ^-bitrev(i).
+func (t *NTTTable) InverseTwiddle(i int) uint64 { return t.psiInvRev[i] }

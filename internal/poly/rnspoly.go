@@ -1,0 +1,160 @@
+package poly
+
+import (
+	"fmt"
+
+	"repro/internal/ring"
+)
+
+// RNSPoly is a polynomial of degree bound n whose coefficients live in a
+// residue number system: one residue polynomial per prime of the basis. This
+// is the unit of data the paper's co-processor operates on — each RPAU owns
+// the residue polynomials of one or two primes (Sec. V-A1).
+type RNSPoly struct {
+	Rows []Poly // Rows[i] holds the coefficients modulo basis prime i
+}
+
+// NewRNSPoly returns a zero RNS polynomial over the given moduli.
+func NewRNSPoly(mods []ring.Modulus, n int) RNSPoly {
+	rows := make([]Poly, len(mods))
+	for i, m := range mods {
+		rows[i] = NewPoly(m, n)
+	}
+	return RNSPoly{Rows: rows}
+}
+
+// Clone returns a deep copy.
+func (p RNSPoly) Clone() RNSPoly {
+	rows := make([]Poly, len(p.Rows))
+	for i := range p.Rows {
+		rows[i] = p.Rows[i].Clone()
+	}
+	return RNSPoly{Rows: rows}
+}
+
+// N returns the coefficient count (0 for an empty polynomial).
+func (p RNSPoly) N() int {
+	if len(p.Rows) == 0 {
+		return 0
+	}
+	return p.Rows[0].N()
+}
+
+// Level returns the number of residue rows.
+func (p RNSPoly) Level() int { return len(p.Rows) }
+
+func (p RNSPoly) checkCompat(o RNSPoly) {
+	if len(p.Rows) != len(o.Rows) {
+		panic(fmt.Sprintf("poly: RNS level mismatch (%d vs %d)", len(p.Rows), len(o.Rows)))
+	}
+}
+
+// AddInto sets dst = p + o.
+func (p RNSPoly) AddInto(o, dst RNSPoly) {
+	p.checkCompat(o)
+	p.checkCompat(dst)
+	for i := range p.Rows {
+		p.Rows[i].AddInto(o.Rows[i], dst.Rows[i])
+	}
+}
+
+// SubInto sets dst = p - o.
+func (p RNSPoly) SubInto(o, dst RNSPoly) {
+	p.checkCompat(o)
+	p.checkCompat(dst)
+	for i := range p.Rows {
+		p.Rows[i].SubInto(o.Rows[i], dst.Rows[i])
+	}
+}
+
+// MulInto sets dst = p ⊙ o coefficient-wise per residue row.
+func (p RNSPoly) MulInto(o, dst RNSPoly) {
+	p.checkCompat(o)
+	p.checkCompat(dst)
+	for i := range p.Rows {
+		p.Rows[i].MulInto(o.Rows[i], dst.Rows[i])
+	}
+}
+
+// MulAddInto sets dst += p ⊙ o.
+func (p RNSPoly) MulAddInto(o, dst RNSPoly) {
+	p.checkCompat(o)
+	p.checkCompat(dst)
+	for i := range p.Rows {
+		p.Rows[i].MulAddInto(o.Rows[i], dst.Rows[i])
+	}
+}
+
+// NegInto sets dst = -p.
+func (p RNSPoly) NegInto(dst RNSPoly) {
+	p.checkCompat(dst)
+	for i := range p.Rows {
+		p.Rows[i].NegInto(dst.Rows[i])
+	}
+}
+
+// Equal reports deep equality.
+func (p RNSPoly) Equal(o RNSPoly) bool {
+	if len(p.Rows) != len(o.Rows) {
+		return false
+	}
+	for i := range p.Rows {
+		if !p.Rows[i].Equal(o.Rows[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Transformer applies forward/inverse NTTs across all rows of RNS
+// polynomials, holding one twiddle ROM per basis prime.
+type Transformer struct {
+	Tables []*NTTTable
+}
+
+// NewTransformer builds NTT tables of degree n for each modulus.
+func NewTransformer(mods []ring.Modulus, n int) (*Transformer, error) {
+	tabs := make([]*NTTTable, len(mods))
+	for i, m := range mods {
+		t, err := NewNTTTable(m, n)
+		if err != nil {
+			return nil, err
+		}
+		tabs[i] = t
+	}
+	return &Transformer{Tables: tabs}, nil
+}
+
+// Forward NTT-transforms every row of p in place.
+func (tr *Transformer) Forward(p RNSPoly) {
+	tr.check(p)
+	for i := range p.Rows {
+		tr.Tables[i].Forward(p.Rows[i].Coeffs)
+	}
+}
+
+// Inverse inverse-transforms every row of p in place.
+func (tr *Transformer) Inverse(p RNSPoly) {
+	tr.check(p)
+	for i := range p.Rows {
+		tr.Tables[i].Inverse(p.Rows[i].Coeffs)
+	}
+}
+
+func (tr *Transformer) check(p RNSPoly) {
+	if len(p.Rows) != len(tr.Tables) {
+		panic(fmt.Sprintf("poly: transformer has %d tables, polynomial has %d rows",
+			len(tr.Tables), len(p.Rows)))
+	}
+	for i := range p.Rows {
+		if p.Rows[i].Mod.Q != tr.Tables[i].Mod.Q {
+			panic("poly: transformer/polynomial modulus mismatch")
+		}
+	}
+}
+
+// SubTransformer returns a transformer over the first k tables, for
+// operating on polynomials at a lower level.
+func (tr *Transformer) SubTransformer(k int) *Transformer {
+	return &Transformer{Tables: tr.Tables[:k]}
+}

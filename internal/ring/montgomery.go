@@ -1,0 +1,75 @@
+package ring
+
+// Montgomery arithmetic: the other classic generic modular-reduction choice
+// for NTT datapaths (the paper's Sec. V-A4 weighs Barrett against its
+// sliding-window circuit; Montgomery is the third contender, used by many
+// software NTT libraries). Provided as an alternative backend, tested
+// against Barrett, with benchmarks so the trade-off is measurable here too.
+//
+// Values live in Montgomery form x̄ = x·R mod q with R = 2^32 (sufficient
+// for the ≤31-bit moduli), and REDC reduces 64-bit products.
+
+// Montgomery bundles a modulus with its Montgomery constants.
+type Montgomery struct {
+	Mod  Modulus
+	r2   uint64 // R² mod q, for conversion into Montgomery form
+	qInv uint64 // -q^-1 mod R
+}
+
+const montR = 1 << 32
+
+// NewMontgomery prepares Montgomery constants for m. The modulus is odd
+// (all NTT primes are), which the inversion requires.
+func NewMontgomery(m Modulus) Montgomery {
+	if m.Q%2 == 0 {
+		panic("ring: Montgomery requires an odd modulus")
+	}
+	// qInv = -q^-1 mod 2^32 by Newton iteration (5 steps double precision
+	// from 3 correct bits).
+	inv := m.Q // q^-1 mod 2^3 candidate: q is odd so q·q ≡ 1 mod 8
+	for i := 0; i < 5; i++ {
+		inv *= 2 - m.Q*inv
+	}
+	inv &= montR - 1
+	qInv := (montR - inv) & (montR - 1)
+	// R² mod q.
+	r2 := m.Reduce((1 << 32) % m.Q * ((1 << 32) % m.Q))
+	return Montgomery{Mod: m, r2: r2, qInv: qInv}
+}
+
+// redc reduces t < q·R to t·R^-1 mod q.
+func (mg Montgomery) redc(t uint64) uint64 {
+	mVal := (t & (montR - 1)) * mg.qInv & (montR - 1)
+	u := (t + mVal*mg.Mod.Q) >> 32
+	if u >= mg.Mod.Q {
+		u -= mg.Mod.Q
+	}
+	return u
+}
+
+// ToMont converts x < q into Montgomery form.
+func (mg Montgomery) ToMont(x uint64) uint64 {
+	return mg.redc(x * mg.r2)
+}
+
+// FromMont converts back to the standard representation.
+func (mg Montgomery) FromMont(x uint64) uint64 {
+	return mg.redc(x)
+}
+
+// MulMont multiplies two Montgomery-form operands, yielding a
+// Montgomery-form product.
+func (mg Montgomery) MulMont(a, b uint64) uint64 {
+	return mg.redc(a * b)
+}
+
+// Mul multiplies two standard-form operands via Montgomery arithmetic
+// (convert, multiply, convert back) — the apples-to-apples comparison point
+// against Modulus.Mul in the benchmarks.
+func (mg Montgomery) Mul(a, b uint64) uint64 {
+	return mg.FromMont(mg.MulMont(mg.ToMont(a), mg.ToMont(b)))
+}
+
+// Safety: for q < 2^31 and a, b < q in Montgomery form (< q < 2^31), the
+// product a·b < 2^62 and t + m·q < 2^62 + 2^63 < 2^64, so all REDC
+// intermediates fit uint64 without 128-bit arithmetic.

@@ -1,0 +1,57 @@
+package ring
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestMontgomeryMatchesBarrett(t *testing.T) {
+	r := rand.New(rand.NewSource(30))
+	for _, m := range testModuli(t) {
+		if m.Q%2 == 0 {
+			continue
+		}
+		mg := NewMontgomery(m)
+		for i := 0; i < 2000; i++ {
+			a := r.Uint64() % m.Q
+			b := r.Uint64() % m.Q
+			if got, want := mg.Mul(a, b), m.Mul(a, b); got != want {
+				t.Fatalf("q=%d: montgomery %d·%d = %d, barrett %d", m.Q, a, b, got, want)
+			}
+		}
+		// Form conversions round trip.
+		for i := 0; i < 200; i++ {
+			x := r.Uint64() % m.Q
+			if mg.FromMont(mg.ToMont(x)) != x {
+				t.Fatalf("q=%d: Montgomery form round trip failed for %d", m.Q, x)
+			}
+		}
+		// Montgomery-domain chained multiplication stays consistent: compute
+		// a·b·c entirely in Montgomery form.
+		a, b, c := r.Uint64()%m.Q, r.Uint64()%m.Q, r.Uint64()%m.Q
+		got := mg.FromMont(mg.MulMont(mg.MulMont(mg.ToMont(a), mg.ToMont(b)), mg.ToMont(c)))
+		want := m.Mul(m.Mul(a, b), c)
+		if got != want {
+			t.Fatalf("q=%d: chained Montgomery product wrong", m.Q)
+		}
+	}
+}
+
+func TestMontgomeryRejectsEvenModulus(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewMontgomery(NewModulus(1 << 20))
+}
+
+func BenchmarkMontgomeryMulMont(b *testing.B) {
+	mg := NewMontgomery(NewModulus(1073479681))
+	x := mg.ToMont(987654321)
+	y := mg.ToMont(123456789)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x = mg.MulMont(x, y)
+	}
+}

@@ -1,0 +1,161 @@
+package ring
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// IsPrime reports whether n is prime, using a Miller–Rabin test with a base
+// set that is deterministic for all 64-bit integers
+// (Sinclair's 7-base certificate).
+func IsPrime(n uint64) bool {
+	if n < 2 {
+		return false
+	}
+	for _, p := range []uint64{2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37} {
+		if n == p {
+			return true
+		}
+		if n%p == 0 {
+			return false
+		}
+	}
+	// n-1 = d·2^r with d odd.
+	d := n - 1
+	r := uint(0)
+	for d&1 == 0 {
+		d >>= 1
+		r++
+	}
+	bases := []uint64{2, 325, 9375, 28178, 450775, 9780504, 1795265022}
+witness:
+	for _, a := range bases {
+		a %= n
+		if a == 0 {
+			continue
+		}
+		x := powMod(a, d, n)
+		if x == 1 || x == n-1 {
+			continue
+		}
+		for i := uint(1); i < r; i++ {
+			x = mulMod64(x, x, n)
+			if x == n-1 {
+				continue witness
+			}
+		}
+		return false
+	}
+	return true
+}
+
+// powMod computes a^e mod n for arbitrary 64-bit n (not restricted to the
+// 31-bit Modulus range), using 128-bit intermediate products.
+func powMod(a, e, n uint64) uint64 {
+	result := uint64(1)
+	a %= n
+	for e > 0 {
+		if e&1 == 1 {
+			result = mulMod64(result, a, n)
+		}
+		a = mulMod64(a, a, n)
+		e >>= 1
+	}
+	return result
+}
+
+func mulMod64(a, b, n uint64) uint64 {
+	hi, lo := bits.Mul64(a, b)
+	_, rem := bits.Div64(hi%n, lo, n)
+	return rem
+}
+
+// GenerateNTTPrimes returns `count` primes of exactly `bitLen` bits with
+// p ≡ 1 (mod 2n), descending from the top of the bit range. Such primes
+// admit a 2n-th root of unity, enabling the negacyclic NTT over
+// Z_p[x]/(x^n+1). It returns an error when the range is exhausted.
+func GenerateNTTPrimes(bitLen, n, count int) ([]uint64, error) {
+	if bitLen < 4 || bitLen > MaxModulusBits {
+		return nil, fmt.Errorf("ring: prime width %d out of range", bitLen)
+	}
+	if n <= 0 || n&(n-1) != 0 {
+		return nil, fmt.Errorf("ring: ring degree %d is not a power of two", n)
+	}
+	step := uint64(2 * n)
+	// Largest candidate ≡ 1 mod 2n below 2^bitLen.
+	hi := uint64(1)<<uint(bitLen) - 1
+	cand := hi - (hi-1)%step
+	var primes []uint64
+	for cand >= uint64(1)<<uint(bitLen-1) {
+		if IsPrime(cand) {
+			primes = append(primes, cand)
+			if len(primes) == count {
+				return primes, nil
+			}
+		}
+		if cand < step {
+			break
+		}
+		cand -= step
+	}
+	return nil, fmt.Errorf("ring: only %d/%d %d-bit primes ≡ 1 mod %d", len(primes), count, bitLen, step)
+}
+
+// PrimitiveRoot returns a generator of the multiplicative group of Z_q for
+// prime q, by testing small candidates against the prime factors of q-1.
+func PrimitiveRoot(m Modulus) uint64 {
+	factors := distinctPrimeFactors(m.Q - 1)
+	for g := uint64(2); g < m.Q; g++ {
+		ok := true
+		for _, f := range factors {
+			if m.Pow(g, (m.Q-1)/f) == 1 {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return g
+		}
+	}
+	panic("ring: no primitive root found (modulus not prime?)")
+}
+
+// RootOfUnity returns a primitive order-th root of unity modulo q. It panics
+// unless order divides q-1 (the caller chose the prime precisely to make
+// this hold).
+func RootOfUnity(m Modulus, order uint64) uint64 {
+	if (m.Q-1)%order != 0 {
+		panic(fmt.Sprintf("ring: %d does not divide q-1 = %d", order, m.Q-1))
+	}
+	g := PrimitiveRoot(m)
+	w := m.Pow(g, (m.Q-1)/order)
+	// Sanity: w has exact order `order`.
+	if m.Pow(w, order/2) == 1 {
+		panic("ring: root of unity has smaller order than requested")
+	}
+	return w
+}
+
+func distinctPrimeFactors(n uint64) []uint64 {
+	var factors []uint64
+	for _, p := range []uint64{2, 3, 5} {
+		if n%p == 0 {
+			factors = append(factors, p)
+			for n%p == 0 {
+				n /= p
+			}
+		}
+	}
+	for f := uint64(7); f*f <= n; f += 2 {
+		if n%f == 0 {
+			factors = append(factors, f)
+			for n%f == 0 {
+				n /= f
+			}
+		}
+	}
+	if n > 1 {
+		factors = append(factors, n)
+	}
+	return factors
+}

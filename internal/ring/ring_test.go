@@ -1,0 +1,296 @@
+package ring
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func testModuli(t testing.TB) []Modulus {
+	primes, err := GenerateNTTPrimes(30, 4096, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mods := make([]Modulus, len(primes))
+	for i, p := range primes {
+		mods[i] = NewModulus(p)
+	}
+	// Also exercise small and maximal widths.
+	mods = append(mods, NewModulus(3), NewModulus(17), NewModulus((1<<31)-1))
+	return mods
+}
+
+func TestNewModulusRejectsOutOfRange(t *testing.T) {
+	for _, bad := range []uint64{0, 1, 2, 1 << 31, 1 << 40} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewModulus(%d) did not panic", bad)
+				}
+			}()
+			NewModulus(bad)
+		}()
+	}
+}
+
+func TestReduceAgainstNativeMod(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for _, m := range testModuli(t) {
+		for i := 0; i < 2000; i++ {
+			x := r.Uint64()
+			if got, want := m.Reduce(x), x%m.Q; got != want {
+				t.Fatalf("q=%d: Reduce(%d) = %d, want %d", m.Q, x, got, want)
+			}
+		}
+		// Boundary values.
+		for _, x := range []uint64{0, 1, m.Q - 1, m.Q, m.Q + 1, 2*m.Q - 1, 2 * m.Q, ^uint64(0)} {
+			if got, want := m.Reduce(x), x%m.Q; got != want {
+				t.Fatalf("q=%d: Reduce(%d) = %d, want %d", m.Q, x, got, want)
+			}
+		}
+	}
+}
+
+func TestAddSubMulNeg(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for _, m := range testModuli(t) {
+		for i := 0; i < 1000; i++ {
+			a := r.Uint64() % m.Q
+			b := r.Uint64() % m.Q
+			if got, want := m.Add(a, b), (a+b)%m.Q; got != want {
+				t.Fatalf("q=%d Add", m.Q)
+			}
+			if got, want := m.Sub(a, b), (a+m.Q-b)%m.Q; got != want {
+				t.Fatalf("q=%d Sub", m.Q)
+			}
+			if got, want := m.Mul(a, b), (a*b)%m.Q; got != want {
+				t.Fatalf("q=%d Mul (a·b fits 64 bits since q < 2^31)", m.Q)
+			}
+			if got := m.Add(a, m.Neg(a)); got != 0 {
+				t.Fatalf("q=%d a + (-a) = %d", m.Q, got)
+			}
+		}
+	}
+}
+
+func TestPowInv(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for _, m := range testModuli(t) {
+		if !IsPrime(m.Q) {
+			continue
+		}
+		for i := 0; i < 100; i++ {
+			a := r.Uint64()%(m.Q-1) + 1
+			inv := m.Inv(a)
+			if m.Mul(a, inv) != 1 {
+				t.Fatalf("q=%d: a·a^-1 != 1", m.Q)
+			}
+			// Fermat: a^(q-1) = 1.
+			if m.Pow(a, m.Q-1) != 1 {
+				t.Fatalf("q=%d: Fermat violated", m.Q)
+			}
+		}
+		if m.Pow(0, 0) != 1 || m.Pow(5, 0) != 1 {
+			t.Fatal("x^0 should be 1")
+		}
+	}
+}
+
+func TestInvZeroPanics(t *testing.T) {
+	m := NewModulus(17)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m.Inv(0)
+}
+
+func TestCenteredRoundTrip(t *testing.T) {
+	m := NewModulus(17)
+	for a := uint64(0); a < 17; a++ {
+		c := m.Centered(a)
+		if c < -8 || c > 8 {
+			t.Fatalf("centered(%d) = %d out of range", a, c)
+		}
+		if m.FromSigned(c) != a {
+			t.Fatalf("round trip failed for %d", a)
+		}
+	}
+	if m.FromSigned(-1) != 16 || m.FromSigned(-18) != 16 || m.FromSigned(35) != 1 {
+		t.Fatal("FromSigned wrong on wrapping values")
+	}
+}
+
+func TestIsPrimeSmallAndKnown(t *testing.T) {
+	known := map[uint64]bool{
+		0: false, 1: false, 2: true, 3: true, 4: false, 5: true,
+		25: false, 97: true, 561: false /* Carmichael */, 7919: true,
+		1<<31 - 1: true /* Mersenne M31 */, 1<<30 + 1: false,
+		1073479681: true, /* 30-bit NTT prime ≡ 1 mod 2^13 */
+	}
+	for n, want := range known {
+		if got := IsPrime(n); got != want {
+			t.Fatalf("IsPrime(%d) = %v, want %v", n, got, want)
+		}
+	}
+}
+
+func TestGenerateNTTPrimes(t *testing.T) {
+	for _, n := range []int{256, 4096} {
+		primes, err := GenerateNTTPrimes(30, n, 13)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(primes) != 13 {
+			t.Fatalf("got %d primes", len(primes))
+		}
+		seen := map[uint64]bool{}
+		for _, p := range primes {
+			if seen[p] {
+				t.Fatalf("duplicate prime %d", p)
+			}
+			seen[p] = true
+			if !IsPrime(p) {
+				t.Fatalf("%d is not prime", p)
+			}
+			if p%(2*uint64(n)) != 1 {
+				t.Fatalf("%d ≢ 1 mod 2n", p)
+			}
+			if p < 1<<29 || p >= 1<<30 {
+				t.Fatalf("%d is not a 30-bit prime", p)
+			}
+		}
+	}
+	if _, err := GenerateNTTPrimes(30, 12345, 1); err == nil {
+		t.Fatal("expected error for non-power-of-two degree")
+	}
+	if _, err := GenerateNTTPrimes(40, 256, 1); err == nil {
+		t.Fatal("expected error for out-of-range width")
+	}
+	// Exhaustion: there are not 1000 14-bit primes ≡ 1 mod 8192.
+	if _, err := GenerateNTTPrimes(14, 4096, 1000); err == nil {
+		t.Fatal("expected exhaustion error")
+	}
+}
+
+func TestRootOfUnity(t *testing.T) {
+	primes, err := GenerateNTTPrimes(30, 1024, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range primes {
+		m := NewModulus(p)
+		order := uint64(2048)
+		w := RootOfUnity(m, order)
+		if m.Pow(w, order) != 1 {
+			t.Fatalf("w^order != 1 for q=%d", p)
+		}
+		if m.Pow(w, order/2) != m.Q-1 {
+			// A primitive 2n-th root must satisfy w^n = -1 (negacyclic).
+			t.Fatalf("w^(order/2) != -1 for q=%d", p)
+		}
+	}
+}
+
+func TestPrimitiveRootOrder(t *testing.T) {
+	m := NewModulus(97)
+	g := PrimitiveRoot(m)
+	seen := map[uint64]bool{}
+	x := uint64(1)
+	for i := 0; i < 96; i++ {
+		x = m.Mul(x, g)
+		if seen[x] {
+			t.Fatalf("g=%d is not a generator of Z_97*", g)
+		}
+		seen[x] = true
+	}
+}
+
+func TestSlidingReducerMatchesBarrett(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	for _, m := range testModuli(t) {
+		sr := NewSlidingReducer(m)
+		for i := 0; i < 2000; i++ {
+			// Products of two residues: the circuit's actual operand range.
+			a := r.Uint64() % m.Q
+			b := r.Uint64() % m.Q
+			x := a * b
+			if got, want := sr.Reduce(x), m.Reduce(x); got != want {
+				t.Fatalf("q=%d: sliding(%d) = %d, want %d", m.Q, x, got, want)
+			}
+		}
+		// Full 64-bit operands as well.
+		for i := 0; i < 2000; i++ {
+			x := r.Uint64()
+			if got, want := sr.Reduce(x), m.Reduce(x); got != want {
+				t.Fatalf("q=%d: sliding64(%d) = %d, want %d", m.Q, x, got, want)
+			}
+		}
+	}
+}
+
+func TestSlidingReducerStepCount(t *testing.T) {
+	// For the paper's geometry (30-bit modulus, 60-bit product) the unrolled
+	// circuit uses 6 window steps; verify the model agrees.
+	primes, err := GenerateNTTPrimes(30, 4096, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewModulus(primes[0])
+	sr := NewSlidingReducer(m)
+	x := (m.Q - 1) * (m.Q - 1)
+	sr.Reduce(x)
+	if sr.WindowOps > 6 {
+		t.Fatalf("60-bit reduction used %d window steps, expected ≤ 6", sr.WindowOps)
+	}
+}
+
+func TestModulusQuickProperties(t *testing.T) {
+	primes, err := GenerateNTTPrimes(30, 256, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewModulus(primes[0])
+	cfg := &quick.Config{MaxCount: 500}
+	mulAssoc := func(a, b, c uint64) bool {
+		a, b, c = a%m.Q, b%m.Q, c%m.Q
+		return m.Mul(m.Mul(a, b), c) == m.Mul(a, m.Mul(b, c))
+	}
+	if err := quick.Check(mulAssoc, cfg); err != nil {
+		t.Error(err)
+	}
+	addInverse := func(a, b uint64) bool {
+		a, b = a%m.Q, b%m.Q
+		return m.Sub(m.Add(a, b), b) == a
+	}
+	if err := quick.Check(addInverse, cfg); err != nil {
+		t.Error(err)
+	}
+	signedRoundTrip := func(v int64) bool {
+		return m.Centered(m.FromSigned(v))%int64(m.Q) == v%int64(m.Q) ||
+			m.FromSigned(m.Centered(m.FromSigned(v))) == m.FromSigned(v)
+	}
+	if err := quick.Check(signedRoundTrip, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkBarrettReduce(b *testing.B) {
+	m := NewModulus(1073479681)
+	x := uint64(987654321987654321)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x = m.Reduce(x) * 1073479679
+	}
+}
+
+func BenchmarkSlidingReduce(b *testing.B) {
+	m := NewModulus(1073479681)
+	sr := NewSlidingReducer(m)
+	x := uint64(987654321987654321)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x = sr.Reduce(x) * 1073479679
+	}
+}

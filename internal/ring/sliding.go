@@ -1,0 +1,58 @@
+package ring
+
+import "math/bits"
+
+// SlidingReducer implements the paper's modular-reduction circuit
+// (Sec. V-A4): a 60-bit product is reduced step by step with a 6-bit sliding
+// window and a 64-entry "reduction table" holding w·2^30 mod q for
+// w = 0…63. The steps are fully unrolled in hardware; here each window step
+// is one loop iteration so the hardware simulator can count them.
+//
+// The circuit assumes the paper's geometry — a 30-bit modulus and a 60-bit
+// operand — and generalizes slightly to any modulus width b ≤ 31 with
+// operands up to 64 bits.
+type SlidingReducer struct {
+	mod       Modulus
+	width     uint       // modulus width b in bits
+	table     [64]uint64 // table[w] = w·2^b mod q
+	WindowOps int        // window steps taken by the last Reduce call
+}
+
+// NewSlidingReducer builds the reduction table for m.
+func NewSlidingReducer(m Modulus) *SlidingReducer {
+	r := &SlidingReducer{mod: m, width: uint(bits.Len64(m.Q))}
+	for w := uint64(0); w < 64; w++ {
+		r.table[w] = m.Reduce(w << r.width) // w < 64, b ≤ 31: fits in 64 bits
+	}
+	return r
+}
+
+// Reduce returns x mod q using the sliding-window method, recording the
+// number of window steps in WindowOps.
+func (r *SlidingReducer) Reduce(x uint64) uint64 {
+	b := r.width
+	r.WindowOps = 0
+	for uint(bits.Len64(x)) > b+1 {
+		// Split x = hi·2^b + lo with hi at most 6 bits wide (take fewer top
+		// bits when x is nearly reduced), then fold hi via the table:
+		// hi·2^b ≡ table[hi] (mod q).
+		shift := b
+		if top := uint(bits.Len64(x)); top > b+6 {
+			shift = top - 6
+		}
+		hi := x >> shift
+		lo := x & (1<<shift - 1)
+		// hi·2^shift = hi·2^b·2^(shift-b) ≡ table[hi]·2^(shift-b) (mod q).
+		// Each step shortens x by at least 5 bits, so a 60-bit product
+		// reduces in ⌈(60-31)/5⌉ = 6 window steps, matching the unrolled
+		// pipeline depth of the hardware circuit.
+		x = lo + r.table[hi]<<(shift-b)
+		r.WindowOps++
+	}
+	// Final correction: a few subtractions of q bring the ≤ (b+1)-bit
+	// intermediate into [0, q) (the paper subtracts q or 2q).
+	for x >= r.mod.Q {
+		x -= r.mod.Q
+	}
+	return x
+}

@@ -1,0 +1,107 @@
+package rns
+
+import (
+	"repro/internal/mp"
+	"repro/internal/poly"
+)
+
+// DecomposeRNS performs the RNS gadget decomposition used by the fast
+// architecture's relinearization: a value x mod q is written as
+//
+//	x ≡ Σ_i d_i · q*_i  (mod q),   d_i = x_i·q̃_i mod q_i < 2^30,
+//
+// so the "digits" are the per-prime projections — the RNS analogue of the
+// paper's WordDecomp with base w = 2^30, producing ℓ = k digit polynomials
+// (six for the paper's parameter set, matching its six-polynomial
+// relinearization keys). Each digit polynomial is returned replicated
+// across all k residue rows so it can enter NTT-domain products directly.
+func DecomposeRNS(b *Basis, x poly.RNSPoly) []poly.RNSPoly {
+	if x.Level() != b.K() {
+		panic("rns: DecomposeRNS level mismatch")
+	}
+	n := x.N()
+	digits := make([]poly.RNSPoly, b.K())
+	for i := range digits {
+		digits[i] = poly.NewRNSPoly(b.Mods, n)
+	}
+	for i, m := range b.Mods {
+		for c := 0; c < n; c++ {
+			d := m.Mul(x.Rows[i].Coeffs[c], b.QTilde[i])
+			for r, mr := range b.Mods {
+				digits[i].Rows[r].Coeffs[c] = mr.Reduce(d)
+			}
+		}
+	}
+	return digits
+}
+
+// GadgetRNS returns the gadget vector of DecomposeRNS: g_i = q*_i mod q_j
+// per row, as constants an evaluator multiplies into key components. The
+// identity Σ_i d_i·g_i ≡ x (mod q) is what relinearization keys encrypt
+// against.
+func GadgetRNS(b *Basis) []poly.RNSPoly {
+	g := make([]poly.RNSPoly, b.K())
+	for i := range b.Mods {
+		g[i] = poly.NewRNSPoly(b.Mods, 1)
+		for j, mj := range b.Mods {
+			g[i].Rows[j].Coeffs[0] = b.QStar[i].ModWord(mj.Q)
+		}
+	}
+	return g
+}
+
+// WordDecompose performs the traditional positional decomposition of the
+// paper's Sec. II-B example: each coefficient, reconstructed to its centered
+// positional form, is sliced into ℓ signed digits in base w = 2^logW
+// (digits in (-w/2, w/2]), so that x = Σ_i d_i·w^i. Signed digits halve the
+// digit magnitude, which is why the paper's toy example decomposes 43 into
+// -5 + 16·3. The slower architecture uses this decomposition with a smaller
+// ℓ ("three times smaller relinearization key", Sec. VI-C).
+func WordDecompose(b *Basis, x poly.RNSPoly, logW uint, ell int) []poly.RNSPoly {
+	if x.Level() != b.K() {
+		panic("rns: WordDecompose level mismatch")
+	}
+	n := x.N()
+	digits := make([]poly.RNSPoly, ell)
+	for i := range digits {
+		digits[i] = poly.NewRNSPoly(b.Mods, n)
+	}
+	res := make([]uint64, b.K())
+	w := mp.NewNat(1).Shl(logW)
+	half := mp.NewNat(1).Shl(logW - 1)
+	for c := 0; c < n; c++ {
+		for i := range res {
+			res[i] = x.Rows[i].Coeffs[c]
+		}
+		mag, neg := b.ReconstructCentered(res)
+		// Slice |x| into signed base-w digits, then apply the overall sign.
+		var carry bool
+		for d := 0; d < ell; d++ {
+			limb := mag.Mod(w)
+			mag = mag.Shr(logW)
+			if carry {
+				limb = limb.AddWord(1)
+				carry = false
+			}
+			digNeg := false
+			if limb.Cmp(half) > 0 { // digit > w/2: use digit - w, carry 1
+				limb = w.Sub(limb)
+				digNeg = true
+				carry = true
+			}
+			for r, mr := range b.Mods {
+				// Digits can exceed a word for wide bases (the slower
+				// architecture uses w = 2^90); reduce via mp.
+				v := limb.ModWord(mr.Q)
+				if digNeg != neg { // XOR of digit sign and value sign
+					v = mr.Neg(v)
+				}
+				digits[d].Rows[r].Coeffs[c] = v
+			}
+		}
+		if !mag.IsZero() || carry {
+			panic("rns: WordDecompose digit count too small for the basis")
+		}
+	}
+	return digits
+}

@@ -1,0 +1,175 @@
+package rns
+
+import (
+	"fmt"
+
+	"repro/internal/mp"
+	"repro/internal/poly"
+	"repro/internal/ring"
+)
+
+// Extender performs base extension from a source basis to a set of target
+// moduli: given the residues of x modulo the source primes, it produces the
+// residues of the *centered* representative x̂ ∈ (-Q/2, Q/2] modulo each
+// target prime. This is the paper's Lift q→Q (Sec. IV-C): the target moduli
+// are the seven extra primes of Q, and the centered semantics is what makes
+// the lift exact for the small-magnitude values FV manipulates.
+//
+// Three implementations are provided with identical semantics:
+//
+//   - Extend: the HPS method (Eq. 2 of the paper) — per-prime products and
+//     a fixed-point estimate of the quotient v′, no long arithmetic.
+//   - ExtendTraditional: the traditional CRT method (Eq. 1) — long-integer
+//     sum of products, long division by reciprocal multiplication.
+//   - ExtendExact: math on the fully reconstructed integer; the oracle.
+type Extender struct {
+	Src *Basis
+	Dst []ring.Modulus
+
+	qStarMod [][]uint64 // qStarMod[i][j] = (Q/q_i) mod c_j
+	qMod     []uint64   // qMod[j] = Q mod c_j
+}
+
+// NewExtender prepares the extension tables from src to dst.
+func NewExtender(src *Basis, dst []ring.Modulus) (*Extender, error) {
+	for _, d := range dst {
+		if src.Contains(d.Q) {
+			return nil, fmt.Errorf("rns: target modulus %d already in source basis", d.Q)
+		}
+	}
+	e := &Extender{
+		Src:      src,
+		Dst:      append([]ring.Modulus(nil), dst...),
+		qStarMod: make([][]uint64, src.K()),
+		qMod:     make([]uint64, len(dst)),
+	}
+	for i := range src.Mods {
+		e.qStarMod[i] = make([]uint64, len(dst))
+		for j, d := range dst {
+			e.qStarMod[i][j] = src.QStar[i].ModWord(d.Q)
+		}
+	}
+	for j, d := range dst {
+		e.qMod[j] = src.Product.ModWord(d.Q)
+	}
+	return e, nil
+}
+
+// Extend computes the target residues of the centered value from the source
+// residues using the HPS approximate CRT:
+//
+//	y_i = a_i·q̃_i mod q_i
+//	v′  = round(Σ y_i/q_i)             (128-bit fixed point)
+//	out_j = Σ y_i·(q*_i mod c_j) - v′·(Q mod c_j)   (mod c_j)
+//
+// Because v′ is the *rounded* quotient, the reconstructed value is the
+// centered representative: Σ y_i·q*_i = x + k·Q for some integer k, and
+// Σ y_i/q_i = k + x/Q, so v′ = k when x < Q/2 and k+1 otherwise.
+func (e *Extender) Extend(in, out []uint64) {
+	e.checkLens(in, out)
+	var acc mp.Acc192
+	y := make([]uint64, len(in))
+	for i, m := range e.Src.Mods {
+		yi := m.Mul(in[i], e.Src.QTilde[i])
+		y[i] = yi
+		acc.AddMul(yi, e.Src.invFrac[i])
+	}
+	v := acc.Round()
+	for j, d := range e.Dst {
+		var sum uint64
+		for i := range y {
+			sum = d.Add(sum, d.Mul(d.Reduce(y[i]), e.qStarMod[i][j]))
+		}
+		out[j] = d.Sub(sum, d.Mul(d.Reduce(v), e.qMod[j]))
+	}
+}
+
+// ExtendTraditional computes the same result with the traditional CRT
+// dataflow of paper Fig. 5: a long-integer sum of products Σ a_i·q̃_i·q*_i,
+// a long division by Q (reciprocal multiplication) giving the rounded
+// quotient v, the centered reconstruction sop - v·Q, and finally the
+// reductions modulo each target prime.
+func (e *Extender) ExtendTraditional(in, out []uint64) {
+	e.checkLens(in, out)
+	sop := mp.Nat{}
+	for i := range in {
+		sop = sop.Add(e.Src.sopConst[i].MulWord(e.Src.Mods[i].Reduce(in[i])))
+	}
+	v := e.Src.recip.DivRound(sop)
+	vq := v.Mul(e.Src.Product)
+	// x̂ = sop - v·Q ∈ (-Q/2, Q/2]: track the sign explicitly.
+	var mag mp.Nat
+	neg := false
+	if sop.Cmp(vq) >= 0 {
+		mag = sop.Sub(vq)
+	} else {
+		mag = vq.Sub(sop)
+		neg = true
+	}
+	for j, d := range e.Dst {
+		r := mag.ModWord(d.Q)
+		if neg {
+			r = d.Neg(r)
+		}
+		out[j] = r
+	}
+}
+
+// ExtendExact reconstructs the centered value exactly and reduces it modulo
+// each target prime. It is the correctness oracle for the other two paths.
+func (e *Extender) ExtendExact(in, out []uint64) {
+	e.checkLens(in, out)
+	mag, neg := e.Src.ReconstructCentered(in)
+	for j, d := range e.Dst {
+		r := mag.ModWord(d.Q)
+		if neg {
+			r = d.Neg(r)
+		}
+		out[j] = r
+	}
+}
+
+func (e *Extender) checkLens(in, out []uint64) {
+	if len(in) != e.Src.K() || len(out) != len(e.Dst) {
+		panic("rns: Extend residue slice length mismatch")
+	}
+}
+
+// LiftPoly applies the HPS extension coefficient-wise to an RNS polynomial
+// over the source basis, returning a polynomial over source ∪ target (the
+// paper's Lift q→Q of a full polynomial: the q residues are kept, the p
+// residues computed).
+func (e *Extender) LiftPoly(p poly.RNSPoly) poly.RNSPoly {
+	return e.liftPolyWith(p, e.Extend)
+}
+
+// LiftPolyTraditional is LiftPoly using the traditional CRT dataflow.
+func (e *Extender) LiftPolyTraditional(p poly.RNSPoly) poly.RNSPoly {
+	return e.liftPolyWith(p, e.ExtendTraditional)
+}
+
+func (e *Extender) liftPolyWith(p poly.RNSPoly, extend func(in, out []uint64)) poly.RNSPoly {
+	if p.Level() != e.Src.K() {
+		panic("rns: polynomial level does not match source basis")
+	}
+	n := p.N()
+	out := poly.RNSPoly{Rows: make([]poly.Poly, e.Src.K()+len(e.Dst))}
+	for i := range p.Rows {
+		out.Rows[i] = p.Rows[i].Clone()
+	}
+	for j, d := range e.Dst {
+		out.Rows[e.Src.K()+j] = poly.NewPoly(d, n)
+	}
+	in := make([]uint64, e.Src.K())
+	res := make([]uint64, len(e.Dst))
+	for c := 0; c < n; c++ {
+		for i := range p.Rows {
+			in[i] = p.Rows[i].Coeffs[c]
+		}
+		extend(in, res)
+		for j := range e.Dst {
+			out.Rows[e.Src.K()+j].Coeffs[c] = res[j]
+		}
+	}
+	return out
+}

@@ -1,0 +1,109 @@
+package rns
+
+import (
+	"fmt"
+
+	"repro/internal/ring"
+)
+
+// Fast base conversion (FBC) with Shenoy–Kumaresan correction — the third
+// design point for Lift-style base extension, used by the BEHZ RNS variant
+// of FV that the paper's GPU comparison target (Badawi et al., cited in
+// Sec. VI-E) implements alongside HPS. Plain FBC skips the quotient
+// estimate entirely:
+//
+//	FBC(x)_j = Σ_i (x_i·q̃_i mod q_i)·(q*_i mod c_j)  ≡  x + α·q (mod c_j)
+//
+// overshooting by an unknown α ∈ [0, k). The Shenoy–Kumaresan technique
+// recovers α exactly from one redundant residue x mod m_sk (m_sk > k,
+// coprime to everything): α = (FBC(x)_msk - x_msk)·q^-1 mod m_sk. No
+// floating point, no fixed-point reciprocals — the trade-off is carrying
+// the extra residue through the computation.
+type FBCExtender struct {
+	Src *Basis
+	Dst []ring.Modulus
+	Msk ring.Modulus // redundant modulus
+
+	qStarMod    [][]uint64 // (q/q_i) mod c_j
+	qMod        []uint64   // q mod c_j
+	qStarModMsk []uint64   // (q/q_i) mod m_sk
+	qInvModMsk  uint64     // q^-1 mod m_sk
+}
+
+// NewFBCExtender prepares tables for an FBC extension from src to dst with
+// redundant modulus msk. msk must exceed the source basis size (so the
+// overflow α fits) and be distinct from all other moduli.
+func NewFBCExtender(src *Basis, dst []ring.Modulus, msk ring.Modulus) (*FBCExtender, error) {
+	if msk.Q <= uint64(src.K()) {
+		return nil, fmt.Errorf("rns: redundant modulus %d too small for %d source primes", msk.Q, src.K())
+	}
+	if src.Contains(msk.Q) {
+		return nil, fmt.Errorf("rns: redundant modulus %d collides with the source basis", msk.Q)
+	}
+	for _, d := range dst {
+		if d.Q == msk.Q {
+			return nil, fmt.Errorf("rns: redundant modulus %d collides with a target modulus", msk.Q)
+		}
+		if src.Contains(d.Q) {
+			return nil, fmt.Errorf("rns: target modulus %d already in source basis", d.Q)
+		}
+	}
+	e := &FBCExtender{
+		Src:         src,
+		Dst:         append([]ring.Modulus(nil), dst...),
+		Msk:         msk,
+		qStarMod:    make([][]uint64, src.K()),
+		qMod:        make([]uint64, len(dst)),
+		qStarModMsk: make([]uint64, src.K()),
+	}
+	for i := range src.Mods {
+		e.qStarMod[i] = make([]uint64, len(dst))
+		for j, d := range dst {
+			e.qStarMod[i][j] = src.QStar[i].ModWord(d.Q)
+		}
+		e.qStarModMsk[i] = src.QStar[i].ModWord(msk.Q)
+	}
+	for j, d := range dst {
+		e.qMod[j] = src.Product.ModWord(d.Q)
+	}
+	e.qInvModMsk = msk.Inv(src.Product.ModWord(msk.Q))
+	return e, nil
+}
+
+// ExtendRaw computes the uncorrected FBC into out and returns the raw FBC
+// value modulo the redundant modulus. The result represents x + α·q for
+// some α ∈ [0, k).
+func (e *FBCExtender) ExtendRaw(in, out []uint64) (rawMsk uint64) {
+	if len(in) != e.Src.K() || len(out) != len(e.Dst) {
+		panic("rns: FBC residue slice length mismatch")
+	}
+	y := make([]uint64, len(in))
+	for i, m := range e.Src.Mods {
+		y[i] = m.Mul(in[i], e.Src.QTilde[i])
+	}
+	for j, d := range e.Dst {
+		var sum uint64
+		for i := range y {
+			sum = d.Add(sum, d.Mul(d.Reduce(y[i]), e.qStarMod[i][j]))
+		}
+		out[j] = sum
+	}
+	for i := range y {
+		rawMsk = e.Msk.Add(rawMsk, e.Msk.Mul(e.Msk.Reduce(y[i]), e.qStarModMsk[i]))
+	}
+	return rawMsk
+}
+
+// Extend computes the exact extension of x ∈ [0, q): it runs the raw FBC,
+// recovers the overflow α from the caller-supplied redundant residue
+// xMsk = x mod m_sk, and subtracts α·q from every target residue. The
+// returned α is exposed for tests and diagnostics.
+func (e *FBCExtender) Extend(in []uint64, xMsk uint64, out []uint64) (alpha uint64) {
+	rawMsk := e.ExtendRaw(in, out)
+	// α = (raw - x)·q^-1 mod m_sk; exact because α < k < m_sk.
+	alpha = e.Msk.Mul(e.Msk.Sub(rawMsk, e.Msk.Reduce(xMsk)), e.qInvModMsk)
+	for j, d := range e.Dst {
+		out[j] = d.Sub(out[j], d.Mul(d.Reduce(alpha), e.qMod[j]))
+	}
+	return alpha
+}

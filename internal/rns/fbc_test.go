@@ -1,0 +1,128 @@
+package rns
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/ring"
+)
+
+func fbcSetup(t testing.TB) (*Basis, []ring.Modulus, *FBCExtender) {
+	t.Helper()
+	primes, err := ring.GenerateNTTPrimes(30, 256, 14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qmods := make([]ring.Modulus, 6)
+	pmods := make([]ring.Modulus, 7)
+	for i := 0; i < 6; i++ {
+		qmods[i] = ring.NewModulus(primes[i])
+	}
+	for j := 0; j < 7; j++ {
+		pmods[j] = ring.NewModulus(primes[6+j])
+	}
+	msk := ring.NewModulus(primes[13])
+	qb, err := NewBasis(qmods)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fbc, err := NewFBCExtender(qb, pmods, msk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return qb, pmods, fbc
+}
+
+func TestFBCWithCorrectionIsExact(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	qb, pmods, fbc := fbcSetup(t)
+	out := make([]uint64, len(pmods))
+	for trial := 0; trial < 500; trial++ {
+		x := randBelow(r, qb.Product)
+		in := qb.Decompose(x)
+		alpha := fbc.Extend(in, x.ModWord(fbc.Msk.Q), out)
+		if alpha >= uint64(qb.K()) {
+			t.Fatalf("overflow α = %d out of range [0, %d)", alpha, qb.K())
+		}
+		for j, d := range pmods {
+			if want := x.ModWord(d.Q); out[j] != want {
+				t.Fatalf("trial %d residue %d: got %d, want %d (α=%d)", trial, j, out[j], want, alpha)
+			}
+		}
+	}
+}
+
+func TestFBCRawOverflowProperty(t *testing.T) {
+	// Without correction, the raw FBC equals x + α·q for a single α < k
+	// consistent across all target residues.
+	r := rand.New(rand.NewSource(2))
+	qb, pmods, fbc := fbcSetup(t)
+	out := make([]uint64, len(pmods))
+	for trial := 0; trial < 200; trial++ {
+		x := randBelow(r, qb.Product)
+		in := qb.Decompose(x)
+		fbc.ExtendRaw(in, out)
+		// Find α from the first residue, then verify it explains the rest.
+		d0 := pmods[0]
+		var alpha uint64
+		found := false
+		for a := uint64(0); a < uint64(qb.K()); a++ {
+			want := d0.Add(x.ModWord(d0.Q), d0.Mul(d0.Reduce(a), qb.Product.ModWord(d0.Q)))
+			if out[0] == want {
+				alpha, found = a, true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("trial %d: no α < k explains the raw FBC", trial)
+		}
+		for j, d := range pmods {
+			want := d.Add(x.ModWord(d.Q), d.Mul(d.Reduce(alpha), qb.Product.ModWord(d.Q)))
+			if out[j] != want {
+				t.Fatalf("trial %d: α inconsistent across residues", trial)
+			}
+		}
+	}
+}
+
+func TestFBCValidation(t *testing.T) {
+	primes, err := ring.GenerateNTTPrimes(30, 256, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mods := make([]ring.Modulus, 6)
+	for i, p := range primes {
+		mods[i] = ring.NewModulus(p)
+	}
+	qb, err := NewBasis(mods[:4]) // k = 4 source primes
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Redundant modulus too small: 3 ≤ k = 4.
+	if _, err := NewFBCExtender(qb, mods[4:5], ring.NewModulus(3)); err == nil {
+		t.Fatal("tiny redundant modulus accepted")
+	}
+	// Collisions.
+	if _, err := NewFBCExtender(qb, mods[4:5], mods[0]); err == nil {
+		t.Fatal("redundant modulus colliding with source accepted")
+	}
+	if _, err := NewFBCExtender(qb, mods[4:5], mods[4]); err == nil {
+		t.Fatal("redundant modulus colliding with target accepted")
+	}
+	if _, err := NewFBCExtender(qb, mods[:1], mods[5]); err == nil {
+		t.Fatal("target overlapping source accepted")
+	}
+}
+
+func BenchmarkExtendFBC(b *testing.B) {
+	r := rand.New(rand.NewSource(3))
+	qb, pmods, fbc := fbcSetup(b)
+	x := randBelow(r, qb.Product)
+	in := qb.Decompose(x)
+	xMsk := x.ModWord(fbc.Msk.Q)
+	out := make([]uint64, len(pmods))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fbc.Extend(in, xMsk, out)
+	}
+}

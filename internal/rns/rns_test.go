@@ -1,0 +1,493 @@
+package rns
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"repro/internal/mp"
+	"repro/internal/poly"
+	"repro/internal/ring"
+)
+
+// paperBases builds the paper's basis shape scaled to n: kq q-primes and
+// kp p-primes of 30 bits, all NTT-friendly for degree n.
+func paperBases(t testing.TB, n, kq, kp int) (*Basis, *Basis) {
+	t.Helper()
+	primes, err := ring.GenerateNTTPrimes(30, n, kq+kp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qmods := make([]ring.Modulus, kq)
+	pmods := make([]ring.Modulus, kp)
+	for i := 0; i < kq; i++ {
+		qmods[i] = ring.NewModulus(primes[i])
+	}
+	for j := 0; j < kp; j++ {
+		pmods[j] = ring.NewModulus(primes[kq+j])
+	}
+	qb, err := NewBasis(qmods)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := NewBasis(pmods)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return qb, pb
+}
+
+func natToBig(x mp.Nat) *big.Int {
+	return new(big.Int).SetBytes(x.Bytes())
+}
+
+func randBelow(r *rand.Rand, bound mp.Nat) mp.Nat {
+	bits := bound.BitLen()
+	for {
+		limbs := make([]uint64, (bits+63)/64)
+		for i := range limbs {
+			limbs[i] = r.Uint64()
+		}
+		x := mp.NatFromLimbs(limbs)
+		if extra := x.BitLen() - bits; extra > 0 {
+			x = x.Shr(uint(extra))
+		}
+		if x.Cmp(bound) < 0 {
+			return x
+		}
+	}
+}
+
+func TestNewBasisValidation(t *testing.T) {
+	m := ring.NewModulus(97)
+	if _, err := NewBasis(nil); err == nil {
+		t.Fatal("expected error for empty basis")
+	}
+	if _, err := NewBasis([]ring.Modulus{m, m}); err == nil {
+		t.Fatal("expected error for duplicate modulus")
+	}
+	if _, err := NewBasis([]ring.Modulus{ring.NewModulus(91)}); err == nil {
+		t.Fatal("expected error for composite modulus (91 = 7·13)")
+	}
+}
+
+func TestDecomposeReconstructRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	qb, _ := paperBases(t, 256, 6, 7)
+	for trial := 0; trial < 200; trial++ {
+		x := randBelow(r, qb.Product)
+		res := qb.Decompose(x)
+		back := qb.Reconstruct(res)
+		if back.Cmp(x) != 0 {
+			t.Fatalf("round trip failed: %s -> %s", x, back)
+		}
+	}
+	// Against big.Int CRT for good measure.
+	x := randBelow(r, qb.Product)
+	res := qb.Decompose(x)
+	for i, m := range qb.Mods {
+		want := new(big.Int).Mod(natToBig(x), new(big.Int).SetUint64(m.Q)).Uint64()
+		if res[i] != want {
+			t.Fatalf("residue %d mismatch", i)
+		}
+	}
+}
+
+func TestDecomposeRejectsUnreduced(t *testing.T) {
+	qb, _ := paperBases(t, 256, 2, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	qb.Decompose(qb.Product)
+}
+
+func TestReconstructCentered(t *testing.T) {
+	qb, _ := paperBases(t, 256, 3, 1)
+	r := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 200; trial++ {
+		// Small signed values must come back exactly.
+		v := r.Int63n(1<<40) - 1<<39
+		neg := v < 0
+		mag := uint64(v)
+		if neg {
+			mag = uint64(-v)
+		}
+		res := qb.DecomposeSigned(mp.NewNat(mag), neg)
+		gotMag, gotNeg := qb.ReconstructCentered(res)
+		if gotMag.Uint64() != mag || (mag != 0 && gotNeg != neg) {
+			t.Fatalf("centered round trip failed for %d: got %s neg=%v", v, gotMag, gotNeg)
+		}
+	}
+}
+
+func TestExtendMatchesExact(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	qb, pb := paperBases(t, 256, 6, 7)
+	ext, err := NewExtender(qb, pb.Mods)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out1 := make([]uint64, pb.K())
+	out2 := make([]uint64, pb.K())
+	out3 := make([]uint64, pb.K())
+	for trial := 0; trial < 500; trial++ {
+		x := randBelow(r, qb.Product)
+		in := qb.Decompose(x)
+		ext.Extend(in, out1)
+		ext.ExtendExact(in, out2)
+		ext.ExtendTraditional(in, out3)
+		for j := range out1 {
+			if out1[j] != out2[j] {
+				t.Fatalf("HPS extend != exact at residue %d (x=%s)", j, x)
+			}
+			if out3[j] != out2[j] {
+				t.Fatalf("traditional extend != exact at residue %d (x=%s)", j, x)
+			}
+		}
+	}
+}
+
+func TestExtendCenteredSemantics(t *testing.T) {
+	qb, pb := paperBases(t, 256, 6, 7)
+	ext, err := NewExtender(qb, pb.Mods)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]uint64, pb.K())
+	// x ≡ -5 mod q must extend to -5 mod every p prime, not to q-5.
+	in := qb.DecomposeSigned(mp.NewNat(5), true)
+	ext.Extend(in, out)
+	for j, d := range pb.Mods {
+		if out[j] != d.FromSigned(-5) {
+			t.Fatalf("centered extension failed: residue %d = %d, want %d", j, out[j], d.FromSigned(-5))
+		}
+	}
+	// And a positive small value maps to itself.
+	in = qb.Decompose(mp.NewNat(12345))
+	ext.Extend(in, out)
+	for j := range pb.Mods {
+		if out[j] != 12345 {
+			t.Fatalf("small value extension failed at %d", j)
+		}
+	}
+}
+
+func TestExtenderValidation(t *testing.T) {
+	qb, _ := paperBases(t, 256, 3, 2)
+	if _, err := NewExtender(qb, qb.Mods[:1]); err == nil {
+		t.Fatal("expected overlap error")
+	}
+}
+
+func TestLiftPoly(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	qb, pb := paperBases(t, 64, 3, 4)
+	ext, err := NewExtender(qb, pb.Mods)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 64
+	x := poly.NewRNSPoly(qb.Mods, n)
+	for c := 0; c < n; c++ {
+		v := randBelow(r, qb.Product)
+		res := qb.Decompose(v)
+		for i := range qb.Mods {
+			x.Rows[i].Coeffs[c] = res[i]
+		}
+	}
+	lifted := ext.LiftPoly(x)
+	liftedTrad := ext.LiftPolyTraditional(x)
+	if lifted.Level() != qb.K()+pb.K() {
+		t.Fatalf("lifted level %d", lifted.Level())
+	}
+	if !lifted.Equal(liftedTrad) {
+		t.Fatal("HPS and traditional polynomial lifts disagree")
+	}
+	// Source rows preserved.
+	for i := range qb.Mods {
+		if !lifted.Rows[i].Equal(x.Rows[i]) {
+			t.Fatalf("source row %d modified", i)
+		}
+	}
+	// Spot-check coefficients against the exact extension.
+	in := make([]uint64, qb.K())
+	out := make([]uint64, pb.K())
+	for _, c := range []int{0, 1, n - 1} {
+		for i := range qb.Mods {
+			in[i] = x.Rows[i].Coeffs[c]
+		}
+		ext.ExtendExact(in, out)
+		for j := range pb.Mods {
+			if lifted.Rows[qb.K()+j].Coeffs[c] != out[j] {
+				t.Fatalf("lifted coeff %d residue %d mismatch", c, j)
+			}
+		}
+	}
+}
+
+func TestScaleMatchesExact(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	qb, pb := paperBases(t, 256, 6, 7)
+	for _, tmod := range []uint64{2, 17, 65537} {
+		sc, err := NewScaleRounder(qb, pb, tmod)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fullQ := qb.Product.Mul(pb.Product)
+		// Inputs must satisfy t·|x| < Q/2 for the HPS intermediate to stay
+		// centered in p; FV guarantees this (tensor coefficients ≤ n·q²/4).
+		bound := fullQ.Shr(uint(mp.NewNat(tmod).BitLen() + 1))
+		got := make([]uint64, qb.K())
+		want := make([]uint64, qb.K())
+		for trial := 0; trial < 200; trial++ {
+			mag := randBelow(r, bound)
+			neg := r.Intn(2) == 1
+			// Build full-basis residues of the signed value.
+			x := mag
+			if neg {
+				x = fullQ.Sub(mag)
+			}
+			xq := qb.Decompose(x.Mod(qb.Product))
+			xp := pb.Decompose(x.Mod(pb.Product))
+			sc.Scale(xq, xp, got)
+			sc.ScaleExact(xq, xp, want)
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("t=%d trial %d: HPS scale != exact at residue %d", tmod, trial, i)
+				}
+			}
+		}
+	}
+}
+
+func TestScaleKnownValues(t *testing.T) {
+	qb, pb := paperBases(t, 256, 6, 7)
+	sc, err := NewScaleRounder(qb, pb, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullQ := qb.Product.Mul(pb.Product)
+	got := make([]uint64, qb.K())
+	// round(2·x/q) for x = q: exactly 2.
+	x := qb.Product
+	xq := qb.Decompose(x.Mod(qb.Product)) // ≡ 0
+	xp := pb.Decompose(x.Mod(pb.Product))
+	sc.Scale(xq, xp, got)
+	for i := range got {
+		if got[i] != 2 {
+			t.Fatalf("round(2q/q) residue %d = %d, want 2", i, got[i])
+		}
+	}
+	// x = -q/3 (exact magnitude q/3 rounded): result round(-2/3·...) small negative.
+	third := qb.Product.Div(mp.NewNat(3))
+	xNeg := fullQ.Sub(third)
+	xq = qb.Decompose(xNeg.Mod(qb.Product))
+	xp = pb.Decompose(xNeg.Mod(pb.Product))
+	sc.Scale(xq, xp, got)
+	want := make([]uint64, qb.K())
+	sc.ScaleExact(xq, xp, want)
+	for i, m := range qb.Mods {
+		if got[i] != want[i] {
+			t.Fatalf("negative scale mismatch at %d", i)
+		}
+		if c := m.Centered(got[i]); c != -1 {
+			t.Fatalf("round(2·(-q/3)/q) should be -1, got %d", c)
+		}
+	}
+	// Zero maps to zero.
+	zq := make([]uint64, qb.K())
+	zp := make([]uint64, pb.K())
+	sc.Scale(zq, zp, got)
+	for i := range got {
+		if got[i] != 0 {
+			t.Fatal("scale(0) != 0")
+		}
+	}
+}
+
+func TestScaleRounderValidation(t *testing.T) {
+	qb, pb := paperBases(t, 256, 3, 2)
+	if _, err := NewScaleRounder(qb, qb, 2); err == nil {
+		t.Fatal("expected overlap error")
+	}
+	if _, err := NewScaleRounder(qb, pb, 1); err == nil {
+		t.Fatal("expected error for t < 2")
+	}
+	if _, err := NewScaleRounder(qb, pb, qb.Mods[0].Q); err == nil {
+		t.Fatal("expected error for t equal to a basis prime")
+	}
+}
+
+func TestScalePoly(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	qb, pb := paperBases(t, 64, 4, 5)
+	sc, err := NewScaleRounder(qb, pb, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 64
+	full := append(append([]ring.Modulus(nil), qb.Mods...), pb.Mods...)
+	x := poly.NewRNSPoly(full, n)
+	fullQ := qb.Product.Mul(pb.Product)
+	bound := fullQ.Shr(3)
+	for c := 0; c < n; c++ {
+		v := randBelow(r, bound)
+		if r.Intn(2) == 1 {
+			v = fullQ.Sub(v)
+		}
+		for i, m := range full {
+			x.Rows[i].Coeffs[c] = v.ModWord(m.Q)
+		}
+	}
+	a := sc.ScalePoly(x)
+	b := sc.ScalePolyTraditional(x)
+	if !a.Equal(b) {
+		t.Fatal("HPS and traditional polynomial scales disagree")
+	}
+	if a.Level() != qb.K() || a.N() != n {
+		t.Fatal("scaled polynomial has wrong shape")
+	}
+}
+
+func TestDecomposeRNSIdentity(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	qb, _ := paperBases(t, 64, 6, 1)
+	n := 64
+	x := poly.NewRNSPoly(qb.Mods, n)
+	for i, m := range qb.Mods {
+		for c := 0; c < n; c++ {
+			x.Rows[i].Coeffs[c] = r.Uint64() % m.Q
+		}
+	}
+	digits := DecomposeRNS(qb, x)
+	if len(digits) != qb.K() {
+		t.Fatalf("expected %d digits", qb.K())
+	}
+	gadget := GadgetRNS(qb)
+	// Σ_i d_i·g_i ≡ x (mod q), checked per residue row and coefficient.
+	for row, m := range qb.Mods {
+		for c := 0; c < n; c++ {
+			var sum uint64
+			for i := range digits {
+				sum = m.Add(sum, m.Mul(digits[i].Rows[row].Coeffs[c], gadget[i].Rows[row].Coeffs[0]))
+			}
+			if sum != x.Rows[row].Coeffs[c] {
+				t.Fatalf("gadget identity failed at row %d coeff %d", row, c)
+			}
+		}
+	}
+	// Digit magnitudes are single words below their source prime.
+	for i := range digits {
+		for c := 0; c < n; c++ {
+			if digits[i].Rows[0].Coeffs[c] >= 1<<30 && digits[i].Rows[0].Coeffs[c] < qb.Mods[0].Q-(1<<30) {
+				t.Fatalf("digit %d coeff %d is not small", i, c)
+			}
+		}
+	}
+}
+
+func TestWordDecomposeIdentity(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	qb, _ := paperBases(t, 64, 6, 1)
+	n := 64
+	const logW = 30
+	ell := (qb.Product.BitLen() + logW - 1) / logW
+	x := poly.NewRNSPoly(qb.Mods, n)
+	for i, m := range qb.Mods {
+		for c := 0; c < n; c++ {
+			x.Rows[i].Coeffs[c] = r.Uint64() % m.Q
+		}
+	}
+	digits := WordDecompose(qb, x, logW, ell)
+	// Σ_d digits[d]·w^d ≡ x (mod q) per row.
+	for row, m := range qb.Mods {
+		wPow := uint64(1)
+		sum := poly.NewPoly(m, n)
+		for d := 0; d < ell; d++ {
+			tmp := poly.NewPoly(m, n)
+			digits[d].Rows[row].ScalarMulInto(wPow, tmp)
+			sum.AddInto(tmp, sum)
+			wPow = m.Mul(wPow, m.Reduce(1<<logW))
+		}
+		if !sum.Equal(x.Rows[row]) {
+			t.Fatalf("positional decomposition identity failed on row %d", row)
+		}
+	}
+	// Signed digits are bounded by w/2 in magnitude.
+	for d := 0; d < ell; d++ {
+		for c := 0; c < n; c++ {
+			v := qb.Mods[0].Centered(digits[d].Rows[0].Coeffs[c])
+			if v < -(1<<(logW-1)) || v > 1<<(logW-1) {
+				t.Fatalf("digit %d coeff %d = %d exceeds w/2", d, c, v)
+			}
+		}
+	}
+}
+
+func BenchmarkExtendHPS(b *testing.B) {
+	r := rand.New(rand.NewSource(9))
+	qb, pb := paperBases(b, 4096, 6, 7)
+	ext, err := NewExtender(qb, pb.Mods)
+	if err != nil {
+		b.Fatal(err)
+	}
+	in := qb.Decompose(randBelow(r, qb.Product))
+	out := make([]uint64, pb.K())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ext.Extend(in, out)
+	}
+}
+
+func BenchmarkExtendTraditional(b *testing.B) {
+	r := rand.New(rand.NewSource(9))
+	qb, pb := paperBases(b, 4096, 6, 7)
+	ext, err := NewExtender(qb, pb.Mods)
+	if err != nil {
+		b.Fatal(err)
+	}
+	in := qb.Decompose(randBelow(r, qb.Product))
+	out := make([]uint64, pb.K())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ext.ExtendTraditional(in, out)
+	}
+}
+
+func BenchmarkScaleHPS(b *testing.B) {
+	r := rand.New(rand.NewSource(9))
+	qb, pb := paperBases(b, 4096, 6, 7)
+	sc, err := NewScaleRounder(qb, pb, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	fullQ := qb.Product.Mul(pb.Product)
+	x := randBelow(r, fullQ.Shr(3))
+	xq := qb.Decompose(x.Mod(qb.Product))
+	xp := pb.Decompose(x.Mod(pb.Product))
+	out := make([]uint64, qb.K())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sc.Scale(xq, xp, out)
+	}
+}
+
+func BenchmarkScaleTraditional(b *testing.B) {
+	r := rand.New(rand.NewSource(9))
+	qb, pb := paperBases(b, 4096, 6, 7)
+	sc, err := NewScaleRounder(qb, pb, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	fullQ := qb.Product.Mul(pb.Product)
+	x := randBelow(r, fullQ.Shr(3))
+	xq := qb.Decompose(x.Mod(qb.Product))
+	xp := pb.Decompose(x.Mod(pb.Product))
+	out := make([]uint64, qb.K())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sc.ScaleTraditional(xq, xp, out)
+	}
+}

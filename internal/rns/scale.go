@@ -1,0 +1,222 @@
+package rns
+
+import (
+	"fmt"
+
+	"repro/internal/mp"
+	"repro/internal/poly"
+)
+
+// ScaleRounder computes the paper's Scale Q→q (Sec. IV-D): given the
+// residues over the full basis Q = q·p of a centered value x, it returns the
+// q-basis residues of y = round(t·x/q), where t is the plaintext modulus.
+//
+// The HPS path (paper Fig. 9) works mod the p primes first. Writing
+// Q̃_k = (Q/q_k)^-1 mod q_k, the exact CRT expansion gives
+//
+//	t·x/q = Σ_{i∈q} x_i·(t·Q̃_i·p)/q_i + Σ_{j∈p} x_j·t·Q̃_j·(p/p_j) - v·t·p
+//
+// for the exact CRT quotient v. Modulo a p prime p_j the last term vanishes
+// (p_j | p) and the middle sum keeps only its j-th term, so with
+// t·Q̃_i·p = W_i·q_i + r_i:
+//
+//	y mod p_j = Σ_i x_i·W_i + x_j·t·Q̃_j·(p/p_j) + round(Σ_i x_i·r_i/q_i)
+//
+// — exactly the paper's Block 1–3 structure with integer parts I and real
+// parts R of the constants. The fractional sum is evaluated in 128-bit
+// fixed point. The result y (centered, |y| ≈ t·|x|/q ≪ p/2 for FV inputs)
+// is then base-extended from p to q by reusing the Lift machinery, which is
+// precisely what the paper's architecture does ("it reuses the Lift q→Q
+// architecture", Sec. VI-A).
+type ScaleRounder struct {
+	QB *Basis // the q primes
+	PB *Basis // the p primes
+	T  uint64 // plaintext modulus
+
+	bigQ mp.Nat // q·p
+
+	w     [][]uint64     // w[i][j] = floor(t·Q̃_i·p/q_i) mod p_j
+	theta []mp.Frac128   // theta[i] = (t·Q̃_i·p mod q_i)/q_i
+	bCst  []uint64       // bCst[j] = t·Q̃_j·(p/p_j) mod p_j
+	ext   *Extender      // p → q
+	recip *mp.Reciprocal // 1/q sized for t·x dividends (traditional path)
+}
+
+// MaxInputBits returns the largest centered-magnitude bit length the HPS
+// scale path supports: t·|x| must stay below (q·p)/2 so the intermediate
+// y = round(t·x/q) remains within the centered range of p.
+func (s *ScaleRounder) MaxInputBits() int {
+	return s.bigQ.BitLen() - mp.NewNat(s.T).BitLen() - 1
+}
+
+// NewScaleRounder prepares the scale tables. qb and pb must be disjoint.
+func NewScaleRounder(qb, pb *Basis, t uint64) (*ScaleRounder, error) {
+	if t < 2 {
+		return nil, fmt.Errorf("rns: plaintext modulus %d too small", t)
+	}
+	for _, m := range pb.Mods {
+		if qb.Contains(m.Q) {
+			return nil, fmt.Errorf("rns: q and p bases overlap at %d", m.Q)
+		}
+	}
+	if qb.Contains(t) || pb.Contains(t) {
+		return nil, fmt.Errorf("rns: plaintext modulus %d collides with a basis prime", t)
+	}
+	ext, err := NewExtender(pb, qb.Mods)
+	if err != nil {
+		return nil, err
+	}
+	s := &ScaleRounder{
+		QB:    qb,
+		PB:    pb,
+		T:     t,
+		bigQ:  qb.Product.Mul(pb.Product),
+		w:     make([][]uint64, qb.K()),
+		theta: make([]mp.Frac128, qb.K()),
+		bCst:  make([]uint64, pb.K()),
+		ext:   ext,
+	}
+	tN := mp.NewNat(t)
+	for i, m := range qb.Mods {
+		// Q̃_i = (Q/q_i)^-1 mod q_i, with Q/q_i = (q/q_i)·p.
+		qStarFull := qb.QStar[i].Mul(pb.Product)
+		qTilde := m.Inv(qStarFull.ModWord(m.Q))
+		// M_i = t·Q̃_i·p = W_i·q_i + r_i.
+		mi := tN.MulWord(qTilde).Mul(pb.Product)
+		wi, ri := mi.DivMod(mp.NewNat(m.Q))
+		s.w[i] = make([]uint64, pb.K())
+		for j, d := range pb.Mods {
+			s.w[i][j] = wi.ModWord(d.Q)
+		}
+		s.theta[i] = mp.FracDiv(ri.Uint64(), m.Q)
+	}
+	for j, d := range pb.Mods {
+		// B_j = t·Q̃_j·(p/p_j) mod p_j with Q̃_j = (Q/p_j)^-1 mod p_j.
+		pStar := pb.QStar[j] // p/p_j
+		qStarFull := pStar.Mul(qb.Product)
+		qTilde := d.Inv(qStarFull.ModWord(d.Q))
+		s.bCst[j] = d.Mul(d.Mul(d.Reduce(t%d.Q), d.Reduce(qTilde)), pStar.ModWord(d.Q))
+	}
+	s.recip = mp.NewReciprocal(qb.Product, s.bigQ.BitLen()+mp.NewNat(t).BitLen()+2)
+	return s, nil
+}
+
+// Scale computes out = round(t·x/q) mod q-basis from the full-basis residues
+// (xq over the q primes, xp over the p primes) using the HPS dataflow.
+func (s *ScaleRounder) Scale(xq, xp, out []uint64) {
+	s.checkLens(xq, xp, out)
+	// Blocks 1–2: fractional and integer sums over the q residues.
+	var acc mp.Acc192
+	for i := range xq {
+		acc.AddMul(xq[i], s.theta[i])
+	}
+	r := acc.Round()
+	yp := make([]uint64, s.PB.K())
+	for j, d := range s.PB.Mods {
+		sum := d.Reduce(r)
+		for i := range xq {
+			sum = d.Add(sum, d.Mul(d.Reduce(xq[i]), s.w[i][j]))
+		}
+		// Block 3: the j-th p-residue's own contribution.
+		sum = d.Add(sum, d.Mul(d.Reduce(xp[j]), s.bCst[j]))
+		yp[j] = sum
+	}
+	// Blocks 4–5: base switch p → q via the Lift machinery.
+	s.ext.Extend(yp, out)
+}
+
+// ScaleExact computes the same result through full reconstruction: the
+// correctness oracle.
+func (s *ScaleRounder) ScaleExact(xq, xp, out []uint64) {
+	s.checkLens(xq, xp, out)
+	mag, neg := s.reconstructCenteredFull(xq, xp)
+	y := s.recip.DivRound(mag.MulWord(s.T))
+	for i, m := range s.QB.Mods {
+		r := y.ModWord(m.Q)
+		if neg {
+			r = m.Neg(r)
+		}
+		out[i] = r
+	}
+}
+
+// ScaleTraditional computes the result with the multi-precision dataflow of
+// paper Fig. 8: full CRT reconstruction of x (Blocks 1–2), the long division
+// round(t·x/q) by reciprocal multiplication (Block 3), and reduction modulo
+// the q primes (Block 4). Numerically it matches ScaleExact; the hardware
+// simulator charges it the traditional architecture's cycle costs.
+func (s *ScaleRounder) ScaleTraditional(xq, xp, out []uint64) {
+	s.ScaleExact(xq, xp, out)
+}
+
+func (s *ScaleRounder) reconstructCenteredFull(xq, xp []uint64) (mp.Nat, bool) {
+	// Reconstruct over the concatenated basis using the per-part CRT:
+	// x = xQ·[p·(p^-1 mod q)] + xP·[q·(q^-1 mod p)] mod Q, computed as a
+	// two-term CRT between the coprime moduli q and p.
+	xQ := s.QB.Reconstruct(xq)
+	xP := s.PB.Reconstruct(xp)
+	q, p := s.QB.Product, s.PB.Product
+	// Garner: x = xQ + q·((xP - xQ)·q^-1 mod p).
+	qInvP := modInverseNat(q, s.PB)
+	diff := xP.Add(p).Sub(xQ.Mod(p)).Mod(p)
+	h := diff.Mul(qInvP).Mod(p)
+	x := xQ.Add(q.Mul(h))
+	half := s.bigQ.Shr(1)
+	if x.Cmp(half) > 0 {
+		return s.bigQ.Sub(x), true
+	}
+	return x, false
+}
+
+// modInverseNat computes q^-1 mod p for the basis product q against the
+// p basis, via CRT over the p primes (each word inverse is cheap).
+func modInverseNat(q mp.Nat, pb *Basis) mp.Nat {
+	res := make([]uint64, pb.K())
+	for j, d := range pb.Mods {
+		res[j] = d.Inv(q.ModWord(d.Q))
+	}
+	return pb.Reconstruct(res)
+}
+
+func (s *ScaleRounder) checkLens(xq, xp, out []uint64) {
+	if len(xq) != s.QB.K() || len(xp) != s.PB.K() || len(out) != s.QB.K() {
+		panic("rns: Scale residue slice length mismatch")
+	}
+}
+
+// ScalePoly applies the HPS scale coefficient-wise to a full-basis RNS
+// polynomial (rows ordered q primes then p primes), returning a q-basis
+// polynomial.
+func (s *ScaleRounder) ScalePoly(x poly.RNSPoly) poly.RNSPoly {
+	return s.scalePolyWith(x, s.Scale)
+}
+
+// ScalePolyTraditional is ScalePoly through the traditional dataflow.
+func (s *ScaleRounder) ScalePolyTraditional(x poly.RNSPoly) poly.RNSPoly {
+	return s.scalePolyWith(x, s.ScaleTraditional)
+}
+
+func (s *ScaleRounder) scalePolyWith(x poly.RNSPoly, scale func(xq, xp, out []uint64)) poly.RNSPoly {
+	kq, kp := s.QB.K(), s.PB.K()
+	if x.Level() != kq+kp {
+		panic("rns: ScalePoly level mismatch")
+	}
+	n := x.N()
+	out := poly.NewRNSPoly(s.QB.Mods, n)
+	xq := make([]uint64, kq)
+	xp := make([]uint64, kp)
+	res := make([]uint64, kq)
+	for c := 0; c < n; c++ {
+		for i := 0; i < kq; i++ {
+			xq[i] = x.Rows[i].Coeffs[c]
+		}
+		for j := 0; j < kp; j++ {
+			xp[j] = x.Rows[kq+j].Coeffs[c]
+		}
+		scale(xq, xp, res)
+		for i := 0; i < kq; i++ {
+			out.Rows[i].Coeffs[c] = res[i]
+		}
+	}
+	return out
+}

@@ -1,0 +1,162 @@
+package sampler
+
+import (
+	"math"
+
+	"repro/internal/poly"
+	"repro/internal/ring"
+)
+
+// Gaussian samples from the centered discrete Gaussian distribution with
+// standard deviation sigma, using a cumulative distribution table with
+// 64-bit probability precision and a tail cut at 10σ (tail mass < 2^-70,
+// far below the 2^-64 table resolution).
+type Gaussian struct {
+	Sigma float64
+	cdt   []uint64 // cdt[k] = P(|X| ≤ k) scaled to 64-bit fixed point
+}
+
+// NewGaussian builds the CDT for sigma > 0.
+func NewGaussian(sigma float64) *Gaussian {
+	if sigma <= 0 {
+		panic("sampler: sigma must be positive")
+	}
+	tail := int(math.Ceil(10 * sigma))
+	// Discrete Gaussian: P(X = k) ∝ exp(-k²/(2σ²)).
+	weights := make([]float64, tail+1)
+	total := 0.0
+	for k := 0; k <= tail; k++ {
+		w := math.Exp(-float64(k) * float64(k) / (2 * sigma * sigma))
+		weights[k] = w
+		if k == 0 {
+			total += w
+		} else {
+			total += 2 * w // ±k
+		}
+	}
+	g := &Gaussian{Sigma: sigma, cdt: make([]uint64, tail+1)}
+	cum := 0.0
+	for k := 0; k <= tail; k++ {
+		if k == 0 {
+			cum += weights[0] / total
+		} else {
+			cum += 2 * weights[k] / total
+		}
+		if cum >= 1 || k == tail {
+			g.cdt[k] = ^uint64(0)
+		} else {
+			g.cdt[k] = uint64(cum * math.Exp2(64))
+		}
+	}
+	return g
+}
+
+// Sample draws one value from the distribution.
+func (g *Gaussian) Sample(p *PRNG) int64 {
+	u := p.Uint64()
+	// Binary search the smallest k with cdt[k] > u.
+	lo, hi := 0, len(g.cdt)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if g.cdt[mid] > u {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	k := int64(lo)
+	if k == 0 {
+		return 0
+	}
+	if p.Bits(1) == 1 {
+		return -k
+	}
+	return k
+}
+
+// TailBound returns the largest magnitude the sampler can emit.
+func (g *Gaussian) TailBound() int64 { return int64(len(g.cdt) - 1) }
+
+// SamplePoly fills an n-coefficient RNS polynomial whose underlying integer
+// polynomial has discrete-Gaussian coefficients: each sampled integer e is
+// stored as e mod q_i in every residue row, so all rows represent the same
+// small polynomial.
+func (g *Gaussian) SamplePoly(p *PRNG, mods []ring.Modulus, n int) poly.RNSPoly {
+	out := poly.NewRNSPoly(mods, n)
+	for j := 0; j < n; j++ {
+		e := g.Sample(p)
+		for i, m := range mods {
+			out.Rows[i].Coeffs[j] = m.FromSigned(e)
+		}
+	}
+	return out
+}
+
+// UniformPoly fills an RNS polynomial with independent uniform residues
+// (each row uniform mod its prime) — the distribution of the public-key
+// component a and the relinearization-key masks.
+func UniformPoly(p *PRNG, mods []ring.Modulus, n int) poly.RNSPoly {
+	out := poly.NewRNSPoly(mods, n)
+	for i, m := range mods {
+		for j := 0; j < n; j++ {
+			out.Rows[i].Coeffs[j] = p.Uint64n(m.Q)
+		}
+	}
+	return out
+}
+
+// SignedBinaryPoly samples a polynomial with coefficients uniform in
+// {-1, 0, 1} (the paper: "the coefficients of u are uniformly random signed
+// binary numbers"), replicated across all residue rows.
+func SignedBinaryPoly(p *PRNG, mods []ring.Modulus, n int) poly.RNSPoly {
+	out := poly.NewRNSPoly(mods, n)
+	for j := 0; j < n; j++ {
+		v := int64(p.Uint64n(3)) - 1
+		for i, m := range mods {
+			out.Rows[i].Coeffs[j] = m.FromSigned(v)
+		}
+	}
+	return out
+}
+
+// SparseTernaryPoly samples a polynomial with exactly h non-zero
+// coefficients, each ±1 with equal probability, at uniformly random
+// positions (Fisher–Yates over the index set). Sparse secrets trade a
+// little security margin for faster, lower-noise key material and are a
+// standard option in FV deployments.
+func SparseTernaryPoly(p *PRNG, mods []ring.Modulus, n, h int) poly.RNSPoly {
+	if h < 0 || h > n {
+		panic("sampler: hamming weight out of range")
+	}
+	out := poly.NewRNSPoly(mods, n)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	for k := 0; k < h; k++ {
+		j := k + int(p.Uint64n(uint64(n-k)))
+		idx[k], idx[j] = idx[j], idx[k]
+		v := int64(1)
+		if p.Bits(1) == 1 {
+			v = -1
+		}
+		for i, m := range mods {
+			out.Rows[i].Coeffs[idx[k]] = m.FromSigned(v)
+		}
+	}
+	return out
+}
+
+// BinaryPoly samples a polynomial with coefficients uniform in {0, 1},
+// replicated across all residue rows (used for binary plaintext payloads in
+// tests and examples).
+func BinaryPoly(p *PRNG, mods []ring.Modulus, n int) poly.RNSPoly {
+	out := poly.NewRNSPoly(mods, n)
+	for j := 0; j < n; j++ {
+		v := p.Bits(1)
+		for i := range mods {
+			out.Rows[i].Coeffs[j] = v
+		}
+	}
+	return out
+}
