@@ -7,12 +7,18 @@ package repro
 // prints the paper-comparable values alongside.
 
 import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
+	"repro/internal/engine"
 	"repro/internal/fv"
 	"repro/internal/hebench"
 	"repro/internal/hwsim"
+	"repro/internal/sampler"
 )
 
 func suite(b *testing.B) *hebench.Suite {
@@ -196,6 +202,81 @@ func BenchmarkThroughput_TwoCoprocessors(b *testing.B) {
 		perSec = float64(len(xs)) / slowest
 	}
 	b.ReportMetric(perSec, "sim-Mult/s") // paper: 400
+}
+
+// --- internal/engine: serving-layer throughput vs. worker count ---
+
+// BenchmarkEngineThroughput drives the serving engine (queue → batcher →
+// worker pool) with homomorphic Mults at pool sizes 1/2/4/8. Two metrics
+// are attached: real host ops/s (bounded by this machine's cores — the
+// simulator computes for real), and sim-ops/s, the simulated-hardware
+// throughput ops ÷ busiest worker's simulated busy time, which is the
+// quantity that scales with the co-processor count as in the paper's
+// Sec. VI-A dual-co-processor experiment.
+func BenchmarkEngineThroughput(b *testing.B) {
+	params, err := fv.NewParams(fv.TestConfig(65537))
+	if err != nil {
+		b.Fatal(err)
+	}
+	kg := fv.NewKeyGenerator(params, sampler.NewPRNG(42))
+	_, pk, rk := kg.GenKeys()
+	enc := fv.NewEncryptor(params, pk, sampler.NewPRNG(7))
+	pt := fv.NewPlaintext(params)
+	pt.Coeffs[0] = 3
+	ctA := enc.Encrypt(pt)
+	pt.Coeffs[0] = 5
+	ctB := enc.Encrypt(pt)
+
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			eng, err := engine.New(engine.Config{
+				Params:     params,
+				Workers:    workers,
+				QueueDepth: 64 * workers,
+				MaxBatch:   4,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			eng.SetRelinKey("", rk)
+			defer eng.Shutdown(context.Background())
+
+			inflight := make(chan struct{}, 4*workers)
+			var failures atomic.Uint64
+			var wg sync.WaitGroup
+			b.ResetTimer()
+			start := time.Now()
+			for i := 0; i < b.N; i++ {
+				inflight <- struct{}{}
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					defer func() { <-inflight }()
+					if _, err := eng.Submit(context.Background(), engine.Op{Kind: engine.OpMul, A: ctA, B: ctB}); err != nil {
+						failures.Add(1)
+					}
+				}()
+			}
+			wg.Wait()
+			wall := time.Since(start)
+			b.StopTimer()
+			if n := failures.Load(); n > 0 {
+				b.Fatalf("%d submits failed", n)
+			}
+			st := eng.Stats()
+			busiest := 0.0
+			for _, w := range st.PerWorker {
+				if w.SimSeconds > busiest {
+					busiest = w.SimSeconds
+				}
+			}
+			b.ReportMetric(float64(b.N)/wall.Seconds(), "ops/s")
+			if busiest > 0 {
+				b.ReportMetric(float64(b.N)/busiest, "sim-ops/s")
+			}
+			b.ReportMetric(st.AvgBatch, "avg-batch")
+		})
+	}
 }
 
 // --- Sec. VI-C: the architecture without HPS ---

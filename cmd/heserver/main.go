@@ -1,26 +1,38 @@
 // Command heserver runs the cloud service of the paper's Fig. 11: a TCP
-// server in front of the simulated Arm+FPGA platform, executing homomorphic
-// Add and Mult on encrypted data it can never read.
+// server in front of the serving engine, which batches homomorphic Add,
+// Mult, and Rotate requests onto a pool of simulated Arm+FPGA co-processor
+// workers.
 //
 // Usage:
 //
-//	heserver -addr :7100 -seed 42            # small test parameters
-//	heserver -addr :7100 -paper -seed 42     # the paper's n = 4096 set
+//	heserver -addr :7100 -seed 42              # small test parameters
+//	heserver -addr :7100 -paper -seed 42       # the paper's n = 4096 set
+//	heserver -workers 4 -queue-depth 256       # bigger pool, deeper queue
 //
 // The key material is derived deterministically from -seed so that a client
 // started with the same seed (see examples/cloud) holds the matching keys;
 // in a real deployment the client would upload its public and relin keys
 // instead.
+//
+// Observability: SIGUSR1 dumps the engine's stats snapshot (counters,
+// latency histograms, per-worker simulated cycles) as JSON to stderr; the
+// same dump is emitted on graceful shutdown (SIGINT/SIGTERM). The snapshot
+// is also published under expvar name "engine".
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"repro/internal/cloud"
-	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/fv"
 	"repro/internal/hwsim"
 	"repro/internal/sampler"
@@ -31,7 +43,13 @@ func main() {
 	paper := flag.Bool("paper", false, "use the paper parameter set (n = 4096) instead of the small test set")
 	tmod := flag.Uint64("t", 65537, "plaintext modulus")
 	seed := flag.Uint64("seed", 42, "deterministic key seed shared with the client")
-	coprocs := flag.Int("coprocs", 2, "number of simulated co-processors")
+	workers := flag.Int("workers", 0, "worker pool size, one simulated co-processor each (0 = NumCPU; the paper's platform is 2)")
+	queueDepth := flag.Int("queue-depth", 64, "admission queue bound; a full queue rejects with an overload error")
+	deadline := flag.Duration("deadline", 0, "default per-request deadline (0 = none)")
+	maxBatch := flag.Int("batch", 8, "max compatible ops dispatched to a worker as one batch")
+	keyCache := flag.Int("keycache", 8, "per-worker evaluation-key cache slots (LRU)")
+	readTimeout := flag.Duration("read-timeout", cloud.DefaultReadTimeout, "per-request read deadline on client connections")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown budget for in-flight work")
 	flag.Parse()
 
 	cfg := fv.TestConfig(*tmod)
@@ -46,15 +64,27 @@ func main() {
 	kg := fv.NewKeyGenerator(params, prng)
 	sk, _, rk := kg.GenKeys()
 
-	accel, err := core.New(params, hwsim.VariantHPS, *coprocs)
+	eng, err := engine.New(engine.Config{
+		Params:        params,
+		Variant:       hwsim.VariantHPS,
+		Workers:       *workers,
+		QueueDepth:    *queueDepth,
+		Deadline:      *deadline,
+		MaxBatch:      *maxBatch,
+		KeyCacheSlots: *keyCache,
+		ExpvarName:    "engine",
+	})
 	if err != nil {
 		fatal(err)
 	}
 	logger := log.New(os.Stderr, "", log.LstdFlags)
-	srv := cloud.NewServer(params, accel, rk, logger)
+	eng.SetRelinKey(cloud.DefaultTenant, rk)
+
+	srv := cloud.NewServer(params, eng, logger)
+	srv.ReadTimeout = *readTimeout
 	// Install rotation keys for the common Galois elements (clients would
 	// upload these alongside the relin key). The secret key itself never
-	// leaves this key-derivation step; the server keeps only key-switching
+	// leaves this key-derivation step; the engine keeps only key-switching
 	// material.
 	for _, g := range []int{3, 9, 2*params.N() - 1} {
 		srv.SetGaloisKey(kg.GenGaloisKey(sk, g))
@@ -63,11 +93,44 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	logger.Printf("heserver: listening on %s (n=%d, log q=%d, %d co-processors, seed %d)",
-		bound, params.N(), params.LogQ(), *coprocs, *seed)
+	logger.Printf("heserver: listening on %s (n=%d, log q=%d, %d workers, queue %d, seed %d)",
+		bound, params.N(), params.LogQ(), eng.Workers(), *queueDepth, *seed)
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGUSR1, syscall.SIGINT, syscall.SIGTERM)
+	go func() {
+		for sig := range sigs {
+			if sig == syscall.SIGUSR1 {
+				dumpStats(logger, eng)
+				continue
+			}
+			logger.Printf("heserver: %v — draining (budget %v)", sig, *drainTimeout)
+			ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+			if err := srv.Shutdown(ctx); err != nil {
+				logger.Printf("heserver: connection drain: %v", err)
+			}
+			if err := eng.Shutdown(ctx); err != nil {
+				logger.Printf("heserver: engine drain: %v", err)
+			}
+			cancel()
+			return
+		}
+	}()
+
 	if err := srv.Serve(); err != nil {
 		fatal(err)
 	}
+	dumpStats(logger, eng)
+	logger.Printf("heserver: served %d operations, goodbye", srv.Served())
+}
+
+func dumpStats(logger *log.Logger, eng *engine.Engine) {
+	out, err := json.MarshalIndent(eng.Stats(), "", "  ")
+	if err != nil {
+		logger.Printf("heserver: stats: %v", err)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "heserver engine stats: %s\n", out)
 }
 
 func fatal(err error) {

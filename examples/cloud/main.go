@@ -7,11 +7,13 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"time"
 
 	"repro/internal/cloud"
-	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/fv"
 	"repro/internal/hwsim"
 	"repro/internal/sampler"
@@ -26,12 +28,23 @@ func main() {
 	kg := fv.NewKeyGenerator(params, prng)
 	sk, pk, rk := kg.GenKeys()
 
-	// --- Cloud side: platform with two simulated co-processors.
-	accel, err := core.New(params, hwsim.VariantHPS, 2)
+	// --- Cloud side: a serving engine with two workers, each driving one
+	// simulated co-processor (the paper's dual-co-processor platform).
+	eng, err := engine.New(engine.Config{
+		Params:  params,
+		Variant: hwsim.VariantHPS,
+		Workers: 2,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	srv := cloud.NewServer(params, accel, rk, nil)
+	eng.SetRelinKey(cloud.DefaultTenant, rk)
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		eng.Shutdown(ctx)
+	}()
+	srv := cloud.NewServer(params, eng, nil)
 	addr, err := srv.Listen("127.0.0.1:0")
 	if err != nil {
 		log.Fatal(err)
@@ -71,7 +84,9 @@ func main() {
 	}
 	fmt.Printf("cloud computed (5200 + 800) · 12 = %d on encrypted data\n", total)
 	fmt.Printf("simulated co-processor latency: Add %v, Mult %v\n", addTime, mulTime)
-	fmt.Printf("operations served: %d\n", srv.Served())
+	st := eng.Stats()
+	fmt.Printf("operations served: %d (batches %d, key loads %d, key hits %d)\n",
+		srv.Served(), st.Batches, st.KeyLoads, st.KeyHits)
 	if total != 72000 {
 		log.Fatal("wrong result")
 	}

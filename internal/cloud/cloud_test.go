@@ -2,12 +2,15 @@ package cloud
 
 import (
 	"bytes"
+	"context"
+	"io"
+	"net"
 	"sync"
 	"testing"
+	"time"
 
-	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/fv"
-	"repro/internal/hwsim"
 	"repro/internal/sampler"
 )
 
@@ -16,7 +19,7 @@ type testSystem struct {
 	sk     *fv.SecretKey
 	pk     *fv.PublicKey
 	rk     *fv.RelinKey
-	accel  *core.Accelerator
+	eng    *engine.Engine
 }
 
 func newTestSystem(t testing.TB) *testSystem {
@@ -28,11 +31,19 @@ func newTestSystem(t testing.TB) *testSystem {
 	prng := sampler.NewPRNG(99)
 	kg := fv.NewKeyGenerator(params, prng)
 	sk, pk, rk := kg.GenKeys()
-	accel, err := core.New(params, hwsim.VariantHPS, 2)
+	eng, err := engine.New(engine.Config{Params: params, Workers: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
-	return &testSystem{params: params, sk: sk, pk: pk, rk: rk, accel: accel}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := eng.Shutdown(ctx); err != nil {
+			t.Errorf("engine shutdown: %v", err)
+		}
+	})
+	eng.SetRelinKey(DefaultTenant, rk)
+	return &testSystem{params: params, sk: sk, pk: pk, rk: rk, eng: eng}
 }
 
 func (ts *testSystem) encrypt(t testing.TB, v uint64) *fv.Ciphertext {
@@ -50,7 +61,7 @@ func (ts *testSystem) decrypt(ct *fv.Ciphertext) uint64 {
 
 func startServer(t *testing.T, ts *testSystem) (*Server, string) {
 	t.Helper()
-	srv := NewServer(ts.params, ts.accel, ts.rk, nil)
+	srv := NewServer(ts.params, ts.eng, nil)
 	addr, err := srv.Listen("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -263,4 +274,126 @@ func TestServerRotate(t *testing.T) {
 	if err := client.Ping(); err != nil {
 		t.Fatalf("connection broken after error response: %v", err)
 	}
+}
+
+// TestServerGracefulShutdown: Shutdown must return within its context even
+// while a client connection is still open and idle — the old server waited
+// for clients to hang up on their own.
+func TestServerGracefulShutdown(t *testing.T) {
+	ts := newTestSystem(t)
+	srv := NewServer(ts.params, ts.eng, nil)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve() }()
+
+	client, err := Dial(addr, ts.params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	// Complete one real operation so a handler is mid-loop, then leave the
+	// connection open and idle.
+	a, b := ts.encrypt(t, 3), ts.encrypt(t, 4)
+	if _, _, err := client.Add(a, b); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("graceful shutdown did not drain: %v", err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("Serve returned %v", err)
+	}
+	if got := srv.Served(); got != 1 {
+		t.Fatalf("served %d ops through shutdown, want 1", got)
+	}
+}
+
+// TestServerSlowClientDisconnected: a client that opens a connection and
+// stalls mid-request must be cut off by the per-read deadline instead of
+// pinning a handler goroutine forever.
+func TestServerSlowClientDisconnected(t *testing.T) {
+	ts := newTestSystem(t)
+	srv := NewServer(ts.params, ts.eng, nil)
+	srv.ReadTimeout = 50 * time.Millisecond
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve() }()
+	t.Cleanup(func() {
+		srv.Close()
+		<-done
+	})
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Half a request, then silence.
+	if _, err := conn.Write([]byte("HEAT\x01")); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	_, err = conn.Read(make([]byte, 1))
+	if err == nil {
+		t.Fatal("server replied to half a request")
+	}
+	if ne, ok := err.(net.Error); ok && ne.Timeout() {
+		t.Fatal("server never closed the stalled connection")
+	}
+}
+
+// TestRequestSizeBounded: ReadRequest must never consume more than
+// MaxRequestBytes from the stream, whatever the stream claims.
+func TestRequestSizeBounded(t *testing.T) {
+	ts := newTestSystem(t)
+	limit := MaxRequestBytes(ts.params)
+	if limit <= 0 || limit > 1<<30 {
+		t.Fatalf("implausible MaxRequestBytes %d", limit)
+	}
+	// A well-formed-looking prefix followed by an endless stream of zeros:
+	// the reader must give up with an error after at most `limit` bytes.
+	var prefix bytes.Buffer
+	prefix.WriteString("HEAT")
+	prefix.WriteByte(CmdAdd)
+	var hdr [8]byte
+	hdr[0] = 3 // element count (max allowed)
+	n := uint32(ts.params.N())
+	hdr[4], hdr[5], hdr[6], hdr[7] = byte(n), byte(n>>8), byte(n>>16), byte(n>>24)
+	prefix.Write(hdr[:])
+	cr := &countingReader{r: io.MultiReader(&prefix, zeros{})}
+	if _, err := ReadRequest(cr, ts.params); err == nil {
+		t.Fatal("bottomless request accepted")
+	}
+	if cr.n > limit {
+		t.Fatalf("ReadRequest consumed %d bytes, bound is %d", cr.n, limit)
+	}
+}
+
+type zeros struct{}
+
+func (zeros) Read(p []byte) (int, error) {
+	for i := range p {
+		p[i] = 0
+	}
+	return len(p), nil
+}
+
+type countingReader struct {
+	r io.Reader
+	n int
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += n
+	return n, err
 }

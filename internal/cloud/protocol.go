@@ -30,6 +30,16 @@ const (
 // protocolMagic guards against a client speaking to the wrong service.
 var protocolMagic = [4]byte{'H', 'E', 'A', 'T'}
 
+// MaxRequestBytes returns the upper bound of one serialized request under
+// params: magic + command + Galois element, plus two ciphertexts of at most
+// three elements each. ReadRequest refuses to consume more than this from
+// the connection, so a malicious or corrupted stream cannot make the server
+// read (or allocate) without bound.
+func MaxRequestBytes(params *fv.Params) int {
+	ctMax := 8 + 3*params.QBasis.K()*params.N()*4
+	return 4 + 1 + 4 + 2*ctMax
+}
+
 // Request is one homomorphic operation on uploaded ciphertexts.
 type Request struct {
 	Cmd  uint8
@@ -62,8 +72,11 @@ func WriteRequest(w io.Writer, params *fv.Params, req *Request) error {
 	return req.B.WriteTo(w, params)
 }
 
-// ReadRequest deserializes a request.
+// ReadRequest deserializes a request. It reads at most
+// MaxRequestBytes(params) from r; a message claiming more than that fails
+// with an unexpected-EOF error instead of wedging the reader.
 func ReadRequest(r io.Reader, params *fv.Params) (*Request, error) {
+	r = io.LimitReader(r, int64(MaxRequestBytes(params)))
 	var hdr [5]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return nil, err

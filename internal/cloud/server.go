@@ -1,52 +1,70 @@
 package cloud
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"net"
 	"sync"
 	"time"
 
-	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/fv"
 )
 
+// DefaultTenant is the engine key namespace this server registers and
+// serves operations under. The wire protocol has no tenant field yet; every
+// connection shares one namespace.
+const DefaultTenant = ""
+
+// DefaultReadTimeout bounds how long the server waits for one complete
+// request (idle time between requests included). A client that stalls
+// mid-message — accidentally or as a slow-loris — is disconnected instead
+// of pinning a handler goroutine forever.
+const DefaultReadTimeout = 2 * time.Minute
+
 // Server is the cloud service: a listener (the "Networking Arm Core" of
-// Fig. 11) distributing requests to application workers, each owning one
-// simulated co-processor. The relinearization key is installed server-side,
-// as in any FV cloud deployment — the client never sends secret material.
+// Fig. 11) admitting requests into the serving engine, which batches them
+// onto a pool of application workers, each owning one simulated
+// co-processor. The relinearization key is installed engine-side, as in any
+// FV cloud deployment — the client never sends secret material.
 type Server struct {
 	Params *fv.Params
-	Accel  *core.Accelerator
-	RK     *fv.RelinKey
+	Engine *engine.Engine
 	Logger *log.Logger
+	// ReadTimeout overrides DefaultReadTimeout when positive.
+	ReadTimeout time.Duration
 
 	ln      net.Listener
 	mu      sync.Mutex
 	served  uint64
 	closing bool
+	conns   map[net.Conn]struct{}
+	quit    chan struct{}
 	wg      sync.WaitGroup
-	galois  map[int]*fv.GaloisKey
+}
+
+// NewServer prepares a server in front of a serving engine. Evaluation keys
+// are registered on the engine (SetGaloisKey below, engine.SetRelinKey for
+// the relinearization key) under DefaultTenant.
+func NewServer(params *fv.Params, eng *engine.Engine, logger *log.Logger) *Server {
+	if logger == nil {
+		logger = log.New(discard{}, "", 0)
+	}
+	return &Server{
+		Params: params,
+		Engine: eng,
+		Logger: logger,
+		conns:  make(map[net.Conn]struct{}),
+		quit:   make(chan struct{}),
+	}
 }
 
 // SetGaloisKey installs the key-switching key for one Galois element,
 // enabling CmdRotate requests with that element (clients upload their
 // rotation keys ahead of time, like relin keys).
 func (s *Server) SetGaloisKey(gk *fv.GaloisKey) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.galois == nil {
-		s.galois = map[int]*fv.GaloisKey{}
-	}
-	s.galois[gk.G] = gk
-}
-
-// NewServer prepares a server around an accelerator and relin key.
-func NewServer(params *fv.Params, accel *core.Accelerator, rk *fv.RelinKey, logger *log.Logger) *Server {
-	if logger == nil {
-		logger = log.New(discard{}, "", 0)
-	}
-	return &Server{Params: params, Accel: accel, RK: rk, Logger: logger}
+	s.Engine.SetGaloisKey(DefaultTenant, gk)
 }
 
 type discard struct{}
@@ -64,9 +82,10 @@ func (s *Server) Listen(addr string) (string, error) {
 	return ln.Addr().String(), nil
 }
 
-// Serve accepts connections until Close. Each connection is handled by a
-// goroutine; operations inside a connection dispatch round-robin onto the
-// co-processors (the Accelerator serializes access per co-processor).
+// Serve accepts connections until Close/Shutdown. Each connection gets a
+// reader goroutine, but the homomorphic work itself is admitted into the
+// engine's bounded queue — an overloaded engine rejects instead of piling
+// up unbounded per-connection work.
 func (s *Server) Serve() error {
 	if s.ln == nil {
 		return fmt.Errorf("cloud: Serve before Listen")
@@ -83,7 +102,15 @@ func (s *Server) Serve() error {
 			}
 			return err
 		}
+		s.mu.Lock()
+		if s.closing {
+			s.mu.Unlock()
+			conn.Close()
+			continue
+		}
+		s.conns[conn] = struct{}{}
 		s.wg.Add(1)
+		s.mu.Unlock()
 		go func() {
 			defer s.wg.Done()
 			s.handle(conn)
@@ -91,15 +118,50 @@ func (s *Server) Serve() error {
 	}
 }
 
-// Close stops accepting and waits for in-flight connections.
-func (s *Server) Close() error {
+// Shutdown gracefully drains the server: it stops accepting, lets every
+// in-flight request finish (through the engine) and its response flush, and
+// unblocks idle connection readers. It returns nil once all connection
+// handlers have exited, or ctx.Err() if the context expires first.
+//
+// The engine itself is left running — it belongs to the caller, which may
+// be sharing it; call Engine.Shutdown separately to drain the workers.
+func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
+	already := s.closing
 	s.closing = true
-	s.mu.Unlock()
-	if s.ln != nil {
-		return s.ln.Close()
+	if !already {
+		close(s.quit)
+		// Unblock handlers parked in ReadRequest. A handler that is busy
+		// processing finishes its request and writes the response first;
+		// it observes quit on its next loop.
+		for c := range s.conns {
+			c.SetReadDeadline(time.Now())
+		}
 	}
-	return nil
+	ln := s.ln
+	s.mu.Unlock()
+	if ln != nil && !already {
+		ln.Close()
+	}
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Close stops accepting and drains in-flight connections with a 5-second
+// grace period.
+func (s *Server) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	return s.Shutdown(ctx)
 }
 
 // Served returns the number of operations completed.
@@ -110,11 +172,28 @@ func (s *Server) Served() uint64 {
 }
 
 func (s *Server) handle(conn net.Conn) {
-	defer conn.Close()
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	timeout := s.ReadTimeout
+	if timeout <= 0 {
+		timeout = DefaultReadTimeout
+	}
 	for {
+		// Deadline first, then the quit check: if Shutdown runs between the
+		// two, its SetReadDeadline(now) lands after ours and still wins.
+		conn.SetReadDeadline(time.Now().Add(timeout))
+		select {
+		case <-s.quit:
+			return
+		default:
+		}
 		req, err := ReadRequest(conn, s.Params)
 		if err != nil {
-			return // client closed or spoke garbage; drop the connection
+			return // client closed, stalled past the deadline, or spoke garbage
 		}
 		resp := s.process(req)
 		if err := WriteResponse(conn, s.Params, resp); err != nil {
@@ -126,40 +205,33 @@ func (s *Server) handle(conn net.Conn) {
 
 func (s *Server) process(req *Request) *Response {
 	start := time.Now()
-	var (
-		ct  *fv.Ciphertext
-		rep core.Report
-		err error
-	)
-	switch req.Cmd {
-	case CmdPing:
+	if req.Cmd == CmdPing {
 		return &Response{Result: fv.NewCiphertext(s.Params, 2)}
-	case CmdAdd:
-		ct, rep, err = s.Accel.Add(req.A, req.B)
-	case CmdMul:
-		ct, rep, err = s.Accel.Mul(req.A, req.B, s.RK)
-	case CmdRotate:
-		s.mu.Lock()
-		gk := s.galois[int(req.G)]
-		s.mu.Unlock()
-		if gk == nil {
-			err = fmt.Errorf("no Galois key installed for element %d", req.G)
-		} else {
-			ct, rep, err = s.Accel.Rotate(req.A, gk)
-		}
-	default:
-		err = fmt.Errorf("unknown command %d", req.Cmd)
 	}
+	op := engine.Op{Tenant: DefaultTenant, A: req.A, B: req.B}
+	switch req.Cmd {
+	case CmdAdd:
+		op.Kind = engine.OpAdd
+	case CmdMul:
+		op.Kind = engine.OpMul
+	case CmdRotate:
+		op.Kind = engine.OpRotate
+		op.G = int(req.G)
+	default:
+		return &Response{Err: fmt.Sprintf("unknown command %d", req.Cmd)}
+	}
+	res, err := s.Engine.Submit(context.Background(), op)
 	if err != nil {
 		return &Response{Err: err.Error()}
 	}
 	s.mu.Lock()
 	s.served++
 	s.mu.Unlock()
-	s.Logger.Printf("cloud: cmd %d served in %v (simulated HW %.3f ms)",
-		req.Cmd, time.Since(start), rep.ComputeSeconds()*1e3)
+	s.Logger.Printf("cloud: cmd %d served in %v by worker %d (batch %d, simulated HW %.3f ms)",
+		req.Cmd, time.Since(start), res.Worker, res.Batch, res.Report.ComputeSeconds()*1e3)
 	return &Response{
-		Result:       ct,
-		ComputeNanos: uint64(rep.ComputeSeconds() * 1e9),
+		Result:       res.Ct,
+		ComputeNanos: uint64(res.Report.ComputeSeconds() * 1e9),
+		Worker:       uint32(res.Worker),
 	}
 }

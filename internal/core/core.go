@@ -44,14 +44,21 @@ type Report struct {
 	// (Table I rows 4–5).
 	SendCycles    hwsim.Cycles
 	ReceiveCycles hwsim.Cycles
+	// KeyLoadCycles is the evaluation-key DMA stream charged to this
+	// operation by a serving layer (internal/engine): zero when the key was
+	// already resident on the co-processor, the full stream otherwise. The
+	// paper overlaps this stream with compute; accounting it separately
+	// keeps ComputeCycles comparable to Table I.
+	KeyLoadCycles hwsim.Cycles
 }
 
 // ComputeSeconds returns the compute latency in seconds.
 func (r Report) ComputeSeconds() float64 { return r.ComputeCycles.Seconds() }
 
-// TotalSeconds returns compute plus transfer latency.
+// TotalSeconds returns compute plus transfer latency (operands, result, and
+// any evaluation-key stream charged by the serving layer).
 func (r Report) TotalSeconds() float64 {
-	return (r.ComputeCycles + r.SendCycles + r.ReceiveCycles).Seconds()
+	return (r.ComputeCycles + r.SendCycles + r.ReceiveCycles + r.KeyLoadCycles).Seconds()
 }
 
 // ArmCycles returns the compute latency in the Arm cycle-counter units the
@@ -231,3 +238,26 @@ func (a *Accelerator) MulBatch(xs, ys []*fv.Ciphertext, rk *fv.RelinKey) ([]*fv.
 
 // Stats returns co-processor 0's accumulated per-instruction statistics.
 func (a *Accelerator) Stats() *hwsim.Stats { return a.scheds[0].s.C.Stats }
+
+// RelinKeyBytes returns the DMA transfer size of a relinearization key: two
+// polynomial vectors of ell components, each a full R_q polynomial of 32-bit
+// residue words. For the paper set (ell = 6) that is 2·6·98,304 ≈ 1.2 MB —
+// which is why the paper streams the key during Mult instead of re-sending
+// operand-style, and why a serving layer wants it cached.
+func RelinKeyBytes(params *fv.Params, rk *fv.RelinKey) int {
+	return 2 * rk.Ell * hwsim.PolyBytes(params.N(), params.QBasis.K())
+}
+
+// GaloisKeyBytes returns the DMA transfer size of a Galois key-switching
+// key (same gadget shape as the relin key).
+func GaloisKeyBytes(params *fv.Params, gk *fv.GaloisKey) int {
+	return 2 * len(gk.Ks0Hat) * hwsim.PolyBytes(params.N(), params.QBasis.K())
+}
+
+// KeyStreamCycles returns the co-processor cycles of streaming `bytes` of
+// evaluation-key material over the DMA (a single transfer, the paper's
+// Table III optimum).
+func (a *Accelerator) KeyStreamCycles(bytes int) hwsim.Cycles {
+	d := hwsim.DMA{Timing: hwsim.DefaultTiming()}
+	return d.FPGACycles(hwsim.Transfer{Bytes: bytes, Label: "evk stream"})
+}

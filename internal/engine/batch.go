@@ -1,0 +1,131 @@
+package engine
+
+import (
+	"time"
+)
+
+// batchKey identifies operations that can share one dispatch: they use the
+// same evaluation key (or none), so a worker loads key material once for
+// the whole group. This is the serving-layer analogue of the block-level
+// pipeline in internal/sched: the co-processor's expensive resource (the
+// relinearization-key DMA stream) is amortized across the block.
+type batchKey struct {
+	tenant string
+	kind   OpKind
+	g      int // Galois element; zero except for OpRotate
+}
+
+func keyOf(op Op) batchKey {
+	k := batchKey{tenant: op.Tenant, kind: op.Kind}
+	if op.Kind == OpRotate {
+		k.g = op.G
+	}
+	return k
+}
+
+// batch is one unit of worker dispatch.
+type batch struct {
+	key  batchKey
+	reqs []*request
+}
+
+// dispatch is the batcher goroutine: it drains the admission queue into
+// per-key pending groups and emits them to the worker pool. A group is
+// emitted as soon as it reaches MaxBatch; partial groups are emitted when
+// the queue runs empty (plus an optional BatchLinger wait for stragglers).
+// Requests that expired while queued are dropped here, before any worker
+// sees them.
+func (e *Engine) dispatch() {
+	defer e.wg.Done()
+	defer close(e.batches)
+
+	pending := make(map[batchKey]*batch)
+	var order []batchKey // FIFO flush order across groups
+	total := 0
+
+	admit := func(r *request) {
+		if r.expired(time.Now()) {
+			e.expire(r)
+			return
+		}
+		k := keyOf(r.op)
+		b := pending[k]
+		if b == nil {
+			b = &batch{key: k}
+			pending[k] = b
+			order = append(order, k)
+		}
+		b.reqs = append(b.reqs, r)
+		total++
+		if len(b.reqs) >= e.cfg.MaxBatch {
+			e.emit(b)
+			total -= len(b.reqs)
+			delete(pending, k)
+			for i, ord := range order {
+				if ord == k {
+					order = append(order[:i], order[i+1:]...)
+					break
+				}
+			}
+		}
+	}
+	flushAll := func() {
+		for _, k := range order {
+			if b := pending[k]; b != nil {
+				e.emit(b)
+				delete(pending, k)
+			}
+		}
+		order = order[:0]
+		total = 0
+	}
+
+	for {
+		if total == 0 {
+			// Idle: block for the next request.
+			r, ok := <-e.queue
+			if !ok {
+				return
+			}
+			admit(r)
+			continue
+		}
+		// Pending work exists: keep draining without blocking; when the
+		// queue is empty (optionally after a linger window) flush what we
+		// have. emit blocks while all workers are busy, which is exactly
+		// when the admission queue should fill and start rejecting.
+		if e.cfg.BatchLinger <= 0 {
+			select {
+			case r, ok := <-e.queue:
+				if !ok {
+					flushAll()
+					return
+				}
+				admit(r)
+			default:
+				flushAll()
+			}
+			continue
+		}
+		linger := time.NewTimer(e.cfg.BatchLinger)
+		select {
+		case r, ok := <-e.queue:
+			if !ok {
+				flushAll()
+				linger.Stop()
+				return
+			}
+			admit(r)
+			linger.Stop()
+		case <-linger.C:
+			flushAll()
+		}
+	}
+}
+
+// emit hands a batch to the worker pool, counting it.
+func (e *Engine) emit(b *batch) {
+	e.m.batches.Add(1)
+	e.m.batchedOps.Add(uint64(len(b.reqs)))
+	e.batches <- b
+}

@@ -1,0 +1,342 @@
+// Package engine is the serving runtime between the network protocol
+// (internal/cloud) and the simulated hardware (internal/core): the software
+// half of the paper's Fig. 11 deployment, generalized from "two application
+// Arm cores driving two co-processors" to a configurable pool of N workers,
+// each owning one simulated co-processor.
+//
+// The flow is
+//
+//	Submit → bounded admission queue → batcher → worker pool → core.Accelerator
+//
+// with four properties the bare Accelerator does not provide:
+//
+//   - Backpressure. The admission queue is bounded; when it is full Submit
+//     fails immediately with ErrOverloaded instead of blocking, so offered
+//     load beyond capacity turns into rejections, not memory growth.
+//   - Deadlines. Every request carries a deadline (from the caller's context
+//     or the engine default); requests that expire while queued are dropped
+//     before they ever reach a co-processor.
+//   - Batching. Compatible operations — same tenant, same operation kind,
+//     same Galois element — are grouped and dispatched to one worker as a
+//     unit, so the evaluation key is streamed to the co-processor once per
+//     batch rather than once per op (the paper's observation that
+//     relinearization-key DMA dominates Mult motivates exactly this
+//     amortization; see Sec. V-D).
+//   - Observability. Atomic counters, latency histograms, and per-worker
+//     simulated-cycle totals are available as a Stats snapshot and via
+//     expvar.
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fv"
+	"repro/internal/hwsim"
+)
+
+// Sentinel errors returned by Submit.
+var (
+	// ErrOverloaded means the admission queue was full. The caller should
+	// back off and retry; the engine sheds load instead of queueing
+	// unboundedly.
+	ErrOverloaded = errors.New("engine: overloaded (admission queue full)")
+	// ErrShutdown means Shutdown was called before the request was admitted.
+	ErrShutdown = errors.New("engine: shutting down")
+	// ErrDeadlineExceeded means the request expired before a co-processor
+	// picked it up; it was dropped without executing.
+	ErrDeadlineExceeded = errors.New("engine: deadline exceeded before execution")
+	// ErrNoKey means the tenant has not registered the evaluation key the
+	// operation needs (relinearization key for Mul, Galois key for Rotate).
+	ErrNoKey = errors.New("engine: no evaluation key registered")
+)
+
+// OpKind enumerates the homomorphic operations the engine serves.
+type OpKind uint8
+
+const (
+	OpAdd OpKind = iota + 1
+	OpMul
+	OpRotate
+)
+
+func (k OpKind) String() string {
+	switch k {
+	case OpAdd:
+		return "add"
+	case OpMul:
+		return "mul"
+	case OpRotate:
+		return "rotate"
+	}
+	return fmt.Sprintf("op(%d)", uint8(k))
+}
+
+// Op is one homomorphic operation on uploaded ciphertexts.
+type Op struct {
+	Kind   OpKind
+	Tenant string // evaluation-key namespace; "" is the default tenant
+	A, B   *fv.Ciphertext
+	G      int // Galois element (OpRotate only)
+}
+
+// Result is the outcome of a served operation.
+type Result struct {
+	Ct     *fv.Ciphertext
+	Report core.Report
+	Worker int           // which worker / simulated co-processor served it
+	Batch  int           // how many ops rode in the same batch
+	KeyHit bool          // evaluation key was already resident on the worker
+	Wait   time.Duration // time spent in the admission queue
+}
+
+// Config parameterizes New. Zero values select the documented defaults.
+type Config struct {
+	// Params is the FV parameter set every worker's accelerator is built
+	// for. Required.
+	Params *fv.Params
+	// Variant selects the lift/scale architecture (default hwsim.VariantHPS).
+	Variant hwsim.Variant
+	// Workers is the number of pool workers, each owning one simulated
+	// co-processor (default runtime.NumCPU()). The paper's platform is
+	// Workers = 2 on a quad-core Arm.
+	Workers int
+	// QueueDepth bounds the admission queue (default 64). A full queue
+	// rejects with ErrOverloaded.
+	QueueDepth int
+	// MaxBatch caps how many compatible ops are grouped into one dispatch
+	// (default 8).
+	MaxBatch int
+	// BatchLinger is how long the batcher waits for more compatible ops
+	// once the queue is empty before dispatching a partial batch
+	// (default 0: dispatch immediately — latency first).
+	BatchLinger time.Duration
+	// Deadline is the default per-request deadline applied when the
+	// caller's context has none (default 0: no deadline).
+	Deadline time.Duration
+	// KeyCacheSlots is the per-worker evaluation-key cache capacity in
+	// keys (default 8). Keys beyond that are evicted LRU and must be
+	// re-streamed (simulated DMA) on next use.
+	KeyCacheSlots int
+	// ExpvarName, when non-empty, publishes the Stats snapshot under this
+	// expvar name (skipped if the name is already taken).
+	ExpvarName string
+}
+
+func (c *Config) withDefaults() (Config, error) {
+	cfg := *c
+	if cfg.Params == nil {
+		return cfg, errors.New("engine: Config.Params is required")
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.NumCPU()
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 64
+	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = 8
+	}
+	if cfg.KeyCacheSlots <= 0 {
+		cfg.KeyCacheSlots = 8
+	}
+	return cfg, nil
+}
+
+// request is one queued operation and its completion plumbing.
+type request struct {
+	op       Op
+	ctx      context.Context
+	deadline time.Time // zero = none
+	enqueued time.Time
+
+	res  *Result
+	err  error
+	done chan struct{}
+}
+
+func (r *request) expired(now time.Time) bool {
+	if !r.deadline.IsZero() && now.After(r.deadline) {
+		return true
+	}
+	return r.ctx != nil && r.ctx.Err() != nil
+}
+
+// Engine is the serving runtime. Create with New, feed with Submit, stop
+// with Shutdown.
+type Engine struct {
+	cfg     Config
+	keys    *keyStore
+	workers []*worker
+	queue   chan *request
+	batches chan *batch
+	m       metrics
+
+	mu     sync.RWMutex // guards closed vs. queue sends
+	closed bool
+	wg     sync.WaitGroup // dispatcher + workers
+
+	// testExecHook, when set, runs at the start of every batch execution.
+	// Tests use it to hold workers busy deterministically.
+	testExecHook func(workerID int)
+}
+
+// New builds an engine: one core.Accelerator with a single simulated
+// co-processor per worker, the admission queue, the batcher, and the worker
+// goroutines. The engine is serving when New returns.
+func New(cfg Config) (*Engine, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		cfg:     cfg,
+		keys:    newKeyStore(),
+		queue:   make(chan *request, cfg.QueueDepth),
+		batches: make(chan *batch),
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		accel, err := core.New(cfg.Params, cfg.Variant, 1)
+		if err != nil {
+			return nil, fmt.Errorf("engine: worker %d accelerator: %w", i, err)
+		}
+		e.workers = append(e.workers, newWorker(i, accel, cfg.KeyCacheSlots))
+	}
+	e.wg.Add(1)
+	go e.dispatch()
+	for _, w := range e.workers {
+		e.wg.Add(1)
+		go func(w *worker) {
+			defer e.wg.Done()
+			for b := range e.batches {
+				e.runBatch(w, b)
+			}
+		}(w)
+	}
+	if cfg.ExpvarName != "" {
+		publishExpvar(cfg.ExpvarName, e)
+	}
+	return e, nil
+}
+
+// Workers returns the pool size.
+func (e *Engine) Workers() int { return len(e.workers) }
+
+// SetRelinKey registers (or replaces) the tenant's relinearization key. The
+// key stays in NTT form exactly as generated; workers model the DMA cost of
+// streaming it on first use and keep it resident in their caches after.
+func (e *Engine) SetRelinKey(tenant string, rk *fv.RelinKey) {
+	e.keys.setRelin(tenant, rk)
+}
+
+// SetGaloisKey registers the tenant's key-switching key for one Galois
+// element.
+func (e *Engine) SetGaloisKey(tenant string, gk *fv.GaloisKey) {
+	e.keys.setGalois(tenant, gk)
+}
+
+// Submit admits one operation and blocks until it completes, expires, or
+// the context is canceled. A full queue fails fast with ErrOverloaded;
+// Submit never blocks on admission.
+func (e *Engine) Submit(ctx context.Context, op Op) (*Result, error) {
+	if err := validate(op); err != nil {
+		return nil, err
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	now := time.Now()
+	r := &request{op: op, ctx: ctx, enqueued: now, done: make(chan struct{})}
+	if d, ok := ctx.Deadline(); ok {
+		r.deadline = d
+	}
+	if e.cfg.Deadline > 0 {
+		if d := now.Add(e.cfg.Deadline); r.deadline.IsZero() || d.Before(r.deadline) {
+			r.deadline = d
+		}
+	}
+
+	e.mu.RLock()
+	if e.closed {
+		e.mu.RUnlock()
+		return nil, ErrShutdown
+	}
+	select {
+	case e.queue <- r:
+		e.mu.RUnlock()
+	default:
+		e.mu.RUnlock()
+		e.m.rejected.Add(1)
+		return nil, ErrOverloaded
+	}
+	e.m.submitted.Add(1)
+
+	select {
+	case <-r.done:
+		return r.res, r.err
+	case <-ctx.Done():
+		// The request completes (or is dropped as expired) on its own; the
+		// caller just stops waiting.
+		return nil, ctx.Err()
+	}
+}
+
+// Shutdown stops admission, lets the batcher flush everything already
+// queued, waits for in-flight batches to finish, and returns. If ctx
+// expires first it returns ctx.Err() with workers still draining in the
+// background.
+func (e *Engine) Shutdown(ctx context.Context) error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil
+	}
+	e.closed = true
+	close(e.queue)
+	e.mu.Unlock()
+
+	drained := make(chan struct{})
+	go func() {
+		e.wg.Wait()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func validate(op Op) error {
+	switch op.Kind {
+	case OpAdd, OpMul:
+		if op.A == nil || op.B == nil {
+			return fmt.Errorf("engine: %v needs two operands", op.Kind)
+		}
+	case OpRotate:
+		if op.A == nil {
+			return fmt.Errorf("engine: rotate needs an operand")
+		}
+	default:
+		return fmt.Errorf("engine: unknown op kind %d", op.Kind)
+	}
+	return nil
+}
+
+// finish completes a request exactly once.
+func (e *Engine) finish(r *request, res *Result, err error) {
+	r.res, r.err = res, err
+	close(r.done)
+}
+
+// expire drops a request that ran out of time before execution.
+func (e *Engine) expire(r *request) {
+	e.m.expired.Add(1)
+	e.finish(r, nil, ErrDeadlineExceeded)
+}

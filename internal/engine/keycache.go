@@ -1,0 +1,107 @@
+package engine
+
+import (
+	"sync"
+
+	"repro/internal/fv"
+)
+
+// keyStore is the authoritative registry of tenant evaluation keys. Keys are
+// kept exactly as generated — in NTT form over the q basis — which is the
+// representation the co-processor consumes; there is no per-use transform.
+type keyStore struct {
+	mu      sync.RWMutex
+	tenants map[string]*tenantKeys
+}
+
+type tenantKeys struct {
+	relin  *fv.RelinKey
+	galois map[int]*fv.GaloisKey
+}
+
+func newKeyStore() *keyStore {
+	return &keyStore{tenants: make(map[string]*tenantKeys)}
+}
+
+func (s *keyStore) tenant(name string) *tenantKeys {
+	t := s.tenants[name]
+	if t == nil {
+		t = &tenantKeys{galois: make(map[int]*fv.GaloisKey)}
+		s.tenants[name] = t
+	}
+	return t
+}
+
+func (s *keyStore) setRelin(tenant string, rk *fv.RelinKey) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.tenant(tenant).relin = rk
+}
+
+func (s *keyStore) setGalois(tenant string, gk *fv.GaloisKey) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.tenant(tenant).galois[gk.G] = gk
+}
+
+func (s *keyStore) relin(tenant string) *fv.RelinKey {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if t := s.tenants[tenant]; t != nil {
+		return t.relin
+	}
+	return nil
+}
+
+func (s *keyStore) galois(tenant string, g int) *fv.GaloisKey {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if t := s.tenants[tenant]; t != nil {
+		return t.galois[g]
+	}
+	return nil
+}
+
+// residentKey identifies one evaluation key in a worker's cache. kind
+// distinguishes the relin key (g = 0 unused) from Galois keys.
+type residentKey struct {
+	tenant string
+	kind   OpKind
+	g      int
+}
+
+// keyCache models the co-processor's on-chip key residency: the paper
+// streams the relinearization key from DDR during every Mult (Sec. V-D,
+// "the DMA feeds the relinearization key components while the RPAUs
+// compute"); a key already resident skips that stream. The cache is LRU
+// over whole keys and is owned by exactly one worker goroutine, so it
+// needs no locking.
+type keyCache struct {
+	cap   int
+	order []residentKey // front = least recently used
+}
+
+func newKeyCache(capacity int) *keyCache {
+	return &keyCache{cap: capacity}
+}
+
+// touch marks id as used. It reports whether the key was already resident;
+// on a miss the least recently used key is evicted if the cache is full,
+// and evicted reports whether that happened.
+func (c *keyCache) touch(id residentKey) (hit, evicted bool) {
+	for i, k := range c.order {
+		if k == id {
+			c.order = append(append(c.order[:i:i], c.order[i+1:]...), id)
+			return true, false
+		}
+	}
+	if len(c.order) >= c.cap {
+		c.order = c.order[1:]
+		evicted = true
+	}
+	c.order = append(c.order, id)
+	return false, evicted
+}
+
+// len reports how many keys are resident.
+func (c *keyCache) len() int { return len(c.order) }

@@ -1,0 +1,188 @@
+package engine
+
+import (
+	"expvar"
+	"math"
+	"math/bits"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/hwsim"
+)
+
+// histogram is a lock-free log2-bucketed latency histogram: bucket i counts
+// observations with ns in [2^(i-1), 2^i). 48 buckets cover ~3 days.
+type histogram struct {
+	buckets [48]atomic.Uint64
+	count   atomic.Uint64
+	sumNS   atomic.Uint64
+	maxNS   atomic.Uint64
+}
+
+func (h *histogram) observe(d time.Duration) {
+	ns := uint64(d.Nanoseconds())
+	if d < 0 {
+		ns = 0
+	}
+	i := bits.Len64(ns)
+	if i >= len(h.buckets) {
+		i = len(h.buckets) - 1
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sumNS.Add(ns)
+	for {
+		cur := h.maxNS.Load()
+		if ns <= cur || h.maxNS.CompareAndSwap(cur, ns) {
+			return
+		}
+	}
+}
+
+// HistogramStats is a snapshot summary of one histogram. Quantiles are
+// approximate (geometric midpoint of the owning log2 bucket).
+type HistogramStats struct {
+	Count      uint64
+	MeanMicros float64
+	P50Micros  float64
+	P99Micros  float64
+	MaxMicros  float64
+}
+
+func (h *histogram) snapshot() HistogramStats {
+	var s HistogramStats
+	s.Count = h.count.Load()
+	if s.Count == 0 {
+		return s
+	}
+	s.MeanMicros = float64(h.sumNS.Load()) / float64(s.Count) / 1e3
+	s.MaxMicros = float64(h.maxNS.Load()) / 1e3
+	var counts [48]uint64
+	var total uint64
+	for i := range h.buckets {
+		counts[i] = h.buckets[i].Load()
+		total += counts[i]
+	}
+	quantile := func(q float64) float64 {
+		target := uint64(math.Ceil(q * float64(total)))
+		var seen uint64
+		for i, c := range counts {
+			seen += c
+			if seen >= target && c > 0 {
+				// Geometric midpoint of [2^(i-1), 2^i) ns.
+				lo := math.Exp2(float64(i - 1))
+				return lo * math.Sqrt2 / 1e3
+			}
+		}
+		return s.MaxMicros
+	}
+	s.P50Micros = quantile(0.50)
+	s.P99Micros = quantile(0.99)
+	return s
+}
+
+// metrics is the engine's counter set. All fields are atomics; Stats takes
+// a consistent-enough snapshot without stopping the world.
+type metrics struct {
+	submitted  atomic.Uint64
+	rejected   atomic.Uint64
+	expired    atomic.Uint64
+	completed  atomic.Uint64
+	failed     atomic.Uint64
+	batches    atomic.Uint64
+	batchedOps atomic.Uint64
+	keyLoads   atomic.Uint64
+	keyHits    atomic.Uint64
+	keyEvicted atomic.Uint64
+	queueWait  histogram
+	execTime   histogram
+}
+
+// WorkerStats is the per-worker accounting slice of a Stats snapshot.
+type WorkerStats struct {
+	Ops       uint64
+	KeyLoads  uint64
+	SimCycles uint64
+	// SimSeconds is the simulated co-processor busy time (compute plus
+	// evaluation-key streaming) — the denominator of the paper's
+	// throughput numbers.
+	SimSeconds float64
+	// ResidentKeys is the current evaluation-key cache occupancy.
+	ResidentKeys int
+}
+
+// Stats is a point-in-time snapshot of the engine's counters.
+type Stats struct {
+	Workers    int
+	QueueDepth int
+	QueueLen   int
+
+	Submitted uint64
+	Rejected  uint64
+	Expired   uint64
+	Completed uint64
+	Failed    uint64
+
+	Batches    uint64
+	BatchedOps uint64
+	AvgBatch   float64
+
+	KeyLoads     uint64
+	KeyHits      uint64
+	KeyEvictions uint64
+
+	QueueWait HistogramStats
+	ExecTime  HistogramStats
+
+	PerWorker []WorkerStats
+}
+
+// Stats snapshots the engine's observability counters.
+func (e *Engine) Stats() Stats {
+	s := Stats{
+		Workers:      len(e.workers),
+		QueueDepth:   e.cfg.QueueDepth,
+		QueueLen:     len(e.queue),
+		Submitted:    e.m.submitted.Load(),
+		Rejected:     e.m.rejected.Load(),
+		Expired:      e.m.expired.Load(),
+		Completed:    e.m.completed.Load(),
+		Failed:       e.m.failed.Load(),
+		Batches:      e.m.batches.Load(),
+		BatchedOps:   e.m.batchedOps.Load(),
+		KeyLoads:     e.m.keyLoads.Load(),
+		KeyHits:      e.m.keyHits.Load(),
+		KeyEvictions: e.m.keyEvicted.Load(),
+		QueueWait:    e.m.queueWait.snapshot(),
+		ExecTime:     e.m.execTime.snapshot(),
+	}
+	if s.Batches > 0 {
+		s.AvgBatch = float64(s.BatchedOps) / float64(s.Batches)
+	}
+	for _, w := range e.workers {
+		cyc := w.simCycles.Load()
+		s.PerWorker = append(s.PerWorker, WorkerStats{
+			Ops:          w.ops.Load(),
+			KeyLoads:     w.keyLoads.Load(),
+			SimCycles:    cyc,
+			SimSeconds:   hwsim.Cycles(cyc).Seconds(),
+			ResidentKeys: int(w.resident.Load()),
+		})
+	}
+	return s
+}
+
+// expvarMu guards the "is this name taken" check; expvar itself panics on a
+// duplicate Publish, which would be a rough edge for tests that build many
+// engines.
+var expvarMu sync.Mutex
+
+func publishExpvar(name string, e *Engine) {
+	expvarMu.Lock()
+	defer expvarMu.Unlock()
+	if expvar.Get(name) != nil {
+		return
+	}
+	expvar.Publish(name, expvar.Func(func() any { return e.Stats() }))
+}

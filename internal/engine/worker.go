@@ -1,0 +1,138 @@
+package engine
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fv"
+	"repro/internal/hwsim"
+)
+
+// worker is one pool member: an application core driving its own simulated
+// co-processor (one `core.Accelerator` with a single hwsim instance), plus
+// the model of which evaluation keys are currently resident on that
+// co-processor.
+type worker struct {
+	id    int
+	accel *core.Accelerator
+	cache *keyCache
+
+	// Accumulated accounting, read concurrently by Stats.
+	ops       atomic.Uint64
+	simCycles atomic.Uint64 // hwsim.Cycles of compute + key streaming
+	keyLoads  atomic.Uint64
+	resident  atomic.Int64 // current key-cache occupancy, mirrored for Stats
+}
+
+func newWorker(id int, accel *core.Accelerator, cacheSlots int) *worker {
+	return &worker{id: id, accel: accel, cache: newKeyCache(cacheSlots)}
+}
+
+// runBatch executes one batch on w: resolve the evaluation key once, charge
+// the simulated key-DMA stream if the key is not resident, then run every
+// still-live request sequentially on the worker's co-processor.
+func (e *Engine) runBatch(w *worker, b *batch) {
+	if e.testExecHook != nil {
+		e.testExecHook(w.id)
+	}
+
+	var (
+		rk        *fv.RelinKey
+		gk        *fv.GaloisKey
+		keyCycles hwsim.Cycles
+		keyHit    bool
+		needsKey  bool
+	)
+	switch b.key.kind {
+	case OpMul:
+		needsKey = true
+		if rk = e.keys.relin(b.key.tenant); rk == nil {
+			e.failBatch(b, fmt.Errorf("%w: relinearization key for tenant %q", ErrNoKey, b.key.tenant))
+			return
+		}
+	case OpRotate:
+		needsKey = true
+		if gk = e.keys.galois(b.key.tenant, b.key.g); gk == nil {
+			e.failBatch(b, fmt.Errorf("%w: Galois key for element %d, tenant %q", ErrNoKey, b.key.g, b.key.tenant))
+			return
+		}
+	}
+	if needsKey {
+		id := residentKey{tenant: b.key.tenant, kind: b.key.kind, g: b.key.g}
+		hit, evicted := w.cache.touch(id)
+		w.resident.Store(int64(w.cache.len()))
+		keyHit = hit
+		if evicted {
+			e.m.keyEvicted.Add(1)
+		}
+		if hit {
+			e.m.keyHits.Add(1)
+		} else {
+			e.m.keyLoads.Add(1)
+			w.keyLoads.Add(1)
+			var bytes int
+			if rk != nil {
+				bytes = core.RelinKeyBytes(e.cfg.Params, rk)
+			} else {
+				bytes = core.GaloisKeyBytes(e.cfg.Params, gk)
+			}
+			keyCycles = w.accel.KeyStreamCycles(bytes)
+			w.simCycles.Add(uint64(keyCycles))
+		}
+	}
+
+	for _, r := range b.reqs {
+		now := time.Now()
+		if r.expired(now) {
+			e.expire(r)
+			continue
+		}
+		e.m.queueWait.observe(now.Sub(r.enqueued))
+
+		var (
+			ct  *fv.Ciphertext
+			rep core.Report
+			err error
+		)
+		start := time.Now()
+		switch r.op.Kind {
+		case OpAdd:
+			ct, rep, err = w.accel.Add(r.op.A, r.op.B)
+		case OpMul:
+			ct, rep, err = w.accel.Mul(r.op.A, r.op.B, rk)
+		case OpRotate:
+			ct, rep, err = w.accel.Rotate(r.op.A, gk)
+		}
+		e.m.execTime.observe(time.Since(start))
+		if err != nil {
+			e.m.failed.Add(1)
+			e.finish(r, nil, err)
+			continue
+		}
+		// The key stream is charged to the batch's first executed op — the
+		// others find the key resident, which is the point of batching.
+		rep.KeyLoadCycles = keyCycles
+		keyCycles = 0
+		w.ops.Add(1)
+		w.simCycles.Add(uint64(rep.ComputeCycles))
+		e.m.completed.Add(1)
+		e.finish(r, &Result{
+			Ct:     ct,
+			Report: rep,
+			Worker: w.id,
+			Batch:  len(b.reqs),
+			KeyHit: keyHit,
+			Wait:   now.Sub(r.enqueued),
+		}, nil)
+	}
+}
+
+// failBatch completes every request in b with err.
+func (e *Engine) failBatch(b *batch, err error) {
+	for _, r := range b.reqs {
+		e.m.failed.Add(uint64(1))
+		e.finish(r, nil, err)
+	}
+}
