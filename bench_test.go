@@ -18,6 +18,7 @@ import (
 	"repro/internal/fv"
 	"repro/internal/hebench"
 	"repro/internal/hwsim"
+	"repro/internal/poly"
 	"repro/internal/sampler"
 )
 
@@ -311,6 +312,38 @@ func BenchmarkSoftwareBaseline_Add(b *testing.B) {
 	ev := fv.NewEvaluator(s.Params)
 	for i := 0; i < b.N; i++ {
 		ev.Add(s.CtA, s.CtB)
+	}
+}
+
+// BenchmarkMulRelin isolates the software Mult pipeline at the paper's
+// parameter set with explicit pool widths: width 1 is the sequential
+// reference, width 7 the RPAU-sized fan-out (identical bits, different
+// wall-clock on multi-core hosts). This is the benchmark the tentpole's
+// Shoup/lazy-reduction kernels and pool fan-out target.
+func BenchmarkMulRelin(b *testing.B) {
+	for _, poolSize := range []int{1, poly.PaperRPAUs} {
+		b.Run(fmt.Sprintf("pool=%d", poolSize), func(b *testing.B) {
+			cfg := fv.PaperConfig(2)
+			cfg.PoolSize = poolSize
+			params, err := fv.NewParams(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			kg := fv.NewKeyGenerator(params, sampler.NewPRNG(42))
+			sk := kg.GenSecretKey()
+			pk := kg.GenPublicKey(sk)
+			rk := kg.GenRelinKey(sk, fv.HPS, 0, 0)
+			enc := fv.NewEncryptor(params, pk, sampler.NewPRNG(7))
+			pt := fv.NewPlaintext(params)
+			pt.Coeffs[0] = 1
+			ctA := enc.Encrypt(pt)
+			ctB := enc.Encrypt(pt)
+			ev := fv.NewEvaluator(params)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ev.Mul(ctA, ctB, rk)
+			}
+		})
 	}
 }
 

@@ -1,0 +1,95 @@
+package difftest
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/fv"
+)
+
+var (
+	harnessOnce sync.Once
+	harness     *Harness
+	harnessErr  error
+)
+
+// getHarness shares one harness (keygen is the expensive part) across the
+// deterministic tests and the fuzz seed corpus.
+func getHarness(t testing.TB) *Harness {
+	t.Helper()
+	harnessOnce.Do(func() {
+		harness, harnessErr = New(fv.TestConfig(257), 42)
+	})
+	if harnessErr != nil {
+		t.Fatal(harnessErr)
+	}
+	return harness
+}
+
+func TestDiffTransformDeterministic(t *testing.T) {
+	h := getHarness(t)
+	for _, seed := range []string{"", "a", "ntt-vector-1", "ntt-vector-2"} {
+		if err := h.DiffTransform(h.FullPolyFromSeed([]byte(seed))); err != nil {
+			t.Fatalf("seed %q: %v", seed, err)
+		}
+	}
+}
+
+func TestDiffTransformEdgeVectors(t *testing.T) {
+	h := getHarness(t)
+	// All-zero and delta inputs exercise the lazy-reduction butterflies at
+	// the boundary values (0 and q-1) where conditional subtractions bite.
+	zero := h.FullPolyFromSeed(nil)
+	for i := range zero.Rows {
+		for c := range zero.Rows[i].Coeffs {
+			zero.Rows[i].Coeffs[c] = 0
+		}
+	}
+	if err := h.DiffTransform(zero); err != nil {
+		t.Fatalf("zero vector: %v", err)
+	}
+	delta := zero.Clone()
+	for i := range delta.Rows {
+		delta.Rows[i].Coeffs[0] = delta.Rows[i].Mod.Q - 1
+	}
+	if err := h.DiffTransform(delta); err != nil {
+		t.Fatalf("(q-1)·δ vector: %v", err)
+	}
+}
+
+func TestDiffPointwiseDeterministic(t *testing.T) {
+	h := getHarness(t)
+	a := h.FullPolyFromSeed([]byte("lhs"))
+	b := h.FullPolyFromSeed([]byte("rhs"))
+	if err := h.DiffPointwise(a, b); err != nil {
+		t.Fatal(err)
+	}
+	// a against itself: sub must hit the zero path everywhere.
+	if err := h.DiffPointwise(a, a.Clone()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDiffMulRelinDeterministic(t *testing.T) {
+	h := getHarness(t)
+	cases := [][2]string{
+		{"mul-a-0", "mul-b-0"},
+		{"mul-a-1", "mul-b-1"},
+	}
+	for _, c := range cases {
+		ptA := h.PlaintextFromSeed([]byte(c[0]))
+		ptB := h.PlaintextFromSeed([]byte(c[1]))
+		if err := h.DiffMul(ptA, ptB); err != nil {
+			t.Fatalf("seeds %q×%q: %v", c[0], c[1], err)
+		}
+	}
+}
+
+func TestDiffAddDeterministic(t *testing.T) {
+	h := getHarness(t)
+	ptA := h.PlaintextFromSeed([]byte("add-a"))
+	ptB := h.PlaintextFromSeed([]byte("add-b"))
+	if err := h.DiffAdd(ptA, ptB); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -8,21 +8,25 @@ import (
 )
 
 // Evaluator computes on ciphertexts: the cloud-side Add and Mult of the
-// paper's Sec. II-B, with Mult implementing the full Fig. 2 pipeline.
+// paper's Sec. II-B, with Mult implementing the full Fig. 2 pipeline. All
+// RNS-limb loops (NTT rows, tensor products, relinearization MACs) fan out
+// across the parameter set's goroutine pool, mirroring the paper's parallel
+// RPAUs; results are bit-identical at any pool size.
 type Evaluator struct {
 	params  *Params
 	variant LiftScaleVariant
+	ops     poly.PoolOps
 }
 
 // NewEvaluator returns an evaluator using the HPS lift/scale variant.
 func NewEvaluator(params *Params) *Evaluator {
-	return &Evaluator{params: params, variant: HPS}
+	return &Evaluator{params: params, variant: HPS, ops: poly.PoolOps{Pool: params.Pool}}
 }
 
 // NewEvaluatorVariant selects the lift/scale variant explicitly (the
 // traditional variant reproduces the paper's slower architecture).
 func NewEvaluatorVariant(params *Params, v LiftScaleVariant) *Evaluator {
-	return &Evaluator{params: params, variant: v}
+	return &Evaluator{params: params, variant: v, ops: poly.PoolOps{Pool: params.Pool}}
 }
 
 // Variant returns the lift/scale variant in use.
@@ -35,7 +39,7 @@ func (ev *Evaluator) Add(a, b *Ciphertext) *Ciphertext {
 	}
 	out := NewCiphertext(ev.params, len(a.Els))
 	for i := range a.Els {
-		a.Els[i].AddInto(b.Els[i], out.Els[i])
+		ev.ops.AddInto(a.Els[i], b.Els[i], out.Els[i])
 	}
 	return out
 }
@@ -47,7 +51,7 @@ func (ev *Evaluator) Sub(a, b *Ciphertext) *Ciphertext {
 	}
 	out := NewCiphertext(ev.params, len(a.Els))
 	for i := range a.Els {
-		a.Els[i].SubInto(b.Els[i], out.Els[i])
+		ev.ops.SubInto(a.Els[i], b.Els[i], out.Els[i])
 	}
 	return out
 }
@@ -56,7 +60,7 @@ func (ev *Evaluator) Sub(a, b *Ciphertext) *Ciphertext {
 func (ev *Evaluator) Neg(a *Ciphertext) *Ciphertext {
 	out := NewCiphertext(ev.params, len(a.Els))
 	for i := range a.Els {
-		a.Els[i].NegInto(out.Els[i])
+		ev.ops.NegInto(a.Els[i], out.Els[i])
 	}
 	return out
 }
@@ -96,7 +100,7 @@ func (ev *Evaluator) MulPlain(ct *Ciphertext, pt *Plaintext) *Ciphertext {
 	for i := range ct.Els {
 		tmp := ct.Els[i].Clone()
 		p.TrQ.Forward(tmp)
-		tmp.MulInto(mHat, tmp)
+		ev.ops.MulInto(tmp, mHat, tmp)
 		p.TrQ.Inverse(tmp)
 		out.Els[i] = tmp
 	}
@@ -131,10 +135,10 @@ func (ev *Evaluator) MulNoRelin(a, b *Ciphertext) *Ciphertext {
 	t0 := poly.NewRNSPoly(p.AllMods, n)
 	t1 := poly.NewRNSPoly(p.AllMods, n)
 	t2 := poly.NewRNSPoly(p.AllMods, n)
-	a0.MulInto(b0, t0)
-	a0.MulInto(b1, t1)
-	a1.MulAddInto(b0, t1)
-	a1.MulInto(b1, t2)
+	ev.ops.MulInto(a0, b0, t0)
+	ev.ops.MulInto(a0, b1, t1)
+	ev.ops.MulAddInto(a1, b0, t1)
+	ev.ops.MulInto(a1, b1, t2)
 
 	p.TrFull.Inverse(t0)
 	p.TrFull.Inverse(t1)
@@ -166,10 +170,10 @@ func (ev *Evaluator) SquareNoRelin(a *Ciphertext) *Ciphertext {
 	t0 := poly.NewRNSPoly(p.AllMods, n)
 	t1 := poly.NewRNSPoly(p.AllMods, n)
 	t2 := poly.NewRNSPoly(p.AllMods, n)
-	a0.MulInto(a0, t0)
-	a0.MulInto(a1, t1)
-	t1.AddInto(t1, t1) // 2·a0·a1
-	a1.MulInto(a1, t2)
+	ev.ops.MulInto(a0, a0, t0)
+	ev.ops.MulInto(a0, a1, t1)
+	ev.ops.AddInto(t1, t1, t1) // 2·a0·a1
+	ev.ops.MulInto(a1, a1, t2)
 
 	p.TrFull.Inverse(t0)
 	p.TrFull.Inverse(t1)
@@ -195,7 +199,7 @@ func (ev *Evaluator) Relinearize(ct *Ciphertext, rk *RelinKey) *Ciphertext {
 	var digits []poly.RNSPoly
 	switch rk.Variant {
 	case HPS:
-		digits = rns.DecomposeRNS(p.QBasis, ct.Els[2])
+		digits = rns.DecomposeRNSPool(p.Pool, p.QBasis, ct.Els[2])
 	case Traditional:
 		digits = rns.WordDecompose(p.QBasis, ct.Els[2], rk.LogW, rk.Ell)
 	}
@@ -207,15 +211,15 @@ func (ev *Evaluator) Relinearize(ct *Ciphertext, rk *RelinKey) *Ciphertext {
 	sop1 := poly.NewRNSPoly(p.QMods, p.N())
 	for i := range digits {
 		p.TrQ.Forward(digits[i])
-		digits[i].MulAddInto(rk.Rlk0Hat[i], sop0)
-		digits[i].MulAddInto(rk.Rlk1Hat[i], sop1)
+		ev.ops.MulAddInto(digits[i], rk.Rlk0Hat[i], sop0)
+		ev.ops.MulAddInto(digits[i], rk.Rlk1Hat[i], sop1)
 	}
 	p.TrQ.Inverse(sop0)
 	p.TrQ.Inverse(sop1)
 
 	out := NewCiphertext(p, 2)
-	ct.Els[0].AddInto(sop0, out.Els[0])
-	ct.Els[1].AddInto(sop1, out.Els[1])
+	ev.ops.AddInto(ct.Els[0], sop0, out.Els[0])
+	ev.ops.AddInto(ct.Els[1], sop1, out.Els[1])
 	return out
 }
 

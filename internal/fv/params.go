@@ -46,6 +46,12 @@ type Config struct {
 	Sigma      float64 // error distribution standard deviation
 	RelinLogW  uint    // digit width for the traditional WordDecomp
 	RelinDepth int     // digit count ℓ for the traditional WordDecomp
+
+	// PoolSize bounds the goroutine pool that fans RNS-limb work (NTT rows,
+	// pointwise ops, Lift/Scale coefficient stripes) — the software analogue
+	// of the paper's RPAU count. 0 selects min(GOMAXPROCS, poly.PaperRPAUs);
+	// 1 forces the sequential path (bit-identical results either way).
+	PoolSize int
 }
 
 // PaperConfig is the parameter set of the paper's Sec. III-A: n = 4096,
@@ -93,6 +99,11 @@ type Params struct {
 	Lifter *rns.Extender
 	Scaler *rns.ScaleRounder
 
+	// Pool fans per-limb and per-coefficient-stripe work across goroutines;
+	// it is shared by the transformers, Lifter, and Scaler above, and by the
+	// hardware simulator's RPAU loops.
+	Pool *poly.Pool
+
 	// decryptRecip divides t·x by q during decryption.
 	decryptRecip *mp.Reciprocal
 }
@@ -135,9 +146,15 @@ func NewParams(cfg Config) (*Params, error) {
 	if p.PBasis, err = rns.NewBasis(p.PMods); err != nil {
 		return nil, err
 	}
+	if cfg.PoolSize == 0 {
+		p.Pool = poly.NewDefaultPool()
+	} else {
+		p.Pool = poly.NewPool(cfg.PoolSize)
+	}
 	if p.TrFull, err = poly.NewTransformer(p.AllMods, cfg.N); err != nil {
 		return nil, err
 	}
+	p.TrFull.Pool = p.Pool
 	p.TrQ = p.TrFull.SubTransformer(cfg.QCount)
 	delta := p.QBasis.Product.Div(mp.NewNat(cfg.T))
 	p.Delta = make([]uint64, cfg.QCount)
@@ -147,9 +164,11 @@ func NewParams(cfg Config) (*Params, error) {
 	if p.Lifter, err = rns.NewExtender(p.QBasis, p.PMods); err != nil {
 		return nil, err
 	}
+	p.Lifter.Pool = p.Pool
 	if p.Scaler, err = rns.NewScaleRounder(p.QBasis, p.PBasis, cfg.T); err != nil {
 		return nil, err
 	}
+	p.Scaler.Pool = p.Pool
 	p.decryptRecip = mp.NewReciprocal(p.QBasis.Product,
 		p.QBasis.Product.BitLen()+mp.NewNat(cfg.T).BitLen()+2)
 	return p, nil

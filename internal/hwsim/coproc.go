@@ -77,6 +77,13 @@ type Coprocessor struct {
 	ScaleU *ScaleUnit
 	DMAEng DMA
 
+	// Pool fans the per-prime row loops of Exec across goroutines — the
+	// simulator actually computing the way the hardware does, with every
+	// RPAU working its residue polynomial concurrently. Inherited from the
+	// Extender's pool (the parameter set's) at construction; nil runs the
+	// rows sequentially with identical results.
+	Pool *poly.Pool
+
 	slots []slot
 	Stats *Stats
 }
@@ -97,6 +104,7 @@ func NewCoprocessor(qmods, pmods []ring.Modulus, n int,
 	c := &Coprocessor{
 		Mods: all, KQ: kq, KP: kp, N: n,
 		Variant: variant, Timing: timing,
+		Pool:    ext.Pool,
 		LiftU:  NewLiftUnit(ext, n, timing),
 		ScaleU: NewScaleUnit(sc, n, timing),
 		DMAEng: DMA{Timing: timing},
@@ -256,39 +264,43 @@ func (c *Coprocessor) Exec(in Instr) (Cycles, error) {
 		if in.Op == OpINTT {
 			want, set = domNTT, domCoeff
 		}
-		var unitCycles Cycles
+		// Validate domains and materialize rows up front, then let the RPAUs
+		// transform their residue polynomials concurrently, as the hardware
+		// does (the cycle count is one unit's latency either way).
+		rows := make([]poly.Poly, hi-lo)
 		for j := lo; j < hi; j++ {
 			if s.domain != nil && s.domain[j] != domEmpty && s.domain[j] != want {
 				return 0, fmt.Errorf("hwsim: %v on slot %d row %d in wrong domain", in.Op, in.A, j)
 			}
-			row := c.row(s, j)
-			if in.Op == OpNTT {
-				unitCycles = c.rpauFor(j).NTT(row)
-			} else {
-				unitCycles = c.rpauFor(j).INTT(row)
-			}
+			rows[j-lo] = c.row(s, j)
 			s.domain[j] = set
 		}
+		var unitCycles Cycles
+		c.Pool.Run(c.N*len(rows), len(rows), func(i int) {
+			j := lo + i
+			if in.Op == OpNTT {
+				uc := c.rpauFor(j).NTT(rows[i])
+				if i == 0 {
+					unitCycles = uc
+				}
+			} else {
+				uc := c.rpauFor(j).INTT(rows[i])
+				if i == 0 {
+					unitCycles = uc
+				}
+			}
+		})
 		cyc = unitCycles // RPAUs run in parallel: one unit's latency
 
 	case OpCMul, OpCAdd, OpCSub, OpCMac:
 		lo, hi := c.batchRange(in.Batch)
 		sa, sb, sd := c.slotAt(in.A), c.slotAt(in.B), c.slotAt(in.Dst)
-		var unitCycles Cycles
+		// Domain bookkeeping first (result inherits the operands' domain;
+		// domain mixing is a scheduler bug), then the concurrent row sweep.
 		for j := lo; j < hi; j++ {
-			a, b, d := c.row(sa, j), c.row(sb, j), c.row(sd, j)
-			r := c.rpauFor(j)
-			switch in.Op {
-			case OpCMul:
-				unitCycles = r.CMul(a, b, d)
-			case OpCAdd:
-				unitCycles = r.CAdd(a, b, d)
-			case OpCSub:
-				unitCycles = r.CSub(a, b, d)
-			case OpCMac:
-				unitCycles = r.CMac(a, b, d)
-			}
-			// Result inherits the operands' domain; flag domain mixing.
+			c.row(sa, j)
+			c.row(sb, j)
+			c.row(sd, j)
 			if sa.domain[j] != domEmpty && sb.domain[j] != domEmpty && sa.domain[j] != sb.domain[j] {
 				return 0, fmt.Errorf("hwsim: %v mixes domains (slot %d row %d)", in.Op, in.A, j)
 			}
@@ -298,6 +310,26 @@ func (c *Coprocessor) Exec(in Instr) (Cycles, error) {
 			}
 			sd.domain[j] = dom
 		}
+		var unitCycles Cycles
+		c.Pool.Run(c.N*(hi-lo), hi-lo, func(i int) {
+			j := lo + i
+			a, b, d := sa.rows[j], sb.rows[j], sd.rows[j]
+			r := c.rpauFor(j)
+			var uc Cycles
+			switch in.Op {
+			case OpCMul:
+				uc = r.CMul(a, b, d)
+			case OpCAdd:
+				uc = r.CAdd(a, b, d)
+			case OpCSub:
+				uc = r.CSub(a, b, d)
+			case OpCMac:
+				uc = r.CMac(a, b, d)
+			}
+			if i == 0 {
+				unitCycles = uc
+			}
+		})
 		cyc = unitCycles
 
 	case OpRearr:
@@ -323,15 +355,26 @@ func (c *Coprocessor) Exec(in Instr) (Cycles, error) {
 		sd := c.slotAt(in.Dst)
 		c.ensureRows(sd)
 		m := c.Mods[i]
+		// The scalar product d = x·q̃_i mod q_i is row-invariant: compute the
+		// digit stream once (the hardware's single scalar multiplier at the
+		// rearrangement port), then each RPAU reduces it into its own row.
+		digit := make([]uint64, c.N)
+		qTilde := qb.QTilde[i]
+		qTildeShoup := m.ShoupPrecomp(qTilde)
+		for k, x := range src.Coeffs {
+			digit[k] = m.MulShoup(x, qTilde, qTildeShoup)
+		}
 		for j := 0; j < c.KQ; j++ {
-			dst := c.row(sd, j)
-			mj := c.Mods[j]
-			for k := 0; k < c.N; k++ {
-				d := m.Mul(src.Coeffs[k], qb.QTilde[i])
-				dst.Coeffs[k] = mj.Reduce(d)
-			}
+			c.row(sd, j)
 			sd.domain[j] = domCoeff
 		}
+		c.Pool.Run(c.N*c.KQ, c.KQ, func(j int) {
+			dst := sd.rows[j]
+			mj := c.Mods[j]
+			for k, d := range digit {
+				dst.Coeffs[k] = mj.Reduce(d)
+			}
+		})
 		cyc = c.rpauFor(i).Rearrange()
 
 	case OpLift:

@@ -28,6 +28,19 @@ type NTTTable struct {
 
 	psiRev    []uint64 // ψ^bitrev(i), i = 0..n-1 (forward twiddles)
 	psiInvRev []uint64 // ψ^-bitrev(i) (inverse twiddles)
+
+	// Shoup companions of the twiddle ROMs: floor(w·2^64/q) per twiddle w,
+	// so each butterfly multiplies by a ROM constant with two machine
+	// multiplications and a deferred subtraction (Harvey's lazy butterfly).
+	// The hardware stores the same second word next to each twiddle.
+	psiRevShoup    []uint64
+	psiInvRevShoup []uint64
+	nInvShoup      uint64
+
+	// Last inverse level's twiddle with n^-1 folded in (ψ^-bitrev(1)·n^-1),
+	// so the final scaling costs no extra pass.
+	psiInvN      uint64
+	psiInvNShoup uint64
 }
 
 // NewNTTTable computes the twiddle ROM for degree n (a power of two ≥ 2)
@@ -58,11 +71,18 @@ func NewNTTTable(m ring.Modulus, n int) (*NTTTable, error) {
 		fwd = m.Mul(fwd, psi)
 		inv = m.Mul(inv, t.PsiInv)
 	}
+	t.psiRevShoup = make([]uint64, n)
+	t.psiInvRevShoup = make([]uint64, n)
 	for i := 0; i < n; i++ {
 		r := bitReverse(uint(i), logN)
 		t.psiRev[i] = powsF[r]
 		t.psiInvRev[i] = powsI[r]
+		t.psiRevShoup[i] = m.ShoupPrecomp(powsF[r])
+		t.psiInvRevShoup[i] = m.ShoupPrecomp(powsI[r])
 	}
+	t.nInvShoup = m.ShoupPrecomp(t.NInv)
+	t.psiInvN = m.Mul(t.psiInvRev[1], t.NInv)
+	t.psiInvNShoup = m.ShoupPrecomp(t.psiInvN)
 	return t, nil
 }
 
@@ -77,52 +97,149 @@ func bitReverse(x uint, nbits uint) uint {
 // Forward transforms a (length n, coefficients < q) in place into the NTT
 // domain, using the Cooley–Tukey decimation-in-time butterfly with the ψ
 // powers merged in (so no separate pre-multiplication is needed for the
-// negacyclic wrap). Output is in standard order.
+// negacyclic wrap). Output is in standard order and fully reduced (< q).
+//
+// The butterflies are lazy: coefficients are allowed to drift up to 4q
+// between levels, each butterfly spends a single conditional subtraction of
+// 2q on its even leg, and the twiddle product is a Shoup multiplication
+// (two bits.Mul64-class multiplies, no division). A final pass reduces the
+// result to the canonical range, so the output is bit-identical to the
+// former Barrett implementation.
 func (t *NTTTable) Forward(a []uint64) {
 	if len(a) != t.N {
 		panic("poly: NTT length mismatch")
 	}
-	m := t.Mod
+	q := t.Mod.Q
+	twoQ := 2 * q
 	span := t.N >> 1 // butterfly distance
-	for stage := 1; stage < t.N; stage <<= 1 {
+	for stage := 1; span > 1; stage <<= 1 {
 		for group := 0; group < stage; group++ {
 			w := t.psiRev[stage+group]
+			ws := t.psiRevShoup[stage+group]
 			base := 2 * span * group
-			for j := base; j < base+span; j++ {
-				u := a[j]
-				v := m.Mul(a[j+span], w)
-				a[j] = m.Add(u, v)
-				a[j+span] = m.Sub(u, v)
+			lo := a[base : base+span : base+span]
+			hi := a[base+span : base+2*span][:span:span]
+			for j := range lo {
+				// Invariant: lo[j], hi[j] < 4q (< q on entry).
+				u := lo[j]
+				if u >= twoQ {
+					u -= twoQ
+				}
+				x := hi[j]
+				qhat, _ := bits.Mul64(x, ws)
+				v := x*w - qhat*q // Shoup lazy product, < 2q
+				lo[j] = u + v
+				hi[j] = u - v + twoQ
 			}
 		}
 		span >>= 1
 	}
+	// Last level (span 1) with the canonical reduction folded in.
+	stage := t.N >> 1
+	for group := 0; group < stage; group++ {
+		w := t.psiRev[stage+group]
+		ws := t.psiRevShoup[stage+group]
+		u := a[2*group]
+		if u >= twoQ {
+			u -= twoQ
+		}
+		x := a[2*group+1]
+		qhat, _ := bits.Mul64(x, ws)
+		v := x*w - qhat*q
+		a[2*group] = reduceFrom4Q(u+v, q, twoQ)
+		a[2*group+1] = reduceFrom4Q(u-v+twoQ, q, twoQ)
+	}
+}
+
+// reduceFrom4Q maps a lazy value < 4q to the canonical range [0, q).
+func reduceFrom4Q(x, q, twoQ uint64) uint64 {
+	if x >= twoQ {
+		x -= twoQ
+	}
+	if x >= q {
+		x -= q
+	}
+	return x
 }
 
 // Inverse transforms a (in NTT domain, standard order) back to coefficient
 // representation in place, using the Gentleman–Sande decimation-in-frequency
-// butterfly and a final scaling by n^-1.
+// butterfly and a final scaling by n^-1. Like Forward it runs lazily — sums
+// stay < 2q via one conditional subtraction, the odd leg is a Shoup product
+// of the difference — and the n^-1 scaling performs the final reduction, so
+// the output is fully reduced and bit-identical to the former Barrett path.
 func (t *NTTTable) Inverse(a []uint64) {
 	if len(a) != t.N {
 		panic("poly: NTT length mismatch")
 	}
-	m := t.Mod
-	span := 1
-	for stage := t.N >> 1; stage >= 1; stage >>= 1 {
+	q := t.Mod.Q
+	twoQ := 2 * q
+	// First level (span 1), without the group-slicing overhead. For n = 2 it
+	// is also the last level and is handled by the folded-scaling block below.
+	if t.N >= 4 {
+		for group := 0; group < t.N>>1; group++ {
+			w := t.psiInvRev[t.N>>1+group]
+			ws := t.psiInvRevShoup[t.N>>1+group]
+			u := a[2*group]
+			v := a[2*group+1]
+			s := u + v
+			if s >= twoQ {
+				s -= twoQ
+			}
+			a[2*group] = s
+			d := u - v + twoQ
+			qhat, _ := bits.Mul64(d, ws)
+			a[2*group+1] = d*w - qhat*q
+		}
+	}
+	span := 2
+	for stage := t.N >> 2; stage >= 2; stage >>= 1 {
 		for group := 0; group < stage; group++ {
 			w := t.psiInvRev[stage+group]
+			ws := t.psiInvRevShoup[stage+group]
 			base := 2 * span * group
-			for j := base; j < base+span; j++ {
-				u := a[j]
-				v := a[j+span]
-				a[j] = m.Add(u, v)
-				a[j+span] = m.Mul(m.Sub(u, v), w)
+			lo := a[base : base+span : base+span]
+			hi := a[base+span : base+2*span][:span:span]
+			for j := range lo {
+				// Invariant: lo[j], hi[j] < 2q (< q on entry).
+				u := lo[j]
+				v := hi[j]
+				s := u + v
+				if s >= twoQ {
+					s -= twoQ
+				}
+				lo[j] = s
+				d := u - v + twoQ // < 4q
+				qhat, _ := bits.Mul64(d, ws)
+				hi[j] = d*w - qhat*q // < 2q
 			}
 		}
 		span <<= 1
 	}
-	for i := range a {
-		a[i] = m.Mul(a[i], t.NInv)
+	// Last level (stage 1): the even leg is scaled by n^-1, the odd leg by
+	// the folded twiddle ψ^-bitrev(1)·n^-1; both legs land fully reduced.
+	half := t.N >> 1
+	nInv, nInvS := t.NInv, t.nInvShoup
+	wN, wNS := t.psiInvN, t.psiInvNShoup
+	lo := a[:half:half]
+	hi := a[half:][:half:half]
+	for j := range lo {
+		u := lo[j]
+		v := hi[j]
+		s := u + v // < 4q: fine for a Shoup product
+		qhat, _ := bits.Mul64(s, nInvS)
+		r := s*nInv - qhat*q
+		if r >= q {
+			r -= q
+		}
+		lo[j] = r
+		d := u - v + twoQ
+		qhat, _ = bits.Mul64(d, wNS)
+		r = d*wN - qhat*q
+		if r >= q {
+			r -= q
+		}
+		hi[j] = r
 	}
 }
 

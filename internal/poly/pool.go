@@ -1,0 +1,126 @@
+package poly
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// PaperRPAUs is the residue-polynomial arithmetic unit count of the paper's
+// co-processor: ⌈13/2⌉ = 7 RPAUs serve the 6+7 RNS primes in two batches
+// (Sec. V-A1). The default Pool is sized to it, so the software fan-out
+// mirrors the hardware's per-residue parallelism.
+const PaperRPAUs = 7
+
+// MinParallelWork is the smallest operation size (total coefficients touched)
+// worth fanning out: below it, goroutine hand-off costs more than the limb
+// arithmetic saves, and the Pool falls back to the sequential path. The
+// paper's small test degrees stay sequential; the n = 4096 production set
+// parallelizes.
+const MinParallelWork = 1 << 13
+
+// Pool fans independent limb tasks across a bounded set of goroutines — the
+// software analogue of the paper's parallel RPAUs, each of which owns the
+// residue polynomials of one or two primes and computes on them independently
+// (Sec. V-A). A nil *Pool, and any Pool of width 1, executes sequentially;
+// all methods are safe for concurrent use from multiple goroutines (e.g. the
+// serving engine's workers sharing one Pool).
+type Pool struct {
+	workers int
+}
+
+// NewPool returns a pool of the given width. Width ≤ 1 yields a sequential
+// pool (identical results, one goroutine — the regression tests pin this).
+func NewPool(workers int) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	return &Pool{workers: workers}
+}
+
+// NewDefaultPool sizes the pool like the paper's RPAU array, bounded by the
+// host's parallelism: min(GOMAXPROCS, PaperRPAUs).
+func NewDefaultPool() *Pool {
+	w := runtime.GOMAXPROCS(0)
+	if w > PaperRPAUs {
+		w = PaperRPAUs
+	}
+	return NewPool(w)
+}
+
+// Workers returns the pool width; a nil pool reports 1.
+func (p *Pool) Workers() int {
+	if p == nil || p.workers < 1 {
+		return 1
+	}
+	return p.workers
+}
+
+// Run executes fn(0..n-1), each index exactly once, fanning across the pool
+// when it has width and the per-index work is worth it; work is the total
+// coefficient count the n tasks touch (pass 0 to force the parallel path for
+// any n > 1). Tasks must be independent — they run concurrently and must not
+// write shared state. Run returns only after every index has completed.
+func (p *Pool) Run(work, n int, fn func(i int)) {
+	w := p.Workers()
+	if w > n {
+		w = n
+	}
+	if w <= 1 || (work > 0 && work < MinParallelWork) {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	// Work-stealing by atomic counter: no task channel, no idle spinning, and
+	// no deadlock potential under nested or concurrent Run calls.
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := next.Add(1) - 1
+				if i >= int64(n) {
+					return
+				}
+				fn(int(i))
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// RunChunks splits the index range [0, n) into contiguous chunks (one per
+// worker, at least minChunk wide) and executes fn(lo, hi) for each. It is the
+// coefficient-striped counterpart of Run for loops whose body needs per-task
+// scratch: the Lift/Scale inner loops allocate their residue vectors once per
+// chunk instead of once per coefficient.
+func (p *Pool) RunChunks(n, minChunk int, fn func(lo, hi int)) {
+	w := p.Workers()
+	if minChunk < 1 {
+		minChunk = 1
+	}
+	if max := (n + minChunk - 1) / minChunk; w > max {
+		w = max
+	}
+	if w <= 1 {
+		fn(0, n)
+		return
+	}
+	chunk := (n + w - 1) / w
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,130 @@
+package poly
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestPoolRunCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 7, 16} {
+		p := NewPool(workers)
+		for _, n := range []int{0, 1, 3, 64, 1000} {
+			hits := make([]atomic.Int32, n)
+			p.Run(0, n, func(i int) { hits[i].Add(1) })
+			for i := range hits {
+				if got := hits[i].Load(); got != 1 {
+					t.Fatalf("workers=%d n=%d: index %d ran %d times", workers, n, i, got)
+				}
+			}
+		}
+	}
+}
+
+func TestPoolNilAndWidthOneAreSequential(t *testing.T) {
+	// A nil pool and a width-1 pool must run tasks in order on the calling
+	// goroutine: appending without synchronization is race-free exactly when
+	// that holds (the race detector enforces it).
+	for _, p := range []*Pool{nil, NewPool(1), NewPool(0), NewPool(-3)} {
+		if w := p.Workers(); w != 1 {
+			t.Fatalf("Workers() = %d, want 1", w)
+		}
+		var order []int
+		p.Run(0, 10, func(i int) { order = append(order, i) })
+		for i, got := range order {
+			if got != i {
+				t.Fatalf("sequential pool ran out of order: %v", order)
+			}
+		}
+	}
+}
+
+func TestPoolSmallWorkStaysSequential(t *testing.T) {
+	p := NewPool(4)
+	var order []int
+	// work below MinParallelWork must not spawn goroutines (the unsynchronized
+	// append is the witness).
+	p.Run(MinParallelWork-1, 8, func(i int) { order = append(order, i) })
+	if len(order) != 8 {
+		t.Fatalf("ran %d of 8 tasks", len(order))
+	}
+}
+
+func TestPoolConcurrentRuns(t *testing.T) {
+	// Many goroutines sharing one pool (the serving engine's shape): every
+	// Run must still cover its own index set exactly once.
+	p := NewPool(4)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for rep := 0; rep < 20; rep++ {
+				var sum atomic.Int64
+				p.Run(0, 100, func(i int) { sum.Add(int64(i)) })
+				if got := sum.Load(); got != 4950 {
+					t.Errorf("concurrent Run sum = %d, want 4950", got)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestPoolNestedRun(t *testing.T) {
+	// Run inside Run (an evaluator op calling a pooled sub-op) must not
+	// deadlock and must cover all inner indices.
+	p := NewPool(3)
+	var total atomic.Int64
+	p.Run(0, 5, func(i int) {
+		p.Run(0, 7, func(j int) { total.Add(1) })
+	})
+	if got := total.Load(); got != 35 {
+		t.Fatalf("nested Run executed %d inner tasks, want 35", got)
+	}
+}
+
+func TestPoolRunChunksPartition(t *testing.T) {
+	for _, workers := range []int{1, 2, 7} {
+		p := NewPool(workers)
+		for _, n := range []int{0, 1, 255, 256, 1000, 4096} {
+			var mu sync.Mutex
+			covered := make([]int, n)
+			p.RunChunks(n, 256, func(lo, hi int) {
+				if hi-lo < 1 && n > 0 {
+					t.Fatalf("empty chunk [%d,%d)", lo, hi)
+				}
+				mu.Lock()
+				for i := lo; i < hi; i++ {
+					covered[i]++
+				}
+				mu.Unlock()
+			})
+			for i, c := range covered {
+				if c != 1 {
+					t.Fatalf("workers=%d n=%d: index %d covered %d times", workers, n, i, c)
+				}
+			}
+		}
+	}
+}
+
+func TestPoolRunChunksRespectsMinChunk(t *testing.T) {
+	p := NewPool(8)
+	var calls atomic.Int32
+	p.RunChunks(512, 256, func(lo, hi int) {
+		if hi-lo < 256 && lo != 0 {
+			t.Errorf("chunk [%d,%d) narrower than minChunk", lo, hi)
+		}
+		calls.Add(1)
+	})
+	if got := calls.Load(); got > 2 {
+		t.Fatalf("512 coefficients at minChunk 256 split into %d chunks, want ≤ 2", got)
+	}
+}
+
+func TestDefaultPoolBoundedByPaperRPAUs(t *testing.T) {
+	if w := NewDefaultPool().Workers(); w > PaperRPAUs {
+		t.Fatalf("default pool width %d exceeds the paper's %d RPAUs", w, PaperRPAUs)
+	}
+}

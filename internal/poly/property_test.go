@@ -1,0 +1,131 @@
+package poly
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/ring"
+)
+
+// Algebraic property tests of the lazy-reduction NTT against the O(n²)
+// negacyclic reference, at the degrees the paper's architecture spans
+// (n = 2^10 … 2^13, the paper's set being n = 4096). These pin down the
+// transform semantics independently of the scheme: round trip, the
+// convolution theorem, linearity, and canonical-form outputs (the lazy
+// butterflies keep intermediates < 4q, so the final reduction discipline is
+// exactly what these properties witness).
+
+var propertySizes = []int{1 << 10, 1 << 11, 1 << 12, 1 << 13}
+
+func propertyTable(t *testing.T, n int) *NTTTable {
+	t.Helper()
+	primes, err := ring.GenerateNTTPrimes(30, n, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := NewNTTTable(ring.NewModulus(primes[0]), n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tab
+}
+
+func randPolyN(r *rand.Rand, m ring.Modulus, n int) Poly {
+	p := NewPoly(m, n)
+	for i := range p.Coeffs {
+		p.Coeffs[i] = r.Uint64() % m.Q
+	}
+	return p
+}
+
+func assertCanonical(t *testing.T, label string, p Poly) {
+	t.Helper()
+	for i, c := range p.Coeffs {
+		if c >= p.Mod.Q {
+			t.Fatalf("%s: coefficient %d = %d not reduced below q = %d", label, i, c, p.Mod.Q)
+		}
+	}
+}
+
+func TestNTTRoundTripProperty(t *testing.T) {
+	for _, n := range propertySizes {
+		tab := propertyTable(t, n)
+		r := rand.New(rand.NewSource(int64(n)))
+		for trial := 0; trial < 4; trial++ {
+			a := randPolyN(r, tab.Mod, n)
+			got := a.Clone()
+			tab.Forward(got.Coeffs)
+			assertCanonical(t, "forward output", got)
+			tab.Inverse(got.Coeffs)
+			assertCanonical(t, "inverse output", got)
+			if !got.Equal(a) {
+				t.Fatalf("n=%d trial %d: INTT(NTT(a)) != a", n, trial)
+			}
+		}
+	}
+}
+
+func TestNTTConvolutionTheoremProperty(t *testing.T) {
+	for _, n := range propertySizes {
+		if n > 1<<12 && testing.Short() {
+			continue // the O(n²) oracle is ~67M modmuls at n = 2^13
+		}
+		tab := propertyTable(t, n)
+		r := rand.New(rand.NewSource(int64(2 * n)))
+		a := randPolyN(r, tab.Mod, n)
+		b := randPolyN(r, tab.Mod, n)
+		want := NegacyclicMulSchoolbook(a, b)
+		got := NegacyclicMulNTT(tab, a, b)
+		if !got.Equal(want) {
+			t.Fatalf("n=%d: INTT(NTT(a)⊙NTT(b)) != schoolbook a·b", n)
+		}
+	}
+}
+
+func TestNTTLinearityProperty(t *testing.T) {
+	for _, n := range propertySizes {
+		tab := propertyTable(t, n)
+		m := tab.Mod
+		r := rand.New(rand.NewSource(int64(3 * n)))
+		a := randPolyN(r, m, n)
+		b := randPolyN(r, m, n)
+		alpha := r.Uint64() % m.Q
+
+		// lhs = NTT(α·a + b)
+		lhs := NewPoly(m, n)
+		a.ScalarMulInto(alpha, lhs)
+		lhs.AddInto(b, lhs)
+		tab.Forward(lhs.Coeffs)
+
+		// rhs = α·NTT(a) + NTT(b)
+		fa, fb := a.Clone(), b.Clone()
+		tab.Forward(fa.Coeffs)
+		tab.Forward(fb.Coeffs)
+		rhs := NewPoly(m, n)
+		fa.ScalarMulInto(alpha, rhs)
+		rhs.AddInto(fb, rhs)
+
+		if !lhs.Equal(rhs) {
+			t.Fatalf("n=%d: NTT is not linear (α=%d)", n, alpha)
+		}
+	}
+}
+
+func TestNTTBoundaryValuesProperty(t *testing.T) {
+	// Saturated inputs (every coefficient q-1) push the lazy butterflies to
+	// their worst-case intermediate magnitudes at every level.
+	for _, n := range propertySizes {
+		tab := propertyTable(t, n)
+		a := NewPoly(tab.Mod, n)
+		for i := range a.Coeffs {
+			a.Coeffs[i] = tab.Mod.Q - 1
+		}
+		got := a.Clone()
+		tab.Forward(got.Coeffs)
+		assertCanonical(t, "saturated forward", got)
+		tab.Inverse(got.Coeffs)
+		if !got.Equal(a) {
+			t.Fatalf("n=%d: saturated round trip failed", n)
+		}
+	}
+}

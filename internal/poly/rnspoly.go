@@ -107,9 +107,13 @@ func (p RNSPoly) Equal(o RNSPoly) bool {
 }
 
 // Transformer applies forward/inverse NTTs across all rows of RNS
-// polynomials, holding one twiddle ROM per basis prime.
+// polynomials, holding one twiddle ROM per basis prime. When Pool is set the
+// rows transform in parallel, one limb per pool task — exactly how the
+// paper's RPAUs each run their own dual-butterfly NTT core on their residue
+// polynomial (Sec. V-A); a nil Pool transforms sequentially.
 type Transformer struct {
 	Tables []*NTTTable
+	Pool   *Pool
 }
 
 // NewTransformer builds NTT tables of degree n for each modulus.
@@ -125,20 +129,22 @@ func NewTransformer(mods []ring.Modulus, n int) (*Transformer, error) {
 	return &Transformer{Tables: tabs}, nil
 }
 
-// Forward NTT-transforms every row of p in place.
+// Forward NTT-transforms every row of p in place, fanning rows across the
+// pool when one is configured.
 func (tr *Transformer) Forward(p RNSPoly) {
 	tr.check(p)
-	for i := range p.Rows {
+	tr.Pool.Run(p.N()*len(p.Rows), len(p.Rows), func(i int) {
 		tr.Tables[i].Forward(p.Rows[i].Coeffs)
-	}
+	})
 }
 
-// Inverse inverse-transforms every row of p in place.
+// Inverse inverse-transforms every row of p in place, fanning rows across
+// the pool when one is configured.
 func (tr *Transformer) Inverse(p RNSPoly) {
 	tr.check(p)
-	for i := range p.Rows {
+	tr.Pool.Run(p.N()*len(p.Rows), len(p.Rows), func(i int) {
 		tr.Tables[i].Inverse(p.Rows[i].Coeffs)
-	}
+	})
 }
 
 func (tr *Transformer) check(p RNSPoly) {
@@ -153,8 +159,54 @@ func (tr *Transformer) check(p RNSPoly) {
 	}
 }
 
-// SubTransformer returns a transformer over the first k tables, for
-// operating on polynomials at a lower level.
+// SubTransformer returns a transformer over the first k tables (sharing the
+// pool), for operating on polynomials at a lower level.
 func (tr *Transformer) SubTransformer(k int) *Transformer {
-	return &Transformer{Tables: tr.Tables[:k]}
+	return &Transformer{Tables: tr.Tables[:k], Pool: tr.Pool}
+}
+
+// PoolOps applies the coefficient-wise RNSPoly operations with their row
+// loops fanned across a pool — the software counterpart of the paper's
+// coefficient-wise add/sub/multiply datapaths running on all RPAUs at once.
+// A zero or nil-pool PoolOps degrades to the sequential methods bit-for-bit.
+type PoolOps struct {
+	Pool *Pool
+}
+
+func (po PoolOps) run(p RNSPoly, fn func(i int)) {
+	po.Pool.Run(p.N()*len(p.Rows), len(p.Rows), fn)
+}
+
+// AddInto sets dst = p + o.
+func (po PoolOps) AddInto(p, o, dst RNSPoly) {
+	p.checkCompat(o)
+	p.checkCompat(dst)
+	po.run(p, func(i int) { p.Rows[i].AddInto(o.Rows[i], dst.Rows[i]) })
+}
+
+// SubInto sets dst = p - o.
+func (po PoolOps) SubInto(p, o, dst RNSPoly) {
+	p.checkCompat(o)
+	p.checkCompat(dst)
+	po.run(p, func(i int) { p.Rows[i].SubInto(o.Rows[i], dst.Rows[i]) })
+}
+
+// MulInto sets dst = p ⊙ o coefficient-wise per residue row.
+func (po PoolOps) MulInto(p, o, dst RNSPoly) {
+	p.checkCompat(o)
+	p.checkCompat(dst)
+	po.run(p, func(i int) { p.Rows[i].MulInto(o.Rows[i], dst.Rows[i]) })
+}
+
+// MulAddInto sets dst += p ⊙ o.
+func (po PoolOps) MulAddInto(p, o, dst RNSPoly) {
+	p.checkCompat(o)
+	p.checkCompat(dst)
+	po.run(p, func(i int) { p.Rows[i].MulAddInto(o.Rows[i], dst.Rows[i]) })
+}
+
+// NegInto sets dst = -p.
+func (po PoolOps) NegInto(p, dst RNSPoly) {
+	p.checkCompat(dst)
+	po.run(p, func(i int) { p.Rows[i].NegInto(dst.Rows[i]) })
 }

@@ -92,6 +92,37 @@ func (m Modulus) Mul(a, b uint64) uint64 {
 	return m.Reduce(a * b)
 }
 
+// ShoupPrecomp returns the Shoup constant w' = floor(w·2^64/Q) for a fixed
+// operand w < Q. Together with MulShoup/MulShoupLazy it turns a modular
+// multiplication by w into two machine multiplications and no division —
+// the software analogue of the hard-wired twiddle datapath in the paper's
+// butterfly cores, where one operand is always a ROM constant.
+func (m Modulus) ShoupPrecomp(w uint64) uint64 {
+	if w >= m.Q {
+		panic("ring: Shoup operand must be reduced")
+	}
+	hi, _ := bits.Div64(w, 0, m.Q)
+	return hi
+}
+
+// MulShoupLazy returns w·x mod Q in the lazy range [0, 2Q), for any x < 2^64
+// and wShoup = ShoupPrecomp(w). The quotient estimate floor(x·w'/2^64)
+// undershoots floor(w·x/Q) by at most one, so a single (deferred) subtraction
+// of Q completes the reduction — the lazy form the NTT butterflies exploit.
+func (m Modulus) MulShoupLazy(x, w, wShoup uint64) uint64 {
+	qhat, _ := bits.Mul64(x, wShoup)
+	return x*w - qhat*m.Q
+}
+
+// MulShoup returns w·x mod Q fully reduced, for x < 2^64.
+func (m Modulus) MulShoup(x, w, wShoup uint64) uint64 {
+	r := m.MulShoupLazy(x, w, wShoup)
+	if r >= m.Q {
+		r -= m.Q
+	}
+	return r
+}
+
 // Pow returns a^e mod Q by square-and-multiply.
 func (m Modulus) Pow(a, e uint64) uint64 {
 	result := uint64(1)

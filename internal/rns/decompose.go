@@ -16,6 +16,15 @@ import (
 // relinearization keys). Each digit polynomial is returned replicated
 // across all k residue rows so it can enter NTT-domain products directly.
 func DecomposeRNS(b *Basis, x poly.RNSPoly) []poly.RNSPoly {
+	return DecomposeRNSPool(nil, b, x)
+}
+
+// DecomposeRNSPool is DecomposeRNS with the per-digit work fanned across a
+// pool (each digit polynomial is written by exactly one task). The scalar
+// product by the constant q̃_i uses a Shoup multiplication, like the
+// butterfly cores' twiddle datapath. A nil pool runs sequentially;
+// results are bit-identical either way.
+func DecomposeRNSPool(pool *poly.Pool, b *Basis, x poly.RNSPoly) []poly.RNSPoly {
 	if x.Level() != b.K() {
 		panic("rns: DecomposeRNS level mismatch")
 	}
@@ -24,14 +33,18 @@ func DecomposeRNS(b *Basis, x poly.RNSPoly) []poly.RNSPoly {
 	for i := range digits {
 		digits[i] = poly.NewRNSPoly(b.Mods, n)
 	}
-	for i, m := range b.Mods {
+	pool.Run(n*b.K()*b.K(), b.K(), func(i int) {
+		m := b.Mods[i]
+		qTilde := b.QTilde[i]
+		qTildeShoup := m.ShoupPrecomp(qTilde)
+		src := x.Rows[i].Coeffs
 		for c := 0; c < n; c++ {
-			d := m.Mul(x.Rows[i].Coeffs[c], b.QTilde[i])
+			d := m.MulShoup(src[c], qTilde, qTildeShoup)
 			for r, mr := range b.Mods {
 				digits[i].Rows[r].Coeffs[c] = mr.Reduce(d)
 			}
 		}
-	}
+	})
 	return digits
 }
 

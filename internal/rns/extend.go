@@ -26,8 +26,28 @@ type Extender struct {
 	Src *Basis
 	Dst []ring.Modulus
 
+	// Pool, when set, stripes LiftPoly's coefficient loop across goroutines —
+	// the software counterpart of the paper's two parallel Lift cores
+	// streaming disjoint coefficients (Sec. V-B2). The per-coefficient
+	// Extend* kernels are pure w.r.t. the Extender, so stripes never share
+	// mutable state.
+	Pool *poly.Pool
+
 	qStarMod [][]uint64 // qStarMod[i][j] = (Q/q_i) mod c_j
 	qMod     []uint64   // qMod[j] = Q mod c_j
+
+	// Shoup companions of the hot-loop constants, laid out target-major so
+	// the per-coefficient kernel walks them contiguously: for target j,
+	// qStarT[j][i] = qStarMod[i][j] with qStarShoupT[j][i] its Shoup word;
+	// qTilde/qTildeShoup are the source-basis q̃_i pairs; qModShoup[j] pairs
+	// with qMod[j]. These let Extend replace every Barrett reduce-and-multiply
+	// with a two-multiplication Shoup product, the same strength reduction the
+	// paper's Lift pipeline gets from its constant-operand multipliers.
+	qTilde      []uint64
+	qTildeShoup []uint64
+	qStarT      [][]uint64
+	qStarShoupT [][]uint64
+	qModShoup   []uint64
 }
 
 // NewExtender prepares the extension tables from src to dst.
@@ -52,6 +72,24 @@ func NewExtender(src *Basis, dst []ring.Modulus) (*Extender, error) {
 	for j, d := range dst {
 		e.qMod[j] = src.Product.ModWord(d.Q)
 	}
+	e.qTilde = make([]uint64, src.K())
+	e.qTildeShoup = make([]uint64, src.K())
+	for i, m := range src.Mods {
+		e.qTilde[i] = src.QTilde[i]
+		e.qTildeShoup[i] = m.ShoupPrecomp(src.QTilde[i])
+	}
+	e.qStarT = make([][]uint64, len(dst))
+	e.qStarShoupT = make([][]uint64, len(dst))
+	e.qModShoup = make([]uint64, len(dst))
+	for j, d := range dst {
+		e.qStarT[j] = make([]uint64, src.K())
+		e.qStarShoupT[j] = make([]uint64, src.K())
+		for i := range src.Mods {
+			e.qStarT[j][i] = e.qStarMod[i][j]
+			e.qStarShoupT[j][i] = d.ShoupPrecomp(e.qStarMod[i][j])
+		}
+		e.qModShoup[j] = d.ShoupPrecomp(e.qMod[j])
+	}
 	return e, nil
 }
 
@@ -68,19 +106,28 @@ func NewExtender(src *Basis, dst []ring.Modulus) (*Extender, error) {
 func (e *Extender) Extend(in, out []uint64) {
 	e.checkLens(in, out)
 	var acc mp.Acc192
-	y := make([]uint64, len(in))
+	var yArr [16]uint64 // stack scratch for the common basis sizes
+	y := yArr[:0]
+	if len(in) > len(yArr) {
+		y = make([]uint64, 0, len(in))
+	}
 	for i, m := range e.Src.Mods {
-		yi := m.Mul(in[i], e.Src.QTilde[i])
-		y[i] = yi
+		yi := m.MulShoup(in[i], e.qTilde[i], e.qTildeShoup[i])
+		y = append(y, yi)
 		acc.AddMul(yi, e.Src.invFrac[i])
 	}
 	v := acc.Round()
 	for j, d := range e.Dst {
+		// Each Shoup product is lazy (< 2·c_j < 2^32), so the sum of k of
+		// them fits a uint64 with room to spare; one Barrett pass at the end
+		// restores the canonical residue.
+		row, rowS := e.qStarT[j], e.qStarShoupT[j]
 		var sum uint64
-		for i := range y {
-			sum = d.Add(sum, d.Mul(d.Reduce(y[i]), e.qStarMod[i][j]))
+		for i, yi := range y {
+			sum += d.MulShoupLazy(yi, row[i], rowS[i])
 		}
-		out[j] = d.Sub(sum, d.Mul(d.Reduce(v), e.qMod[j]))
+		vq := d.MulShoup(v, e.qMod[j], e.qModShoup[j])
+		out[j] = d.Sub(d.Reduce(sum), vq)
 	}
 }
 
@@ -160,16 +207,23 @@ func (e *Extender) liftPolyWith(p poly.RNSPoly, extend func(in, out []uint64)) p
 	for j, d := range e.Dst {
 		out.Rows[e.Src.K()+j] = poly.NewPoly(d, n)
 	}
-	in := make([]uint64, e.Src.K())
-	res := make([]uint64, len(e.Dst))
-	for c := 0; c < n; c++ {
-		for i := range p.Rows {
-			in[i] = p.Rows[i].Coeffs[c]
+	e.Pool.RunChunks(n, minLiftChunk, func(lo, hi int) {
+		in := make([]uint64, e.Src.K())
+		res := make([]uint64, len(e.Dst))
+		for c := lo; c < hi; c++ {
+			for i := range p.Rows {
+				in[i] = p.Rows[i].Coeffs[c]
+			}
+			extend(in, res)
+			for j := range e.Dst {
+				out.Rows[e.Src.K()+j].Coeffs[c] = res[j]
+			}
 		}
-		extend(in, res)
-		for j := range e.Dst {
-			out.Rows[e.Src.K()+j].Coeffs[c] = res[j]
-		}
-	}
+	})
 	return out
 }
+
+// minLiftChunk is the smallest coefficient stripe worth a goroutine in the
+// Lift/Scale fan-out; each coefficient costs tens of word multiplications,
+// so stripes amortize hand-off quickly.
+const minLiftChunk = 256

@@ -35,11 +35,23 @@ type ScaleRounder struct {
 
 	bigQ mp.Nat // q·p
 
+	// Pool, when set, stripes ScalePoly's coefficient loop across goroutines
+	// (same contract as Extender.Pool: the per-coefficient kernels only read
+	// the precomputed tables).
+	Pool *poly.Pool
+
 	w     [][]uint64     // w[i][j] = floor(t·Q̃_i·p/q_i) mod p_j
 	theta []mp.Frac128   // theta[i] = (t·Q̃_i·p mod q_i)/q_i
 	bCst  []uint64       // bCst[j] = t·Q̃_j·(p/p_j) mod p_j
 	ext   *Extender      // p → q
 	recip *mp.Reciprocal // 1/q sized for t·x dividends (traditional path)
+
+	// Target-major Shoup layout of the Block 1–3 constants (same strength
+	// reduction as Extender): wT[j][i] = w[i][j] with Shoup word wShoupT[j][i],
+	// bShoup[j] pairs with bCst[j].
+	wT      [][]uint64
+	wShoupT [][]uint64
+	bShoup  []uint64
 }
 
 // MaxInputBits returns the largest centered-magnitude bit length the HPS
@@ -97,6 +109,18 @@ func NewScaleRounder(qb, pb *Basis, t uint64) (*ScaleRounder, error) {
 		qTilde := d.Inv(qStarFull.ModWord(d.Q))
 		s.bCst[j] = d.Mul(d.Mul(d.Reduce(t%d.Q), d.Reduce(qTilde)), pStar.ModWord(d.Q))
 	}
+	s.wT = make([][]uint64, pb.K())
+	s.wShoupT = make([][]uint64, pb.K())
+	s.bShoup = make([]uint64, pb.K())
+	for j, d := range pb.Mods {
+		s.wT[j] = make([]uint64, qb.K())
+		s.wShoupT[j] = make([]uint64, qb.K())
+		for i := range qb.Mods {
+			s.wT[j][i] = s.w[i][j]
+			s.wShoupT[j][i] = d.ShoupPrecomp(s.w[i][j])
+		}
+		s.bShoup[j] = d.ShoupPrecomp(s.bCst[j])
+	}
 	s.recip = mp.NewReciprocal(qb.Product, s.bigQ.BitLen()+mp.NewNat(t).BitLen()+2)
 	return s, nil
 }
@@ -111,15 +135,24 @@ func (s *ScaleRounder) Scale(xq, xp, out []uint64) {
 		acc.AddMul(xq[i], s.theta[i])
 	}
 	r := acc.Round()
-	yp := make([]uint64, s.PB.K())
+	var ypArr [16]uint64 // stack scratch for the common basis sizes
+	yp := ypArr[:s.PB.K()]
+	if s.PB.K() > len(ypArr) {
+		yp = make([]uint64, s.PB.K())
+	}
 	for j, d := range s.PB.Mods {
+		// Each lazy Shoup product is < 2·p_j < 2^32, so the k+1-term sum fits
+		// a uint64 with room to spare; one Barrett pass restores the canonical
+		// residue. xq/xp residues are canonical (< q_i resp. < p_j), which the
+		// Shoup bound x < 2^64 trivially admits.
+		row, rowS := s.wT[j], s.wShoupT[j]
 		sum := d.Reduce(r)
-		for i := range xq {
-			sum = d.Add(sum, d.Mul(d.Reduce(xq[i]), s.w[i][j]))
+		for i, x := range xq {
+			sum += d.MulShoupLazy(x, row[i], rowS[i])
 		}
 		// Block 3: the j-th p-residue's own contribution.
-		sum = d.Add(sum, d.Mul(d.Reduce(xp[j]), s.bCst[j]))
-		yp[j] = sum
+		sum += d.MulShoupLazy(xp[j], s.bCst[j], s.bShoup[j])
+		yp[j] = d.Reduce(sum)
 	}
 	// Blocks 4–5: base switch p → q via the Lift machinery.
 	s.ext.Extend(yp, out)
@@ -203,20 +236,26 @@ func (s *ScaleRounder) scalePolyWith(x poly.RNSPoly, scale func(xq, xp, out []ui
 	}
 	n := x.N()
 	out := poly.NewRNSPoly(s.QB.Mods, n)
-	xq := make([]uint64, kq)
-	xp := make([]uint64, kp)
-	res := make([]uint64, kq)
-	for c := 0; c < n; c++ {
-		for i := 0; i < kq; i++ {
-			xq[i] = x.Rows[i].Coeffs[c]
+	s.Pool.RunChunks(n, minScaleChunk, func(lo, hi int) {
+		xq := make([]uint64, kq)
+		xp := make([]uint64, kp)
+		res := make([]uint64, kq)
+		for c := lo; c < hi; c++ {
+			for i := 0; i < kq; i++ {
+				xq[i] = x.Rows[i].Coeffs[c]
+			}
+			for j := 0; j < kp; j++ {
+				xp[j] = x.Rows[kq+j].Coeffs[c]
+			}
+			scale(xq, xp, res)
+			for i := 0; i < kq; i++ {
+				out.Rows[i].Coeffs[c] = res[i]
+			}
 		}
-		for j := 0; j < kp; j++ {
-			xp[j] = x.Rows[kq+j].Coeffs[c]
-		}
-		scale(xq, xp, res)
-		for i := 0; i < kq; i++ {
-			out.Rows[i].Coeffs[c] = res[i]
-		}
-	}
+	})
 	return out
 }
+
+// minScaleChunk matches the Lift fan-out grain (the Scale blocks stream
+// through the reused Lift pipeline, Sec. VI-A).
+const minScaleChunk = 256
