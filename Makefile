@@ -1,0 +1,34 @@
+GO ?= go
+BENCH_COUNT ?= 5
+
+.PHONY: build test race bench-baseline bench-check lint fuzz-smoke
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Refresh the checked-in benchmark baseline the CI regression gate compares
+# against. Run on a quiet machine and commit the result together with the
+# change that legitimately moved the numbers.
+bench-baseline:
+	$(GO) run ./cmd/hebench -count $(BENCH_COUNT) -json BENCH_baseline.json
+
+# The CI gate, runnable locally: measure now and diff against the baseline.
+bench-check:
+	$(GO) run ./cmd/hebench -count $(BENCH_COUNT) -json BENCH_current.json
+	$(GO) run ./cmd/benchdiff -base BENCH_baseline.json -cur BENCH_current.json \
+		-ops ntt_forward,mul_relin,engine_throughput
+
+lint:
+	golangci-lint run ./...
+
+# Five-iteration fuzz smoke over the differential fv<->hwsim targets.
+fuzz-smoke:
+	$(GO) test -run=NONE -fuzz=FuzzDiffTransform -fuzztime=5x ./internal/difftest
+	$(GO) test -run=NONE -fuzz=FuzzDiffPointwise -fuzztime=5x ./internal/difftest
+	$(GO) test -run=NONE -fuzz=FuzzDiffMulRelin -fuzztime=5x ./internal/difftest

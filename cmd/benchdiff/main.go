@@ -1,0 +1,82 @@
+// Command benchdiff compares two hebench reports and fails when the current
+// one regresses past a threshold. It is the CI benchmark gate:
+//
+//	hebench -count 5 -json BENCH_current.json
+//	benchdiff -base BENCH_baseline.json -cur BENCH_current.json
+//
+// Exit status: 0 when every compared op is within the threshold, 1 on
+// regression (or when an op named in -ops is missing from either report),
+// 2 on usage or I/O errors.
+//
+// Wall-clock comparisons are normalized by the reports' calibration ratio
+// (disable with -normalize=false); simulated-cycle comparisons never are,
+// because cycles are machine-independent — a cycle delta is always a real
+// change in the hardware model or schedule.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/hebench"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	base := fs.String("base", "BENCH_baseline.json", "baseline report")
+	cur := fs.String("cur", "", "current report (required)")
+	threshold := fs.Float64("threshold", 15, "regression threshold in percent")
+	opsFlag := fs.String("ops", "", "comma-separated ops to gate on (default: all ops present in both reports)")
+	normalize := fs.Bool("normalize", true, "scale wall times by the calibration ratio")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *cur == "" {
+		fmt.Fprintln(stderr, "benchdiff: -cur is required")
+		fs.Usage()
+		return 2
+	}
+
+	baseRep, err := hebench.ReadReport(*base)
+	if err != nil {
+		fmt.Fprintln(stderr, "benchdiff:", err)
+		return 2
+	}
+	curRep, err := hebench.ReadReport(*cur)
+	if err != nil {
+		fmt.Fprintln(stderr, "benchdiff:", err)
+		return 2
+	}
+
+	var ops []string
+	if *opsFlag != "" {
+		for _, op := range strings.Split(*opsFlag, ",") {
+			if op = strings.TrimSpace(op); op != "" {
+				ops = append(ops, op)
+			}
+		}
+	}
+	deltas := hebench.Compare(baseRep, curRep, hebench.CompareOptions{
+		Ops:          ops,
+		ThresholdPct: *threshold,
+		Normalize:    *normalize,
+	})
+	if len(deltas) == 0 {
+		fmt.Fprintln(stderr, "benchdiff: no ops in common between the reports")
+		return 2
+	}
+	if regressed := hebench.RenderDeltas(stdout, deltas); regressed > 0 {
+		fmt.Fprintf(stderr, "benchdiff: %d op(s) regressed beyond %.0f%%\n", regressed, *threshold)
+		return 1
+	}
+	fmt.Fprintf(stdout, "benchdiff: all ops within %.0f%% of baseline\n", *threshold)
+	return 0
+}

@@ -1,0 +1,133 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/hebench"
+)
+
+func writeReport(t *testing.T, dir, name string, rep *hebench.Report) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := rep.WriteJSON(f); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func syntheticReport(nttNs, mulNs, engNs float64, mulCycles uint64) *hebench.Report {
+	return &hebench.Report{
+		Schema:        hebench.ReportSchema,
+		Count:         5,
+		CalibrationNs: 1e6,
+		Results: []hebench.BenchResult{
+			{Op: hebench.OpNTTForward, NsPerOp: nttNs, SimCycles: 40000, PoolWidth: 1},
+			{Op: hebench.OpMulRelin, NsPerOp: mulNs, SimCycles: mulCycles, PoolWidth: 7},
+			{Op: hebench.OpEngineThroughput, NsPerOp: engNs, SimCycles: 900000, PoolWidth: 2},
+		},
+	}
+}
+
+// The acceptance criterion for the gate: a synthetic 20% wall-clock
+// regression in one op must exit nonzero at the default 15% threshold.
+func TestSyntheticRegressionFailsGate(t *testing.T) {
+	dir := t.TempDir()
+	base := writeReport(t, dir, "base.json", syntheticReport(100000, 5e6, 2e6, 8e6))
+	cur := writeReport(t, dir, "cur.json", syntheticReport(100000, 6e6, 2e6, 8e6)) // mul_relin +20%
+
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-base", base, "-cur", cur}, &stdout, &stderr); code != 1 {
+		t.Fatalf("exit code = %d, want 1\nstdout: %s\nstderr: %s", code, &stdout, &stderr)
+	}
+	if !strings.Contains(stdout.String(), "REGRESSED") {
+		t.Fatalf("report does not flag the regression:\n%s", &stdout)
+	}
+	if !strings.Contains(stdout.String(), hebench.OpMulRelin) {
+		t.Fatalf("report does not name the regressed op:\n%s", &stdout)
+	}
+}
+
+func TestIdenticalReportsPassGate(t *testing.T) {
+	dir := t.TempDir()
+	rep := syntheticReport(100000, 5e6, 2e6, 8e6)
+	base := writeReport(t, dir, "base.json", rep)
+	cur := writeReport(t, dir, "cur.json", rep)
+
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-base", base, "-cur", cur}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit code = %d, want 0\nstderr: %s", code, &stderr)
+	}
+}
+
+// A slower machine (larger calibration) must not read as a regression when
+// normalization is on, and must when it is off.
+func TestCalibrationNormalization(t *testing.T) {
+	dir := t.TempDir()
+	baseRep := syntheticReport(100000, 5e6, 2e6, 8e6)
+	curRep := syntheticReport(130000, 6.5e6, 2.6e6, 8e6) // everything +30% wall...
+	curRep.CalibrationNs = 1.3e6                         // ...because the box is 30% slower
+	base := writeReport(t, dir, "base.json", baseRep)
+	cur := writeReport(t, dir, "cur.json", curRep)
+
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-base", base, "-cur", cur}, &stdout, &stderr); code != 0 {
+		t.Fatalf("normalized run: exit code = %d, want 0\nstdout: %s", code, &stdout)
+	}
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-base", base, "-cur", cur, "-normalize=false"}, &stdout, &stderr); code != 1 {
+		t.Fatalf("unnormalized run: exit code = %d, want 1\nstdout: %s", code, &stdout)
+	}
+}
+
+// Simulated cycles are machine-independent, so a cycle regression fails the
+// gate even when wall time is flat.
+func TestSimCycleRegressionFailsGate(t *testing.T) {
+	dir := t.TempDir()
+	base := writeReport(t, dir, "base.json", syntheticReport(100000, 5e6, 2e6, 8e6))
+	cur := writeReport(t, dir, "cur.json", syntheticReport(100000, 5e6, 2e6, 10e6)) // +25% cycles
+
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-base", base, "-cur", cur}, &stdout, &stderr); code != 1 {
+		t.Fatalf("exit code = %d, want 1\nstdout: %s", code, &stdout)
+	}
+	if !strings.Contains(stdout.String(), "simulated cycles") {
+		t.Fatalf("regression reason should cite simulated cycles:\n%s", &stdout)
+	}
+}
+
+// An op vanishing from the current report must fail the gate, not pass by
+// omission.
+func TestMissingOpFailsGate(t *testing.T) {
+	dir := t.TempDir()
+	base := writeReport(t, dir, "base.json", syntheticReport(100000, 5e6, 2e6, 8e6))
+	curRep := syntheticReport(100000, 5e6, 2e6, 8e6)
+	curRep.Results = curRep.Results[:2] // drop engine_throughput
+	cur := writeReport(t, dir, "cur.json", curRep)
+
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-base", base, "-cur", cur,
+		"-ops", "ntt_forward,mul_relin,engine_throughput"}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1\nstdout: %s", code, &stdout)
+	}
+}
+
+func TestBadUsageExitsTwo(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{}, &stdout, &stderr); code != 2 {
+		t.Fatalf("missing -cur: exit code = %d, want 2", code)
+	}
+	if code := run([]string{"-base", "/nonexistent.json", "-cur", "/nonexistent.json"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("missing files: exit code = %d, want 2", code)
+	}
+}

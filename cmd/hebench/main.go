@@ -1,0 +1,64 @@
+// Command hebench runs the smoke benchmarks the CI regression gate guards —
+// forward NTT at n = 4096, the paper-parameter MulRelin pipeline, and
+// serving-engine throughput — and emits a machine-readable report.
+//
+// Usage:
+//
+//	hebench -count 5 -json BENCH_current.json    # write a report
+//	hebench -count 3                             # print to stdout
+//
+// Each op is sampled -count times and the report records the median, the
+// deterministic simulated-hardware cycles where the op has them, and the
+// goroutine-pool width it ran at. The report also carries a calibration
+// measurement (a fixed scalar loop) so cmd/benchdiff can normalize wall-clock
+// comparisons across machines of different speed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/hebench"
+)
+
+func main() {
+	count := flag.Int("count", 5, "samples per op; the report records medians")
+	jsonPath := flag.String("json", "", "write the report to this file (default: stdout)")
+	engineOps := flag.Int("engine-ops", 24, "Mult count per engine-throughput sample")
+	engineWorkers := flag.Int("engine-workers", 2, "engine worker-pool size")
+	flag.Parse()
+
+	rep, err := hebench.RunSmoke(hebench.SmokeConfig{
+		Count:         *count,
+		EngineOps:     *engineOps,
+		EngineWorkers: *engineWorkers,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hebench:", err)
+		os.Exit(1)
+	}
+
+	out := os.Stdout
+	if *jsonPath != "" {
+		f, err := os.Create(*jsonPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hebench:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		out = f
+	}
+	if err := rep.WriteJSON(out); err != nil {
+		fmt.Fprintln(os.Stderr, "hebench:", err)
+		os.Exit(1)
+	}
+	if *jsonPath != "" {
+		for _, r := range rep.Results {
+			fmt.Printf("%-20s %14.0f ns/op %14d sim-cycles  pool=%d\n",
+				r.Op, r.NsPerOp, r.SimCycles, r.PoolWidth)
+		}
+		fmt.Printf("report written to %s (count=%d, calibration %.0f ns)\n",
+			*jsonPath, rep.Count, rep.CalibrationNs)
+	}
+}

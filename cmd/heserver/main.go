@@ -15,17 +15,26 @@
 // instead.
 //
 // Observability: SIGUSR1 dumps the engine's stats snapshot (counters,
-// latency histograms, per-worker simulated cycles) as JSON to stderr; the
-// same dump is emitted on graceful shutdown (SIGINT/SIGTERM). The snapshot
-// is also published under expvar name "engine".
+// latency histograms including queue wait / batch assembly / service time,
+// per-worker simulated cycles, and the goroutine pool's task/steal/width
+// accounting) as JSON to stderr; the same dump is emitted on graceful
+// shutdown (SIGINT/SIGTERM). The snapshot is also published under expvar
+// name "engine". With -debug-addr set, an HTTP debug endpoint serves
+//
+//	/debug/vars        expvar JSON (includes the engine snapshot)
+//	/debug/stats       the engine snapshot alone, pretty-printed
+//	/debug/pprof/...   net/http/pprof profiles (CPU, heap, goroutine, ...)
 package main
 
 import (
 	"context"
 	"encoding/json"
+	"expvar"
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -50,6 +59,7 @@ func main() {
 	keyCache := flag.Int("keycache", 8, "per-worker evaluation-key cache slots (LRU)")
 	readTimeout := flag.Duration("read-timeout", cloud.DefaultReadTimeout, "per-request read deadline on client connections")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown budget for in-flight work")
+	debugAddr := flag.String("debug-addr", "", "listen address for the HTTP debug endpoint (expvar + pprof); empty disables it")
 	flag.Parse()
 
 	cfg := fv.TestConfig(*tmod)
@@ -60,6 +70,9 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	// Account pool fan-out (task counts, steals, width utilization); the
+	// engine folds the snapshot into Stats().
+	params.Pool.EnableMetrics()
 	prng := sampler.NewPRNG(*seed)
 	kg := fv.NewKeyGenerator(params, prng)
 	sk, _, rk := kg.GenKeys()
@@ -89,6 +102,30 @@ func main() {
 	for _, g := range []int{3, 9, 2*params.N() - 1} {
 		srv.SetGaloisKey(kg.GenGaloisKey(sk, g))
 	}
+	if *debugAddr != "" {
+		mux := http.NewServeMux()
+		mux.Handle("/debug/vars", expvar.Handler())
+		mux.HandleFunc("/debug/stats", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(eng.Stats()); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			}
+		})
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			logger.Printf("heserver: debug endpoint on http://%s/debug/", *debugAddr)
+			if err := http.ListenAndServe(*debugAddr, mux); err != nil {
+				logger.Printf("heserver: debug endpoint: %v", err)
+			}
+		}()
+	}
+
 	bound, err := srv.Listen(*addr)
 	if err != nil {
 		fatal(err)

@@ -25,8 +25,9 @@ func keyOf(op Op) batchKey {
 
 // batch is one unit of worker dispatch.
 type batch struct {
-	key  batchKey
-	reqs []*request
+	key    batchKey
+	reqs   []*request
+	opened time.Time // when the first request was admitted to this batch
 }
 
 // dispatch is the batcher goroutine: it drains the admission queue into
@@ -51,7 +52,7 @@ func (e *Engine) dispatch() {
 		k := keyOf(r.op)
 		b := pending[k]
 		if b == nil {
-			b = &batch{key: k}
+			b = &batch{key: k, opened: time.Now()}
 			pending[k] = b
 			order = append(order, k)
 		}
@@ -123,9 +124,11 @@ func (e *Engine) dispatch() {
 	}
 }
 
-// emit hands a batch to the worker pool, counting it.
+// emit hands a batch to the worker pool, counting it and recording how long
+// the batch spent assembling (first admit to dispatch).
 func (e *Engine) emit(b *batch) {
 	e.m.batches.Add(1)
 	e.m.batchedOps.Add(uint64(len(b.reqs)))
+	e.m.batchAssembly.Observe(time.Since(b.opened))
 	e.batches <- b
 }

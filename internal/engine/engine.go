@@ -38,6 +38,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/fv"
 	"repro/internal/hwsim"
+	"repro/internal/obs"
 )
 
 // Sentinel errors returned by Submit.
@@ -124,7 +125,9 @@ type Config struct {
 	// re-streamed (simulated DMA) on next use.
 	KeyCacheSlots int
 	// ExpvarName, when non-empty, publishes the Stats snapshot under this
-	// expvar name (skipped if the name is already taken).
+	// expvar name. Publishing replaces any previous engine bound to the
+	// name (tests building engine after engine all stay visible), and
+	// Shutdown unbinds it.
 	ExpvarName string
 }
 
@@ -181,6 +184,8 @@ type Engine struct {
 	closed bool
 	wg     sync.WaitGroup // dispatcher + workers
 
+	expvarBinding *obs.ExpvarBinding // non-nil iff cfg.ExpvarName was published
+
 	// testExecHook, when set, runs at the start of every batch execution.
 	// Tests use it to hold workers busy deterministically.
 	testExecHook func(workerID int)
@@ -219,7 +224,7 @@ func New(cfg Config) (*Engine, error) {
 		}(w)
 	}
 	if cfg.ExpvarName != "" {
-		publishExpvar(cfg.ExpvarName, e)
+		e.expvarBinding = obs.PublishExpvar(cfg.ExpvarName, func() any { return e.Stats() })
 	}
 	return e, nil
 }
@@ -299,6 +304,9 @@ func (e *Engine) Shutdown(ctx context.Context) error {
 	e.closed = true
 	close(e.queue)
 	e.mu.Unlock()
+	// Release the expvar name so the next engine under the same name is
+	// visible (stale bindings never clobber a newer publisher).
+	e.expvarBinding.Unpublish()
 
 	drained := make(chan struct{})
 	go func() {

@@ -10,6 +10,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/fv"
 	"repro/internal/hwsim"
+	"repro/internal/obs"
 	"repro/internal/sampler"
 )
 
@@ -482,5 +483,79 @@ func waitFor(t *testing.T, cond func() bool) {
 			t.Fatal("condition never became true")
 		}
 		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestExpvarRebindAcrossEngines pins the fix for the expvar registration
+// leak: the old "skip if the name is taken" guard silently dropped every
+// engine after the first, so tests (and restarted servers) saw stale stats.
+// Now a later engine under the same name replaces the earlier binding, and
+// Shutdown releases it.
+func TestExpvarRebindAcrossEngines(t *testing.T) {
+	params := testParams(t)
+	const name = "engine-test-expvar"
+
+	e1, err := New(Config{Params: params, Workers: 1, ExpvarName: name})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st, ok := obs.ExpvarValue(name).(Stats); !ok || st.Workers != 1 {
+		t.Fatalf("first engine not visible under %q: %#v", name, obs.ExpvarValue(name))
+	}
+
+	// Second engine under the same name: must replace, not vanish.
+	e2, err := New(Config{Params: params, Workers: 2, ExpvarName: name})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st, ok := obs.ExpvarValue(name).(Stats); !ok || st.Workers != 2 {
+		t.Fatalf("second engine's stats dropped: %#v", obs.ExpvarValue(name))
+	}
+
+	// Shutting down the stale first engine must not clobber the live one.
+	if err := e1.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if st, ok := obs.ExpvarValue(name).(Stats); !ok || st.Workers != 2 {
+		t.Fatalf("stale shutdown clobbered the live binding: %#v", obs.ExpvarValue(name))
+	}
+
+	// Shutting down the live engine releases the name.
+	if err := e2.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if v := obs.ExpvarValue(name); v != nil {
+		t.Fatalf("name still bound after shutdown: %#v", v)
+	}
+}
+
+// TestStatsIncludesPoolAndBatchAssembly exercises the new observability
+// surface end to end: pool accounting rides along in Stats when enabled,
+// and dispatched batches record an assembly age.
+func TestStatsIncludesPoolAndBatchAssembly(t *testing.T) {
+	params := testParams(t)
+	params.Pool.EnableMetrics()
+	e, err := New(Config{Params: params, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Shutdown(context.Background())
+	tn := newTenant(t, params, "", 5)
+	e.SetRelinKey("", tn.rk)
+
+	ct := tn.encrypt(params, 3, 9)
+	if _, err := e.Submit(context.Background(), Op{Kind: OpMul, A: ct, B: ct}); err != nil {
+		t.Fatal(err)
+	}
+
+	st := e.Stats()
+	if st.Pool == nil {
+		t.Fatal("Stats.Pool missing with pool metrics enabled")
+	}
+	if st.Pool.Runs == 0 {
+		t.Fatalf("pool recorded no runs through a Mul: %+v", st.Pool)
+	}
+	if st.BatchAssembly.Count == 0 {
+		t.Fatal("no batch assembly observations")
 	}
 }

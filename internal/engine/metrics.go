@@ -1,86 +1,16 @@
 package engine
 
 import (
-	"expvar"
-	"math"
-	"math/bits"
-	"sync"
 	"sync/atomic"
-	"time"
 
 	"repro/internal/hwsim"
+	"repro/internal/obs"
+	"repro/internal/poly"
 )
 
-// histogram is a lock-free log2-bucketed latency histogram: bucket i counts
-// observations with ns in [2^(i-1), 2^i). 48 buckets cover ~3 days.
-type histogram struct {
-	buckets [48]atomic.Uint64
-	count   atomic.Uint64
-	sumNS   atomic.Uint64
-	maxNS   atomic.Uint64
-}
-
-func (h *histogram) observe(d time.Duration) {
-	ns := uint64(d.Nanoseconds())
-	if d < 0 {
-		ns = 0
-	}
-	i := bits.Len64(ns)
-	if i >= len(h.buckets) {
-		i = len(h.buckets) - 1
-	}
-	h.buckets[i].Add(1)
-	h.count.Add(1)
-	h.sumNS.Add(ns)
-	for {
-		cur := h.maxNS.Load()
-		if ns <= cur || h.maxNS.CompareAndSwap(cur, ns) {
-			return
-		}
-	}
-}
-
-// HistogramStats is a snapshot summary of one histogram. Quantiles are
-// approximate (geometric midpoint of the owning log2 bucket).
-type HistogramStats struct {
-	Count      uint64
-	MeanMicros float64
-	P50Micros  float64
-	P99Micros  float64
-	MaxMicros  float64
-}
-
-func (h *histogram) snapshot() HistogramStats {
-	var s HistogramStats
-	s.Count = h.count.Load()
-	if s.Count == 0 {
-		return s
-	}
-	s.MeanMicros = float64(h.sumNS.Load()) / float64(s.Count) / 1e3
-	s.MaxMicros = float64(h.maxNS.Load()) / 1e3
-	var counts [48]uint64
-	var total uint64
-	for i := range h.buckets {
-		counts[i] = h.buckets[i].Load()
-		total += counts[i]
-	}
-	quantile := func(q float64) float64 {
-		target := uint64(math.Ceil(q * float64(total)))
-		var seen uint64
-		for i, c := range counts {
-			seen += c
-			if seen >= target && c > 0 {
-				// Geometric midpoint of [2^(i-1), 2^i) ns.
-				lo := math.Exp2(float64(i - 1))
-				return lo * math.Sqrt2 / 1e3
-			}
-		}
-		return s.MaxMicros
-	}
-	s.P50Micros = quantile(0.50)
-	s.P99Micros = quantile(0.99)
-	return s
-}
+// HistogramStats re-exports the obs snapshot type: the engine's latency
+// histograms are obs.Histograms, so every layer reports in the same shape.
+type HistogramStats = obs.HistogramStats
 
 // metrics is the engine's counter set. All fields are atomics; Stats takes
 // a consistent-enough snapshot without stopping the world.
@@ -95,14 +25,19 @@ type metrics struct {
 	keyLoads   atomic.Uint64
 	keyHits    atomic.Uint64
 	keyEvicted atomic.Uint64
-	queueWait  histogram
-	execTime   histogram
+
+	// queueWait is admission-to-dispatch, batchAssembly is the age of a
+	// batch when it is handed to a worker (first admit to emit), execTime is
+	// per-op worker service time — the three legs of a request's life.
+	queueWait     obs.Histogram
+	batchAssembly obs.Histogram
+	execTime      obs.Histogram
 }
 
 // WorkerStats is the per-worker accounting slice of a Stats snapshot.
 type WorkerStats struct {
-	Ops       uint64
-	KeyLoads  uint64
+	Ops      uint64
+	KeyLoads uint64
 	SimCycles uint64
 	// SimSeconds is the simulated co-processor busy time (compute plus
 	// evaluation-key streaming) — the denominator of the paper's
@@ -132,30 +67,36 @@ type Stats struct {
 	KeyHits      uint64
 	KeyEvictions uint64
 
-	QueueWait HistogramStats
-	ExecTime  HistogramStats
+	QueueWait     HistogramStats
+	BatchAssembly HistogramStats
+	ExecTime      HistogramStats
 
 	PerWorker []WorkerStats
+
+	// Pool is the shared goroutine pool's accounting, present when the
+	// parameter set's pool has metrics enabled (heserver enables it).
+	Pool *poly.PoolStats `json:",omitempty"`
 }
 
 // Stats snapshots the engine's observability counters.
 func (e *Engine) Stats() Stats {
 	s := Stats{
-		Workers:      len(e.workers),
-		QueueDepth:   e.cfg.QueueDepth,
-		QueueLen:     len(e.queue),
-		Submitted:    e.m.submitted.Load(),
-		Rejected:     e.m.rejected.Load(),
-		Expired:      e.m.expired.Load(),
-		Completed:    e.m.completed.Load(),
-		Failed:       e.m.failed.Load(),
-		Batches:      e.m.batches.Load(),
-		BatchedOps:   e.m.batchedOps.Load(),
-		KeyLoads:     e.m.keyLoads.Load(),
-		KeyHits:      e.m.keyHits.Load(),
-		KeyEvictions: e.m.keyEvicted.Load(),
-		QueueWait:    e.m.queueWait.snapshot(),
-		ExecTime:     e.m.execTime.snapshot(),
+		Workers:       len(e.workers),
+		QueueDepth:    e.cfg.QueueDepth,
+		QueueLen:      len(e.queue),
+		Submitted:     e.m.submitted.Load(),
+		Rejected:      e.m.rejected.Load(),
+		Expired:       e.m.expired.Load(),
+		Completed:     e.m.completed.Load(),
+		Failed:        e.m.failed.Load(),
+		Batches:       e.m.batches.Load(),
+		BatchedOps:    e.m.batchedOps.Load(),
+		KeyLoads:      e.m.keyLoads.Load(),
+		KeyHits:       e.m.keyHits.Load(),
+		KeyEvictions:  e.m.keyEvicted.Load(),
+		QueueWait:     e.m.queueWait.Snapshot(),
+		BatchAssembly: e.m.batchAssembly.Snapshot(),
+		ExecTime:      e.m.execTime.Snapshot(),
 	}
 	if s.Batches > 0 {
 		s.AvgBatch = float64(s.BatchedOps) / float64(s.Batches)
@@ -170,19 +111,9 @@ func (e *Engine) Stats() Stats {
 			ResidentKeys: int(w.resident.Load()),
 		})
 	}
-	return s
-}
-
-// expvarMu guards the "is this name taken" check; expvar itself panics on a
-// duplicate Publish, which would be a rough edge for tests that build many
-// engines.
-var expvarMu sync.Mutex
-
-func publishExpvar(name string, e *Engine) {
-	expvarMu.Lock()
-	defer expvarMu.Unlock()
-	if expvar.Get(name) != nil {
-		return
+	if pool := e.cfg.Params.Pool; pool.MetricsEnabled() {
+		ps := pool.Stats()
+		s.Pool = &ps
 	}
-	expvar.Publish(name, expvar.Func(func() any { return e.Stats() }))
+	return s
 }

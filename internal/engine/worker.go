@@ -89,7 +89,7 @@ func (e *Engine) runBatch(w *worker, b *batch) {
 			e.expire(r)
 			continue
 		}
-		e.m.queueWait.observe(now.Sub(r.enqueued))
+		e.m.queueWait.Observe(now.Sub(r.enqueued))
 
 		var (
 			ct  *fv.Ciphertext
@@ -105,7 +105,7 @@ func (e *Engine) runBatch(w *worker, b *batch) {
 		case OpRotate:
 			ct, rep, err = w.accel.Rotate(r.op.A, gk)
 		}
-		e.m.execTime.observe(time.Since(start))
+		e.m.execTime.Observe(time.Since(start))
 		if err != nil {
 			e.m.failed.Add(1)
 			e.finish(r, nil, err)

@@ -3,6 +3,7 @@ package fv
 import (
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/poly"
 	"repro/internal/rns"
 )
@@ -12,10 +13,19 @@ import (
 // RNS-limb loops (NTT rows, tensor products, relinearization MACs) fan out
 // across the parameter set's goroutine pool, mirroring the paper's parallel
 // RPAUs; results are bit-identical at any pool size.
+//
+// An evaluator can carry an obs.Tracer (SetTracer) and an obs.Registry
+// (SetMetrics). With a tracer attached, Mul emits a span tree mirroring the
+// Fig. 2 stages — lift, ntt, tensor, intt, scale, then relin with its
+// decomp/sop/intt/combine children — so a wall-clock profile of the software
+// pipeline lines up stage-for-stage with the simulator's cycle attribution.
+// Both default to nil: the disabled state costs one nil-check per stage.
 type Evaluator struct {
 	params  *Params
 	variant LiftScaleVariant
 	ops     poly.PoolOps
+	tracer  *obs.Tracer
+	metrics *obs.Registry
 }
 
 // NewEvaluator returns an evaluator using the HPS lift/scale variant.
@@ -32,8 +42,23 @@ func NewEvaluatorVariant(params *Params, v LiftScaleVariant) *Evaluator {
 // Variant returns the lift/scale variant in use.
 func (ev *Evaluator) Variant() LiftScaleVariant { return ev.variant }
 
+// SetTracer attaches (or, with nil, detaches) a span tracer. Not safe to
+// call concurrently with evaluation.
+func (ev *Evaluator) SetTracer(t *obs.Tracer) { ev.tracer = t }
+
+// SetMetrics attaches a registry; the evaluator counts operations under
+// "fv.<op>" names.
+func (ev *Evaluator) SetMetrics(r *obs.Registry) { ev.metrics = r }
+
+func (ev *Evaluator) count(name string) {
+	if ev.metrics != nil {
+		ev.metrics.Counter(name).Add(1)
+	}
+}
+
 // Add returns a + b (FV.Add: element-wise polynomial addition).
 func (ev *Evaluator) Add(a, b *Ciphertext) *Ciphertext {
+	ev.count("fv.add")
 	if len(a.Els) != len(b.Els) {
 		a, b = matchDegree(ev.params, a, b)
 	}
@@ -112,25 +137,37 @@ func (ev *Evaluator) MulPlain(ct *Ciphertext, pt *Plaintext) *Ciphertext {
 // extended basis, inverse transform, and Scale Q→q of the three outputs
 // (paper Fig. 2 without the final ReLin).
 func (ev *Evaluator) MulNoRelin(a, b *Ciphertext) *Ciphertext {
+	sc := ev.tracer.Start("mul_no_relin")
+	defer sc.End()
+	return ev.mulNoRelin(sc, a, b)
+}
+
+func (ev *Evaluator) mulNoRelin(parent obs.Scope, a, b *Ciphertext) *Ciphertext {
 	p := ev.params
 	if len(a.Els) != 2 || len(b.Els) != 2 {
 		panic(fmt.Sprintf("fv: MulNoRelin needs degree-1 ciphertexts, got %d and %d elements", len(a.Els), len(b.Els)))
 	}
+	ev.count("fv.mul_no_relin")
 
 	// Lift q → Q: four polynomials gain the p-basis rows (Fig. 2, left).
+	st := parent.Child("lift")
 	lift := ev.liftFn()
 	a0 := lift(a.Els[0])
 	a1 := lift(a.Els[1])
 	b0 := lift(b.Els[0])
 	b1 := lift(b.Els[1])
+	st.End()
 
 	// NTT over the full basis.
+	st = parent.Child("ntt")
 	p.TrFull.Forward(a0)
 	p.TrFull.Forward(a1)
 	p.TrFull.Forward(b0)
 	p.TrFull.Forward(b1)
+	st.End()
 
 	// Tensor product: c̃0 = a0·b0, c̃1 = a0·b1 + a1·b0, c̃2 = a1·b1.
+	st = parent.Child("tensor")
 	n := p.N()
 	t0 := poly.NewRNSPoly(p.AllMods, n)
 	t1 := poly.NewRNSPoly(p.AllMods, n)
@@ -139,14 +176,19 @@ func (ev *Evaluator) MulNoRelin(a, b *Ciphertext) *Ciphertext {
 	ev.ops.MulInto(a0, b1, t1)
 	ev.ops.MulAddInto(a1, b0, t1)
 	ev.ops.MulInto(a1, b1, t2)
+	st.End()
 
+	st = parent.Child("intt")
 	p.TrFull.Inverse(t0)
 	p.TrFull.Inverse(t1)
 	p.TrFull.Inverse(t2)
+	st.End()
 
 	// Scale Q → q (Fig. 2, right).
+	st = parent.Child("scale")
 	scale := ev.scaleFn()
 	out := &Ciphertext{Els: []poly.RNSPoly{scale(t0), scale(t1), scale(t2)}}
+	st.End()
 	return out
 }
 
@@ -192,10 +234,18 @@ func (ev *Evaluator) Square(a *Ciphertext, rk *RelinKey) *Ciphertext {
 // c̃2 is decomposed into digits, and c0 += SoP(d, rlk0), c1 += SoP(d, rlk1)
 // (paper Sec. II-B ReLin).
 func (ev *Evaluator) Relinearize(ct *Ciphertext, rk *RelinKey) *Ciphertext {
+	sc := ev.tracer.Start("relin")
+	defer sc.End()
+	return ev.relinearize(sc, ct, rk)
+}
+
+func (ev *Evaluator) relinearize(parent obs.Scope, ct *Ciphertext, rk *RelinKey) *Ciphertext {
 	p := ev.params
 	if len(ct.Els) != 3 {
 		panic("fv: Relinearize expects a degree-2 ciphertext")
 	}
+	ev.count("fv.relin")
+	st := parent.Child("decomp")
 	var digits []poly.RNSPoly
 	switch rk.Variant {
 	case HPS:
@@ -203,10 +253,14 @@ func (ev *Evaluator) Relinearize(ct *Ciphertext, rk *RelinKey) *Ciphertext {
 	case Traditional:
 		digits = rns.WordDecompose(p.QBasis, ct.Els[2], rk.LogW, rk.Ell)
 	}
+	st.End()
 	if len(digits) != len(rk.Rlk0Hat) {
 		panic(fmt.Sprintf("fv: relin key has %d components, decomposition produced %d", len(rk.Rlk0Hat), len(digits)))
 	}
 
+	// Key-switch sum of products: digit NTTs interleaved with the MACs
+	// against the relin key, as the hardware schedule does.
+	st = parent.Child("sop")
 	sop0 := poly.NewRNSPoly(p.QMods, p.N())
 	sop1 := poly.NewRNSPoly(p.QMods, p.N())
 	for i := range digits {
@@ -214,18 +268,31 @@ func (ev *Evaluator) Relinearize(ct *Ciphertext, rk *RelinKey) *Ciphertext {
 		ev.ops.MulAddInto(digits[i], rk.Rlk0Hat[i], sop0)
 		ev.ops.MulAddInto(digits[i], rk.Rlk1Hat[i], sop1)
 	}
+	st.End()
+	st = parent.Child("intt")
 	p.TrQ.Inverse(sop0)
 	p.TrQ.Inverse(sop1)
+	st.End()
 
+	st = parent.Child("combine")
 	out := NewCiphertext(p, 2)
 	ev.ops.AddInto(ct.Els[0], sop0, out.Els[0])
 	ev.ops.AddInto(ct.Els[1], sop1, out.Els[1])
+	st.End()
 	return out
 }
 
-// Mul is the full FV.Mult: MulNoRelin followed by Relinearize.
+// Mul is the full FV.Mult: MulNoRelin followed by Relinearize. With a tracer
+// attached it emits one "mul" span whose children are the pipeline stages.
 func (ev *Evaluator) Mul(a, b *Ciphertext, rk *RelinKey) *Ciphertext {
-	return ev.Relinearize(ev.MulNoRelin(a, b), rk)
+	sc := ev.tracer.Start("mul")
+	defer sc.End()
+	ev.count("fv.mul")
+	ct := ev.mulNoRelin(sc, a, b)
+	relin := sc.Child("relin")
+	out := ev.relinearize(relin, ct, rk)
+	relin.End()
+	return out
 }
 
 // Pow raises a ciphertext to the k-th power (k ≥ 1) by square-and-multiply,

@@ -2,6 +2,7 @@ package fv
 
 import (
 	"repro/internal/mp"
+	"repro/internal/obs"
 )
 
 // NoiseBudget returns the invariant-noise budget of ct in bits, measured
@@ -42,4 +43,14 @@ func NoiseBudget(params *Params, sk *SecretKey, ct *Ciphertext) int {
 		budget = 0
 	}
 	return budget
+}
+
+// GaugeNoiseBudget measures NoiseBudget and mirrors it into the registry's
+// "fv.noise_budget_bits" gauge, so a client-side measurement (it needs the
+// secret key) shows up next to the serving-side counters in one snapshot.
+// It returns the measured budget; a nil registry just measures.
+func GaugeNoiseBudget(reg *obs.Registry, params *Params, sk *SecretKey, ct *Ciphertext) int {
+	b := NoiseBudget(params, sk, ct)
+	reg.Gauge("fv.noise_budget_bits").Set(int64(b))
+	return b
 }

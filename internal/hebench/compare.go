@@ -1,0 +1,136 @@
+package hebench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Delta is the comparison of one op between a baseline and a current report.
+type Delta struct {
+	Op string `json:"op"`
+	// BaseNs and CurNs are the raw medians; CurNormNs is CurNs scaled by the
+	// calibration ratio when normalization was requested and both reports
+	// carry a calibration (otherwise it equals CurNs).
+	BaseNs    float64 `json:"base_ns"`
+	CurNs     float64 `json:"cur_ns"`
+	CurNormNs float64 `json:"cur_norm_ns"`
+	// WallPct is the signed percent change of normalized wall time vs. the
+	// baseline; positive means slower.
+	WallPct float64 `json:"wall_pct"`
+	// BaseSimCycles/CurSimCycles compare the deterministic hardware model;
+	// SimPct is zero when either side lacks cycles.
+	BaseSimCycles uint64  `json:"base_sim_cycles,omitempty"`
+	CurSimCycles  uint64  `json:"cur_sim_cycles,omitempty"`
+	SimPct        float64 `json:"sim_pct"`
+	// Regressed is set when WallPct or SimPct exceeds the threshold.
+	Regressed bool   `json:"regressed"`
+	Why       string `json:"why,omitempty"`
+}
+
+// CompareOptions parameterizes Compare.
+type CompareOptions struct {
+	// Ops restricts the comparison; empty means every op present in both
+	// reports.
+	Ops []string
+	// ThresholdPct is the regression gate (default 15): an op regresses when
+	// its normalized wall time or its simulated cycles grow by more than
+	// this percentage.
+	ThresholdPct float64
+	// Normalize scales current wall times by base/current calibration so a
+	// slower runner machine does not read as a code regression. Simulated
+	// cycles are never normalized — they are machine-independent.
+	Normalize bool
+}
+
+// Compare diffs two reports op by op and returns one Delta per compared op.
+// An op named in opts.Ops but missing from either report yields a Delta with
+// Regressed set (a benchmark silently disappearing must fail the gate, not
+// pass it).
+func Compare(base, cur *Report, opts CompareOptions) []Delta {
+	if opts.ThresholdPct <= 0 {
+		opts.ThresholdPct = 15
+	}
+	ops := opts.Ops
+	if len(ops) == 0 {
+		seen := map[string]bool{}
+		for _, r := range base.Results {
+			seen[r.Op] = true
+		}
+		for _, r := range cur.Results {
+			if seen[r.Op] {
+				ops = append(ops, r.Op)
+			}
+		}
+		sort.Strings(ops)
+	}
+
+	scale := 1.0
+	if opts.Normalize && base.CalibrationNs > 0 && cur.CalibrationNs > 0 {
+		scale = base.CalibrationNs / cur.CalibrationNs
+	}
+
+	var out []Delta
+	for _, op := range ops {
+		b, c := base.Result(op), cur.Result(op)
+		if b == nil || c == nil {
+			out = append(out, Delta{
+				Op:        op,
+				Regressed: true,
+				Why:       "op missing from " + missingSide(b, c) + " report",
+			})
+			continue
+		}
+		d := Delta{
+			Op:            op,
+			BaseNs:        b.NsPerOp,
+			CurNs:         c.NsPerOp,
+			CurNormNs:     c.NsPerOp * scale,
+			BaseSimCycles: b.SimCycles,
+			CurSimCycles:  c.SimCycles,
+		}
+		if b.NsPerOp > 0 {
+			d.WallPct = 100 * (d.CurNormNs - b.NsPerOp) / b.NsPerOp
+		}
+		if b.SimCycles > 0 && c.SimCycles > 0 {
+			d.SimPct = 100 * (float64(c.SimCycles) - float64(b.SimCycles)) / float64(b.SimCycles)
+		}
+		switch {
+		case d.WallPct > opts.ThresholdPct:
+			d.Regressed = true
+			d.Why = fmt.Sprintf("wall time +%.1f%% > %.0f%%", d.WallPct, opts.ThresholdPct)
+		case d.SimPct > opts.ThresholdPct:
+			d.Regressed = true
+			d.Why = fmt.Sprintf("simulated cycles +%.1f%% > %.0f%%", d.SimPct, opts.ThresholdPct)
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+func missingSide(b, c *BenchResult) string {
+	if b == nil {
+		return "baseline"
+	}
+	_ = c
+	return "current"
+}
+
+// RenderDeltas writes a fixed-width comparison table and returns how many
+// deltas regressed.
+func RenderDeltas(w io.Writer, deltas []Delta) int {
+	regressed := 0
+	fmt.Fprintf(w, "%-20s %14s %14s %8s %8s  %s\n",
+		"op", "base ns/op", "cur ns/op*", "wall", "sim", "verdict")
+	for _, d := range deltas {
+		verdict := "ok"
+		if d.Regressed {
+			verdict = "REGRESSED: " + d.Why
+			regressed++
+		}
+		fmt.Fprintf(w, "%-20s %14.0f %14.0f %+7.1f%% %+7.1f%%  %s\n",
+			d.Op, d.BaseNs, d.CurNormNs, d.WallPct, d.SimPct, verdict)
+	}
+	fmt.Fprintln(w, "* normalized by the calibration ratio when enabled")
+	return regressed
+}

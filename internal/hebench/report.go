@@ -1,0 +1,321 @@
+package hebench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/fv"
+	"repro/internal/poly"
+	"repro/internal/ring"
+	"repro/internal/sampler"
+)
+
+// ReportSchema versions the machine-readable benchmark report format
+// consumed by cmd/benchdiff and the CI bench-regression gate.
+const ReportSchema = "hebench/v1"
+
+// Canonical smoke-benchmark op names. The CI regression gate compares these
+// three; Compare accepts any subset present in both reports.
+const (
+	OpNTTForward       = "ntt_forward"
+	OpMulRelin         = "mul_relin"
+	OpEngineThroughput = "engine_throughput"
+)
+
+// BenchResult is one measured operation: the median wall-clock cost, the
+// deterministic simulated-hardware cost where the op has one, and the
+// goroutine-pool width it ran at.
+type BenchResult struct {
+	Op        string  `json:"op"`
+	NsPerOp   float64 `json:"ns_per_op"`
+	SimCycles uint64  `json:"sim_cycles,omitempty"`
+	PoolWidth int     `json:"pool_width"`
+	// Samples are the per-run ns/op values NsPerOp is the median of, kept
+	// so a regression report can show the spread.
+	Samples []float64 `json:"samples_ns,omitempty"`
+}
+
+// Report is the machine-readable benchmark report (BENCH_*.json).
+type Report struct {
+	Schema    string `json:"schema"`
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	NumCPU    int    `json:"num_cpu"`
+	Count     int    `json:"count"`
+	// CalibrationNs is the median duration of a fixed scalar-arithmetic
+	// loop on this machine. benchdiff divides wall-clock deltas by the
+	// calibration ratio so a baseline recorded on a faster or slower box
+	// does not read as a code regression.
+	CalibrationNs float64       `json:"calibration_ns"`
+	Results       []BenchResult `json:"results"`
+}
+
+// Result returns the named result, or nil.
+func (r *Report) Result(op string) *BenchResult {
+	for i := range r.Results {
+		if r.Results[i].Op == op {
+			return &r.Results[i]
+		}
+	}
+	return nil
+}
+
+// WriteJSON writes the report, indented.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// ReadReport loads a report from disk, rejecting unknown schemas.
+func ReadReport(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("hebench: %s: %w", path, err)
+	}
+	if r.Schema != ReportSchema {
+		return nil, fmt.Errorf("hebench: %s: schema %q, want %q", path, r.Schema, ReportSchema)
+	}
+	return &r, nil
+}
+
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	mid := len(s) / 2
+	if len(s)%2 == 1 {
+		return s[mid]
+	}
+	return (s[mid-1] + s[mid]) / 2
+}
+
+// calibrate times a fixed xorshift loop: pure register arithmetic, no
+// memory traffic, so its duration tracks single-core clock speed and little
+// else.
+func calibrate(count int) float64 {
+	var samples []float64
+	for s := 0; s < count; s++ {
+		start := time.Now()
+		x := uint64(2463534242)
+		for i := 0; i < 1<<22; i++ {
+			x ^= x << 13
+			x ^= x >> 7
+			x ^= x << 17
+		}
+		d := time.Since(start)
+		if x == 0 { // never true; defeats dead-code elimination
+			panic("xorshift reached zero")
+		}
+		samples = append(samples, float64(d.Nanoseconds()))
+	}
+	return median(samples)
+}
+
+// SmokeConfig parameterizes RunSmoke.
+type SmokeConfig struct {
+	// Count is the samples per op; the report records medians (default 5).
+	Count int
+	// EngineOps is the Mult count per engine-throughput sample (default 24).
+	EngineOps int
+	// EngineWorkers sizes the engine pool (default 2, the paper platform).
+	EngineWorkers int
+}
+
+func (c SmokeConfig) withDefaults() SmokeConfig {
+	if c.Count <= 0 {
+		c.Count = 5
+	}
+	if c.EngineOps <= 0 {
+		c.EngineOps = 24
+	}
+	if c.EngineWorkers <= 0 {
+		c.EngineWorkers = 2
+	}
+	return c
+}
+
+// RunSmoke measures the three perf-critical paths the CI gate guards —
+// the forward NTT kernel, the software MulRelin pipeline at the paper
+// parameter set, and serving-engine throughput — count times each, and
+// returns the medians as a Report. Simulated cycles ride along where the
+// hardware model defines them; they are deterministic, so any change in
+// them is a real model/schedule change regardless of the machine.
+func RunSmoke(cfg SmokeConfig) (*Report, error) {
+	cfg = cfg.withDefaults()
+	rep := &Report{
+		Schema:    ReportSchema,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		Count:     cfg.Count,
+	}
+	rep.CalibrationNs = calibrate(cfg.Count)
+
+	ntt, err := smokeNTTForward(cfg)
+	if err != nil {
+		return nil, err
+	}
+	mul, err := smokeMulRelin(cfg)
+	if err != nil {
+		return nil, err
+	}
+	eng, err := smokeEngineThroughput(cfg)
+	if err != nil {
+		return nil, err
+	}
+	rep.Results = []BenchResult{ntt, mul, eng}
+	return rep, nil
+}
+
+// smokeNTTForward times the single-prime forward NTT at the paper's
+// n = 4096 — the kernel the Shoup lazy-reduction work optimized.
+func smokeNTTForward(cfg SmokeConfig) (BenchResult, error) {
+	const n = 4096
+	primes, err := ring.GenerateNTTPrimes(30, n, 1)
+	if err != nil {
+		return BenchResult{}, err
+	}
+	m := ring.NewModulus(primes[0])
+	tab, err := poly.NewNTTTable(m, n)
+	if err != nil {
+		return BenchResult{}, err
+	}
+	prng := sampler.NewPRNG(11)
+	coeffs := make([]uint64, n)
+	for i := range coeffs {
+		coeffs[i] = prng.Uint64() % m.Q
+	}
+	const iters = 64
+	var samples []float64
+	for s := 0; s < cfg.Count; s++ {
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			tab.Forward(coeffs)
+		}
+		samples = append(samples, float64(time.Since(start).Nanoseconds())/iters)
+	}
+	res := BenchResult{Op: OpNTTForward, NsPerOp: median(samples), PoolWidth: 1, Samples: samples}
+
+	// Deterministic hardware-side cost of the same kernel: one RPAU forward
+	// transform at n = 4096.
+	s, err := PaperSuite()
+	if err != nil {
+		return BenchResult{}, err
+	}
+	c := s.AccelOne.Platform.Coprocs[0]
+	res.SimCycles = uint64(c.RPAUs[0].Units[c.Mods[0].Q].ForwardCycles())
+	return res, nil
+}
+
+// smokeMulRelin times the full software Mult pipeline (Lift, NTT, tensor,
+// INTT, Scale, ReLin) at the paper parameter set and RPAU-shaped pool.
+func smokeMulRelin(cfg SmokeConfig) (BenchResult, error) {
+	s, err := PaperSuite()
+	if err != nil {
+		return BenchResult{}, err
+	}
+	ev := fv.NewEvaluator(s.Params)
+	ev.Mul(s.CtA, s.CtB, s.RK) // warm up pool and caches
+	var samples []float64
+	for i := 0; i < cfg.Count; i++ {
+		start := time.Now()
+		ev.Mul(s.CtA, s.CtB, s.RK)
+		samples = append(samples, float64(time.Since(start).Nanoseconds()))
+	}
+	res := BenchResult{
+		Op:        OpMulRelin,
+		NsPerOp:   median(samples),
+		PoolWidth: s.Params.Pool.Workers(),
+		Samples:   samples,
+	}
+	// Deterministic simulated cost of the same op on one co-processor.
+	_, hwRep, err := s.AccelOne.Mul(s.CtA, s.CtB, s.RK)
+	if err != nil {
+		return BenchResult{}, err
+	}
+	res.SimCycles = uint64(hwRep.ComputeCycles)
+	return res, nil
+}
+
+// smokeEngineThroughput pushes a burst of Mults through the serving engine
+// (queue → batcher → worker pool) at the small test parameter set and
+// reports wall-clock ns per op plus the busiest worker's simulated cycles
+// per op.
+func smokeEngineThroughput(cfg SmokeConfig) (BenchResult, error) {
+	params, err := fv.NewParams(fv.TestConfig(65537))
+	if err != nil {
+		return BenchResult{}, err
+	}
+	kg := fv.NewKeyGenerator(params, sampler.NewPRNG(42))
+	_, pk, rk := kg.GenKeys()
+	enc := fv.NewEncryptor(params, pk, sampler.NewPRNG(7))
+	pt := fv.NewPlaintext(params)
+	pt.Coeffs[0] = 3
+	ctA := enc.Encrypt(pt)
+	pt.Coeffs[0] = 5
+	ctB := enc.Encrypt(pt)
+
+	var samples []float64
+	var simCycles uint64
+	for s := 0; s < cfg.Count; s++ {
+		eng, err := engine.New(engine.Config{
+			Params:     params,
+			Workers:    cfg.EngineWorkers,
+			QueueDepth: 4 * cfg.EngineOps,
+			MaxBatch:   4,
+		})
+		if err != nil {
+			return BenchResult{}, err
+		}
+		eng.SetRelinKey("", rk)
+		errs := make(chan error, cfg.EngineOps)
+		start := time.Now()
+		for i := 0; i < cfg.EngineOps; i++ {
+			go func() {
+				_, err := eng.Submit(context.Background(), engine.Op{Kind: engine.OpMul, A: ctA, B: ctB})
+				errs <- err
+			}()
+		}
+		for i := 0; i < cfg.EngineOps; i++ {
+			if err := <-errs; err != nil {
+				return BenchResult{}, err
+			}
+		}
+		wall := time.Since(start)
+		st := eng.Stats()
+		var busiest uint64
+		for _, w := range st.PerWorker {
+			if w.SimCycles > busiest {
+				busiest = w.SimCycles
+			}
+		}
+		simCycles = busiest / uint64(cfg.EngineOps)
+		if err := eng.Shutdown(context.Background()); err != nil {
+			return BenchResult{}, err
+		}
+		samples = append(samples, float64(wall.Nanoseconds())/float64(cfg.EngineOps))
+	}
+	return BenchResult{
+		Op:        OpEngineThroughput,
+		NsPerOp:   median(samples),
+		SimCycles: simCycles,
+		PoolWidth: cfg.EngineWorkers,
+		Samples:   samples,
+	}, nil
+}

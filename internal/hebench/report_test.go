@@ -1,0 +1,140 @@
+package hebench
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"testing"
+)
+
+func TestMedian(t *testing.T) {
+	cases := []struct {
+		in   []float64
+		want float64
+	}{
+		{nil, 0},
+		{[]float64{7}, 7},
+		{[]float64{3, 1, 2}, 2},
+		{[]float64{4, 1, 3, 2}, 2.5},
+	}
+	for _, c := range cases {
+		if got := median(c.in); got != c.want {
+			t.Errorf("median(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestReportRoundTrip(t *testing.T) {
+	rep := &Report{
+		Schema:        ReportSchema,
+		GoVersion:     "go1.22",
+		Count:         5,
+		CalibrationNs: 123456,
+		Results: []BenchResult{
+			{Op: OpNTTForward, NsPerOp: 1000, SimCycles: 42, PoolWidth: 1},
+		},
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	path := dir + "/r.json"
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Result(OpNTTForward) == nil || got.Result(OpNTTForward).SimCycles != 42 {
+		t.Fatalf("round trip lost data: %+v", got)
+	}
+	if got.Result("nonexistent") != nil {
+		t.Fatal("Result should return nil for unknown ops")
+	}
+
+	// Unknown schemas are rejected so a format change cannot silently
+	// compare incompatible reports.
+	bad := bytes.Replace(buf.Bytes(), []byte(ReportSchema), []byte("hebench/v0"), 1)
+	if err := os.WriteFile(path, bad, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadReport(path); err == nil {
+		t.Fatal("ReadReport accepted an unknown schema")
+	}
+}
+
+func TestCompareThresholdAndNormalization(t *testing.T) {
+	base := &Report{Schema: ReportSchema, CalibrationNs: 100, Results: []BenchResult{
+		{Op: "a", NsPerOp: 1000, SimCycles: 500},
+		{Op: "b", NsPerOp: 1000},
+	}}
+	cur := &Report{Schema: ReportSchema, CalibrationNs: 200, Results: []BenchResult{
+		{Op: "a", NsPerOp: 2100, SimCycles: 500}, // 2.1x wall on a 2x-slower box → +5% normalized
+		{Op: "b", NsPerOp: 2600},                 // +30% normalized
+	}}
+	deltas := Compare(base, cur, CompareOptions{ThresholdPct: 15, Normalize: true})
+	if len(deltas) != 2 {
+		t.Fatalf("got %d deltas, want 2", len(deltas))
+	}
+	byOp := map[string]Delta{}
+	for _, d := range deltas {
+		byOp[d.Op] = d
+	}
+	if a := byOp["a"]; a.Regressed || math.Abs(a.WallPct-5) > 0.01 {
+		t.Fatalf("op a: %+v (want +5%% and not regressed)", a)
+	}
+	if b := byOp["b"]; !b.Regressed || math.Abs(b.WallPct-30) > 0.01 {
+		t.Fatalf("op b: %+v (want +30%% and regressed)", b)
+	}
+
+	// Without normalization both ops more than double.
+	deltas = Compare(base, cur, CompareOptions{ThresholdPct: 15})
+	for _, d := range deltas {
+		if !d.Regressed {
+			t.Fatalf("unnormalized %s should regress: %+v", d.Op, d)
+		}
+	}
+}
+
+func TestRunSmokeProducesAllOps(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-parameter smoke run in -short mode")
+	}
+	rep, err := RunSmoke(SmokeConfig{Count: 1, EngineOps: 4, EngineWorkers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema != ReportSchema {
+		t.Fatalf("schema = %q", rep.Schema)
+	}
+	if rep.CalibrationNs <= 0 {
+		t.Fatal("calibration missing")
+	}
+	for _, op := range []string{OpNTTForward, OpMulRelin, OpEngineThroughput} {
+		r := rep.Result(op)
+		if r == nil {
+			t.Fatalf("result %q missing", op)
+		}
+		if r.NsPerOp <= 0 {
+			t.Fatalf("%s: ns/op = %v", op, r.NsPerOp)
+		}
+		if r.SimCycles == 0 {
+			t.Fatalf("%s: no simulated cycles", op)
+		}
+		if r.PoolWidth <= 0 {
+			t.Fatalf("%s: pool width = %d", op, r.PoolWidth)
+		}
+		if len(r.Samples) != 1 {
+			t.Fatalf("%s: %d samples, want 1", op, len(r.Samples))
+		}
+	}
+	// The comparison of a report against itself is clean — the identity the
+	// CI gate depends on.
+	for _, d := range Compare(rep, rep, CompareOptions{Normalize: true}) {
+		if d.Regressed {
+			t.Fatalf("self-comparison regressed: %+v", d)
+		}
+	}
+}

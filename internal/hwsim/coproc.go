@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/obs"
 	"repro/internal/poly"
 	"repro/internal/ring"
 	"repro/internal/rns"
@@ -83,6 +84,13 @@ type Coprocessor struct {
 	// Extender's pool (the parameter set's) at construction; nil runs the
 	// rows sequentially with identical results.
 	Pool *poly.Pool
+
+	// Trace, when non-nil, receives one cycle span per retired instruction
+	// and DMA step (obs.Tracer.CycleSpan): the instruction-level schedule of
+	// the paper's Fig. 3 in the same span shape the software pipeline emits
+	// for wall-clock stages, so the two profiles align. The span cycles sum
+	// to Stats.Total over the same window.
+	Trace *obs.Tracer
 
 	slots []slot
 	Stats *Stats
@@ -249,6 +257,7 @@ func (c *Coprocessor) Transfer(t Transfer) Cycles {
 	c.Stats.TransferCalls++
 	cyc := Cycles(sec * FPGAClockHz)
 	c.Stats.Total += cyc
+	c.Trace.CycleSpan("dma", uint64(cyc))
 	return cyc
 }
 
@@ -426,5 +435,6 @@ func (c *Coprocessor) Exec(in Instr) (Cycles, error) {
 	st.Calls++
 	st.TotalCycles += cyc
 	c.Stats.Total += cyc
+	c.Trace.CycleSpan(in.Op.String(), uint64(cyc))
 	return cyc, nil
 }

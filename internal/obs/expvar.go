@@ -1,0 +1,94 @@
+package obs
+
+import (
+	"expvar"
+	"sync"
+)
+
+// The standard expvar package has no unpublish: a second Publish under the
+// same name panics, and the obvious "skip if taken" guard silently drops the
+// second publisher — which is exactly the bug the serving engine had (every
+// engine after the first in a test process published nothing). The fix is a
+// level of indirection: expvar gets one permanent Func per name, and that
+// Func reads through a holder whose producer can be replaced or cleared.
+
+type expvarHolder struct {
+	mu    sync.RWMutex
+	fn    func() any
+	owner *ExpvarBinding
+}
+
+var (
+	expvarMu   sync.Mutex
+	expvarVars = map[string]*expvarHolder{}
+)
+
+// ExpvarBinding is ownership of one published expvar name. Unpublish
+// releases it; a later PublishExpvar under the same name transfers the name
+// to the new binding (the previous owner's Unpublish then does nothing).
+type ExpvarBinding struct {
+	name string
+	h    *expvarHolder
+}
+
+// PublishExpvar binds fn as the producer of the named expvar, replacing any
+// previous producer instead of panicking or silently losing the new one.
+// The returned binding's Unpublish clears the name if this binding still
+// owns it.
+func PublishExpvar(name string, fn func() any) *ExpvarBinding {
+	expvarMu.Lock()
+	h := expvarVars[name]
+	if h == nil {
+		h = &expvarHolder{}
+		expvarVars[name] = h
+		expvar.Publish(name, expvar.Func(func() any {
+			h.mu.RLock()
+			defer h.mu.RUnlock()
+			if h.fn == nil {
+				return nil
+			}
+			return h.fn()
+		}))
+	}
+	expvarMu.Unlock()
+
+	b := &ExpvarBinding{name: name, h: h}
+	h.mu.Lock()
+	h.fn = fn
+	h.owner = b
+	h.mu.Unlock()
+	return b
+}
+
+// Unpublish clears the producer if b still owns the name. The expvar entry
+// itself remains registered (expvar cannot remove names) but reports nil
+// until the next PublishExpvar.
+func (b *ExpvarBinding) Unpublish() {
+	if b == nil {
+		return
+	}
+	b.h.mu.Lock()
+	if b.h.owner == b {
+		b.h.fn = nil
+		b.h.owner = nil
+	}
+	b.h.mu.Unlock()
+}
+
+// ExpvarValue evaluates the named expvar producer, returning nil when the
+// name is unbound. Tests use it to assert replace semantics without parsing
+// expvar's string rendering.
+func ExpvarValue(name string) any {
+	expvarMu.Lock()
+	h := expvarVars[name]
+	expvarMu.Unlock()
+	if h == nil {
+		return nil
+	}
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	if h.fn == nil {
+		return nil
+	}
+	return h.fn()
+}

@@ -1,0 +1,251 @@
+// Package obs is the repository's observability layer: span-style tracing
+// with monotonic timestamps, a small counter/gauge/histogram registry, and
+// replaceable expvar bindings.
+//
+// The design constraint is the acceptance bar of the perf work it serves:
+// with tracing disabled the hot paths (the software Mult pipeline, the NTT
+// kernels, the serving engine) must pay one nil-check and nothing else. A
+// nil *Tracer is therefore the disabled tracer — every method on *Tracer and
+// on the Scope values it hands out is nil-safe and allocation-free in the
+// disabled state, so call sites write
+//
+//	sc := ev.tracer.Start("mul")
+//	defer sc.End()
+//
+// unconditionally.
+//
+// Spans carry either wall-clock durations (measured against the tracer's
+// monotonic epoch) or simulated FPGA cycles (attributed by the hardware
+// simulator), in the same tree shape, so a wall-clock profile of the
+// software pipeline and a cycle profile of the simulated co-processor are
+// directly comparable — the software analogue of the paper's Fig. 3
+// instruction-level schedule.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Span is one completed (or still-open) region of a trace. Start is the
+// offset from the owning tracer's epoch on the monotonic clock; Dur is zero
+// until the span ends. Cycles is simulated-hardware attribution and is
+// independent of the wall-clock fields: a span may carry either or both.
+type Span struct {
+	Name     string        `json:"name"`
+	Start    time.Duration `json:"start_ns"`
+	Dur      time.Duration `json:"dur_ns"`
+	Cycles   uint64        `json:"cycles,omitempty"`
+	Children []*Span       `json:"children,omitempty"`
+}
+
+// SumCycles returns the cycle attribution of the span subtree: its own
+// cycles plus all descendants'.
+func (s *Span) SumCycles() uint64 {
+	if s == nil {
+		return 0
+	}
+	total := s.Cycles
+	for _, c := range s.Children {
+		total += c.SumCycles()
+	}
+	return total
+}
+
+// Walk visits the span and every descendant in depth-first pre-order.
+func (s *Span) Walk(fn func(depth int, s *Span)) {
+	if s == nil {
+		return
+	}
+	s.walk(0, fn)
+}
+
+func (s *Span) walk(depth int, fn func(int, *Span)) {
+	fn(depth, s)
+	for _, c := range s.Children {
+		c.walk(depth+1, fn)
+	}
+}
+
+// Names returns the pre-order name sequence of the subtree — the golden
+// form the stage-sequence tests compare against.
+func (s *Span) Names() []string {
+	var out []string
+	s.Walk(func(_ int, sp *Span) { out = append(out, sp.Name) })
+	return out
+}
+
+// Render writes the subtree as an indented profile, one line per span.
+func (s *Span) Render(w io.Writer) {
+	s.Walk(func(depth int, sp *Span) {
+		var metrics []string
+		if sp.Dur > 0 {
+			metrics = append(metrics, sp.Dur.String())
+		}
+		if sp.Cycles > 0 {
+			metrics = append(metrics, fmt.Sprintf("%d cyc", sp.Cycles))
+		}
+		fmt.Fprintf(w, "%s%-24s %s\n", strings.Repeat("  ", depth), sp.Name, strings.Join(metrics, "  "))
+	})
+}
+
+// Tracer collects a span tree. A nil *Tracer is the disabled tracer: Start
+// returns a zero Scope and every operation on it is a no-op that allocates
+// nothing, so instrumented hot paths cost one nil-check when tracing is off.
+// All methods are safe for concurrent use; concurrent child spans of the
+// same parent append in completion order.
+type Tracer struct {
+	mu    sync.Mutex
+	epoch time.Time
+	root  *Span
+}
+
+// New returns an enabled tracer whose root span has the given name. The
+// epoch — the zero point of every span's Start offset — is taken from the
+// monotonic clock at this moment.
+func New(name string) *Tracer {
+	return &Tracer{epoch: time.Now(), root: &Span{Name: name}}
+}
+
+// Root returns the root span of the collected tree (nil for a nil tracer).
+// The tree under it keeps growing until the tracer is discarded; callers
+// normally read it after the traced operation returns.
+func (t *Tracer) Root() *Span {
+	if t == nil {
+		return nil
+	}
+	return t.root
+}
+
+// Scope is a handle on an open span. The zero Scope (from a nil tracer) is
+// inert. Scopes are values: passing one down a call chain lets callees hang
+// child spans under their caller's span without any goroutine-local state,
+// which is what keeps the tracer safe under the pool's fan-out.
+type Scope struct {
+	t     *Tracer
+	s     *Span
+	start time.Time
+}
+
+// Enabled reports whether the scope belongs to a live tracer.
+func (sc Scope) Enabled() bool { return sc.t != nil }
+
+// Start opens a span as a child of the root.
+func (t *Tracer) Start(name string) Scope {
+	if t == nil {
+		return Scope{}
+	}
+	return t.open(t.root, name)
+}
+
+// Child opens a span nested under sc.
+func (sc Scope) Child(name string) Scope {
+	if sc.t == nil {
+		return Scope{}
+	}
+	return sc.t.open(sc.s, name)
+}
+
+func (t *Tracer) open(parent *Span, name string) Scope {
+	now := time.Now()
+	s := &Span{Name: name, Start: now.Sub(t.epoch)}
+	t.mu.Lock()
+	parent.Children = append(parent.Children, s)
+	t.mu.Unlock()
+	return Scope{t: t, s: s, start: now}
+}
+
+// End closes the span, fixing its wall-clock duration. Ending twice keeps
+// the later duration; ending a zero Scope does nothing.
+func (sc Scope) End() {
+	if sc.t == nil {
+		return
+	}
+	d := time.Since(sc.start)
+	sc.t.mu.Lock()
+	sc.s.Dur = d
+	sc.t.mu.Unlock()
+}
+
+// AddCycles attributes simulated hardware cycles to the span.
+func (sc Scope) AddCycles(c uint64) {
+	if sc.t == nil {
+		return
+	}
+	sc.t.mu.Lock()
+	sc.s.Cycles += c
+	sc.t.mu.Unlock()
+}
+
+// CycleSpan appends an already-complete child of the root carrying only
+// cycle attribution — the form the hardware simulator emits per retired
+// instruction, where wall-clock time is meaningless.
+func (t *Tracer) CycleSpan(name string, cycles uint64) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.root.Children = append(t.root.Children, &Span{Name: name, Cycles: cycles})
+	t.mu.Unlock()
+}
+
+// CycleChild is CycleSpan under an explicit parent scope.
+func (sc Scope) CycleChild(name string, cycles uint64) {
+	if sc.t == nil {
+		return
+	}
+	sc.t.mu.Lock()
+	sc.s.Children = append(sc.s.Children, &Span{Name: name, Cycles: cycles})
+	sc.t.mu.Unlock()
+}
+
+// StageTotals aggregates the tree by span name: total wall-clock duration,
+// total cycles, and call counts, sorted by descending duration then cycles.
+// It answers "where did the time go" across repeated stages.
+func (t *Tracer) StageTotals() []StageTotal {
+	root := t.Root()
+	if root == nil {
+		return nil
+	}
+	t.mu.Lock()
+	agg := map[string]*StageTotal{}
+	var order []string
+	root.Walk(func(depth int, s *Span) {
+		if depth == 0 {
+			return
+		}
+		st := agg[s.Name]
+		if st == nil {
+			st = &StageTotal{Name: s.Name}
+			agg[s.Name] = st
+			order = append(order, s.Name)
+		}
+		st.Calls++
+		st.Dur += s.Dur
+		st.Cycles += s.Cycles
+	})
+	t.mu.Unlock()
+	out := make([]StageTotal, 0, len(order))
+	for _, name := range order {
+		out = append(out, *agg[name])
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Dur != out[j].Dur {
+			return out[i].Dur > out[j].Dur
+		}
+		return out[i].Cycles > out[j].Cycles
+	})
+	return out
+}
+
+// StageTotal is one row of a by-name aggregation of a span tree.
+type StageTotal struct {
+	Name   string        `json:"name"`
+	Calls  int           `json:"calls"`
+	Dur    time.Duration `json:"dur_ns"`
+	Cycles uint64        `json:"cycles,omitempty"`
+}

@@ -1,0 +1,280 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSpanTree(t *testing.T) {
+	tr := New("root")
+	mul := tr.Start("mul")
+	lift := mul.Child("lift")
+	time.Sleep(time.Millisecond)
+	lift.End()
+	ntt := mul.Child("ntt")
+	ntt.End()
+	mul.End()
+
+	root := tr.Root()
+	want := []string{"root", "mul", "lift", "ntt"}
+	if got := root.Names(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("span names = %v, want %v", got, want)
+	}
+	child := root.Children[0]
+	if child.Dur <= 0 {
+		t.Fatalf("mul span has no duration")
+	}
+	liftSpan := child.Children[0]
+	if liftSpan.Dur < time.Millisecond {
+		t.Fatalf("lift span %v shorter than its sleep", liftSpan.Dur)
+	}
+	if liftSpan.Start < 0 || child.Children[1].Start < liftSpan.Start {
+		t.Fatalf("span start offsets not monotonic: %v then %v", liftSpan.Start, child.Children[1].Start)
+	}
+}
+
+func TestNilTracerIsInert(t *testing.T) {
+	var tr *Tracer
+	sc := tr.Start("x")
+	if sc.Enabled() {
+		t.Fatal("nil tracer handed out an enabled scope")
+	}
+	sc.AddCycles(5)
+	sc.CycleChild("y", 1)
+	sc.Child("z").End()
+	sc.End()
+	tr.CycleSpan("w", 2)
+	if tr.Root() != nil {
+		t.Fatal("nil tracer has a root")
+	}
+	if tr.StageTotals() != nil {
+		t.Fatal("nil tracer has stage totals")
+	}
+}
+
+// TestNoopTracerZeroAlloc pins the disabled-tracer cost: starting and ending
+// spans on a nil tracer must not allocate at all.
+func TestNoopTracerZeroAlloc(t *testing.T) {
+	var tr *Tracer
+	allocs := testing.AllocsPerRun(1000, func() {
+		sc := tr.Start("mul")
+		child := sc.Child("lift")
+		child.AddCycles(1)
+		child.End()
+		sc.End()
+		tr.CycleSpan("ntt", 7)
+	})
+	if allocs != 0 {
+		t.Fatalf("nil tracer allocated %.1f times per op, want 0", allocs)
+	}
+}
+
+// TestConcurrentSpanEmission hammers one tracer from many goroutines; run
+// with -race this is the data-race check for the span tree.
+func TestConcurrentSpanEmission(t *testing.T) {
+	tr := New("root")
+	const goroutines = 16
+	const spansEach = 200
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			parent := tr.Start(fmt.Sprintf("worker-%d", g))
+			for i := 0; i < spansEach; i++ {
+				sc := parent.Child("op")
+				sc.AddCycles(1)
+				sc.End()
+				tr.CycleSpan("instr", 2)
+			}
+			parent.End()
+		}(g)
+	}
+	wg.Wait()
+
+	root := tr.Root()
+	if got := len(root.Children); got != goroutines*(spansEach+1) {
+		t.Fatalf("root has %d children, want %d", got, goroutines*(spansEach+1))
+	}
+	if got, want := root.SumCycles(), uint64(goroutines*spansEach*3); got != want {
+		t.Fatalf("SumCycles = %d, want %d", got, want)
+	}
+}
+
+func TestStageTotals(t *testing.T) {
+	tr := New("root")
+	for i := 0; i < 3; i++ {
+		sc := tr.Start("ntt")
+		sc.AddCycles(10)
+		sc.End()
+	}
+	sc := tr.Start("lift")
+	sc.AddCycles(100)
+	sc.End()
+
+	totals := tr.StageTotals()
+	if len(totals) != 2 {
+		t.Fatalf("got %d stages, want 2", len(totals))
+	}
+	byName := map[string]StageTotal{}
+	for _, st := range totals {
+		byName[st.Name] = st
+	}
+	if st := byName["ntt"]; st.Calls != 3 || st.Cycles != 30 {
+		t.Fatalf("ntt total = %+v", st)
+	}
+	if st := byName["lift"]; st.Calls != 1 || st.Cycles != 100 {
+		t.Fatalf("lift total = %+v", st)
+	}
+}
+
+func TestSpanRenderAndJSON(t *testing.T) {
+	tr := New("root")
+	sc := tr.Start("mul")
+	sc.CycleChild("ntt", 42)
+	sc.End()
+
+	var sb strings.Builder
+	tr.Root().Render(&sb)
+	for _, want := range []string{"root", "mul", "ntt", "42 cyc"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Fatalf("render missing %q:\n%s", want, sb.String())
+		}
+	}
+	data, err := json.Marshal(tr.Root())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"cycles":42`) {
+		t.Fatalf("JSON missing cycle attribution: %s", data)
+	}
+}
+
+func TestRegistryInstruments(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("ops").Add(2)
+	r.Counter("ops").Add(3)
+	r.Gauge("noise_bits").Set(57)
+	r.Histogram("wait").Observe(3 * time.Millisecond)
+
+	if got := r.Counter("ops").Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if got := r.Gauge("noise_bits").Value(); got != 57 {
+		t.Fatalf("gauge = %d, want 57", got)
+	}
+	snap := r.Snapshot()
+	if snap.Counters["ops"] != 5 || snap.Gauges["noise_bits"] != 57 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	if h := snap.Histograms["wait"]; h.Count != 1 || h.MaxMicros < 2e3 {
+		t.Fatalf("histogram snapshot = %+v", h)
+	}
+	if got := r.CounterNames(); !reflect.DeepEqual(got, []string{"ops"}) {
+		t.Fatalf("counter names = %v", got)
+	}
+}
+
+func TestNilRegistryAbsorbsWrites(t *testing.T) {
+	var r *Registry
+	r.Counter("x").Add(1)
+	r.Gauge("y").Set(2)
+	r.Histogram("z").Observe(time.Second)
+	if snap := r.Snapshot(); snap.Counters != nil || snap.Gauges != nil || snap.Histograms != nil {
+		t.Fatalf("nil registry snapshot not empty: %+v", snap)
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		r.Counter("x").Add(1)
+		r.Histogram("z").Observe(time.Millisecond)
+	})
+	if allocs != 0 {
+		t.Fatalf("nil registry allocated %.1f times per op, want 0", allocs)
+	}
+}
+
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				r.Counter("shared").Add(1)
+				r.Counter(fmt.Sprintf("per-%d", g)).Add(1)
+				r.Histogram("lat").Observe(time.Duration(i))
+				r.Snapshot()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := r.Counter("shared").Value(); got != 8*500 {
+		t.Fatalf("shared counter = %d, want %d", got, 8*500)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := &Histogram{}
+	for i := 0; i < 90; i++ {
+		h.Observe(time.Microsecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(time.Second)
+	}
+	s := h.Snapshot()
+	if s.Count != 100 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	if s.P50Micros > 10 {
+		t.Fatalf("p50 = %f µs, expected ~1µs bucket", s.P50Micros)
+	}
+	if s.MaxMicros != 1e6 {
+		t.Fatalf("max = %f µs, want 1e6", s.MaxMicros)
+	}
+	if s.P99Micros <= s.P50Micros {
+		t.Fatalf("p99 %f not above p50 %f", s.P99Micros, s.P50Micros)
+	}
+}
+
+// TestExpvarReplace pins the fix for the engine's expvar leak: a second
+// publisher under the same name must become visible, and an owner's
+// Unpublish must not clobber a newer binding.
+func TestExpvarReplace(t *testing.T) {
+	name := "obs-test-replace"
+	b1 := PublishExpvar(name, func() any { return 1 })
+	if got := ExpvarValue(name); got != 1 {
+		t.Fatalf("first publisher: got %v", got)
+	}
+	b2 := PublishExpvar(name, func() any { return 2 })
+	if got := ExpvarValue(name); got != 2 {
+		t.Fatalf("second publisher not visible: got %v", got)
+	}
+	// The stale owner's Unpublish is a no-op.
+	b1.Unpublish()
+	if got := ExpvarValue(name); got != 2 {
+		t.Fatalf("stale Unpublish clobbered the live binding: got %v", got)
+	}
+	b2.Unpublish()
+	if got := ExpvarValue(name); got != nil {
+		t.Fatalf("after Unpublish: got %v, want nil", got)
+	}
+	// Republishing after a full unpublish works.
+	b3 := PublishExpvar(name, func() any { return 3 })
+	defer b3.Unpublish()
+	if got := ExpvarValue(name); got != 3 {
+		t.Fatalf("republish: got %v", got)
+	}
+}
+
+func TestExpvarNilBinding(t *testing.T) {
+	var b *ExpvarBinding
+	b.Unpublish() // must not panic
+	if got := ExpvarValue("obs-test-never-published"); got != nil {
+		t.Fatalf("unknown name: got %v", got)
+	}
+}

@@ -1,0 +1,266 @@
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic counter. A nil *Counter
+// (from a nil *Registry) absorbs Adds silently.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count (0 for nil).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomic instantaneous value — e.g. the remaining noise budget
+// of the most recently measured ciphertext, or a cache's occupancy.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores the gauge value.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Value returns the current gauge value (0 for nil).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram is a lock-free log2-bucketed latency histogram: bucket i counts
+// observations with ns in [2^(i-1), 2^i). 48 buckets cover ~3 days. It is
+// the generalization of the serving engine's original latency histogram,
+// shared here so every layer reports in the same shape.
+type Histogram struct {
+	buckets [48]atomic.Uint64
+	count   atomic.Uint64
+	sumNS   atomic.Uint64
+	maxNS   atomic.Uint64
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	ns := uint64(d.Nanoseconds())
+	if d < 0 {
+		ns = 0
+	}
+	i := bits.Len64(ns)
+	if i >= len(h.buckets) {
+		i = len(h.buckets) - 1
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sumNS.Add(ns)
+	for {
+		cur := h.maxNS.Load()
+		if ns <= cur || h.maxNS.CompareAndSwap(cur, ns) {
+			return
+		}
+	}
+}
+
+// HistogramStats is a snapshot summary of one histogram. Quantiles are
+// approximate (geometric midpoint of the owning log2 bucket).
+type HistogramStats struct {
+	Count      uint64
+	MeanMicros float64
+	P50Micros  float64
+	P99Micros  float64
+	MaxMicros  float64
+}
+
+// Snapshot summarizes the histogram without stopping writers.
+func (h *Histogram) Snapshot() HistogramStats {
+	var s HistogramStats
+	if h == nil {
+		return s
+	}
+	s.Count = h.count.Load()
+	if s.Count == 0 {
+		return s
+	}
+	s.MeanMicros = float64(h.sumNS.Load()) / float64(s.Count) / 1e3
+	s.MaxMicros = float64(h.maxNS.Load()) / 1e3
+	var counts [48]uint64
+	var total uint64
+	for i := range h.buckets {
+		counts[i] = h.buckets[i].Load()
+		total += counts[i]
+	}
+	quantile := func(q float64) float64 {
+		target := uint64(math.Ceil(q * float64(total)))
+		var seen uint64
+		for i, c := range counts {
+			seen += c
+			if seen >= target && c > 0 {
+				// Geometric midpoint of [2^(i-1), 2^i) ns.
+				lo := math.Exp2(float64(i - 1))
+				return lo * math.Sqrt2 / 1e3
+			}
+		}
+		return s.MaxMicros
+	}
+	s.P50Micros = quantile(0.50)
+	s.P99Micros = quantile(0.99)
+	return s
+}
+
+// Registry is a small named-instrument registry. Instruments are created on
+// first reference and live for the registry's lifetime; all methods are safe
+// for concurrent use. A nil *Registry hands out nil instruments, which
+// absorb writes — the same one-nil-check discipline as the tracer.
+type Registry struct {
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	c := r.counters[name]
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c = r.counters[name]; c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	g := r.gauges[name]
+	r.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g = r.gauges[name]; g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	h := r.hists[name]
+	r.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h = r.hists[name]; h == nil {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Snapshot is a point-in-time JSON-friendly dump of every instrument.
+type Snapshot struct {
+	Counters   map[string]uint64         `json:"counters,omitempty"`
+	Gauges     map[string]int64          `json:"gauges,omitempty"`
+	Histograms map[string]HistogramStats `json:"histograms,omitempty"`
+}
+
+// Snapshot captures every instrument's current value.
+func (r *Registry) Snapshot() Snapshot {
+	var s Snapshot
+	if r == nil {
+		return s
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.counters) > 0 {
+		s.Counters = make(map[string]uint64, len(r.counters))
+		for name, c := range r.counters {
+			s.Counters[name] = c.Value()
+		}
+	}
+	if len(r.gauges) > 0 {
+		s.Gauges = make(map[string]int64, len(r.gauges))
+		for name, g := range r.gauges {
+			s.Gauges[name] = g.Value()
+		}
+	}
+	if len(r.hists) > 0 {
+		s.Histograms = make(map[string]HistogramStats, len(r.hists))
+		for name, h := range r.hists {
+			s.Histograms[name] = h.Snapshot()
+		}
+	}
+	return s
+}
+
+// CounterNames returns the registered counter names, sorted.
+func (r *Registry) CounterNames() []string {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	names := make([]string, 0, len(r.counters))
+	for n := range r.counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -27,6 +27,77 @@ const MinParallelWork = 1 << 13
 // serving engine's workers sharing one Pool).
 type Pool struct {
 	workers int
+	metrics *poolMetrics
+}
+
+// poolMetrics is the pool's optional accounting (EnableMetrics). Updates are
+// aggregated per Run/RunChunks call — a handful of atomic adds per call, not
+// per task — so enabling it does not perturb the kernels it measures.
+type poolMetrics struct {
+	runs      atomic.Uint64
+	seqRuns   atomic.Uint64
+	parRuns   atomic.Uint64
+	chunkRuns atomic.Uint64
+	tasks     atomic.Uint64
+	steals    atomic.Uint64
+	// widthRuns[w] counts parallel Run calls that fanned out across exactly
+	// w goroutines (w clamped to the array), the pool's width-utilization
+	// profile: how often the RPAU-shaped fan-out actually reaches its width.
+	widthRuns [maxWidthBucket + 1]atomic.Uint64
+}
+
+const maxWidthBucket = 32
+
+// PoolStats is a snapshot of a pool's accounting. Steals counts tasks a
+// goroutine claimed beyond its static fair share ceil(n/w) — work the atomic
+// claim counter migrated from slower workers, which is the pool's analogue
+// of work-stealing traffic.
+type PoolStats struct {
+	Runs      uint64         `json:"runs"`
+	SeqRuns   uint64         `json:"seq_runs"`
+	ParRuns   uint64         `json:"par_runs"`
+	ChunkRuns uint64         `json:"chunk_runs"`
+	Tasks     uint64         `json:"tasks"`
+	Steals    uint64         `json:"steals"`
+	WidthRuns map[int]uint64 `json:"width_runs,omitempty"`
+}
+
+// EnableMetrics switches accounting on (idempotent) and returns the pool.
+// A nil pool stays nil-safe and unmetered.
+func (p *Pool) EnableMetrics() *Pool {
+	if p != nil && p.metrics == nil {
+		p.metrics = &poolMetrics{}
+	}
+	return p
+}
+
+// MetricsEnabled reports whether the pool is accounting.
+func (p *Pool) MetricsEnabled() bool { return p != nil && p.metrics != nil }
+
+// Stats snapshots the pool's accounting; the zero PoolStats for a nil or
+// unmetered pool.
+func (p *Pool) Stats() PoolStats {
+	if p == nil || p.metrics == nil {
+		return PoolStats{}
+	}
+	m := p.metrics
+	s := PoolStats{
+		Runs:      m.runs.Load(),
+		SeqRuns:   m.seqRuns.Load(),
+		ParRuns:   m.parRuns.Load(),
+		ChunkRuns: m.chunkRuns.Load(),
+		Tasks:     m.tasks.Load(),
+		Steals:    m.steals.Load(),
+	}
+	for w := range m.widthRuns {
+		if c := m.widthRuns[w].Load(); c > 0 {
+			if s.WidthRuns == nil {
+				s.WidthRuns = map[int]uint64{}
+			}
+			s.WidthRuns[w] = c
+		}
+	}
+	return s
 }
 
 // NewPool returns a pool of the given width. Width ≤ 1 yields a sequential
@@ -66,30 +137,57 @@ func (p *Pool) Run(work, n int, fn func(i int)) {
 	if w > n {
 		w = n
 	}
+	var m *poolMetrics
+	if p != nil {
+		m = p.metrics
+	}
 	if w <= 1 || (work > 0 && work < MinParallelWork) {
 		for i := 0; i < n; i++ {
 			fn(i)
+		}
+		if m != nil {
+			m.runs.Add(1)
+			m.seqRuns.Add(1)
+			m.tasks.Add(uint64(n))
 		}
 		return
 	}
 	// Work-stealing by atomic counter: no task channel, no idle spinning, and
 	// no deadlock potential under nested or concurrent Run calls.
+	fair := (n + w - 1) / w
+	var stolen atomic.Uint64
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	wg.Add(w)
 	for g := 0; g < w; g++ {
 		go func() {
 			defer wg.Done()
+			claimed := 0
 			for {
 				i := next.Add(1) - 1
 				if i >= int64(n) {
-					return
+					break
 				}
 				fn(int(i))
+				claimed++
+			}
+			if m != nil && claimed > fair {
+				stolen.Add(uint64(claimed - fair))
 			}
 		}()
 	}
 	wg.Wait()
+	if m != nil {
+		m.runs.Add(1)
+		m.parRuns.Add(1)
+		m.tasks.Add(uint64(n))
+		m.steals.Add(stolen.Load())
+		wb := w
+		if wb > maxWidthBucket {
+			wb = maxWidthBucket
+		}
+		m.widthRuns[wb].Add(1)
+	}
 }
 
 // RunChunks splits the index range [0, n) into contiguous chunks (one per
@@ -105,8 +203,17 @@ func (p *Pool) RunChunks(n, minChunk int, fn func(lo, hi int)) {
 	if max := (n + minChunk - 1) / minChunk; w > max {
 		w = max
 	}
+	var m *poolMetrics
+	if p != nil {
+		m = p.metrics
+	}
 	if w <= 1 {
 		fn(0, n)
+		if m != nil {
+			m.runs.Add(1)
+			m.seqRuns.Add(1)
+			m.chunkRuns.Add(1)
+		}
 		return
 	}
 	chunk := (n + w - 1) / w
@@ -123,4 +230,14 @@ func (p *Pool) RunChunks(n, minChunk int, fn func(lo, hi int)) {
 		}(lo, hi)
 	}
 	wg.Wait()
+	if m != nil {
+		m.runs.Add(1)
+		m.parRuns.Add(1)
+		m.chunkRuns.Add(1)
+		wb := w
+		if wb > maxWidthBucket {
+			wb = maxWidthBucket
+		}
+		m.widthRuns[wb].Add(1)
+	}
 }

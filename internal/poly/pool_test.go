@@ -1,9 +1,11 @@
 package poly
 
 import (
+	"reflect"
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestPoolRunCoversEveryIndexOnce(t *testing.T) {
@@ -126,5 +128,56 @@ func TestPoolRunChunksRespectsMinChunk(t *testing.T) {
 func TestDefaultPoolBoundedByPaperRPAUs(t *testing.T) {
 	if w := NewDefaultPool().Workers(); w > PaperRPAUs {
 		t.Fatalf("default pool width %d exceeds the paper's %d RPAUs", w, PaperRPAUs)
+	}
+}
+
+func TestPoolMetrics(t *testing.T) {
+	p := NewPool(4).EnableMetrics()
+	if !p.MetricsEnabled() {
+		t.Fatal("metrics not enabled")
+	}
+	// Parallel path: work=0 forces fan-out for any n > 1.
+	p.Run(0, 16, func(i int) {})
+	// Sequential path: tiny work stays on the caller's goroutine.
+	p.Run(1, 4, func(i int) {})
+	p.RunChunks(1024, 64, func(lo, hi int) {})
+
+	s := p.Stats()
+	if s.Runs != 3 || s.ParRuns != 2 || s.SeqRuns != 1 {
+		t.Fatalf("runs=%d par=%d seq=%d, want 3/2/1", s.Runs, s.ParRuns, s.SeqRuns)
+	}
+	if s.Tasks != 16+4 {
+		t.Fatalf("tasks = %d, want 20", s.Tasks)
+	}
+	if s.ChunkRuns != 1 {
+		t.Fatalf("chunk runs = %d, want 1", s.ChunkRuns)
+	}
+	if s.WidthRuns[4] != 2 {
+		t.Fatalf("width-4 runs = %d, want 2 (got %v)", s.WidthRuns[4], s.WidthRuns)
+	}
+}
+
+func TestPoolMetricsSteals(t *testing.T) {
+	p := NewPool(2).EnableMetrics()
+	var slowOnce sync.Once
+	// One goroutine stalls on its first task; the other must claim beyond its
+	// fair share of the remaining 15, which the steal counter records.
+	p.Run(0, 16, func(i int) {
+		slowOnce.Do(func() { time.Sleep(20 * time.Millisecond) })
+	})
+	if s := p.Stats(); s.Steals == 0 {
+		t.Fatalf("no steals recorded under an imbalanced run: %+v", s)
+	}
+}
+
+func TestPoolNilAndUnmeteredStats(t *testing.T) {
+	var nilPool *Pool
+	if s := nilPool.EnableMetrics().Stats(); !reflect.DeepEqual(s, PoolStats{}) {
+		t.Fatalf("nil pool stats = %+v", s)
+	}
+	p := NewPool(4)
+	p.Run(0, 8, func(i int) {})
+	if s := p.Stats(); !reflect.DeepEqual(s, PoolStats{}) {
+		t.Fatalf("unmetered pool recorded stats: %+v", s)
 	}
 }
