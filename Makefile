@@ -22,7 +22,7 @@ bench-baseline:
 bench-check:
 	$(GO) run ./cmd/hebench -count $(BENCH_COUNT) -json BENCH_current.json
 	$(GO) run ./cmd/benchdiff -base BENCH_baseline.json -cur BENCH_current.json \
-		-ops ntt_forward,mul_relin,engine_throughput
+		-ops ntt_forward,mul_relin,engine_throughput,cluster_throughput_1,cluster_throughput_2,cluster_throughput_4
 
 lint:
 	golangci-lint run ./...

@@ -27,12 +27,16 @@ func main() {
 	jsonPath := flag.String("json", "", "write the report to this file (default: stdout)")
 	engineOps := flag.Int("engine-ops", 24, "Mult count per engine-throughput sample")
 	engineWorkers := flag.Int("engine-workers", 2, "engine worker-pool size")
+	clusterTenants := flag.Int("cluster-tenants", 48, "tenants sharded across the cluster-throughput scenario")
+	clusterOps := flag.Int("cluster-ops", 96, "total Mult count per cluster-throughput sample")
 	flag.Parse()
 
 	rep, err := hebench.RunSmoke(hebench.SmokeConfig{
-		Count:         *count,
-		EngineOps:     *engineOps,
-		EngineWorkers: *engineWorkers,
+		Count:          *count,
+		EngineOps:      *engineOps,
+		EngineWorkers:  *engineWorkers,
+		ClusterTenants: *clusterTenants,
+		ClusterOps:     *clusterOps,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "hebench:", err)

@@ -37,6 +37,8 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
@@ -52,15 +54,43 @@ func main() {
 	paper := flag.Bool("paper", false, "use the paper parameter set (n = 4096) instead of the small test set")
 	tmod := flag.Uint64("t", 65537, "plaintext modulus")
 	seed := flag.Uint64("seed", 42, "deterministic key seed shared with the client")
-	workers := flag.Int("workers", 0, "worker pool size, one simulated co-processor each (0 = NumCPU; the paper's platform is 2)")
+	workers := flag.Int("workers", runtime.NumCPU(), "worker pool size, one simulated co-processor each (the paper's platform is 2)")
 	queueDepth := flag.Int("queue-depth", 64, "admission queue bound; a full queue rejects with an overload error")
 	deadline := flag.Duration("deadline", 0, "default per-request deadline (0 = none)")
 	maxBatch := flag.Int("batch", 8, "max compatible ops dispatched to a worker as one batch")
 	keyCache := flag.Int("keycache", 8, "per-worker evaluation-key cache slots (LRU)")
+	tenants := flag.String("tenants", "", "comma-separated extra tenant namespaces to register the seed-derived keys under (cluster deployments replicate keys to every node this way)")
+	nodeID := flag.String("node-id", "", "node name advertised in info replies and used as the cluster ring identity (default: the bound address)")
 	readTimeout := flag.Duration("read-timeout", cloud.DefaultReadTimeout, "per-request read deadline on client connections")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown budget for in-flight work")
 	debugAddr := flag.String("debug-addr", "", "listen address for the HTTP debug endpoint (expvar + pprof); empty disables it")
 	flag.Parse()
+
+	// Validate before building anything: a nonsensical flag is a usage
+	// error (exit 2), not a crash or a silently misbehaving server.
+	switch {
+	case *workers <= 0:
+		usageError(fmt.Errorf("-workers must be positive, got %d", *workers))
+	case *queueDepth <= 0:
+		usageError(fmt.Errorf("-queue-depth must be positive, got %d", *queueDepth))
+	case *maxBatch <= 0:
+		usageError(fmt.Errorf("-batch must be positive, got %d", *maxBatch))
+	case *keyCache <= 0:
+		usageError(fmt.Errorf("-keycache must be positive, got %d", *keyCache))
+	case *deadline < 0:
+		usageError(fmt.Errorf("-deadline must not be negative, got %v", *deadline))
+	case *deadline > 0 && *deadline < time.Millisecond:
+		usageError(fmt.Errorf("-deadline %v is below 1ms; every request would expire before execution", *deadline))
+	case *readTimeout <= 0:
+		usageError(fmt.Errorf("-read-timeout must be positive, got %v", *readTimeout))
+	case *drainTimeout <= 0:
+		usageError(fmt.Errorf("-drain-timeout must be positive, got %v", *drainTimeout))
+	}
+	for _, tn := range tenantList(*tenants) {
+		if len(tn) > cloud.MaxTenantLen {
+			usageError(fmt.Errorf("-tenants entry %q longer than %d bytes", tn, cloud.MaxTenantLen))
+		}
+	}
 
 	cfg := fv.TestConfig(*tmod)
 	if *paper {
@@ -91,17 +121,25 @@ func main() {
 		fatal(err)
 	}
 	logger := log.New(os.Stderr, "", log.LstdFlags)
-	eng.SetRelinKey(cloud.DefaultTenant, rk)
+	// Register the seed-derived keys under the default tenant and every
+	// -tenants namespace: in a cluster, each node holds every tenant's keys
+	// (full replication), so a tenant's requests can fail over to any ring
+	// replica. The secret key itself never leaves this key-derivation step;
+	// the engine keeps only key-switching material.
+	galois := make([]*fv.GaloisKey, 0, 3)
+	for _, g := range []int{3, 9, 2*params.N() - 1} {
+		galois = append(galois, kg.GenGaloisKey(sk, g))
+	}
+	for _, tenant := range append([]string{cloud.DefaultTenant}, tenantList(*tenants)...) {
+		eng.SetRelinKey(tenant, rk)
+		for _, gk := range galois {
+			eng.SetGaloisKey(tenant, gk)
+		}
+	}
 
 	srv := cloud.NewServer(params, eng, logger)
 	srv.ReadTimeout = *readTimeout
-	// Install rotation keys for the common Galois elements (clients would
-	// upload these alongside the relin key). The secret key itself never
-	// leaves this key-derivation step; the engine keeps only key-switching
-	// material.
-	for _, g := range []int{3, 9, 2*params.N() - 1} {
-		srv.SetGaloisKey(kg.GenGaloisKey(sk, g))
-	}
+	srv.NodeID = *nodeID
 	if *debugAddr != "" {
 		mux := http.NewServeMux()
 		mux.Handle("/debug/vars", expvar.Handler())
@@ -130,8 +168,11 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	logger.Printf("heserver: listening on %s (n=%d, log q=%d, %d workers, queue %d, seed %d)",
-		bound, params.N(), params.LogQ(), eng.Workers(), *queueDepth, *seed)
+	if srv.NodeID == "" {
+		srv.NodeID = bound
+	}
+	logger.Printf("heserver: %s listening on %s (n=%d, log q=%d, %d workers, queue %d, seed %d, tenants %v)",
+		srv.NodeID, bound, params.N(), params.LogQ(), eng.Workers(), *queueDepth, *seed, eng.Tenants())
 
 	sigs := make(chan os.Signal, 1)
 	signal.Notify(sigs, syscall.SIGUSR1, syscall.SIGINT, syscall.SIGTERM)
@@ -168,6 +209,25 @@ func dumpStats(logger *log.Logger, eng *engine.Engine) {
 		return
 	}
 	fmt.Fprintf(os.Stderr, "heserver engine stats: %s\n", out)
+}
+
+// tenantList splits the -tenants flag, dropping empties.
+func tenantList(s string) []string {
+	var out []string
+	for _, t := range strings.Split(s, ",") {
+		if t = strings.TrimSpace(t); t != "" {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// usageError prints the problem plus usage and exits 2, the conventional
+// bad-invocation status.
+func usageError(err error) {
+	fmt.Fprintln(os.Stderr, "heserver:", err)
+	flag.Usage()
+	os.Exit(2)
 }
 
 func fatal(err error) {

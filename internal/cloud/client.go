@@ -1,6 +1,8 @@
 package cloud
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"net"
 	"time"
@@ -8,76 +10,255 @@ import (
 	"repro/internal/fv"
 )
 
+// DialTimeout bounds connection establishment in Dial/DialTenant.
+const DialTimeout = 5 * time.Second
+
 // Client is a connection to the cloud service. It is not safe for
 // concurrent use; open one client per goroutine (the server multiplexes).
 type Client struct {
 	conn   net.Conn
 	params *fv.Params
+	ver    uint8
+	tenant string
+	nextID uint64
+	broken bool // a transport error or cancellation desynced the stream
 }
 
-// Dial connects to the service.
+// Dial connects to the service speaking protocol v2 under the default
+// tenant.
 func Dial(addr string, params *fv.Params) (*Client, error) {
-	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	return DialTenant(addr, params, "")
+}
+
+// DialTenant connects to the service speaking protocol v2; every request is
+// issued under the given evaluation-key namespace.
+func DialTenant(addr string, params *fv.Params, tenant string) (*Client, error) {
+	if len(tenant) > MaxTenantLen {
+		return nil, fmt.Errorf("cloud: tenant %q longer than %d bytes", tenant, MaxTenantLen)
+	}
+	conn, err := net.DialTimeout("tcp", addr, DialTimeout)
 	if err != nil {
 		return nil, err
 	}
-	return &Client{conn: conn, params: params}, nil
+	return &Client{conn: conn, params: params, ver: ProtoV2, tenant: tenant}, nil
+}
+
+// DialV1 connects speaking the legacy v1 framing, for servers that predate
+// the tenant-aware protocol. v1 has no tenant or request-ID fields; the
+// server serves such clients under the default tenant.
+func DialV1(addr string, params *fv.Params) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, DialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{conn: conn, params: params, ver: ProtoV1}, nil
 }
 
 // Close closes the connection.
 func (c *Client) Close() error { return c.conn.Close() }
 
-// do runs one request/response exchange.
-func (c *Client) do(cmd uint8, a, b *fv.Ciphertext) (*Response, error) {
-	if err := WriteRequest(c.conn, c.params, &Request{Cmd: cmd, A: a, B: b}); err != nil {
+// Tenant returns the namespace this client issues requests under.
+func (c *Client) Tenant() string { return c.tenant }
+
+// SetTenant changes the namespace for subsequent requests (v2 clients only;
+// on a v1 client only "" is valid). Connection pools use this to reuse one
+// connection across tenants.
+func (c *Client) SetTenant(tenant string) error {
+	if len(tenant) > MaxTenantLen {
+		return fmt.Errorf("cloud: tenant %q longer than %d bytes", tenant, MaxTenantLen)
+	}
+	if c.ver < ProtoV2 && tenant != "" {
+		return fmt.Errorf("cloud: protocol v1 cannot carry tenant %q", tenant)
+	}
+	c.tenant = tenant
+	return nil
+}
+
+// Broken reports whether the connection's request/response stream can no
+// longer be trusted (a transport error, a cancellation mid-exchange, or a
+// response-ID mismatch). A broken client must be closed, not reused.
+func (c *Client) Broken() bool { return c.broken }
+
+// watch arranges for ctx cancellation to interrupt conn I/O by slamming the
+// deadline to now. The returned stop function must be called when the
+// exchange ends; the per-exchange deadline reset in Do clears any deadline a
+// late-firing watcher leaves behind.
+func (c *Client) watch(ctx context.Context) func() {
+	if ctx.Done() == nil {
+		return func() {}
+	}
+	done := make(chan struct{})
+	go func() {
+		select {
+		case <-ctx.Done():
+			c.conn.SetDeadline(time.Now())
+		case <-done:
+		}
+	}()
+	return func() { close(done) }
+}
+
+// Do runs one request/response exchange under ctx. The request's Ver, ID,
+// and Tenant fields are filled in from the client (a non-empty req.Tenant
+// overrides the client default). A context deadline is honored via the
+// connection deadline, so a hung server cannot block the caller past it; on
+// cancellation or any transport error the client is marked Broken. A
+// server-reported failure is returned as *ServerError with the result
+// response.
+func (c *Client) Do(ctx context.Context, req *Request) (*Response, error) {
+	if c.broken {
+		return nil, fmt.Errorf("cloud: client connection is broken")
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	resp, err := ReadResponse(c.conn, c.params)
+	req.Ver = c.ver
+	if req.Tenant == "" {
+		req.Tenant = c.tenant
+	}
+	if c.ver >= ProtoV2 {
+		c.nextID++
+		req.ID = c.nextID
+	}
+	if d, ok := ctx.Deadline(); ok {
+		c.conn.SetDeadline(d)
+	} else {
+		c.conn.SetDeadline(time.Time{})
+	}
+	stop := c.watch(ctx)
+	defer stop()
+
+	if err := WriteRequest(c.conn, c.params, req); err != nil {
+		c.broken = true
+		return nil, c.ctxErr(ctx, err)
+	}
+	resp, err := ReadResponseV(c.conn, c.params, req.Ver)
 	if err != nil {
-		return nil, err
+		c.broken = true
+		return nil, c.ctxErr(ctx, err)
+	}
+	if req.Ver >= ProtoV2 && resp.ID != req.ID {
+		c.broken = true
+		return nil, fmt.Errorf("cloud: response ID %d for request %d (stream desync)", resp.ID, req.ID)
 	}
 	if resp.Err != "" {
-		return nil, fmt.Errorf("cloud: server error: %s", resp.Err)
+		return resp, &ServerError{Code: resp.Code, Msg: resp.Err}
 	}
 	return resp, nil
 }
 
-// Add asks the cloud to add two ciphertexts.
-func (c *Client) Add(a, b *fv.Ciphertext) (*fv.Ciphertext, time.Duration, error) {
-	resp, err := c.do(CmdAdd, a, b)
+// ctxErr prefers the context's error over the I/O error it provoked, so
+// callers see context.DeadlineExceeded instead of a bare network timeout.
+// The connection deadline is set to the context deadline, so the two timers
+// race by a few microseconds: a network timeout at or past the context
+// deadline is the context expiring even when ctx.Err() has not flipped yet.
+func (c *Client) ctxErr(ctx context.Context, err error) error {
+	if cerr := ctx.Err(); cerr != nil {
+		return fmt.Errorf("cloud: %w (%v)", cerr, err)
+	}
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		if d, ok := ctx.Deadline(); ok && !time.Now().Before(d) {
+			return fmt.Errorf("cloud: %w (%v)", context.DeadlineExceeded, err)
+		}
+	}
+	return err
+}
+
+// AddCtx asks the cloud to add two ciphertexts, honoring ctx.
+func (c *Client) AddCtx(ctx context.Context, a, b *fv.Ciphertext) (*fv.Ciphertext, time.Duration, error) {
+	resp, err := c.Do(ctx, &Request{Cmd: CmdAdd, A: a, B: b})
 	if err != nil {
 		return nil, 0, err
 	}
 	return resp.Result, time.Duration(resp.ComputeNanos), nil
 }
 
-// Mul asks the cloud to multiply two ciphertexts (relinearized server-side).
-func (c *Client) Mul(a, b *fv.Ciphertext) (*fv.Ciphertext, time.Duration, error) {
-	resp, err := c.do(CmdMul, a, b)
+// MulCtx asks the cloud to multiply two ciphertexts (relinearized
+// server-side), honoring ctx.
+func (c *Client) MulCtx(ctx context.Context, a, b *fv.Ciphertext) (*fv.Ciphertext, time.Duration, error) {
+	resp, err := c.Do(ctx, &Request{Cmd: CmdMul, A: a, B: b})
 	if err != nil {
 		return nil, 0, err
 	}
 	return resp.Result, time.Duration(resp.ComputeNanos), nil
+}
+
+// RotateCtx asks the cloud to apply the Galois automorphism g (the server
+// must hold the matching key), honoring ctx.
+func (c *Client) RotateCtx(ctx context.Context, a *fv.Ciphertext, g int) (*fv.Ciphertext, time.Duration, error) {
+	resp, err := c.Do(ctx, &Request{Cmd: CmdRotate, G: uint32(g), A: a})
+	if err != nil {
+		return nil, 0, err
+	}
+	return resp.Result, time.Duration(resp.ComputeNanos), nil
+}
+
+// PingCtx verifies the service is alive, honoring ctx.
+func (c *Client) PingCtx(ctx context.Context) error {
+	_, err := c.Do(ctx, &Request{Cmd: CmdPing})
+	return err
+}
+
+// Info asks a v2 server what it is: protocol version, node ID, worker count,
+// and the tenants with registered evaluation keys.
+func (c *Client) Info(ctx context.Context) (*ServerInfo, error) {
+	if c.ver < ProtoV2 {
+		return nil, fmt.Errorf("cloud: info requires protocol v2")
+	}
+	if c.broken {
+		return nil, fmt.Errorf("cloud: client connection is broken")
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if d, ok := ctx.Deadline(); ok {
+		c.conn.SetDeadline(d)
+	} else {
+		c.conn.SetDeadline(time.Time{})
+	}
+	stop := c.watch(ctx)
+	defer stop()
+	c.nextID++
+	req := &Request{Cmd: CmdInfo, Ver: c.ver, ID: c.nextID, Tenant: c.tenant}
+	if err := WriteRequest(c.conn, c.params, req); err != nil {
+		c.broken = true
+		return nil, c.ctxErr(ctx, err)
+	}
+	id, info, err := ReadInfoResponse(c.conn)
+	if err != nil {
+		if _, ok := err.(*ServerError); !ok {
+			c.broken = true
+		}
+		return nil, c.ctxErr(ctx, err)
+	}
+	if id != req.ID {
+		c.broken = true
+		return nil, fmt.Errorf("cloud: info response ID %d for request %d (stream desync)", id, req.ID)
+	}
+	return info, nil
+}
+
+// Add asks the cloud to add two ciphertexts.
+func (c *Client) Add(a, b *fv.Ciphertext) (*fv.Ciphertext, time.Duration, error) {
+	return c.AddCtx(context.Background(), a, b)
+}
+
+// Mul asks the cloud to multiply two ciphertexts (relinearized server-side).
+func (c *Client) Mul(a, b *fv.Ciphertext) (*fv.Ciphertext, time.Duration, error) {
+	return c.MulCtx(context.Background(), a, b)
 }
 
 // Rotate asks the cloud to apply the Galois automorphism g (the server must
 // hold the matching key).
 func (c *Client) Rotate(a *fv.Ciphertext, g int) (*fv.Ciphertext, time.Duration, error) {
-	if err := WriteRequest(c.conn, c.params, &Request{Cmd: CmdRotate, G: uint32(g), A: a}); err != nil {
-		return nil, 0, err
-	}
-	resp, err := ReadResponse(c.conn, c.params)
-	if err != nil {
-		return nil, 0, err
-	}
-	if resp.Err != "" {
-		return nil, 0, fmt.Errorf("cloud: server error: %s", resp.Err)
-	}
-	return resp.Result, time.Duration(resp.ComputeNanos), nil
+	return c.RotateCtx(context.Background(), a, g)
 }
 
 // Ping verifies the service is alive.
 func (c *Client) Ping() error {
-	_, err := c.do(CmdPing, nil, nil)
-	return err
+	return c.PingCtx(context.Background())
 }

@@ -6,15 +6,43 @@
 // paper targets ("make the Arm processor a server for executing different
 // homomorphic applications in the cloud, using this FPGA-based
 // co-processor").
+//
+// # Wire protocol versions
+//
+// Two framings coexist on the same port:
+//
+//	v1 ("HEAT"): magic, command byte, payload. No tenant, no request ID.
+//	v2 ("HEA2"): magic, version byte, command byte, request ID (8 bytes LE),
+//	             tenant (1-byte length + UTF-8 bytes), payload.
+//
+// The compatibility rule: a server answers in the version the request
+// arrived in, and a v1 request is served under the default tenant ("") with
+// request ID 0. New clients default to v2; v1 stays on the wire unchanged so
+// pre-cluster clients keep working. v2 responses additionally echo the
+// request ID and carry an error code that distinguishes retryable
+// unavailability (overload, shutdown, queue-deadline) from application
+// errors, which is what the cluster router keys failover on.
 package cloud
 
 import (
 	"encoding/binary"
+	"encoding/json"
 	"fmt"
 	"io"
 
 	"repro/internal/fv"
 )
+
+// Protocol versions. ProtoV1 is the original framing; ProtoV2 adds the
+// request ID and tenant fields the cluster layer routes on.
+const (
+	ProtoV1 uint8 = 1
+	ProtoV2 uint8 = 2
+)
+
+// MaxTenantLen bounds the tenant field of a v2 request (it is
+// length-prefixed with one byte, and routers hash it on every request).
+const MaxTenantLen = 128
 
 // Command codes of the wire protocol.
 const (
@@ -22,41 +50,83 @@ const (
 	CmdMul    uint8 = 2
 	CmdPing   uint8 = 3
 	CmdRotate uint8 = 4 // Galois automorphism; G carries the element
+	CmdInfo   uint8 = 5 // server capability advertisement (v2 only)
 
 	statusOK  uint8 = 0
 	statusErr uint8 = 1
 )
 
-// protocolMagic guards against a client speaking to the wrong service.
-var protocolMagic = [4]byte{'H', 'E', 'A', 'T'}
+// Error codes carried by v2 error responses. v1 responses have no code and
+// decode as CodeApp.
+const (
+	// CodeApp is a deterministic application error (bad operand, missing
+	// evaluation key); retrying elsewhere would fail the same way.
+	CodeApp uint8 = 0
+	// CodeUnavailable means this node could not serve the request right now
+	// (overloaded, shutting down, queue deadline expired). The operation did
+	// not execute; an idempotent request may be retried on a replica.
+	CodeUnavailable uint8 = 1
+)
+
+// Protocol magics: v1 and v2 framing share the port and are told apart by
+// the first four bytes.
+var (
+	protocolMagic   = [4]byte{'H', 'E', 'A', 'T'}
+	protocolMagicV2 = [4]byte{'H', 'E', 'A', '2'}
+)
 
 // MaxRequestBytes returns the upper bound of one serialized request under
-// params: magic + command + Galois element, plus two ciphertexts of at most
-// three elements each. ReadRequest refuses to consume more than this from
-// the connection, so a malicious or corrupted stream cannot make the server
-// read (or allocate) without bound.
+// params: the larger v2 header (magic + version + command + request ID +
+// tenant + Galois element) plus two ciphertexts of at most three elements
+// each. ReadRequest refuses to consume more than this from the connection,
+// so a malicious or corrupted stream cannot make the server read (or
+// allocate) without bound.
 func MaxRequestBytes(params *fv.Params) int {
 	ctMax := 8 + 3*params.QBasis.K()*params.N()*4
-	return 4 + 1 + 4 + 2*ctMax
+	return 4 + 1 + 1 + 8 + 1 + MaxTenantLen + 4 + 2*ctMax
 }
 
 // Request is one homomorphic operation on uploaded ciphertexts.
 type Request struct {
-	Cmd  uint8
-	G    uint32 // Galois element (CmdRotate only)
-	A, B *fv.Ciphertext
+	Cmd uint8
+	G   uint32 // Galois element (CmdRotate only)
+	// Ver selects the wire framing; 0 and ProtoV1 write v1, ProtoV2 writes
+	// v2 with the ID and Tenant fields below.
+	Ver    uint8
+	ID     uint64 // request ID, echoed in the v2 response
+	Tenant string // evaluation-key namespace; "" is the default tenant
+	A, B   *fv.Ciphertext
 }
 
-// WriteRequest serializes a request.
+// WriteRequest serializes a request in the framing req.Ver selects.
 func WriteRequest(w io.Writer, params *fv.Params, req *Request) error {
-	if _, err := w.Write(protocolMagic[:]); err != nil {
-		return err
+	if req.Ver >= ProtoV2 {
+		if len(req.Tenant) > MaxTenantLen {
+			return fmt.Errorf("cloud: tenant %q longer than %d bytes", req.Tenant, MaxTenantLen)
+		}
+		hdr := make([]byte, 0, 4+1+1+8+1+len(req.Tenant))
+		hdr = append(hdr, protocolMagicV2[:]...)
+		hdr = append(hdr, ProtoV2, req.Cmd)
+		hdr = binary.LittleEndian.AppendUint64(hdr, req.ID)
+		hdr = append(hdr, byte(len(req.Tenant)))
+		hdr = append(hdr, req.Tenant...)
+		if _, err := w.Write(hdr); err != nil {
+			return err
+		}
+	} else {
+		if _, err := w.Write(protocolMagic[:]); err != nil {
+			return err
+		}
+		if _, err := w.Write([]byte{req.Cmd}); err != nil {
+			return err
+		}
 	}
-	if _, err := w.Write([]byte{req.Cmd}); err != nil {
-		return err
-	}
+	return writeRequestBody(w, params, req)
+}
+
+func writeRequestBody(w io.Writer, params *fv.Params, req *Request) error {
 	switch req.Cmd {
-	case CmdPing:
+	case CmdPing, CmdInfo:
 		return nil
 	case CmdRotate:
 		var g [4]byte
@@ -72,21 +142,58 @@ func WriteRequest(w io.Writer, params *fv.Params, req *Request) error {
 	return req.B.WriteTo(w, params)
 }
 
-// ReadRequest deserializes a request. It reads at most
+// ReadRequest deserializes a request in either framing. It reads at most
 // MaxRequestBytes(params) from r; a message claiming more than that fails
 // with an unexpected-EOF error instead of wedging the reader.
 func ReadRequest(r io.Reader, params *fv.Params) (*Request, error) {
 	r = io.LimitReader(r, int64(MaxRequestBytes(params)))
-	var hdr [5]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+	var magic [4]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
 		return nil, err
 	}
-	if [4]byte(hdr[:4]) != protocolMagic {
-		return nil, fmt.Errorf("cloud: bad protocol magic %q", hdr[:4])
+	req := &Request{}
+	switch magic {
+	case protocolMagic:
+		req.Ver = ProtoV1
+		var cmd [1]byte
+		if _, err := io.ReadFull(r, cmd[:]); err != nil {
+			return nil, err
+		}
+		req.Cmd = cmd[0]
+	case protocolMagicV2:
+		var hdr [10]byte // version, command, request ID
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			return nil, err
+		}
+		if hdr[0] != ProtoV2 {
+			return nil, fmt.Errorf("cloud: unsupported protocol version %d", hdr[0])
+		}
+		req.Ver = hdr[0]
+		req.Cmd = hdr[1]
+		req.ID = binary.LittleEndian.Uint64(hdr[2:])
+		var tlen [1]byte
+		if _, err := io.ReadFull(r, tlen[:]); err != nil {
+			return nil, err
+		}
+		if int(tlen[0]) > MaxTenantLen {
+			return nil, fmt.Errorf("cloud: tenant length %d exceeds %d", tlen[0], MaxTenantLen)
+		}
+		tenant := make([]byte, tlen[0])
+		if _, err := io.ReadFull(r, tenant); err != nil {
+			return nil, err
+		}
+		req.Tenant = string(tenant)
+	default:
+		return nil, fmt.Errorf("cloud: bad protocol magic %q", magic[:])
 	}
-	req := &Request{Cmd: hdr[4]}
+
 	switch req.Cmd {
 	case CmdPing:
+		return req, nil
+	case CmdInfo:
+		if req.Ver < ProtoV2 {
+			return nil, fmt.Errorf("cloud: %s requires protocol v2", cmdName(req.Cmd))
+		}
 		return req, nil
 	case CmdRotate:
 		var g [4]byte
@@ -113,19 +220,48 @@ func ReadRequest(r io.Reader, params *fv.Params) (*Request, error) {
 	return req, nil
 }
 
+func cmdName(cmd uint8) string {
+	switch cmd {
+	case CmdAdd:
+		return "add"
+	case CmdMul:
+		return "mul"
+	case CmdPing:
+		return "ping"
+	case CmdRotate:
+		return "rotate"
+	case CmdInfo:
+		return "info"
+	}
+	return fmt.Sprintf("cmd(%d)", cmd)
+}
+
 // Response carries the result ciphertext and the simulated hardware timing.
 type Response struct {
-	Err          string
+	Err  string
+	Code uint8 // error code (v2; CodeApp or CodeUnavailable)
+	// Ver selects the response framing and must match the request's version;
+	// ID echoes the request ID on v2.
+	Ver          uint8
+	ID           uint64
 	Result       *fv.Ciphertext
 	ComputeNanos uint64 // simulated co-processor latency
 	Worker       uint32 // which application core / co-processor served it
 }
 
-// WriteResponse serializes a response.
+// WriteResponse serializes a response in the framing resp.Ver selects.
 func WriteResponse(w io.Writer, params *fv.Params, resp *Response) error {
 	if resp.Err != "" {
 		if _, err := w.Write([]byte{statusErr}); err != nil {
 			return err
+		}
+		if resp.Ver >= ProtoV2 {
+			var id [9]byte
+			binary.LittleEndian.PutUint64(id[:8], resp.ID)
+			id[8] = resp.Code
+			if _, err := w.Write(id[:]); err != nil {
+				return err
+			}
 		}
 		msg := []byte(resp.Err)
 		var n [4]byte
@@ -139,6 +275,13 @@ func WriteResponse(w io.Writer, params *fv.Params, resp *Response) error {
 	if _, err := w.Write([]byte{statusOK}); err != nil {
 		return err
 	}
+	if resp.Ver >= ProtoV2 {
+		var id [8]byte
+		binary.LittleEndian.PutUint64(id[:], resp.ID)
+		if _, err := w.Write(id[:]); err != nil {
+			return err
+		}
+	}
 	var meta [12]byte
 	binary.LittleEndian.PutUint64(meta[:8], resp.ComputeNanos)
 	binary.LittleEndian.PutUint32(meta[8:], resp.Worker)
@@ -148,13 +291,28 @@ func WriteResponse(w io.Writer, params *fv.Params, resp *Response) error {
 	return resp.Result.WriteTo(w, params)
 }
 
-// ReadResponse deserializes a response.
+// ReadResponse deserializes a v1 response.
 func ReadResponse(r io.Reader, params *fv.Params) (*Response, error) {
+	return ReadResponseV(r, params, ProtoV1)
+}
+
+// ReadResponseV deserializes a response in the given protocol version — the
+// version of the request it answers, which the caller knows.
+func ReadResponseV(r io.Reader, params *fv.Params, ver uint8) (*Response, error) {
 	var status [1]byte
 	if _, err := io.ReadFull(r, status[:]); err != nil {
 		return nil, err
 	}
+	resp := &Response{Ver: ver}
 	if status[0] == statusErr {
+		if ver >= ProtoV2 {
+			var id [9]byte
+			if _, err := io.ReadFull(r, id[:]); err != nil {
+				return nil, err
+			}
+			resp.ID = binary.LittleEndian.Uint64(id[:8])
+			resp.Code = id[8]
+		}
 		var n [4]byte
 		if _, err := io.ReadFull(r, n[:]); err != nil {
 			return nil, err
@@ -167,7 +325,15 @@ func ReadResponse(r io.Reader, params *fv.Params) (*Response, error) {
 		if _, err := io.ReadFull(r, msg); err != nil {
 			return nil, err
 		}
-		return &Response{Err: string(msg)}, nil
+		resp.Err = string(msg)
+		return resp, nil
+	}
+	if ver >= ProtoV2 {
+		var id [8]byte
+		if _, err := io.ReadFull(r, id[:]); err != nil {
+			return nil, err
+		}
+		resp.ID = binary.LittleEndian.Uint64(id[:])
 	}
 	var meta [12]byte
 	if _, err := io.ReadFull(r, meta[:]); err != nil {
@@ -177,9 +343,78 @@ func ReadResponse(r io.Reader, params *fv.Params) (*Response, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Response{
-		Result:       ct,
-		ComputeNanos: binary.LittleEndian.Uint64(meta[:8]),
-		Worker:       binary.LittleEndian.Uint32(meta[8:]),
-	}, nil
+	resp.Result = ct
+	resp.ComputeNanos = binary.LittleEndian.Uint64(meta[:8])
+	resp.Worker = binary.LittleEndian.Uint32(meta[8:])
+	return resp, nil
 }
+
+// ServerInfo is the CmdInfo reply: what the node is and what it speaks. The
+// cluster layer uses it to discover tenant support; heserver advertises its
+// node ID and registered tenants here.
+type ServerInfo struct {
+	Proto       uint8    `json:"proto"` // highest protocol version served
+	NodeID      string   `json:"node_id,omitempty"`
+	Workers     int      `json:"workers"`
+	TenantAware bool     `json:"tenant_aware"`
+	Tenants     []string `json:"tenants,omitempty"` // namespaces with registered keys
+}
+
+// maxInfoBytes bounds the JSON body of an info response.
+const maxInfoBytes = 1 << 20
+
+// WriteInfoResponse serializes a CmdInfo reply (v2 framing only).
+func WriteInfoResponse(w io.Writer, id uint64, info *ServerInfo) error {
+	body, err := json.Marshal(info)
+	if err != nil {
+		return err
+	}
+	hdr := make([]byte, 0, 1+8+4)
+	hdr = append(hdr, statusOK)
+	hdr = binary.LittleEndian.AppendUint64(hdr, id)
+	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(len(body)))
+	if _, err := w.Write(hdr); err != nil {
+		return err
+	}
+	_, err = w.Write(body)
+	return err
+}
+
+// ReadInfoResponse deserializes a CmdInfo reply.
+func ReadInfoResponse(r io.Reader) (uint64, *ServerInfo, error) {
+	var hdr [13]byte // status, id, length
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	id := binary.LittleEndian.Uint64(hdr[1:9])
+	ln := binary.LittleEndian.Uint32(hdr[9:])
+	if ln > maxInfoBytes {
+		return 0, nil, fmt.Errorf("cloud: implausible info length %d", ln)
+	}
+	body := make([]byte, ln)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return 0, nil, err
+	}
+	if hdr[0] == statusErr {
+		return id, nil, &ServerError{Msg: string(body)}
+	}
+	var info ServerInfo
+	if err := json.Unmarshal(body, &info); err != nil {
+		return 0, nil, fmt.Errorf("cloud: decoding info: %w", err)
+	}
+	return id, &info, nil
+}
+
+// ServerError is an error the server reported in a response — the node is
+// alive and speaking the protocol; the operation itself failed.
+type ServerError struct {
+	Code uint8
+	Msg  string
+}
+
+func (e *ServerError) Error() string { return "cloud: server error: " + e.Msg }
+
+// Retryable reports whether the failure was node-local unavailability
+// (overload, shutdown) rather than a deterministic application error, so an
+// idempotent request may be retried on a replica.
+func (e *ServerError) Retryable() bool { return e.Code == CodeUnavailable }

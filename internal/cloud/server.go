@@ -2,6 +2,7 @@ package cloud
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"log"
 	"net"
@@ -12,9 +13,8 @@ import (
 	"repro/internal/fv"
 )
 
-// DefaultTenant is the engine key namespace this server registers and
-// serves operations under. The wire protocol has no tenant field yet; every
-// connection shares one namespace.
+// DefaultTenant is the engine key namespace v1 requests (and v2 requests
+// with an empty tenant field) are served under.
 const DefaultTenant = ""
 
 // DefaultReadTimeout bounds how long the server waits for one complete
@@ -34,6 +34,9 @@ type Server struct {
 	Logger *log.Logger
 	// ReadTimeout overrides DefaultReadTimeout when positive.
 	ReadTimeout time.Duration
+	// NodeID names this node in CmdInfo replies and cluster membership; set
+	// it before Serve.
+	NodeID string
 
 	ln      net.Listener
 	mu      sync.Mutex
@@ -195,6 +198,13 @@ func (s *Server) handle(conn net.Conn) {
 		if err != nil {
 			return // client closed, stalled past the deadline, or spoke garbage
 		}
+		if req.Cmd == CmdInfo {
+			if err := WriteInfoResponse(conn, req.ID, s.info()); err != nil {
+				s.Logger.Printf("cloud: write info response: %v", err)
+				return
+			}
+			continue
+		}
 		resp := s.process(req)
 		if err := WriteResponse(conn, s.Params, resp); err != nil {
 			s.Logger.Printf("cloud: write response: %v", err)
@@ -203,12 +213,25 @@ func (s *Server) handle(conn net.Conn) {
 	}
 }
 
+// info builds the CmdInfo capability advertisement.
+func (s *Server) info() *ServerInfo {
+	return &ServerInfo{
+		Proto:       ProtoV2,
+		NodeID:      s.NodeID,
+		Workers:     s.Engine.Workers(),
+		TenantAware: true,
+		Tenants:     s.Engine.Tenants(),
+	}
+}
+
 func (s *Server) process(req *Request) *Response {
 	start := time.Now()
+	resp := &Response{Ver: req.Ver, ID: req.ID}
 	if req.Cmd == CmdPing {
-		return &Response{Result: fv.NewCiphertext(s.Params, 2)}
+		resp.Result = fv.NewCiphertext(s.Params, 2)
+		return resp
 	}
-	op := engine.Op{Tenant: DefaultTenant, A: req.A, B: req.B}
+	op := engine.Op{Tenant: req.Tenant, A: req.A, B: req.B}
 	switch req.Cmd {
 	case CmdAdd:
 		op.Kind = engine.OpAdd
@@ -218,20 +241,34 @@ func (s *Server) process(req *Request) *Response {
 		op.Kind = engine.OpRotate
 		op.G = int(req.G)
 	default:
-		return &Response{Err: fmt.Sprintf("unknown command %d", req.Cmd)}
+		resp.Err = fmt.Sprintf("unknown command %d", req.Cmd)
+		return resp
 	}
 	res, err := s.Engine.Submit(context.Background(), op)
 	if err != nil {
-		return &Response{Err: err.Error()}
+		resp.Err = err.Error()
+		resp.Code = errCode(err)
+		return resp
 	}
 	s.mu.Lock()
 	s.served++
 	s.mu.Unlock()
-	s.Logger.Printf("cloud: cmd %d served in %v by worker %d (batch %d, simulated HW %.3f ms)",
-		req.Cmd, time.Since(start), res.Worker, res.Batch, res.Report.ComputeSeconds()*1e3)
-	return &Response{
-		Result:       res.Ct,
-		ComputeNanos: uint64(res.Report.ComputeSeconds() * 1e9),
-		Worker:       uint32(res.Worker),
+	s.Logger.Printf("cloud: cmd %d tenant %q served in %v by worker %d (batch %d, simulated HW %.3f ms)",
+		req.Cmd, req.Tenant, time.Since(start), res.Worker, res.Batch, res.Report.ComputeSeconds()*1e3)
+	resp.Result = res.Ct
+	resp.ComputeNanos = uint64(res.Report.ComputeSeconds() * 1e9)
+	resp.Worker = uint32(res.Worker)
+	return resp
+}
+
+// errCode maps an engine error to a wire error code: lifecycle and capacity
+// failures are retryable on a replica (the op never executed); everything
+// else — a missing key, a malformed operand — is deterministic.
+func errCode(err error) uint8 {
+	if errors.Is(err, engine.ErrOverloaded) ||
+		errors.Is(err, engine.ErrShutdown) ||
+		errors.Is(err, engine.ErrDeadlineExceeded) {
+		return CodeUnavailable
 	}
+	return CodeApp
 }

@@ -1,0 +1,67 @@
+package cluster
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/cloud"
+	"repro/internal/fv"
+)
+
+// Client is the cluster-aware client: the same operations as cloud.Client,
+// but routed — each call names a tenant, the consistent-hash ring picks that
+// tenant's shard, and failures transparently fail over to replicas within
+// the bounded retry budget. Safe for concurrent use (connections are
+// pooled per backend).
+type Client struct {
+	r *Router
+}
+
+// NewClient builds a router over the configured backends and wraps it.
+func NewClient(cfg Config) (*Client, error) {
+	r, err := NewRouter(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{r: r}, nil
+}
+
+// Router exposes the underlying router (stats, candidate inspection).
+func (c *Client) Router() *Router { return c.r }
+
+// Close stops health probing and drops pooled connections.
+func (c *Client) Close() error { return c.r.Close() }
+
+// Add adds two ciphertexts on the tenant's shard.
+func (c *Client) Add(ctx context.Context, tenant string, a, b *fv.Ciphertext) (*fv.Ciphertext, time.Duration, error) {
+	resp, err := c.r.Do(ctx, &cloud.Request{Cmd: cloud.CmdAdd, Tenant: tenant, A: a, B: b})
+	if err != nil {
+		return nil, 0, err
+	}
+	return resp.Result, time.Duration(resp.ComputeNanos), nil
+}
+
+// Mul multiplies two ciphertexts on the tenant's shard (relinearized with
+// the tenant's key, which must be registered on the shard's replicas).
+func (c *Client) Mul(ctx context.Context, tenant string, a, b *fv.Ciphertext) (*fv.Ciphertext, time.Duration, error) {
+	resp, err := c.r.Do(ctx, &cloud.Request{Cmd: cloud.CmdMul, Tenant: tenant, A: a, B: b})
+	if err != nil {
+		return nil, 0, err
+	}
+	return resp.Result, time.Duration(resp.ComputeNanos), nil
+}
+
+// Rotate applies the Galois automorphism g on the tenant's shard.
+func (c *Client) Rotate(ctx context.Context, tenant string, a *fv.Ciphertext, g int) (*fv.Ciphertext, time.Duration, error) {
+	resp, err := c.r.Do(ctx, &cloud.Request{Cmd: cloud.CmdRotate, Tenant: tenant, G: uint32(g), A: a})
+	if err != nil {
+		return nil, 0, err
+	}
+	return resp.Result, time.Duration(resp.ComputeNanos), nil
+}
+
+// Ping verifies at least one backend is routable and alive.
+func (c *Client) Ping(ctx context.Context) error { return c.r.Ping(ctx) }
+
+// Stats snapshots the cluster (membership, health, counters).
+func (c *Client) Stats() RouterStats { return c.r.Stats() }

@@ -1,0 +1,208 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// newTestHealth builds a manager without starting probe loops, so tests can
+// drive the state machine deterministically via report{Success,Failure}.
+func newTestHealth(t *testing.T, cfg HealthConfig, backends ...string) (*healthManager, *obs.Registry) {
+	t.Helper()
+	reg := obs.NewRegistry()
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	return newHealthManager(cfg, backends, func(context.Context, string) error {
+		return errors.New("probe should not run in this test")
+	}, reg, nil), reg
+}
+
+func stateOf(t *testing.T, hm *healthManager, id string) State {
+	t.Helper()
+	b := hm.backend(id)
+	if b == nil {
+		t.Fatalf("unknown backend %q", id)
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+func TestHealthEjectionAfterThreshold(t *testing.T) {
+	hm, reg := newTestHealth(t, HealthConfig{FailThreshold: 3}, "n1", "n2")
+	boom := errors.New("connection refused")
+
+	hm.reportFailure("n1", boom)
+	hm.reportFailure("n1", boom)
+	if got := stateOf(t, hm, "n1"); got != StateHealthy {
+		t.Fatalf("state %v after 2/3 failures, want healthy", got)
+	}
+	if !hm.routable("n1") {
+		t.Fatal("below threshold must stay routable")
+	}
+	hm.reportFailure("n1", boom)
+	if got := stateOf(t, hm, "n1"); got != StateEjected {
+		t.Fatalf("state %v after threshold failures, want ejected", got)
+	}
+	if hm.routable("n1") {
+		t.Fatal("ejected node must not be routable")
+	}
+	if hm.routable("n2") == false {
+		t.Fatal("unrelated node must stay routable")
+	}
+	if got := reg.Snapshot().Counters["cluster_ejections"]; got != 1 {
+		t.Fatalf("cluster_ejections = %d, want 1", got)
+	}
+	st := hm.status("n1")
+	if st.State != "ejected" || st.Ejections != 1 || st.LastErr != boom.Error() {
+		t.Fatalf("status = %+v", st)
+	}
+}
+
+func TestHealthSuccessResetsFailureStreak(t *testing.T) {
+	hm, _ := newTestHealth(t, HealthConfig{FailThreshold: 2}, "n1")
+	boom := errors.New("i/o timeout")
+	// Interleaved successes keep the streak below threshold forever.
+	for i := 0; i < 10; i++ {
+		hm.reportFailure("n1", boom)
+		hm.reportSuccess("n1")
+	}
+	if got := stateOf(t, hm, "n1"); got != StateHealthy {
+		t.Fatalf("state %v after interleaved outcomes, want healthy", got)
+	}
+}
+
+func TestHealthHalfOpenRecovery(t *testing.T) {
+	hm, reg := newTestHealth(t, HealthConfig{FailThreshold: 1}, "n1")
+	boom := errors.New("connection reset")
+
+	hm.reportFailure("n1", boom)
+	if got := stateOf(t, hm, "n1"); got != StateEjected {
+		t.Fatalf("state %v, want ejected", got)
+	}
+	// First success after ejection: probation, already routable again.
+	hm.reportSuccess("n1")
+	if got := stateOf(t, hm, "n1"); got != StateHalfOpen {
+		t.Fatalf("state %v, want half-open", got)
+	}
+	if !hm.routable("n1") {
+		t.Fatal("half-open node must be routable (probation)")
+	}
+	// Second success: fully healthy, ejection counter unchanged.
+	hm.reportSuccess("n1")
+	if got := stateOf(t, hm, "n1"); got != StateHealthy {
+		t.Fatalf("state %v, want healthy", got)
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["cluster_recoveries"] != 1 {
+		t.Fatalf("cluster_recoveries = %d, want 1", snap.Counters["cluster_recoveries"])
+	}
+}
+
+func TestHealthHalfOpenFailureDoublesBackoff(t *testing.T) {
+	interval := 100 * time.Millisecond
+	hm, _ := newTestHealth(t, HealthConfig{FailThreshold: 1, Interval: interval, BackoffMax: 350 * time.Millisecond}, "n1")
+	boom := errors.New("broken pipe")
+
+	backoffOf := func() time.Duration {
+		b := hm.backend("n1")
+		b.mu.Lock()
+		defer b.mu.Unlock()
+		return b.backoff
+	}
+
+	hm.reportFailure("n1", boom) // healthy -> ejected, backoff = interval
+	if got := backoffOf(); got != interval {
+		t.Fatalf("backoff %v after first ejection, want %v", got, interval)
+	}
+	hm.reportFailure("n1", boom) // still ejected, backoff doubles
+	if got := backoffOf(); got != 2*interval {
+		t.Fatalf("backoff %v, want %v", got, 2*interval)
+	}
+	hm.reportSuccess("n1") // ejected -> half-open
+	hm.reportFailure("n1", boom)
+	// Probation failure re-ejects with a doubled backoff, capped at max.
+	if got, want := backoffOf(), 350*time.Millisecond; got != want {
+		t.Fatalf("backoff %v after half-open failure, want capped %v", got, want)
+	}
+	if got := stateOf(t, hm, "n1"); got != StateEjected {
+		t.Fatalf("state %v after half-open failure, want ejected", got)
+	}
+	if got := hm.status("n1").Ejections; got != 2 {
+		t.Fatalf("ejections = %d, want 2", got)
+	}
+	// Full recovery resets the backoff to the base interval.
+	hm.reportSuccess("n1")
+	hm.reportSuccess("n1")
+	if got := backoffOf(); got != interval {
+		t.Fatalf("backoff %v after recovery, want reset to %v", got, interval)
+	}
+}
+
+// TestHealthProbeLoop runs the real probe loop against a switchable fake
+// backend: the loop must eject it while it is down and recover it after it
+// comes back, without any live traffic.
+func TestHealthProbeLoop(t *testing.T) {
+	var (
+		mu   sync.Mutex
+		down bool
+	)
+	setDown := func(v bool) { mu.Lock(); down = v; mu.Unlock() }
+	probe := func(context.Context, string) error {
+		mu.Lock()
+		defer mu.Unlock()
+		if down {
+			return errors.New("connection refused")
+		}
+		return nil
+	}
+	reg := obs.NewRegistry()
+	hm := newHealthManager(HealthConfig{
+		Interval:      5 * time.Millisecond,
+		Timeout:       50 * time.Millisecond,
+		FailThreshold: 2,
+		BackoffMax:    20 * time.Millisecond,
+		Seed:          7,
+	}, []string{"n1"}, probe, reg, nil)
+	hm.start()
+	defer hm.stop()
+
+	waitState := func(want State) {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for time.Now().Before(deadline) {
+			if stateOf(t, hm, "n1") == want {
+				return
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		t.Fatalf("backend never reached %v (now %v)", want, stateOf(t, hm, "n1"))
+	}
+
+	setDown(true)
+	waitState(StateEjected)
+	setDown(false)
+	waitState(StateHealthy)
+	if reg.Snapshot().Counters["cluster_recoveries"] == 0 {
+		t.Fatal("no recovery counted")
+	}
+}
+
+func TestHealthUnknownBackend(t *testing.T) {
+	hm, _ := newTestHealth(t, HealthConfig{}, "n1")
+	// Reports for unknown IDs are ignored, not a panic.
+	hm.reportSuccess("ghost")
+	hm.reportFailure("ghost", errors.New("x"))
+	if hm.routable("ghost") {
+		t.Fatal("unknown backend must not be routable")
+	}
+	if got := hm.status("ghost").State; got != "unknown" {
+		t.Fatalf("status %q, want unknown", got)
+	}
+}

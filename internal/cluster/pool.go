@@ -1,0 +1,74 @@
+package cluster
+
+import (
+	"sync"
+
+	"repro/internal/cloud"
+)
+
+// connPool keeps idle protocol connections to one backend. A cloud.Client
+// is single-stream (one request/response in flight), so the pool hands out
+// exclusive ownership: get removes a connection, put returns it. Broken
+// connections (transport error, cancellation mid-exchange) are closed
+// instead of pooled, and dialing happens on demand — after a backend dies,
+// the pool holds nothing and every attempt fails fast at dial time.
+type connPool struct {
+	dial func() (*cloud.Client, error)
+
+	mu     sync.Mutex
+	idle   []*cloud.Client
+	max    int // idle cap; extra returns are closed
+	closed bool
+}
+
+func newConnPool(max int, dial func() (*cloud.Client, error)) *connPool {
+	if max <= 0 {
+		max = 4
+	}
+	return &connPool{dial: dial, max: max}
+}
+
+// get returns an idle connection or dials a new one.
+func (p *connPool) get() (*cloud.Client, error) {
+	p.mu.Lock()
+	if n := len(p.idle); n > 0 && !p.closed {
+		c := p.idle[n-1]
+		p.idle = p.idle[:n-1]
+		p.mu.Unlock()
+		return c, nil
+	}
+	p.mu.Unlock()
+	return p.dial()
+}
+
+// put returns a connection to the pool; broken connections and overflow
+// beyond the idle cap are closed.
+func (p *connPool) put(c *cloud.Client) {
+	if c == nil {
+		return
+	}
+	if c.Broken() {
+		c.Close()
+		return
+	}
+	p.mu.Lock()
+	if p.closed || len(p.idle) >= p.max {
+		p.mu.Unlock()
+		c.Close()
+		return
+	}
+	p.idle = append(p.idle, c)
+	p.mu.Unlock()
+}
+
+// close drops every idle connection and refuses future returns.
+func (p *connPool) close() {
+	p.mu.Lock()
+	idle := p.idle
+	p.idle = nil
+	p.closed = true
+	p.mu.Unlock()
+	for _, c := range idle {
+		c.Close()
+	}
+}

@@ -1,0 +1,152 @@
+// Package cluster turns N independent heserver backends into one service:
+// the scale-out rung above the paper's Fig. 11 platform. The paper doubles
+// throughput by putting two co-processors behind one Arm server; this layer
+// puts many such servers behind one router, sharding tenants across them
+// with a consistent-hash ring so a tenant's evaluation keys and key-cache
+// locality stick to a node, health-checking every backend so a dead node is
+// ejected and its tenants reroute to replicas, and bounding every attempt
+// with a deadline so failures surface as fast errors instead of hangs.
+package cluster
+
+import (
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// DefaultVirtualNodes is the ring points per member. More points smooth the
+// key distribution (the classic consistent-hashing trade: memory and
+// rebalance granularity vs. balance).
+const DefaultVirtualNodes = 128
+
+// Ring is a consistent-hash ring with virtual nodes, keyed by tenant. It
+// answers "which nodes own this tenant, in preference order" such that
+//
+//   - the answer is deterministic given the membership set (any router
+//     instance computes the same placement), and
+//   - membership changes rebalance minimally: removing a node remaps only
+//     the tenants that node owned, adding a node steals only the tenants it
+//     now owns — everyone else keeps their placement and key-cache locality.
+//
+// Health is deliberately not the ring's concern: the ring places over the
+// full membership, and the router skips unhealthy nodes when walking the
+// preference order, so a node's recovery restores its original tenants.
+type Ring struct {
+	vnodes int
+
+	mu      sync.RWMutex
+	members map[string]struct{}
+	points  []ringPoint // sorted by hash
+}
+
+type ringPoint struct {
+	hash uint64
+	node string
+}
+
+// NewRing builds an empty ring with the given virtual-node count per member
+// (<= 0 selects DefaultVirtualNodes).
+func NewRing(vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVirtualNodes
+	}
+	return &Ring{vnodes: vnodes, members: make(map[string]struct{})}
+}
+
+// hash64 is FNV-1a with a 64-bit avalanche finalizer. FNV is stable across
+// processes and Go versions, which the deterministic-placement property
+// depends on (maphash would differ per process) — but on the short,
+// near-identical strings of virtual-node labels its raw output clusters in
+// the high bits, skewing the ring badly. The finalizer (murmur3's fmix64)
+// spreads every input bit across the whole word.
+func hash64(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}
+
+// Add inserts a member (idempotent).
+func (r *Ring) Add(node string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.members[node]; ok {
+		return
+	}
+	r.members[node] = struct{}{}
+	for i := 0; i < r.vnodes; i++ {
+		r.points = append(r.points, ringPoint{hash: hash64(node + "#" + strconv.Itoa(i)), node: node})
+	}
+	sort.Slice(r.points, func(i, j int) bool { return r.points[i].hash < r.points[j].hash })
+}
+
+// Remove deletes a member (idempotent).
+func (r *Ring) Remove(node string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.members[node]; !ok {
+		return
+	}
+	delete(r.members, node)
+	kept := r.points[:0]
+	for _, p := range r.points {
+		if p.node != node {
+			kept = append(kept, p)
+		}
+	}
+	r.points = kept
+}
+
+// Members returns the membership, sorted.
+func (r *Ring) Members() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.members))
+	for n := range r.members {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Size returns the member count.
+func (r *Ring) Size() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.members)
+}
+
+// Lookup returns up to n distinct nodes for the key, in preference order:
+// the first is the primary (the first virtual node clockwise from the key's
+// hash), the rest are the failover replicas encountered continuing
+// clockwise. n <= 0 or beyond membership is clamped to the membership size.
+func (r *Ring) Lookup(key string, n int) []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.points) == 0 {
+		return nil
+	}
+	if n <= 0 || n > len(r.members) {
+		n = len(r.members)
+	}
+	h := hash64(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	out := make([]string, 0, n)
+	seen := make(map[string]struct{}, n)
+	for i := 0; i < len(r.points) && len(out) < n; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if _, dup := seen[p.node]; dup {
+			continue
+		}
+		seen[p.node] = struct{}{}
+		out = append(out, p.node)
+	}
+	return out
+}

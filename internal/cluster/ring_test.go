@@ -1,0 +1,133 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func ringKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("tenant-%04d", i)
+	}
+	return keys
+}
+
+func TestRingDeterministicAcrossInstances(t *testing.T) {
+	build := func() *Ring {
+		r := NewRing(64)
+		// Insertion order must not matter.
+		return r
+	}
+	a, b := build(), build()
+	a.Add("n1")
+	a.Add("n2")
+	a.Add("n3")
+	b.Add("n3")
+	b.Add("n1")
+	b.Add("n2")
+	for _, k := range ringKeys(500) {
+		ga, gb := a.Lookup(k, 2), b.Lookup(k, 2)
+		if len(ga) != 2 || len(gb) != 2 || ga[0] != gb[0] || ga[1] != gb[1] {
+			t.Fatalf("placement differs across instances for %q: %v vs %v", k, ga, gb)
+		}
+	}
+}
+
+func TestRingReplicasDistinct(t *testing.T) {
+	r := NewRing(64)
+	for _, n := range []string{"n1", "n2", "n3", "n4"} {
+		r.Add(n)
+	}
+	for _, k := range ringKeys(200) {
+		got := r.Lookup(k, 3)
+		if len(got) != 3 {
+			t.Fatalf("Lookup(%q, 3) = %v", k, got)
+		}
+		seen := map[string]bool{}
+		for _, n := range got {
+			if seen[n] {
+				t.Fatalf("duplicate node in preference list for %q: %v", k, got)
+			}
+			seen[n] = true
+		}
+	}
+	// Asking for more replicas than members clamps.
+	if got := r.Lookup("x", 10); len(got) != 4 {
+		t.Fatalf("clamped lookup returned %d nodes, want 4", len(got))
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	r := NewRing(128)
+	nodes := []string{"n1", "n2", "n3"}
+	for _, n := range nodes {
+		r.Add(n)
+	}
+	counts := map[string]int{}
+	keys := ringKeys(3000)
+	for _, k := range keys {
+		counts[r.Lookup(k, 1)[0]]++
+	}
+	fair := len(keys) / len(nodes)
+	for _, n := range nodes {
+		if c := counts[n]; c < fair/2 || c > fair*2 {
+			t.Fatalf("node %s owns %d of %d keys (fair share %d): ring is badly unbalanced", n, c, len(keys), fair)
+		}
+	}
+}
+
+// TestRingMinimalRebalance is the consistent-hashing contract: removing a
+// node remaps only the keys that node owned, and adding it back restores
+// the original placement exactly.
+func TestRingMinimalRebalance(t *testing.T) {
+	r := NewRing(64)
+	for _, n := range []string{"n1", "n2", "n3"} {
+		r.Add(n)
+	}
+	keys := ringKeys(2000)
+	before := make(map[string]string, len(keys))
+	for _, k := range keys {
+		before[k] = r.Lookup(k, 1)[0]
+	}
+
+	r.Remove("n2")
+	moved := 0
+	for _, k := range keys {
+		now := r.Lookup(k, 1)[0]
+		if before[k] == "n2" {
+			moved++
+			if now == "n2" {
+				t.Fatalf("key %q still maps to removed node", k)
+			}
+		} else if now != before[k] {
+			t.Fatalf("key %q moved from %s to %s although its node stayed in the ring", k, before[k], now)
+		}
+	}
+	if moved == 0 {
+		t.Fatal("removed node owned no keys; test is vacuous")
+	}
+
+	r.Add("n2")
+	for _, k := range keys {
+		if got := r.Lookup(k, 1)[0]; got != before[k] {
+			t.Fatalf("key %q at %s after re-add, want original %s", k, got, before[k])
+		}
+	}
+}
+
+func TestRingEmptyAndIdempotent(t *testing.T) {
+	r := NewRing(0)
+	if got := r.Lookup("x", 1); got != nil {
+		t.Fatalf("empty ring returned %v", got)
+	}
+	r.Add("n1")
+	r.Add("n1") // duplicate add must not double the vnodes
+	if got := len(r.points); got != DefaultVirtualNodes {
+		t.Fatalf("duplicate Add produced %d points, want %d", got, DefaultVirtualNodes)
+	}
+	r.Remove("ghost") // removing a non-member is a no-op
+	if r.Size() != 1 {
+		t.Fatalf("membership %d after no-op remove, want 1", r.Size())
+	}
+}

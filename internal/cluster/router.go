@@ -1,0 +1,315 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/cloud"
+	"repro/internal/fv"
+	"repro/internal/obs"
+)
+
+// Errors returned by the router.
+var (
+	// ErrNoBackends means no routable replica exists for the tenant — every
+	// candidate's circuit is open.
+	ErrNoBackends = errors.New("cluster: no routable backend for tenant")
+	// ErrAttemptsExhausted wraps the last attempt's error once the retry
+	// budget is spent.
+	ErrAttemptsExhausted = errors.New("cluster: retry attempts exhausted")
+)
+
+// Backend names one heserver node.
+type Backend struct {
+	ID   string // ring identity; stable across restarts
+	Addr string // host:port of the wire protocol
+}
+
+// Config parameterizes NewRouter. Zero values select the documented
+// defaults.
+type Config struct {
+	// Params is the FV parameter set shared by every backend. Required.
+	Params *fv.Params
+	// Backends is the cluster membership. Required, non-empty, unique IDs.
+	Backends []Backend
+	// VirtualNodes per member on the ring (default DefaultVirtualNodes).
+	VirtualNodes int
+	// Replicas is the length of each tenant's preference list — the
+	// failover candidates walked when the primary is down (default 2,
+	// clamped to the membership size).
+	Replicas int
+	// MaxAttempts bounds how many backends one request may try (default:
+	// Replicas). Only idempotent operations are retried, and only on
+	// transport failures or retryable (unavailable) server errors.
+	MaxAttempts int
+	// AttemptTimeout is the per-attempt deadline layered under the caller's
+	// context (default 2s).
+	AttemptTimeout time.Duration
+	// PoolSize is the idle-connection cap per backend (default 4).
+	PoolSize int
+	// Health parameterizes probing and circuit breaking.
+	Health HealthConfig
+	// Registry receives ring/health/retry counters and per-backend latency
+	// histograms (default: a private registry, visible via Stats).
+	Registry *obs.Registry
+	// Logger, when set, logs backend state transitions.
+	Logger *log.Logger
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.Params == nil {
+		return c, errors.New("cluster: Config.Params is required")
+	}
+	if len(c.Backends) == 0 {
+		return c, errors.New("cluster: Config.Backends is required")
+	}
+	seen := make(map[string]struct{}, len(c.Backends))
+	for _, b := range c.Backends {
+		if b.ID == "" || b.Addr == "" {
+			return c, fmt.Errorf("cluster: backend needs ID and Addr, got %+v", b)
+		}
+		if _, dup := seen[b.ID]; dup {
+			return c, fmt.Errorf("cluster: duplicate backend ID %q", b.ID)
+		}
+		seen[b.ID] = struct{}{}
+	}
+	if c.Replicas <= 0 {
+		c.Replicas = 2
+	}
+	if c.Replicas > len(c.Backends) {
+		c.Replicas = len(c.Backends)
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = c.Replicas
+	}
+	if c.AttemptTimeout <= 0 {
+		c.AttemptTimeout = 2 * time.Second
+	}
+	if c.Registry == nil {
+		c.Registry = obs.NewRegistry()
+	}
+	return c, nil
+}
+
+// Router forwards wire-protocol requests to the backend owning the request's
+// tenant, failing over to ring replicas when a node is ejected or an attempt
+// fails retryably. It is safe for concurrent use.
+type Router struct {
+	cfg    Config
+	ring   *Ring
+	addrs  map[string]string // backend ID -> address
+	pools  map[string]*connPool
+	health *healthManager
+	reg    *obs.Registry
+	logger *log.Logger
+}
+
+// NewRouter builds the ring over the membership, a connection pool and a
+// health probe loop per backend, and starts probing.
+func NewRouter(cfg Config) (*Router, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	r := &Router{
+		cfg:    cfg,
+		ring:   NewRing(cfg.VirtualNodes),
+		addrs:  make(map[string]string, len(cfg.Backends)),
+		pools:  make(map[string]*connPool, len(cfg.Backends)),
+		reg:    cfg.Registry,
+		logger: cfg.Logger,
+	}
+	ids := make([]string, 0, len(cfg.Backends))
+	for _, b := range cfg.Backends {
+		b := b
+		r.ring.Add(b.ID)
+		r.addrs[b.ID] = b.Addr
+		r.pools[b.ID] = newConnPool(cfg.PoolSize, func() (*cloud.Client, error) {
+			return cloud.Dial(b.Addr, cfg.Params)
+		})
+		ids = append(ids, b.ID)
+	}
+	r.health = newHealthManager(cfg.Health, ids, r.probe, r.reg, r.onStateChange)
+	r.health.start()
+	return r, nil
+}
+
+// Close stops the health probes and drops every pooled connection.
+func (r *Router) Close() error {
+	r.health.stop()
+	for _, p := range r.pools {
+		p.close()
+	}
+	return nil
+}
+
+func (r *Router) onStateChange(id string, from, to State) {
+	if r.logger != nil {
+		r.logger.Printf("cluster: backend %s %s -> %s", id, from, to)
+	}
+}
+
+// probe is the health check: one Ping over a pooled connection.
+func (r *Router) probe(ctx context.Context, id string) error {
+	cl, err := r.pools[id].get()
+	if err != nil {
+		return err
+	}
+	err = cl.PingCtx(ctx)
+	r.pools[id].put(cl) // put closes it if the ping broke the stream
+	return err
+}
+
+// Candidates returns the tenant's preference list (primary first), before
+// health filtering.
+func (r *Router) Candidates(tenant string) []string {
+	return r.ring.Lookup(tenant, r.cfg.Replicas)
+}
+
+// isIdempotent reports whether a command may be retried on a replica after
+// a failure whose outcome is unknown. Every current op is a pure function
+// of its operands; the check is the seam for future stateful commands.
+func isIdempotent(cmd uint8) bool {
+	switch cmd {
+	case cloud.CmdAdd, cloud.CmdMul, cloud.CmdRotate, cloud.CmdPing:
+		return true
+	}
+	return false
+}
+
+// Do routes one request to the tenant's shard and returns the backend's
+// response. Failed attempts — transport errors and retryable server errors —
+// fail over to the next replica in the preference list, bounded by
+// MaxAttempts and the caller's context; deterministic server errors (e.g. a
+// missing evaluation key) return immediately. The response's BackendID is
+// recorded in the router's per-backend latency histograms.
+func (r *Router) Do(ctx context.Context, req *cloud.Request) (*cloud.Response, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	r.reg.Counter("cluster_requests").Add(1)
+	candidates := r.ring.Lookup(req.Tenant, r.cfg.Replicas)
+	if len(candidates) == 0 {
+		r.reg.Counter("cluster_errors").Add(1)
+		return nil, ErrNoBackends
+	}
+	var (
+		lastErr  error
+		attempts int
+	)
+	for i, node := range candidates {
+		if err := ctx.Err(); err != nil {
+			r.reg.Counter("cluster_errors").Add(1)
+			return nil, err
+		}
+		if attempts >= r.cfg.MaxAttempts {
+			break
+		}
+		if !r.health.routable(node) {
+			if i == 0 {
+				// The tenant's primary is ejected; a replica takes over.
+				r.reg.Counter("cluster_reroutes").Add(1)
+			}
+			continue
+		}
+		if attempts > 0 {
+			r.reg.Counter("cluster_retries").Add(1)
+		}
+		attempts++
+		resp, err := r.tryOn(ctx, node, req)
+		if err == nil {
+			return resp, nil
+		}
+		lastErr = err
+		var se *cloud.ServerError
+		if errors.As(err, &se) && !se.Retryable() {
+			// Deterministic application error: every replica would fail the
+			// same way.
+			r.reg.Counter("cluster_errors").Add(1)
+			return nil, err
+		}
+		if !isIdempotent(req.Cmd) {
+			r.reg.Counter("cluster_errors").Add(1)
+			return nil, err
+		}
+	}
+	r.reg.Counter("cluster_errors").Add(1)
+	if lastErr == nil {
+		return nil, fmt.Errorf("%w %q (candidates %v all ejected)", ErrNoBackends, req.Tenant, candidates)
+	}
+	return nil, fmt.Errorf("%w after %d attempt(s): %w", ErrAttemptsExhausted, attempts, lastErr)
+}
+
+// tryOn runs one attempt against one backend under the per-attempt deadline,
+// reporting the outcome to the health manager.
+func (r *Router) tryOn(ctx context.Context, node string, req *cloud.Request) (*cloud.Response, error) {
+	actx, cancel := context.WithTimeout(ctx, r.cfg.AttemptTimeout)
+	defer cancel()
+	cl, err := r.pools[node].get()
+	if err != nil {
+		r.health.reportFailure(node, err)
+		return nil, fmt.Errorf("cluster: dial %s: %w", node, err)
+	}
+	start := time.Now()
+	resp, err := cl.Do(actx, req)
+	r.reg.Histogram("cluster_backend_latency:" + node).Observe(time.Since(start))
+	r.pools[node].put(cl) // closes it when the exchange broke the stream
+	if err != nil {
+		var se *cloud.ServerError
+		if errors.As(err, &se) {
+			// The node answered: it is alive, even if overloaded. Only
+			// transport-level failures feed the circuit breaker.
+			r.health.reportSuccess(node)
+			return nil, err
+		}
+		r.health.reportFailure(node, err)
+		return nil, fmt.Errorf("cluster: backend %s: %w", node, err)
+	}
+	r.health.reportSuccess(node)
+	return resp, nil
+}
+
+// Ping checks that at least one routable backend answers. It walks the
+// membership in sorted order.
+func (r *Router) Ping(ctx context.Context) error {
+	var lastErr error
+	for _, node := range r.ring.Members() {
+		if !r.health.routable(node) {
+			continue
+		}
+		actx, cancel := context.WithTimeout(ctx, r.cfg.AttemptTimeout)
+		err := r.probe(actx, node)
+		cancel()
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+	}
+	if lastErr == nil {
+		return ErrNoBackends
+	}
+	return lastErr
+}
+
+// RouterStats is a point-in-time snapshot of membership, per-backend health,
+// and the router's counters and latency histograms.
+type RouterStats struct {
+	Members  []string        `json:"members"`
+	Backends []BackendStatus `json:"backends"`
+	Obs      obs.Snapshot    `json:"obs"`
+}
+
+// Stats snapshots the router.
+func (r *Router) Stats() RouterStats {
+	members := r.ring.Members()
+	s := RouterStats{Members: members, Obs: r.reg.Snapshot()}
+	for _, id := range members {
+		st := r.health.status(id)
+		st.Addr = r.addrs[id]
+		s.Backends = append(s.Backends, st)
+	}
+	return s
+}

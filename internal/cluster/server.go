@@ -1,0 +1,208 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/cloud"
+	"repro/internal/fv"
+)
+
+// Server exposes the existing wire protocol in front of the ring: clients
+// speak to it exactly as they would to one heserver (v1 or v2), and every
+// request is routed to the backend owning its tenant. This is what
+// cmd/herouter serves. The accept/drain skeleton mirrors cloud.Server.
+type Server struct {
+	Params *fv.Params
+	Router *Router
+	Logger *log.Logger
+	// NodeID names the router in CmdInfo replies.
+	NodeID string
+	// ReadTimeout overrides cloud.DefaultReadTimeout when positive.
+	ReadTimeout time.Duration
+
+	ln      net.Listener
+	mu      sync.Mutex
+	served  uint64
+	closing bool
+	conns   map[net.Conn]struct{}
+	quit    chan struct{}
+	wg      sync.WaitGroup
+}
+
+// NewServer prepares a protocol front-end over a router.
+func NewServer(params *fv.Params, router *Router, logger *log.Logger) *Server {
+	if logger == nil {
+		logger = log.New(discard{}, "", 0)
+	}
+	return &Server{
+		Params: params,
+		Router: router,
+		Logger: logger,
+		conns:  make(map[net.Conn]struct{}),
+		quit:   make(chan struct{}),
+	}
+}
+
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }
+
+// Listen binds the address and returns the bound address (useful with ":0").
+func (s *Server) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.ln = ln
+	return ln.Addr().String(), nil
+}
+
+// Serve accepts connections until Shutdown.
+func (s *Server) Serve() error {
+	if s.ln == nil {
+		return fmt.Errorf("cluster: Serve before Listen")
+	}
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closing := s.closing
+			s.mu.Unlock()
+			if closing {
+				s.wg.Wait()
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.closing {
+			s.mu.Unlock()
+			conn.Close()
+			continue
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go func() {
+			defer s.wg.Done()
+			s.handle(conn)
+		}()
+	}
+}
+
+// Shutdown stops accepting, unblocks idle readers, and waits for in-flight
+// exchanges to flush (or ctx to expire).
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	already := s.closing
+	s.closing = true
+	if !already {
+		close(s.quit)
+		for c := range s.conns {
+			c.SetReadDeadline(time.Now())
+		}
+	}
+	ln := s.ln
+	s.mu.Unlock()
+	if ln != nil && !already {
+		ln.Close()
+	}
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Served returns the number of operations routed successfully.
+func (s *Server) Served() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.served
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	timeout := s.ReadTimeout
+	if timeout <= 0 {
+		timeout = cloud.DefaultReadTimeout
+	}
+	for {
+		conn.SetReadDeadline(time.Now().Add(timeout))
+		select {
+		case <-s.quit:
+			return
+		default:
+		}
+		req, err := cloud.ReadRequest(conn, s.Params)
+		if err != nil {
+			return
+		}
+		if err := s.serveOne(conn, req); err != nil {
+			s.Logger.Printf("cluster: write response: %v", err)
+			return
+		}
+	}
+}
+
+// serveOne answers a single request, echoing the client's protocol version
+// and request ID whatever the backend exchange did to the request struct.
+func (s *Server) serveOne(conn net.Conn, req *cloud.Request) error {
+	clientVer, clientID := req.Ver, req.ID
+	switch req.Cmd {
+	case cloud.CmdInfo:
+		info := &cloud.ServerInfo{
+			Proto:       cloud.ProtoV2,
+			NodeID:      s.NodeID,
+			Workers:     s.Router.ring.Size(),
+			TenantAware: true,
+		}
+		return cloud.WriteInfoResponse(conn, clientID, info)
+	case cloud.CmdPing:
+		// A router is alive when at least one backend is: answer locally so
+		// health probes against the router reflect cluster availability.
+		ctx, cancel := context.WithTimeout(context.Background(), s.Router.cfg.AttemptTimeout)
+		err := s.Router.Ping(ctx)
+		cancel()
+		resp := &cloud.Response{Ver: clientVer, ID: clientID}
+		if err != nil {
+			resp.Err = err.Error()
+			resp.Code = cloud.CodeUnavailable
+		} else {
+			resp.Result = fv.NewCiphertext(s.Params, 2)
+		}
+		return cloud.WriteResponse(conn, s.Params, resp)
+	}
+	resp, err := s.Router.Do(context.Background(), req)
+	if err != nil {
+		out := &cloud.Response{Ver: clientVer, ID: clientID, Err: err.Error(), Code: cloud.CodeUnavailable}
+		var se *cloud.ServerError
+		if errors.As(err, &se) {
+			out.Code = se.Code
+			out.Err = se.Msg
+		}
+		return cloud.WriteResponse(conn, s.Params, out)
+	}
+	s.mu.Lock()
+	s.served++
+	s.mu.Unlock()
+	resp.Ver, resp.ID = clientVer, clientID
+	return cloud.WriteResponse(conn, s.Params, resp)
+}

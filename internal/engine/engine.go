@@ -180,6 +180,9 @@ type Engine struct {
 	batches chan *batch
 	m       metrics
 
+	tmu     sync.RWMutex // guards tenants
+	tenants map[string]*tenantCounters
+
 	mu     sync.RWMutex // guards closed vs. queue sends
 	closed bool
 	wg     sync.WaitGroup // dispatcher + workers
@@ -204,6 +207,7 @@ func New(cfg Config) (*Engine, error) {
 		keys:    newKeyStore(),
 		queue:   make(chan *request, cfg.QueueDepth),
 		batches: make(chan *batch),
+		tenants: make(map[string]*tenantCounters),
 	}
 	for i := 0; i < cfg.Workers; i++ {
 		accel, err := core.New(cfg.Params, cfg.Variant, 1)
@@ -231,6 +235,28 @@ func New(cfg Config) (*Engine, error) {
 
 // Workers returns the pool size.
 func (e *Engine) Workers() int { return len(e.workers) }
+
+// Tenants returns the namespaces with registered evaluation keys, sorted.
+// Servers advertise this so a routing tier can see which tenants a node can
+// serve Mul/Rotate for.
+func (e *Engine) Tenants() []string { return e.keys.names() }
+
+// tenant returns the per-tenant counter block, creating it on first use.
+func (e *Engine) tenant(name string) *tenantCounters {
+	e.tmu.RLock()
+	c := e.tenants[name]
+	e.tmu.RUnlock()
+	if c != nil {
+		return c
+	}
+	e.tmu.Lock()
+	defer e.tmu.Unlock()
+	if c = e.tenants[name]; c == nil {
+		c = &tenantCounters{}
+		e.tenants[name] = c
+	}
+	return c
+}
 
 // SetRelinKey registers (or replaces) the tenant's relinearization key. The
 // key stays in NTT form exactly as generated; workers model the DMA cost of

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"sort"
 	"sync"
 
 	"repro/internal/fv"
@@ -60,6 +61,18 @@ func (s *keyStore) galois(tenant string, g int) *fv.GaloisKey {
 		return t.galois[g]
 	}
 	return nil
+}
+
+// names returns the registered tenant namespaces, sorted.
+func (s *keyStore) names() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.tenants))
+	for name := range s.tenants {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // residentKey identifies one evaluation key in a worker's cache. kind

@@ -34,10 +34,31 @@ type metrics struct {
 	execTime      obs.Histogram
 }
 
+// tenantCounters accumulates per-tenant accounting; all atomics, updated by
+// workers and snapshotted by Stats without locks.
+type tenantCounters struct {
+	completed atomic.Uint64
+	failed    atomic.Uint64
+	keyLoads  atomic.Uint64
+	simCycles atomic.Uint64
+}
+
+// TenantStats is the per-tenant slice of a Stats snapshot: how much load a
+// key namespace has put on this node. The cluster router reads this to see
+// placement and per-tenant load — SimSeconds is the simulated co-processor
+// time the tenant consumed here.
+type TenantStats struct {
+	Completed  uint64
+	Failed     uint64
+	KeyLoads   uint64
+	SimCycles  uint64
+	SimSeconds float64
+}
+
 // WorkerStats is the per-worker accounting slice of a Stats snapshot.
 type WorkerStats struct {
-	Ops      uint64
-	KeyLoads uint64
+	Ops       uint64
+	KeyLoads  uint64
 	SimCycles uint64
 	// SimSeconds is the simulated co-processor busy time (compute plus
 	// evaluation-key streaming) — the denominator of the paper's
@@ -72,6 +93,10 @@ type Stats struct {
 	ExecTime      HistogramStats
 
 	PerWorker []WorkerStats
+
+	// PerTenant maps each key namespace that has sent traffic to its share
+	// of the node's load.
+	PerTenant map[string]TenantStats `json:",omitempty"`
 
 	// Pool is the shared goroutine pool's accounting, present when the
 	// parameter set's pool has metrics enabled (heserver enables it).
@@ -111,6 +136,21 @@ func (e *Engine) Stats() Stats {
 			ResidentKeys: int(w.resident.Load()),
 		})
 	}
+	e.tmu.RLock()
+	if len(e.tenants) > 0 {
+		s.PerTenant = make(map[string]TenantStats, len(e.tenants))
+		for name, tc := range e.tenants {
+			cyc := tc.simCycles.Load()
+			s.PerTenant[name] = TenantStats{
+				Completed:  tc.completed.Load(),
+				Failed:     tc.failed.Load(),
+				KeyLoads:   tc.keyLoads.Load(),
+				SimCycles:  cyc,
+				SimSeconds: hwsim.Cycles(cyc).Seconds(),
+			}
+		}
+	}
+	e.tmu.RUnlock()
 	if pool := e.cfg.Params.Pool; pool.MetricsEnabled() {
 		ps := pool.Stats()
 		s.Pool = &ps

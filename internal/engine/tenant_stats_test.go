@@ -1,0 +1,71 @@
+package engine
+
+import (
+	"context"
+	"testing"
+)
+
+// TestEngineTenantStats: the per-tenant slice of Stats must attribute
+// completions, failures, key loads, and simulated cycles to the tenant that
+// caused them — the accounting the cluster layer's shard placement and the
+// router's per-tenant dashboards are built on.
+func TestEngineTenantStats(t *testing.T) {
+	params := testParams(t)
+	alice := newTenant(t, params, "alice", 21)
+	bob := newTenant(t, params, "bob", 22)
+
+	e := newEngine(t, params, Config{Workers: 1, MaxBatch: 2, KeyCacheSlots: 2})
+	e.SetRelinKey(alice.name, alice.rk)
+	e.SetRelinKey(bob.name, bob.rk)
+
+	do := func(tn *tenant, n int) {
+		for i := 0; i < n; i++ {
+			a := tn.encrypt(params, uint64(i+2), uint64(3000+i))
+			b := tn.encrypt(params, uint64(i+3), uint64(4000+i))
+			if _, err := e.Submit(context.Background(), Op{Kind: OpMul, Tenant: tn.name, A: a, B: b}); err != nil {
+				t.Fatalf("%s op %d: %v", tn.name, i, err)
+			}
+		}
+	}
+	do(alice, 3)
+	do(bob, 5)
+	// A tenant without keys fails, and the failure lands on that tenant.
+	a := alice.encrypt(params, 2, 5000)
+	if _, err := e.Submit(context.Background(), Op{Kind: OpMul, Tenant: "stranger", A: a, B: a}); err == nil {
+		t.Fatal("mul for a keyless tenant succeeded")
+	}
+
+	per := e.Stats().PerTenant
+	if got := per[alice.name]; got.Completed != 3 || got.Failed != 0 {
+		t.Fatalf("alice stats = %+v, want 3 completed", got)
+	}
+	if got := per[bob.name]; got.Completed != 5 || got.Failed != 0 {
+		t.Fatalf("bob stats = %+v, want 5 completed", got)
+	}
+	if got := per["stranger"]; got.Failed != 1 || got.Completed != 0 {
+		t.Fatalf("stranger stats = %+v, want 1 failed", got)
+	}
+	for _, name := range []string{alice.name, bob.name} {
+		ts := per[name]
+		if ts.SimCycles == 0 || ts.SimSeconds <= 0 {
+			t.Fatalf("%s: no simulated time accounted: %+v", name, ts)
+		}
+		if ts.KeyLoads == 0 {
+			t.Fatalf("%s: relin key use accounted no key load: %+v", name, ts)
+		}
+	}
+	// More work means more simulated cycles.
+	if per[bob.name].SimCycles <= per[alice.name].SimCycles {
+		t.Fatalf("bob (5 muls, %d cycles) should out-cycle alice (3 muls, %d cycles)",
+			per[bob.name].SimCycles, per[alice.name].SimCycles)
+	}
+	// Tenants with registered keys are advertised (sorted), traffic or not.
+	names := e.Tenants()
+	want := map[string]bool{alice.name: true, bob.name: true}
+	for _, n := range names {
+		delete(want, n)
+	}
+	if len(want) != 0 {
+		t.Fatalf("Tenants() = %v misses %v", names, want)
+	}
+}

@@ -37,6 +37,7 @@ func (e *Engine) runBatch(w *worker, b *batch) {
 	if e.testExecHook != nil {
 		e.testExecHook(w.id)
 	}
+	tc := e.tenant(b.key.tenant)
 
 	var (
 		rk        *fv.RelinKey
@@ -72,6 +73,7 @@ func (e *Engine) runBatch(w *worker, b *batch) {
 		} else {
 			e.m.keyLoads.Add(1)
 			w.keyLoads.Add(1)
+			tc.keyLoads.Add(1)
 			var bytes int
 			if rk != nil {
 				bytes = core.RelinKeyBytes(e.cfg.Params, rk)
@@ -108,6 +110,7 @@ func (e *Engine) runBatch(w *worker, b *batch) {
 		e.m.execTime.Observe(time.Since(start))
 		if err != nil {
 			e.m.failed.Add(1)
+			tc.failed.Add(1)
 			e.finish(r, nil, err)
 			continue
 		}
@@ -118,6 +121,8 @@ func (e *Engine) runBatch(w *worker, b *batch) {
 		w.ops.Add(1)
 		w.simCycles.Add(uint64(rep.ComputeCycles))
 		e.m.completed.Add(1)
+		tc.completed.Add(1)
+		tc.simCycles.Add(uint64(rep.ComputeCycles) + uint64(rep.KeyLoadCycles))
 		e.finish(r, &Result{
 			Ct:     ct,
 			Report: rep,
@@ -131,8 +136,10 @@ func (e *Engine) runBatch(w *worker, b *batch) {
 
 // failBatch completes every request in b with err.
 func (e *Engine) failBatch(b *batch, err error) {
+	tc := e.tenant(b.key.tenant)
 	for _, r := range b.reqs {
 		e.m.failed.Add(uint64(1))
+		tc.failed.Add(1)
 		e.finish(r, nil, err)
 	}
 }

@@ -1,0 +1,97 @@
+package hebench
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// TestClusterScaling is the scale-out acceptance gate: at the default tenant
+// sharding, two nodes must deliver at least 1.6x the single-node capacity in
+// simulated makespan, and four nodes must beat two. The metric is fully
+// deterministic (ring placement + hardware model + once-per-tenant key
+// loads), so this is an exact check, not a flaky timing one.
+func TestClusterScaling(t *testing.T) {
+	cfg := SmokeConfig{Count: 1}.withDefaults()
+	perOp := map[int]uint64{}
+	for _, nodes := range smokeClusterNodes {
+		res, err := smokeCluster(cfg, nodes)
+		if err != nil {
+			t.Fatalf("%d nodes: %v", nodes, err)
+		}
+		if !res.Deterministic {
+			t.Fatalf("%d nodes: result not marked deterministic", nodes)
+		}
+		if res.SimCycles == 0 || res.NsPerOp <= 0 {
+			t.Fatalf("%d nodes: empty measurement %+v", nodes, res)
+		}
+		if res.PoolWidth != nodes {
+			t.Fatalf("%d nodes: pool width %d", nodes, res.PoolWidth)
+		}
+		perOp[nodes] = res.SimCycles
+	}
+	speedup2 := float64(perOp[1]) / float64(perOp[2])
+	if speedup2 < 1.6 {
+		t.Fatalf("2-node speedup %.2fx < 1.6x (1 node %d cycles/op, 2 nodes %d)",
+			speedup2, perOp[1], perOp[2])
+	}
+	if perOp[4] >= perOp[2] {
+		t.Fatalf("4 nodes (%d cycles/op) no faster than 2 (%d)", perOp[4], perOp[2])
+	}
+	t.Logf("cluster speedup: 2 nodes %.2fx, 4 nodes %.2fx",
+		speedup2, float64(perOp[1])/float64(perOp[4]))
+
+	// Re-measuring must reproduce the numbers bit-for-bit.
+	again, err := smokeCluster(cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.SimCycles != perOp[2] {
+		t.Fatalf("2-node rerun moved: %d -> %d cycles/op", perOp[2], again.SimCycles)
+	}
+}
+
+// TestDeterministicSkipsNormalization: simulated-time ops must not be scaled
+// by the machine-speed calibration ratio — their whole point is machine
+// independence — and the flag must survive a JSON round trip.
+func TestDeterministicSkipsNormalization(t *testing.T) {
+	base := &Report{Schema: ReportSchema, CalibrationNs: 1000, Results: []BenchResult{
+		{Op: "wall_op", NsPerOp: 100},
+		{Op: ClusterOp(2), NsPerOp: 100, SimCycles: 20, Deterministic: true},
+	}}
+	cur := &Report{Schema: ReportSchema, CalibrationNs: 2000, Results: []BenchResult{
+		{Op: "wall_op", NsPerOp: 100},
+		{Op: ClusterOp(2), NsPerOp: 100, SimCycles: 20, Deterministic: true},
+	}}
+	deltas := Compare(base, cur, CompareOptions{Normalize: true})
+	for _, d := range deltas {
+		switch d.Op {
+		case "wall_op":
+			if d.CurNormNs != 50 {
+				t.Fatalf("wall op not normalized: CurNormNs = %v, want 50", d.CurNormNs)
+			}
+		case ClusterOp(2):
+			if d.CurNormNs != 100 {
+				t.Fatalf("deterministic op was normalized: CurNormNs = %v, want 100", d.CurNormNs)
+			}
+			if d.Regressed {
+				t.Fatalf("identical deterministic op regressed: %+v", d)
+			}
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := base.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if r := back.Result(ClusterOp(2)); r == nil || !r.Deterministic {
+		t.Fatalf("Deterministic flag lost in JSON round trip: %+v", r)
+	}
+	if r := back.Result("wall_op"); r == nil || r.Deterministic {
+		t.Fatalf("wall op gained Deterministic flag: %+v", r)
+	}
+}

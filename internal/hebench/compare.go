@@ -89,6 +89,11 @@ func Compare(base, cur *Report, opts CompareOptions) []Delta {
 			BaseSimCycles: b.SimCycles,
 			CurSimCycles:  c.SimCycles,
 		}
+		if b.Deterministic && c.Deterministic {
+			// Simulated-time metric: machine-independent, so the calibration
+			// ratio would only distort it.
+			d.CurNormNs = c.NsPerOp
+		}
 		if b.NsPerOp > 0 {
 			d.WallPct = 100 * (d.CurNormNs - b.NsPerOp) / b.NsPerOp
 		}

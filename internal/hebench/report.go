@@ -21,8 +21,9 @@ import (
 // consumed by cmd/benchdiff and the CI bench-regression gate.
 const ReportSchema = "hebench/v1"
 
-// Canonical smoke-benchmark op names. The CI regression gate compares these
-// three; Compare accepts any subset present in both reports.
+// Canonical smoke-benchmark op names. The CI regression gate compares
+// these plus the cluster_throughput_{1,2,4} trio (see ClusterOp); Compare
+// accepts any subset present in both reports.
 const (
 	OpNTTForward       = "ntt_forward"
 	OpMulRelin         = "mul_relin"
@@ -40,6 +41,10 @@ type BenchResult struct {
 	// Samples are the per-run ns/op values NsPerOp is the median of, kept
 	// so a regression report can show the spread.
 	Samples []float64 `json:"samples_ns,omitempty"`
+	// Deterministic marks an op whose NsPerOp is derived from the simulated
+	// hardware model rather than wall clock; it is machine-independent, so
+	// Compare never applies the calibration normalization to it.
+	Deterministic bool `json:"deterministic,omitempty"`
 }
 
 // Report is the machine-readable benchmark report (BENCH_*.json).
@@ -134,6 +139,12 @@ type SmokeConfig struct {
 	EngineOps int
 	// EngineWorkers sizes the engine pool (default 2, the paper platform).
 	EngineWorkers int
+	// ClusterTenants is the tenant count sharded across the cluster in the
+	// cluster-throughput scenario (default 48).
+	ClusterTenants int
+	// ClusterOps is the total Mult count per cluster-throughput sample
+	// (default 96, spread round-robin over the tenants).
+	ClusterOps int
 }
 
 func (c SmokeConfig) withDefaults() SmokeConfig {
@@ -145,6 +156,12 @@ func (c SmokeConfig) withDefaults() SmokeConfig {
 	}
 	if c.EngineWorkers <= 0 {
 		c.EngineWorkers = 2
+	}
+	if c.ClusterTenants <= 0 {
+		c.ClusterTenants = 48
+	}
+	if c.ClusterOps <= 0 {
+		c.ClusterOps = 96
 	}
 	return c
 }
@@ -180,6 +197,15 @@ func RunSmoke(cfg SmokeConfig) (*Report, error) {
 		return nil, err
 	}
 	rep.Results = []BenchResult{ntt, mul, eng}
+	// Cluster capacity at 1/2/4 nodes: simulated-makespan metrics, so they
+	// gate deterministically on any machine.
+	for _, nodes := range smokeClusterNodes {
+		res, err := smokeCluster(cfg, nodes)
+		if err != nil {
+			return nil, err
+		}
+		rep.Results = append(rep.Results, res)
+	}
 	return rep, nil
 }
 
