@@ -1,7 +1,7 @@
 GO ?= go
 BENCH_COUNT ?= 5
 
-.PHONY: build test race bench-baseline bench-check lint fuzz-smoke
+.PHONY: build test race bench-baseline bench-check lint fuzz-smoke chaos
 
 build:
 	$(GO) build ./...
@@ -27,8 +27,18 @@ bench-check:
 lint:
 	golangci-lint run ./...
 
-# Five-iteration fuzz smoke over the differential fv<->hwsim targets.
+# Five-iteration fuzz smoke over the differential fv<->hwsim targets and the
+# hardened wire-protocol decoders.
 fuzz-smoke:
 	$(GO) test -run=NONE -fuzz=FuzzDiffTransform -fuzztime=5x ./internal/difftest
 	$(GO) test -run=NONE -fuzz=FuzzDiffPointwise -fuzztime=5x ./internal/difftest
 	$(GO) test -run=NONE -fuzz=FuzzDiffMulRelin -fuzztime=5x ./internal/difftest
+	$(GO) test -run=NONE -fuzz=FuzzDecodeRequest -fuzztime=20x ./internal/cloud
+	$(GO) test -run=NONE -fuzz=FuzzDecodeResponse -fuzztime=20x ./internal/cloud
+
+# The chaos suite: pinned-seed randomized fault schedules (BRAM flips, DMA
+# garbles, RPAU kills/stalls, limb corruption, dropped/garbled wire frames)
+# through real encrypt -> evaluate -> decrypt workloads, under the race
+# detector. Pinned seeds make a failure replayable.
+chaos:
+	$(GO) test -race -count=1 -run 'TestChaos' ./internal/faults

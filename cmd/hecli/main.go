@@ -84,18 +84,20 @@ func keygen(dir string, paper bool, tmod uint64) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
+	// The checksummed v2 format: a truncated or bit-flipped key file fails
+	// loudly at load time instead of silently corrupting every operation.
 	if err := writeFile(filepath.Join(dir, "secret.key"), func(f *os.File) error {
-		return fv.WriteSecretKey(f, params, sk)
+		return fv.WriteSecretKeyV2(f, params, sk)
 	}); err != nil {
 		return err
 	}
 	if err := writeFile(filepath.Join(dir, "public.key"), func(f *os.File) error {
-		return fv.WritePublicKey(f, params, pk)
+		return fv.WritePublicKeyV2(f, params, pk)
 	}); err != nil {
 		return err
 	}
 	if err := writeFile(filepath.Join(dir, "relin.key"), func(f *os.File) error {
-		return fv.WriteRelinKey(f, params, rk)
+		return fv.WriteRelinKeyV2(f, params, rk)
 	}); err != nil {
 		return err
 	}

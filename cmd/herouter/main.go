@@ -66,6 +66,8 @@ func main() {
 		usageError(err)
 	}
 	switch {
+	case strings.TrimSpace(*addr) == "":
+		usageError(fmt.Errorf("-addr must not be empty"))
 	case *replicas <= 0:
 		usageError(fmt.Errorf("-replicas must be positive, got %d", *replicas))
 	case *vnodes <= 0:

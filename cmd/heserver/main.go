@@ -64,6 +64,10 @@ func main() {
 	readTimeout := flag.Duration("read-timeout", cloud.DefaultReadTimeout, "per-request read deadline on client connections")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown budget for in-flight work")
 	debugAddr := flag.String("debug-addr", "", "listen address for the HTTP debug endpoint (expvar + pprof); empty disables it")
+	integrity := flag.Bool("integrity", false, "verify co-processor results with Freivalds fingerprints; a mismatch fails the op with a retryable integrity error instead of returning corrupted data")
+	integritySeed := flag.Int64("integrity-seed", 1, "seed for the integrity fingerprint weights")
+	noiseGuard := flag.Bool("noise-guard", false, "reject ops whose client-declared noise budget the noise model predicts would be exhausted")
+	minNoiseBudget := flag.Float64("min-noise-budget", 1.0, "bits of predicted post-op noise budget below which the noise guard rejects (with -noise-guard)")
 	flag.Parse()
 
 	// Validate before building anything: a nonsensical flag is a usage
@@ -85,6 +89,8 @@ func main() {
 		usageError(fmt.Errorf("-read-timeout must be positive, got %v", *readTimeout))
 	case *drainTimeout <= 0:
 		usageError(fmt.Errorf("-drain-timeout must be positive, got %v", *drainTimeout))
+	case *minNoiseBudget <= 0:
+		usageError(fmt.Errorf("-min-noise-budget must be positive, got %v", *minNoiseBudget))
 	}
 	for _, tn := range tenantList(*tenants) {
 		if len(tn) > cloud.MaxTenantLen {
@@ -108,14 +114,18 @@ func main() {
 	sk, _, rk := kg.GenKeys()
 
 	eng, err := engine.New(engine.Config{
-		Params:        params,
-		Variant:       hwsim.VariantHPS,
-		Workers:       *workers,
-		QueueDepth:    *queueDepth,
-		Deadline:      *deadline,
-		MaxBatch:      *maxBatch,
-		KeyCacheSlots: *keyCache,
-		ExpvarName:    "engine",
+		Params:             params,
+		Variant:            hwsim.VariantHPS,
+		Workers:            *workers,
+		QueueDepth:         *queueDepth,
+		Deadline:           *deadline,
+		MaxBatch:           *maxBatch,
+		KeyCacheSlots:      *keyCache,
+		ExpvarName:         "engine",
+		IntegrityChecks:    *integrity,
+		IntegritySeed:      *integritySeed,
+		NoiseGuard:         *noiseGuard,
+		MinNoiseBudgetBits: *minNoiseBudget,
 	})
 	if err != nil {
 		fatal(err)

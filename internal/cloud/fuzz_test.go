@@ -1,0 +1,144 @@
+package cloud
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"sync"
+	"testing"
+
+	"repro/internal/fv"
+	"repro/internal/sampler"
+)
+
+// fuzzParams builds the shared parameter set once per process: parameter
+// generation is too slow to repeat per fuzz iteration, and the decoders are
+// pure functions of (bytes, params).
+var fuzzParams = sync.OnceValue(func() *fv.Params {
+	params, err := fv.NewParams(fv.TestConfig(257))
+	if err != nil {
+		panic(err)
+	}
+	return params
+})
+
+// fuzzCiphertext builds one well-formed ciphertext for seed frames.
+var fuzzCiphertext = sync.OnceValue(func() *fv.Ciphertext {
+	params := fuzzParams()
+	prng := sampler.NewPRNG(41)
+	kg := fv.NewKeyGenerator(params, prng)
+	_, pk, _ := kg.GenKeys()
+	pt := fv.NewPlaintext(params)
+	pt.Coeffs[0] = 7
+	return fv.NewEncryptor(params, pk, prng).Encrypt(pt)
+})
+
+// checkDecodeErr fails the fuzz run when a decoder rejects input with an
+// untyped error: every structural rejection must wrap the sentinel so the
+// server/client can tell garbage from transport loss. Pure I/O errors (EOF
+// before the frame started) are exempt.
+func checkDecodeErr(t *testing.T, err, sentinel error) {
+	t.Helper()
+	if err == nil || errors.Is(err, sentinel) {
+		return
+	}
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+		return
+	}
+	t.Fatalf("decode error is not typed: %v", err)
+}
+
+// FuzzDecodeRequest feeds arbitrary bytes to ReadRequest. The decoder must
+// never panic, never read more than MaxRequestBytes, reject garbage with a
+// typed error, and anything it accepts must survive a re-encode/re-decode
+// round trip.
+func FuzzDecodeRequest(f *testing.F) {
+	params := fuzzParams()
+	ct := fuzzCiphertext()
+	seeds := []*Request{
+		{Cmd: CmdPing, Ver: ProtoV1},
+		{Cmd: CmdPing, Ver: ProtoV2, ID: 7, Tenant: "alice"},
+		{Cmd: CmdInfo, Ver: ProtoV2, ID: 8},
+		{Cmd: CmdAdd, Ver: ProtoV1, A: ct, B: ct},
+		{Cmd: CmdAdd, Ver: ProtoV2, ID: 9, Tenant: "bob", A: ct, B: ct},
+		{Cmd: CmdMul, Ver: ProtoV2, ID: 10, A: ct, B: ct},
+		{Cmd: CmdRotate, Ver: ProtoV2, ID: 11, G: 3, A: ct},
+	}
+	for _, req := range seeds {
+		var buf bytes.Buffer
+		if err := WriteRequest(&buf, params, req); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+		// Truncations and single-byte corruptions of valid frames reach the
+		// deep decode paths far faster than random bytes.
+		f.Add(buf.Bytes()[:buf.Len()/2])
+		flipped := bytes.Clone(buf.Bytes())
+		flipped[buf.Len()/3] ^= 0x40
+		f.Add(flipped)
+	}
+	f.Add([]byte("HEAT"))
+	f.Add([]byte("HEA2\x02\x01"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := ReadRequest(bytes.NewReader(data), params)
+		if err != nil {
+			checkDecodeErr(t, err, ErrMalformedRequest)
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteRequest(&buf, params, req); err != nil {
+			t.Fatalf("accepted request does not re-encode: %v", err)
+		}
+		if _, err := ReadRequest(&buf, params); err != nil {
+			t.Fatalf("re-encoded request does not re-decode: %v", err)
+		}
+	})
+}
+
+// FuzzDecodeResponse feeds arbitrary bytes to ReadResponseV in both protocol
+// versions. Same contract as the request side; additionally, an unknown
+// status byte must never be parsed as a success frame.
+func FuzzDecodeResponse(f *testing.F) {
+	params := fuzzParams()
+	ct := fuzzCiphertext()
+	seeds := []*Response{
+		{Ver: ProtoV1, Result: ct, ComputeNanos: 123, Worker: 1},
+		{Ver: ProtoV2, ID: 5, Result: ct, ComputeNanos: 456, Worker: 0},
+		{Ver: ProtoV1, Err: "no such key"},
+		{Ver: ProtoV2, ID: 6, Err: "overloaded", Code: CodeUnavailable},
+		{Ver: ProtoV2, ID: 7, Err: "fingerprint mismatch", Code: CodeIntegrity},
+	}
+	for _, resp := range seeds {
+		var buf bytes.Buffer
+		if err := WriteResponse(&buf, params, resp); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes(), resp.Ver)
+		f.Add(buf.Bytes()[:buf.Len()/2], resp.Ver)
+		flipped := bytes.Clone(buf.Bytes())
+		flipped[buf.Len()/3] ^= 0x40
+		f.Add(flipped, resp.Ver)
+	}
+	f.Add([]byte{0xFF}, ProtoV2)
+	f.Add([]byte{}, ProtoV1)
+
+	f.Fuzz(func(t *testing.T, data []byte, ver uint8) {
+		if ver != ProtoV1 && ver != ProtoV2 {
+			ver = ProtoV2
+		}
+		resp, err := ReadResponseV(bytes.NewReader(data), params, ver)
+		if err != nil {
+			checkDecodeErr(t, err, ErrMalformedResponse)
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteResponse(&buf, params, resp); err != nil {
+			t.Fatalf("accepted response does not re-encode: %v", err)
+		}
+		if _, err := ReadResponseV(&buf, params, ver); err != nil {
+			t.Fatalf("re-encoded response does not re-decode: %v", err)
+		}
+	})
+}

@@ -27,11 +27,34 @@ package cloud
 import (
 	"encoding/binary"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 
 	"repro/internal/fv"
 )
+
+// Typed decode errors. Every structurally invalid frame — bad magic, bad
+// version, out-of-range length, unknown command or status byte, truncation
+// after the magic matched, or an invalid ciphertext body — is reported as an
+// error wrapping one of these, so callers can distinguish "the peer spoke
+// garbage" (drop the connection) from transport errors (retry elsewhere).
+// A clean EOF before any byte of a frame is NOT malformed: it is how a peer
+// hangs up between requests, and it surfaces as io.EOF.
+var (
+	ErrMalformedRequest  = errors.New("cloud: malformed request")
+	ErrMalformedResponse = errors.New("cloud: malformed response")
+)
+
+// malformed wraps err as a malformed-frame error once the frame has started
+// (the magic or status byte was consumed): from that point truncation is
+// corruption, not a clean close.
+func malformed(sentinel error, context string, err error) error {
+	if err == io.EOF {
+		err = io.ErrUnexpectedEOF
+	}
+	return fmt.Errorf("%w: %s: %w", sentinel, context, err)
+}
 
 // Protocol versions. ProtoV1 is the original framing; ProtoV2 adds the
 // request ID and tenant fields the cluster layer routes on.
@@ -66,6 +89,11 @@ const (
 	// (overloaded, shutting down, queue deadline expired). The operation did
 	// not execute; an idempotent request may be retried on a replica.
 	CodeUnavailable uint8 = 1
+	// CodeIntegrity means this node's co-processor detected corrupted
+	// state (a fingerprint mismatch) and refused to return the result. The
+	// fault is node-local — bad BRAM, a glitched DMA, a dying compute unit —
+	// so an idempotent request should be retried, ideally on a replica.
+	CodeIntegrity uint8 = 2
 )
 
 // Protocol magics: v1 and v2 framing share the port and are told apart by
@@ -157,34 +185,34 @@ func ReadRequest(r io.Reader, params *fv.Params) (*Request, error) {
 		req.Ver = ProtoV1
 		var cmd [1]byte
 		if _, err := io.ReadFull(r, cmd[:]); err != nil {
-			return nil, err
+			return nil, malformed(ErrMalformedRequest, "truncated v1 header", err)
 		}
 		req.Cmd = cmd[0]
 	case protocolMagicV2:
 		var hdr [10]byte // version, command, request ID
 		if _, err := io.ReadFull(r, hdr[:]); err != nil {
-			return nil, err
+			return nil, malformed(ErrMalformedRequest, "truncated v2 header", err)
 		}
 		if hdr[0] != ProtoV2 {
-			return nil, fmt.Errorf("cloud: unsupported protocol version %d", hdr[0])
+			return nil, fmt.Errorf("%w: unsupported protocol version %d", ErrMalformedRequest, hdr[0])
 		}
 		req.Ver = hdr[0]
 		req.Cmd = hdr[1]
 		req.ID = binary.LittleEndian.Uint64(hdr[2:])
 		var tlen [1]byte
 		if _, err := io.ReadFull(r, tlen[:]); err != nil {
-			return nil, err
+			return nil, malformed(ErrMalformedRequest, "truncated tenant length", err)
 		}
 		if int(tlen[0]) > MaxTenantLen {
-			return nil, fmt.Errorf("cloud: tenant length %d exceeds %d", tlen[0], MaxTenantLen)
+			return nil, fmt.Errorf("%w: tenant length %d exceeds %d", ErrMalformedRequest, tlen[0], MaxTenantLen)
 		}
 		tenant := make([]byte, tlen[0])
 		if _, err := io.ReadFull(r, tenant); err != nil {
-			return nil, err
+			return nil, malformed(ErrMalformedRequest, "truncated tenant", err)
 		}
 		req.Tenant = string(tenant)
 	default:
-		return nil, fmt.Errorf("cloud: bad protocol magic %q", magic[:])
+		return nil, fmt.Errorf("%w: bad protocol magic %q", ErrMalformedRequest, magic[:])
 	}
 
 	switch req.Cmd {
@@ -192,30 +220,30 @@ func ReadRequest(r io.Reader, params *fv.Params) (*Request, error) {
 		return req, nil
 	case CmdInfo:
 		if req.Ver < ProtoV2 {
-			return nil, fmt.Errorf("cloud: %s requires protocol v2", cmdName(req.Cmd))
+			return nil, fmt.Errorf("%w: %s requires protocol v2", ErrMalformedRequest, cmdName(req.Cmd))
 		}
 		return req, nil
 	case CmdRotate:
 		var g [4]byte
 		if _, err := io.ReadFull(r, g[:]); err != nil {
-			return nil, err
+			return nil, malformed(ErrMalformedRequest, "truncated Galois element", err)
 		}
 		req.G = binary.LittleEndian.Uint32(g[:])
 		var err error
 		if req.A, err = fv.ReadCiphertext(r, params); err != nil {
-			return nil, fmt.Errorf("cloud: reading operand A: %w", err)
+			return nil, malformed(ErrMalformedRequest, "reading operand A", err)
 		}
 		return req, nil
 	case CmdAdd, CmdMul:
 	default:
-		return nil, fmt.Errorf("cloud: unknown command %d", req.Cmd)
+		return nil, fmt.Errorf("%w: unknown command %d", ErrMalformedRequest, req.Cmd)
 	}
 	var err error
 	if req.A, err = fv.ReadCiphertext(r, params); err != nil {
-		return nil, fmt.Errorf("cloud: reading operand A: %w", err)
+		return nil, malformed(ErrMalformedRequest, "reading operand A", err)
 	}
 	if req.B, err = fv.ReadCiphertext(r, params); err != nil {
-		return nil, fmt.Errorf("cloud: reading operand B: %w", err)
+		return nil, malformed(ErrMalformedRequest, "reading operand B", err)
 	}
 	return req, nil
 }
@@ -304,44 +332,55 @@ func ReadResponseV(r io.Reader, params *fv.Params, ver uint8) (*Response, error)
 		return nil, err
 	}
 	resp := &Response{Ver: ver}
-	if status[0] == statusErr {
+	switch status[0] {
+	case statusOK:
+	case statusErr:
 		if ver >= ProtoV2 {
 			var id [9]byte
 			if _, err := io.ReadFull(r, id[:]); err != nil {
-				return nil, err
+				return nil, malformed(ErrMalformedResponse, "truncated error header", err)
 			}
 			resp.ID = binary.LittleEndian.Uint64(id[:8])
 			resp.Code = id[8]
 		}
 		var n [4]byte
 		if _, err := io.ReadFull(r, n[:]); err != nil {
-			return nil, err
+			return nil, malformed(ErrMalformedResponse, "truncated error length", err)
 		}
 		ln := binary.LittleEndian.Uint32(n[:])
 		if ln > 1<<16 {
-			return nil, fmt.Errorf("cloud: implausible error length %d", ln)
+			return nil, fmt.Errorf("%w: implausible error length %d", ErrMalformedResponse, ln)
+		}
+		if ln == 0 {
+			// An empty message would make the decoded response look like a
+			// success (Err == "" is the discriminator callers use).
+			return nil, fmt.Errorf("%w: empty error message", ErrMalformedResponse)
 		}
 		msg := make([]byte, ln)
 		if _, err := io.ReadFull(r, msg); err != nil {
-			return nil, err
+			return nil, malformed(ErrMalformedResponse, "truncated error message", err)
 		}
 		resp.Err = string(msg)
 		return resp, nil
+	default:
+		// A corrupted stream must not be mistaken for a success frame — the
+		// bytes after an unknown status would be parsed as a ciphertext.
+		return nil, fmt.Errorf("%w: unknown status byte %d", ErrMalformedResponse, status[0])
 	}
 	if ver >= ProtoV2 {
 		var id [8]byte
 		if _, err := io.ReadFull(r, id[:]); err != nil {
-			return nil, err
+			return nil, malformed(ErrMalformedResponse, "truncated response ID", err)
 		}
 		resp.ID = binary.LittleEndian.Uint64(id[:])
 	}
 	var meta [12]byte
 	if _, err := io.ReadFull(r, meta[:]); err != nil {
-		return nil, err
+		return nil, malformed(ErrMalformedResponse, "truncated timing metadata", err)
 	}
 	ct, err := fv.ReadCiphertext(r, params)
 	if err != nil {
-		return nil, err
+		return nil, malformed(ErrMalformedResponse, "reading result", err)
 	}
 	resp.Result = ct
 	resp.ComputeNanos = binary.LittleEndian.Uint64(meta[:8])
@@ -414,7 +453,10 @@ type ServerError struct {
 
 func (e *ServerError) Error() string { return "cloud: server error: " + e.Msg }
 
-// Retryable reports whether the failure was node-local unavailability
-// (overload, shutdown) rather than a deterministic application error, so an
-// idempotent request may be retried on a replica.
-func (e *ServerError) Retryable() bool { return e.Code == CodeUnavailable }
+// Retryable reports whether the failure was node-local — unavailability
+// (overload, shutdown) or a detected integrity fault — rather than a
+// deterministic application error, so an idempotent request may be retried
+// on a replica.
+func (e *ServerError) Retryable() bool {
+	return e.Code == CodeUnavailable || e.Code == CodeIntegrity
+}

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/engine"
 	"repro/internal/fv"
+	"repro/internal/hwsim"
 )
 
 // DefaultTenant is the engine key namespace v1 requests (and v2 requests
@@ -262,13 +263,18 @@ func (s *Server) process(req *Request) *Response {
 }
 
 // errCode maps an engine error to a wire error code: lifecycle and capacity
-// failures are retryable on a replica (the op never executed); everything
-// else — a missing key, a malformed operand — is deterministic.
+// failures are retryable on a replica (the op never executed); a detected
+// integrity fault is node-local corruption, retryable elsewhere; everything
+// else — a missing key, a malformed operand, a noise-budget refusal — is
+// deterministic.
 func errCode(err error) uint8 {
 	if errors.Is(err, engine.ErrOverloaded) ||
 		errors.Is(err, engine.ErrShutdown) ||
 		errors.Is(err, engine.ErrDeadlineExceeded) {
 		return CodeUnavailable
+	}
+	if errors.Is(err, hwsim.ErrIntegrity) {
+		return CodeIntegrity
 	}
 	return CodeApp
 }

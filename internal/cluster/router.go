@@ -225,11 +225,18 @@ func (r *Router) Do(ctx context.Context, req *cloud.Request) (*cloud.Response, e
 		}
 		lastErr = err
 		var se *cloud.ServerError
-		if errors.As(err, &se) && !se.Retryable() {
-			// Deterministic application error: every replica would fail the
-			// same way.
-			r.reg.Counter("cluster_errors").Add(1)
-			return nil, err
+		if errors.As(err, &se) {
+			if !se.Retryable() {
+				// Deterministic application error: every replica would fail
+				// the same way.
+				r.reg.Counter("cluster_errors").Add(1)
+				return nil, err
+			}
+			if se.Code == cloud.CodeIntegrity {
+				// The backend caught corrupted co-processor state; the next
+				// replica recomputes from the pristine operands.
+				r.reg.Counter("cluster_integrity_reroutes").Add(1)
+			}
 		}
 		if !isIdempotent(req.Cmd) {
 			r.reg.Counter("cluster_errors").Add(1)

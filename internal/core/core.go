@@ -15,8 +15,10 @@ import (
 	"fmt"
 	"sync"
 
+	"repro/internal/faults"
 	"repro/internal/fv"
 	"repro/internal/hwsim"
+	"repro/internal/obs"
 	"repro/internal/sched"
 )
 
@@ -115,6 +117,36 @@ func maxInt(a, b int) int {
 
 // NumCoprocessors returns the co-processor count.
 func (a *Accelerator) NumCoprocessors() int { return len(a.scheds) }
+
+// EnableIntegrity switches Freivalds-style fingerprint verification on for
+// every co-processor, with per-instance seeds derived from seed. Operations
+// then fail with an error wrapping hwsim.ErrIntegrity instead of returning a
+// corrupted ciphertext.
+func (a *Accelerator) EnableIntegrity(seed int64) error {
+	for i, c := range a.Platform.Coprocs {
+		if err := c.EnableIntegrity(seed + int64(i)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SetFaultInjector attaches a fault injector to every co-processor (nil
+// detaches). Engines share one injector across workers so a chaos schedule
+// spans the pool.
+func (a *Accelerator) SetFaultInjector(inj *faults.Injector) {
+	for _, c := range a.Platform.Coprocs {
+		c.SetInjector(inj)
+	}
+}
+
+// SetMetrics routes the co-processors' integrity detection and recovery
+// counters into reg (nil-safe).
+func (a *Accelerator) SetMetrics(reg *obs.Registry) {
+	for _, c := range a.Platform.Coprocs {
+		c.SetMetrics(reg)
+	}
+}
 
 // worker 0 serves sequential calls; MulBatch spreads over all of them.
 func (a *Accelerator) onWorker(i int, f func(*sched.Scheduler) error) error {

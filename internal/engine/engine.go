@@ -33,9 +33,11 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/fv"
 	"repro/internal/hwsim"
 	"repro/internal/obs"
@@ -55,6 +57,11 @@ var (
 	// ErrNoKey means the tenant has not registered the evaluation key the
 	// operation needs (relinearization key for Mul, Galois key for Rotate).
 	ErrNoKey = errors.New("engine: no evaluation key registered")
+	// ErrNoiseBudget means the noise guardrail predicted the operation would
+	// exhaust the ciphertext's noise budget: the result would decrypt to
+	// garbage, so the engine refuses to compute it. Deterministic — retrying
+	// elsewhere fails the same way.
+	ErrNoiseBudget = errors.New("engine: predicted noise budget exhausted")
 )
 
 // OpKind enumerates the homomorphic operations the engine serves.
@@ -84,6 +91,11 @@ type Op struct {
 	Tenant string // evaluation-key namespace; "" is the default tenant
 	A, B   *fv.Ciphertext
 	G      int // Galois element (OpRotate only)
+	// BudgetHint is the caller-declared remaining noise budget (bits) of the
+	// operands — the server cannot measure it without the secret key. Zero
+	// means unknown; the noise guardrail (Config.NoiseGuard) only screens
+	// hinted operations.
+	BudgetHint float64
 }
 
 // Result is the outcome of a served operation.
@@ -129,6 +141,36 @@ type Config struct {
 	// name (tests building engine after engine all stay visible), and
 	// Shutdown unbinds it.
 	ExpvarName string
+
+	// IntegrityChecks enables Freivalds-style fingerprint verification on
+	// every worker's co-processor: corrupted state surfaces as an error
+	// wrapping hwsim.ErrIntegrity instead of a wrong ciphertext, and the
+	// engine retries/quarantines below. IntegritySeed parameterizes the
+	// check weights (0 uses a fixed default).
+	IntegrityChecks bool
+	IntegritySeed   int64
+	// FaultInjector, when non-nil, is attached to every worker's
+	// co-processor — the chaos harness's hook. Production leaves it nil
+	// (zero overhead).
+	FaultInjector *faults.Injector
+	// Registry, when non-nil, receives the hardware-level detection and
+	// recovery counters (hw_integrity_*) alongside the engine's own.
+	Registry *obs.Registry
+	// MaxIntegrityRetries is how many times a request that failed an
+	// integrity check is re-enqueued before its error is surfaced
+	// (default 2). Retries restart from the pristine operand ciphertexts,
+	// usually on a different worker.
+	MaxIntegrityRetries int
+	// QuarantineAfter ejects a worker from the pool after that many
+	// integrity failures (default 3; negative disables). The last live
+	// worker is never quarantined, so the engine degrades rather than
+	// bricks.
+	QuarantineAfter int
+	// NoiseGuard enables the noise-budget guardrail: operations whose
+	// BudgetHint predicts a post-op budget below MinNoiseBudgetBits
+	// (default 1.0) are rejected with ErrNoiseBudget at admission.
+	NoiseGuard         bool
+	MinNoiseBudgetBits float64
 }
 
 func (c *Config) withDefaults() (Config, error) {
@@ -148,6 +190,15 @@ func (c *Config) withDefaults() (Config, error) {
 	if cfg.KeyCacheSlots <= 0 {
 		cfg.KeyCacheSlots = 8
 	}
+	if cfg.MaxIntegrityRetries <= 0 {
+		cfg.MaxIntegrityRetries = 2
+	}
+	if cfg.QuarantineAfter == 0 {
+		cfg.QuarantineAfter = 3
+	}
+	if cfg.MinNoiseBudgetBits <= 0 {
+		cfg.MinNoiseBudgetBits = 1.0
+	}
 	return cfg, nil
 }
 
@@ -157,6 +208,7 @@ type request struct {
 	ctx      context.Context
 	deadline time.Time // zero = none
 	enqueued time.Time
+	retries  int // integrity-failure re-enqueues so far
 
 	res  *Result
 	err  error
@@ -179,6 +231,11 @@ type Engine struct {
 	queue   chan *request
 	batches chan *batch
 	m       metrics
+
+	// noise is the guardrail's prediction model (nil unless NoiseGuard);
+	// liveWorkers tracks pool members not yet quarantined.
+	noise       *fv.NoiseModel
+	liveWorkers atomic.Int32
 
 	tmu     sync.RWMutex // guards tenants
 	tenants map[string]*tenantCounters
@@ -209,13 +266,31 @@ func New(cfg Config) (*Engine, error) {
 		batches: make(chan *batch),
 		tenants: make(map[string]*tenantCounters),
 	}
+	if cfg.NoiseGuard {
+		e.noise = fv.NewNoiseModel(cfg.Params)
+	}
 	for i := 0; i < cfg.Workers; i++ {
 		accel, err := core.New(cfg.Params, cfg.Variant, 1)
 		if err != nil {
 			return nil, fmt.Errorf("engine: worker %d accelerator: %w", i, err)
 		}
+		if cfg.IntegrityChecks {
+			// Per-worker seed offset so no two co-processors share check
+			// weights: a systematic fault cannot hide behind a shared blind
+			// spot.
+			if err := accel.EnableIntegrity(cfg.IntegritySeed + int64(i)*1009 + 1); err != nil {
+				return nil, fmt.Errorf("engine: worker %d integrity: %w", i, err)
+			}
+		}
+		if cfg.FaultInjector != nil {
+			accel.SetFaultInjector(cfg.FaultInjector)
+		}
+		if cfg.Registry != nil {
+			accel.SetMetrics(cfg.Registry)
+		}
 		e.workers = append(e.workers, newWorker(i, accel, cfg.KeyCacheSlots))
 	}
+	e.liveWorkers.Store(int32(len(e.workers)))
 	e.wg.Add(1)
 	go e.dispatch()
 	for _, w := range e.workers {
@@ -224,6 +299,9 @@ func New(cfg Config) (*Engine, error) {
 			defer e.wg.Done()
 			for b := range e.batches {
 				e.runBatch(w, b)
+				if e.shouldQuarantine(w) {
+					return
+				}
 			}
 		}(w)
 	}
@@ -276,6 +354,9 @@ func (e *Engine) SetGaloisKey(tenant string, gk *fv.GaloisKey) {
 // Submit never blocks on admission.
 func (e *Engine) Submit(ctx context.Context, op Op) (*Result, error) {
 	if err := validate(op); err != nil {
+		return nil, err
+	}
+	if err := e.noiseGuard(op); err != nil {
 		return nil, err
 	}
 	if ctx == nil {
@@ -361,6 +442,52 @@ func validate(op Op) error {
 		return fmt.Errorf("engine: unknown op kind %d", op.Kind)
 	}
 	return nil
+}
+
+// noiseGuard screens a hinted operation through the fv noise model: if the
+// predicted post-op budget is below the floor, the result would decrypt to
+// garbage, and the engine refuses with ErrNoiseBudget instead of computing
+// it. Unhinted operations (BudgetHint 0) pass — the server cannot measure
+// budget without the secret key.
+func (e *Engine) noiseGuard(op Op) error {
+	if e.noise == nil || op.BudgetHint <= 0 {
+		return nil
+	}
+	var predicted float64
+	switch op.Kind {
+	case OpAdd:
+		predicted = e.noise.AfterAdd(op.BudgetHint, op.BudgetHint)
+	case OpMul:
+		predicted = e.noise.AfterMul(op.BudgetHint, op.BudgetHint)
+	case OpRotate:
+		predicted = e.noise.AfterGalois(op.BudgetHint)
+	default:
+		return nil
+	}
+	if predicted < e.cfg.MinNoiseBudgetBits {
+		e.m.noiseRejected.Add(1)
+		return fmt.Errorf("%w: %v predicted to leave %.1f bits (floor %.1f)",
+			ErrNoiseBudget, op.Kind, predicted, e.cfg.MinNoiseBudgetBits)
+	}
+	return nil
+}
+
+// resubmit re-enqueues a request after a recoverable integrity failure,
+// without blocking: the batcher may itself be blocked handing work to the
+// pool, and a worker waiting on the queue would deadlock. A full or closed
+// queue fails the retry (the caller surfaces the original error).
+func (e *Engine) resubmit(r *request) bool {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.closed {
+		return false
+	}
+	select {
+	case e.queue <- r:
+		return true
+	default:
+		return false
+	}
 }
 
 // finish completes a request exactly once.

@@ -26,6 +26,14 @@ type metrics struct {
 	keyHits    atomic.Uint64
 	keyEvicted atomic.Uint64
 
+	// Robustness counters: integrity failures caught by the co-processor
+	// checks, the subset recovered by op-level retry, workers ejected for
+	// repeated failures, and operations refused by the noise guardrail.
+	integrityFaults  atomic.Uint64
+	integrityRetries atomic.Uint64
+	quarantined      atomic.Uint64
+	noiseRejected    atomic.Uint64
+
 	// queueWait is admission-to-dispatch, batchAssembly is the age of a
 	// batch when it is handed to a worker (first admit to emit), execTime is
 	// per-op worker service time — the three legs of a request's life.
@@ -66,6 +74,10 @@ type WorkerStats struct {
 	SimSeconds float64
 	// ResidentKeys is the current evaluation-key cache occupancy.
 	ResidentKeys int
+	// IntegrityFaults counts ops on this worker that tripped an integrity
+	// check; Quarantined is set once the worker was ejected for them.
+	IntegrityFaults uint64
+	Quarantined     bool
 }
 
 // Stats is a point-in-time snapshot of the engine's counters.
@@ -88,6 +100,15 @@ type Stats struct {
 	KeyHits      uint64
 	KeyEvictions uint64
 
+	// IntegrityFaults/IntegrityRetries/Quarantined/NoiseRejected are the
+	// robustness ledger: detections, op-level recoveries, ejected workers,
+	// and guardrail refusals. LiveWorkers is Workers minus quarantined.
+	IntegrityFaults  uint64
+	IntegrityRetries uint64
+	Quarantined      uint64
+	NoiseRejected    uint64
+	LiveWorkers      int
+
 	QueueWait     HistogramStats
 	BatchAssembly HistogramStats
 	ExecTime      HistogramStats
@@ -106,22 +127,27 @@ type Stats struct {
 // Stats snapshots the engine's observability counters.
 func (e *Engine) Stats() Stats {
 	s := Stats{
-		Workers:       len(e.workers),
-		QueueDepth:    e.cfg.QueueDepth,
-		QueueLen:      len(e.queue),
-		Submitted:     e.m.submitted.Load(),
-		Rejected:      e.m.rejected.Load(),
-		Expired:       e.m.expired.Load(),
-		Completed:     e.m.completed.Load(),
-		Failed:        e.m.failed.Load(),
-		Batches:       e.m.batches.Load(),
-		BatchedOps:    e.m.batchedOps.Load(),
-		KeyLoads:      e.m.keyLoads.Load(),
-		KeyHits:       e.m.keyHits.Load(),
-		KeyEvictions:  e.m.keyEvicted.Load(),
-		QueueWait:     e.m.queueWait.Snapshot(),
-		BatchAssembly: e.m.batchAssembly.Snapshot(),
-		ExecTime:      e.m.execTime.Snapshot(),
+		Workers:          len(e.workers),
+		QueueDepth:       e.cfg.QueueDepth,
+		QueueLen:         len(e.queue),
+		Submitted:        e.m.submitted.Load(),
+		Rejected:         e.m.rejected.Load(),
+		Expired:          e.m.expired.Load(),
+		Completed:        e.m.completed.Load(),
+		Failed:           e.m.failed.Load(),
+		Batches:          e.m.batches.Load(),
+		BatchedOps:       e.m.batchedOps.Load(),
+		KeyLoads:         e.m.keyLoads.Load(),
+		KeyHits:          e.m.keyHits.Load(),
+		KeyEvictions:     e.m.keyEvicted.Load(),
+		IntegrityFaults:  e.m.integrityFaults.Load(),
+		IntegrityRetries: e.m.integrityRetries.Load(),
+		Quarantined:      e.m.quarantined.Load(),
+		NoiseRejected:    e.m.noiseRejected.Load(),
+		LiveWorkers:      int(e.liveWorkers.Load()),
+		QueueWait:        e.m.queueWait.Snapshot(),
+		BatchAssembly:    e.m.batchAssembly.Snapshot(),
+		ExecTime:         e.m.execTime.Snapshot(),
 	}
 	if s.Batches > 0 {
 		s.AvgBatch = float64(s.BatchedOps) / float64(s.Batches)
@@ -129,11 +155,13 @@ func (e *Engine) Stats() Stats {
 	for _, w := range e.workers {
 		cyc := w.simCycles.Load()
 		s.PerWorker = append(s.PerWorker, WorkerStats{
-			Ops:          w.ops.Load(),
-			KeyLoads:     w.keyLoads.Load(),
-			SimCycles:    cyc,
-			SimSeconds:   hwsim.Cycles(cyc).Seconds(),
-			ResidentKeys: int(w.resident.Load()),
+			Ops:             w.ops.Load(),
+			KeyLoads:        w.keyLoads.Load(),
+			SimCycles:       cyc,
+			SimSeconds:      hwsim.Cycles(cyc).Seconds(),
+			ResidentKeys:    int(w.resident.Load()),
+			IntegrityFaults: w.integrityFails.Load(),
+			Quarantined:     w.quarantined.Load(),
 		})
 	}
 	e.tmu.RLock()

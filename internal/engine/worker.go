@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"errors"
 	"fmt"
 	"sync/atomic"
 	"time"
@@ -24,6 +25,11 @@ type worker struct {
 	simCycles atomic.Uint64 // hwsim.Cycles of compute + key streaming
 	keyLoads  atomic.Uint64
 	resident  atomic.Int64 // current key-cache occupancy, mirrored for Stats
+
+	// integrityFails counts ops on this worker that tripped an integrity
+	// check; quarantined is set when the worker is ejected from the pool.
+	integrityFails atomic.Uint64
+	quarantined    atomic.Bool
 }
 
 func newWorker(id int, accel *core.Accelerator, cacheSlots int) *worker {
@@ -109,6 +115,22 @@ func (e *Engine) runBatch(w *worker, b *batch) {
 		}
 		e.m.execTime.Observe(time.Since(start))
 		if err != nil {
+			if errors.Is(err, hwsim.ErrIntegrity) {
+				// The co-processor caught corrupted state before any result
+				// left the node. Self-heal at the op level: re-enqueue the
+				// request — the operands are pristine client uploads, and a
+				// retry restarts from them, usually on a different worker.
+				e.m.integrityFaults.Add(1)
+				w.integrityFails.Add(1)
+				if r.retries < e.cfg.MaxIntegrityRetries {
+					r.retries++
+					if e.resubmit(r) {
+						e.m.integrityRetries.Add(1)
+						continue
+					}
+				}
+				err = fmt.Errorf("%w (after %d integrity retries)", err, r.retries)
+			}
 			e.m.failed.Add(1)
 			tc.failed.Add(1)
 			e.finish(r, nil, err)
@@ -131,6 +153,31 @@ func (e *Engine) runBatch(w *worker, b *batch) {
 			KeyHit: keyHit,
 			Wait:   now.Sub(r.enqueued),
 		}, nil)
+	}
+}
+
+// shouldQuarantine decides, after a batch, whether w has misbehaved enough
+// (Config.QuarantineAfter integrity failures) to eject from the pool. The
+// CAS on the live-worker count guarantees the last live worker is never
+// ejected — a fully-faulted pool degrades to typed errors, it does not
+// deadlock the batcher.
+func (e *Engine) shouldQuarantine(w *worker) bool {
+	if e.cfg.QuarantineAfter < 0 || w.quarantined.Load() {
+		return false
+	}
+	if w.integrityFails.Load() < uint64(e.cfg.QuarantineAfter) {
+		return false
+	}
+	for {
+		live := e.liveWorkers.Load()
+		if live <= 1 {
+			return false
+		}
+		if e.liveWorkers.CompareAndSwap(live, live-1) {
+			w.quarantined.Store(true)
+			e.m.quarantined.Add(1)
+			return true
+		}
 	}
 }
 

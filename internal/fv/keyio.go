@@ -3,7 +3,10 @@ package fv
 import (
 	"encoding/binary"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"hash"
+	"hash/fnv"
 	"io"
 
 	"repro/internal/poly"
@@ -13,14 +16,73 @@ import (
 // header carrying the Config, so the CLI tools can rebuild matching Params
 // without out-of-band coordination. Residues are stored as 32-bit words
 // (the 30-bit primes fit), the same packing the DMA transfers use.
+//
+// Two file versions coexist:
+//
+//	FVk1: magic, header, payload. No integrity protection.
+//	FVk2: same layout plus an FNV-64a checksum trailer over everything from
+//	      the magic through the payload. A truncated or bit-flipped file
+//	      fails with ErrCorruptKey instead of silently yielding a key that
+//	      decrypts garbage (or worse, a relin key that corrupts every Mult).
+//
+// The readers accept both; the V2 writers are what hecli keygen emits. The
+// legacy writers stay byte-identical — their output is pinned by the KAT.
 
-var fileMagic = [4]byte{'F', 'V', 'k', '1'}
+// ErrCorruptKey reports that a v2 key file failed validation: a checksum
+// mismatch, a truncation, or a structurally invalid body. The file must be
+// regenerated or re-fetched; retrying the parse cannot help.
+var ErrCorruptKey = errors.New("fv: corrupt key file")
 
-// WriteParamsHeader writes the magic and the JSON-encoded configuration.
+var (
+	fileMagic   = [4]byte{'F', 'V', 'k', '1'}
+	fileMagicV2 = [4]byte{'F', 'V', 'k', '2'}
+)
+
+// corrupt wraps a v2 decode failure as ErrCorruptKey. EOF mid-body is a
+// truncated file, not a clean end.
+func corrupt(err error) error {
+	if errors.Is(err, ErrCorruptKey) {
+		return err
+	}
+	if err == io.EOF {
+		err = io.ErrUnexpectedEOF
+	}
+	return fmt.Errorf("%w: %w", ErrCorruptKey, err)
+}
+
+// hashingWriter tees everything written through it into an FNV state.
+type hashingWriter struct {
+	w io.Writer
+	h hash.Hash64
+}
+
+func (hw *hashingWriter) Write(p []byte) (int, error) {
+	hw.h.Write(p) // hash.Hash never errors
+	return hw.w.Write(p)
+}
+
+// hashingReader accumulates everything read through it into an FNV state.
+type hashingReader struct {
+	r io.Reader
+	h hash.Hash64
+}
+
+func (hr *hashingReader) Read(p []byte) (int, error) {
+	n, err := hr.r.Read(p)
+	hr.h.Write(p[:n])
+	return n, err
+}
+
+// WriteParamsHeader writes the legacy magic and the JSON-encoded
+// configuration.
 func WriteParamsHeader(w io.Writer, params *Params) error {
 	if _, err := w.Write(fileMagic[:]); err != nil {
 		return err
 	}
+	return writeParamsBody(w, params)
+}
+
+func writeParamsBody(w io.Writer, params *Params) error {
 	blob, err := json.Marshal(params.Cfg)
 	if err != nil {
 		return err
@@ -34,7 +96,7 @@ func WriteParamsHeader(w io.Writer, params *Params) error {
 	return err
 }
 
-// ReadParamsHeader reads a header and instantiates the parameters.
+// ReadParamsHeader reads a legacy header and instantiates the parameters.
 func ReadParamsHeader(r io.Reader) (*Params, error) {
 	var magic [4]byte
 	if _, err := io.ReadFull(r, magic[:]); err != nil {
@@ -43,6 +105,10 @@ func ReadParamsHeader(r io.Reader) (*Params, error) {
 	if magic != fileMagic {
 		return nil, fmt.Errorf("fv: not a key file (magic %q)", magic)
 	}
+	return readParamsBody(r)
+}
+
+func readParamsBody(r io.Reader) (*Params, error) {
 	var n [4]byte
 	if _, err := io.ReadFull(r, n[:]); err != nil {
 		return nil, err
@@ -60,6 +126,66 @@ func ReadParamsHeader(r io.Reader) (*Params, error) {
 		return nil, err
 	}
 	return NewParams(cfg)
+}
+
+// writeChecked writes a v2 file: magic + header + body, all folded into an
+// FNV-64a checksum appended as an 8-byte little-endian trailer (the trailer
+// itself is not hashed).
+func writeChecked(w io.Writer, params *Params, body func(io.Writer) error) error {
+	hw := &hashingWriter{w: w, h: fnv.New64a()}
+	if _, err := hw.Write(fileMagicV2[:]); err != nil {
+		return err
+	}
+	if err := writeParamsBody(hw, params); err != nil {
+		return err
+	}
+	if err := body(hw); err != nil {
+		return err
+	}
+	var sum [8]byte
+	binary.LittleEndian.PutUint64(sum[:], hw.h.Sum64())
+	_, err := w.Write(sum[:])
+	return err
+}
+
+// readKey dispatches on the file magic: FVk1 parses as before (nothing to
+// verify), FVk2 re-computes the checksum while parsing and compares it to
+// the trailer. Every v2 failure — including a structurally valid prefix cut
+// short — wraps ErrCorruptKey.
+func readKey(r io.Reader, body func(io.Reader, *Params) error) (*Params, error) {
+	var magic [4]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
+		return nil, err
+	}
+	switch magic {
+	case fileMagic:
+		params, err := readParamsBody(r)
+		if err != nil {
+			return nil, err
+		}
+		return params, body(r, params)
+	case fileMagicV2:
+		hr := &hashingReader{r: r, h: fnv.New64a()}
+		hr.h.Write(magic[:])
+		params, err := readParamsBody(hr)
+		if err != nil {
+			return nil, corrupt(err)
+		}
+		if err := body(hr, params); err != nil {
+			return nil, corrupt(err)
+		}
+		want := hr.h.Sum64()
+		var sum [8]byte
+		if _, err := io.ReadFull(r, sum[:]); err != nil {
+			return nil, corrupt(fmt.Errorf("reading checksum trailer: %w", err))
+		}
+		if got := binary.LittleEndian.Uint64(sum[:]); got != want {
+			return nil, fmt.Errorf("%w: checksum mismatch (file %#x, computed %#x)", ErrCorruptKey, got, want)
+		}
+		return params, nil
+	default:
+		return nil, fmt.Errorf("fv: not a key file (magic %q)", magic)
+	}
 }
 
 func writeRNSPoly(w io.Writer, params *Params, p poly.RNSPoly) error {
@@ -96,7 +222,8 @@ func readRNSPoly(r io.Reader, params *Params) (poly.RNSPoly, error) {
 	return out, nil
 }
 
-// WriteSecretKey serializes params + the coefficient-domain secret.
+// WriteSecretKey serializes params + the coefficient-domain secret in the
+// legacy (unchecksummed) format.
 func WriteSecretKey(w io.Writer, params *Params, sk *SecretKey) error {
 	if err := WriteParamsHeader(w, params); err != nil {
 		return err
@@ -104,22 +231,35 @@ func WriteSecretKey(w io.Writer, params *Params, sk *SecretKey) error {
 	return writeRNSPoly(w, params, sk.S)
 }
 
-// ReadSecretKey reads a secret key and its parameters.
-func ReadSecretKey(r io.Reader) (*Params, *SecretKey, error) {
-	params, err := ReadParamsHeader(r)
-	if err != nil {
-		return nil, nil, err
-	}
-	s, err := readRNSPoly(r, params)
-	if err != nil {
-		return nil, nil, err
-	}
-	sHat := s.Clone()
-	params.TrQ.Forward(sHat)
-	return params, &SecretKey{S: s, SHat: sHat}, nil
+// WriteSecretKeyV2 serializes a secret key with the checksum trailer.
+func WriteSecretKeyV2(w io.Writer, params *Params, sk *SecretKey) error {
+	return writeChecked(w, params, func(w io.Writer) error {
+		return writeRNSPoly(w, params, sk.S)
+	})
 }
 
-// WritePublicKey serializes params + the NTT-domain public key pair.
+// ReadSecretKey reads a secret key and its parameters, in either file
+// version. A damaged v2 file fails with an error wrapping ErrCorruptKey.
+func ReadSecretKey(r io.Reader) (*Params, *SecretKey, error) {
+	var sk *SecretKey
+	params, err := readKey(r, func(r io.Reader, params *Params) error {
+		s, err := readRNSPoly(r, params)
+		if err != nil {
+			return err
+		}
+		sHat := s.Clone()
+		params.TrQ.Forward(sHat)
+		sk = &SecretKey{S: s, SHat: sHat}
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return params, sk, nil
+}
+
+// WritePublicKey serializes params + the NTT-domain public key pair in the
+// legacy (unchecksummed) format.
 func WritePublicKey(w io.Writer, params *Params, pk *PublicKey) error {
 	if err := WriteParamsHeader(w, params); err != nil {
 		return err
@@ -130,28 +270,39 @@ func WritePublicKey(w io.Writer, params *Params, pk *PublicKey) error {
 	return writeRNSPoly(w, params, pk.P1Hat)
 }
 
-// ReadPublicKey reads a public key and its parameters.
-func ReadPublicKey(r io.Reader) (*Params, *PublicKey, error) {
-	params, err := ReadParamsHeader(r)
-	if err != nil {
-		return nil, nil, err
-	}
-	p0, err := readRNSPoly(r, params)
-	if err != nil {
-		return nil, nil, err
-	}
-	p1, err := readRNSPoly(r, params)
-	if err != nil {
-		return nil, nil, err
-	}
-	return params, &PublicKey{P0Hat: p0, P1Hat: p1}, nil
+// WritePublicKeyV2 serializes a public key with the checksum trailer.
+func WritePublicKeyV2(w io.Writer, params *Params, pk *PublicKey) error {
+	return writeChecked(w, params, func(w io.Writer) error {
+		if err := writeRNSPoly(w, params, pk.P0Hat); err != nil {
+			return err
+		}
+		return writeRNSPoly(w, params, pk.P1Hat)
+	})
 }
 
-// WriteRelinKey serializes params + the relinearization key.
-func WriteRelinKey(w io.Writer, params *Params, rk *RelinKey) error {
-	if err := WriteParamsHeader(w, params); err != nil {
-		return err
+// ReadPublicKey reads a public key and its parameters, in either file
+// version. A damaged v2 file fails with an error wrapping ErrCorruptKey.
+func ReadPublicKey(r io.Reader) (*Params, *PublicKey, error) {
+	var pk *PublicKey
+	params, err := readKey(r, func(r io.Reader, params *Params) error {
+		p0, err := readRNSPoly(r, params)
+		if err != nil {
+			return err
+		}
+		p1, err := readRNSPoly(r, params)
+		if err != nil {
+			return err
+		}
+		pk = &PublicKey{P0Hat: p0, P1Hat: p1}
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
 	}
+	return params, pk, nil
+}
+
+func writeRelinKeyBody(w io.Writer, params *Params, rk *RelinKey) error {
 	var meta [16]byte
 	binary.LittleEndian.PutUint32(meta[:4], uint32(rk.Variant))
 	binary.LittleEndian.PutUint32(meta[4:8], uint32(rk.LogW))
@@ -171,19 +322,14 @@ func WriteRelinKey(w io.Writer, params *Params, rk *RelinKey) error {
 	return nil
 }
 
-// ReadRelinKey reads a relinearization key and its parameters.
-func ReadRelinKey(r io.Reader) (*Params, *RelinKey, error) {
-	params, err := ReadParamsHeader(r)
-	if err != nil {
-		return nil, nil, err
-	}
+func readRelinKeyBody(r io.Reader, params *Params) (*RelinKey, error) {
 	var meta [16]byte
 	if _, err := io.ReadFull(r, meta[:]); err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	count := binary.LittleEndian.Uint32(meta[12:])
 	if count == 0 || count > 64 {
-		return nil, nil, fmt.Errorf("fv: implausible relin component count %d", count)
+		return nil, fmt.Errorf("fv: implausible relin component count %d", count)
 	}
 	rk := &RelinKey{
 		Variant: LiftScaleVariant(binary.LittleEndian.Uint32(meta[:4])),
@@ -193,14 +339,47 @@ func ReadRelinKey(r io.Reader) (*Params, *RelinKey, error) {
 	for i := uint32(0); i < count; i++ {
 		p0, err := readRNSPoly(r, params)
 		if err != nil {
-			return nil, nil, err
+			return nil, err
 		}
 		p1, err := readRNSPoly(r, params)
 		if err != nil {
-			return nil, nil, err
+			return nil, err
 		}
 		rk.Rlk0Hat = append(rk.Rlk0Hat, p0)
 		rk.Rlk1Hat = append(rk.Rlk1Hat, p1)
+	}
+	return rk, nil
+}
+
+// WriteRelinKey serializes params + the relinearization key in the legacy
+// (unchecksummed) format.
+func WriteRelinKey(w io.Writer, params *Params, rk *RelinKey) error {
+	if err := WriteParamsHeader(w, params); err != nil {
+		return err
+	}
+	return writeRelinKeyBody(w, params, rk)
+}
+
+// WriteRelinKeyV2 serializes a relinearization key with the checksum
+// trailer.
+func WriteRelinKeyV2(w io.Writer, params *Params, rk *RelinKey) error {
+	return writeChecked(w, params, func(w io.Writer) error {
+		return writeRelinKeyBody(w, params, rk)
+	})
+}
+
+// ReadRelinKey reads a relinearization key and its parameters, in either
+// file version. A damaged v2 file fails with an error wrapping
+// ErrCorruptKey.
+func ReadRelinKey(r io.Reader) (*Params, *RelinKey, error) {
+	var rk *RelinKey
+	params, err := readKey(r, func(r io.Reader, params *Params) error {
+		var err error
+		rk, err = readRelinKeyBody(r, params)
+		return err
+	})
+	if err != nil {
+		return nil, nil, err
 	}
 	return params, rk, nil
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/faults"
 	"repro/internal/obs"
 	"repro/internal/poly"
 	"repro/internal/ring"
@@ -27,6 +28,10 @@ const (
 type slot struct {
 	rows   []poly.Poly
 	domain []domainTag
+	// tags/tagged are the per-row integrity fingerprints, maintained only
+	// when the co-processor's checker is enabled (integrity.go).
+	tags   []uint64
+	tagged []bool
 }
 
 // Stats accumulates per-opcode call counts and cycles — the raw material of
@@ -94,6 +99,12 @@ type Coprocessor struct {
 
 	slots []slot
 	Stats *Stats
+
+	// integrity, injector, and metrics are the robustness layer: nil means
+	// disabled and costs two nil checks per Exec (integrity.go).
+	integrity *integrityChecker
+	injector  *faults.Injector
+	metrics   *obs.Registry
 }
 
 // NewCoprocessor builds a co-processor over the given bases. slotCount sizes
@@ -112,7 +123,7 @@ func NewCoprocessor(qmods, pmods []ring.Modulus, n int,
 	c := &Coprocessor{
 		Mods: all, KQ: kq, KP: kp, N: n,
 		Variant: variant, Timing: timing,
-		Pool:    ext.Pool,
+		Pool:   ext.Pool,
 		LiftU:  NewLiftUnit(ext, n, timing),
 		ScaleU: NewScaleUnit(sc, n, timing),
 		DMAEng: DMA{Timing: timing},
@@ -185,6 +196,9 @@ func (c *Coprocessor) row(s *slot, j int) poly.Poly {
 
 // LoadSlot writes residue rows [lo, lo+len(rows)) of a slot directly (host
 // view; DMA timing is charged by the Transfer steps the scheduler emits).
+// With the checker enabled, each row is tagged from the clean source data
+// before any DMA fault corrupts the stored copy, so a glitched burst is
+// caught at the row's next read.
 func (c *Coprocessor) LoadSlot(idx uint8, lo int, rows []poly.Poly, d domainTag) {
 	s := c.slotAt(idx)
 	c.ensureRows(s)
@@ -195,6 +209,20 @@ func (c *Coprocessor) LoadSlot(idx uint8, lo int, rows []poly.Poly, d domainTag)
 		}
 		s.rows[j] = r.Clone()
 		s.domain[j] = d
+		if c.integrity != nil {
+			c.ensureTags(s)
+			s.tags[j] = c.integrity.fpSlice(j, s.rows[j].Coeffs, s.rows[j].Mod)
+			s.tagged[j] = true
+		}
+	}
+	if f := c.injector.Opportunity(faults.ClassDMA); f != nil && len(rows) > 0 {
+		// Garble one stored row of this burst, in-range so only the
+		// fingerprint (not a range check) can tell.
+		row := s.rows[lo+f.Pick(len(rows))]
+		q := row.Mod.Q
+		for i := range row.Coeffs {
+			row.Coeffs[i] = f.Word() % q
+		}
 	}
 }
 
@@ -219,8 +247,12 @@ func (c *Coprocessor) ReadSlot(idx uint8, lo, hi int) []poly.Poly {
 	return out
 }
 
-// ClearSlots wipes the memory file (between independent operations).
+// ClearSlots wipes the memory file (between independent operations). With
+// the checker enabled, still-corrupted rows are counted as flush detections
+// on their way out, so faults in state an aborted operation never re-read
+// remain accounted for.
 func (c *Coprocessor) ClearSlots() {
+	c.flushScrub()
 	for i := range c.slots {
 		c.slots[i] = slot{}
 	}
@@ -262,8 +294,18 @@ func (c *Coprocessor) Transfer(t Transfer) Cycles {
 }
 
 // Exec executes one instruction and returns its FPGA-cycle duration
-// (compute plus dispatch overhead).
+// (compute plus dispatch overhead). With a fault injector or the integrity
+// checker attached it runs the guarded path (integrity.go); otherwise it is
+// the seed path bit-for-bit and cycle-for-cycle.
 func (c *Coprocessor) Exec(in Instr) (Cycles, error) {
+	if c.integrity == nil && c.injector == nil {
+		return c.execOp(in)
+	}
+	return c.execGuarded(in)
+}
+
+// execOp is the raw instruction interpreter shared by both paths.
+func (c *Coprocessor) execOp(in Instr) (Cycles, error) {
 	var cyc Cycles
 	switch in.Op {
 	case OpNTT, OpINTT:

@@ -1,10 +1,39 @@
 package poly
 
 import (
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 )
+
+// TaskPanic is what Run/RunChunks re-panic in the *submitting* goroutine
+// when a task panicked in a pool worker. Without this translation a panic on
+// a worker goroutine would crash the whole process with no recovery point —
+// the submitter's deferred recovers never see it. With it, a poisoned task
+// behaves like a panic in the submitter's own frame: the remaining indices
+// still execute (the pool stays consistent for its other users), the first
+// panic value and its worker stack are preserved, and a caller that wants an
+// error instead of a panic uses TryRun.
+type TaskPanic struct {
+	Value any    // the recovered panic value
+	Stack []byte // the panicking worker's stack
+}
+
+func (tp *TaskPanic) Error() string {
+	return fmt.Sprintf("poly: task panicked: %v", tp.Value)
+}
+
+// capture runs fn(i), converting a panic into the pool's first TaskPanic.
+func capture(first *atomic.Pointer[TaskPanic], fn func(i int), i int) {
+	defer func() {
+		if v := recover(); v != nil {
+			first.CompareAndSwap(nil, &TaskPanic{Value: v, Stack: debug.Stack()})
+		}
+	}()
+	fn(i)
+}
 
 // PaperRPAUs is the residue-polynomial arithmetic unit count of the paper's
 // co-processor: ⌈13/2⌉ = 7 RPAUs serve the 6+7 RNS primes in two batches
@@ -131,7 +160,10 @@ func (p *Pool) Workers() int {
 // when it has width and the per-index work is worth it; work is the total
 // coefficient count the n tasks touch (pass 0 to force the parallel path for
 // any n > 1). Tasks must be independent — they run concurrently and must not
-// write shared state. Run returns only after every index has completed.
+// write shared state. Run returns only after every index has completed. If a
+// task panics on a worker goroutine, the remaining indices still run and the
+// first panic is re-thrown here, in the submitter, as a *TaskPanic (see
+// TryRun for the error-returning form).
 func (p *Pool) Run(work, n int, fn func(i int)) {
 	w := p.Workers()
 	if w > n {
@@ -155,6 +187,7 @@ func (p *Pool) Run(work, n int, fn func(i int)) {
 	// Work-stealing by atomic counter: no task channel, no idle spinning, and
 	// no deadlock potential under nested or concurrent Run calls.
 	fair := (n + w - 1) / w
+	var firstPanic atomic.Pointer[TaskPanic]
 	var stolen atomic.Uint64
 	var next atomic.Int64
 	var wg sync.WaitGroup
@@ -168,7 +201,7 @@ func (p *Pool) Run(work, n int, fn func(i int)) {
 				if i >= int64(n) {
 					break
 				}
-				fn(int(i))
+				capture(&firstPanic, fn, int(i))
 				claimed++
 			}
 			if m != nil && claimed > fair {
@@ -187,6 +220,9 @@ func (p *Pool) Run(work, n int, fn func(i int)) {
 			wb = maxWidthBucket
 		}
 		m.widthRuns[wb].Add(1)
+	}
+	if tp := firstPanic.Load(); tp != nil {
+		panic(tp)
 	}
 }
 
@@ -217,6 +253,7 @@ func (p *Pool) RunChunks(n, minChunk int, fn func(lo, hi int)) {
 		return
 	}
 	chunk := (n + w - 1) / w
+	var firstPanic atomic.Pointer[TaskPanic]
 	var wg sync.WaitGroup
 	for lo := 0; lo < n; lo += chunk {
 		hi := lo + chunk
@@ -226,7 +263,7 @@ func (p *Pool) RunChunks(n, minChunk int, fn func(lo, hi int)) {
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
-			fn(lo, hi)
+			capture(&firstPanic, func(int) { fn(lo, hi) }, 0)
 		}(lo, hi)
 	}
 	wg.Wait()
@@ -240,4 +277,25 @@ func (p *Pool) RunChunks(n, minChunk int, fn func(lo, hi int)) {
 		}
 		m.widthRuns[wb].Add(1)
 	}
+	if tp := firstPanic.Load(); tp != nil {
+		panic(tp)
+	}
+}
+
+// TryRun is Run with the panic contract flattened to an error: a panicking
+// task — on any width, including the sequential path — returns a *TaskPanic
+// instead of unwinding the caller. Serving layers use it to turn a poisoned
+// operand into a failed request rather than a dead process.
+func (p *Pool) TryRun(work, n int, fn func(i int)) (err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			if tp, ok := v.(*TaskPanic); ok {
+				err = tp
+				return
+			}
+			err = &TaskPanic{Value: v, Stack: debug.Stack()}
+		}
+	}()
+	p.Run(work, n, fn)
+	return nil
 }

@@ -181,3 +181,106 @@ func TestPoolNilAndUnmeteredStats(t *testing.T) {
 		t.Fatalf("unmetered pool recorded stats: %+v", s)
 	}
 }
+
+// TestPoolPoisonedTaskDoesNotHang is the regression test for panic recovery:
+// before it, a panicking task on a width>1 pool killed the whole process (a
+// goroutine panic has no recovery point in the submitter). Now the panic
+// must surface in the submitting goroutine as a *TaskPanic, every other
+// index must still have executed, and the pool must remain usable.
+func TestPoolPoisonedTaskDoesNotHang(t *testing.T) {
+	for _, workers := range []int{2, 7} {
+		p := NewPool(workers)
+		var ran atomic.Int64
+		done := make(chan any, 1)
+		go func() {
+			defer func() { done <- recover() }()
+			p.Run(0, 64, func(i int) {
+				if i == 13 {
+					panic("poisoned task")
+				}
+				ran.Add(1)
+			})
+			done <- nil
+		}()
+		var v any
+		select {
+		case v = <-done:
+		case <-time.After(10 * time.Second):
+			t.Fatalf("width %d: Run hung on a poisoned task", workers)
+		}
+		tp, ok := v.(*TaskPanic)
+		if !ok {
+			t.Fatalf("width %d: want *TaskPanic in submitter, got %v", workers, v)
+		}
+		if tp.Value != "poisoned task" {
+			t.Fatalf("width %d: panic value %v", workers, tp.Value)
+		}
+		if len(tp.Stack) == 0 {
+			t.Fatalf("width %d: worker stack not captured", workers)
+		}
+		if got := ran.Load(); got != 63 {
+			t.Fatalf("width %d: %d of 63 healthy tasks ran", workers, got)
+		}
+		// The pool is stateless between calls; a clean Run must still work.
+		ran.Store(0)
+		p.Run(0, 16, func(int) { ran.Add(1) })
+		if ran.Load() != 16 {
+			t.Fatalf("width %d: pool unusable after poisoned task", workers)
+		}
+	}
+}
+
+// TestPoolTryRun pins the error-returning wrapper: a panic in any path —
+// parallel or sequential — comes back as *TaskPanic, and a clean run as nil.
+func TestPoolTryRun(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		p := NewPool(workers)
+		if err := p.TryRun(0, 8, func(int) {}); err != nil {
+			t.Fatalf("width %d: clean TryRun: %v", workers, err)
+		}
+		err := p.TryRun(0, 8, func(i int) {
+			if i == 3 {
+				panic("bad operand")
+			}
+		})
+		var tp *TaskPanic
+		if !errorsAs(err, &tp) {
+			t.Fatalf("width %d: want *TaskPanic, got %v", workers, err)
+		}
+		if tp.Value != "bad operand" {
+			t.Fatalf("width %d: panic value %v", workers, tp.Value)
+		}
+	}
+}
+
+// errorsAs avoids importing errors just for one assertion.
+func errorsAs(err error, target **TaskPanic) bool {
+	tp, ok := err.(*TaskPanic)
+	if ok {
+		*target = tp
+	}
+	return ok
+}
+
+// TestPoolRunChunksPoisonedChunk covers the chunked path's recovery.
+func TestPoolRunChunksPoisonedChunk(t *testing.T) {
+	p := NewPool(4)
+	done := make(chan any, 1)
+	go func() {
+		defer func() { done <- recover() }()
+		p.RunChunks(256, 1, func(lo, hi int) {
+			if lo == 0 {
+				panic("poisoned chunk")
+			}
+		})
+		done <- nil
+	}()
+	select {
+	case v := <-done:
+		if tp, ok := v.(*TaskPanic); !ok || tp.Value != "poisoned chunk" {
+			t.Fatalf("want *TaskPanic(poisoned chunk), got %v", v)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("RunChunks hung on a poisoned chunk")
+	}
+}

@@ -199,6 +199,9 @@ func (s *Scheduler) Add(a, b *fv.Ciphertext) (*fv.Ciphertext, hwsim.Cycles, erro
 		}
 	}
 	compute := s.C.Stats.Total - start
+	if err := s.C.Scrub(); err != nil {
+		return nil, 0, err
+	}
 	ct, _ := s.ReceiveCiphertext(slotAcc0, slotAcc1)
 	return ct, compute, nil
 }
@@ -303,6 +306,11 @@ func (s *Scheduler) Mul(a, b *fv.Ciphertext, rk *fv.RelinKey) (*fv.Ciphertext, h
 	if rk.Variant == fv.Traditional {
 		// The traditional architecture's Scale produces the positional form
 		// the signed-digit WordDecomp slices; the host prepares the digits.
+		// The host read is a readback: scrub first so corrupted rows cannot
+		// silently seed the digit slicing.
+		if err := s.C.Scrub(); err != nil {
+			return nil, 0, err
+		}
 		x := poly.RNSPoly{Rows: s.C.ReadSlot(sSlot2, 0, kq)}
 		tradDigits = rns.WordDecompose(s.P.QBasis, x, rk.LogW, rk.Ell)
 	}
@@ -354,6 +362,9 @@ func (s *Scheduler) Mul(a, b *fv.Ciphertext, rk *fv.RelinKey) (*fv.Ciphertext, h
 	}
 
 	compute := s.C.Stats.Total - start
+	if err := s.C.Scrub(); err != nil {
+		return nil, 0, err
+	}
 	ct := &fv.Ciphertext{Els: []poly.RNSPoly{
 		{Rows: s.C.ReadSlot(slotAcc0, 0, kq)},
 		{Rows: s.C.ReadSlot(slotAcc1, 0, kq)},
@@ -379,7 +390,12 @@ func (s *Scheduler) Rotate(ct *fv.Ciphertext, gk *fv.GaloisKey) (*fv.Ciphertext,
 
 	kq := s.P.QBasis.K()
 	// Automorphism of both elements: permute through the rearrangement
-	// port (one pass per element).
+	// port (one pass per element). The permutation is a host readback of the
+	// just-loaded operands; scrub so a glitched operand DMA cannot flow
+	// silently through the reload.
+	if err := s.C.Scrub(); err != nil {
+		return nil, 0, err
+	}
 	for _, slot := range []uint8{slotA0, slotA1} {
 		rows := poly.RNSPoly{Rows: s.C.ReadSlot(slot, 0, kq)}
 		s.C.LoadSlotCoeff(slot, 0, fv.AutomorphRNS(gk.G, rows).Rows)
@@ -429,6 +445,9 @@ func (s *Scheduler) Rotate(ct *fv.Ciphertext, gk *fv.GaloisKey) (*fv.Ciphertext,
 	}
 
 	compute := s.C.Stats.Total - start
+	if err := s.C.Scrub(); err != nil {
+		return nil, 0, err
+	}
 	out := &fv.Ciphertext{Els: []poly.RNSPoly{
 		{Rows: s.C.ReadSlot(slotAcc0, 0, kq)},
 		{Rows: s.C.ReadSlot(slotAcc1, 0, kq)},
