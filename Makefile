@@ -22,19 +22,20 @@ bench-baseline:
 bench-check:
 	$(GO) run ./cmd/hebench -count $(BENCH_COUNT) -json BENCH_current.json
 	$(GO) run ./cmd/benchdiff -base BENCH_baseline.json -cur BENCH_current.json \
-		-ops ntt_forward,mul_relin,engine_throughput,cluster_throughput_1,cluster_throughput_2,cluster_throughput_4
+		-ops ntt_forward,mul_relin,engine_throughput,cluster_throughput_1,cluster_throughput_2,cluster_throughput_4,program_encsearch
 
 lint:
 	golangci-lint run ./...
 
-# Five-iteration fuzz smoke over the differential fv<->hwsim targets and the
-# hardened wire-protocol decoders.
+# Five-iteration fuzz smoke over the differential fv<->hwsim targets, the
+# hardened wire-protocol decoders, and the compiled-program codec.
 fuzz-smoke:
 	$(GO) test -run=NONE -fuzz=FuzzDiffTransform -fuzztime=5x ./internal/difftest
 	$(GO) test -run=NONE -fuzz=FuzzDiffPointwise -fuzztime=5x ./internal/difftest
 	$(GO) test -run=NONE -fuzz=FuzzDiffMulRelin -fuzztime=5x ./internal/difftest
 	$(GO) test -run=NONE -fuzz=FuzzDecodeRequest -fuzztime=20x ./internal/cloud
 	$(GO) test -run=NONE -fuzz=FuzzDecodeResponse -fuzztime=20x ./internal/cloud
+	$(GO) test -run=NONE -fuzz=FuzzDecodeProgram -fuzztime=20x ./internal/program
 
 # The chaos suite: pinned-seed randomized fault schedules (BRAM flips, DMA
 # garbles, RPAU kills/stalls, limb corruption, dropped/garbled wire frames)

@@ -9,6 +9,7 @@
 //	heasm -check prog.asm          # assemble + static validation
 //	heasm -run prog.asm            # execute on random data, report cycles
 //	heasm -mult                    # print the built-in Mult program
+//	heasm -prog circuit.hepg       # disassemble a serialized compiled program
 package main
 
 import (
@@ -19,6 +20,7 @@ import (
 	"repro/internal/fv"
 	"repro/internal/hebench"
 	"repro/internal/hwsim"
+	"repro/internal/program"
 	"repro/internal/sampler"
 )
 
@@ -26,6 +28,7 @@ func main() {
 	check := flag.String("check", "", "assemble and validate the program file")
 	run := flag.String("run", "", "assemble, validate, and execute the program file on random data")
 	mult := flag.Bool("mult", false, "print the built-in FV.Mult program (small parameter set)")
+	prog := flag.String("prog", "", "disassemble a serialized compiled program (internal/program codec)")
 	slots := flag.Int("slots", 16, "memory-file slots")
 	flag.Parse()
 
@@ -58,6 +61,13 @@ func main() {
 			fatal(err)
 		}
 
+	case *prog != "":
+		out, err := disasmProgramFile(*prog)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(out)
+
 	default:
 		flag.Usage()
 		os.Exit(2)
@@ -67,6 +77,22 @@ func main() {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "heasm:", err)
 	os.Exit(1)
+}
+
+// disasmProgramFile decodes a serialized compiled circuit (the "HEPG"
+// format programs cross the wire in) under the server's decode limits,
+// re-verifies it, and returns the deterministic disassembly — checksum,
+// per-node depth/level annotations, cost ledger, and critical path.
+func disasmProgramFile(path string) (string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return "", err
+	}
+	p, err := program.DecodeBytes(data, program.DefaultLimits())
+	if err != nil {
+		return "", err
+	}
+	return program.Disasm(p), nil
 }
 
 func load(path string, slots int) (*hwsim.Program, error) {

@@ -11,6 +11,7 @@
 //	hecli mul     -dir keys -in a.ct -in2 b.ct -out prod.ct
 //	hecli decrypt -dir keys -in prod.ct
 //	hecli inspect -dir keys -in prod.ct        # noise budget (needs sk)
+//	hecli runprog -dir keys -prog c.hepg -out res a.ct b.ct   # whole circuit
 package main
 
 import (
@@ -20,6 +21,7 @@ import (
 	"path/filepath"
 
 	"repro/internal/fv"
+	"repro/internal/program"
 	"repro/internal/sampler"
 )
 
@@ -36,6 +38,7 @@ func main() {
 	in := fs.String("in", "", "input ciphertext file")
 	in2 := fs.String("in2", "", "second input ciphertext file")
 	out := fs.String("out", "", "output ciphertext file")
+	prog := fs.String("prog", "", "serialized compiled program (runprog only)")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		fatal(err)
 	}
@@ -52,6 +55,8 @@ func main() {
 		err = decrypt(*dir, *in)
 	case "inspect":
 		err = inspect(*dir, *in)
+	case "runprog":
+		err = runprog(*dir, *prog, *out, fs.Args())
 	default:
 		usage()
 	}
@@ -61,7 +66,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: hecli {keygen|encrypt|add|mul|decrypt|inspect} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: hecli {keygen|encrypt|add|mul|decrypt|inspect|runprog} [flags]")
 	os.Exit(2)
 }
 
@@ -223,6 +228,68 @@ func decrypt(dir, in string) error {
 		return err
 	}
 	fmt.Printf("hecli: %s decrypts to %d\n", in, v)
+	return nil
+}
+
+// runprog executes a serialized compiled program offline: the positional
+// arguments are the input ciphertext files (one per program input, in
+// order), and every program output lands in its own file. The relin key is
+// loaded only when the program actually multiplies — an add-only tally runs
+// with nothing but the public parameter set.
+func runprog(dir, progPath, out string, inputPaths []string) error {
+	if progPath == "" || out == "" {
+		return fmt.Errorf("runprog needs -prog and -out")
+	}
+	data, err := os.ReadFile(progPath)
+	if err != nil {
+		return err
+	}
+	p, err := program.DecodeBytes(data, program.DefaultLimits())
+	if err != nil {
+		return err
+	}
+	if len(inputPaths) != p.NumInputs {
+		return fmt.Errorf("runprog: program needs %d input ciphertexts, got %d", p.NumInputs, len(inputPaths))
+	}
+	params, _, err := loadPublic(dir)
+	if err != nil {
+		return err
+	}
+	inputs := make([]*fv.Ciphertext, len(inputPaths))
+	for i, path := range inputPaths {
+		if inputs[i], err = loadCiphertext(path, params); err != nil {
+			return err
+		}
+	}
+	var keys program.Keys
+	if p.NeedsRelinKey() {
+		f, err := os.Open(filepath.Join(dir, "relin.key"))
+		if err != nil {
+			return err
+		}
+		_, keys.Relin, err = fv.ReadRelinKey(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+	}
+	outs, err := program.Run(params, p, inputs, keys)
+	if err != nil {
+		return err
+	}
+	for i, ct := range outs {
+		path := out
+		if len(outs) > 1 {
+			path = fmt.Sprintf("%s-%d.ct", out, i)
+		}
+		if err := writeFile(path, func(f *os.File) error {
+			return ct.WriteTo(f, params)
+		}); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("hecli: ran %s (%d nodes) on %d inputs -> %d output(s) at %s\n",
+		progPath, len(p.Nodes), len(inputs), len(outs), out)
 	return nil
 }
 

@@ -1,0 +1,80 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/fv"
+	"repro/internal/program"
+	"repro/internal/sampler"
+)
+
+// TestRunprogOffline drives the full file-based flow: keygen-equivalent key
+// files, encrypted inputs, a compiled (a·b)+a program on disk, runprog, and
+// a decrypt of the output file.
+func TestRunprogOffline(t *testing.T) {
+	dir := t.TempDir()
+	params, err := fv.NewParams(fv.TestConfig(257))
+	if err != nil {
+		t.Fatal(err)
+	}
+	kg := fv.NewKeyGenerator(params, sampler.NewPRNG(17))
+	sk, pk, rk := kg.GenKeys()
+	write := func(name string, fn func(f *os.File) error) {
+		t.Helper()
+		if err := writeFile(filepath.Join(dir, name), fn); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("secret.key", func(f *os.File) error { return fv.WriteSecretKeyV2(f, params, sk) })
+	write("public.key", func(f *os.File) error { return fv.WritePublicKeyV2(f, params, pk) })
+	write("relin.key", func(f *os.File) error { return fv.WriteRelinKeyV2(f, params, rk) })
+
+	enc := fv.NewEncryptor(params, pk, sampler.NewPRNG(23))
+	encFile := func(name string, v uint64) string {
+		t.Helper()
+		pt := fv.NewPlaintext(params)
+		pt.Coeffs[0] = v
+		ct := enc.Encrypt(pt)
+		path := filepath.Join(dir, name)
+		write(name, func(f *os.File) error { return ct.WriteTo(f, params) })
+		return path
+	}
+	aPath := encFile("a.ct", 3)
+	bPath := encFile("b.ct", 5)
+
+	b := program.NewBuilder()
+	x, y := b.Input(), b.Input()
+	b.Output(b.Add(b.Mul(x, y), x))
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := p.EncodeBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	progPath := filepath.Join(dir, "circuit.hepg")
+	if err := os.WriteFile(progPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	outPath := filepath.Join(dir, "res.ct")
+	if err := runprog(dir, progPath, outPath, []string{aPath, bPath}); err != nil {
+		t.Fatal(err)
+	}
+	ct, err := loadCiphertext(outPath, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (3·5 + 3) mod 257 = 18.
+	if got := fv.NewDecryptor(params, sk).Decrypt(ct).Coeffs[0]; got != 18 {
+		t.Fatalf("runprog output decrypts to %d, want 18", got)
+	}
+
+	// Arity mismatch must be rejected before any work.
+	if err := runprog(dir, progPath, outPath, []string{aPath}); err == nil {
+		t.Fatal("runprog accepted the wrong input count")
+	}
+}

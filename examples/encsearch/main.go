@@ -6,19 +6,28 @@
 //
 //	match_e = Π_{i<16} XNOR(query_i, key_e,i)
 //
-// where the XNOR against a *known* key bit is linear (bit or 1-bit), and the
-// 16-way product is evaluated as a binary tree of 15 homomorphic
-// multiplications with multiplicative depth exactly log2(16) = 4 — the
-// paper's depth budget. The server then returns Σ_e match_e · value_e, an
-// encryption of the value whose key matched (or 0).
+// where the XNOR against a *known* key bit is linear, and the 16-way product
+// is a binary tree of 15 homomorphic multiplications — depth exactly
+// log2(16) = 4, the paper's depth budget.
+//
+// This example serves the query in program mode: the whole circuit —
+// 8 entries × 15 muls plus the value aggregation — is compiled once
+// (program.CompileEncSearch) and submitted to the serving engine as ONE
+// admission unit. Op-at-a-time serving would cost one round trip per
+// homomorphic op and re-admit the tenant's relin key cache entry each time;
+// the program costs one round trip, streams the key once, and the engine
+// schedules each wavefront of independent muls across its workers.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
 
+	"repro/internal/engine"
 	"repro/internal/fv"
+	"repro/internal/program"
 	"repro/internal/sampler"
 )
 
@@ -43,79 +52,72 @@ func main() {
 	sk, pk, rk := kg.GenKeys()
 	enc := fv.NewEncryptor(params, pk, prng)
 	dec := fv.NewDecryptor(params, sk)
-	ev := fv.NewEvaluator(params)
 
 	// The server's table: a demo-sized slice of the 2^16 key space (the
 	// protocol is identical for all 65,536 entries; each entry costs the
 	// same 15 multiplications).
-	type entry struct {
-		key   uint16
-		value uint16
-	}
-	table := []entry{
-		{0x1234, 111}, {0xBEEF, 222}, {0x0000, 333}, {0xFFFF, 444},
-		{0x5A5A, 555}, {0x1235, 666}, {0xCAFE, 777}, {0x8001, 888},
+	table := []program.TableEntry{
+		{Key: 0x1234, Value: 111}, {Key: 0xBEEF, Value: 222},
+		{Key: 0x0000, Value: 333}, {Key: 0xFFFF, Value: 444},
+		{Key: 0x5A5A, Value: 555}, {Key: 0x1235, Value: 666},
+		{Key: 0xCAFE, Value: 777}, {Key: 0x8001, Value: 888},
 	}
 	const queryKey = 0xCAFE
 
-	// Client: encrypt each query bit as its own ciphertext.
-	encryptBit := func(b uint64) *fv.Ciphertext {
-		pt := fv.NewPlaintext(params)
-		pt.Coeffs[0] = b
-		return enc.Encrypt(pt)
+	// Compile the whole query circuit into one program. This happens once
+	// per table shape — every query reuses the compiled artifact with fresh
+	// encrypted inputs.
+	prog, err := program.CompileEncSearch(params, table, keyBits)
+	if err != nil {
+		log.Fatal(err)
 	}
-	queryCt := make([]*fv.Ciphertext, keyBits)
+	a := prog.Analyze()
+	fmt.Printf("compiled: %d nodes (%d mul, %d add, %d plain), depth %d, %d wavefronts\n",
+		len(prog.Nodes), a.Counts.Muls, a.Counts.Adds, a.Counts.PlainOps,
+		a.MaxDepth, a.CriticalPath)
+
+	// Client: encrypt each query bit as its own ciphertext — the program's
+	// inputs, little-endian.
+	inputs := make([]*fv.Ciphertext, keyBits)
 	for i := 0; i < keyBits; i++ {
-		queryCt[i] = encryptBit(uint64(queryKey>>i) & 1)
+		pt := fv.NewPlaintext(params)
+		pt.Coeffs[0] = uint64(queryKey>>i) & 1
+		inputs[i] = enc.Encrypt(pt)
 	}
 
-	one := fv.NewPlaintext(params)
-	one.Coeffs[0] = 1
-
-	// Server: for each entry, the match-bit circuit.
+	// Server: a two-worker engine (the paper's two co-processors) executes
+	// the program as one admission unit.
+	eng, err := engine.New(engine.Config{Params: params, Workers: 2, QueueDepth: 8})
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng.SetRelinKey("", rk)
 	start := time.Now()
-	var resultCt *fv.Ciphertext
-	for _, e := range table {
-		// XNOR with known key bits is linear: bit if key=1, 1-bit if key=0.
-		bits := make([]*fv.Ciphertext, keyBits)
-		for i := 0; i < keyBits; i++ {
-			if (e.key>>i)&1 == 1 {
-				bits[i] = queryCt[i]
-			} else {
-				bits[i] = ev.AddPlain(ev.Neg(queryCt[i]), one) // 1 - bit
-			}
-		}
-		// Product tree: 8+4+2+1 = 15 multiplications, depth 4.
-		for len(bits) > 1 {
-			next := make([]*fv.Ciphertext, 0, len(bits)/2)
-			for i := 0; i < len(bits); i += 2 {
-				next = append(next, ev.Mul(bits[i], bits[i+1], rk))
-			}
-			bits = next
-		}
-		match := bits[0]
-		// Accumulate match · value (value as a plaintext polynomial, so the
-		// retrieved value rides on the match bit's coefficients).
-		valPt := fv.NewIntegerEncoder(params).Encode(int64(e.value))
-		contrib := ev.MulPlain(match, valPt)
-		if resultCt == nil {
-			resultCt = contrib
-		} else {
-			resultCt = ev.Add(resultCt, contrib)
-		}
+	res, err := eng.SubmitProgram(context.Background(), engine.ProgramOp{Prog: prog, Inputs: inputs})
+	if err != nil {
+		log.Fatal(err)
 	}
 	elapsed := time.Since(start)
+	if err := eng.Shutdown(context.Background()); err != nil {
+		log.Fatal(err)
+	}
 
 	// Client: decrypt the retrieved value.
-	got, err := fv.NewIntegerEncoder(params).Decode(dec.Decrypt(resultCt))
+	got, err := fv.NewIntegerEncoder(params).Decode(dec.Decrypt(res.Outputs[0]))
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("query 0x%04X over %d entries: retrieved value %d (expected 777)\n",
 		queryKey, len(table), got)
-	fmt.Printf("server work: %d multiplications at depth 4 in %v (software evaluator)\n",
-		len(table)*15, elapsed.Round(time.Millisecond))
-	fmt.Printf("remaining noise budget: %d bits\n", fv.NoiseBudget(params, sk, resultCt))
+	opwiseTrips := a.Counts.Muls + a.Counts.Adds
+	fmt.Printf("round trips: 1 (op-at-a-time serving would take %d)\n", opwiseTrips)
+	fmt.Printf("engine: %d nodes on %d workers, makespan %.3f ms vs %.3f ms serial "+
+		"(%.2fx), %d key load(s), wall %v\n",
+		res.Nodes, res.Workers, res.MakespanCycles.Seconds()*1e3,
+		res.SerialCycles.Seconds()*1e3,
+		float64(res.SerialCycles)/float64(res.MakespanCycles),
+		res.KeyLoads, elapsed.Round(time.Millisecond))
+	fmt.Printf("remaining noise budget: %d bits\n", fv.NoiseBudget(params, sk, res.Outputs[0]))
 	if got != 777 {
 		log.Fatal("encrypted search returned the wrong value")
 	}

@@ -58,8 +58,8 @@ func main() {
 		out[i] = circuits.DecryptWord(dec, sorted[i])
 	}
 	fmt.Printf("server returns (still encrypted), client decrypts: %v\n", out)
-	fmt.Printf("cost: %d homomorphic ANDs, output depth %d (budget left: %d bits), %v\n",
-		eng.Ands, sorted[0].MaxDepth(),
+	fmt.Printf("cost: %d ANDs + %d XORs + %d plain ops, output depth %d (budget left: %d bits), %v\n",
+		eng.Cost.Ands, eng.Cost.Adds, eng.Cost.PlainOps, sorted[0].MaxDepth(),
 		fv.NoiseBudget(params, sk, sorted[0][0].Ct), elapsed.Round(time.Millisecond))
 
 	for i := 1; i < len(out); i++ {

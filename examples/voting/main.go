@@ -3,24 +3,31 @@
 // ballot across the candidate slots of a batched plaintext; the tallying
 // authority — which cannot read any individual ballot — homomorphically adds
 // all ballots and publishes the encrypted totals, which only the election
-// key holder can open. Addition-only, so the noise budget barely moves even
-// for large electorates; the co-processor side of this workload is Table I's
-// Add-in-HW row, which the paper measures at 80x the software cost.
+// key holder can open.
+//
+// The tally runs in program mode: ballots are batched into chunks of at most
+// 64 and each chunk is compiled into one balanced addition tree
+// (program.CompileAddTree) — a single engine admission per chunk, with the
+// running tally fed back as the first input of the next chunk's program.
+// Addition-only circuits have zero multiplicative depth, need no evaluation
+// keys, and their log2(chunk) wavefronts are almost perfectly parallel.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/fv"
-	"repro/internal/hwsim"
+	"repro/internal/program"
 	"repro/internal/sampler"
 )
 
 const (
 	candidates = 5
 	voters     = 400
+	chunkSize  = 64 // ballots per compiled addition tree
 )
 
 func main() {
@@ -41,13 +48,13 @@ func main() {
 	sk, pk, _ := kg.GenKeys()
 	enc := fv.NewEncryptor(params, pk, prng)
 	dec := fv.NewDecryptor(params, sk)
-	ev := fv.NewEvaluator(params)
 
-	fmt.Printf("election: %d voters, %d candidates, t=%d\n", voters, candidates, tmod)
+	fmt.Printf("election: %d voters, %d candidates, t=%d, chunks of %d ballots\n",
+		voters, candidates, tmod, chunkSize)
 
 	// Voters cast encrypted one-hot ballots.
 	expected := make([]uint64, candidates)
-	var tally *fv.Ciphertext
+	ballots := make([]*fv.Ciphertext, voters)
 	for v := 0; v < voters; v++ {
 		choice := (v*7 + v*v) % candidates
 		expected[choice]++
@@ -57,13 +64,52 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		ct := enc.Encrypt(pt)
-		if tally == nil {
-			tally = ct
-		} else {
-			tally = ev.Add(tally, ct)
-		}
+		ballots[v] = enc.Encrypt(pt)
 	}
+
+	// The authority tallies chunk by chunk: each chunk is one compiled
+	// addition tree, one engine admission, one (deployed: network) round
+	// trip. The running tally rides into the next chunk as its first input.
+	eng, err := engine.New(engine.Config{Params: params, Workers: 2, QueueDepth: 8})
+	if err != nil {
+		log.Fatal(err)
+	}
+	var (
+		tally      *fv.Ciphertext
+		roundTrips int
+	)
+	for off := 0; off < len(ballots); off += chunkSize {
+		end := off + chunkSize
+		if end > len(ballots) {
+			end = len(ballots)
+		}
+		inputs := ballots[off:end]
+		if tally != nil {
+			// Prior partial tally is input 0 of this chunk's tree.
+			inputs = append([]*fv.Ciphertext{tally}, inputs...)
+		}
+		prog, err := program.CompileAddTree(len(inputs))
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := eng.SubmitProgram(context.Background(),
+			engine.ProgramOp{Prog: prog, Inputs: inputs})
+		if err != nil {
+			log.Fatal(err)
+		}
+		tally = res.Outputs[0]
+		roundTrips++
+		fmt.Printf("  chunk %d: %d ballots, %d add nodes in %d wavefronts, "+
+			"makespan %.3f ms (%.2fx vs serial)\n",
+			roundTrips, end-off, res.Nodes, prog.Analyze().CriticalPath,
+			res.MakespanCycles.Seconds()*1e3,
+			float64(res.SerialCycles)/float64(res.MakespanCycles))
+	}
+	if err := eng.Shutdown(context.Background()); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("tally complete: %d round trips for %d ballots "+
+		"(op-at-a-time serving: %d)\n", roundTrips, voters, voters-1)
 
 	// The authority decrypts only the aggregate.
 	results := be.Decode(dec.Decrypt(tally))
@@ -81,26 +127,4 @@ func main() {
 	}
 	fmt.Printf("noise budget after %d additions: %d bits (additions are nearly free)\n",
 		voters-1, fv.NoiseBudget(params, sk, tally))
-
-	// The same tally on the simulated co-processor platform: addition is
-	// the operation the paper measures at 80x software speed (Table I).
-	accel, err := core.New(params, hwsim.VariantHPS, 2)
-	if err != nil {
-		log.Fatal(err)
-	}
-	pt0, _ := be.Encode(make([]uint64, candidates))
-	hwTally := enc.Encrypt(pt0)
-	var lastRep core.Report
-	for v := 0; v < 8; v++ { // a slice of the electorate, for the timing view
-		ballot := make([]uint64, candidates)
-		ballot[v%candidates] = 1
-		pt, _ := be.Encode(ballot)
-		ct := enc.Encrypt(pt)
-		hwTally, lastRep, err = accel.Add(hwTally, ct)
-		if err != nil {
-			log.Fatal(err)
-		}
-	}
-	fmt.Printf("simulated co-processor Add: %.3f ms each (paper: 0.026 ms at n=4096)\n",
-		lastRep.ComputeSeconds()*1e3)
 }

@@ -14,6 +14,29 @@ import (
 	"repro/internal/fv"
 )
 
+// CostLedger counts every homomorphic operation a circuit evaluation
+// performs, by kind. Ands (multiplications) is the cost metric the paper's
+// workload discussion leads with (Rasta's selling point is "low AND-depth
+// and few ANDs per bit"), but adds and plaintext ops are not free on the
+// co-processor either — the program compiler's cost model
+// (internal/program.Counts) uses the same categories, and a test pins the
+// two ledgers to agree gate for gate.
+type CostLedger struct {
+	// Ands counts homomorphic multiplications (AND gates).
+	Ands int
+	// Adds counts homomorphic additions (XOR gates).
+	Adds int
+	// PlainOps counts plaintext-operand operations (NOT gates and other
+	// constant injections).
+	PlainOps int
+	// Rotations counts Galois automorphisms (none in the pure boolean gate
+	// set; present so batched circuit variants share the ledger shape).
+	Rotations int
+}
+
+// Total returns the full homomorphic-op count.
+func (c CostLedger) Total() int { return c.Ands + c.Adds + c.PlainOps + c.Rotations }
+
 // Engine evaluates gates over encrypted bits.
 type Engine struct {
 	Params *fv.Params
@@ -22,10 +45,9 @@ type Engine struct {
 
 	one *fv.Plaintext
 
-	// Ands counts the homomorphic multiplications performed — the cost
-	// metric the paper's workload discussion uses (Rasta's selling point is
-	// "low AND-depth and few ANDs per bit").
-	Ands int
+	// Cost is the running per-op ledger of everything this engine has
+	// evaluated. Reset it (Cost = CostLedger{}) to meter one circuit.
+	Cost CostLedger
 }
 
 // NewEngine builds an evaluator for boolean circuits; the parameter set must
@@ -47,17 +69,19 @@ type Bit struct {
 
 // Xor computes a ⊕ b (addition mod 2; depth is the max of the inputs).
 func (e *Engine) Xor(a, b Bit) Bit {
+	e.Cost.Adds++
 	return Bit{Ct: e.Ev.Add(a.Ct, b.Ct), Depth: maxInt(a.Depth, b.Depth)}
 }
 
 // And computes a ∧ b (one homomorphic multiplication).
 func (e *Engine) And(a, b Bit) Bit {
-	e.Ands++
+	e.Cost.Ands++
 	return Bit{Ct: e.Ev.Mul(a.Ct, b.Ct, e.RK), Depth: maxInt(a.Depth, b.Depth) + 1}
 }
 
 // Not computes ¬a = 1 ⊕ a.
 func (e *Engine) Not(a Bit) Bit {
+	e.Cost.PlainOps++
 	return Bit{Ct: e.Ev.AddPlain(a.Ct, e.one), Depth: a.Depth}
 }
 

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/fv"
+	"repro/internal/program"
 	"repro/internal/sampler"
 )
 
@@ -187,7 +188,7 @@ func TestSortNetwork(t *testing.T) {
 	for i, v := range values {
 		words[i] = EncryptWord(e.enc, e.p, v, k)
 	}
-	e.eng.Ands = 0
+	e.eng.Cost = CostLedger{}
 	sorted, err := e.eng.SortNetwork(words)
 	if err != nil {
 		t.Fatal(err)
@@ -205,11 +206,68 @@ func TestSortNetwork(t *testing.T) {
 			t.Fatalf("input %d mutated: %d", i, got)
 		}
 	}
-	if e.eng.Ands == 0 {
-		t.Fatal("AND counter did not advance")
+	if e.eng.Cost.Ands == 0 || e.eng.Cost.Adds == 0 || e.eng.Cost.PlainOps == 0 {
+		t.Fatalf("cost ledger did not advance in every category: %+v", e.eng.Cost)
 	}
-	t.Logf("encrypted sort of %d %d-bit values: %d ANDs, output depth %d",
-		len(values), k, e.eng.Ands, sorted[0].MaxDepth())
+	t.Logf("encrypted sort of %d %d-bit values: %+v (total %d ops), output depth %d",
+		len(values), k, e.eng.Cost, e.eng.Cost.Total(), sorted[0].MaxDepth())
+}
+
+// TestCostLedgerAgreesWithCompiler evaluates the same circuits through the
+// interpretive engine and through the program compiler, and checks the two
+// cost models agree gate for gate: engine ANDs == compiled muls, XOR adds ==
+// compiled adds, NOT plain-ops == compiled plain-ops.
+func TestCostLedgerAgreesWithCompiler(t *testing.T) {
+	e := deepEnv(t)
+	const k = 6
+
+	// Equality circuit.
+	e.eng.Cost = CostLedger{}
+	wa := EncryptWord(e.enc, e.p, 0x2A, k)
+	wb := EncryptWord(e.enc, e.p, 0x2A, k)
+	if _, err := e.eng.Equal(wa, wb); err != nil {
+		t.Fatal(err)
+	}
+	eqCost := e.eng.Cost
+
+	b := program.NewBool(program.NewBuilder(), e.p.N())
+	pa, pb := b.InputWord(k), b.InputWord(k)
+	eq, err := b.Equal(pa, pb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.OutputWord(program.Word{eq})
+	p, err := b.B.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := p.Analyze().Counts
+	if eqCost.Ands != counts.Muls || eqCost.Adds != counts.Adds || eqCost.PlainOps != counts.PlainOps {
+		t.Fatalf("Equal ledgers disagree: engine %+v vs compiler %+v", eqCost, counts)
+	}
+
+	// Ripple adder.
+	e.eng.Cost = CostLedger{}
+	if _, _, err := e.eng.Add(wa, wb); err != nil {
+		t.Fatal(err)
+	}
+	addCost := e.eng.Cost
+
+	b2 := program.NewBool(program.NewBuilder(), e.p.N())
+	qa, qb := b2.InputWord(k), b2.InputWord(k)
+	sum, carry, err := b2.AddWord(qa, qb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2.OutputWord(append(append(program.Word{}, sum...), carry))
+	p2, err := b2.B.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts2 := p2.Analyze().Counts
+	if addCost.Ands != counts2.Muls || addCost.Adds != counts2.Adds || addCost.PlainOps != counts2.PlainOps {
+		t.Fatalf("Add ledgers disagree: engine %+v vs compiler %+v", addCost, counts2)
+	}
 }
 
 func TestWordValidation(t *testing.T) {

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/fv"
+	"repro/internal/program"
 )
 
 // DialTimeout bounds connection establishment in Dial/DialTenant.
@@ -240,6 +241,69 @@ func (c *Client) Info(ctx context.Context) (*ServerInfo, error) {
 		return nil, fmt.Errorf("cloud: info response ID %d for request %d (stream desync)", id, req.ID)
 	}
 	return info, nil
+}
+
+// DoProgram runs one CmdProgram exchange: the raw request (ProgBytes and
+// Inputs populated) against the program response framing. Deadline,
+// cancellation, and broken-stream handling match Do. A server-reported
+// failure returns the response alongside a *ServerError carrying its code.
+func (c *Client) DoProgram(ctx context.Context, req *Request) (*ProgramResponse, error) {
+	if c.ver < ProtoV2 {
+		return nil, fmt.Errorf("cloud: program requires protocol v2")
+	}
+	if c.broken {
+		return nil, fmt.Errorf("cloud: client connection is broken")
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	req.Cmd = CmdProgram
+	req.Ver = c.ver
+	if req.Tenant == "" {
+		req.Tenant = c.tenant
+	}
+	c.nextID++
+	req.ID = c.nextID
+	if d, ok := ctx.Deadline(); ok {
+		c.conn.SetDeadline(d)
+	} else {
+		c.conn.SetDeadline(time.Time{})
+	}
+	stop := c.watch(ctx)
+	defer stop()
+
+	if err := WriteRequest(c.conn, c.params, req); err != nil {
+		c.broken = true
+		return nil, c.ctxErr(ctx, err)
+	}
+	resp, err := ReadProgramResponse(c.conn, c.params)
+	if err != nil {
+		c.broken = true
+		return nil, c.ctxErr(ctx, err)
+	}
+	if resp.ID != req.ID {
+		c.broken = true
+		return nil, fmt.Errorf("cloud: program response ID %d for request %d (stream desync)", resp.ID, req.ID)
+	}
+	if resp.Err != "" {
+		return resp, &ServerError{Code: resp.Code, Msg: resp.Err}
+	}
+	return resp, nil
+}
+
+// RunProgram compiles nothing — it serializes an already-built program and
+// submits it with its inputs as ONE round trip, returning every output. This
+// is the client half of circuit-as-a-program serving: where op-at-a-time
+// evaluation pays a round trip per gate, a program pays one per circuit.
+func (c *Client) RunProgram(ctx context.Context, p *program.Program, inputs []*fv.Ciphertext) (*ProgramResponse, error) {
+	data, err := p.EncodeBytes()
+	if err != nil {
+		return nil, err
+	}
+	return c.DoProgram(ctx, &Request{ProgBytes: data, Inputs: inputs})
 }
 
 // Add asks the cloud to add two ciphertexts.

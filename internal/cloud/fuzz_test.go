@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"repro/internal/fv"
+	"repro/internal/program"
 	"repro/internal/sampler"
 )
 
@@ -31,6 +32,22 @@ var fuzzCiphertext = sync.OnceValue(func() *fv.Ciphertext {
 	pt := fv.NewPlaintext(params)
 	pt.Coeffs[0] = 7
 	return fv.NewEncryptor(params, pk, prng).Encrypt(pt)
+})
+
+// fuzzProgram builds one well-formed serialized program for seed frames.
+var fuzzProgram = sync.OnceValue(func() []byte {
+	b := program.NewBuilder()
+	x, y := b.Input(), b.Input()
+	b.Output(b.Add(b.Mul(x, y), x))
+	p, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	data, err := p.EncodeBytes()
+	if err != nil {
+		panic(err)
+	}
+	return data
 })
 
 // checkDecodeErr fails the fuzz run when a decoder rejects input with an
@@ -63,6 +80,8 @@ func FuzzDecodeRequest(f *testing.F) {
 		{Cmd: CmdAdd, Ver: ProtoV2, ID: 9, Tenant: "bob", A: ct, B: ct},
 		{Cmd: CmdMul, Ver: ProtoV2, ID: 10, A: ct, B: ct},
 		{Cmd: CmdRotate, Ver: ProtoV2, ID: 11, G: 3, A: ct},
+		{Cmd: CmdProgram, Ver: ProtoV2, ID: 12, Tenant: "carol",
+			ProgBytes: fuzzProgram(), Inputs: []*fv.Ciphertext{ct, ct}},
 	}
 	for _, req := range seeds {
 		var buf bytes.Buffer

@@ -32,6 +32,7 @@ import (
 	"io"
 
 	"repro/internal/fv"
+	"repro/internal/program"
 )
 
 // Typed decode errors. Every structurally invalid frame — bad magic, bad
@@ -74,6 +75,11 @@ const (
 	CmdPing   uint8 = 3
 	CmdRotate uint8 = 4 // Galois automorphism; G carries the element
 	CmdInfo   uint8 = 5 // server capability advertisement (v2 only)
+	// CmdProgram submits a whole compiled circuit (internal/program) as one
+	// request: the serialized program plus its input ciphertexts, answered
+	// with every output ciphertext. One round trip instead of one per gate
+	// (v2 only).
+	CmdProgram uint8 = 6
 
 	statusOK  uint8 = 0
 	statusErr uint8 = 1
@@ -114,6 +120,19 @@ func MaxRequestBytes(params *fv.Params) int {
 	return 4 + 1 + 1 + 8 + 1 + MaxTenantLen + 4 + 2*ctMax
 }
 
+// ProgramLimits is the decode budget for programs arriving on the wire —
+// the program codec's DefaultLimits. A frame claiming more is malformed.
+func ProgramLimits() program.Limits { return program.DefaultLimits() }
+
+// MaxProgramRequestBytes returns the upper bound of one CmdProgram request:
+// the v2 header, the largest program ProgramLimits admits, and one
+// ciphertext per allowed program input.
+func MaxProgramRequestBytes(params *fv.Params) int {
+	ctMax := 8 + 3*params.QBasis.K()*params.N()*4
+	l := ProgramLimits()
+	return 4 + 1 + 1 + 8 + 1 + MaxTenantLen + 4 + l.MaxEncodedBytes() + 4 + l.MaxInputs*ctMax
+}
+
 // Request is one homomorphic operation on uploaded ciphertexts.
 type Request struct {
 	Cmd uint8
@@ -124,6 +143,13 @@ type Request struct {
 	ID     uint64 // request ID, echoed in the v2 response
 	Tenant string // evaluation-key namespace; "" is the default tenant
 	A, B   *fv.Ciphertext
+
+	// ProgBytes and Inputs carry a CmdProgram payload: the serialized
+	// program (framing validated here, semantics by program.Decode on the
+	// server so a bad program yields an error response, not a dropped
+	// connection) and its input ciphertexts in program order.
+	ProgBytes []byte
+	Inputs    []*fv.Ciphertext
 }
 
 // WriteRequest serializes a request in the framing req.Ver selects.
@@ -156,6 +182,32 @@ func writeRequestBody(w io.Writer, params *fv.Params, req *Request) error {
 	switch req.Cmd {
 	case CmdPing, CmdInfo:
 		return nil
+	case CmdProgram:
+		l := ProgramLimits()
+		if len(req.ProgBytes) == 0 || len(req.ProgBytes) > l.MaxEncodedBytes() {
+			return fmt.Errorf("cloud: program of %d bytes outside (0, %d]", len(req.ProgBytes), l.MaxEncodedBytes())
+		}
+		if len(req.Inputs) == 0 || len(req.Inputs) > l.MaxInputs {
+			return fmt.Errorf("cloud: %d program inputs outside (0, %d]", len(req.Inputs), l.MaxInputs)
+		}
+		var n [4]byte
+		binary.LittleEndian.PutUint32(n[:], uint32(len(req.ProgBytes)))
+		if _, err := w.Write(n[:]); err != nil {
+			return err
+		}
+		if _, err := w.Write(req.ProgBytes); err != nil {
+			return err
+		}
+		binary.LittleEndian.PutUint32(n[:], uint32(len(req.Inputs)))
+		if _, err := w.Write(n[:]); err != nil {
+			return err
+		}
+		for _, ct := range req.Inputs {
+			if err := ct.WriteTo(w, params); err != nil {
+				return err
+			}
+		}
+		return nil
 	case CmdRotate:
 		var g [4]byte
 		binary.LittleEndian.PutUint32(g[:], req.G)
@@ -174,7 +226,11 @@ func writeRequestBody(w io.Writer, params *fv.Params, req *Request) error {
 // MaxRequestBytes(params) from r; a message claiming more than that fails
 // with an unexpected-EOF error instead of wedging the reader.
 func ReadRequest(r io.Reader, params *fv.Params) (*Request, error) {
-	r = io.LimitReader(r, int64(MaxRequestBytes(params)))
+	limit := MaxRequestBytes(params)
+	if pl := MaxProgramRequestBytes(params); pl > limit {
+		limit = pl
+	}
+	r = io.LimitReader(r, int64(limit))
 	var magic [4]byte
 	if _, err := io.ReadFull(r, magic[:]); err != nil {
 		return nil, err
@@ -223,6 +279,38 @@ func ReadRequest(r io.Reader, params *fv.Params) (*Request, error) {
 			return nil, fmt.Errorf("%w: %s requires protocol v2", ErrMalformedRequest, cmdName(req.Cmd))
 		}
 		return req, nil
+	case CmdProgram:
+		if req.Ver < ProtoV2 {
+			return nil, fmt.Errorf("%w: %s requires protocol v2", ErrMalformedRequest, cmdName(req.Cmd))
+		}
+		l := ProgramLimits()
+		var n [4]byte
+		if _, err := io.ReadFull(r, n[:]); err != nil {
+			return nil, malformed(ErrMalformedRequest, "truncated program length", err)
+		}
+		plen := binary.LittleEndian.Uint32(n[:])
+		if plen == 0 || int64(plen) > int64(l.MaxEncodedBytes()) {
+			return nil, fmt.Errorf("%w: program length %d outside (0, %d]", ErrMalformedRequest, plen, l.MaxEncodedBytes())
+		}
+		req.ProgBytes = make([]byte, plen)
+		if _, err := io.ReadFull(r, req.ProgBytes); err != nil {
+			return nil, malformed(ErrMalformedRequest, "truncated program", err)
+		}
+		if _, err := io.ReadFull(r, n[:]); err != nil {
+			return nil, malformed(ErrMalformedRequest, "truncated input count", err)
+		}
+		ni := binary.LittleEndian.Uint32(n[:])
+		if ni == 0 || int64(ni) > int64(l.MaxInputs) {
+			return nil, fmt.Errorf("%w: %d program inputs outside (0, %d]", ErrMalformedRequest, ni, l.MaxInputs)
+		}
+		req.Inputs = make([]*fv.Ciphertext, ni)
+		for i := range req.Inputs {
+			var err error
+			if req.Inputs[i], err = fv.ReadCiphertext(r, params); err != nil {
+				return nil, malformed(ErrMalformedRequest, fmt.Sprintf("reading program input %d", i), err)
+			}
+		}
+		return req, nil
 	case CmdRotate:
 		var g [4]byte
 		if _, err := io.ReadFull(r, g[:]); err != nil {
@@ -260,6 +348,8 @@ func cmdName(cmd uint8) string {
 		return "rotate"
 	case CmdInfo:
 		return "info"
+	case CmdProgram:
+		return "program"
 	}
 	return fmt.Sprintf("cmd(%d)", cmd)
 }
@@ -442,6 +532,113 @@ func ReadInfoResponse(r io.Reader) (uint64, *ServerInfo, error) {
 		return 0, nil, fmt.Errorf("cloud: decoding info: %w", err)
 	}
 	return id, &info, nil
+}
+
+// ProgramResponse answers a CmdProgram request: every program output plus
+// the scheduler's accounting (v2 framing only).
+type ProgramResponse struct {
+	Err  string
+	Code uint8
+	ID   uint64
+
+	Outputs []*fv.Ciphertext
+	// MakespanNanos is the simulated completion time of the scheduled DAG;
+	// SerialNanos is the one-lane cost of the same nodes — what op-at-a-time
+	// submission would have paid in compute alone, before round trips.
+	MakespanNanos uint64
+	SerialNanos   uint64
+	KeyLoads      uint32 // evaluation keys streamed (once each per program)
+	Nodes         uint32 // DAG nodes executed
+}
+
+// WriteProgramResponse serializes a CmdProgram reply.
+func WriteProgramResponse(w io.Writer, params *fv.Params, resp *ProgramResponse) error {
+	if resp.Err != "" {
+		hdr := make([]byte, 0, 1+8+1+4)
+		hdr = append(hdr, statusErr)
+		hdr = binary.LittleEndian.AppendUint64(hdr, resp.ID)
+		hdr = append(hdr, resp.Code)
+		msg := []byte(resp.Err)
+		hdr = binary.LittleEndian.AppendUint32(hdr, uint32(len(msg)))
+		if _, err := w.Write(hdr); err != nil {
+			return err
+		}
+		_, err := w.Write(msg)
+		return err
+	}
+	if len(resp.Outputs) == 0 || len(resp.Outputs) > ProgramLimits().MaxOutputs {
+		return fmt.Errorf("cloud: %d program outputs outside (0, %d]", len(resp.Outputs), ProgramLimits().MaxOutputs)
+	}
+	hdr := make([]byte, 0, 1+8+8+8+4+4+4)
+	hdr = append(hdr, statusOK)
+	hdr = binary.LittleEndian.AppendUint64(hdr, resp.ID)
+	hdr = binary.LittleEndian.AppendUint64(hdr, resp.MakespanNanos)
+	hdr = binary.LittleEndian.AppendUint64(hdr, resp.SerialNanos)
+	hdr = binary.LittleEndian.AppendUint32(hdr, resp.KeyLoads)
+	hdr = binary.LittleEndian.AppendUint32(hdr, resp.Nodes)
+	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(len(resp.Outputs)))
+	if _, err := w.Write(hdr); err != nil {
+		return err
+	}
+	for _, ct := range resp.Outputs {
+		if err := ct.WriteTo(w, params); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadProgramResponse deserializes a CmdProgram reply.
+func ReadProgramResponse(r io.Reader, params *fv.Params) (*ProgramResponse, error) {
+	var status [1]byte
+	if _, err := io.ReadFull(r, status[:]); err != nil {
+		return nil, err
+	}
+	resp := &ProgramResponse{}
+	switch status[0] {
+	case statusErr:
+		var hdr [13]byte // id, code, message length
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			return nil, malformed(ErrMalformedResponse, "truncated program error header", err)
+		}
+		resp.ID = binary.LittleEndian.Uint64(hdr[:8])
+		resp.Code = hdr[8]
+		ln := binary.LittleEndian.Uint32(hdr[9:])
+		if ln == 0 || ln > 1<<16 {
+			return nil, fmt.Errorf("%w: implausible program error length %d", ErrMalformedResponse, ln)
+		}
+		msg := make([]byte, ln)
+		if _, err := io.ReadFull(r, msg); err != nil {
+			return nil, malformed(ErrMalformedResponse, "truncated program error message", err)
+		}
+		resp.Err = string(msg)
+		return resp, nil
+	case statusOK:
+	default:
+		return nil, fmt.Errorf("%w: unknown status byte %d", ErrMalformedResponse, status[0])
+	}
+	var hdr [36]byte // id, makespan, serial, key loads, nodes, output count
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, malformed(ErrMalformedResponse, "truncated program response header", err)
+	}
+	resp.ID = binary.LittleEndian.Uint64(hdr[:8])
+	resp.MakespanNanos = binary.LittleEndian.Uint64(hdr[8:16])
+	resp.SerialNanos = binary.LittleEndian.Uint64(hdr[16:24])
+	resp.KeyLoads = binary.LittleEndian.Uint32(hdr[24:28])
+	resp.Nodes = binary.LittleEndian.Uint32(hdr[28:32])
+	nOut := binary.LittleEndian.Uint32(hdr[32:36])
+	if nOut == 0 || int64(nOut) > int64(ProgramLimits().MaxOutputs) {
+		return nil, fmt.Errorf("%w: %d program outputs outside (0, %d]", ErrMalformedResponse, nOut, ProgramLimits().MaxOutputs)
+	}
+	resp.Outputs = make([]*fv.Ciphertext, nOut)
+	for i := range resp.Outputs {
+		ct, err := fv.ReadCiphertext(r, params)
+		if err != nil {
+			return nil, malformed(ErrMalformedResponse, fmt.Sprintf("reading program output %d", i), err)
+		}
+		resp.Outputs[i] = ct
+	}
+	return resp, nil
 }
 
 // ServerError is an error the server reported in a response — the node is

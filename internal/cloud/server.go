@@ -12,6 +12,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/fv"
 	"repro/internal/hwsim"
+	"repro/internal/program"
 )
 
 // DefaultTenant is the engine key namespace v1 requests (and v2 requests
@@ -206,6 +207,13 @@ func (s *Server) handle(conn net.Conn) {
 			}
 			continue
 		}
+		if req.Cmd == CmdProgram {
+			if err := WriteProgramResponse(conn, s.Params, s.processProgram(req)); err != nil {
+				s.Logger.Printf("cloud: write program response: %v", err)
+				return
+			}
+			continue
+		}
 		resp := s.process(req)
 		if err := WriteResponse(conn, s.Params, resp); err != nil {
 			s.Logger.Printf("cloud: write response: %v", err)
@@ -259,6 +267,42 @@ func (s *Server) process(req *Request) *Response {
 	resp.Result = res.Ct
 	resp.ComputeNanos = uint64(res.Report.ComputeSeconds() * 1e9)
 	resp.Worker = uint32(res.Worker)
+	return resp
+}
+
+// processProgram decodes and schedules one CmdProgram request. Decoding
+// happens here — after the frame was accepted — so a structurally broken or
+// checksum-failing program turns into a typed error response (CodeApp) on a
+// connection that stays usable, instead of a dropped connection.
+func (s *Server) processProgram(req *Request) *ProgramResponse {
+	start := time.Now()
+	resp := &ProgramResponse{ID: req.ID}
+	p, err := program.DecodeBytes(req.ProgBytes, ProgramLimits())
+	if err != nil {
+		resp.Err = err.Error()
+		resp.Code = CodeApp
+		return resp
+	}
+	res, err := s.Engine.SubmitProgram(context.Background(), engine.ProgramOp{
+		Tenant: req.Tenant,
+		Prog:   p,
+		Inputs: req.Inputs,
+	})
+	if err != nil {
+		resp.Err = err.Error()
+		resp.Code = errCode(err)
+		return resp
+	}
+	s.mu.Lock()
+	s.served++
+	s.mu.Unlock()
+	s.Logger.Printf("cloud: program tenant %q: %d nodes served in %v (simulated makespan %.3f ms on %d workers, %d key loads)",
+		req.Tenant, res.Nodes, time.Since(start), res.MakespanCycles.Seconds()*1e3, res.Workers, res.KeyLoads)
+	resp.Outputs = res.Outputs
+	resp.MakespanNanos = uint64(res.MakespanCycles.Seconds() * 1e9)
+	resp.SerialNanos = uint64(res.SerialCycles.Seconds() * 1e9)
+	resp.KeyLoads = uint32(res.KeyLoads)
+	resp.Nodes = uint32(res.Nodes)
 	return resp
 }
 

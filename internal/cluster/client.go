@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/cloud"
 	"repro/internal/fv"
+	"repro/internal/program"
 )
 
 // Client is the cluster-aware client: the same operations as cloud.Client,
@@ -58,6 +59,17 @@ func (c *Client) Rotate(ctx context.Context, tenant string, a *fv.Ciphertext, g 
 		return nil, 0, err
 	}
 	return resp.Result, time.Duration(resp.ComputeNanos), nil
+}
+
+// RunProgram executes a whole compiled program on the tenant's shard: one
+// routed round trip for the entire circuit, with the same replica failover
+// as single ops (a program is idempotent — pure function of its inputs).
+func (c *Client) RunProgram(ctx context.Context, tenant string, p *program.Program, inputs []*fv.Ciphertext) (*cloud.ProgramResponse, error) {
+	data, err := p.EncodeBytes()
+	if err != nil {
+		return nil, err
+	}
+	return c.r.DoProgram(ctx, &cloud.Request{Tenant: tenant, ProgBytes: data, Inputs: inputs})
 }
 
 // Ping verifies at least one backend is routable and alive.

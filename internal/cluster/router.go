@@ -170,11 +170,12 @@ func (r *Router) Candidates(tenant string) []string {
 }
 
 // isIdempotent reports whether a command may be retried on a replica after
-// a failure whose outcome is unknown. Every current op is a pure function
-// of its operands; the check is the seam for future stateful commands.
+// a failure whose outcome is unknown. Every current op — including a whole
+// program, which is a pure function of its inputs — may be; the check is
+// the seam for future stateful commands.
 func isIdempotent(cmd uint8) bool {
 	switch cmd {
-	case cloud.CmdAdd, cloud.CmdMul, cloud.CmdRotate, cloud.CmdPing:
+	case cloud.CmdAdd, cloud.CmdMul, cloud.CmdRotate, cloud.CmdPing, cloud.CmdProgram:
 		return true
 	}
 	return false
@@ -187,14 +188,38 @@ func isIdempotent(cmd uint8) bool {
 // missing evaluation key) return immediately. The response's BackendID is
 // recorded in the router's per-backend latency histograms.
 func (r *Router) Do(ctx context.Context, req *cloud.Request) (*cloud.Response, error) {
+	return routeWithFailover(r, ctx, req.Tenant, req.Cmd,
+		func(ctx context.Context, cl *cloud.Client) (*cloud.Response, error) {
+			return cl.Do(ctx, req)
+		})
+}
+
+// DoProgram routes one compiled-program request to the tenant's shard with
+// the same failover walk as Do: a whole program is one admission unit, one
+// wire exchange, and — being a pure function of its inputs — one idempotent
+// retry unit.
+func (r *Router) DoProgram(ctx context.Context, req *cloud.Request) (*cloud.ProgramResponse, error) {
+	return routeWithFailover(r, ctx, req.Tenant, cloud.CmdProgram,
+		func(ctx context.Context, cl *cloud.Client) (*cloud.ProgramResponse, error) {
+			return cl.DoProgram(ctx, req)
+		})
+}
+
+// routeWithFailover is the shared failover walk: candidates from the ring,
+// health filtering, bounded retries of idempotent commands on transport
+// errors and retryable server errors, immediate return on deterministic
+// ones. The exchange callback runs one attempt on an already-pooled client.
+func routeWithFailover[T any](r *Router, ctx context.Context, tenant string, cmd uint8,
+	exchange func(ctx context.Context, cl *cloud.Client) (T, error)) (T, error) {
+	var zero T
 	if ctx == nil {
 		ctx = context.Background()
 	}
 	r.reg.Counter("cluster_requests").Add(1)
-	candidates := r.ring.Lookup(req.Tenant, r.cfg.Replicas)
+	candidates := r.ring.Lookup(tenant, r.cfg.Replicas)
 	if len(candidates) == 0 {
 		r.reg.Counter("cluster_errors").Add(1)
-		return nil, ErrNoBackends
+		return zero, ErrNoBackends
 	}
 	var (
 		lastErr  error
@@ -203,7 +228,7 @@ func (r *Router) Do(ctx context.Context, req *cloud.Request) (*cloud.Response, e
 	for i, node := range candidates {
 		if err := ctx.Err(); err != nil {
 			r.reg.Counter("cluster_errors").Add(1)
-			return nil, err
+			return zero, err
 		}
 		if attempts >= r.cfg.MaxAttempts {
 			break
@@ -219,7 +244,7 @@ func (r *Router) Do(ctx context.Context, req *cloud.Request) (*cloud.Response, e
 			r.reg.Counter("cluster_retries").Add(1)
 		}
 		attempts++
-		resp, err := r.tryOn(ctx, node, req)
+		resp, err := tryOn(r, ctx, node, exchange)
 		if err == nil {
 			return resp, nil
 		}
@@ -230,7 +255,7 @@ func (r *Router) Do(ctx context.Context, req *cloud.Request) (*cloud.Response, e
 				// Deterministic application error: every replica would fail
 				// the same way.
 				r.reg.Counter("cluster_errors").Add(1)
-				return nil, err
+				return zero, err
 			}
 			if se.Code == cloud.CodeIntegrity {
 				// The backend caught corrupted co-processor state; the next
@@ -238,30 +263,32 @@ func (r *Router) Do(ctx context.Context, req *cloud.Request) (*cloud.Response, e
 				r.reg.Counter("cluster_integrity_reroutes").Add(1)
 			}
 		}
-		if !isIdempotent(req.Cmd) {
+		if !isIdempotent(cmd) {
 			r.reg.Counter("cluster_errors").Add(1)
-			return nil, err
+			return zero, err
 		}
 	}
 	r.reg.Counter("cluster_errors").Add(1)
 	if lastErr == nil {
-		return nil, fmt.Errorf("%w %q (candidates %v all ejected)", ErrNoBackends, req.Tenant, candidates)
+		return zero, fmt.Errorf("%w %q (candidates %v all ejected)", ErrNoBackends, tenant, candidates)
 	}
-	return nil, fmt.Errorf("%w after %d attempt(s): %w", ErrAttemptsExhausted, attempts, lastErr)
+	return zero, fmt.Errorf("%w after %d attempt(s): %w", ErrAttemptsExhausted, attempts, lastErr)
 }
 
 // tryOn runs one attempt against one backend under the per-attempt deadline,
 // reporting the outcome to the health manager.
-func (r *Router) tryOn(ctx context.Context, node string, req *cloud.Request) (*cloud.Response, error) {
+func tryOn[T any](r *Router, ctx context.Context, node string,
+	exchange func(ctx context.Context, cl *cloud.Client) (T, error)) (T, error) {
+	var zero T
 	actx, cancel := context.WithTimeout(ctx, r.cfg.AttemptTimeout)
 	defer cancel()
 	cl, err := r.pools[node].get()
 	if err != nil {
 		r.health.reportFailure(node, err)
-		return nil, fmt.Errorf("cluster: dial %s: %w", node, err)
+		return zero, fmt.Errorf("cluster: dial %s: %w", node, err)
 	}
 	start := time.Now()
-	resp, err := cl.Do(actx, req)
+	resp, err := exchange(actx, cl)
 	r.reg.Histogram("cluster_backend_latency:" + node).Observe(time.Since(start))
 	r.pools[node].put(cl) // closes it when the exchange broke the stream
 	if err != nil {
@@ -270,10 +297,10 @@ func (r *Router) tryOn(ctx context.Context, node string, req *cloud.Request) (*c
 			// The node answered: it is alive, even if overloaded. Only
 			// transport-level failures feed the circuit breaker.
 			r.health.reportSuccess(node)
-			return nil, err
+			return zero, err
 		}
 		r.health.reportFailure(node, err)
-		return nil, fmt.Errorf("cluster: backend %s: %w", node, err)
+		return zero, fmt.Errorf("cluster: backend %s: %w", node, err)
 	}
 	r.health.reportSuccess(node)
 	return resp, nil

@@ -189,6 +189,22 @@ func (s *Server) serveOne(conn net.Conn, req *cloud.Request) error {
 			resp.Result = fv.NewCiphertext(s.Params, 2)
 		}
 		return cloud.WriteResponse(conn, s.Params, resp)
+	case cloud.CmdProgram:
+		resp, err := s.Router.DoProgram(context.Background(), req)
+		if err != nil {
+			out := &cloud.ProgramResponse{ID: clientID, Err: err.Error(), Code: cloud.CodeUnavailable}
+			var se *cloud.ServerError
+			if errors.As(err, &se) {
+				out.Code = se.Code
+				out.Err = se.Msg
+			}
+			return cloud.WriteProgramResponse(conn, s.Params, out)
+		}
+		s.mu.Lock()
+		s.served++
+		s.mu.Unlock()
+		resp.ID = clientID
+		return cloud.WriteProgramResponse(conn, s.Params, resp)
 	}
 	resp, err := s.Router.Do(context.Background(), req)
 	if err != nil {

@@ -171,6 +171,13 @@ type Config struct {
 	// (default 1.0) are rejected with ErrNoiseBudget at admission.
 	NoiseGuard         bool
 	MinNoiseBudgetBits float64
+
+	// MaxPrograms bounds how many compiled programs may execute
+	// concurrently (default Workers). A program is one admission unit:
+	// admitting more programs than workers would interleave their
+	// wavefronts without increasing throughput, so excess submissions fail
+	// fast with ErrOverloaded like single ops do.
+	MaxPrograms int
 }
 
 func (c *Config) withDefaults() (Config, error) {
@@ -198,6 +205,9 @@ func (c *Config) withDefaults() (Config, error) {
 	}
 	if cfg.MinNoiseBudgetBits <= 0 {
 		cfg.MinNoiseBudgetBits = 1.0
+	}
+	if cfg.MaxPrograms <= 0 {
+		cfg.MaxPrograms = cfg.Workers
 	}
 	return cfg, nil
 }
@@ -232,6 +242,14 @@ type Engine struct {
 	batches chan *batch
 	m       metrics
 
+	// progTasks feeds per-node program work to the same worker pool as
+	// batches; progSlots is the program admission gate (capacity
+	// MaxPrograms); progWG tracks in-flight programs so Shutdown closes
+	// progTasks only after the last one drains.
+	progTasks chan *progTask
+	progSlots chan struct{}
+	progWG    sync.WaitGroup
+
 	// noise is the guardrail's prediction model (nil unless NoiseGuard);
 	// liveWorkers tracks pool members not yet quarantined.
 	noise       *fv.NoiseModel
@@ -260,11 +278,13 @@ func New(cfg Config) (*Engine, error) {
 		return nil, err
 	}
 	e := &Engine{
-		cfg:     cfg,
-		keys:    newKeyStore(),
-		queue:   make(chan *request, cfg.QueueDepth),
-		batches: make(chan *batch),
-		tenants: make(map[string]*tenantCounters),
+		cfg:       cfg,
+		keys:      newKeyStore(),
+		queue:     make(chan *request, cfg.QueueDepth),
+		batches:   make(chan *batch),
+		progTasks: make(chan *progTask),
+		progSlots: make(chan struct{}, cfg.MaxPrograms),
+		tenants:   make(map[string]*tenantCounters),
 	}
 	if cfg.NoiseGuard {
 		e.noise = fv.NewNoiseModel(cfg.Params)
@@ -288,7 +308,7 @@ func New(cfg Config) (*Engine, error) {
 		if cfg.Registry != nil {
 			accel.SetMetrics(cfg.Registry)
 		}
-		e.workers = append(e.workers, newWorker(i, accel, cfg.KeyCacheSlots))
+		e.workers = append(e.workers, newWorker(i, accel, cfg.KeyCacheSlots, fv.NewEvaluator(cfg.Params)))
 	}
 	e.liveWorkers.Store(int32(len(e.workers)))
 	e.wg.Add(1)
@@ -297,8 +317,26 @@ func New(cfg Config) (*Engine, error) {
 		e.wg.Add(1)
 		go func(w *worker) {
 			defer e.wg.Done()
-			for b := range e.batches {
-				e.runBatch(w, b)
+			// Two work sources share the pool: op batches from the batcher
+			// and per-node program tasks from the DAG scheduler. Each channel
+			// is nil-ed out once closed; the worker exits when both have
+			// drained (or it is quarantined).
+			batches, progs := e.batches, e.progTasks
+			for batches != nil || progs != nil {
+				select {
+				case b, ok := <-batches:
+					if !ok {
+						batches = nil
+						continue
+					}
+					e.runBatch(w, b)
+				case t, ok := <-progs:
+					if !ok {
+						progs = nil
+						continue
+					}
+					e.runProgTask(w, t)
+				}
 				if e.shouldQuarantine(w) {
 					return
 				}
@@ -414,6 +452,12 @@ func (e *Engine) Shutdown(ctx context.Context) error {
 	// Release the expvar name so the next engine under the same name is
 	// visible (stale bindings never clobber a newer publisher).
 	e.expvarBinding.Unpublish()
+	// Program admission is already refused (closed is set); close the task
+	// channel once the last in-flight program drains so workers can exit.
+	go func() {
+		e.progWG.Wait()
+		close(e.progTasks)
+	}()
 
 	drained := make(chan struct{})
 	go func() {

@@ -34,6 +34,11 @@ type metrics struct {
 	quarantined      atomic.Uint64
 	noiseRejected    atomic.Uint64
 
+	// Program-mode counters: programs completed and the DAG nodes they
+	// executed (a program is one admission unit but many ops).
+	programs     atomic.Uint64
+	programNodes atomic.Uint64
+
 	// queueWait is admission-to-dispatch, batchAssembly is the age of a
 	// batch when it is handed to a worker (first admit to emit), execTime is
 	// per-op worker service time — the three legs of a request's life.
@@ -49,6 +54,7 @@ type tenantCounters struct {
 	failed    atomic.Uint64
 	keyLoads  atomic.Uint64
 	simCycles atomic.Uint64
+	programs  atomic.Uint64
 }
 
 // TenantStats is the per-tenant slice of a Stats snapshot: how much load a
@@ -61,6 +67,8 @@ type TenantStats struct {
 	KeyLoads   uint64
 	SimCycles  uint64
 	SimSeconds float64
+	// Programs counts whole compiled programs this tenant completed here.
+	Programs uint64
 }
 
 // WorkerStats is the per-worker accounting slice of a Stats snapshot.
@@ -109,6 +117,12 @@ type Stats struct {
 	NoiseRejected    uint64
 	LiveWorkers      int
 
+	// Programs counts completed compiled programs; ProgramNodes the DAG
+	// nodes executed for them (not double-counted in Completed, which stays
+	// op-at-a-time).
+	Programs     uint64
+	ProgramNodes uint64
+
 	QueueWait     HistogramStats
 	BatchAssembly HistogramStats
 	ExecTime      HistogramStats
@@ -145,6 +159,8 @@ func (e *Engine) Stats() Stats {
 		Quarantined:      e.m.quarantined.Load(),
 		NoiseRejected:    e.m.noiseRejected.Load(),
 		LiveWorkers:      int(e.liveWorkers.Load()),
+		Programs:         e.m.programs.Load(),
+		ProgramNodes:     e.m.programNodes.Load(),
 		QueueWait:        e.m.queueWait.Snapshot(),
 		BatchAssembly:    e.m.batchAssembly.Snapshot(),
 		ExecTime:         e.m.execTime.Snapshot(),
@@ -175,6 +191,7 @@ func (e *Engine) Stats() Stats {
 				KeyLoads:   tc.keyLoads.Load(),
 				SimCycles:  cyc,
 				SimSeconds: hwsim.Cycles(cyc).Seconds(),
+				Programs:   tc.programs.Load(),
 			}
 		}
 	}

@@ -1,0 +1,410 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fv"
+	"repro/internal/hwsim"
+	"repro/internal/program"
+)
+
+// This file is the dependence-aware DAG scheduler: a compiled
+// internal/program executes as ONE admission unit instead of a stream of
+// independent Submit calls. That buys three things op-at-a-time serving
+// cannot have:
+//
+//   - One round trip. The client ships the whole circuit; intermediates
+//     never cross the wire (the paper's Fig. 11 deployment keeps them in
+//     co-processor memory for exactly this reason).
+//   - One key load per evaluation key. The relinearization key alone is
+//     ~1.2 MB for the paper set (Sec. V-D); op-at-a-time serving re-streams
+//     it whenever the LRU slot was lost. A program charges each key's DMA
+//     exactly once up front.
+//   - Wavefront parallelism. Analyze levelizes the DAG; every node in a
+//     wavefront has its operands ready, so the scheduler fans the wavefront
+//     across the worker pool and synchronizes only at level boundaries.
+//
+// Makespan accounting is deterministic on purpose: real goroutine
+// scheduling decides which worker computes which node, but the reported
+// MakespanCycles come from a virtual round-robin placement of the (data-
+// independent) per-node cycle counts onto Config.Workers lanes. Identical
+// submissions therefore report identical makespans, which is what lets the
+// benchmark-regression gate pin program-mode wins without calibration.
+
+// ProgramOp is one compiled program submission.
+type ProgramOp struct {
+	Tenant string
+	Prog   *program.Program
+	Inputs []*fv.Ciphertext
+	// BudgetHint is the caller-declared noise budget (bits) of the freshest
+	// input; zero means unknown. With Config.NoiseGuard the whole program is
+	// pre-screened through the fv noise model before any cycle is spent.
+	BudgetHint float64
+}
+
+// ProgramResult is the outcome of a scheduled program execution.
+type ProgramResult struct {
+	Outputs []*fv.Ciphertext
+	Nodes   int // DAG nodes executed
+
+	// MakespanCycles is the deterministic simulated completion time of the
+	// levelized schedule on Config.Workers lanes, including the key
+	// prologue; SerialCycles is what the same nodes would cost end to end on
+	// one lane (the op-at-a-time floor). Their ratio is the parallel
+	// speedup the DAG exposed.
+	MakespanCycles hwsim.Cycles
+	SerialCycles   hwsim.Cycles
+	KeyLoadCycles  hwsim.Cycles
+
+	KeyLoads int // evaluation keys streamed (once each, the point of program mode)
+	Workers  int // scheduling lanes used for the makespan model
+	Retries  int // integrity-failure node retries that recovered
+	Wait     time.Duration
+}
+
+// progTask is one DAG node handed to the worker pool. Operands are resolved
+// by the scheduler (they live in earlier wavefronts), so a worker needs no
+// program context — it executes the node and reports back on res, which is
+// buffered to the wavefront width and never blocks.
+type progTask struct {
+	op    program.OpCode
+	a, b  *fv.Ciphertext
+	plain *fv.Plaintext
+	g     int
+	rk    *fv.RelinKey
+	gk    *fv.GaloisKey
+
+	def int // value index this node defines
+	res chan progNodeResult
+}
+
+type progNodeResult struct {
+	def    int
+	ct     *fv.Ciphertext
+	cycles hwsim.Cycles
+	err    error
+}
+
+// SubmitProgram admits a compiled program and blocks until every output is
+// computed, the deadline passes, or the context is canceled. Admission is
+// bounded by Config.MaxPrograms (ErrOverloaded beyond it); missing
+// evaluation keys fail fast with ErrNoKey before any node executes.
+func (e *Engine) SubmitProgram(ctx context.Context, op ProgramOp) (*ProgramResult, error) {
+	p := op.Prog
+	if p == nil {
+		return nil, errors.New("engine: nil program")
+	}
+	if err := p.Verify(); err != nil {
+		return nil, err
+	}
+	if err := p.CheckParams(e.cfg.Params); err != nil {
+		return nil, err
+	}
+	if len(op.Inputs) != p.NumInputs {
+		return nil, fmt.Errorf("engine: program needs %d inputs, got %d", p.NumInputs, len(op.Inputs))
+	}
+	if err := e.programNoiseGuard(p, op.BudgetHint); err != nil {
+		return nil, err
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+
+	// Admission: one slot per in-flight program, non-blocking like Submit.
+	select {
+	case e.progSlots <- struct{}{}:
+	default:
+		e.m.rejected.Add(1)
+		return nil, ErrOverloaded
+	}
+	e.mu.RLock()
+	if e.closed {
+		e.mu.RUnlock()
+		<-e.progSlots
+		return nil, ErrShutdown
+	}
+	// progWG is raised under the same lock that Shutdown takes to set
+	// closed, so Shutdown's progWG.Wait() cannot miss us.
+	e.progWG.Add(1)
+	e.mu.RUnlock()
+	defer func() {
+		e.progWG.Done()
+		<-e.progSlots
+	}()
+
+	now := time.Now()
+	deadline := time.Time{}
+	if d, ok := ctx.Deadline(); ok {
+		deadline = d
+	}
+	if e.cfg.Deadline > 0 {
+		if d := now.Add(e.cfg.Deadline); deadline.IsZero() || d.Before(deadline) {
+			deadline = d
+		}
+	}
+	e.m.submitted.Add(1)
+	tc := e.tenant(op.Tenant)
+
+	res, err := e.runProgram(ctx, op, deadline)
+	if err != nil {
+		if errors.Is(err, ErrDeadlineExceeded) {
+			e.m.expired.Add(1)
+		} else {
+			e.m.failed.Add(1)
+			tc.failed.Add(1)
+		}
+		return nil, err
+	}
+	res.Wait = time.Since(now)
+	e.m.programs.Add(1)
+	e.m.programNodes.Add(uint64(res.Nodes))
+	e.m.completed.Add(1)
+	tc.completed.Add(1)
+	tc.programs.Add(1)
+	tc.simCycles.Add(uint64(res.MakespanCycles))
+	return res, nil
+}
+
+// runProgram is the scheduler proper: key prologue, then one wavefront at a
+// time through the worker pool.
+func (e *Engine) runProgram(ctx context.Context, op ProgramOp, deadline time.Time) (*ProgramResult, error) {
+	p := op.Prog
+	tc := e.tenant(op.Tenant)
+
+	// Key prologue: resolve and charge every evaluation key the program
+	// needs exactly once. Op-at-a-time serving pays this per batch (and per
+	// LRU miss); a program pays it per submission, period.
+	var (
+		rk        *fv.RelinKey
+		gks       = map[int]*fv.GaloisKey{}
+		keyCycles hwsim.Cycles
+		keyLoads  int
+	)
+	anyAccel := e.workers[0].accel
+	if p.NeedsRelinKey() {
+		if rk = e.keys.relin(op.Tenant); rk == nil {
+			return nil, fmt.Errorf("%w: relinearization key for tenant %q", ErrNoKey, op.Tenant)
+		}
+		keyCycles += anyAccel.KeyStreamCycles(core.RelinKeyBytes(e.cfg.Params, rk))
+		keyLoads++
+	}
+	for _, g := range p.GaloisElements() {
+		gk := e.keys.galois(op.Tenant, g)
+		if gk == nil {
+			return nil, fmt.Errorf("%w: Galois key for element %d, tenant %q", ErrNoKey, g, op.Tenant)
+		}
+		gks[g] = gk
+		keyCycles += anyAccel.KeyStreamCycles(core.GaloisKeyBytes(e.cfg.Params, gk))
+		keyLoads++
+	}
+	e.m.keyLoads.Add(uint64(keyLoads))
+	tc.keyLoads.Add(uint64(keyLoads))
+
+	analysis := p.Analyze()
+	plains := program.MaterializePlains(e.cfg.Params, p)
+	vals := make([]*fv.Ciphertext, p.NumValues())
+	copy(vals, op.Inputs)
+	nodeCycles := make([]hwsim.Cycles, p.NumValues())
+	retriesLeft := make([]int, len(p.Nodes))
+	for i := range retriesLeft {
+		retriesLeft[i] = e.cfg.MaxIntegrityRetries
+	}
+
+	makespan := keyCycles
+	serial := keyCycles
+	totalRetries := 0
+
+	for _, level := range analysis.Levels {
+		if err := e.programTick(ctx, deadline); err != nil {
+			return nil, err
+		}
+		// Dispatch the whole wavefront: every node's operands are defined in
+		// strictly earlier levels, so vals reads here race with nothing.
+		pending := level
+		results := make(chan progNodeResult, len(level))
+		for len(pending) > 0 {
+			for _, ni := range pending {
+				n := p.Nodes[ni]
+				t := &progTask{op: n.Op, a: vals[n.A], def: p.NumInputs + ni, res: results}
+				switch {
+				case n.Op == program.OpAdd || n.Op == program.OpSub:
+					t.b = vals[n.B]
+				case n.Op == program.OpMul || n.Op == program.OpMulNR:
+					t.b = vals[n.B]
+					t.rk = rk
+				case n.Op == program.OpRelin:
+					t.rk = rk
+				case n.Op == program.OpRotate:
+					t.g = n.B
+					t.gk = gks[n.B]
+				case n.Op == program.OpAddPlain || n.Op == program.OpMulPlain:
+					t.plain = plains[n.B]
+				}
+				select {
+				case e.progTasks <- t:
+				case <-ctx.Done():
+					return nil, ctx.Err()
+				}
+			}
+			// Collect the wavefront. Integrity failures re-dispatch the node
+			// (operands are still pristine in vals), up to the same retry
+			// budget single ops get.
+			var redo []int
+			for range pending {
+				r := <-results
+				ni := r.def - p.NumInputs
+				if r.err != nil {
+					if errors.Is(r.err, hwsim.ErrIntegrity) && retriesLeft[ni] > 0 {
+						retriesLeft[ni]--
+						totalRetries++
+						e.m.integrityRetries.Add(1)
+						redo = append(redo, ni)
+						continue
+					}
+					return nil, fmt.Errorf("engine: program node %d (%v): %w", ni, p.Nodes[ni].Op, r.err)
+				}
+				vals[r.def] = r.ct
+				nodeCycles[r.def] = r.cycles
+			}
+			pending = redo
+		}
+		// Deterministic makespan: place the level's (data-independent) node
+		// costs on Config.Workers virtual lanes round-robin, in node order.
+		lanes := make([]hwsim.Cycles, e.cfg.Workers)
+		for i, ni := range level {
+			c := nodeCycles[p.NumInputs+ni]
+			lanes[i%len(lanes)] += c
+			serial += c
+		}
+		levelSpan := hwsim.Cycles(0)
+		for _, l := range lanes {
+			if l > levelSpan {
+				levelSpan = l
+			}
+		}
+		makespan += levelSpan
+	}
+
+	outs := make([]*fv.Ciphertext, len(p.Outputs))
+	for i, o := range p.Outputs {
+		outs[i] = vals[o]
+	}
+	return &ProgramResult{
+		Outputs:        outs,
+		Nodes:          len(p.Nodes),
+		MakespanCycles: makespan,
+		SerialCycles:   serial,
+		KeyLoadCycles:  keyCycles,
+		KeyLoads:       keyLoads,
+		Workers:        e.cfg.Workers,
+		Retries:        totalRetries,
+	}, nil
+}
+
+// programTick enforces deadline and cancellation between wavefronts.
+func (e *Engine) programTick(ctx context.Context, deadline time.Time) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if !deadline.IsZero() && time.Now().After(deadline) {
+		return ErrDeadlineExceeded
+	}
+	return nil
+}
+
+// programNoiseGuard pre-screens the whole program through the fv noise
+// model: if the hinted input budget cannot survive to the outputs, refuse
+// before spending a single simulated cycle.
+func (e *Engine) programNoiseGuard(p *program.Program, hint float64) error {
+	if e.noise == nil || hint <= 0 {
+		return nil
+	}
+	predicted := p.PredictBudget(e.noise, hint)
+	if predicted < e.cfg.MinNoiseBudgetBits {
+		e.m.noiseRejected.Add(1)
+		return fmt.Errorf("%w: program predicted to leave %.1f bits (floor %.1f)",
+			ErrNoiseBudget, predicted, e.cfg.MinNoiseBudgetBits)
+	}
+	return nil
+}
+
+// runProgTask executes one DAG node on w. Accelerator-native ops (add, mul,
+// rotate) run on the simulated co-processor with its cycle accounting and
+// integrity checks; the rest run on the worker's software evaluator with
+// cycles from swOpCycles so the makespan model stays in one currency.
+func (e *Engine) runProgTask(w *worker, t *progTask) {
+	if e.testExecHook != nil {
+		e.testExecHook(w.id)
+	}
+	var (
+		ct     *fv.Ciphertext
+		cycles hwsim.Cycles
+		err    error
+	)
+	start := time.Now()
+	switch t.op {
+	case program.OpAdd:
+		var rep core.Report
+		ct, rep, err = w.accel.Add(t.a, t.b)
+		cycles = rep.ComputeCycles
+	case program.OpMul:
+		var rep core.Report
+		ct, rep, err = w.accel.Mul(t.a, t.b, t.rk)
+		cycles = rep.ComputeCycles
+	case program.OpRotate:
+		var rep core.Report
+		ct, rep, err = w.accel.Rotate(t.a, t.gk)
+		cycles = rep.ComputeCycles
+	case program.OpSub:
+		ct = w.ev.Sub(t.a, t.b)
+		cycles = e.swOpCycles(1)
+	case program.OpNeg:
+		ct = w.ev.Neg(t.a)
+		cycles = e.swOpCycles(1)
+	case program.OpMulNR:
+		ct = w.ev.MulNoRelin(t.a, t.b)
+		cycles = e.swOpCycles(4) // tensor product: four cross multiplications
+	case program.OpRelin:
+		ct = w.ev.Relinearize(t.a, t.rk)
+		cycles = e.swOpCycles(2 * t.rk.Ell)
+	case program.OpAddPlain:
+		ct = w.ev.AddPlain(t.a, t.plain)
+		cycles = e.swOpCycles(1)
+	case program.OpMulPlain:
+		ct = w.ev.MulPlain(t.a, t.plain)
+		cycles = e.swOpCycles(2)
+	default:
+		err = fmt.Errorf("engine: unsupported program opcode %d", uint8(t.op))
+	}
+	e.m.execTime.Observe(time.Since(start))
+	if err != nil {
+		if errors.Is(err, hwsim.ErrIntegrity) {
+			e.m.integrityFaults.Add(1)
+			w.integrityFails.Add(1)
+		}
+		t.res <- progNodeResult{def: t.def, err: err}
+		return
+	}
+	w.ops.Add(1)
+	w.simCycles.Add(uint64(cycles))
+	t.res <- progNodeResult{def: t.def, ct: ct, cycles: cycles}
+}
+
+// swOpCycles models a software-executed program node in FPGA cycles so the
+// makespan stays in one unit: `passes` coefficient-wise passes over a full
+// R_q ciphertext component (k residue rows of n lanes, two lanes per RPAU
+// cycle, rows fanned across the co-processor's RPAUs) plus one instruction
+// dispatch. This mirrors the hwsim CADD/CMUL cost shape (n/2 + pipeline
+// depth per row wave).
+func (e *Engine) swOpCycles(passes int) hwsim.Cycles {
+	c := e.workers[0].accel.Platform.Coprocs[0]
+	k := c.KQ
+	rpaus := c.NumRPAUs()
+	rowWaves := (k + rpaus - 1) / rpaus
+	perPass := hwsim.Cycles(rowWaves * (c.N/2 + c.Timing.ButterflyPipelineDepth))
+	return hwsim.Cycles(passes)*perPass + hwsim.Cycles(c.Timing.InstrDispatchCycles)
+}

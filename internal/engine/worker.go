@@ -19,6 +19,11 @@ type worker struct {
 	id    int
 	accel *core.Accelerator
 	cache *keyCache
+	// ev is the software evaluator for program nodes the co-processor has
+	// no instruction for (subtraction, plaintext operands, lazy
+	// relinearization); their cost is still charged in modeled FPGA cycles
+	// so makespans stay comparable.
+	ev *fv.Evaluator
 
 	// Accumulated accounting, read concurrently by Stats.
 	ops       atomic.Uint64
@@ -32,8 +37,8 @@ type worker struct {
 	quarantined    atomic.Bool
 }
 
-func newWorker(id int, accel *core.Accelerator, cacheSlots int) *worker {
-	return &worker{id: id, accel: accel, cache: newKeyCache(cacheSlots)}
+func newWorker(id int, accel *core.Accelerator, cacheSlots int, ev *fv.Evaluator) *worker {
+	return &worker{id: id, accel: accel, cache: newKeyCache(cacheSlots), ev: ev}
 }
 
 // runBatch executes one batch on w: resolve the evaluation key once, charge

@@ -1,0 +1,264 @@
+// Program-mode chaos: the same never-silently-wrong contract as
+// chaos_test.go, but with the whole circuit submitted as ONE admission unit
+// (engine.SubmitProgram / cloud.CmdProgram). A fault mid-program is nastier
+// than mid-op — dozens of intermediates are in flight inside the scheduler,
+// none of them visible to the client — so the contract is checked at the
+// only boundary that matters: every program either returns outputs
+// bit-identical to the clean software interpreter or fails with a typed
+// error. Seeds are pinned; failures replay exactly.
+package faults_test
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cloud"
+	"repro/internal/cluster"
+	"repro/internal/engine"
+	"repro/internal/faults"
+	"repro/internal/fv"
+	"repro/internal/obs"
+	"repro/internal/program"
+)
+
+// progFixture extends the chaos fixture with one compiled DAG — three muls
+// and an add over the three fixture ciphertexts — and its clean reference
+// output from the software interpreter.
+type progFixture struct {
+	*chaosFixture
+	prog    *program.Program
+	want    *fv.Ciphertext
+	wantVal uint64
+}
+
+var progFx = sync.OnceValues(func() (*progFixture, error) {
+	fx, err := chaosFx()
+	if err != nil {
+		return nil, err
+	}
+	b := program.NewBuilder()
+	a, x, c := b.Input(), b.Input(), b.Input()
+	m1 := b.Mul(a, x)      // 2·3 = 6
+	m2 := b.Mul(x, c)      // 3·4 = 12
+	m3 := b.Mul(m1, m2)    // 72
+	b.Output(b.Add(m3, a)) // 74
+	p, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	outs, err := program.Run(fx.params, p, fx.cts, program.Keys{Relin: fx.rk})
+	if err != nil {
+		return nil, err
+	}
+	pf := &progFixture{chaosFixture: fx, prog: p, want: outs[0]}
+	pf.wantVal = fv.NewDecryptor(fx.params, fx.sk).Decrypt(outs[0]).Coeffs[0]
+	return pf, nil
+})
+
+func progFixtureT(t *testing.T) *progFixture {
+	t.Helper()
+	fx, err := progFx()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fx
+}
+
+// TestChaosProgramRPAU is the issue's mid-program hardware half: 24
+// pinned-seed schedules arm an RPAU kill or stall — plus BRAM/limb garbles —
+// to fire while the DAG scheduler has wavefronts in flight on two workers.
+// Contract per schedule: outputs bit-identical to the interpreter or a typed
+// refusal, detections ≥ faults fired, and across the run the per-node retry
+// path must actually recover at least once (a chaos harness whose faults are
+// all fatal proves nothing about self-healing).
+func TestChaosProgramRPAU(t *testing.T) {
+	fx := progFixtureT(t)
+	dec := fv.NewDecryptor(fx.params, fx.sk)
+	classes := []faults.Class{faults.ClassRPAU, faults.ClassBRAM, faults.ClassLimb}
+
+	var totalFired, totalDetected, totalRetries uint64
+	var refused int
+	for i := 0; i < 24; i++ {
+		i := i
+		t.Run(fmt.Sprintf("schedule-%02d", i), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(4000 + i)))
+			inj := faults.New(int64(8000 + i))
+			// Always at least one RPAU fault (the headline scenario), plus
+			// whatever else the schedule draws.
+			rpau := faults.Spec{Class: faults.ClassRPAU, After: uint64(rng.Intn(40))}
+			if rng.Intn(2) == 0 {
+				rpau.Mode = faults.ModeStall
+				rpau.Param = 128 + rng.Intn(1024)
+			} else {
+				rpau.Mode = faults.ModeKill
+			}
+			inj.Arm(rpau)
+			armEngineSchedule(rng, inj, classes)
+
+			reg := obs.NewRegistry()
+			e, err := engine.New(engine.Config{
+				Params:              fx.params,
+				Workers:             2,
+				IntegrityChecks:     true,
+				IntegritySeed:       int64(400 + i),
+				FaultInjector:       inj,
+				Registry:            reg,
+				MaxIntegrityRetries: 3,
+				QuarantineAfter:     -1,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer func() {
+				ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+				defer cancel()
+				if err := e.Shutdown(ctx); err != nil {
+					t.Errorf("shutdown: %v", err)
+				}
+			}()
+			e.SetRelinKey("", fx.rk)
+
+			res, err := e.SubmitProgram(context.Background(), engine.ProgramOp{
+				Prog: fx.prog, Inputs: fx.cts,
+			})
+			if err != nil {
+				if !typedFailure(err) {
+					t.Fatalf("untyped program failure: %v", err)
+				}
+				if inj.Stats().TotalFired == 0 {
+					t.Fatalf("program refused with no fault fired: %v", err)
+				}
+				refused++
+			} else {
+				if !res.Outputs[0].Equal(fx.want) {
+					t.Fatal("SILENT CORRUPTION — program output differs from the interpreter")
+				}
+				if got := dec.Decrypt(res.Outputs[0]).Coeffs[0]; got != fx.wantVal {
+					t.Fatalf("program decrypted %d, want %d", got, fx.wantVal)
+				}
+			}
+			fired := inj.Stats().TotalFired
+			detected := hwDetections(reg)
+			if detected < fired {
+				t.Fatalf("%d faults fired but only %d detections", fired, detected)
+			}
+			totalFired += fired
+			totalDetected += detected
+			totalRetries += e.Stats().IntegrityRetries
+		})
+	}
+	if totalFired < 20 {
+		t.Fatalf("harness too tame: only %d faults fired across 24 schedules", totalFired)
+	}
+	if totalRetries == 0 {
+		t.Fatal("no schedule exercised the per-node integrity retry path")
+	}
+	t.Logf("program chaos: %d faults fired, %d detections, %d node retries, %d programs refused",
+		totalFired, totalDetected, totalRetries, refused)
+}
+
+// TestChaosProgramFrame is the issue's mid-program network half: program
+// request/response frames garbled or dropped by a faults.Proxy in front of
+// each of two backends, the cluster router on top. A program frame is the
+// biggest message the protocol carries (serialized circuit + every input
+// ciphertext), so a bit flip has the most surface to hide in; the hardened
+// decoders plus checksum must turn every corruption into a typed error, the
+// router must fail over, and whenever a response does come back it must
+// decrypt to the right value.
+func TestChaosProgramFrame(t *testing.T) {
+	fx := progFixtureT(t)
+	backends := startFrameBackends(t, fx.chaosFixture)
+	dec := fv.NewDecryptor(fx.params, fx.sk)
+	progBytes, err := fx.prog.EncodeBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var totalFired, totalRetries uint64
+	answered := 0
+	for i := 0; i < 16; i++ {
+		i := i
+		t.Run(fmt.Sprintf("schedule-%02d", i), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(5000 + i)))
+			inj := faults.New(int64(9500 + i))
+			n := 1 + rng.Intn(2)
+			for f := 0; f < n; f++ {
+				mode := faults.ModeGarble
+				if rng.Intn(2) == 0 {
+					mode = faults.ModeDrop
+				}
+				inj.Arm(faults.Spec{Class: faults.ClassFrame, After: uint64(rng.Intn(8)), Mode: mode})
+			}
+
+			var proxied [2]*faults.Proxy
+			var members []cluster.Backend
+			for j, b := range backends {
+				p, err := faults.NewProxy(b.addr, inj)
+				if err != nil {
+					t.Fatal(err)
+				}
+				proxied[j] = p
+				members = append(members, cluster.Backend{ID: fmt.Sprintf("n%d", j), Addr: p.Addr()})
+			}
+			reg := obs.NewRegistry()
+			router, err := cluster.NewRouter(cluster.Config{
+				Params:         fx.params,
+				Backends:       members,
+				Replicas:       2,
+				MaxAttempts:    3,
+				AttemptTimeout: 5 * time.Second,
+				Registry:       reg,
+				Health:         cluster.HealthConfig{Interval: time.Hour, FailThreshold: 100, Seed: 1},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer func() {
+				router.Close()
+				for _, p := range proxied {
+					p.Close()
+				}
+			}()
+
+			for k := 0; k < 4; k++ {
+				ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+				resp, err := router.DoProgram(ctx, &cloud.Request{
+					ProgBytes: progBytes, Inputs: fx.cts,
+				})
+				cancel()
+				if err != nil {
+					if inj.Stats().TotalFired == 0 {
+						t.Fatalf("program %d failed with no fault fired: %v", k, err)
+					}
+					continue
+				}
+				if !resp.Outputs[0].Equal(fx.want) {
+					t.Fatalf("program %d: SILENT CORRUPTION through the wire", k)
+				}
+				if got := dec.Decrypt(resp.Outputs[0]).Coeffs[0]; got != fx.wantVal {
+					t.Fatalf("program %d: decrypted %d, want %d", k, got, fx.wantVal)
+				}
+				answered++
+			}
+			fired := inj.Stats().TotalFired
+			retries := reg.Counter("cluster_retries").Value()
+			if fired > 0 && retries == 0 {
+				t.Fatalf("%d frame faults fired but the router never failed over", fired)
+			}
+			totalFired += fired
+			totalRetries += retries
+		})
+	}
+	if totalFired < 8 {
+		t.Fatalf("frame harness too tame: only %d faults fired across 16 schedules", totalFired)
+	}
+	if answered == 0 {
+		t.Fatal("no program ever completed — the failover path never succeeded")
+	}
+	t.Logf("program frame chaos: %d faults fired, %d failovers, %d programs answered correctly",
+		totalFired, totalRetries, answered)
+}

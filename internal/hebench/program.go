@@ -1,0 +1,243 @@
+package hebench
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/fv"
+	"repro/internal/hwsim"
+	"repro/internal/program"
+	"repro/internal/sampler"
+)
+
+// OpProgramEncSearch names the program-mode encrypted-search result: the
+// deterministic simulated makespan of one whole CompileEncSearch program
+// scheduled across the engine's worker lanes. The CI gate pins it next to
+// the op-at-a-time ops so a scheduler regression (a wavefront serializing,
+// a key streamed per node again) moves a machine-independent number.
+const OpProgramEncSearch = "program_encsearch"
+
+// programComparison is one encrypted-search query measured both ways —
+// op-at-a-time round trips against a single compiled-program submission —
+// with decrypted results so the comparison never reports a win from a wrong
+// answer.
+type programComparison struct {
+	// Round trips: engine admissions the query costs each way. Program mode
+	// is 1 by construction; opwise pays one per ciphertext-ciphertext op.
+	OpwiseRoundTrips  int
+	ProgramRoundTrips int
+
+	// OpwiseSerialCycles is the single-worker engine's total simulated busy
+	// time for the op stream; ProgramMakespanCycles is the DAG schedule's
+	// deterministic completion time on ProgramWorkers lanes (key prologue
+	// included).
+	OpwiseSerialCycles    uint64
+	ProgramMakespanCycles uint64
+	ProgramSerialCycles   uint64
+
+	KeyLoads int // program-mode evaluation-key streams (want: 1)
+	Nodes    int
+
+	// Decrypted search results, both ways, and the expected value.
+	OpwiseValue  int64
+	ProgramValue int64
+	Want         int64
+}
+
+// runProgramComparison builds the encrypted-search workload (cfg.ProgramEntries
+// table rows, cfg.ProgramKeyBits-bit keys), runs it op by op on a one-worker
+// engine and as one program on a cfg.ProgramWorkers engine, and returns both
+// cost profiles. Everything measured is simulated time, so the numbers are
+// machine-independent and exactly reproducible.
+func runProgramComparison(cfg SmokeConfig) (*programComparison, error) {
+	// Depth headroom for the ⌈log2 keyBits⌉ AND tree at t = 2: six 30-bit q
+	// primes carry the depth-3 tree of 8-bit keys with a wide margin.
+	params, err := fv.NewParams(fv.Config{
+		N: 512, T: 2, QCount: 6, PCount: 7, PrimeBits: 30,
+		Sigma: 3.2, RelinLogW: 30, RelinDepth: 7,
+	})
+	if err != nil {
+		return nil, err
+	}
+	kg := fv.NewKeyGenerator(params, sampler.NewPRNG(2027))
+	sk, pk, rk := kg.GenKeys()
+
+	table := make([]program.TableEntry, cfg.ProgramEntries)
+	for i := range table {
+		// Distinct keys spread over the key space; value 0 is reserved for
+		// "no match", so entries carry 100+i.
+		table[i] = program.TableEntry{
+			Key:   uint64(i*37+11) % (1 << cfg.ProgramKeyBits),
+			Value: int64(100 + i),
+		}
+	}
+	match := len(table) / 2
+	query := table[match].Key
+
+	p, err := program.CompileEncSearch(params, table, cfg.ProgramKeyBits)
+	if err != nil {
+		return nil, err
+	}
+
+	enc := fv.NewEncryptor(params, pk, sampler.NewPRNG(5))
+	inputs := make([]*fv.Ciphertext, p.NumInputs)
+	for i := range inputs {
+		pt := fv.NewPlaintext(params)
+		pt.Coeffs[0] = (query >> i) & 1
+		inputs[i] = enc.Encrypt(pt)
+	}
+
+	cmp := &programComparison{
+		ProgramRoundTrips: 1,
+		Nodes:             len(p.Nodes),
+		Want:              table[match].Value,
+	}
+	dec := fv.NewDecryptor(params, sk)
+	ienc := fv.NewIntegerEncoder(params)
+
+	// Op-at-a-time side: every ciphertext-ciphertext op is one engine
+	// admission (one wire round trip in deployment); plaintext ops run on the
+	// client, as an op-serving client would.
+	opwiseOut, err := runOpwise(params, rk, p, inputs, cmp)
+	if err != nil {
+		return nil, err
+	}
+	if cmp.OpwiseValue, err = ienc.Decode(dec.Decrypt(opwiseOut)); err != nil {
+		return nil, err
+	}
+
+	// Program side: the whole circuit as one admission unit.
+	eng, err := engine.New(engine.Config{
+		Params:        params,
+		Workers:       cfg.ProgramWorkers,
+		QueueDepth:    16,
+		KeyCacheSlots: 2,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		eng.Shutdown(ctx)
+		cancel()
+	}()
+	eng.SetRelinKey("", rk)
+	res, err := eng.SubmitProgram(context.Background(), engine.ProgramOp{Prog: p, Inputs: inputs})
+	if err != nil {
+		return nil, err
+	}
+	cmp.ProgramMakespanCycles = uint64(res.MakespanCycles)
+	cmp.ProgramSerialCycles = uint64(res.SerialCycles)
+	cmp.KeyLoads = res.KeyLoads
+	if cmp.ProgramValue, err = ienc.Decode(dec.Decrypt(res.Outputs[0])); err != nil {
+		return nil, err
+	}
+	return cmp, nil
+}
+
+// runOpwise executes the program's node list the way an op-serving client
+// must: Add/Mul/Rotate each cost one engine round trip (counted), plaintext
+// and software-only ops run locally, and every intermediate lives on the
+// client between trips. Returns the single output ciphertext.
+func runOpwise(params *fv.Params, rk *fv.RelinKey, p *program.Program,
+	inputs []*fv.Ciphertext, cmp *programComparison) (*fv.Ciphertext, error) {
+	eng, err := engine.New(engine.Config{
+		Params:     params,
+		Workers:    1, // the op-at-a-time serial floor
+		QueueDepth: 16,
+		// Both relin-key cache slots stay resident so the opwise side also
+		// pays the key stream only once — the comparison isolates round trips
+		// and scheduling, not cache pressure.
+		KeyCacheSlots: 2,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		eng.Shutdown(ctx)
+		cancel()
+	}()
+	eng.SetRelinKey("", rk)
+
+	ev := fv.NewEvaluator(params)
+	plains := program.MaterializePlains(params, p)
+	vals := make([]*fv.Ciphertext, p.NumValues())
+	copy(vals, inputs)
+	ctx := context.Background()
+	for i, n := range p.Nodes {
+		def := p.NumInputs + i
+		switch n.Op {
+		case program.OpAdd:
+			r, err := eng.Submit(ctx, engine.Op{Kind: engine.OpAdd, A: vals[n.A], B: vals[n.B]})
+			if err != nil {
+				return nil, err
+			}
+			vals[def] = r.Ct
+			cmp.OpwiseRoundTrips++
+		case program.OpMul:
+			r, err := eng.Submit(ctx, engine.Op{Kind: engine.OpMul, A: vals[n.A], B: vals[n.B]})
+			if err != nil {
+				return nil, err
+			}
+			vals[def] = r.Ct
+			cmp.OpwiseRoundTrips++
+		case program.OpRotate:
+			r, err := eng.Submit(ctx, engine.Op{Kind: engine.OpRotate, A: vals[n.A], G: n.B})
+			if err != nil {
+				return nil, err
+			}
+			vals[def] = r.Ct
+			cmp.OpwiseRoundTrips++
+		case program.OpSub:
+			vals[def] = ev.Sub(vals[n.A], vals[n.B])
+		case program.OpNeg:
+			vals[def] = ev.Neg(vals[n.A])
+		case program.OpMulNR:
+			vals[def] = ev.MulNoRelin(vals[n.A], vals[n.B])
+		case program.OpRelin:
+			vals[def] = ev.Relinearize(vals[n.A], rk)
+		case program.OpAddPlain:
+			vals[def] = ev.AddPlain(vals[n.A], plains[n.B])
+		case program.OpMulPlain:
+			vals[def] = ev.MulPlain(vals[n.A], plains[n.B])
+		default:
+			return nil, fmt.Errorf("hebench: unknown opcode %d", uint8(n.Op))
+		}
+	}
+	for _, w := range eng.Stats().PerWorker {
+		cmp.OpwiseSerialCycles += w.SimCycles
+	}
+	return vals[p.Outputs[0]], nil
+}
+
+// smokeProgram measures the program-mode encrypted search for the report:
+// NsPerOp is the simulated makespan of one whole query, so the regression
+// gate catches both slower node schedules and lost wavefront parallelism on
+// any machine.
+func smokeProgram(cfg SmokeConfig) (BenchResult, error) {
+	var samples []float64
+	var makespan uint64
+	for s := 0; s < cfg.Count; s++ {
+		cmp, err := runProgramComparison(cfg)
+		if err != nil {
+			return BenchResult{}, err
+		}
+		if cmp.ProgramValue != cmp.Want {
+			return BenchResult{}, fmt.Errorf("hebench: program search decrypted %d, want %d",
+				cmp.ProgramValue, cmp.Want)
+		}
+		makespan = cmp.ProgramMakespanCycles
+		samples = append(samples, hwsim.Cycles(makespan).Seconds()*1e9)
+	}
+	return BenchResult{
+		Op:            OpProgramEncSearch,
+		NsPerOp:       median(samples),
+		SimCycles:     makespan,
+		PoolWidth:     cfg.ProgramWorkers,
+		Samples:       samples,
+		Deterministic: true,
+	}, nil
+}

@@ -1,0 +1,70 @@
+package hebench
+
+import "testing"
+
+// TestProgramEncSearchWins is the program-mode acceptance gate from the
+// issue: one compiled encrypted-search query must cost at least 5x fewer
+// round trips than op-at-a-time serving AND finish earlier in simulated
+// time — while both sides decrypt to the same, correct value. Every number
+// is simulated (round trips are structural, cycles come from the hardware
+// model), so the check is exact on any machine.
+func TestProgramEncSearchWins(t *testing.T) {
+	cfg := SmokeConfig{Count: 1}.withDefaults()
+	cmp, err := runProgramComparison(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Correctness before cost: a fast wrong answer must never gate green.
+	if cmp.OpwiseValue != cmp.Want {
+		t.Fatalf("opwise search decrypted %d, want %d", cmp.OpwiseValue, cmp.Want)
+	}
+	if cmp.ProgramValue != cmp.Want {
+		t.Fatalf("program search decrypted %d, want %d", cmp.ProgramValue, cmp.Want)
+	}
+
+	// Round trips: 4 entries x 8-bit keys is 28 AND-tree muls + 3 adds = 31
+	// engine admissions opwise; the program is one.
+	if cmp.ProgramRoundTrips != 1 {
+		t.Fatalf("program round trips = %d, want 1", cmp.ProgramRoundTrips)
+	}
+	ratio := float64(cmp.OpwiseRoundTrips) / float64(cmp.ProgramRoundTrips)
+	if ratio < 5 {
+		t.Fatalf("round-trip reduction %.1fx < 5x (opwise %d, program %d)",
+			ratio, cmp.OpwiseRoundTrips, cmp.ProgramRoundTrips)
+	}
+
+	// Simulated makespan: the wavefront schedule on 2 lanes must beat the
+	// one-worker op stream, and its own serial floor must confirm the win
+	// came from parallelism, not from dropping work.
+	if cmp.ProgramMakespanCycles == 0 || cmp.OpwiseSerialCycles == 0 {
+		t.Fatalf("empty measurement: %+v", cmp)
+	}
+	if cmp.ProgramMakespanCycles >= cmp.OpwiseSerialCycles {
+		t.Fatalf("program makespan %d cycles >= opwise serial %d",
+			cmp.ProgramMakespanCycles, cmp.OpwiseSerialCycles)
+	}
+	if cmp.ProgramMakespanCycles >= cmp.ProgramSerialCycles {
+		t.Fatalf("makespan %d >= own serial floor %d: no wavefront parallelism",
+			cmp.ProgramMakespanCycles, cmp.ProgramSerialCycles)
+	}
+
+	// One key stream for the whole program.
+	if cmp.KeyLoads != 1 {
+		t.Fatalf("program key loads = %d, want 1", cmp.KeyLoads)
+	}
+
+	// Determinism: rerunning must reproduce the makespan bit for bit — the
+	// property that lets BENCH_baseline.json pin it.
+	again, err := runProgramComparison(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.ProgramMakespanCycles != cmp.ProgramMakespanCycles {
+		t.Fatalf("makespan moved between runs: %d -> %d",
+			cmp.ProgramMakespanCycles, again.ProgramMakespanCycles)
+	}
+	t.Logf("round trips %dx fewer; makespan %d vs opwise serial %d cycles (%.2fx)",
+		int(ratio), cmp.ProgramMakespanCycles, cmp.OpwiseSerialCycles,
+		float64(cmp.OpwiseSerialCycles)/float64(cmp.ProgramMakespanCycles))
+}

@@ -145,6 +145,14 @@ type SmokeConfig struct {
 	// ClusterOps is the total Mult count per cluster-throughput sample
 	// (default 96, spread round-robin over the tenants).
 	ClusterOps int
+	// ProgramEntries is the encrypted-search table size of the program-mode
+	// scenario (default 4).
+	ProgramEntries int
+	// ProgramKeyBits is the search-key width in bits (default 8).
+	ProgramKeyBits int
+	// ProgramWorkers is the engine pool the compiled program schedules onto
+	// (default 2, the paper's two co-processors).
+	ProgramWorkers int
 }
 
 func (c SmokeConfig) withDefaults() SmokeConfig {
@@ -162,6 +170,15 @@ func (c SmokeConfig) withDefaults() SmokeConfig {
 	}
 	if c.ClusterOps <= 0 {
 		c.ClusterOps = 96
+	}
+	if c.ProgramEntries <= 0 {
+		c.ProgramEntries = 4
+	}
+	if c.ProgramKeyBits <= 0 {
+		c.ProgramKeyBits = 8
+	}
+	if c.ProgramWorkers <= 0 {
+		c.ProgramWorkers = 2
 	}
 	return c
 }
@@ -206,6 +223,13 @@ func RunSmoke(cfg SmokeConfig) (*Report, error) {
 		}
 		rep.Results = append(rep.Results, res)
 	}
+	// Program-mode encrypted search: one compiled circuit per query, gated on
+	// its deterministic simulated makespan.
+	prog, err := smokeProgram(cfg)
+	if err != nil {
+		return nil, err
+	}
+	rep.Results = append(rep.Results, prog)
 	return rep, nil
 }
 

@@ -1,0 +1,159 @@
+package program
+
+import (
+	"fmt"
+)
+
+// Value is an SSA value ID inside a Builder — either an input slot or the
+// result of an emitted node.
+type Value int
+
+// Plain indexes the builder's deduplicated plaintext constant pool.
+type Plain int
+
+// Builder constructs a Program with accumulated-error ergonomics: emit the
+// whole circuit without checking an error per gate, then Build verifies and
+// returns the first recorded problem. Inputs must all be declared before the
+// first operation so value IDs are stable ([0, NumInputs) are inputs).
+type Builder struct {
+	numInputs int
+	plains    [][]uint64
+	plainIdx  map[string]Plain
+	nodes     []Node
+	outputs   []int
+	err       error
+}
+
+// NewBuilder returns an empty builder.
+func NewBuilder() *Builder {
+	return &Builder{plainIdx: make(map[string]Plain)}
+}
+
+func (b *Builder) fail(format string, args ...any) {
+	if b.err == nil {
+		b.err = fmt.Errorf("program: "+format, args...)
+	}
+}
+
+// Input declares the next ciphertext input and returns its value. All inputs
+// must be declared before the first operation.
+func (b *Builder) Input() Value {
+	if len(b.nodes) > 0 {
+		b.fail("Input after the first operation (inputs must be declared first)")
+		return Value(0)
+	}
+	v := Value(b.numInputs)
+	b.numInputs++
+	return v
+}
+
+// Inputs declares k inputs and returns them.
+func (b *Builder) Inputs(k int) []Value {
+	vs := make([]Value, k)
+	for i := range vs {
+		vs[i] = b.Input()
+	}
+	return vs
+}
+
+// Plaintext interns a plaintext constant (deduplicated by content) and
+// returns its pool index.
+func (b *Builder) Plaintext(coeffs []uint64) Plain {
+	key := plainKey(coeffs)
+	if idx, ok := b.plainIdx[key]; ok {
+		return idx
+	}
+	idx := Plain(len(b.plains))
+	b.plains = append(b.plains, append([]uint64(nil), coeffs...))
+	b.plainIdx[key] = idx
+	return idx
+}
+
+// plainKey builds a content key without fmt overhead: 8 raw bytes per word.
+func plainKey(coeffs []uint64) string {
+	buf := make([]byte, 0, 8*len(coeffs))
+	for _, c := range coeffs {
+		buf = append(buf,
+			byte(c), byte(c>>8), byte(c>>16), byte(c>>24),
+			byte(c>>32), byte(c>>40), byte(c>>48), byte(c>>56))
+	}
+	return string(buf)
+}
+
+// emit appends a node and returns the value it defines.
+func (b *Builder) emit(n Node) Value {
+	def := Value(b.numInputs + len(b.nodes))
+	if n.A < 0 || int(def) <= n.A {
+		b.fail("%v operand A=%d out of range", n.Op, n.A)
+	}
+	if n.binary() && (n.B < 0 || int(def) <= n.B) {
+		b.fail("%v operand B=%d out of range", n.Op, n.B)
+	}
+	b.nodes = append(b.nodes, n)
+	return def
+}
+
+// Add emits x + y.
+func (b *Builder) Add(x, y Value) Value { return b.emit(Node{Op: OpAdd, A: int(x), B: int(y)}) }
+
+// Sub emits x - y.
+func (b *Builder) Sub(x, y Value) Value { return b.emit(Node{Op: OpSub, A: int(x), B: int(y)}) }
+
+// Neg emits -x.
+func (b *Builder) Neg(x Value) Value { return b.emit(Node{Op: OpNeg, A: int(x)}) }
+
+// Mul emits the fused multiply + relinearize x · y.
+func (b *Builder) Mul(x, y Value) Value { return b.emit(Node{Op: OpMul, A: int(x), B: int(y)}) }
+
+// MulNoRelin emits the tensor product without relinearization.
+func (b *Builder) MulNoRelin(x, y Value) Value {
+	return b.emit(Node{Op: OpMulNR, A: int(x), B: int(y)})
+}
+
+// Relin emits the relinearization of a degree-3 value.
+func (b *Builder) Relin(x Value) Value { return b.emit(Node{Op: OpRelin, A: int(x)}) }
+
+// Rotate emits the Galois automorphism g applied to x.
+func (b *Builder) Rotate(x Value, g int) Value {
+	if g < 3 || g%2 == 0 {
+		b.fail("Galois element %d must be odd and >= 3", g)
+	}
+	return b.emit(Node{Op: OpRotate, A: int(x), B: g})
+}
+
+// AddPlain emits x + pool[p].
+func (b *Builder) AddPlain(x Value, p Plain) Value {
+	return b.emit(Node{Op: OpAddPlain, A: int(x), B: int(p)})
+}
+
+// MulPlain emits x · pool[p].
+func (b *Builder) MulPlain(x Value, p Plain) Value {
+	return b.emit(Node{Op: OpMulPlain, A: int(x), B: int(p)})
+}
+
+// Output binds v as the next program output.
+func (b *Builder) Output(v Value) {
+	b.outputs = append(b.outputs, int(v))
+}
+
+// Err returns the first recorded builder error, if any, without building.
+func (b *Builder) Err() error { return b.err }
+
+// Build verifies and returns the program. The builder stays usable (Build is
+// a snapshot), but the returned program owns copies of nothing — do not
+// mutate the builder afterwards if the program escapes.
+func (b *Builder) Build() (*Program, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	p := &Program{
+		NumInputs: b.numInputs,
+		Plains:    b.plains,
+		Nodes:     b.nodes,
+		Outputs:   b.outputs,
+	}
+	if err := p.Verify(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}

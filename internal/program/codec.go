@@ -1,0 +1,248 @@
+package program
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+)
+
+// Typed decode errors. Every structurally invalid encoding — bad magic,
+// unknown version, a count beyond the decoder's limits, truncation, a
+// checksum mismatch, or a program failing Verify — is reported as an error
+// wrapping ErrMalformed, so the wire layer can map it to one typed
+// application error. Checksum failures additionally wrap ErrChecksum.
+var (
+	ErrMalformed = errors.New("program: malformed program")
+	ErrChecksum  = errors.New("program: checksum mismatch")
+)
+
+// codecVersion is the serialization format version.
+const codecVersion uint8 = 1
+
+// codecMagic starts every serialized program.
+var codecMagic = [4]byte{'H', 'E', 'P', 'G'}
+
+// Limits bounds what Decode will allocate for — the hardened-decoder knobs.
+// The zero value is not usable; use DefaultLimits.
+type Limits struct {
+	MaxInputs   int
+	MaxOutputs  int
+	MaxNodes    int
+	MaxPlains   int
+	MaxPlainLen int
+}
+
+// DefaultLimits is the bound the wire protocol enforces: generous enough for
+// every compiled workload in this repo (a 16-bit 64-entry encrypted-search
+// table compiles to ~2k nodes) while keeping the worst-case allocation of a
+// hostile frame around 8 MiB.
+func DefaultLimits() Limits {
+	return Limits{
+		MaxInputs:   64,
+		MaxOutputs:  64,
+		MaxNodes:    16384,
+		MaxPlains:   256,
+		MaxPlainLen: 1 << 12,
+	}
+}
+
+// MaxEncodedBytes returns the largest encoding the limits admit — the wire
+// layer's size bound for a serialized program.
+func (l Limits) MaxEncodedBytes() int {
+	const header = 4 + 1 + 4*4 // magic, version, four counts
+	const checksum = 8
+	return header +
+		l.MaxPlains*(4+8*l.MaxPlainLen) +
+		l.MaxNodes*(1+4+4) +
+		l.MaxOutputs*4 +
+		checksum
+}
+
+// Encode writes the canonical serialization: header counts, plaintext pool,
+// node list, outputs, and a trailing FNV-64a checksum over everything
+// before it. The node list is already a topological order (Verify enforces
+// it), so equal programs encode to identical bytes.
+func (p *Program) Encode(w io.Writer) error {
+	h := fnv.New64a()
+	mw := io.MultiWriter(w, h)
+
+	var hdr bytes.Buffer
+	hdr.Write(codecMagic[:])
+	hdr.WriteByte(codecVersion)
+	for _, c := range []int{p.NumInputs, len(p.Plains), len(p.Nodes), len(p.Outputs)} {
+		var b [4]byte
+		binary.LittleEndian.PutUint32(b[:], uint32(c))
+		hdr.Write(b[:])
+	}
+	if _, err := mw.Write(hdr.Bytes()); err != nil {
+		return err
+	}
+	for _, pl := range p.Plains {
+		buf := make([]byte, 4+8*len(pl))
+		binary.LittleEndian.PutUint32(buf, uint32(len(pl)))
+		for i, c := range pl {
+			binary.LittleEndian.PutUint64(buf[4+8*i:], c)
+		}
+		if _, err := mw.Write(buf); err != nil {
+			return err
+		}
+	}
+	for _, n := range p.Nodes {
+		var buf [9]byte
+		buf[0] = byte(n.Op)
+		binary.LittleEndian.PutUint32(buf[1:], uint32(n.A))
+		binary.LittleEndian.PutUint32(buf[5:], uint32(n.B))
+		if _, err := mw.Write(buf[:]); err != nil {
+			return err
+		}
+	}
+	for _, out := range p.Outputs {
+		var buf [4]byte
+		binary.LittleEndian.PutUint32(buf[:], uint32(out))
+		if _, err := mw.Write(buf[:]); err != nil {
+			return err
+		}
+	}
+	var sum [8]byte
+	binary.LittleEndian.PutUint64(sum[:], h.Sum64())
+	_, err := w.Write(sum[:])
+	return err
+}
+
+// EncodeBytes returns the canonical serialization as a byte slice.
+func (p *Program) EncodeBytes() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := p.Encode(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// Checksum returns the program's FNV-64a content checksum — the value the
+// trailing serialization field carries, usable as a cheap program identity.
+func (p *Program) Checksum() (uint64, error) {
+	h := fnv.New64a()
+	// Encode appends the checksum to w but feeds only the body to the inner
+	// hash; hashing the full encoding minus the 8-byte trailer reproduces it.
+	var buf bytes.Buffer
+	if err := p.Encode(&buf); err != nil {
+		return 0, err
+	}
+	body := buf.Bytes()
+	h.Write(body[:len(body)-8])
+	return h.Sum64(), nil
+}
+
+// Decode reads one serialized program under the limits, verifies the
+// checksum, and runs Verify — a decoded program is structurally valid or the
+// error wraps ErrMalformed. It reads at most limits.MaxEncodedBytes() from r.
+func Decode(r io.Reader, limits Limits) (*Program, error) {
+	r = io.LimitReader(r, int64(limits.MaxEncodedBytes()))
+	h := fnv.New64a()
+	tr := io.TeeReader(r, h)
+
+	var hdr [4 + 1 + 16]byte
+	if _, err := io.ReadFull(tr, hdr[:]); err != nil {
+		return nil, decodeErr("truncated header", err)
+	}
+	if [4]byte(hdr[:4]) != codecMagic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrMalformed, hdr[:4])
+	}
+	if hdr[4] != codecVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrMalformed, hdr[4])
+	}
+	nInputs := int(binary.LittleEndian.Uint32(hdr[5:]))
+	nPlains := int(binary.LittleEndian.Uint32(hdr[9:]))
+	nNodes := int(binary.LittleEndian.Uint32(hdr[13:]))
+	nOutputs := int(binary.LittleEndian.Uint32(hdr[17:]))
+	switch {
+	case nInputs <= 0 || nInputs > limits.MaxInputs:
+		return nil, fmt.Errorf("%w: %d inputs (limit %d)", ErrMalformed, nInputs, limits.MaxInputs)
+	case nPlains < 0 || nPlains > limits.MaxPlains:
+		return nil, fmt.Errorf("%w: %d plaintexts (limit %d)", ErrMalformed, nPlains, limits.MaxPlains)
+	case nNodes < 0 || nNodes > limits.MaxNodes:
+		return nil, fmt.Errorf("%w: %d nodes (limit %d)", ErrMalformed, nNodes, limits.MaxNodes)
+	case nOutputs <= 0 || nOutputs > limits.MaxOutputs:
+		return nil, fmt.Errorf("%w: %d outputs (limit %d)", ErrMalformed, nOutputs, limits.MaxOutputs)
+	}
+
+	p := &Program{NumInputs: nInputs}
+	p.Plains = make([][]uint64, nPlains)
+	for i := range p.Plains {
+		var lb [4]byte
+		if _, err := io.ReadFull(tr, lb[:]); err != nil {
+			return nil, decodeErr("truncated plaintext length", err)
+		}
+		ln := int(binary.LittleEndian.Uint32(lb[:]))
+		if ln < 0 || ln > limits.MaxPlainLen {
+			return nil, fmt.Errorf("%w: plaintext %d has %d coefficients (limit %d)", ErrMalformed, i, ln, limits.MaxPlainLen)
+		}
+		buf := make([]byte, 8*ln)
+		if _, err := io.ReadFull(tr, buf); err != nil {
+			return nil, decodeErr("truncated plaintext", err)
+		}
+		coeffs := make([]uint64, ln)
+		for c := range coeffs {
+			coeffs[c] = binary.LittleEndian.Uint64(buf[8*c:])
+		}
+		p.Plains[i] = coeffs
+	}
+	p.Nodes = make([]Node, nNodes)
+	nodeBuf := make([]byte, 9*nNodes)
+	if _, err := io.ReadFull(tr, nodeBuf); err != nil {
+		return nil, decodeErr("truncated node list", err)
+	}
+	for i := range p.Nodes {
+		b := nodeBuf[9*i:]
+		p.Nodes[i] = Node{
+			Op: OpCode(b[0]),
+			A:  int(int32(binary.LittleEndian.Uint32(b[1:]))),
+			B:  int(int32(binary.LittleEndian.Uint32(b[5:]))),
+		}
+	}
+	p.Outputs = make([]int, nOutputs)
+	outBuf := make([]byte, 4*nOutputs)
+	if _, err := io.ReadFull(tr, outBuf); err != nil {
+		return nil, decodeErr("truncated outputs", err)
+	}
+	for i := range p.Outputs {
+		p.Outputs[i] = int(int32(binary.LittleEndian.Uint32(outBuf[4*i:])))
+	}
+
+	want := h.Sum64() // body hash, before consuming the trailer
+	var sum [8]byte
+	if _, err := io.ReadFull(r, sum[:]); err != nil {
+		return nil, decodeErr("truncated checksum", err)
+	}
+	if got := binary.LittleEndian.Uint64(sum[:]); got != want {
+		return nil, fmt.Errorf("%w: %w: got %#x, computed %#x", ErrMalformed, ErrChecksum, got, want)
+	}
+	if err := p.Verify(); err != nil {
+		return nil, fmt.Errorf("%w: %w", ErrMalformed, err)
+	}
+	return p, nil
+}
+
+// DecodeBytes decodes a serialized program from a byte slice, additionally
+// rejecting trailing garbage.
+func DecodeBytes(data []byte, limits Limits) (*Program, error) {
+	r := bytes.NewReader(data)
+	p, err := Decode(r, limits)
+	if err != nil {
+		return nil, err
+	}
+	if r.Len() != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrMalformed, r.Len())
+	}
+	return p, nil
+}
+
+func decodeErr(context string, err error) error {
+	if err == io.EOF {
+		err = io.ErrUnexpectedEOF
+	}
+	return fmt.Errorf("%w: %s: %v", ErrMalformed, context, err)
+}

@@ -1,0 +1,56 @@
+package program
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Disasm pretty-prints a program: header, the op list with per-value
+// multiplicative depth and wavefront level, the output bindings, the cost
+// ledger, and the critical path. cmd/heasm -prog uses it; the output is
+// deterministic (golden-tested).
+func Disasm(p *Program) string {
+	a := p.Analyze()
+	var sb strings.Builder
+	sum, err := p.Checksum()
+	if err == nil {
+		fmt.Fprintf(&sb, "program: %d inputs, %d plaintexts, %d nodes, %d outputs, checksum %#016x\n",
+			p.NumInputs, len(p.Plains), len(p.Nodes), len(p.Outputs), sum)
+	} else {
+		fmt.Fprintf(&sb, "program: %d inputs, %d plaintexts, %d nodes, %d outputs\n",
+			p.NumInputs, len(p.Plains), len(p.Nodes), len(p.Outputs))
+	}
+	for i, n := range p.Nodes {
+		def := p.NumInputs + i
+		var operands string
+		switch {
+		case n.binary():
+			operands = fmt.Sprintf("v%d, v%d", n.A, n.B)
+		case n.usesPlain():
+			operands = fmt.Sprintf("v%d, p%d", n.A, n.B)
+		case n.Op == OpRotate:
+			operands = fmt.Sprintf("v%d, g=%d", n.A, n.B)
+		default:
+			operands = fmt.Sprintf("v%d", n.A)
+		}
+		fmt.Fprintf(&sb, "  v%-4d = %-5s %-14s ; depth %d, level %d\n",
+			def, n.Op.String(), operands, a.Depth[def], a.Level[def])
+	}
+	outs := make([]string, len(p.Outputs))
+	for i, out := range p.Outputs {
+		outs[i] = fmt.Sprintf("v%d", out)
+	}
+	fmt.Fprintf(&sb, "outputs: %s\n", strings.Join(outs, ", "))
+	fmt.Fprintf(&sb, "cost: %d mul, %d add, %d plain, %d rot, %d relin\n",
+		a.Counts.Muls, a.Counts.Adds, a.Counts.PlainOps, a.Counts.Rotations, a.Counts.Relins)
+	fmt.Fprintf(&sb, "depth %d, critical path %d wavefronts", a.MaxDepth, a.CriticalPath)
+	if len(a.Levels) > 0 {
+		widths := make([]string, len(a.Levels))
+		for i, lvl := range a.Levels {
+			widths[i] = fmt.Sprint(len(lvl))
+		}
+		fmt.Fprintf(&sb, " (widths %s)", strings.Join(widths, ","))
+	}
+	sb.WriteString("\n")
+	return sb.String()
+}

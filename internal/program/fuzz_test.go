@@ -1,0 +1,66 @@
+package program
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// FuzzDecodeProgram feeds arbitrary bytes to the hardened program decoder.
+// The decoder must never panic and never return a structurally invalid
+// program: whatever decodes must pass Verify and re-encode to the same
+// checksum (the canonical-encoding property the wire layer relies on).
+func FuzzDecodeProgram(f *testing.F) {
+	// Seed with valid encodings of the compiled workloads plus targeted
+	// corruptions of them.
+	seed := func(p *Program, err error) {
+		if err != nil {
+			f.Fatal(err)
+		}
+		data, err := p.EncodeBytes()
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+		if len(data) > 24 {
+			trunc := data[:len(data)-9]
+			f.Add(append([]byte(nil), trunc...))
+			flip := append([]byte(nil), data...)
+			flip[22] ^= 0x10
+			f.Add(flip)
+		}
+	}
+	seed(CompileAddTree(7))
+	b := NewBuilder()
+	x, y := b.Input(), b.Input()
+	one := make([]uint64, 8)
+	one[0] = 1
+	b.Output(b.AddPlain(b.Mul(x, b.Rotate(y, 5)), b.Plaintext(one)))
+	seed(b.Build())
+	f.Add([]byte("HEPG"))
+	f.Add([]byte{})
+
+	limits := DefaultLimits()
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := DecodeBytes(data, limits)
+		if err != nil {
+			if !errors.Is(err, ErrMalformed) {
+				t.Fatalf("decode error %v does not wrap ErrMalformed", err)
+			}
+			return
+		}
+		if err := p.Verify(); err != nil {
+			t.Fatalf("decoded program fails Verify: %v", err)
+		}
+		// Canonical encoding: re-encoding a decoded program reproduces the
+		// input bytes exactly.
+		out, err := p.EncodeBytes()
+		if err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		if !bytes.Equal(out, data) {
+			t.Fatalf("re-encoding differs from the accepted input (%d vs %d bytes)", len(out), len(data))
+		}
+		p.Analyze() // must not panic on any valid program
+	})
+}

@@ -1,0 +1,296 @@
+package program
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/fv"
+	"repro/internal/sampler"
+)
+
+// smallProgram builds (a·b) + rot(c, 3) − a pipeline exercising every field
+// shape: binary ops, a plain op, a rotation, and a mul.
+func smallProgram(t *testing.T, n int) *Program {
+	t.Helper()
+	b := NewBuilder()
+	a, c := b.Input(), b.Input()
+	one := make([]uint64, n)
+	one[0] = 1
+	m := b.Mul(a, c)
+	r := b.Rotate(c, 3)
+	s := b.Add(m, r)
+	s = b.AddPlain(s, b.Plaintext(one))
+	b.Output(s)
+	p, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return p
+}
+
+func TestBuilderAndVerify(t *testing.T) {
+	p := smallProgram(t, 8)
+	if p.NumInputs != 2 || len(p.Nodes) != 4 || len(p.Outputs) != 1 {
+		t.Fatalf("unexpected shape: %+v", p)
+	}
+	if !p.NeedsRelinKey() {
+		t.Fatal("program with OpMul should need the relin key")
+	}
+	if gs := p.GaloisElements(); len(gs) != 1 || gs[0] != 3 {
+		t.Fatalf("GaloisElements = %v, want [3]", gs)
+	}
+}
+
+func TestVerifyRejects(t *testing.T) {
+	cases := map[string]*Program{
+		"no inputs":  {NumInputs: 0, Outputs: []int{0}},
+		"no outputs": {NumInputs: 1},
+		"forward ref": {NumInputs: 1, Outputs: []int{1},
+			Nodes: []Node{{Op: OpAdd, A: 0, B: 1}}},
+		"bad opcode": {NumInputs: 1, Outputs: []int{1},
+			Nodes: []Node{{Op: 0, A: 0}}},
+		"bad plain index": {NumInputs: 1, Outputs: []int{1},
+			Nodes: []Node{{Op: OpAddPlain, A: 0, B: 2}}},
+		"even galois": {NumInputs: 1, Outputs: []int{1},
+			Nodes: []Node{{Op: OpRotate, A: 0, B: 4}}},
+		"unary with B": {NumInputs: 1, Outputs: []int{1},
+			Nodes: []Node{{Op: OpNeg, A: 0, B: 1}}},
+		"degree-3 output": {NumInputs: 2, Outputs: []int{2},
+			Nodes: []Node{{Op: OpMulNR, A: 0, B: 1}}},
+		"relin of degree-2": {NumInputs: 1, Outputs: []int{1},
+			Nodes: []Node{{Op: OpRelin, A: 0}}},
+		"output out of range": {NumInputs: 1, Outputs: []int{7}},
+	}
+	for name, p := range cases {
+		if err := p.Verify(); err == nil {
+			t.Errorf("%s: Verify accepted an invalid program", name)
+		}
+	}
+	// Lazy relinearization is legal: add two degree-3 products, relin once.
+	b := NewBuilder()
+	x, y := b.Input(), b.Input()
+	s := b.Add(b.MulNoRelin(x, y), b.MulNoRelin(y, x))
+	b.Output(b.Relin(s))
+	if _, err := b.Build(); err != nil {
+		t.Fatalf("lazy-relin program rejected: %v", err)
+	}
+}
+
+func TestInputAfterOpFails(t *testing.T) {
+	b := NewBuilder()
+	x := b.Input()
+	b.Neg(x)
+	b.Input()
+	if _, err := b.Build(); err == nil {
+		t.Fatal("Input after an op must fail Build")
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	p := smallProgram(t, 8)
+	data, err := p.EncodeBytes()
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	// Determinism: encoding twice is byte-identical.
+	data2, _ := p.EncodeBytes()
+	if !bytes.Equal(data, data2) {
+		t.Fatal("encoding is not deterministic")
+	}
+	q, err := DecodeBytes(data, DefaultLimits())
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if q.NumInputs != p.NumInputs || len(q.Nodes) != len(p.Nodes) ||
+		len(q.Plains) != len(p.Plains) || len(q.Outputs) != len(p.Outputs) {
+		t.Fatalf("round trip changed shape: %+v vs %+v", q, p)
+	}
+	for i := range p.Nodes {
+		if q.Nodes[i] != p.Nodes[i] {
+			t.Fatalf("node %d changed: %+v vs %+v", i, q.Nodes[i], p.Nodes[i])
+		}
+	}
+	sum1, _ := p.Checksum()
+	sum2, _ := q.Checksum()
+	if sum1 != sum2 || sum1 == 0 {
+		t.Fatalf("checksums differ after round trip: %#x vs %#x", sum1, sum2)
+	}
+}
+
+func TestDecodeRejectsCorruption(t *testing.T) {
+	p := smallProgram(t, 8)
+	data, _ := p.EncodeBytes()
+
+	// Flip one bit anywhere in the body: the checksum (or a structural
+	// check) must catch it.
+	for _, pos := range []int{5, len(data) / 2, len(data) - 9} {
+		bad := append([]byte(nil), data...)
+		bad[pos] ^= 0x40
+		if _, err := DecodeBytes(bad, DefaultLimits()); err == nil {
+			t.Fatalf("bit flip at %d decoded cleanly", pos)
+		} else if !errors.Is(err, ErrMalformed) {
+			t.Fatalf("bit flip at %d: error %v does not wrap ErrMalformed", pos, err)
+		}
+	}
+	// Corrupt the checksum trailer itself.
+	bad := append([]byte(nil), data...)
+	bad[len(bad)-1] ^= 1
+	if _, err := DecodeBytes(bad, DefaultLimits()); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("checksum corruption: error %v does not wrap ErrChecksum", err)
+	}
+	// Truncation at every prefix length must error, never panic or succeed.
+	for i := 0; i < len(data); i++ {
+		if _, err := DecodeBytes(data[:i], DefaultLimits()); err == nil {
+			t.Fatalf("truncation to %d bytes decoded cleanly", i)
+		}
+	}
+	// Trailing garbage.
+	if _, err := DecodeBytes(append(append([]byte(nil), data...), 0xFF), DefaultLimits()); err == nil {
+		t.Fatal("trailing garbage decoded cleanly")
+	}
+	// A count past the limits must be rejected before allocation.
+	huge := append([]byte(nil), data...)
+	huge[13] = 0xFF
+	huge[14] = 0xFF
+	huge[15] = 0xFF
+	huge[16] = 0x7F
+	if _, err := DecodeBytes(huge, DefaultLimits()); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("oversized node count: %v", err)
+	}
+}
+
+func TestAnalyze(t *testing.T) {
+	// (a·b)·(c·d): depth 2, two wavefronts of muls.
+	b := NewBuilder()
+	vs := b.Inputs(4)
+	m1 := b.Mul(vs[0], vs[1])
+	m2 := b.Mul(vs[2], vs[3])
+	b.Output(b.Mul(m1, m2))
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := p.Analyze()
+	if a.MaxDepth != 2 {
+		t.Fatalf("MaxDepth = %d, want 2", a.MaxDepth)
+	}
+	if a.CriticalPath != 2 {
+		t.Fatalf("CriticalPath = %d, want 2", a.CriticalPath)
+	}
+	if len(a.Levels[0]) != 2 || len(a.Levels[1]) != 1 {
+		t.Fatalf("level widths = %d,%d want 2,1", len(a.Levels[0]), len(a.Levels[1]))
+	}
+	if a.Counts.Muls != 3 || a.Counts.Total() != 3 {
+		t.Fatalf("Counts = %+v, want 3 muls", a.Counts)
+	}
+	// Every node's operands must live in strictly earlier levels.
+	for li, lvl := range a.Levels {
+		for _, ni := range lvl {
+			n := p.Nodes[ni]
+			if a.Level[n.A] > li {
+				t.Fatalf("node %d in level %d depends on value %d in level %d", ni, li, n.A, a.Level[n.A])
+			}
+		}
+	}
+}
+
+func TestPredictBudget(t *testing.T) {
+	params, err := fv.NewParams(fv.TestConfig(65537))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := fv.NewNoiseModel(params)
+	b := NewBuilder()
+	x, y := b.Input(), b.Input()
+	b.Output(b.Mul(x, y))
+	p, _ := b.Build()
+	fresh := m.Fresh()
+	after := p.PredictBudget(m, fresh)
+	if after >= fresh || after <= 0 {
+		t.Fatalf("PredictBudget = %.1f for fresh %.1f: mul must consume budget but leave some at depth 1", after, fresh)
+	}
+}
+
+func TestRunInterpreter(t *testing.T) {
+	params, err := fv.NewParams(fv.TestConfig(65537))
+	if err != nil {
+		t.Fatal(err)
+	}
+	kg := fv.NewKeyGenerator(params, sampler.NewPRNG(5))
+	sk, pk, rk := kg.GenKeys()
+	enc := fv.NewEncryptor(params, pk, sampler.NewPRNG(6))
+	dec := fv.NewDecryptor(params, sk)
+
+	ptA := fv.NewPlaintext(params)
+	ptA.Coeffs[0] = 3
+	ptB := fv.NewPlaintext(params)
+	ptB.Coeffs[0] = 5
+	ctA, ctB := enc.Encrypt(ptA), enc.Encrypt(ptB)
+
+	// (a·b) + a − b = 15 + 3 − 5 = 13, then +1 via the plain pool.
+	b := NewBuilder()
+	a, c := b.Input(), b.Input()
+	one := make([]uint64, params.N())
+	one[0] = 1
+	v := b.Sub(b.Add(b.Mul(a, c), a), c)
+	b.Output(b.AddPlain(v, b.Plaintext(one)))
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	outs, err := Run(params, p, []*fv.Ciphertext{ctA, ctB}, Keys{Relin: rk})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if got := dec.Decrypt(outs[0]).Coeffs[0]; got != 14 {
+		t.Fatalf("program output decrypts to %d, want 14", got)
+	}
+
+	// Missing relin key is a typed failure, not a panic.
+	if _, err := Run(params, p, []*fv.Ciphertext{ctA, ctB}, Keys{}); err == nil {
+		t.Fatal("Run without the relin key must fail")
+	}
+	// Wrong input count.
+	if _, err := Run(params, p, []*fv.Ciphertext{ctA}, Keys{Relin: rk}); err == nil {
+		t.Fatal("Run with a missing input must fail")
+	}
+}
+
+func TestCheckParams(t *testing.T) {
+	params, err := fv.NewParams(fv.TestConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := NewBuilder()
+	x := b.Input()
+	short := []uint64{1} // wrong length for n
+	b.Output(b.AddPlain(x, b.Plaintext(short)))
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.CheckParams(params); err == nil {
+		t.Fatal("CheckParams accepted a short plaintext")
+	}
+	// Coefficient >= t.
+	big := make([]uint64, params.N())
+	big[0] = 2
+	b2 := NewBuilder()
+	x2 := b2.Input()
+	b2.Output(b2.AddPlain(x2, b2.Plaintext(big)))
+	p2, _ := b2.Build()
+	if err := p2.CheckParams(params); err == nil {
+		t.Fatal("CheckParams accepted a coefficient >= t")
+	}
+}
+
+func TestDisasmMentionsStructure(t *testing.T) {
+	p := smallProgram(t, 8)
+	out := Disasm(p)
+	for _, want := range []string{"2 inputs", "mul", "rot", "addp", "critical path", "checksum"} {
+		if !bytes.Contains([]byte(out), []byte(want)) {
+			t.Fatalf("Disasm output missing %q:\n%s", want, out)
+		}
+	}
+}

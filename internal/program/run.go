@@ -1,0 +1,86 @@
+package program
+
+import (
+	"fmt"
+
+	"repro/internal/fv"
+)
+
+// Keys is the evaluation-key material a program execution may need.
+type Keys struct {
+	Relin  *fv.RelinKey
+	Galois map[int]*fv.GaloisKey // by Galois element
+}
+
+// Run executes the program in software with a plain fv.Evaluator — the
+// reference interpreter the engine's scheduled execution must agree with bit
+// for bit (the accelerator path is bit-exact against fv, so any divergence
+// is a scheduling bug, not arithmetic). cmd/hecli uses it for offline
+// program execution.
+func Run(params *fv.Params, p *Program, inputs []*fv.Ciphertext, keys Keys) ([]*fv.Ciphertext, error) {
+	if err := p.Verify(); err != nil {
+		return nil, err
+	}
+	if err := p.CheckParams(params); err != nil {
+		return nil, err
+	}
+	if len(inputs) != p.NumInputs {
+		return nil, fmt.Errorf("program: %d inputs provided, program needs %d", len(inputs), p.NumInputs)
+	}
+	if p.NeedsRelinKey() && keys.Relin == nil {
+		return nil, fmt.Errorf("program: no relinearization key")
+	}
+	for _, g := range p.GaloisElements() {
+		if keys.Galois[g] == nil {
+			return nil, fmt.Errorf("program: no Galois key for element %d", g)
+		}
+	}
+
+	ev := fv.NewEvaluator(params)
+	plains := MaterializePlains(params, p)
+	vals := make([]*fv.Ciphertext, p.NumValues())
+	copy(vals, inputs)
+	for i, n := range p.Nodes {
+		def := p.NumInputs + i
+		switch n.Op {
+		case OpAdd:
+			vals[def] = ev.Add(vals[n.A], vals[n.B])
+		case OpSub:
+			vals[def] = ev.Sub(vals[n.A], vals[n.B])
+		case OpNeg:
+			vals[def] = ev.Neg(vals[n.A])
+		case OpMul:
+			vals[def] = ev.Mul(vals[n.A], vals[n.B], keys.Relin)
+		case OpMulNR:
+			vals[def] = ev.MulNoRelin(vals[n.A], vals[n.B])
+		case OpRelin:
+			vals[def] = ev.Relinearize(vals[n.A], keys.Relin)
+		case OpRotate:
+			vals[def] = ev.ApplyGalois(vals[n.A], keys.Galois[n.B])
+		case OpAddPlain:
+			vals[def] = ev.AddPlain(vals[n.A], plains[n.B])
+		case OpMulPlain:
+			vals[def] = ev.MulPlain(vals[n.A], plains[n.B])
+		default:
+			return nil, fmt.Errorf("program: node %d: unknown opcode %d", i, uint8(n.Op))
+		}
+	}
+	outs := make([]*fv.Ciphertext, len(p.Outputs))
+	for i, out := range p.Outputs {
+		outs[i] = vals[out]
+	}
+	return outs, nil
+}
+
+// MaterializePlains builds fv.Plaintext values for the program's constant
+// pool (CheckParams must have passed: every entry has exactly n
+// coefficients).
+func MaterializePlains(params *fv.Params, p *Program) []*fv.Plaintext {
+	plains := make([]*fv.Plaintext, len(p.Plains))
+	for i, coeffs := range p.Plains {
+		pt := fv.NewPlaintext(params)
+		copy(pt.Coeffs, coeffs)
+		plains[i] = pt
+	}
+	return plains
+}
