@@ -22,7 +22,7 @@ bench-baseline:
 bench-check:
 	$(GO) run ./cmd/hebench -count $(BENCH_COUNT) -json BENCH_current.json
 	$(GO) run ./cmd/benchdiff -base BENCH_baseline.json -cur BENCH_current.json \
-		-ops ntt_forward,mul_relin,engine_throughput,cluster_throughput_1,cluster_throughput_2,cluster_throughput_4,program_encsearch
+		-ops ntt_forward,mul_relin,engine_throughput,cluster_throughput_1,cluster_throughput_2,cluster_throughput_4,program_encsearch,sched_overlap,mux_throughput
 
 lint:
 	golangci-lint run ./...
@@ -35,6 +35,7 @@ fuzz-smoke:
 	$(GO) test -run=NONE -fuzz=FuzzDiffMulRelin -fuzztime=5x ./internal/difftest
 	$(GO) test -run=NONE -fuzz=FuzzDecodeRequest -fuzztime=20x ./internal/cloud
 	$(GO) test -run=NONE -fuzz=FuzzDecodeResponse -fuzztime=20x ./internal/cloud
+	$(GO) test -run=NONE -fuzz=FuzzDecodeMuxFrame -fuzztime=20x ./internal/cloud
 	$(GO) test -run=NONE -fuzz=FuzzDecodeProgram -fuzztime=20x ./internal/program
 
 # The chaos suite: pinned-seed randomized fault schedules (BRAM flips, DMA

@@ -51,7 +51,8 @@ func main() {
 	vnodes := flag.Int("vnodes", cluster.DefaultVirtualNodes, "virtual nodes per backend on the ring")
 	attempts := flag.Int("attempts", 0, "retry budget per request (0 = replicas)")
 	attemptTimeout := flag.Duration("attempt-timeout", 2*time.Second, "per-attempt deadline")
-	poolSize := flag.Int("pool", 4, "idle connections kept per backend")
+	poolSize := flag.Int("pool", 4, "idle connections kept per backend (ignored with -mux)")
+	muxMode := flag.Bool("mux", false, "multiplex all traffic to each backend over one shared connection (many in-flight request IDs with window flow control) instead of per-request pooled connections")
 	probeInterval := flag.Duration("probe-interval", 500*time.Millisecond, "health probe period per backend")
 	probeTimeout := flag.Duration("probe-timeout", time.Second, "health probe deadline")
 	failThreshold := flag.Int("fail-threshold", 2, "consecutive failures that eject a backend")
@@ -108,6 +109,7 @@ func main() {
 		MaxAttempts:    *attempts,
 		AttemptTimeout: *attemptTimeout,
 		PoolSize:       *poolSize,
+		Mux:            *muxMode,
 		Health: cluster.HealthConfig{
 			Interval:      *probeInterval,
 			Timeout:       *probeTimeout,

@@ -66,6 +66,7 @@ func main() {
 	debugAddr := flag.String("debug-addr", "", "listen address for the HTTP debug endpoint (expvar + pprof); empty disables it")
 	integrity := flag.Bool("integrity", false, "verify co-processor results with Freivalds fingerprints; a mismatch fails the op with a retryable integrity error instead of returning corrupted data")
 	integritySeed := flag.Int64("integrity-seed", 1, "seed for the integrity fingerprint weights")
+	pipelined := flag.Bool("pipelined", false, "stream multi-op Mul batches through the double-buffered DMA/compute pipeline (operand DMA of the next op overlaps the current op's compute)")
 	noiseGuard := flag.Bool("noise-guard", false, "reject ops whose client-declared noise budget the noise model predicts would be exhausted")
 	minNoiseBudget := flag.Float64("min-noise-budget", 1.0, "bits of predicted post-op noise budget below which the noise guard rejects (with -noise-guard)")
 	flag.Parse()
@@ -122,6 +123,7 @@ func main() {
 		MaxBatch:           *maxBatch,
 		KeyCacheSlots:      *keyCache,
 		ExpvarName:         "engine",
+		Pipelined:          *pipelined,
 		IntegrityChecks:    *integrity,
 		IntegritySeed:      *integritySeed,
 		NoiseGuard:         *noiseGuard,

@@ -23,10 +23,24 @@ func main() {
 	small := flag.Bool("small", false, "use the small test parameter set instead of the paper set")
 	program := flag.Bool("program", false, "print the Mult instruction listing instead of tables")
 	fig3 := flag.Bool("fig3", false, "print the Fig. 3 memory access pattern instead of tables")
+	table3x := flag.Bool("table3x", false, "print the extended Table III (double-buffered stream) instead of tables")
 	flag.Parse()
 
 	if *fig3 {
 		if err := hwsim.RenderFig3(os.Stdout, 4096); err != nil {
+			fmt.Fprintln(os.Stderr, "hetables:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *table3x {
+		// Paper-set Mult stream profile: 4 operand polynomials in, 2 result
+		// polynomials out, Table I-scale compute per op.
+		d := hwsim.DMA{Timing: hwsim.DefaultTiming()}
+		polyB := hwsim.PolyBytes(4096, 6)
+		err := hwsim.RenderTableIIIPipelined(os.Stdout, d, 4*polyB, 2*polyB, 180000, 8, []int{0, 16384, 1024})
+		if err != nil {
 			fmt.Fprintln(os.Stderr, "hetables:", err)
 			os.Exit(1)
 		}

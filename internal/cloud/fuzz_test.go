@@ -116,6 +116,63 @@ func FuzzDecodeRequest(f *testing.F) {
 	})
 }
 
+// FuzzDecodeMuxFrame feeds arbitrary bytes to the mux frame decoder. It must
+// never panic, never allocate past the payload bound, classify every
+// rejection as connection-fatal (ErrMalformedMuxFrame) or per-request
+// (ErrMuxPayloadChecksum, which must carry the frame's ID), and anything it
+// accepts must survive a re-encode/re-decode round trip.
+func FuzzDecodeMuxFrame(f *testing.F) {
+	const maxPayload = 1 << 16
+	seed := func(typ uint8, id uint64, payload []byte) {
+		var buf bytes.Buffer
+		if err := WriteMuxFrame(&buf, typ, id, payload); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+		f.Add(buf.Bytes()[:buf.Len()/2])
+		// One flip in the header (fatal) and one in the payload (per-request).
+		flipped := bytes.Clone(buf.Bytes())
+		flipped[muxHeaderLen/2] ^= 0x40
+		f.Add(flipped)
+		flipped = bytes.Clone(buf.Bytes())
+		flipped[muxHeaderLen+len(payload)/2] ^= 0x40
+		f.Add(flipped)
+	}
+	seed(MuxFrameRequest, 1, []byte("x"))
+	seed(MuxFrameResponse, 1<<40, bytes.Repeat([]byte{0xA5}, 257))
+	var hello bytes.Buffer
+	if err := WriteMuxHello(&hello, DefaultMuxWindow); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(hello.Bytes())
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		frame, err := DecodeMuxFrame(bytes.NewReader(data), maxPayload)
+		if errors.Is(err, ErrMuxPayloadChecksum) {
+			if frame == nil {
+				t.Fatal("payload checksum error lost its frame")
+			}
+			return
+		}
+		if err != nil {
+			checkDecodeErr(t, err, ErrMalformedMuxFrame)
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteMuxFrame(&buf, frame.Type, frame.ID, frame.Payload); err != nil {
+			t.Fatalf("accepted frame does not re-encode: %v", err)
+		}
+		got, err := DecodeMuxFrame(&buf, maxPayload)
+		if err != nil {
+			t.Fatalf("re-encoded frame does not re-decode: %v", err)
+		}
+		if got.Type != frame.Type || got.ID != frame.ID || !bytes.Equal(got.Payload, frame.Payload) {
+			t.Fatal("mux frame round trip drifted")
+		}
+	})
+}
+
 // FuzzDecodeResponse feeds arbitrary bytes to ReadResponseV in both protocol
 // versions. Same contract as the request side; additionally, an unknown
 // status byte must never be parsed as a success frame.

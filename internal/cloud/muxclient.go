@@ -1,0 +1,380 @@
+package cloud
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/fv"
+	"repro/internal/program"
+)
+
+// muxKind tells the reader goroutine which response framing to decode for a
+// pending request ID.
+type muxKind uint8
+
+const (
+	muxKindOp muxKind = iota
+	muxKindInfo
+	muxKindProgram
+)
+
+// muxResult is what the reader delivers to a waiting submitter.
+type muxResult struct {
+	resp *Response
+	info *ServerInfo
+	prog *ProgramResponse
+	err  error
+}
+
+type muxPending struct {
+	kind muxKind
+	ch   chan muxResult
+}
+
+// MuxClient is a multiplexed connection to the cloud service: unlike Client,
+// it is safe for concurrent use, and up to the negotiated window of requests
+// can be in flight at once, completing out of order as the server's workers
+// finish. Submissions past the window fail fast with ErrWindowExhausted.
+//
+// Cancellation is cheap: an abandoned exchange only deregisters its ID — the
+// late response is discarded by the reader — so a context deadline does not
+// poison the connection the way it breaks a sequential Client.
+type MuxClient struct {
+	conn   net.Conn
+	params *fv.Params
+	tenant string
+	window int
+
+	sem chan struct{} // in-flight window slots
+
+	wmu sync.Mutex // serializes frame writes
+
+	mu      sync.Mutex
+	nextID  uint64
+	pending map[uint64]muxPending
+	err     error // first connection-fatal error; set once, sticky
+
+	readerDone chan struct{}
+}
+
+// DialMux connects to the service, negotiates a multiplexed session under
+// the default tenant, and starts the reader.
+func DialMux(addr string, params *fv.Params) (*MuxClient, error) {
+	return DialMuxTenant(addr, params, "")
+}
+
+// DialMuxTenant is DialMux under the given evaluation-key namespace.
+func DialMuxTenant(addr string, params *fv.Params, tenant string) (*MuxClient, error) {
+	if len(tenant) > MaxTenantLen {
+		return nil, fmt.Errorf("cloud: tenant %q longer than %d bytes", tenant, MaxTenantLen)
+	}
+	conn, err := net.DialTimeout("tcp", addr, DialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	mc, err := NewMuxClient(conn, params, tenant, DefaultMuxWindow)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return mc, nil
+}
+
+// NewMuxClient performs the hello exchange over an established connection
+// (asking for the given window; the server may grant less) and starts the
+// reader goroutine. On success it owns conn.
+func NewMuxClient(conn net.Conn, params *fv.Params, tenant string, window int) (*MuxClient, error) {
+	if window < 1 {
+		window = DefaultMuxWindow
+	}
+	conn.SetDeadline(time.Now().Add(DialTimeout))
+	if err := WriteMuxHello(conn, window); err != nil {
+		return nil, fmt.Errorf("cloud: mux hello: %w", err)
+	}
+	granted, err := ReadMuxHello(conn)
+	if err != nil {
+		return nil, fmt.Errorf("cloud: mux hello: %w", err)
+	}
+	if granted > window {
+		granted = window
+	}
+	conn.SetDeadline(time.Time{})
+	mc := &MuxClient{
+		conn:       conn,
+		params:     params,
+		tenant:     tenant,
+		window:     granted,
+		sem:        make(chan struct{}, granted),
+		pending:    make(map[uint64]muxPending),
+		readerDone: make(chan struct{}),
+	}
+	go mc.readLoop()
+	return mc, nil
+}
+
+// Window returns the negotiated in-flight request window.
+func (mc *MuxClient) Window() int { return mc.window }
+
+// Tenant returns the namespace this client issues requests under.
+func (mc *MuxClient) Tenant() string { return mc.tenant }
+
+// Close tears the connection down; in-flight exchanges fail.
+func (mc *MuxClient) Close() error {
+	err := mc.conn.Close()
+	<-mc.readerDone
+	return err
+}
+
+// Broken reports whether the connection is dead (a transport error, a
+// malformed frame, or Close). A broken MuxClient fails every submission.
+func (mc *MuxClient) Broken() bool {
+	mc.mu.Lock()
+	defer mc.mu.Unlock()
+	return mc.err != nil
+}
+
+// fail marks the connection broken and delivers err to every pending
+// exchange.
+func (mc *MuxClient) fail(err error) {
+	mc.mu.Lock()
+	if mc.err == nil {
+		mc.err = err
+	}
+	stranded := mc.pending
+	mc.pending = make(map[uint64]muxPending)
+	mc.mu.Unlock()
+	for _, p := range stranded {
+		p.ch <- muxResult{err: err}
+	}
+}
+
+// readLoop is the single reader: it decodes frames and dispatches them to
+// whichever pending exchange owns the request ID, in whatever order the
+// server finished them.
+func (mc *MuxClient) readLoop() {
+	defer close(mc.readerDone)
+	maxPayload := maxMuxPayload(mc.params)
+	for {
+		f, err := DecodeMuxFrame(mc.conn, maxPayload)
+		if errors.Is(err, ErrMuxPayloadChecksum) {
+			// The frame boundary is intact: fail only the request the
+			// corrupted payload belonged to and keep reading.
+			if p, ok := mc.take(f.ID); ok {
+				p.ch <- muxResult{err: err}
+			}
+			continue
+		}
+		if err != nil {
+			mc.fail(fmt.Errorf("cloud: mux connection lost: %w", err))
+			return
+		}
+		p, ok := mc.take(f.ID)
+		if !ok {
+			continue // canceled exchange; drop the late response
+		}
+		p.ch <- mc.decode(p.kind, f)
+	}
+}
+
+// take removes and returns the pending entry for id.
+func (mc *MuxClient) take(id uint64) (muxPending, bool) {
+	mc.mu.Lock()
+	defer mc.mu.Unlock()
+	p, ok := mc.pending[id]
+	if ok {
+		delete(mc.pending, id)
+	}
+	return p, ok
+}
+
+// decode parses a response payload with the framing the pending request
+// expects, reusing the sequential protocol's hardened decoders.
+func (mc *MuxClient) decode(kind muxKind, f *MuxFrame) muxResult {
+	r := bytes.NewReader(f.Payload)
+	switch kind {
+	case muxKindInfo:
+		id, info, err := ReadInfoResponse(r)
+		if err != nil {
+			return muxResult{err: err}
+		}
+		if id != f.ID {
+			return muxResult{err: fmt.Errorf("%w: inner info ID %d under frame ID %d",
+				ErrMalformedResponse, id, f.ID)}
+		}
+		return muxResult{info: info}
+	case muxKindProgram:
+		resp, err := ReadProgramResponse(r, mc.params)
+		if err != nil {
+			return muxResult{err: err}
+		}
+		if resp.ID != f.ID {
+			return muxResult{err: fmt.Errorf("%w: inner program ID %d under frame ID %d",
+				ErrMalformedResponse, resp.ID, f.ID)}
+		}
+		return muxResult{prog: resp}
+	default:
+		resp, err := ReadResponseV(r, mc.params, ProtoV2)
+		if err != nil {
+			return muxResult{err: err}
+		}
+		if resp.ID != f.ID {
+			return muxResult{err: fmt.Errorf("%w: inner response ID %d under frame ID %d",
+				ErrMalformedResponse, resp.ID, f.ID)}
+		}
+		return muxResult{resp: resp}
+	}
+}
+
+// submit encodes req as a v2 payload, frames it, and waits for its response
+// under ctx. It implements the window: a full window fails immediately with
+// ErrWindowExhausted rather than queueing.
+func (mc *MuxClient) submit(ctx context.Context, req *Request, kind muxKind) (muxResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return muxResult{}, err
+	}
+	mc.mu.Lock()
+	if mc.err != nil {
+		err := mc.err
+		mc.mu.Unlock()
+		return muxResult{}, err
+	}
+	mc.mu.Unlock()
+
+	select {
+	case mc.sem <- struct{}{}:
+	default:
+		return muxResult{}, fmt.Errorf("%w (window %d)", ErrWindowExhausted, mc.window)
+	}
+	defer func() { <-mc.sem }()
+
+	req.Ver = ProtoV2
+	if req.Tenant == "" {
+		req.Tenant = mc.tenant
+	}
+	p := muxPending{kind: kind, ch: make(chan muxResult, 1)}
+	mc.mu.Lock()
+	mc.nextID++
+	req.ID = mc.nextID
+	mc.pending[req.ID] = p
+	mc.mu.Unlock()
+
+	var buf bytes.Buffer
+	if err := WriteRequest(&buf, mc.params, req); err != nil {
+		mc.take(req.ID)
+		return muxResult{}, err
+	}
+	mc.wmu.Lock()
+	err := WriteMuxFrame(mc.conn, MuxFrameRequest, req.ID, buf.Bytes())
+	mc.wmu.Unlock()
+	if err != nil {
+		mc.take(req.ID)
+		mc.fail(fmt.Errorf("cloud: mux write: %w", err))
+		return muxResult{}, err
+	}
+
+	select {
+	case res := <-p.ch:
+		return res, nil
+	case <-ctx.Done():
+		// Abandon the exchange: deregister so the reader discards the late
+		// response. The connection itself stays healthy.
+		mc.take(req.ID)
+		return muxResult{}, ctx.Err()
+	}
+}
+
+// Do runs one operation exchange. A server-reported failure is returned as
+// *ServerError alongside the response, matching Client.Do.
+func (mc *MuxClient) Do(ctx context.Context, req *Request) (*Response, error) {
+	res, err := mc.submit(ctx, req, muxKindOp)
+	if err != nil {
+		return nil, err
+	}
+	if res.err != nil {
+		return nil, res.err
+	}
+	if res.resp.Err != "" {
+		return res.resp, &ServerError{Code: res.resp.Code, Msg: res.resp.Err}
+	}
+	return res.resp, nil
+}
+
+// AddCtx asks the cloud to add two ciphertexts.
+func (mc *MuxClient) AddCtx(ctx context.Context, a, b *fv.Ciphertext) (*fv.Ciphertext, time.Duration, error) {
+	resp, err := mc.Do(ctx, &Request{Cmd: CmdAdd, A: a, B: b})
+	if err != nil {
+		return nil, 0, err
+	}
+	return resp.Result, time.Duration(resp.ComputeNanos), nil
+}
+
+// MulCtx asks the cloud to multiply two ciphertexts (relinearized
+// server-side).
+func (mc *MuxClient) MulCtx(ctx context.Context, a, b *fv.Ciphertext) (*fv.Ciphertext, time.Duration, error) {
+	resp, err := mc.Do(ctx, &Request{Cmd: CmdMul, A: a, B: b})
+	if err != nil {
+		return nil, 0, err
+	}
+	return resp.Result, time.Duration(resp.ComputeNanos), nil
+}
+
+// RotateCtx asks the cloud to apply the Galois automorphism g.
+func (mc *MuxClient) RotateCtx(ctx context.Context, a *fv.Ciphertext, g int) (*fv.Ciphertext, time.Duration, error) {
+	resp, err := mc.Do(ctx, &Request{Cmd: CmdRotate, G: uint32(g), A: a})
+	if err != nil {
+		return nil, 0, err
+	}
+	return resp.Result, time.Duration(resp.ComputeNanos), nil
+}
+
+// PingCtx verifies the service is alive.
+func (mc *MuxClient) PingCtx(ctx context.Context) error {
+	_, err := mc.Do(ctx, &Request{Cmd: CmdPing})
+	return err
+}
+
+// Info asks the server what it is.
+func (mc *MuxClient) Info(ctx context.Context) (*ServerInfo, error) {
+	res, err := mc.submit(ctx, &Request{Cmd: CmdInfo}, muxKindInfo)
+	if err != nil {
+		return nil, err
+	}
+	if res.err != nil {
+		return nil, res.err
+	}
+	return res.info, nil
+}
+
+// DoProgram runs one CmdProgram exchange.
+func (mc *MuxClient) DoProgram(ctx context.Context, req *Request) (*ProgramResponse, error) {
+	req.Cmd = CmdProgram
+	res, err := mc.submit(ctx, req, muxKindProgram)
+	if err != nil {
+		return nil, err
+	}
+	if res.err != nil {
+		return nil, res.err
+	}
+	if res.prog.Err != "" {
+		return res.prog, &ServerError{Code: res.prog.Code, Msg: res.prog.Err}
+	}
+	return res.prog, nil
+}
+
+// RunProgram serializes an already-built program and submits it with its
+// inputs as one frame, returning every output.
+func (mc *MuxClient) RunProgram(ctx context.Context, p *program.Program, inputs []*fv.Ciphertext) (*ProgramResponse, error) {
+	data, err := p.EncodeBytes()
+	if err != nil {
+		return nil, err
+	}
+	return mc.DoProgram(ctx, &Request{ProgBytes: data, Inputs: inputs})
+}

@@ -1,6 +1,8 @@
 package cloud
 
 import (
+	"bufio"
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
@@ -187,6 +189,19 @@ func (s *Server) handle(conn net.Conn) {
 	if timeout <= 0 {
 		timeout = DefaultReadTimeout
 	}
+	// Peek the first four bytes to tell a multiplexed session ("HEAM") from
+	// the sequential framings ("HEAT"/"HEA2"); the sequential loop reads
+	// through the same buffered reader, so the peeked bytes are not lost.
+	br := bufio.NewReader(conn)
+	conn.SetReadDeadline(time.Now().Add(timeout))
+	magic, err := br.Peek(4)
+	if err != nil {
+		return
+	}
+	if [4]byte(magic) == muxMagic {
+		s.serveMux(conn, br, timeout)
+		return
+	}
 	for {
 		// Deadline first, then the quit check: if Shutdown runs between the
 		// two, its SetReadDeadline(now) lands after ours and still wins.
@@ -196,7 +211,7 @@ func (s *Server) handle(conn net.Conn) {
 			return
 		default:
 		}
-		req, err := ReadRequest(conn, s.Params)
+		req, err := ReadRequest(br, s.Params)
 		if err != nil {
 			return // client closed, stalled past the deadline, or spoke garbage
 		}
@@ -219,6 +234,112 @@ func (s *Server) handle(conn net.Conn) {
 			s.Logger.Printf("cloud: write response: %v", err)
 			return
 		}
+	}
+}
+
+// serveMux runs one multiplexed session. Frames are read sequentially but
+// dispatched concurrently: up to the granted window of requests execute in
+// the engine at once, and each response frame goes out as its work finishes
+// — completion order, not arrival order. When every window slot is occupied
+// the reader itself blocks, so a client that overruns its window is paced by
+// the transport rather than fanning one socket into unbounded engine work.
+func (s *Server) serveMux(conn net.Conn, br *bufio.Reader, timeout time.Duration) {
+	window, err := ReadMuxHello(br)
+	if err != nil {
+		return
+	}
+	if window > MaxMuxWindow {
+		window = MaxMuxWindow
+	}
+	if err := WriteMuxHello(conn, window); err != nil {
+		return
+	}
+
+	var wmu sync.Mutex // serializes response frames across dispatch goroutines
+	writeFrame := func(id uint64, payload []byte) {
+		wmu.Lock()
+		defer wmu.Unlock()
+		if err := WriteMuxFrame(conn, MuxFrameResponse, id, payload); err != nil {
+			s.Logger.Printf("cloud: mux write response: %v", err)
+			conn.Close() // fail the session; the read loop sees the close
+		}
+	}
+	// errFrame answers one request ID with a typed v2 error response.
+	errFrame := func(id uint64, code uint8, msg string) bool {
+		var buf bytes.Buffer
+		resp := &Response{Ver: ProtoV2, ID: id, Err: msg, Code: code}
+		if err := WriteResponse(&buf, s.Params, resp); err != nil {
+			return false
+		}
+		writeFrame(id, buf.Bytes())
+		return true
+	}
+
+	sem := make(chan struct{}, window)
+	var wg sync.WaitGroup
+	defer wg.Wait() // flush in-flight dispatches before the conn closes
+	maxPayload := maxMuxPayload(s.Params)
+
+	for {
+		conn.SetReadDeadline(time.Now().Add(timeout))
+		select {
+		case <-s.quit:
+			return
+		default:
+		}
+		f, err := DecodeMuxFrame(br, maxPayload)
+		if errors.Is(err, ErrMuxPayloadChecksum) {
+			// The frame boundary held: fail exactly this request, retryably
+			// (the payload was never decoded, so nothing executed), and keep
+			// serving the session.
+			if !errFrame(f.ID, CodeUnavailable, err.Error()) {
+				return
+			}
+			continue
+		}
+		if err != nil {
+			return // clean close, stall past the deadline, or stream garbage
+		}
+		if f.Type != MuxFrameRequest {
+			s.Logger.Printf("cloud: mux client sent frame type %d", f.Type)
+			return
+		}
+		req, err := ReadRequest(bytes.NewReader(f.Payload), s.Params)
+		if err != nil {
+			// The checksum matched, so this is the client's encoder speaking
+			// garbage — deterministic, not retryable.
+			if !errFrame(f.ID, CodeApp, err.Error()) {
+				return
+			}
+			continue
+		}
+		if req.Ver < ProtoV2 || req.ID != f.ID {
+			if !errFrame(f.ID, CodeApp, "mux payload must be a v2 request with the frame's ID") {
+				return
+			}
+			continue
+		}
+		sem <- struct{}{} // window full ⇒ pace the reader
+		wg.Add(1)
+		go func() {
+			defer func() { <-sem; wg.Done() }()
+			var buf bytes.Buffer
+			var werr error
+			switch req.Cmd {
+			case CmdInfo:
+				werr = WriteInfoResponse(&buf, req.ID, s.info())
+			case CmdProgram:
+				werr = WriteProgramResponse(&buf, s.Params, s.processProgram(req))
+			default:
+				werr = WriteResponse(&buf, s.Params, s.process(req))
+			}
+			if werr != nil {
+				s.Logger.Printf("cloud: mux encode response: %v", werr)
+				conn.Close()
+				return
+			}
+			writeFrame(req.ID, buf.Bytes())
+		}()
 	}
 }
 

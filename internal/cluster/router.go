@@ -48,8 +48,16 @@ type Config struct {
 	// AttemptTimeout is the per-attempt deadline layered under the caller's
 	// context (default 2s).
 	AttemptTimeout time.Duration
-	// PoolSize is the idle-connection cap per backend (default 4).
+	// PoolSize is the idle-connection cap per backend (default 4). Ignored
+	// when Mux is set.
 	PoolSize int
+	// Mux selects multiplexed transport: one shared window-bounded
+	// cloud.MuxClient per backend carries every in-flight request on a single
+	// socket, completing out of order, instead of one pooled sequential
+	// connection per concurrent exchange. A window-exhausted backend is
+	// treated like a retryable refusal: the walk fails over to the next
+	// replica without feeding the circuit breaker.
+	Mux bool
 	// Health parameterizes probing and circuit breaking.
 	Health HealthConfig
 	// Registry receives ring/health/retry counters and per-backend latency
@@ -101,7 +109,7 @@ type Router struct {
 	cfg    Config
 	ring   *Ring
 	addrs  map[string]string // backend ID -> address
-	pools  map[string]*connPool
+	pools  map[string]backendPool
 	health *healthManager
 	reg    *obs.Registry
 	logger *log.Logger
@@ -118,7 +126,7 @@ func NewRouter(cfg Config) (*Router, error) {
 		cfg:    cfg,
 		ring:   NewRing(cfg.VirtualNodes),
 		addrs:  make(map[string]string, len(cfg.Backends)),
-		pools:  make(map[string]*connPool, len(cfg.Backends)),
+		pools:  make(map[string]backendPool, len(cfg.Backends)),
 		reg:    cfg.Registry,
 		logger: cfg.Logger,
 	}
@@ -127,9 +135,15 @@ func NewRouter(cfg Config) (*Router, error) {
 		b := b
 		r.ring.Add(b.ID)
 		r.addrs[b.ID] = b.Addr
-		r.pools[b.ID] = newConnPool(cfg.PoolSize, func() (*cloud.Client, error) {
-			return cloud.Dial(b.Addr, cfg.Params)
-		})
+		if cfg.Mux {
+			r.pools[b.ID] = newMuxPool(func() (*cloud.MuxClient, error) {
+				return cloud.DialMux(b.Addr, cfg.Params)
+			})
+		} else {
+			r.pools[b.ID] = newConnPool(cfg.PoolSize, func() (*cloud.Client, error) {
+				return cloud.Dial(b.Addr, cfg.Params)
+			})
+		}
 		ids = append(ids, b.ID)
 	}
 	r.health = newHealthManager(cfg.Health, ids, r.probe, r.reg, r.onStateChange)
@@ -189,7 +203,7 @@ func isIdempotent(cmd uint8) bool {
 // recorded in the router's per-backend latency histograms.
 func (r *Router) Do(ctx context.Context, req *cloud.Request) (*cloud.Response, error) {
 	return routeWithFailover(r, ctx, req.Tenant, req.Cmd,
-		func(ctx context.Context, cl *cloud.Client) (*cloud.Response, error) {
+		func(ctx context.Context, cl conn) (*cloud.Response, error) {
 			return cl.Do(ctx, req)
 		})
 }
@@ -200,7 +214,7 @@ func (r *Router) Do(ctx context.Context, req *cloud.Request) (*cloud.Response, e
 // retry unit.
 func (r *Router) DoProgram(ctx context.Context, req *cloud.Request) (*cloud.ProgramResponse, error) {
 	return routeWithFailover(r, ctx, req.Tenant, cloud.CmdProgram,
-		func(ctx context.Context, cl *cloud.Client) (*cloud.ProgramResponse, error) {
+		func(ctx context.Context, cl conn) (*cloud.ProgramResponse, error) {
 			return cl.DoProgram(ctx, req)
 		})
 }
@@ -210,7 +224,7 @@ func (r *Router) DoProgram(ctx context.Context, req *cloud.Request) (*cloud.Prog
 // errors and retryable server errors, immediate return on deterministic
 // ones. The exchange callback runs one attempt on an already-pooled client.
 func routeWithFailover[T any](r *Router, ctx context.Context, tenant string, cmd uint8,
-	exchange func(ctx context.Context, cl *cloud.Client) (T, error)) (T, error) {
+	exchange func(ctx context.Context, cl conn) (T, error)) (T, error) {
 	var zero T
 	if ctx == nil {
 		ctx = context.Background()
@@ -278,7 +292,7 @@ func routeWithFailover[T any](r *Router, ctx context.Context, tenant string, cmd
 // tryOn runs one attempt against one backend under the per-attempt deadline,
 // reporting the outcome to the health manager.
 func tryOn[T any](r *Router, ctx context.Context, node string,
-	exchange func(ctx context.Context, cl *cloud.Client) (T, error)) (T, error) {
+	exchange func(ctx context.Context, cl conn) (T, error)) (T, error) {
 	var zero T
 	actx, cancel := context.WithTimeout(ctx, r.cfg.AttemptTimeout)
 	defer cancel()
@@ -293,8 +307,9 @@ func tryOn[T any](r *Router, ctx context.Context, node string,
 	r.pools[node].put(cl) // closes it when the exchange broke the stream
 	if err != nil {
 		var se *cloud.ServerError
-		if errors.As(err, &se) {
-			// The node answered: it is alive, even if overloaded. Only
+		if errors.As(err, &se) || errors.Is(err, cloud.ErrWindowExhausted) {
+			// The node answered (or our own mux window is full — local
+			// backpressure, not node failure): it is alive. Only
 			// transport-level failures feed the circuit breaker.
 			r.health.reportSuccess(node)
 			return zero, err

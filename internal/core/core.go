@@ -82,7 +82,10 @@ func New(params *fv.Params, variant hwsim.Variant, coprocs int) (*Accelerator, e
 
 // NewWithTiming builds an accelerator with explicit timing calibration.
 func NewWithTiming(params *fv.Params, variant hwsim.Variant, coprocs int, timing hwsim.Timing) (*Accelerator, error) {
-	slots := sched.MinSlots(maxInt(params.QBasis.K(), params.Cfg.RelinDepth) + 2)
+	// PipelinedMinSlots(2) is MinSlots plus one shadow operand bank, so every
+	// accelerator can run MulStream's double-buffered prefetch; the extra
+	// four slots are dead weight for purely sequential callers.
+	slots := sched.PipelinedMinSlots(2)
 	factory := func() (*hwsim.Coprocessor, error) {
 		return hwsim.NewCoprocessor(params.QMods, params.PMods, params.N(),
 			params.Lifter, params.Scaler, variant, timing, slots)
@@ -106,13 +109,6 @@ func NewPaper(t uint64) (*Accelerator, error) {
 		return nil, err
 	}
 	return New(params, hwsim.VariantHPS, 2)
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }
 
 // NumCoprocessors returns the co-processor count.
@@ -200,6 +196,35 @@ func (a *Accelerator) Mul(x, y *fv.Ciphertext, rk *fv.RelinKey) (*fv.Ciphertext,
 	})
 	a.transferReport(&rep)
 	return ct, rep, err
+}
+
+// MulStream runs independent multiplications as one double-buffered stream
+// on co-processor 0: while step i computes, step i+1's operands are DMAed
+// into a shadow bank of the memory file, so the pipelined makespan beats the
+// back-to-back serial cost by exactly the overlapped transfer cycles.
+// Results are bit-identical to calling Mul in a loop; the StreamReport
+// carries the per-step profile and the exact serial/pipelined schedule.
+func (a *Accelerator) MulStream(xs, ys []*fv.Ciphertext, rk *fv.RelinKey) ([]*fv.Ciphertext, sched.StreamReport, error) {
+	if len(xs) != len(ys) {
+		return nil, sched.StreamReport{}, fmt.Errorf("core: operand count mismatch")
+	}
+	pairs := make([][2]*fv.Ciphertext, len(xs))
+	for i := range xs {
+		pairs[i] = [2]*fv.Ciphertext{xs[i], ys[i]}
+	}
+	var results []*fv.Ciphertext
+	var rep sched.StreamReport
+	err := a.onWorker(0, func(s *sched.Scheduler) error {
+		s.C.ResetStats()
+		ps := &sched.PipelinedScheduler{S: s, Banks: 2}
+		res, sr, err := ps.MulStream(pairs, rk)
+		if err != nil {
+			return err
+		}
+		results, rep = res, sr
+		return nil
+	})
+	return results, rep, err
 }
 
 // Rotate applies a Galois automorphism with key switch on the accelerator.

@@ -106,6 +106,11 @@ type Result struct {
 	Batch  int           // how many ops rode in the same batch
 	KeyHit bool          // evaluation key was already resident on the worker
 	Wait   time.Duration // time spent in the admission queue
+	// Pipelined marks a request served by the overlapped DMA/compute stream
+	// path (Config.Pipelined); SavedCycles is that stream's total hidden
+	// transfer time, reported identically on every request that rode in it.
+	Pipelined   bool
+	SavedCycles hwsim.Cycles
 }
 
 // Config parameterizes New. Zero values select the documented defaults.
@@ -166,6 +171,14 @@ type Config struct {
 	// worker is never quarantined, so the engine degrades rather than
 	// bricks.
 	QuarantineAfter int
+	// Pipelined enables the overlapped DMA/compute fast path: a Mul batch
+	// with two or more live requests executes as one double-buffered stream
+	// (core.MulStream) — operand uploads of op i+1 hide behind op i's
+	// compute in a shadow bank of the co-processor memory file. Results are
+	// bit-identical to the sequential path; only the simulated schedule
+	// changes. Off by default so existing deployments keep byte-for-byte
+	// identical accounting.
+	Pipelined bool
 	// NoiseGuard enables the noise-budget guardrail: operations whose
 	// BudgetHint predicts a post-op budget below MinNoiseBudgetBits
 	// (default 1.0) are rejected with ErrNoiseBudget at admission.

@@ -501,3 +501,199 @@ func TestChaosFrame(t *testing.T) {
 	}
 	t.Logf("frame chaos: %d faults fired, %d router failovers", totalFired, totalRetries)
 }
+
+// TestChaosPipelined runs pinned-seed DMA-garble and RPAU-kill schedules
+// against the overlapped-pipeline engine path (Config.Pipelined): Mul
+// batches execute as double-buffered streams, so an injected fault can land
+// in a prefetch DMA for step i+1 while step i computes. The contract is
+// unchanged — the integrity layer detects every fired fault, the stream
+// aborts, and the sequential fallback plus op-level retries deliver either
+// the bit-identical result or a typed error. Never a silently wrong answer.
+func TestChaosPipelined(t *testing.T) {
+	fx := fixture(t)
+	classes := []faults.Class{faults.ClassDMA, faults.ClassRPAU}
+	var totalFired, totalDetected, totalStreams uint64
+	for i := 0; i < 12; i++ {
+		i := i
+		t.Run(fmt.Sprintf("schedule-%02d", i), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(4000 + i)))
+			inj := faults.New(int64(11000 + i))
+			specs := armEngineSchedule(rng, inj, classes)
+			reg := obs.NewRegistry()
+			e, err := engine.New(engine.Config{
+				Params:              fx.params,
+				Workers:             1, // serialized execution keeps the ledger strict
+				MaxBatch:            4,
+				Pipelined:           true,
+				IntegrityChecks:     true,
+				IntegritySeed:       int64(400 + i),
+				FaultInjector:       inj,
+				Registry:            reg,
+				MaxIntegrityRetries: 3,
+				QuarantineAfter:     -1,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer func() {
+				ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+				defer cancel()
+				if err := e.Shutdown(ctx); err != nil {
+					t.Errorf("shutdown: %v", err)
+				}
+			}()
+			e.SetRelinKey("", fx.rk)
+
+			// Concurrent submissions let the batcher form multi-op Mul
+			// batches, which is what routes them through the stream path.
+			dec := fv.NewDecryptor(fx.params, fx.sk)
+			burst := func(copies int) {
+				var wg sync.WaitGroup
+				for copyID := 0; copyID < copies; copyID++ {
+					for k, op := range fx.ops {
+						if op.kind != engine.OpMul {
+							continue
+						}
+						wg.Add(1)
+						go func(k int, op chaosOp) {
+							defer wg.Done()
+							res, err := e.Submit(context.Background(), engine.Op{
+								Kind: op.kind, A: fx.cts[op.a], B: fx.cts[op.b],
+							})
+							if err != nil {
+								if !typedFailure(err) {
+									t.Errorf("op %d: untyped failure: %v", k, err)
+								}
+								return
+							}
+							if !res.Ct.Equal(fx.want[k]) {
+								t.Errorf("op %d: SILENT CORRUPTION through the pipelined stream", k)
+								return
+							}
+							if got := dec.Decrypt(res.Ct).Coeffs[0]; got != fx.wantVal[k] {
+								t.Errorf("op %d: decrypted %d, want %d", k, got, fx.wantVal[k])
+							}
+						}(k, op)
+					}
+				}
+				wg.Wait()
+			}
+			// Phase 1: the armed schedule flies — faults abort streams and
+			// the fallback recovers. Phase 2: the single-shot specs are
+			// spent, so the same burst must now complete via the stream
+			// path, proving the pipeline recovers after faults.
+			burst(3)
+			burst(3)
+			fired := inj.Stats().TotalFired
+			detected := hwDetections(reg)
+			if detected < fired {
+				t.Fatalf("schedule %v: %d faults fired but only %d detections", specs, fired, detected)
+			}
+			totalFired += fired
+			totalDetected += detected
+			totalStreams += e.Stats().PipelinedBatches
+		})
+	}
+	if totalFired < 6 {
+		t.Fatalf("pipelined harness too tame: only %d faults fired across 12 schedules", totalFired)
+	}
+	if totalStreams == 0 {
+		t.Fatal("no batch ever completed via the pipelined stream path; harness exercised nothing")
+	}
+	t.Logf("pipelined chaos: %d faults fired, %d detections, %d streamed batches",
+		totalFired, totalDetected, totalStreams)
+}
+
+// TestChaosMuxTransport is TestChaosFrame over the multiplexed transport:
+// pinned-seed dropped/garbled frames through proxies in front of both
+// backends, with the cluster router in Mux mode (one shared window-bounded
+// connection per backend). A garbled payload fails only its own request; a
+// severed connection breaks the shared client, which the backend pool
+// replaces on the next attempt — either way the router's failover delivers
+// the bit-identical result or a typed error.
+func TestChaosMuxTransport(t *testing.T) {
+	fx := fixture(t)
+	backends := startFrameBackends(t, fx)
+	dec := fv.NewDecryptor(fx.params, fx.sk)
+
+	var totalFired, totalRetries uint64
+	for i := 0; i < 12; i++ {
+		i := i
+		t.Run(fmt.Sprintf("schedule-%02d", i), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(5000 + i)))
+			inj := faults.New(int64(13000 + i))
+			n := 1 + rng.Intn(2)
+			for f := 0; f < n; f++ {
+				mode := faults.ModeGarble
+				if rng.Intn(2) == 0 {
+					mode = faults.ModeDrop
+				}
+				inj.Arm(faults.Spec{Class: faults.ClassFrame, After: uint64(rng.Intn(16)), Mode: mode})
+			}
+
+			var proxied [2]*faults.Proxy
+			var members []cluster.Backend
+			for j, b := range backends {
+				p, err := faults.NewProxy(b.addr, inj)
+				if err != nil {
+					t.Fatal(err)
+				}
+				proxied[j] = p
+				members = append(members, cluster.Backend{ID: fmt.Sprintf("m%d", j), Addr: p.Addr()})
+			}
+			reg := obs.NewRegistry()
+			router, err := cluster.NewRouter(cluster.Config{
+				Params:         fx.params,
+				Backends:       members,
+				Mux:            true,
+				Replicas:       2,
+				MaxAttempts:    3,
+				AttemptTimeout: 5 * time.Second,
+				Registry:       reg,
+				Health:         cluster.HealthConfig{Interval: time.Hour, FailThreshold: 100, Seed: 1},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer func() {
+				router.Close()
+				for _, p := range proxied {
+					p.Close()
+				}
+			}()
+
+			for k, op := range fx.ops {
+				cmd := cloud.CmdAdd
+				if op.kind == engine.OpMul {
+					cmd = cloud.CmdMul
+				}
+				ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+				resp, err := router.Do(ctx, &cloud.Request{Cmd: cmd, A: fx.cts[op.a], B: fx.cts[op.b]})
+				cancel()
+				if err != nil {
+					if inj.Stats().TotalFired == 0 {
+						t.Fatalf("op %d failed with no fault fired: %v", k, err)
+					}
+					continue
+				}
+				if !resp.Result.Equal(fx.want[k]) {
+					t.Fatalf("op %d: SILENT CORRUPTION through the mux wire", k)
+				}
+				if got := dec.Decrypt(resp.Result).Coeffs[0]; got != fx.wantVal[k] {
+					t.Fatalf("op %d: decrypted %d, want %d", k, got, fx.wantVal[k])
+				}
+			}
+			fired := inj.Stats().TotalFired
+			retries := reg.Counter("cluster_retries").Value()
+			if fired > 0 && retries == 0 {
+				t.Fatalf("%d frame faults fired but the router never failed over", fired)
+			}
+			totalFired += fired
+			totalRetries += retries
+		})
+	}
+	if totalFired < 6 {
+		t.Fatalf("mux frame harness too tame: only %d faults fired across 12 schedules", totalFired)
+	}
+	t.Logf("mux frame chaos: %d faults fired, %d router failovers", totalFired, totalRetries)
+}

@@ -1,0 +1,128 @@
+package hebench
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"repro/internal/cloud"
+	"repro/internal/engine"
+	"repro/internal/fv"
+	"repro/internal/sampler"
+)
+
+// OpMuxThroughput names the multiplexed-transport result: wall-clock ns per
+// Mult when cfg.MuxOps operations are pushed cfg.MuxDepth-deep through ONE
+// multiplexed connection to a real in-process server. It gates the whole
+// new wire path — v2 encode, frame checksums, server demux, concurrent
+// dispatch, out-of-order completion — the way engine_throughput gates the
+// queue/batcher/worker path.
+const OpMuxThroughput = "mux_throughput"
+
+// smokeMux measures the multiplexed transport end to end: one MuxClient,
+// MuxDepth concurrent submitters sharing its window, MuxOps Mults total,
+// against a server backed by an EngineWorkers-wide engine at the small test
+// parameter set. Wall-clock ns/op is the gated value (calibration-normalized
+// by benchdiff like the other wall ops); the busiest worker's simulated
+// cycles per op ride along as the machine-independent cost.
+func smokeMux(cfg SmokeConfig) (BenchResult, error) {
+	params, err := fv.NewParams(fv.TestConfig(65537))
+	if err != nil {
+		return BenchResult{}, err
+	}
+	kg := fv.NewKeyGenerator(params, sampler.NewPRNG(42))
+	_, pk, rk := kg.GenKeys()
+	enc := fv.NewEncryptor(params, pk, sampler.NewPRNG(7))
+	pt := fv.NewPlaintext(params)
+	pt.Coeffs[0] = 3
+	ctA := enc.Encrypt(pt)
+	pt.Coeffs[0] = 5
+	ctB := enc.Encrypt(pt)
+
+	var samples []float64
+	var simCycles uint64
+	for s := 0; s < cfg.Count; s++ {
+		wall, perOp, err := runMuxSample(params, rk, ctA, ctB, cfg)
+		if err != nil {
+			return BenchResult{}, err
+		}
+		simCycles = perOp
+		samples = append(samples, float64(wall.Nanoseconds())/float64(cfg.MuxOps))
+	}
+	return BenchResult{
+		Op:        OpMuxThroughput,
+		NsPerOp:   median(samples),
+		SimCycles: simCycles,
+		PoolWidth: cfg.MuxDepth,
+		Samples:   samples,
+	}, nil
+}
+
+// runMuxSample boots one engine+server, opens one multiplexed connection,
+// and drains ops through it with depth-way concurrency. Returns the wall
+// time of the burst and the busiest worker's simulated cycles per op.
+func runMuxSample(params *fv.Params, rk *fv.RelinKey, ctA, ctB *fv.Ciphertext, cfg SmokeConfig) (time.Duration, uint64, error) {
+	eng, err := engine.New(engine.Config{
+		Params:     params,
+		Workers:    cfg.EngineWorkers,
+		QueueDepth: 4 * cfg.MuxOps,
+		MaxBatch:   4,
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		eng.Shutdown(ctx)
+		cancel()
+	}()
+	eng.SetRelinKey(cloud.DefaultTenant, rk)
+	srv := cloud.NewServer(params, eng, nil)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		return 0, 0, err
+	}
+	go srv.Serve()
+	defer srv.Close()
+
+	mc, err := cloud.DialMux(addr, params)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer mc.Close()
+
+	idx := make(chan int, cfg.MuxOps)
+	for i := 0; i < cfg.MuxOps; i++ {
+		idx <- i
+	}
+	close(idx)
+	errs := make(chan error, cfg.MuxDepth)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < cfg.MuxDepth; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for range idx {
+				if _, _, err := mc.MulCtx(context.Background(), ctA, ctB); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	close(errs)
+	if err := <-errs; err != nil {
+		return 0, 0, err
+	}
+
+	var busiest uint64
+	for _, w := range eng.Stats().PerWorker {
+		if w.SimCycles > busiest {
+			busiest = w.SimCycles
+		}
+	}
+	return wall, busiest / uint64(cfg.MuxOps), nil
+}

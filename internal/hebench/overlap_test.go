@@ -1,0 +1,97 @@
+package hebench
+
+import (
+	"testing"
+
+	"repro/internal/fv"
+)
+
+// TestSchedOverlapWins is the overlapped-pipeline acceptance gate: at the
+// paper parameter set, a 4-deep Mult stream's double-buffered makespan must
+// beat the serial back-to-back cost by exactly the hidden transfer cycles,
+// respect the dependency lower bound, and reproduce bit-for-bit across
+// reruns. The whole metric is hardware model, so the checks are exact.
+func TestSchedOverlapWins(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-scale suite")
+	}
+	cfg := SmokeConfig{Count: 2}.withDefaults()
+	res, err := smokeSchedOverlap(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Deterministic {
+		t.Fatal("sched_overlap not marked deterministic")
+	}
+	if res.SimCycles == 0 || res.NsPerOp <= 0 {
+		t.Fatalf("empty measurement: %+v", res)
+	}
+	for i, s := range res.Samples {
+		if s != res.NsPerOp {
+			t.Fatalf("sample %d = %v differs from median %v; deterministic op drifted", i, s, res.NsPerOp)
+		}
+	}
+
+	// The raw stream report must show a strict win with exact accounting.
+	s, err := PaperSuite()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := cfg.OverlapOps
+	xs := make([]*fv.Ciphertext, ops)
+	ys := make([]*fv.Ciphertext, ops)
+	for i := range xs {
+		xs[i], ys[i] = s.CtA, s.CtB
+	}
+	_, rep, err := s.AccelOne.MulStream(xs, ys, s.RK)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.PipelinedCycles() >= rep.SerialCycles() {
+		t.Fatalf("pipelined %d cycles >= serial %d: overlap hid nothing",
+			rep.PipelinedCycles(), rep.SerialCycles())
+	}
+	if got := rep.SerialCycles() - rep.PipelinedCycles(); got != rep.SavedCycles() {
+		t.Fatalf("saved %d != serial-pipelined %d", rep.SavedCycles(), got)
+	}
+	if rep.PipelinedCycles() < rep.Timing.LowerBound {
+		t.Fatalf("pipelined %d beats the dependency lower bound %d: schedule is unphysical",
+			rep.PipelinedCycles(), rep.Timing.LowerBound)
+	}
+	// Identical ops: every overlapped step should hide the full operand DMA,
+	// so the saving is (ops-1) x the per-op load cost.
+	if perStep := uint64(rep.SavedCycles()) / uint64(ops-1); perStep == 0 {
+		t.Fatal("zero hidden cycles per overlapped step")
+	}
+	if res.SimCycles != uint64(rep.PipelinedCycles())/uint64(ops) {
+		t.Fatalf("bench SimCycles %d != pipelined/ops %d — rerun drifted",
+			res.SimCycles, uint64(rep.PipelinedCycles())/uint64(ops))
+	}
+	t.Logf("stream of %d: serial %d, pipelined %d, saved %d cycles (%.1f%%)",
+		ops, rep.SerialCycles(), rep.PipelinedCycles(), rep.SavedCycles(),
+		100*float64(rep.SavedCycles())/float64(rep.SerialCycles()))
+}
+
+// TestMuxThroughputSmoke runs the mux-throughput scenario at a small size:
+// every op must complete through the single multiplexed connection and the
+// measurement must be well-formed. (Wall-clock speed is gated by benchdiff
+// against the baseline, not asserted here.)
+func TestMuxThroughputSmoke(t *testing.T) {
+	cfg := SmokeConfig{Count: 1, MuxOps: 12, MuxDepth: 4, EngineWorkers: 2}.withDefaults()
+	res, err := smokeMux(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Op != OpMuxThroughput {
+		t.Fatalf("op = %q", res.Op)
+	}
+	if res.NsPerOp <= 0 || res.SimCycles == 0 {
+		t.Fatalf("empty measurement: %+v", res)
+	}
+	if res.PoolWidth != 4 {
+		t.Fatalf("pool width %d, want the submit depth 4", res.PoolWidth)
+	}
+	if res.Deterministic {
+		t.Fatal("mux_throughput is wall-clock; must not be marked deterministic")
+	}
+}

@@ -153,6 +153,15 @@ type SmokeConfig struct {
 	// ProgramWorkers is the engine pool the compiled program schedules onto
 	// (default 2, the paper's two co-processors).
 	ProgramWorkers int
+	// OverlapOps is the stream length of the overlapped DMA/compute
+	// scenario (default 4 Mults per stream).
+	OverlapOps int
+	// MuxOps is the total Mult count per mux-throughput sample (default 48);
+	// MuxDepth is how many submitters share the one multiplexed connection
+	// (default 8 — comfortably inside the default window of 32, so the
+	// bench never trips client-side backpressure).
+	MuxOps   int
+	MuxDepth int
 }
 
 func (c SmokeConfig) withDefaults() SmokeConfig {
@@ -179,6 +188,15 @@ func (c SmokeConfig) withDefaults() SmokeConfig {
 	}
 	if c.ProgramWorkers <= 0 {
 		c.ProgramWorkers = 2
+	}
+	if c.OverlapOps <= 0 {
+		c.OverlapOps = 4
+	}
+	if c.MuxOps <= 0 {
+		c.MuxOps = 48
+	}
+	if c.MuxDepth <= 0 {
+		c.MuxDepth = 8
 	}
 	return c
 }
@@ -230,6 +248,18 @@ func RunSmoke(cfg SmokeConfig) (*Report, error) {
 		return nil, err
 	}
 	rep.Results = append(rep.Results, prog)
+	// Overlapped DMA/compute stream: deterministic pipelined makespan per op.
+	overlap, err := smokeSchedOverlap(cfg)
+	if err != nil {
+		return nil, err
+	}
+	rep.Results = append(rep.Results, overlap)
+	// Multiplexed transport: wall-clock cost of the full mux wire path.
+	mux, err := smokeMux(cfg)
+	if err != nil {
+		return nil, err
+	}
+	rep.Results = append(rep.Results, mux)
 	return rep, nil
 }
 

@@ -258,6 +258,26 @@ func (c *Coprocessor) ClearSlots() {
 	}
 }
 
+// ClearSlot wipes one memory-file slot — the pipelined scheduler's tool for
+// scrubbing the shared scratch slots between streamed operations without
+// touching the prefetched operand bank. Like ClearSlots, still-corrupted
+// rows are counted as flush detections on their way out so the chaos
+// ledger balances, and the wipe itself charges no cycles (a BRAM reset).
+func (c *Coprocessor) ClearSlot(idx uint8) {
+	s := c.slotAt(idx)
+	if ic := c.integrity; ic != nil && s.tagged != nil {
+		for j, t := range s.tagged {
+			if !t || s.rows[j].Coeffs == nil {
+				continue
+			}
+			if ic.fpSlice(j, s.rows[j].Coeffs, s.rows[j].Mod) != s.tags[j] {
+				c.count("hw_integrity_flush_detected")
+			}
+		}
+	}
+	*s = slot{}
+}
+
 // ResetStats zeroes the statistics.
 func (c *Coprocessor) ResetStats() {
 	c.Stats = &Stats{PerOp: map[Op]*OpStat{}}

@@ -1,0 +1,220 @@
+package hwsim
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// unitDMA returns a DMA where one byte costs exactly one FPGA cycle and a
+// descriptor costs setupCycles, so traces can be hand-computed in cycles.
+func unitDMA(setupCycles int) DMA {
+	t := DefaultTiming()
+	t.DMASetupSeconds = float64(setupCycles) / FPGAClockHz
+	t.DMABytesPerSec = FPGAClockHz
+	return DMA{Timing: t}
+}
+
+// step builds a StreamStep with cycle-valued phases under unitDMA(0).
+func step(load, compute, store int) StreamStep {
+	return StreamStep{LoadBytes: load, Compute: Cycles(compute), StoreBytes: store}
+}
+
+// savingFormula is the tentpole's overlap claim: for a hazard-free stream on
+// two banks the double buffer hides exactly min(load_{i}, compute_{i-1}) at
+// every boundary.
+func savingFormula(d DMA, steps []StreamStep) Cycles {
+	var saved Cycles
+	for i := 1; i < len(steps); i++ {
+		if steps[i].DependsOnPrev {
+			continue
+		}
+		l := d.FPGACycles(Transfer{Bytes: steps[i].LoadBytes, ChunkSize: steps[i].LoadChunk})
+		c := steps[i-1].Compute
+		if l < c {
+			saved += l
+		} else {
+			saved += c
+		}
+	}
+	return saved
+}
+
+// TestStreamStallTable pins the exact schedule of hand-built traces: every
+// start/end/stall cycle is computed by hand from the model's hazard rules.
+func TestStreamStallTable(t *testing.T) {
+	d := unitDMA(0)
+
+	t.Run("bank WAR stalls the prefetch", func(t *testing.T) {
+		// Three compute-heavy steps: load 2 prefetches into bank 0, which
+		// step 0 still occupies until its compute ends at 110.
+		steps := []StreamStep{step(10, 100, 0), step(10, 100, 0), step(10, 100, 0)}
+		got := d.SimulateStream(steps, 2)
+		if got.Serial != 330 || got.Pipelined != 310 || got.Saved != 20 {
+			t.Fatalf("serial/pipelined/saved = %d/%d/%d, want 330/310/20",
+				got.Serial, got.Pipelined, got.Saved)
+		}
+		if s := got.Steps[2]; s.LoadStart != 110 || s.LoadStall != 90 {
+			t.Fatalf("load 2 start/stall = %d/%d, want 110/90 (WAR on bank 0 until compute 0 ends)",
+				s.LoadStart, s.LoadStall)
+		}
+		// Full overlap: the compute pipeline never idles after step 0.
+		for i := 1; i < 3; i++ {
+			if got.Steps[i].ComputeStall != 0 {
+				t.Fatalf("compute stall %d = %d, want 0 (compute-bound trace)", i, got.Steps[i].ComputeStall)
+			}
+		}
+	})
+
+	t.Run("RAW chain degenerates to serial", func(t *testing.T) {
+		// Each step consumes the previous result: the prefetch cannot be
+		// issued until the result is stored back, so nothing overlaps.
+		steps := []StreamStep{step(10, 20, 5), step(10, 20, 5), step(10, 20, 5)}
+		steps[1].DependsOnPrev = true
+		steps[2].DependsOnPrev = true
+		got := d.SimulateStream(steps, 2)
+		if got.Pipelined != got.Serial || got.Serial != 105 {
+			t.Fatalf("pipelined/serial = %d/%d, want 105/105 (RAW chain)", got.Pipelined, got.Serial)
+		}
+		for i := 1; i < 3; i++ {
+			// The load waits for the previous result's store — which is
+			// itself the last thing on the DMA engine, so the wait shows up
+			// as the load starting exactly at that store's end.
+			if got.Steps[i].LoadStart != got.Steps[i-1].StoreEnd {
+				t.Fatalf("load %d starts at %d, want %d (previous result's store end)",
+					i, got.Steps[i].LoadStart, got.Steps[i-1].StoreEnd)
+			}
+		}
+	})
+
+	t.Run("DMA-bound trace has zero overlap", func(t *testing.T) {
+		steps := []StreamStep{step(50, 0, 10), step(50, 0, 10), step(50, 0, 10)}
+		got := d.SimulateStream(steps, 2)
+		if got.Saved != 0 || got.Pipelined != 180 {
+			t.Fatalf("saved/pipelined = %d/%d, want 0/180 (nothing to hide under)", got.Saved, got.Pipelined)
+		}
+	})
+
+	t.Run("mixed 4-step trace, exact timeline", func(t *testing.T) {
+		steps := []StreamStep{
+			step(30, 50, 15), step(20, 60, 5), step(40, 5, 25), step(10, 80, 10),
+		}
+		got := d.SimulateStream(steps, 2)
+		want := []StepTiming{
+			{LoadStart: 0, LoadEnd: 30, ComputeStart: 30, ComputeEnd: 80, StoreStart: 80, StoreEnd: 95, ComputeStall: 30},
+			{LoadStart: 30, LoadEnd: 50, ComputeStart: 95, ComputeEnd: 155, StoreStart: 155, StoreEnd: 160, ComputeStall: 15},
+			{LoadStart: 95, LoadEnd: 135, ComputeStart: 160, ComputeEnd: 165, StoreStart: 170, StoreEnd: 195, ComputeStall: 5},
+			{LoadStart: 160, LoadEnd: 170, ComputeStart: 195, ComputeEnd: 275, StoreStart: 275, StoreEnd: 285, ComputeStall: 30},
+		}
+		for i, w := range want {
+			if got.Steps[i] != w {
+				t.Fatalf("step %d timing = %+v, want %+v", i, got.Steps[i], w)
+			}
+		}
+		if got.Serial != 350 || got.Pipelined != 285 {
+			t.Fatalf("serial/pipelined = %d/%d, want 350/285", got.Serial, got.Pipelined)
+		}
+		if want := savingFormula(d, steps); got.Saved != want {
+			t.Fatalf("saved = %d, want Σ min(load_i, compute_{i-1}) = %d", got.Saved, want)
+		}
+	})
+}
+
+// TestStreamSingleBankIsSerial proves the degenerate schedule: with no
+// shadow bank the prefetch waits for the running compute, and the pipeline
+// collapses to the serial accounting on every trace.
+func TestStreamSingleBankIsSerial(t *testing.T) {
+	d := unitDMA(3)
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		steps := randomSteps(rng, 1+rng.Intn(8))
+		got := d.SimulateStream(steps, 1)
+		if got.Pipelined != got.Serial {
+			t.Fatalf("trial %d: single-bank pipelined %d != serial %d\nsteps: %+v",
+				trial, got.Pipelined, got.Serial, steps)
+		}
+	}
+}
+
+// TestStreamSavingFormula proves the tentpole's cycle-accounting claim on
+// randomized traces: for every hazard-free double-buffered stream the saving
+// is exactly Σ min(dma_{i+1}, compute_i).
+func TestStreamSavingFormula(t *testing.T) {
+	d := unitDMA(0)
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 1000; trial++ {
+		steps := randomSteps(rng, 1+rng.Intn(10))
+		got := d.SimulateStream(steps, 2)
+		if want := savingFormula(d, steps); got.Saved != want {
+			t.Fatalf("trial %d: saved %d, want %d\nsteps: %+v", trial, got.Saved, want, steps)
+		}
+	}
+}
+
+// TestStreamBounds checks the schedule invariants on randomized traces with
+// RAW hazards and varying bank counts: lower bound ≤ makespan ≤ serial, and
+// more banks never hurt.
+func TestStreamBounds(t *testing.T) {
+	d := unitDMA(5)
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 500; trial++ {
+		steps := randomSteps(rng, 1+rng.Intn(10))
+		for i := 1; i < len(steps); i++ {
+			if rng.Intn(3) == 0 {
+				steps[i].DependsOnPrev = true
+			}
+		}
+		var prev Cycles
+		for banks := 1; banks <= 3; banks++ {
+			got := d.SimulateStream(steps, banks)
+			if got.Pipelined > got.Serial {
+				t.Fatalf("trial %d banks %d: pipelined %d > serial %d", trial, banks, got.Pipelined, got.Serial)
+			}
+			if got.Pipelined < got.LowerBound {
+				t.Fatalf("trial %d banks %d: pipelined %d < lower bound %d\nsteps: %+v",
+					trial, banks, got.Pipelined, got.LowerBound, steps)
+			}
+			if banks > 1 && got.Pipelined > prev {
+				t.Fatalf("trial %d: %d banks slower than %d (%d > %d)", trial, banks, banks-1, got.Pipelined, prev)
+			}
+			prev = got.Pipelined
+		}
+	}
+}
+
+func randomSteps(rng *rand.Rand, n int) []StreamStep {
+	steps := make([]StreamStep, n)
+	for i := range steps {
+		steps[i] = step(rng.Intn(200), rng.Intn(200), rng.Intn(200))
+	}
+	return steps
+}
+
+func TestStreamEmpty(t *testing.T) {
+	got := unitDMA(0).SimulateStream(nil, 2)
+	if got.Serial != 0 || got.Pipelined != 0 || got.Saved != 0 {
+		t.Fatalf("empty stream: %+v", got)
+	}
+}
+
+// TestRenderTableIIIPipelined smoke-checks the extended Table III report
+// with the paper-set profile: 4 operand polynomials in (98,304 bytes each),
+// 2 out, and a Table I-scale compute phase.
+func TestRenderTableIIIPipelined(t *testing.T) {
+	var b strings.Builder
+	d := DMA{Timing: DefaultTiming()}
+	polyB := PolyBytes(4096, 6)
+	err := RenderTableIIIPipelined(&b, d, 4*polyB, 2*polyB, 180000, 8, []int{0, 16384, 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"single transfer", "16384-byte chunks", "1024-byte chunks", "pipelined cyc"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+	if testing.Verbose() {
+		t.Log("\n" + out)
+	}
+}

@@ -143,6 +143,14 @@ func (s *Scheduler) polyBytes() int {
 // contiguous exactly for this) and loads the polynomials into the memory
 // file. It returns the transfer duration.
 func (s *Scheduler) SendCiphertexts(a, b *fv.Ciphertext) hwsim.Cycles {
+	return s.sendCiphertextsAt(slotA0, a, b)
+}
+
+// sendCiphertextsAt is SendCiphertexts with the operand bank parameterized:
+// a lands at base, base+1 and b (when present) at base+2, base+3. The
+// pipelined scheduler uses it to prefetch the next operation's operands into
+// a shadow bank while the current one computes.
+func (s *Scheduler) sendCiphertextsAt(base uint8, a, b *fv.Ciphertext) hwsim.Cycles {
 	bytes := 0
 	var written []uint8
 	load := func(base uint8, ct *fv.Ciphertext) {
@@ -153,9 +161,9 @@ func (s *Scheduler) SendCiphertexts(a, b *fv.Ciphertext) hwsim.Cycles {
 			bytes += s.polyBytes()
 		}
 	}
-	load(slotA0, a)
+	load(base, a)
 	if b != nil {
-		load(slotB0, b)
+		load(base+2, b)
 	}
 	return s.transfer(hwsim.Transfer{Bytes: bytes, Label: "send ciphertexts"}, written, nil)
 }
@@ -222,10 +230,35 @@ func (s *Scheduler) Mul(a, b *fv.Ciphertext, rk *fv.RelinKey) (*fv.Ciphertext, h
 	s.reset()
 	s.SendCiphertexts(a, b)
 	start := s.C.Stats.Total
+	if err := s.mulProgram(slotA0, rk); err != nil {
+		return nil, 0, err
+	}
+	compute := s.C.Stats.Total - start
+	if err := s.C.Scrub(); err != nil {
+		return nil, 0, err
+	}
+	kq := s.P.QBasis.K()
+	ct := &fv.Ciphertext{Els: []poly.RNSPoly{
+		{Rows: s.C.ReadSlot(slotAcc0, 0, kq)},
+		{Rows: s.C.ReadSlot(slotAcc1, 0, kq)},
+	}}
+	return ct, compute, nil
+}
+
+// mulProgram emits the Fig. 2 multiplication pipeline with the operand bank
+// parameterized: the four operand polynomials sit at base..base+3 (a0, a1,
+// b0, b1), while the tensor accumulator and the relinearization scratch
+// slots (slotT1, slotDigit, slotSop, slotKey, slotAcc0, slotAcc1) stay
+// fixed. The serial Mul runs it with base = slotA0; the pipelined scheduler
+// alternates shadow banks so the next operation's operand DMA can land
+// while this program occupies the RPAUs. The result is left in
+// slotAcc0/slotAcc1, bit-identical regardless of bank.
+func (s *Scheduler) mulProgram(base uint8, rk *fv.RelinKey) error {
+	opA0, opA1, opB0, opB1 := base, base+1, base+2, base+3
 
 	kq := s.P.QBasis.K()
 	full := kq + s.P.PBasis.K()
-	operands := []uint8{slotA0, slotA1, slotB0, slotB1}
+	operands := []uint8{opA0, opA1, opB0, opB1}
 
 	ops := []hwsim.Instr{}
 	// Phase 1: Lift q→Q of the four operand polynomials (4 Lift calls).
@@ -248,15 +281,15 @@ func (s *Scheduler) Mul(a, b *fv.Ciphertext, rk *fv.RelinKey) (*fv.Ciphertext, h
 	//   A0 = a0·b0 (t0).
 	for _, batch := range []hwsim.Batch{hwsim.BatchQ, hwsim.BatchP} {
 		ops = append(ops,
-			hwsim.Instr{Op: hwsim.OpCMul, Dst: slotT1, A: slotA0, B: slotB1, Batch: batch},
-			hwsim.Instr{Op: hwsim.OpCMul, Dst: slotB1, A: slotA1, B: slotB1, Batch: batch},
-			hwsim.Instr{Op: hwsim.OpCMul, Dst: slotA1, A: slotA1, B: slotB0, Batch: batch},
-			hwsim.Instr{Op: hwsim.OpCAdd, Dst: slotT1, A: slotT1, B: slotA1, Batch: batch},
-			hwsim.Instr{Op: hwsim.OpCMul, Dst: slotA0, A: slotA0, B: slotB0, Batch: batch})
+			hwsim.Instr{Op: hwsim.OpCMul, Dst: slotT1, A: opA0, B: opB1, Batch: batch},
+			hwsim.Instr{Op: hwsim.OpCMul, Dst: opB1, A: opA1, B: opB1, Batch: batch},
+			hwsim.Instr{Op: hwsim.OpCMul, Dst: opA1, A: opA1, B: opB0, Batch: batch},
+			hwsim.Instr{Op: hwsim.OpCAdd, Dst: slotT1, A: slotT1, B: opA1, Batch: batch},
+			hwsim.Instr{Op: hwsim.OpCMul, Dst: opA0, A: opA0, B: opB0, Batch: batch})
 	}
-	// Phase 4: inverse transforms and layout restore of t0 (slotA0),
-	// t1 (slotT1), t2 (slotB1): 6 INTT + 6 Rearr.
-	for _, slot := range []uint8{slotA0, slotT1, slotB1} {
+	// Phase 4: inverse transforms and layout restore of t0 (opA0),
+	// t1 (slotT1), t2 (opB1): 6 INTT + 6 Rearr.
+	for _, slot := range []uint8{opA0, slotT1, opB1} {
 		for _, batch := range []hwsim.Batch{hwsim.BatchQ, hwsim.BatchP} {
 			ops = append(ops,
 				hwsim.Instr{Op: hwsim.OpINTT, A: slot, Batch: batch},
@@ -273,7 +306,7 @@ func (s *Scheduler) Mul(a, b *fv.Ciphertext, rk *fv.RelinKey) (*fv.Ciphertext, h
 
 	for _, in := range ops {
 		if _, err := s.exec(in); err != nil {
-			return nil, 0, err
+			return err
 		}
 	}
 
@@ -281,21 +314,22 @@ func (s *Scheduler) Mul(a, b *fv.Ciphertext, rk *fv.RelinKey) (*fv.Ciphertext, h
 	// result landing in a slot whose previous contents just died:
 	// s0 ← A1 (cross term dead), s1 ← B0 (operand dead), s2 ← T1 (t1 dead
 	// once its own Scale has consumed it).
-	s.live.set(slotA1, kq)
-	if _, err := s.exec(hwsim.Instr{Op: hwsim.OpScale, Dst: slotA1, A: slotA0}); err != nil {
-		return nil, 0, err
+	s.live.set(opA1, kq)
+	if _, err := s.exec(hwsim.Instr{Op: hwsim.OpScale, Dst: opA1, A: opA0}); err != nil {
+		return err
 	}
-	s.live.free(slotA0)
-	s.live.set(slotB0, kq)
-	if _, err := s.exec(hwsim.Instr{Op: hwsim.OpScale, Dst: slotB0, A: slotT1}); err != nil {
-		return nil, 0, err
+	s.live.free(opA0)
+	s.live.set(opB0, kq)
+	if _, err := s.exec(hwsim.Instr{Op: hwsim.OpScale, Dst: opB0, A: slotT1}); err != nil {
+		return err
 	}
 	s.live.set(slotT1, kq)
-	if _, err := s.exec(hwsim.Instr{Op: hwsim.OpScale, Dst: slotT1, A: slotB1}); err != nil {
-		return nil, 0, err
+	if _, err := s.exec(hwsim.Instr{Op: hwsim.OpScale, Dst: slotT1, A: opB1}); err != nil {
+		return err
 	}
-	s.live.free(slotB1)
-	const sSlot0, sSlot1, sSlot2 = slotA1, slotB0, slotT1
+	s.live.free(opB1)
+	sSlot0, sSlot1 := opA1, opB0
+	const sSlot2 = slotT1
 
 	// Phase 6: relinearization, one digit at a time: extract (WordDecomp),
 	// transform, stream the two key components, multiply-accumulate. The
@@ -309,7 +343,7 @@ func (s *Scheduler) Mul(a, b *fv.Ciphertext, rk *fv.RelinKey) (*fv.Ciphertext, h
 		// The host read is a readback: scrub first so corrupted rows cannot
 		// silently seed the digit slicing.
 		if err := s.C.Scrub(); err != nil {
-			return nil, 0, err
+			return err
 		}
 		x := poly.RNSPoly{Rows: s.C.ReadSlot(sSlot2, 0, kq)}
 		tradDigits = rns.WordDecompose(s.P.QBasis, x, rk.LogW, rk.Ell)
@@ -319,10 +353,10 @@ func (s *Scheduler) Mul(a, b *fv.Ciphertext, rk *fv.RelinKey) (*fv.Ciphertext, h
 	}
 	for i := 0; i < ell; i++ {
 		if err := s.prepareDigit(rk, tradDigits, sSlot2, i); err != nil {
-			return nil, 0, err
+			return err
 		}
 		if _, err := s.exec(hwsim.Instr{Op: hwsim.OpNTT, A: slotDigit, Batch: hwsim.BatchQ}); err != nil {
-			return nil, 0, err
+			return err
 		}
 		for k := 0; k < 2; k++ {
 			key := rk.Rlk0Hat[i]
@@ -337,10 +371,10 @@ func (s *Scheduler) Mul(a, b *fv.Ciphertext, rk *fv.RelinKey) (*fv.Ciphertext, h
 			s.C.LoadSlotNTT(slotKey, 0, key.Rows)
 			s.transfer(hwsim.Transfer{Bytes: s.polyBytes(), Label: "rlk stream"}, []uint8{slotKey}, nil)
 			if _, err := s.exec(hwsim.Instr{Op: hwsim.OpCMul, Dst: slotSop, A: slotDigit, B: slotKey, Batch: hwsim.BatchQ}); err != nil {
-				return nil, 0, err
+				return err
 			}
 			if _, err := s.exec(hwsim.Instr{Op: hwsim.OpCAdd, Dst: acc, A: acc, B: slotSop, Batch: hwsim.BatchQ}); err != nil {
-				return nil, 0, err
+				return err
 			}
 		}
 	}
@@ -348,28 +382,19 @@ func (s *Scheduler) Mul(a, b *fv.Ciphertext, rk *fv.RelinKey) (*fv.Ciphertext, h
 	// (2 INTT + 2 Rearr + 2 CAdd).
 	for _, acc := range []uint8{slotAcc0, slotAcc1} {
 		if _, err := s.exec(hwsim.Instr{Op: hwsim.OpINTT, A: acc, Batch: hwsim.BatchQ}); err != nil {
-			return nil, 0, err
+			return err
 		}
 		if _, err := s.exec(hwsim.Instr{Op: hwsim.OpRearr, A: acc, Batch: hwsim.BatchQ}); err != nil {
-			return nil, 0, err
+			return err
 		}
 	}
 	if _, err := s.exec(hwsim.Instr{Op: hwsim.OpCAdd, Dst: slotAcc0, A: sSlot0, B: slotAcc0, Batch: hwsim.BatchQ}); err != nil {
-		return nil, 0, err
+		return err
 	}
 	if _, err := s.exec(hwsim.Instr{Op: hwsim.OpCAdd, Dst: slotAcc1, A: sSlot1, B: slotAcc1, Batch: hwsim.BatchQ}); err != nil {
-		return nil, 0, err
+		return err
 	}
-
-	compute := s.C.Stats.Total - start
-	if err := s.C.Scrub(); err != nil {
-		return nil, 0, err
-	}
-	ct := &fv.Ciphertext{Els: []poly.RNSPoly{
-		{Rows: s.C.ReadSlot(slotAcc0, 0, kq)},
-		{Rows: s.C.ReadSlot(slotAcc1, 0, kq)},
-	}}
-	return ct, compute, nil
+	return nil
 }
 
 // Rotate executes a Galois automorphism with key switch on the
