@@ -12,6 +12,12 @@
 // (disable with -normalize=false); simulated-cycle comparisons never are,
 // because cycles are machine-independent — a cycle delta is always a real
 // change in the hardware model or schedule.
+//
+// With -gate-allocs the steady-state allocation counts are gated too, and
+// exactly: allocs/op is a machine-independent integer, so the current count
+// exceeding the baseline's by even one allocation fails, with no threshold
+// slack and no calibration normalization. An op whose baseline records the
+// measurement but whose current report omits it also fails.
 package main
 
 import (
@@ -36,6 +42,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	threshold := fs.Float64("threshold", 15, "regression threshold in percent")
 	opsFlag := fs.String("ops", "", "comma-separated ops to gate on (default: all ops present in both reports)")
 	normalize := fs.Bool("normalize", true, "scale wall times by the calibration ratio")
+	gateAllocs := fs.Bool("gate-allocs", false, "fail when an op's steady-state allocs/op exceeds the baseline count (exact, never normalized)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -68,6 +75,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Ops:          ops,
 		ThresholdPct: *threshold,
 		Normalize:    *normalize,
+		GateAllocs:   *gateAllocs,
 	})
 	if len(deltas) == 0 {
 		fmt.Fprintln(stderr, "benchdiff: no ops in common between the reports")

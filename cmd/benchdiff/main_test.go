@@ -122,6 +122,77 @@ func TestMissingOpFailsGate(t *testing.T) {
 	}
 }
 
+// withAllocs annotates one op of a synthetic report with a steady-state
+// allocation count, the way hebench's warm-loop accounting does.
+func withAllocs(rep *hebench.Report, op string, allocs float64) *hebench.Report {
+	for i := range rep.Results {
+		if rep.Results[i].Op == op {
+			rep.Results[i].AllocsPerOp = &allocs
+		}
+	}
+	return rep
+}
+
+// The allocation gate is exact-count: a synthetic +N allocs/op regression
+// must fail -gate-allocs even though every wall-clock and sim-cycle number
+// is identical. The count comparison never touches the calibration ratio,
+// so no machine-speed difference can launder a new allocation.
+func TestAllocRegressionFailsGate(t *testing.T) {
+	dir := t.TempDir()
+	base := writeReport(t, dir, "base.json",
+		withAllocs(syntheticReport(100000, 5e6, 2e6, 8e6), hebench.OpMulRelin, 0))
+	cur := writeReport(t, dir, "cur.json",
+		withAllocs(syntheticReport(100000, 5e6, 2e6, 8e6), hebench.OpMulRelin, 3))
+
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-base", base, "-cur", cur, "-gate-allocs"}, &stdout, &stderr); code != 1 {
+		t.Fatalf("exit code = %d, want 1\nstdout: %s\nstderr: %s", code, &stdout, &stderr)
+	}
+	if !strings.Contains(stdout.String(), "allocs/op") {
+		t.Fatalf("regression reason should cite allocs/op:\n%s", &stdout)
+	}
+
+	// Without -gate-allocs the same reports pass: the count is recorded but
+	// not gated.
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-base", base, "-cur", cur}, &stdout, &stderr); code != 0 {
+		t.Fatalf("ungated run: exit code = %d, want 0\nstdout: %s", code, &stdout)
+	}
+}
+
+// Equal or lower allocation counts pass the gate; only growth fails.
+func TestEqualOrLowerAllocsPassGate(t *testing.T) {
+	dir := t.TempDir()
+	base := writeReport(t, dir, "base.json",
+		withAllocs(syntheticReport(100000, 5e6, 2e6, 8e6), hebench.OpMulRelin, 2))
+	for name, cur := range map[string]float64{"equal.json": 2, "lower.json": 0} {
+		curPath := writeReport(t, dir, name,
+			withAllocs(syntheticReport(100000, 5e6, 2e6, 8e6), hebench.OpMulRelin, cur))
+		var stdout, stderr bytes.Buffer
+		if code := run([]string{"-base", base, "-cur", curPath, "-gate-allocs"}, &stdout, &stderr); code != 0 {
+			t.Fatalf("%s: exit code = %d, want 0\nstdout: %s", name, code, &stdout)
+		}
+	}
+}
+
+// A baseline-recorded allocation count vanishing from the current report
+// must fail the gate — the measurement disappearing is not a pass.
+func TestMissingAllocsFailsGate(t *testing.T) {
+	dir := t.TempDir()
+	base := writeReport(t, dir, "base.json",
+		withAllocs(syntheticReport(100000, 5e6, 2e6, 8e6), hebench.OpMulRelin, 0))
+	cur := writeReport(t, dir, "cur.json", syntheticReport(100000, 5e6, 2e6, 8e6))
+
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-base", base, "-cur", cur, "-gate-allocs"}, &stdout, &stderr); code != 1 {
+		t.Fatalf("exit code = %d, want 1\nstdout: %s", code, &stdout)
+	}
+	if !strings.Contains(stdout.String(), "missing") {
+		t.Fatalf("regression reason should cite the missing measurement:\n%s", &stdout)
+	}
+}
+
 func TestBadUsageExitsTwo(t *testing.T) {
 	var stdout, stderr bytes.Buffer
 	if code := run([]string{}, &stdout, &stderr); code != 2 {

@@ -6,18 +6,27 @@
 //
 //	hebench -count 5 -json BENCH_current.json    # write a report
 //	hebench -count 3                             # print to stdout
+//	hebench -sweep 12,13,14,15 -json sweep.json  # ring-degree sweep
 //
 // Each op is sampled -count times and the report records the median, the
-// deterministic simulated-hardware cycles where the op has them, and the
-// goroutine-pool width it ran at. The report also carries a calibration
+// deterministic simulated-hardware cycles where the op has them, the
+// goroutine-pool width it ran at, and — for the zero-allocation hot-path ops —
+// the steady-state allocs/op. The report also carries a calibration
 // measurement (a fixed scalar loop) so cmd/benchdiff can normalize wall-clock
 // comparisons across machines of different speed.
+//
+// With -sweep the smoke suite is replaced by the parameter sweep: the NTT
+// and MulInto hot paths are re-timed at each listed ring degree (log2
+// values), producing ops suffixed _n<logN> so the scaling curve can be
+// plotted or gated independently of the paper design point.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"repro/internal/hebench"
 )
@@ -29,15 +38,37 @@ func main() {
 	engineWorkers := flag.Int("engine-workers", 2, "engine worker-pool size")
 	clusterTenants := flag.Int("cluster-tenants", 48, "tenants sharded across the cluster-throughput scenario")
 	clusterOps := flag.Int("cluster-ops", 96, "total Mult count per cluster-throughput sample")
+	sweep := flag.String("sweep", "", "comma-separated log2 ring degrees (e.g. 12,13,14,15); run the parameter sweep instead of the smoke suite")
 	flag.Parse()
 
-	rep, err := hebench.RunSmoke(hebench.SmokeConfig{
+	cfg := hebench.SmokeConfig{
 		Count:          *count,
 		EngineOps:      *engineOps,
 		EngineWorkers:  *engineWorkers,
 		ClusterTenants: *clusterTenants,
 		ClusterOps:     *clusterOps,
-	})
+	}
+
+	var rep *hebench.Report
+	var err error
+	if *sweep != "" {
+		var logNs []int
+		for _, part := range strings.Split(*sweep, ",") {
+			part = strings.TrimSpace(part)
+			if part == "" {
+				continue
+			}
+			v, convErr := strconv.Atoi(part)
+			if convErr != nil {
+				fmt.Fprintf(os.Stderr, "hebench: bad -sweep entry %q: %v\n", part, convErr)
+				os.Exit(2)
+			}
+			logNs = append(logNs, v)
+		}
+		rep, err = hebench.RunSweep(cfg, logNs)
+	} else {
+		rep, err = hebench.RunSmoke(cfg)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "hebench:", err)
 		os.Exit(1)
@@ -59,8 +90,12 @@ func main() {
 	}
 	if *jsonPath != "" {
 		for _, r := range rep.Results {
-			fmt.Printf("%-20s %14.0f ns/op %14d sim-cycles  pool=%d\n",
-				r.Op, r.NsPerOp, r.SimCycles, r.PoolWidth)
+			allocs := ""
+			if r.AllocsPerOp != nil {
+				allocs = fmt.Sprintf("  allocs/op=%.0f", *r.AllocsPerOp)
+			}
+			fmt.Printf("%-20s %14.0f ns/op %14d sim-cycles  pool=%d%s\n",
+				r.Op, r.NsPerOp, r.SimCycles, r.PoolWidth, allocs)
 		}
 		fmt.Printf("report written to %s (count=%d, calibration %.0f ns)\n",
 			*jsonPath, rep.Count, rep.CalibrationNs)

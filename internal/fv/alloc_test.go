@@ -1,0 +1,94 @@
+package fv
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"repro/internal/poly"
+	"repro/internal/sampler"
+)
+
+// allocParams builds a paper-shaped parameter set at an arbitrary ring
+// degree and pool width for the zero-allocation property tests. The prime
+// counts stay at the small test basis (3+4) so the 2^14 cases stay fast —
+// the allocation property is about the code path, not the operand volume.
+func allocParams(t *testing.T, logN, poolSize int) *Params {
+	t.Helper()
+	cfg := TestConfig(257)
+	cfg.N = 1 << logN
+	cfg.PoolSize = poolSize
+	p, err := NewParams(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestZeroAllocHotPath is the tentpole property: after one warm-up call
+// (evaluator scratch and pool buffers grow there), the Into forms of the
+// Mult pipeline — MulInto, and the split MulNoRelinInto + RelinearizeInto —
+// and the shared Transformer Forward/Inverse perform zero steady-state heap
+// allocations, at the paper degree 2^12 and the larger 2^14, sequentially
+// and at the RPAU-shaped pool width 7.
+func TestZeroAllocHotPath(t *testing.T) {
+	for _, logN := range []int{12, 14} {
+		for _, pool := range []int{1, 7} {
+			logN, pool := logN, pool
+			if testing.Short() && logN > 12 {
+				continue
+			}
+			t.Run(fmt.Sprintf("n2e%d_pool%d", logN, pool), func(t *testing.T) {
+				p := allocParams(t, logN, pool)
+				prng := sampler.NewPRNG(42)
+				kg := NewKeyGenerator(p, prng)
+				_, pk, rk := kg.GenKeys()
+				enc := NewEncryptor(p, pk, prng)
+				a := NewPlaintext(p)
+				b := NewPlaintext(p)
+				for i := range a.Coeffs {
+					a.Coeffs[i] = uint64(3*i+1) % p.T()
+					b.Coeffs[i] = uint64(7*i+2) % p.T()
+				}
+				ctA, ctB := enc.Encrypt(a), enc.Encrypt(b)
+				ev := NewEvaluator(p)
+
+				// measure settles each closure first — a few warm calls grow
+				// the evaluator scratch and pool buffers, and a forced GC
+				// collects the setup garbage so a collection mid-measurement
+				// cannot masquerade as hot-path allocation.
+				measure := func(name string, fn func()) {
+					for i := 0; i < 3; i++ {
+						fn()
+					}
+					runtime.GC()
+					if n := testing.AllocsPerRun(20, fn); n != 0 {
+						t.Errorf("%s: %v allocs/op, want 0", name, n)
+					}
+				}
+
+				out := NewCiphertext(p, 2)
+				measure("MulInto", func() {
+					ev.MulInto(ctA, ctB, rk, out)
+				})
+
+				mid := NewCiphertext(p, 3)
+				measure("MulNoRelinInto+RelinearizeInto", func() {
+					ev.MulNoRelinInto(ctA, ctB, mid)
+					ev.RelinearizeInto(mid, rk, out)
+				})
+
+				x := poly.NewRNSPoly(p.AllMods, p.N())
+				for i := range x.Rows {
+					for j := range x.Rows[i].Coeffs {
+						x.Rows[i].Coeffs[j] = uint64(i+j) % p.AllMods[i].Q
+					}
+				}
+				measure("Transformer Forward+Inverse", func() {
+					p.TrFull.Forward(x)
+					p.TrFull.Inverse(x)
+				})
+			})
+		}
+	}
+}

@@ -20,12 +20,18 @@ import (
 // decomp/sop/intt/combine children — so a wall-clock profile of the software
 // pipeline lines up stage-for-stage with the simulator's cycle attribution.
 // Both default to nil: the disabled state costs one nil-check per stage.
+//
+// An evaluator owns reusable scratch buffers (see evalScratch), so the
+// multiply paths allocate nothing in steady state — and, for the same reason,
+// a single Evaluator must not be used from multiple goroutines at once.
+// Create one per worker (the engine does).
 type Evaluator struct {
 	params  *Params
 	variant LiftScaleVariant
 	ops     poly.PoolOps
 	tracer  *obs.Tracer
 	metrics *obs.Registry
+	scr     evalScratch
 }
 
 // NewEvaluator returns an evaluator using the HPS lift/scale variant.
@@ -139,57 +145,101 @@ func (ev *Evaluator) MulPlain(ct *Ciphertext, pt *Plaintext) *Ciphertext {
 func (ev *Evaluator) MulNoRelin(a, b *Ciphertext) *Ciphertext {
 	sc := ev.tracer.Start("mul_no_relin")
 	defer sc.End()
-	return ev.mulNoRelin(sc, a, b)
+	out := NewCiphertext(ev.params, 3)
+	ev.mulNoRelinInto(sc, a, b, out)
+	return out
 }
 
-func (ev *Evaluator) mulNoRelin(parent obs.Scope, a, b *Ciphertext) *Ciphertext {
+// MulNoRelinInto is MulNoRelin writing into a caller-owned degree-2
+// ciphertext (three q-basis elements): with out reused across calls the
+// operation allocates nothing in steady state. out must not alias a or b.
+func (ev *Evaluator) MulNoRelinInto(a, b, out *Ciphertext) {
+	sc := ev.tracer.Start("mul_no_relin")
+	defer sc.End()
+	ev.mulNoRelinInto(sc, a, b, out)
+}
+
+func (ev *Evaluator) mulNoRelinInto(parent obs.Scope, a, b, out *Ciphertext) {
 	p := ev.params
 	if len(a.Els) != 2 || len(b.Els) != 2 {
 		panic(fmt.Sprintf("fv: MulNoRelin needs degree-1 ciphertexts, got %d and %d elements", len(a.Els), len(b.Els)))
 	}
+	if len(out.Els) != 3 {
+		panic(fmt.Sprintf("fv: MulNoRelinInto needs a degree-2 destination, got %d elements", len(out.Els)))
+	}
 	ev.count("fv.mul_no_relin")
+	s := ev.scratch()
 
-	// Lift q → Q: four polynomials gain the p-basis rows (Fig. 2, left).
+	// Lift q → Q (Fig. 2, left) — but only the p-basis target rows are
+	// computed here, straight into scratch. The kept q rows never move: the
+	// NTT stage below transforms them out of the inputs in the same pass that
+	// would have walked them anyway.
 	st := parent.Child("lift")
-	lift := ev.liftFn()
-	a0 := lift(a.Els[0])
-	a1 := lift(a.Els[1])
-	b0 := lift(b.Els[0])
-	b1 := lift(b.Els[1])
+	ev.liftTargets(a.Els[0], s.a0)
+	ev.liftTargets(a.Els[1], s.a1)
+	ev.liftTargets(b.Els[0], s.b0)
+	ev.liftTargets(b.Els[1], s.b1)
 	st.End()
 
-	// NTT over the full basis.
+	// NTT over the full basis, fused with the q-row move (nttLiftTask).
 	st = parent.Child("ntt")
-	p.TrFull.Forward(a0)
-	p.TrFull.Forward(a1)
-	p.TrFull.Forward(b0)
-	p.TrFull.Forward(b1)
+	ev.forwardLifted(s.a0, a.Els[0])
+	ev.forwardLifted(s.a1, a.Els[1])
+	ev.forwardLifted(s.b0, b.Els[0])
+	ev.forwardLifted(s.b1, b.Els[1])
 	st.End()
 
-	// Tensor product: c̃0 = a0·b0, c̃1 = a0·b1 + a1·b0, c̃2 = a1·b1.
+	// Tensor product: c̃0 = a0·b0, c̃1 = a0·b1 + a1·b0, c̃2 = a1·b1 — all
+	// three rows of each prime in one fused walk. The work estimate stays
+	// n·rows (one output sweep), the same threshold the unfused four-pass
+	// schedule presented to the pool.
 	st = parent.Child("tensor")
-	n := p.N()
-	t0 := poly.NewRNSPoly(p.AllMods, n)
-	t1 := poly.NewRNSPoly(p.AllMods, n)
-	t2 := poly.NewRNSPoly(p.AllMods, n)
-	ev.ops.MulInto(a0, b0, t0)
-	ev.ops.MulInto(a0, b1, t1)
-	ev.ops.MulAddInto(a1, b0, t1)
-	ev.ops.MulInto(a1, b1, t2)
+	t := &s.tensor
+	t.a0, t.a1, t.b0, t.b1 = s.a0.Rows, s.a1.Rows, s.b0.Rows, s.b1.Rows
+	t.t0, t.t1, t.t2 = s.t0.Rows, s.t1.Rows, s.t2.Rows
+	p.Pool.RunTask(p.N()*len(s.t0.Rows), len(s.t0.Rows), t)
 	st.End()
 
 	st = parent.Child("intt")
-	p.TrFull.Inverse(t0)
-	p.TrFull.Inverse(t1)
-	p.TrFull.Inverse(t2)
+	p.TrFull.Inverse(s.t0)
+	p.TrFull.Inverse(s.t1)
+	p.TrFull.Inverse(s.t2)
 	st.End()
 
-	// Scale Q → q (Fig. 2, right).
+	// Scale Q → q (Fig. 2, right), consuming the tensor rows in place and
+	// writing directly into the destination elements — no staging copies.
 	st = parent.Child("scale")
-	scale := ev.scaleFn()
-	out := &Ciphertext{Els: []poly.RNSPoly{scale(t0), scale(t1), scale(t2)}}
+	if ev.variant == Traditional {
+		p.Scaler.ScalePolyTraditionalInto(s.t0, out.Els[0])
+		p.Scaler.ScalePolyTraditionalInto(s.t1, out.Els[1])
+		p.Scaler.ScalePolyTraditionalInto(s.t2, out.Els[2])
+	} else {
+		p.Scaler.ScalePolyInto(s.t0, out.Els[0])
+		p.Scaler.ScalePolyInto(s.t1, out.Els[1])
+		p.Scaler.ScalePolyInto(s.t2, out.Els[2])
+	}
 	st.End()
-	return out
+}
+
+// liftTargets computes the p-basis rows of the lift of x into dst's tail
+// rows; dst's q rows are left untouched (forwardLifted fills them).
+func (ev *Evaluator) liftTargets(x, dst poly.RNSPoly) {
+	kq := ev.params.Cfg.QCount
+	if ev.variant == Traditional {
+		ev.params.Lifter.LiftTargetsTraditionalInto(x, dst.Rows[kq:])
+	} else {
+		ev.params.Lifter.LiftTargetsInto(x, dst.Rows[kq:])
+	}
+}
+
+// forwardLifted forward-transforms the lifted operand dst over the full
+// basis: q rows fused from src (copy folded into the first butterfly level),
+// p rows in place.
+func (ev *Evaluator) forwardLifted(dst, src poly.RNSPoly) {
+	p := ev.params
+	t := &ev.scr.nttLift
+	t.tables, t.dst, t.src = p.TrFull.Tables, dst.Rows, src.Rows
+	p.Pool.RunTask(p.N()*len(dst.Rows), len(dst.Rows), t)
 }
 
 // SquareNoRelin computes the degree-2 square of a ciphertext. The tensor is
@@ -236,20 +286,37 @@ func (ev *Evaluator) Square(a *Ciphertext, rk *RelinKey) *Ciphertext {
 func (ev *Evaluator) Relinearize(ct *Ciphertext, rk *RelinKey) *Ciphertext {
 	sc := ev.tracer.Start("relin")
 	defer sc.End()
-	return ev.relinearize(sc, ct, rk)
+	out := NewCiphertext(ev.params, 2)
+	ev.relinearizeInto(sc, ct, rk, out)
+	return out
 }
 
-func (ev *Evaluator) relinearize(parent obs.Scope, ct *Ciphertext, rk *RelinKey) *Ciphertext {
+// RelinearizeInto is Relinearize writing into a caller-owned degree-1
+// ciphertext. With an HPS relin key and a reused destination it allocates
+// nothing in steady state (the traditional word decomposition still builds
+// its digit polynomials per call). out may alias ct.
+func (ev *Evaluator) RelinearizeInto(ct *Ciphertext, rk *RelinKey, out *Ciphertext) {
+	sc := ev.tracer.Start("relin")
+	defer sc.End()
+	ev.relinearizeInto(sc, ct, rk, out)
+}
+
+func (ev *Evaluator) relinearizeInto(parent obs.Scope, ct *Ciphertext, rk *RelinKey, out *Ciphertext) {
 	p := ev.params
 	if len(ct.Els) != 3 {
 		panic("fv: Relinearize expects a degree-2 ciphertext")
 	}
+	if len(out.Els) != 2 {
+		panic(fmt.Sprintf("fv: RelinearizeInto needs a degree-1 destination, got %d elements", len(out.Els)))
+	}
 	ev.count("fv.relin")
+	s := ev.scratch()
 	st := parent.Child("decomp")
 	var digits []poly.RNSPoly
 	switch rk.Variant {
 	case HPS:
-		digits = rns.DecomposeRNSPool(p.Pool, p.QBasis, ct.Els[2])
+		rns.DecomposeRNSPoolInto(p.Pool, p.QBasis, ct.Els[2], s.digits)
+		digits = s.digits
 	case Traditional:
 		digits = rns.WordDecompose(p.QBasis, ct.Els[2], rk.LogW, rk.Ell)
 	}
@@ -259,40 +326,49 @@ func (ev *Evaluator) relinearize(parent obs.Scope, ct *Ciphertext, rk *RelinKey)
 	}
 
 	// Key-switch sum of products: digit NTTs interleaved with the MACs
-	// against the relin key, as the hardware schedule does.
+	// against the relin key, as the hardware schedule does — fused per
+	// residue row so each digit row is transformed and consumed while hot.
 	st = parent.Child("sop")
-	sop0 := poly.NewRNSPoly(p.QMods, p.N())
-	sop1 := poly.NewRNSPoly(p.QMods, p.N())
-	for i := range digits {
-		p.TrQ.Forward(digits[i])
-		ev.ops.MulAddInto(digits[i], rk.Rlk0Hat[i], sop0)
-		ev.ops.MulAddInto(digits[i], rk.Rlk1Hat[i], sop1)
-	}
+	t := &s.sop
+	t.tables, t.digits = p.TrQ.Tables, digits
+	t.rlk0, t.rlk1 = rk.Rlk0Hat, rk.Rlk1Hat
+	t.sop0, t.sop1 = s.sop0.Rows, s.sop1.Rows
+	t.raw = rawSOPSafe(p.QMods, len(digits))
+	p.Pool.RunTask(p.N()*len(s.sop0.Rows), len(s.sop0.Rows), t)
 	st.End()
 	st = parent.Child("intt")
-	p.TrQ.Inverse(sop0)
-	p.TrQ.Inverse(sop1)
+	p.TrQ.Inverse(s.sop0)
+	p.TrQ.Inverse(s.sop1)
 	st.End()
 
 	st = parent.Child("combine")
-	out := NewCiphertext(p, 2)
-	ev.ops.AddInto(ct.Els[0], sop0, out.Els[0])
-	ev.ops.AddInto(ct.Els[1], sop1, out.Els[1])
+	ev.ops.AddInto(ct.Els[0], s.sop0, out.Els[0])
+	ev.ops.AddInto(ct.Els[1], s.sop1, out.Els[1])
 	st.End()
-	return out
 }
 
 // Mul is the full FV.Mult: MulNoRelin followed by Relinearize. With a tracer
 // attached it emits one "mul" span whose children are the pipeline stages.
 func (ev *Evaluator) Mul(a, b *Ciphertext, rk *RelinKey) *Ciphertext {
+	out := NewCiphertext(ev.params, 2)
+	ev.MulInto(a, b, rk, out)
+	return out
+}
+
+// MulInto is the zero-allocation FV.Mult: the degree-2 intermediate lives in
+// evaluator scratch and the relinearized product lands in the caller-owned
+// degree-1 out. With the HPS variant and a reused destination, steady-state
+// allocations are zero. out may alias a or b — the inputs are fully consumed
+// before out is written.
+func (ev *Evaluator) MulInto(a, b *Ciphertext, rk *RelinKey, out *Ciphertext) {
 	sc := ev.tracer.Start("mul")
 	defer sc.End()
 	ev.count("fv.mul")
-	ct := ev.mulNoRelin(sc, a, b)
+	s := ev.scratch()
+	ev.mulNoRelinInto(sc, a, b, s.mid)
 	relin := sc.Child("relin")
-	out := ev.relinearize(relin, ct, rk)
+	ev.relinearizeInto(relin, s.mid, rk, out)
 	relin.End()
-	return out
 }
 
 // Pow raises a ciphertext to the k-th power (k ≥ 1) by square-and-multiply,

@@ -128,7 +128,7 @@ func (ev *Evaluator) ApplyGalois(ct *Ciphertext, gk *GaloisKey) *Ciphertext {
 	c0 := applyAutomorphism(gk.G, ct.Els[0])
 	c1 := applyAutomorphism(gk.G, ct.Els[1])
 
-	digits := rns.DecomposeRNS(p.QBasis, c1)
+	digits := rns.DecomposeRNSPool(p.Pool, p.QBasis, c1)
 	sop0 := poly.NewRNSPoly(p.QMods, p.N())
 	sop1 := poly.NewRNSPoly(p.QMods, p.N())
 	for i := range digits {

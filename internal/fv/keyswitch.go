@@ -58,7 +58,7 @@ func (ev *Evaluator) SwitchKey(ct *Ciphertext, sw *SwitchKey) *Ciphertext {
 	if len(ct.Els) != 2 {
 		panic("fv: SwitchKey expects a degree-1 ciphertext")
 	}
-	digits := rns.DecomposeRNS(p.QBasis, ct.Els[1])
+	digits := rns.DecomposeRNSPool(p.Pool, p.QBasis, ct.Els[1])
 	sop0 := poly.NewRNSPoly(p.QMods, p.N())
 	sop1 := poly.NewRNSPoly(p.QMods, p.N())
 	for i := range digits {

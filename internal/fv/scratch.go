@@ -1,0 +1,168 @@
+package fv
+
+import (
+	"repro/internal/poly"
+	"repro/internal/ring"
+)
+
+// evalScratch is the evaluator-owned working set of the Mul pipeline: the
+// four lifted operands and three tensor accumulators over the full basis, the
+// degree-2 intermediate, and the relinearization digits and sum-of-products
+// accumulators over the q basis. It is sized lazily on the first multiply and
+// then reused forever, which is what drives steady-state allocations of the
+// MulInto/RelinearizeInto path to zero — the software analogue of the paper's
+// co-processor keeping every pipeline operand resident in on-chip BRAM
+// instead of re-allocating DRAM buffers per operation.
+//
+// The scratch also embeds the three recycled dispatch tasks of the fused
+// kernels (lift+NTT, tensor, digit-NTT+SoP); holding them here rather than
+// constructing closures keeps the dispatch allocation-free and the stage
+// arguments off the heap.
+//
+// Because the scratch is mutable shared state, an Evaluator is single-client:
+// concurrent evaluation needs one Evaluator per goroutine (the engine already
+// gives each worker its own).
+type evalScratch struct {
+	ready bool
+
+	a0, a1, b0, b1 poly.RNSPoly // lifted operands, full basis, NTT domain
+	t0, t1, t2     poly.RNSPoly // tensor accumulators, full basis
+	mid            *Ciphertext  // degree-2 intermediate of MulInto
+
+	digits     []poly.RNSPoly // RNS decomposition digits, q basis
+	sop0, sop1 poly.RNSPoly   // key-switch accumulators, q basis
+
+	nttLift nttLiftTask
+	tensor  tensorTask
+	sop     sopTask
+}
+
+// scratch returns the evaluator's scratch, sizing it on first use.
+func (ev *Evaluator) scratch() *evalScratch {
+	s := &ev.scr
+	if s.ready {
+		return s
+	}
+	p := ev.params
+	n := p.N()
+	s.a0 = poly.NewRNSPoly(p.AllMods, n)
+	s.a1 = poly.NewRNSPoly(p.AllMods, n)
+	s.b0 = poly.NewRNSPoly(p.AllMods, n)
+	s.b1 = poly.NewRNSPoly(p.AllMods, n)
+	s.t0 = poly.NewRNSPoly(p.AllMods, n)
+	s.t1 = poly.NewRNSPoly(p.AllMods, n)
+	s.t2 = poly.NewRNSPoly(p.AllMods, n)
+	s.mid = NewCiphertext(p, 3)
+	s.digits = make([]poly.RNSPoly, p.Cfg.QCount)
+	for i := range s.digits {
+		s.digits[i] = poly.NewRNSPoly(p.QMods, n)
+	}
+	s.sop0 = poly.NewRNSPoly(p.QMods, n)
+	s.sop1 = poly.NewRNSPoly(p.QMods, n)
+	s.ready = true
+	return s
+}
+
+// nttLiftTask fuses the tail of Lift q→Q with the forward NTT over the full
+// basis: the kept q rows are transformed straight out of the input ciphertext
+// into scratch (ForwardFromInto — the first butterfly level does the copy),
+// while the freshly lifted p rows, already sitting in scratch, transform in
+// place. This removes the q-row clone the unfused LiftPoly performed for all
+// four operands.
+type nttLiftTask struct {
+	tables []*poly.NTTTable
+	dst    []poly.Poly
+	src    []poly.Poly // the kq kept source rows; rows ≥ len(src) are in place
+}
+
+func (t *nttLiftTask) RunIndex(i int) {
+	if i < len(t.src) {
+		t.tables[i].ForwardFromInto(t.dst[i].Coeffs, t.src[i].Coeffs)
+	} else {
+		t.tables[i].Forward(t.dst[i].Coeffs)
+	}
+}
+
+// tensorTask computes all three tensor rows of one residue prime in a single
+// fused walk (ring.VecTensorInto): the four operand rows are read once per
+// prime instead of once per product.
+type tensorTask struct {
+	a0, a1, b0, b1 []poly.Poly
+	t0, t1, t2     []poly.Poly
+}
+
+func (t *tensorTask) RunIndex(i int) {
+	t.t0[i].Mod.VecTensorInto(
+		t.t0[i].Coeffs, t.t1[i].Coeffs, t.t2[i].Coeffs,
+		t.a0[i].Coeffs, t.a1[i].Coeffs, t.b0[i].Coeffs, t.b1[i].Coeffs)
+}
+
+// sopTask fuses the relinearization digit NTTs with the key-switch MACs, one
+// residue row per task: row j forward-transforms every digit's j-th row and
+// immediately accumulates it against both key halves while it is hot in
+// cache. The per-row accumulation order over digits matches the unfused
+// "transform all digits, then MAC" schedule exactly, so results are
+// bit-identical; only the interleaving across rows changes.
+type sopTask struct {
+	tables     []*poly.NTTTable
+	digits     []poly.RNSPoly
+	rlk0, rlk1 []poly.RNSPoly
+	sop0, sop1 []poly.Poly
+	raw        bool // lazy raw accumulation is in range (see rawSOPSafe)
+}
+
+func (t *sopTask) RunIndex(j int) {
+	tab := t.tables[j]
+	m := tab.Mod
+	s0 := t.sop0[j].Coeffs
+	s1 := t.sop1[j].Coeffs
+	if t.raw {
+		// Raw MAC schedule: accumulate the unreduced products of every digit
+		// (one multiply per lane) and Barrett-reduce once at the end — the
+		// same Σ mod q, at roughly half the multiplies of the eager schedule.
+		for i := range t.digits {
+			d := t.digits[i].Rows[j].Coeffs
+			tab.Forward(d)
+			if i == 0 {
+				m.VecMulRawInto(s0, d, t.rlk0[i].Rows[j].Coeffs)
+				m.VecMulRawInto(s1, d, t.rlk1[i].Rows[j].Coeffs)
+			} else {
+				m.VecMulAddRawInto(s0, d, t.rlk0[i].Rows[j].Coeffs)
+				m.VecMulAddRawInto(s1, d, t.rlk1[i].Rows[j].Coeffs)
+			}
+		}
+		m.VecReduceInto(s0, s0)
+		m.VecReduceInto(s1, s1)
+		return
+	}
+	for c := range s0 {
+		s0[c] = 0
+	}
+	for c := range s1 {
+		s1[c] = 0
+	}
+	for i := range t.digits {
+		d := t.digits[i].Rows[j].Coeffs
+		tab.Forward(d)
+		m.VecMulAddInto(s0, d, t.rlk0[i].Rows[j].Coeffs)
+		m.VecMulAddInto(s1, d, t.rlk1[i].Rows[j].Coeffs)
+	}
+}
+
+// rawSOPSafe reports whether k raw digit·key products of residues modulo the
+// widest of mods can be summed in a uint64 without leaving VecReduceInto's
+// input range: k·(maxQ-1)² < 2^63. True for every paper-scale configuration
+// (six 30-bit digits sum below 2^62.6); a wider basis falls back to the
+// eagerly reduced MAC schedule.
+func rawSOPSafe(mods []ring.Modulus, k int) bool {
+	var maxQ uint64
+	for _, m := range mods {
+		if m.Q > maxQ {
+			maxQ = m.Q
+		}
+	}
+	if k <= 0 || maxQ < 2 || maxQ >= 1<<32 {
+		return false
+	}
+	return (maxQ-1)*(maxQ-1) < (uint64(1)<<63)/uint64(k)
+}

@@ -23,6 +23,10 @@ type Delta struct {
 	BaseSimCycles uint64  `json:"base_sim_cycles,omitempty"`
 	CurSimCycles  uint64  `json:"cur_sim_cycles,omitempty"`
 	SimPct        float64 `json:"sim_pct"`
+	// BaseAllocsPerOp/CurAllocsPerOp carry the steady-state allocation
+	// counts when the reports record them (see BenchResult.AllocsPerOp).
+	BaseAllocsPerOp *float64 `json:"base_allocs_per_op,omitempty"`
+	CurAllocsPerOp  *float64 `json:"cur_allocs_per_op,omitempty"`
 	// Regressed is set when WallPct or SimPct exceeds the threshold.
 	Regressed bool   `json:"regressed"`
 	Why       string `json:"why,omitempty"`
@@ -41,6 +45,14 @@ type CompareOptions struct {
 	// slower runner machine does not read as a code regression. Simulated
 	// cycles are never normalized — they are machine-independent.
 	Normalize bool
+	// GateAllocs enforces the exact-count allocation gate on every compared
+	// op whose baseline records allocs/op: the current count may not exceed
+	// the baseline's by even one allocation. There is no threshold
+	// percentage and no calibration normalization — allocation counts are
+	// machine-independent, so any growth is a real code regression. An op
+	// whose baseline has the measurement but whose current report lacks it
+	// also fails: the measurement silently disappearing must not pass.
+	GateAllocs bool
 }
 
 // Compare diffs two reports op by op and returns one Delta per compared op.
@@ -100,6 +112,8 @@ func Compare(base, cur *Report, opts CompareOptions) []Delta {
 		if b.SimCycles > 0 && c.SimCycles > 0 {
 			d.SimPct = 100 * (float64(c.SimCycles) - float64(b.SimCycles)) / float64(b.SimCycles)
 		}
+		d.BaseAllocsPerOp = b.AllocsPerOp
+		d.CurAllocsPerOp = c.AllocsPerOp
 		switch {
 		case d.WallPct > opts.ThresholdPct:
 			d.Regressed = true
@@ -107,10 +121,26 @@ func Compare(base, cur *Report, opts CompareOptions) []Delta {
 		case d.SimPct > opts.ThresholdPct:
 			d.Regressed = true
 			d.Why = fmt.Sprintf("simulated cycles +%.1f%% > %.0f%%", d.SimPct, opts.ThresholdPct)
+		case opts.GateAllocs && b.AllocsPerOp != nil && c.AllocsPerOp == nil:
+			d.Regressed = true
+			d.Why = "allocs/op measurement missing from current report"
+		case opts.GateAllocs && b.AllocsPerOp != nil && *c.AllocsPerOp > *b.AllocsPerOp+0.5:
+			// Exact count with half-an-object slack for measurement jitter:
+			// one real new allocation per op always trips it.
+			d.Regressed = true
+			d.Why = fmt.Sprintf("allocs/op %.1f > baseline %.1f (exact count, unnormalized)",
+				*c.AllocsPerOp, *b.AllocsPerOp)
 		}
 		out = append(out, d)
 	}
 	return out
+}
+
+func fmtAllocs(a *float64) string {
+	if a == nil {
+		return "?"
+	}
+	return fmt.Sprintf("%.0f", *a)
 }
 
 func missingSide(b, c *BenchResult) string {
@@ -125,16 +155,20 @@ func missingSide(b, c *BenchResult) string {
 // deltas regressed.
 func RenderDeltas(w io.Writer, deltas []Delta) int {
 	regressed := 0
-	fmt.Fprintf(w, "%-20s %14s %14s %8s %8s  %s\n",
-		"op", "base ns/op", "cur ns/op*", "wall", "sim", "verdict")
+	fmt.Fprintf(w, "%-20s %14s %14s %8s %8s %9s  %s\n",
+		"op", "base ns/op", "cur ns/op*", "wall", "sim", "allocs", "verdict")
 	for _, d := range deltas {
 		verdict := "ok"
 		if d.Regressed {
 			verdict = "REGRESSED: " + d.Why
 			regressed++
 		}
-		fmt.Fprintf(w, "%-20s %14.0f %14.0f %+7.1f%% %+7.1f%%  %s\n",
-			d.Op, d.BaseNs, d.CurNormNs, d.WallPct, d.SimPct, verdict)
+		allocs := "-"
+		if d.BaseAllocsPerOp != nil || d.CurAllocsPerOp != nil {
+			allocs = fmtAllocs(d.BaseAllocsPerOp) + ">" + fmtAllocs(d.CurAllocsPerOp)
+		}
+		fmt.Fprintf(w, "%-20s %14.0f %14.0f %+7.1f%% %+7.1f%% %9s  %s\n",
+			d.Op, d.BaseNs, d.CurNormNs, d.WallPct, d.SimPct, allocs, verdict)
 	}
 	fmt.Fprintln(w, "* normalized by the calibration ratio when enabled")
 	return regressed

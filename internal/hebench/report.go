@@ -45,6 +45,14 @@ type BenchResult struct {
 	// hardware model rather than wall clock; it is machine-independent, so
 	// Compare never applies the calibration normalization to it.
 	Deterministic bool `json:"deterministic,omitempty"`
+	// AllocsPerOp is the steady-state heap allocation count per operation:
+	// one warm-up call absorbs lazily grown scratch, then a
+	// runtime.MemStats.Mallocs delta over a fixed warm loop is divided by
+	// the iteration count. Only ops whose hot path is pinned to zero
+	// allocations record it (ntt_forward, mul_relin, and the sweep ops).
+	// The count is machine-independent — benchdiff's -gate-allocs compares
+	// it exactly, with no threshold slack and no calibration normalization.
+	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
 }
 
 // Report is the machine-readable benchmark report (BENCH_*.json).
@@ -131,6 +139,39 @@ func calibrate(count int) float64 {
 	return median(samples)
 }
 
+// measureAllocs returns the steady-state heap allocations per call of fn:
+// one warm-up invocation (any one-time growth — pool scratch, lazily sized
+// buffers — lands there), then the runtime.MemStats.Mallocs delta across
+// iters calls divided by iters. Mallocs is a cumulative object count, not
+// bytes, so the result is an exact machine-independent integer for a
+// zero-allocation hot path.
+func measureAllocs(iters int, fn func()) float64 {
+	fn()
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	for i := 0; i < iters; i++ {
+		fn()
+	}
+	runtime.ReadMemStats(&after)
+	return float64(after.Mallocs-before.Mallocs) / float64(iters)
+}
+
+// newReportHeader stamps the environment fields shared by every report
+// flavor (smoke and sweep) and runs the machine calibration.
+func newReportHeader(count int) *Report {
+	rep := &Report{
+		Schema:    ReportSchema,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		Count:     count,
+	}
+	rep.CalibrationNs = calibrate(count)
+	return rep
+}
+
 // SmokeConfig parameterizes RunSmoke.
 type SmokeConfig struct {
 	// Count is the samples per op; the report records medians (default 5).
@@ -209,15 +250,7 @@ func (c SmokeConfig) withDefaults() SmokeConfig {
 // them is a real model/schedule change regardless of the machine.
 func RunSmoke(cfg SmokeConfig) (*Report, error) {
 	cfg = cfg.withDefaults()
-	rep := &Report{
-		Schema:    ReportSchema,
-		GoVersion: runtime.Version(),
-		GOOS:      runtime.GOOS,
-		GOARCH:    runtime.GOARCH,
-		NumCPU:    runtime.NumCPU(),
-		Count:     cfg.Count,
-	}
-	rep.CalibrationNs = calibrate(cfg.Count)
+	rep := newReportHeader(cfg.Count)
 
 	ntt, err := smokeNTTForward(cfg)
 	if err != nil {
@@ -291,6 +324,8 @@ func smokeNTTForward(cfg SmokeConfig) (BenchResult, error) {
 		samples = append(samples, float64(time.Since(start).Nanoseconds())/iters)
 	}
 	res := BenchResult{Op: OpNTTForward, NsPerOp: median(samples), PoolWidth: 1, Samples: samples}
+	allocs := measureAllocs(64, func() { tab.Forward(coeffs) })
+	res.AllocsPerOp = &allocs
 
 	// Deterministic hardware-side cost of the same kernel: one RPAU forward
 	// transform at n = 4096.
@@ -304,18 +339,23 @@ func smokeNTTForward(cfg SmokeConfig) (BenchResult, error) {
 }
 
 // smokeMulRelin times the full software Mult pipeline (Lift, NTT, tensor,
-// INTT, Scale, ReLin) at the paper parameter set and RPAU-shaped pool.
+// INTT, Scale, ReLin) at the paper parameter set and RPAU-shaped pool. It
+// measures the steady-state MulInto path — evaluator scratch plus a reused
+// destination — so the allocs/op it records is the number the
+// zero-allocation gate pins (the allocating Mul wrapper is one NewCiphertext
+// on top of this).
 func smokeMulRelin(cfg SmokeConfig) (BenchResult, error) {
 	s, err := PaperSuite()
 	if err != nil {
 		return BenchResult{}, err
 	}
 	ev := fv.NewEvaluator(s.Params)
-	ev.Mul(s.CtA, s.CtB, s.RK) // warm up pool and caches
+	out := fv.NewCiphertext(s.Params, 2)
+	ev.MulInto(s.CtA, s.CtB, s.RK, out) // warm up pool, caches, and scratch
 	var samples []float64
 	for i := 0; i < cfg.Count; i++ {
 		start := time.Now()
-		ev.Mul(s.CtA, s.CtB, s.RK)
+		ev.MulInto(s.CtA, s.CtB, s.RK, out)
 		samples = append(samples, float64(time.Since(start).Nanoseconds()))
 	}
 	res := BenchResult{
@@ -324,6 +364,8 @@ func smokeMulRelin(cfg SmokeConfig) (BenchResult, error) {
 		PoolWidth: s.Params.Pool.Workers(),
 		Samples:   samples,
 	}
+	allocs := measureAllocs(4, func() { ev.MulInto(s.CtA, s.CtB, s.RK, out) })
+	res.AllocsPerOp = &allocs
 	// Deterministic simulated cost of the same op on one co-processor.
 	_, hwRep, err := s.AccelOne.Mul(s.CtA, s.CtB, s.RK)
 	if err != nil {

@@ -130,11 +130,52 @@ func TestRunSmokeProducesAllOps(t *testing.T) {
 			t.Fatalf("%s: %d samples, want 1", op, len(r.Samples))
 		}
 	}
+	// The two gated hot-path ops carry the steady-state allocation count,
+	// and the zero-allocation tentpole holds: warm MulInto and Forward do
+	// not allocate.
+	for _, op := range []string{OpNTTForward, OpMulRelin} {
+		r := rep.Result(op)
+		if r.AllocsPerOp == nil {
+			t.Fatalf("%s: allocs/op missing", op)
+		}
+		if *r.AllocsPerOp > 0.5 {
+			t.Fatalf("%s: allocs/op = %v, want 0 steady state", op, *r.AllocsPerOp)
+		}
+	}
 	// The comparison of a report against itself is clean — the identity the
-	// CI gate depends on.
-	for _, d := range Compare(rep, rep, CompareOptions{Normalize: true}) {
+	// CI gate depends on — including under the exact-count allocation gate.
+	for _, d := range Compare(rep, rep, CompareOptions{Normalize: true, GateAllocs: true}) {
 		if d.Regressed {
 			t.Fatalf("self-comparison regressed: %+v", d)
 		}
+	}
+}
+
+func TestRunSweepProducesSuffixedOps(t *testing.T) {
+	if testing.Short() {
+		t.Skip("parameter-sweep run in -short mode")
+	}
+	// log2(n) = 8 keeps the test fast; the production sweep uses 12..15.
+	rep, err := RunSweep(SmokeConfig{Count: 1}, []int{8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, op := range []string{OpNTTForward + "_n8", OpMulRelin + "_n8"} {
+		r := rep.Result(op)
+		if r == nil {
+			t.Fatalf("result %q missing", op)
+		}
+		if r.NsPerOp <= 0 {
+			t.Fatalf("%s: ns/op = %v", op, r.NsPerOp)
+		}
+		if r.AllocsPerOp == nil {
+			t.Fatalf("%s: allocs/op missing", op)
+		}
+		if *r.AllocsPerOp > 0.5 {
+			t.Fatalf("%s: allocs/op = %v, want 0 steady state", op, *r.AllocsPerOp)
+		}
+	}
+	if _, err := RunSweep(SmokeConfig{Count: 1}, []int{3}); err == nil {
+		t.Fatal("RunSweep accepted an out-of-range ring degree")
 	}
 }

@@ -1,0 +1,143 @@
+package hebench
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/fv"
+	"repro/internal/poly"
+	"repro/internal/ring"
+	"repro/internal/sampler"
+)
+
+// SweepLogNs is the default ring-degree sweep of `hebench -sweep`: the
+// paper's n = 2^12 plus the three larger parameter sets its Table V
+// extrapolates to.
+var SweepLogNs = []int{12, 13, 14, 15}
+
+// sweepConfig is the paper parameter shape (6+7 30-bit primes, σ = 102) at
+// an arbitrary ring degree. Only n varies across the sweep, so the per-op
+// curves isolate how the kernels scale with the transform size.
+func sweepConfig(logN int) fv.Config {
+	cfg := fv.PaperConfig(2)
+	cfg.N = 1 << logN
+	return cfg
+}
+
+// RunSweep measures the two gated hot-path ops — the single-prime forward
+// NTT and the software MulInto pipeline — across the given ring degrees
+// (log2 values, e.g. 12..15), producing ops named ntt_forward_n<logN> and
+// mul_relin_n<logN>. Every result carries the steady-state allocs/op so the
+// zero-allocation property is checked at every point of the sweep, not just
+// the paper's n. Wall times dominate the report; there are no simulated
+// cycles here because the hardware model is bound to the paper design point.
+func RunSweep(cfg SmokeConfig, logNs []int) (*Report, error) {
+	cfg = cfg.withDefaults()
+	if len(logNs) == 0 {
+		logNs = SweepLogNs
+	}
+	rep := newReportHeader(cfg.Count)
+	for _, logN := range logNs {
+		if logN < 4 || logN > 17 {
+			return nil, fmt.Errorf("hebench: sweep log2(n) %d out of range [4,17]", logN)
+		}
+		ntt, err := sweepNTTForward(cfg, logN)
+		if err != nil {
+			return nil, err
+		}
+		mul, err := sweepMulRelin(cfg, logN)
+		if err != nil {
+			return nil, err
+		}
+		rep.Results = append(rep.Results, ntt, mul)
+	}
+	return rep, nil
+}
+
+// sweepNTTForward is smokeNTTForward at an arbitrary ring degree, without
+// the paper-bound simulated-cycle annotation.
+func sweepNTTForward(cfg SmokeConfig, logN int) (BenchResult, error) {
+	n := 1 << logN
+	primes, err := ring.GenerateNTTPrimes(30, n, 1)
+	if err != nil {
+		return BenchResult{}, err
+	}
+	m := ring.NewModulus(primes[0])
+	tab, err := poly.NewNTTTable(m, n)
+	if err != nil {
+		return BenchResult{}, err
+	}
+	prng := sampler.NewPRNG(11)
+	coeffs := make([]uint64, n)
+	for i := range coeffs {
+		coeffs[i] = prng.Uint64() % m.Q
+	}
+	// Scale the inner repeat so each sample does comparable work across the
+	// sweep: 64 transforms at n = 2^12, halving as n doubles (and growing
+	// for the small sub-paper degrees the tests use).
+	iters := 1
+	if logN < 12+6 {
+		iters = 64 * (1 << 12) / n
+	}
+	if iters < 1 {
+		iters = 1
+	}
+	var samples []float64
+	for s := 0; s < cfg.Count; s++ {
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			tab.Forward(coeffs)
+		}
+		samples = append(samples, float64(time.Since(start).Nanoseconds())/float64(iters))
+	}
+	res := BenchResult{
+		Op:        fmt.Sprintf("%s_n%d", OpNTTForward, logN),
+		NsPerOp:   median(samples),
+		PoolWidth: 1,
+		Samples:   samples,
+	}
+	allocs := measureAllocs(16, func() { tab.Forward(coeffs) })
+	res.AllocsPerOp = &allocs
+	return res, nil
+}
+
+// sweepMulRelin builds a fresh paper-shaped system at the given ring degree
+// and times the steady-state MulInto pipeline on it.
+func sweepMulRelin(cfg SmokeConfig, logN int) (BenchResult, error) {
+	params, err := fv.NewParams(sweepConfig(logN))
+	if err != nil {
+		return BenchResult{}, err
+	}
+	prng := sampler.NewPRNG(2019)
+	kg := fv.NewKeyGenerator(params, prng)
+	sk := kg.GenSecretKey()
+	pk := kg.GenPublicKey(sk)
+	rk := kg.GenRelinKey(sk, fv.HPS, 0, 0)
+	enc := fv.NewEncryptor(params, pk, prng)
+	a := fv.NewPlaintext(params)
+	b := fv.NewPlaintext(params)
+	for i := 0; i < params.N(); i++ {
+		a.Coeffs[i] = uint64(i) % params.T()
+		b.Coeffs[i] = uint64(i+1) % params.T()
+	}
+	ctA, ctB := enc.Encrypt(a), enc.Encrypt(b)
+
+	ev := fv.NewEvaluator(params)
+	out := fv.NewCiphertext(params, 2)
+	ev.MulInto(ctA, ctB, rk, out) // warm up pool, caches, and scratch
+	var samples []float64
+	for i := 0; i < cfg.Count; i++ {
+		start := time.Now()
+		ev.MulInto(ctA, ctB, rk, out)
+		samples = append(samples, float64(time.Since(start).Nanoseconds()))
+	}
+	res := BenchResult{
+		Op:        fmt.Sprintf("%s_n%d", OpMulRelin, logN),
+		NsPerOp:   median(samples),
+		PoolWidth: params.Pool.Workers(),
+		Samples:   samples,
+	}
+	allocs := measureAllocs(2, func() { ev.MulInto(ctA, ctB, rk, out) })
+	res.AllocsPerOp = &allocs
+	return res, nil
+}

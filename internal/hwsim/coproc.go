@@ -432,19 +432,13 @@ func (c *Coprocessor) execOp(in Instr) (Cycles, error) {
 		digit := make([]uint64, c.N)
 		qTilde := qb.QTilde[i]
 		qTildeShoup := m.ShoupPrecomp(qTilde)
-		for k, x := range src.Coeffs {
-			digit[k] = m.MulShoup(x, qTilde, qTildeShoup)
-		}
+		m.VecScalarMulShoupInto(digit, src.Coeffs, qTilde, qTildeShoup)
 		for j := 0; j < c.KQ; j++ {
 			c.row(sd, j)
 			sd.domain[j] = domCoeff
 		}
 		c.Pool.Run(c.N*c.KQ, c.KQ, func(j int) {
-			dst := sd.rows[j]
-			mj := c.Mods[j]
-			for k, d := range digit {
-				dst.Coeffs[k] = mj.Reduce(d)
-			}
+			c.Mods[j].VecReduceInto(sd.rows[j].Coeffs, digit)
 		})
 		cyc = c.rpauFor(i).Rearrange()
 

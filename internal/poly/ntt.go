@@ -109,36 +109,151 @@ func (t *NTTTable) Forward(a []uint64) {
 	if len(a) != t.N {
 		panic("poly: NTT length mismatch")
 	}
+	t.forwardStages(a, 1, t.N>>1)
+}
+
+// ForwardFromInto transforms src (coefficients < q) into dst in one fused
+// walk: the first butterfly level reads src and writes dst, and the remaining
+// levels run in place in dst. This replaces the copy-then-transform pattern
+// of the lift path — the identity half of the base extension is exactly a row
+// copy followed by an NTT — with a single pass, and is bit-identical to
+// copy + Forward (the first level's 2q guard never fires on reduced input).
+// dst and src must not overlap unless identical.
+func (t *NTTTable) ForwardFromInto(dst, src []uint64) {
+	if len(dst) != t.N || len(src) != t.N {
+		panic("poly: NTT length mismatch")
+	}
+	n := t.N
+	if n == 2 {
+		copy(dst, src)
+		t.forwardStages(dst, 1, 1)
+		return
+	}
 	q := t.Mod.Q
 	twoQ := 2 * q
-	span := t.N >> 1 // butterfly distance
-	for stage := 1; span > 1; stage <<= 1 {
+	span := n >> 1
+	w := t.psiRev[1]
+	ws := t.psiRevShoup[1]
+	slo := src[:span:span]
+	shi := src[span:][:span:span]
+	dlo := dst[:span:span]
+	dhi := dst[span:][:span:span]
+	for j := range slo {
+		u := slo[j]
+		x := shi[j]
+		qhat, _ := bits.Mul64(x, ws)
+		v := x*w - qhat*q
+		dlo[j] = u + v
+		dhi[j] = u - v + twoQ
+	}
+	t.forwardStages(dst, 2, span>>1)
+}
+
+// forwardStages runs the Cooley–Tukey levels from the given (stage, span)
+// down through the folded canonical-reduction last level. The two tail levels
+// (span 2 and span 1) run as flat sweeps over the whole array — at those
+// spans the general path's per-group sub-slicing costs more than the
+// butterflies themselves.
+func (t *NTTTable) forwardStages(a []uint64, startStage, startSpan int) {
+	a = a[:t.N:t.N]
+	q := t.Mod.Q
+	twoQ := 2 * q
+	span := startSpan // butterfly distance
+	for stage := startStage; span > 2; stage <<= 1 {
 		for group := 0; group < stage; group++ {
 			w := t.psiRev[stage+group]
 			ws := t.psiRevShoup[stage+group]
 			base := 2 * span * group
 			lo := a[base : base+span : base+span]
 			hi := a[base+span : base+2*span][:span:span]
-			for j := range lo {
+			// Two butterflies per iteration; span ≥ 4 is even, so no tail.
+			for j := 0; j+1 < len(lo); j += 2 {
 				// Invariant: lo[j], hi[j] < 4q (< q on entry).
-				u := lo[j]
-				if u >= twoQ {
-					u -= twoQ
+				u0 := lo[j]
+				if u0 >= twoQ {
+					u0 -= twoQ
 				}
-				x := hi[j]
-				qhat, _ := bits.Mul64(x, ws)
-				v := x*w - qhat*q // Shoup lazy product, < 2q
-				lo[j] = u + v
-				hi[j] = u - v + twoQ
+				x0 := hi[j]
+				qhat0, _ := bits.Mul64(x0, ws)
+				v0 := x0*w - qhat0*q // Shoup lazy product, < 2q
+				u1 := lo[j+1]
+				if u1 >= twoQ {
+					u1 -= twoQ
+				}
+				x1 := hi[j+1]
+				qhat1, _ := bits.Mul64(x1, ws)
+				v1 := x1*w - qhat1*q
+				lo[j] = u0 + v0
+				hi[j] = u0 - v0 + twoQ
+				lo[j+1] = u1 + v1
+				hi[j+1] = u1 - v1 + twoQ
 			}
 		}
 		span >>= 1
 	}
-	// Last level (span 1) with the canonical reduction folded in.
+	if span == 2 {
+		// Fused radix-4 tail: the last two levels (spans 2 and 1) in one
+		// sweep, keeping each group's four lanes in registers between the
+		// levels and folding the canonical reduction into the stores. Per
+		// lane the operation sequence is exactly the unfused levels'.
+		stage := t.N >> 2
+		tw2 := t.psiRev[stage : 2*stage : 2*stage]
+		tw2S := t.psiRevShoup[stage : 2*stage : 2*stage]
+		tw1 := t.psiRev[2*stage : 4*stage : 4*stage]
+		tw1S := t.psiRevShoup[2*stage : 4*stage : 4*stage]
+		for group := 0; group < stage; group++ {
+			w := tw2[group]
+			ws := tw2S[group]
+			base := 4 * group
+			u0 := a[base]
+			if u0 >= twoQ {
+				u0 -= twoQ
+			}
+			x0 := a[base+2]
+			qhat0, _ := bits.Mul64(x0, ws)
+			v0 := x0*w - qhat0*q
+			u1 := a[base+1]
+			if u1 >= twoQ {
+				u1 -= twoQ
+			}
+			x1 := a[base+3]
+			qhat1, _ := bits.Mul64(x1, ws)
+			v1 := x1*w - qhat1*q
+			b0 := u0 + v0
+			b2 := u0 - v0 + twoQ
+			b1 := u1 + v1
+			b3 := u1 - v1 + twoQ
+			// Span-1 butterflies on (b0,b1) and (b2,b3).
+			wA := tw1[2*group]
+			wAS := tw1S[2*group]
+			if b0 >= twoQ {
+				b0 -= twoQ
+			}
+			qhatA, _ := bits.Mul64(b1, wAS)
+			vA := b1*wA - qhatA*q
+			wB := tw1[2*group+1]
+			wBS := tw1S[2*group+1]
+			if b2 >= twoQ {
+				b2 -= twoQ
+			}
+			qhatB, _ := bits.Mul64(b3, wBS)
+			vB := b3*wB - qhatB*q
+			a[base] = reduceFrom4Q(b0+vA, q, twoQ)
+			a[base+1] = reduceFrom4Q(b0-vA+twoQ, q, twoQ)
+			a[base+2] = reduceFrom4Q(b2+vB, q, twoQ)
+			a[base+3] = reduceFrom4Q(b2-vB+twoQ, q, twoQ)
+		}
+		return
+	}
+	// Last level (span 1) with the canonical reduction folded in — reached
+	// directly only when the caller enters at span 1 (n = 2, or the fused
+	// first level of ForwardFromInto at n = 4).
 	stage := t.N >> 1
+	tw := t.psiRev[stage : 2*stage : 2*stage]
+	twS := t.psiRevShoup[stage : 2*stage : 2*stage]
 	for group := 0; group < stage; group++ {
-		w := t.psiRev[stage+group]
-		ws := t.psiRevShoup[stage+group]
+		w := tw[group]
+		ws := twS[group]
 		u := a[2*group]
 		if u >= twoQ {
 			u -= twoQ
@@ -172,14 +287,21 @@ func (t *NTTTable) Inverse(a []uint64) {
 	if len(a) != t.N {
 		panic("poly: NTT length mismatch")
 	}
+	a = a[:t.N:t.N]
 	q := t.Mod.Q
 	twoQ := 2 * q
-	// First level (span 1), without the group-slicing overhead. For n = 2 it
-	// is also the last level and is handled by the folded-scaling block below.
-	if t.N >= 4 {
-		for group := 0; group < t.N>>1; group++ {
-			w := t.psiInvRev[t.N>>1+group]
-			ws := t.psiInvRevShoup[t.N>>1+group]
+	// Fused radix-4 head: the first two levels (spans 1 and 2) in one sweep,
+	// mirroring forwardStages' fused tail — each group's four lanes stay in
+	// registers between the levels. Per lane the operation sequence is
+	// exactly the unfused levels'. For n = 4 only the span-1 half applies and
+	// runs unfused; for n = 2 the folded-scaling block below is the whole
+	// transform.
+	if t.N == 4 {
+		tw := t.psiInvRev[2:4:4]
+		twS := t.psiInvRevShoup[2:4:4]
+		for group := 0; group < 2; group++ {
+			w := tw[group]
+			ws := twS[group]
 			u := a[2*group]
 			v := a[2*group+1]
 			s := u + v
@@ -192,26 +314,89 @@ func (t *NTTTable) Inverse(a []uint64) {
 			a[2*group+1] = d*w - qhat*q
 		}
 	}
-	span := 2
-	for stage := t.N >> 2; stage >= 2; stage >>= 1 {
+	if t.N >= 8 {
+		stage := t.N >> 2
+		tw2 := t.psiInvRev[stage : 2*stage : 2*stage]
+		tw2S := t.psiInvRevShoup[stage : 2*stage : 2*stage]
+		tw1 := t.psiInvRev[2*stage : 4*stage : 4*stage]
+		tw1S := t.psiInvRevShoup[2*stage : 4*stage : 4*stage]
+		for group := 0; group < stage; group++ {
+			base := 4 * group
+			// Span-1 butterflies on (a0,a1) and (a2,a3).
+			wA := tw1[2*group]
+			wAS := tw1S[2*group]
+			u0 := a[base]
+			v0 := a[base+1]
+			b0 := u0 + v0
+			if b0 >= twoQ {
+				b0 -= twoQ
+			}
+			dA := u0 - v0 + twoQ
+			qhatA, _ := bits.Mul64(dA, wAS)
+			b1 := dA*wA - qhatA*q
+			wB := tw1[2*group+1]
+			wBS := tw1S[2*group+1]
+			u1 := a[base+2]
+			v1 := a[base+3]
+			b2 := u1 + v1
+			if b2 >= twoQ {
+				b2 -= twoQ
+			}
+			dB := u1 - v1 + twoQ
+			qhatB, _ := bits.Mul64(dB, wBS)
+			b3 := dB*wB - qhatB*q
+			// Span-2 butterflies on (b0,b2) and (b1,b3).
+			w := tw2[group]
+			ws := tw2S[group]
+			s0 := b0 + b2
+			if s0 >= twoQ {
+				s0 -= twoQ
+			}
+			d0 := b0 - b2 + twoQ
+			qhat0, _ := bits.Mul64(d0, ws)
+			s1 := b1 + b3
+			if s1 >= twoQ {
+				s1 -= twoQ
+			}
+			d1 := b1 - b3 + twoQ
+			qhat1, _ := bits.Mul64(d1, ws)
+			a[base] = s0
+			a[base+2] = d0*w - qhat0*q
+			a[base+1] = s1
+			a[base+3] = d1*w - qhat1*q
+		}
+	}
+	span := 4
+	for stage := t.N >> 3; stage >= 2; stage >>= 1 {
 		for group := 0; group < stage; group++ {
 			w := t.psiInvRev[stage+group]
 			ws := t.psiInvRevShoup[stage+group]
 			base := 2 * span * group
 			lo := a[base : base+span : base+span]
 			hi := a[base+span : base+2*span][:span:span]
-			for j := range lo {
+			// Two butterflies per iteration; span ≥ 4 is even, so no tail.
+			for j := 0; j+1 < len(lo); j += 2 {
 				// Invariant: lo[j], hi[j] < 2q (< q on entry).
-				u := lo[j]
-				v := hi[j]
-				s := u + v
-				if s >= twoQ {
-					s -= twoQ
+				u0 := lo[j]
+				v0 := hi[j]
+				s0 := u0 + v0
+				if s0 >= twoQ {
+					s0 -= twoQ
 				}
-				lo[j] = s
-				d := u - v + twoQ // < 4q
-				qhat, _ := bits.Mul64(d, ws)
-				hi[j] = d*w - qhat*q // < 2q
+				d0 := u0 - v0 + twoQ // < 4q
+				qhat0, _ := bits.Mul64(d0, ws)
+				u1 := lo[j+1]
+				v1 := hi[j+1]
+				s1 := u1 + v1
+				if s1 >= twoQ {
+					s1 -= twoQ
+				}
+				d1 := u1 - v1 + twoQ
+				qhat1, _ := bits.Mul64(d1, ws)
+				lo[j] = s0
+				hi[j] = d0*w - qhat0*q // < 2q
+				lo[j+1] = s1
+				hi[j+1] = d1*w - qhat1*q
 			}
 		}
 		span <<= 1

@@ -41,18 +41,14 @@ func (p Poly) checkCompat(o Poly) {
 func (p Poly) AddInto(o, dst Poly) {
 	p.checkCompat(o)
 	p.checkCompat(dst)
-	for i := range p.Coeffs {
-		dst.Coeffs[i] = p.Mod.Add(p.Coeffs[i], o.Coeffs[i])
-	}
+	p.Mod.VecAddInto(dst.Coeffs, p.Coeffs, o.Coeffs)
 }
 
 // SubInto sets dst = p - o coefficient-wise.
 func (p Poly) SubInto(o, dst Poly) {
 	p.checkCompat(o)
 	p.checkCompat(dst)
-	for i := range p.Coeffs {
-		dst.Coeffs[i] = p.Mod.Sub(p.Coeffs[i], o.Coeffs[i])
-	}
+	p.Mod.VecSubInto(dst.Coeffs, p.Coeffs, o.Coeffs)
 }
 
 // MulInto sets dst = p ⊙ o (coefficient-wise product; the polynomial product
@@ -60,26 +56,19 @@ func (p Poly) SubInto(o, dst Poly) {
 func (p Poly) MulInto(o, dst Poly) {
 	p.checkCompat(o)
 	p.checkCompat(dst)
-	for i := range p.Coeffs {
-		dst.Coeffs[i] = p.Mod.Mul(p.Coeffs[i], o.Coeffs[i])
-	}
+	p.Mod.VecMulInto(dst.Coeffs, p.Coeffs, o.Coeffs)
 }
 
 // NegInto sets dst = -p.
 func (p Poly) NegInto(dst Poly) {
 	p.checkCompat(dst)
-	for i := range p.Coeffs {
-		dst.Coeffs[i] = p.Mod.Neg(p.Coeffs[i])
-	}
+	p.Mod.VecNegInto(dst.Coeffs, p.Coeffs)
 }
 
 // ScalarMulInto sets dst = c·p for a scalar c.
 func (p Poly) ScalarMulInto(c uint64, dst Poly) {
 	p.checkCompat(dst)
-	c = p.Mod.Reduce(c)
-	for i := range p.Coeffs {
-		dst.Coeffs[i] = p.Mod.Mul(p.Coeffs[i], c)
-	}
+	p.Mod.VecScalarMulInto(dst.Coeffs, p.Coeffs, c)
 }
 
 // MulAddInto sets dst += p ⊙ o (multiply-accumulate, the SoP primitive of
@@ -87,9 +76,7 @@ func (p Poly) ScalarMulInto(c uint64, dst Poly) {
 func (p Poly) MulAddInto(o, dst Poly) {
 	p.checkCompat(o)
 	p.checkCompat(dst)
-	for i := range p.Coeffs {
-		dst.Coeffs[i] = p.Mod.Add(dst.Coeffs[i], p.Mod.Mul(p.Coeffs[i], o.Coeffs[i]))
-	}
+	p.Mod.VecMulAddInto(dst.Coeffs, p.Coeffs, o.Coeffs)
 }
 
 // Equal reports whether p and o have identical moduli and coefficients.

@@ -25,16 +25,6 @@ func (tp *TaskPanic) Error() string {
 	return fmt.Sprintf("poly: task panicked: %v", tp.Value)
 }
 
-// capture runs fn(i), converting a panic into the pool's first TaskPanic.
-func capture(first *atomic.Pointer[TaskPanic], fn func(i int), i int) {
-	defer func() {
-		if v := recover(); v != nil {
-			first.CompareAndSwap(nil, &TaskPanic{Value: v, Stack: debug.Stack()})
-		}
-	}()
-	fn(i)
-}
-
 // PaperRPAUs is the residue-polynomial arithmetic unit count of the paper's
 // co-processor: ⌈13/2⌉ = 7 RPAUs serve the 6+7 RNS primes in two batches
 // (Sec. V-A1). The default Pool is sized to it, so the software fan-out
@@ -48,15 +38,112 @@ const PaperRPAUs = 7
 // parallelizes.
 const MinParallelWork = 1 << 13
 
+// IndexTask is the closure-free form of a Run body: RunIndex(i) is called for
+// each index exactly once, possibly concurrently. Hot paths implement it on a
+// long-lived scratch struct so dispatching to the pool allocates nothing —
+// a func literal capturing loop state escapes to the heap on every call,
+// which is exactly the per-op garbage the RPAU array's fixed BRAM banks
+// don't have.
+type IndexTask interface {
+	RunIndex(i int)
+}
+
+// ChunkTask is the closure-free form of a RunChunks body.
+type ChunkTask interface {
+	RunChunk(lo, hi int)
+}
+
 // Pool fans independent limb tasks across a bounded set of goroutines — the
 // software analogue of the paper's parallel RPAUs, each of which owns the
 // residue polynomials of one or two primes and computes on them independently
 // (Sec. V-A). A nil *Pool, and any Pool of width 1, executes sequentially;
 // all methods are safe for concurrent use from multiple goroutines (e.g. the
 // serving engine's workers sharing one Pool).
+//
+// Workers are persistent: the first parallel dispatch spawns width-1 helper
+// goroutines that park on an unbuffered job channel for the life of the
+// process. Dispatch enlists only helpers that are actually parked (a
+// non-blocking send), and the submitter always participates, so nested and
+// concurrent Runs can never deadlock: an enlisted helper is by construction
+// idle and will drain its share. Jobs are recycled through a freelist, so a
+// steady-state dispatch performs no heap allocation.
 type Pool struct {
 	workers int
 	metrics *poolMetrics
+	jobs    chan *poolJob // unbuffered: a send succeeds only into a parked worker
+	free    chan *poolJob // job freelist; overflow is garbage-collected
+	spawn   sync.Once     // lazily starts the persistent workers
+}
+
+// poolJob is one Run/RunChunks dispatch. The atomic claim counter is the
+// work-stealing mechanism: every participant (submitter + enlisted workers)
+// claims the next unit until none remain, so a stalled participant's share
+// migrates to the others without any task queue.
+type poolJob struct {
+	fn    func(i int)
+	task  IndexTask
+	cfn   func(lo, hi int)
+	ctask ChunkTask
+
+	units int // claimable units: indices (chunk == 0) or chunk ordinals
+	chunk int // chunk width; 0 selects index mode
+	n     int // hi clamp for chunk mode
+	fair  int // static fair share ceil(units/width), for steal accounting
+	meter bool
+
+	next       atomic.Int64
+	stolen     atomic.Uint64
+	firstPanic atomic.Pointer[TaskPanic]
+	wg         sync.WaitGroup
+}
+
+// do executes claim unit i.
+func (j *poolJob) do(i int) {
+	if j.chunk > 0 {
+		lo := i * j.chunk
+		hi := lo + j.chunk
+		if hi > j.n {
+			hi = j.n
+		}
+		if j.ctask != nil {
+			j.ctask.RunChunk(lo, hi)
+		} else {
+			j.cfn(lo, hi)
+		}
+		return
+	}
+	if j.task != nil {
+		j.task.RunIndex(i)
+	} else {
+		j.fn(i)
+	}
+}
+
+// doRecover runs unit i, converting a panic into the job's first TaskPanic.
+func (j *poolJob) doRecover(i int) {
+	defer func() {
+		if v := recover(); v != nil {
+			j.firstPanic.CompareAndSwap(nil, &TaskPanic{Value: v, Stack: debug.Stack()})
+		}
+	}()
+	j.do(i)
+}
+
+// claim drains the job's remaining units from the shared counter.
+func (j *poolJob) claim() {
+	n := int64(j.units)
+	claimed := 0
+	for {
+		i := j.next.Add(1) - 1
+		if i >= n {
+			break
+		}
+		j.doRecover(int(i))
+		claimed++
+	}
+	if j.meter && claimed > j.fair {
+		j.stolen.Add(uint64(claimed - j.fair))
+	}
 }
 
 // poolMetrics is the pool's optional accounting (EnableMetrics). Updates are
@@ -135,7 +222,12 @@ func NewPool(workers int) *Pool {
 	if workers < 1 {
 		workers = 1
 	}
-	return &Pool{workers: workers}
+	p := &Pool{workers: workers}
+	if workers > 1 {
+		p.jobs = make(chan *poolJob)
+		p.free = make(chan *poolJob, 4*workers)
+	}
+	return p
 }
 
 // NewDefaultPool sizes the pool like the paper's RPAU array, bounded by the
@@ -156,6 +248,67 @@ func (p *Pool) Workers() int {
 	return p.workers
 }
 
+// startWorkers spawns the persistent helpers (width-1 of them; the submitter
+// is always the remaining participant). They are started on the first
+// parallel dispatch, not at construction, so pools whose work never crosses
+// MinParallelWork — every small-degree test configuration — cost zero
+// goroutines.
+func (p *Pool) startWorkers() {
+	for i := 0; i < p.workers-1; i++ {
+		go p.workerLoop()
+	}
+}
+
+// workerLoop parks on the job channel and drains any job it is handed.
+func (p *Pool) workerLoop() {
+	for j := range p.jobs {
+		j.claim()
+		j.wg.Done()
+	}
+}
+
+// getJob recycles a job from the freelist, or allocates one when warming up.
+func (p *Pool) getJob() *poolJob {
+	select {
+	case j := <-p.free:
+		return j
+	default:
+		return &poolJob{}
+	}
+}
+
+// putJob clears a finished job's references and returns it to the freelist.
+func (p *Pool) putJob(j *poolJob) {
+	j.fn, j.task, j.cfn, j.ctask = nil, nil, nil, nil
+	j.next.Store(0)
+	j.stolen.Store(0)
+	j.firstPanic.Store(nil)
+	select {
+	case p.free <- j:
+	default:
+	}
+}
+
+// dispatch runs job j at width w: it enlists up to w-1 parked workers with
+// non-blocking sends (an enlisted worker is provably idle — this is what
+// makes nested and concurrent dispatch deadlock-free), participates itself,
+// and waits for every enlisted worker to finish.
+func (p *Pool) dispatch(j *poolJob, w int) {
+	p.spawn.Do(p.startWorkers)
+	for h := 0; h < w-1; h++ {
+		j.wg.Add(1)
+		select {
+		case p.jobs <- j:
+			continue
+		default:
+		}
+		j.wg.Done()
+		break // no parked worker left; the enlisted set drains the job
+	}
+	j.claim()
+	j.wg.Wait()
+}
+
 // Run executes fn(0..n-1), each index exactly once, fanning across the pool
 // when it has width and the per-index work is worth it; work is the total
 // coefficient count the n tasks touch (pass 0 to force the parallel path for
@@ -163,8 +316,20 @@ func (p *Pool) Workers() int {
 // write shared state. Run returns only after every index has completed. If a
 // task panics on a worker goroutine, the remaining indices still run and the
 // first panic is re-thrown here, in the submitter, as a *TaskPanic (see
-// TryRun for the error-returning form).
+// TryRun for the error-returning form). The func literal itself may allocate
+// at the call site; allocation-free hot paths use RunTask.
 func (p *Pool) Run(work, n int, fn func(i int)) {
+	p.runIndexed(work, n, fn, nil)
+}
+
+// RunTask is Run without the closure: the task, typically a long-lived
+// scratch struct, is dispatched through an interface so a steady-state call
+// performs no heap allocation.
+func (p *Pool) RunTask(work, n int, t IndexTask) {
+	p.runIndexed(work, n, nil, t)
+}
+
+func (p *Pool) runIndexed(work, n int, fn func(i int), t IndexTask) {
 	w := p.Workers()
 	if w > n {
 		w = n
@@ -174,8 +339,14 @@ func (p *Pool) Run(work, n int, fn func(i int)) {
 		m = p.metrics
 	}
 	if w <= 1 || (work > 0 && work < MinParallelWork) {
-		for i := 0; i < n; i++ {
-			fn(i)
+		if t != nil {
+			for i := 0; i < n; i++ {
+				t.RunIndex(i)
+			}
+		} else {
+			for i := 0; i < n; i++ {
+				fn(i)
+			}
 		}
 		if m != nil {
 			m.runs.Add(1)
@@ -184,44 +355,27 @@ func (p *Pool) Run(work, n int, fn func(i int)) {
 		}
 		return
 	}
-	// Work-stealing by atomic counter: no task channel, no idle spinning, and
-	// no deadlock potential under nested or concurrent Run calls.
-	fair := (n + w - 1) / w
-	var firstPanic atomic.Pointer[TaskPanic]
-	var stolen atomic.Uint64
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	wg.Add(w)
-	for g := 0; g < w; g++ {
-		go func() {
-			defer wg.Done()
-			claimed := 0
-			for {
-				i := next.Add(1) - 1
-				if i >= int64(n) {
-					break
-				}
-				capture(&firstPanic, fn, int(i))
-				claimed++
-			}
-			if m != nil && claimed > fair {
-				stolen.Add(uint64(claimed - fair))
-			}
-		}()
-	}
-	wg.Wait()
+	j := p.getJob()
+	j.fn, j.task = fn, t
+	j.units, j.chunk, j.n = n, 0, n
+	j.fair = (n + w - 1) / w
+	j.meter = m != nil
+	p.dispatch(j, w)
+	tp := j.firstPanic.Load()
+	stolen := j.stolen.Load()
+	p.putJob(j)
 	if m != nil {
 		m.runs.Add(1)
 		m.parRuns.Add(1)
 		m.tasks.Add(uint64(n))
-		m.steals.Add(stolen.Load())
+		m.steals.Add(stolen)
 		wb := w
 		if wb > maxWidthBucket {
 			wb = maxWidthBucket
 		}
 		m.widthRuns[wb].Add(1)
 	}
-	if tp := firstPanic.Load(); tp != nil {
+	if tp != nil {
 		panic(tp)
 	}
 }
@@ -229,9 +383,19 @@ func (p *Pool) Run(work, n int, fn func(i int)) {
 // RunChunks splits the index range [0, n) into contiguous chunks (one per
 // worker, at least minChunk wide) and executes fn(lo, hi) for each. It is the
 // coefficient-striped counterpart of Run for loops whose body needs per-task
-// scratch: the Lift/Scale inner loops allocate their residue vectors once per
+// scratch: the Lift/Scale inner loops reuse their residue vectors once per
 // chunk instead of once per coefficient.
 func (p *Pool) RunChunks(n, minChunk int, fn func(lo, hi int)) {
+	p.runChunked(n, minChunk, fn, nil)
+}
+
+// RunChunksTask is RunChunks without the closure, for allocation-free
+// dispatch from long-lived scratch structs.
+func (p *Pool) RunChunksTask(n, minChunk int, t ChunkTask) {
+	p.runChunked(n, minChunk, nil, t)
+}
+
+func (p *Pool) runChunked(n, minChunk int, fn func(lo, hi int), t ChunkTask) {
 	w := p.Workers()
 	if minChunk < 1 {
 		minChunk = 1
@@ -244,7 +408,11 @@ func (p *Pool) RunChunks(n, minChunk int, fn func(lo, hi int)) {
 		m = p.metrics
 	}
 	if w <= 1 {
-		fn(0, n)
+		if t != nil {
+			t.RunChunk(0, n)
+		} else {
+			fn(0, n)
+		}
 		if m != nil {
 			m.runs.Add(1)
 			m.seqRuns.Add(1)
@@ -253,20 +421,14 @@ func (p *Pool) RunChunks(n, minChunk int, fn func(lo, hi int)) {
 		return
 	}
 	chunk := (n + w - 1) / w
-	var firstPanic atomic.Pointer[TaskPanic]
-	var wg sync.WaitGroup
-	for lo := 0; lo < n; lo += chunk {
-		hi := lo + chunk
-		if hi > n {
-			hi = n
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			capture(&firstPanic, func(int) { fn(lo, hi) }, 0)
-		}(lo, hi)
-	}
-	wg.Wait()
+	j := p.getJob()
+	j.cfn, j.ctask = fn, t
+	j.chunk, j.n = chunk, n
+	j.units = (n + chunk - 1) / chunk
+	j.meter = false // chunk dispatches keep no steal accounting
+	p.dispatch(j, w)
+	tp := j.firstPanic.Load()
+	p.putJob(j)
 	if m != nil {
 		m.runs.Add(1)
 		m.parRuns.Add(1)
@@ -277,7 +439,7 @@ func (p *Pool) RunChunks(n, minChunk int, fn func(lo, hi int)) {
 		}
 		m.widthRuns[wb].Add(1)
 	}
-	if tp := firstPanic.Load(); tp != nil {
+	if tp != nil {
 		panic(tp)
 	}
 }

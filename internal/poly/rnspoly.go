@@ -129,22 +129,100 @@ func NewTransformer(mods []ring.Modulus, n int) (*Transformer, error) {
 	return &Transformer{Tables: tabs}, nil
 }
 
+// rowOpTask is the closure-free dispatch vehicle for per-row RNS operations:
+// a func literal capturing the operand headers would escape to the heap on
+// every Forward/Inverse/PoolOps call, which is exactly the steady-state
+// garbage the zero-allocation hot path eliminates. Tasks are recycled
+// through a package-level freelist (channel, not sync.Pool: a GC cycle must
+// not reintroduce allocations).
+type rowOpTask struct {
+	op        uint8
+	tables    []*NTTTable
+	a, b, dst []Poly
+	src       []Poly // rowOpFwdFrom: dst[i] ← NTT(src[i]) in one fused walk
+}
+
+const (
+	rowOpFwd = uint8(iota)
+	rowOpInv
+	rowOpFwdFrom
+	rowOpAdd
+	rowOpSub
+	rowOpMul
+	rowOpMulAdd
+	rowOpNeg
+)
+
+func (t *rowOpTask) RunIndex(i int) {
+	switch t.op {
+	case rowOpFwd:
+		t.tables[i].Forward(t.dst[i].Coeffs)
+	case rowOpInv:
+		t.tables[i].Inverse(t.dst[i].Coeffs)
+	case rowOpFwdFrom:
+		t.tables[i].ForwardFromInto(t.dst[i].Coeffs, t.src[i].Coeffs)
+	case rowOpAdd:
+		t.a[i].AddInto(t.b[i], t.dst[i])
+	case rowOpSub:
+		t.a[i].SubInto(t.b[i], t.dst[i])
+	case rowOpMul:
+		t.a[i].MulInto(t.b[i], t.dst[i])
+	case rowOpMulAdd:
+		t.a[i].MulAddInto(t.b[i], t.dst[i])
+	case rowOpNeg:
+		t.a[i].NegInto(t.dst[i])
+	}
+}
+
+var rowOpFree = make(chan *rowOpTask, 64)
+
+func getRowOpTask() *rowOpTask {
+	select {
+	case t := <-rowOpFree:
+		return t
+	default:
+		return new(rowOpTask)
+	}
+}
+
+func putRowOpTask(t *rowOpTask) {
+	*t = rowOpTask{}
+	select {
+	case rowOpFree <- t:
+	default:
+	}
+}
+
 // Forward NTT-transforms every row of p in place, fanning rows across the
 // pool when one is configured.
 func (tr *Transformer) Forward(p RNSPoly) {
 	tr.check(p)
-	tr.Pool.Run(p.N()*len(p.Rows), len(p.Rows), func(i int) {
-		tr.Tables[i].Forward(p.Rows[i].Coeffs)
-	})
+	t := getRowOpTask()
+	t.op, t.tables, t.dst = rowOpFwd, tr.Tables, p.Rows
+	tr.Pool.RunTask(p.N()*len(p.Rows), len(p.Rows), t)
+	putRowOpTask(t)
 }
 
 // Inverse inverse-transforms every row of p in place, fanning rows across
 // the pool when one is configured.
 func (tr *Transformer) Inverse(p RNSPoly) {
 	tr.check(p)
-	tr.Pool.Run(p.N()*len(p.Rows), len(p.Rows), func(i int) {
-		tr.Tables[i].Inverse(p.Rows[i].Coeffs)
-	})
+	t := getRowOpTask()
+	t.op, t.tables, t.dst = rowOpInv, tr.Tables, p.Rows
+	tr.Pool.RunTask(p.N()*len(p.Rows), len(p.Rows), t)
+	putRowOpTask(t)
+}
+
+// ForwardFromInto NTT-transforms src into dst row by row in one fused walk
+// per row (see NTTTable.ForwardFromInto), leaving src untouched. It is the
+// allocation- and copy-free replacement for Clone + Forward.
+func (tr *Transformer) ForwardFromInto(dst, src RNSPoly) {
+	tr.check(dst)
+	tr.check(src)
+	t := getRowOpTask()
+	t.op, t.tables, t.dst, t.src = rowOpFwdFrom, tr.Tables, dst.Rows, src.Rows
+	tr.Pool.RunTask(dst.N()*len(dst.Rows), len(dst.Rows), t)
+	putRowOpTask(t)
 }
 
 func (tr *Transformer) check(p RNSPoly) {
@@ -173,40 +251,43 @@ type PoolOps struct {
 	Pool *Pool
 }
 
-func (po PoolOps) run(p RNSPoly, fn func(i int)) {
-	po.Pool.Run(p.N()*len(p.Rows), len(p.Rows), fn)
+func (po PoolOps) run(op uint8, a, b, dst RNSPoly) {
+	t := getRowOpTask()
+	t.op, t.a, t.b, t.dst = op, a.Rows, b.Rows, dst.Rows
+	po.Pool.RunTask(a.N()*len(a.Rows), len(a.Rows), t)
+	putRowOpTask(t)
 }
 
 // AddInto sets dst = p + o.
 func (po PoolOps) AddInto(p, o, dst RNSPoly) {
 	p.checkCompat(o)
 	p.checkCompat(dst)
-	po.run(p, func(i int) { p.Rows[i].AddInto(o.Rows[i], dst.Rows[i]) })
+	po.run(rowOpAdd, p, o, dst)
 }
 
 // SubInto sets dst = p - o.
 func (po PoolOps) SubInto(p, o, dst RNSPoly) {
 	p.checkCompat(o)
 	p.checkCompat(dst)
-	po.run(p, func(i int) { p.Rows[i].SubInto(o.Rows[i], dst.Rows[i]) })
+	po.run(rowOpSub, p, o, dst)
 }
 
 // MulInto sets dst = p ⊙ o coefficient-wise per residue row.
 func (po PoolOps) MulInto(p, o, dst RNSPoly) {
 	p.checkCompat(o)
 	p.checkCompat(dst)
-	po.run(p, func(i int) { p.Rows[i].MulInto(o.Rows[i], dst.Rows[i]) })
+	po.run(rowOpMul, p, o, dst)
 }
 
 // MulAddInto sets dst += p ⊙ o.
 func (po PoolOps) MulAddInto(p, o, dst RNSPoly) {
 	p.checkCompat(o)
 	p.checkCompat(dst)
-	po.run(p, func(i int) { p.Rows[i].MulAddInto(o.Rows[i], dst.Rows[i]) })
+	po.run(rowOpMulAdd, p, o, dst)
 }
 
 // NegInto sets dst = -p.
 func (po PoolOps) NegInto(p, dst RNSPoly) {
 	p.checkCompat(dst)
-	po.run(p, func(i int) { p.Rows[i].NegInto(dst.Rows[i]) })
+	po.run(rowOpNeg, p, RNSPoly{}, dst)
 }

@@ -20,32 +20,88 @@ func DecomposeRNS(b *Basis, x poly.RNSPoly) []poly.RNSPoly {
 }
 
 // DecomposeRNSPool is DecomposeRNS with the per-digit work fanned across a
-// pool (each digit polynomial is written by exactly one task). The scalar
-// product by the constant q̃_i uses a Shoup multiplication, like the
-// butterfly cores' twiddle datapath. A nil pool runs sequentially;
-// results are bit-identical either way.
+// pool (each digit polynomial is written by exactly one task). A nil pool
+// runs sequentially; results are bit-identical either way.
 func DecomposeRNSPool(pool *poly.Pool, b *Basis, x poly.RNSPoly) []poly.RNSPoly {
+	digits := make([]poly.RNSPoly, b.K())
+	for i := range digits {
+		digits[i] = poly.NewRNSPoly(b.Mods, x.N())
+	}
+	DecomposeRNSPoolInto(pool, b, x, digits)
+	return digits
+}
+
+// DecomposeRNSPoolInto writes the RNS digits of x into the caller-owned
+// digits slice (b.K() polynomials over b, each x.N() coefficients),
+// allocating nothing. The kernel is row-major and flat: digit i's own row is
+// one Shoup constant-multiplication pass over the source row (d_i = x_i·q̃_i
+// is already reduced modulo q_i), and every other row is a vector Barrett
+// re-reduction of that row — the same per-coefficient values as the scalar
+// path, walked a cache line at a time instead of a column at a time.
+func DecomposeRNSPoolInto(pool *poly.Pool, b *Basis, x poly.RNSPoly, digits []poly.RNSPoly) {
 	if x.Level() != b.K() {
 		panic("rns: DecomposeRNS level mismatch")
 	}
-	n := x.N()
-	digits := make([]poly.RNSPoly, b.K())
-	for i := range digits {
-		digits[i] = poly.NewRNSPoly(b.Mods, n)
+	if len(digits) != b.K() {
+		panic("rns: DecomposeRNS digit count mismatch")
 	}
-	pool.Run(n*b.K()*b.K(), b.K(), func(i int) {
-		m := b.Mods[i]
-		qTilde := b.QTilde[i]
-		qTildeShoup := m.ShoupPrecomp(qTilde)
-		src := x.Rows[i].Coeffs
-		for c := 0; c < n; c++ {
-			d := m.MulShoup(src[c], qTilde, qTildeShoup)
-			for r, mr := range b.Mods {
-				digits[i].Rows[r].Coeffs[c] = mr.Reduce(d)
-			}
+	n := x.N()
+	t := getDecompTask()
+	t.b, t.src, t.digits = b, x.Rows, digits
+	pool.RunTask(n*b.K()*b.K(), b.K(), t)
+	putDecompTask(t)
+}
+
+// decompTask is the recycled IndexTask behind DecomposeRNSPoolInto; index i
+// writes digit polynomial i.
+type decompTask struct {
+	b      *Basis
+	src    []poly.Poly
+	digits []poly.RNSPoly
+}
+
+func (t *decompTask) RunIndex(i int) {
+	b := t.b
+	m := b.Mods[i]
+	qTilde := b.QTilde[i]
+	qTildeShoup := m.ShoupPrecomp(qTilde)
+	di := t.digits[i]
+	// Row i holds d_i = x_i·q̃_i mod q_i verbatim (Reduce is the identity on
+	// a value already below q_i).
+	base := di.Rows[i].Coeffs
+	m.VecScalarMulShoupInto(base, t.src[i].Coeffs, qTilde, qTildeShoup)
+	for r, mr := range b.Mods {
+		if r == i {
+			continue
 		}
-	})
-	return digits
+		if m.Q <= 2*mr.Q {
+			// Same-width primes: the digit value d < q_i is within one
+			// subtraction of canonical mod q_r, so the replication is a
+			// conditional subtract instead of a Barrett pass.
+			mr.VecReduceOnceInto(di.Rows[r].Coeffs, base)
+		} else {
+			mr.VecReduceInto(di.Rows[r].Coeffs, base)
+		}
+	}
+}
+
+var decompTaskFree = make(chan *decompTask, 16)
+
+func getDecompTask() *decompTask {
+	select {
+	case t := <-decompTaskFree:
+		return t
+	default:
+		return new(decompTask)
+	}
+}
+
+func putDecompTask(t *decompTask) {
+	*t = decompTask{}
+	select {
+	case decompTaskFree <- t:
+	default:
+	}
 }
 
 // GadgetRNS returns the gadget vector of DecomposeRNS: g_i = q*_i mod q_j

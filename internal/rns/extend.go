@@ -2,6 +2,7 @@ package rns
 
 import (
 	"fmt"
+	"math/bits"
 
 	"repro/internal/mp"
 	"repro/internal/poly"
@@ -36,18 +37,20 @@ type Extender struct {
 	qStarMod [][]uint64 // qStarMod[i][j] = (Q/q_i) mod c_j
 	qMod     []uint64   // qMod[j] = Q mod c_j
 
-	// Shoup companions of the hot-loop constants, laid out target-major so
-	// the per-coefficient kernel walks them contiguously: for target j,
-	// qStarT[j][i] = qStarMod[i][j] with qStarShoupT[j][i] its Shoup word;
-	// qTilde/qTildeShoup are the source-basis q̃_i pairs; qModShoup[j] pairs
-	// with qMod[j]. These let Extend replace every Barrett reduce-and-multiply
-	// with a two-multiplication Shoup product, the same strength reduction the
+	// Shoup companions of the hot-loop constants, laid out target-major and
+	// *flat* — one backing array, row j at [j·k, (j+1)·k) — so the
+	// per-coefficient kernel walks a single contiguous []uint64 with no
+	// second-level pointer chase: qStarFlat[j·k+i] = qStarMod[i][j] with
+	// qStarShoupFlat[j·k+i] its Shoup word; qTilde/qTildeShoup are the
+	// source-basis q̃_i pairs; qModShoup[j] pairs with qMod[j]. These let
+	// Extend replace every Barrett reduce-and-multiply with a
+	// two-multiplication Shoup product, the same strength reduction the
 	// paper's Lift pipeline gets from its constant-operand multipliers.
-	qTilde      []uint64
-	qTildeShoup []uint64
-	qStarT      [][]uint64
-	qStarShoupT [][]uint64
-	qModShoup   []uint64
+	qTilde         []uint64
+	qTildeShoup    []uint64
+	qStarFlat      []uint64
+	qStarShoupFlat []uint64
+	qModShoup      []uint64
 }
 
 // NewExtender prepares the extension tables from src to dst.
@@ -78,15 +81,14 @@ func NewExtender(src *Basis, dst []ring.Modulus) (*Extender, error) {
 		e.qTilde[i] = src.QTilde[i]
 		e.qTildeShoup[i] = m.ShoupPrecomp(src.QTilde[i])
 	}
-	e.qStarT = make([][]uint64, len(dst))
-	e.qStarShoupT = make([][]uint64, len(dst))
+	k := src.K()
+	e.qStarFlat = make([]uint64, len(dst)*k)
+	e.qStarShoupFlat = make([]uint64, len(dst)*k)
 	e.qModShoup = make([]uint64, len(dst))
 	for j, d := range dst {
-		e.qStarT[j] = make([]uint64, src.K())
-		e.qStarShoupT[j] = make([]uint64, src.K())
 		for i := range src.Mods {
-			e.qStarT[j][i] = e.qStarMod[i][j]
-			e.qStarShoupT[j][i] = d.ShoupPrecomp(e.qStarMod[i][j])
+			e.qStarFlat[j*k+i] = e.qStarMod[i][j]
+			e.qStarShoupFlat[j*k+i] = d.ShoupPrecomp(e.qStarMod[i][j])
 		}
 		e.qModShoup[j] = d.ShoupPrecomp(e.qMod[j])
 	}
@@ -117,11 +119,14 @@ func (e *Extender) Extend(in, out []uint64) {
 		acc.AddMul(yi, e.Src.invFrac[i])
 	}
 	v := acc.Round()
+	k := len(y)
 	for j, d := range e.Dst {
 		// Each Shoup product is lazy (< 2·c_j < 2^32), so the sum of k of
 		// them fits a uint64 with room to spare; one Barrett pass at the end
 		// restores the canonical residue.
-		row, rowS := e.qStarT[j], e.qStarShoupT[j]
+		base := j * k
+		row := e.qStarFlat[base : base+k : base+k]
+		rowS := e.qStarShoupFlat[base : base+k : base+k]
 		var sum uint64
 		for i, yi := range y {
 			sum += d.MulShoupLazy(yi, row[i], rowS[i])
@@ -185,17 +190,24 @@ func (e *Extender) checkLens(in, out []uint64) {
 // LiftPoly applies the HPS extension coefficient-wise to an RNS polynomial
 // over the source basis, returning a polynomial over source ∪ target (the
 // paper's Lift q→Q of a full polynomial: the q residues are kept, the p
-// residues computed).
+// residues computed). See LiftTargetsInto for the allocation-free form hot
+// paths thread their own scratch through.
 func (e *Extender) LiftPoly(p poly.RNSPoly) poly.RNSPoly {
-	return e.liftPolyWith(p, e.Extend)
+	out := e.newLifted(p)
+	e.LiftTargetsInto(p, out.Rows[e.Src.K():])
+	return out
 }
 
 // LiftPolyTraditional is LiftPoly using the traditional CRT dataflow.
 func (e *Extender) LiftPolyTraditional(p poly.RNSPoly) poly.RNSPoly {
-	return e.liftPolyWith(p, e.ExtendTraditional)
+	out := e.newLifted(p)
+	e.LiftTargetsTraditionalInto(p, out.Rows[e.Src.K():])
+	return out
 }
 
-func (e *Extender) liftPolyWith(p poly.RNSPoly, extend func(in, out []uint64)) poly.RNSPoly {
+// newLifted allocates the source ∪ target layout and copies the kept source
+// rows.
+func (e *Extender) newLifted(p poly.RNSPoly) poly.RNSPoly {
 	if p.Level() != e.Src.K() {
 		panic("rns: polynomial level does not match source basis")
 	}
@@ -207,20 +219,203 @@ func (e *Extender) liftPolyWith(p poly.RNSPoly, extend func(in, out []uint64)) p
 	for j, d := range e.Dst {
 		out.Rows[e.Src.K()+j] = poly.NewPoly(d, n)
 	}
-	e.Pool.RunChunks(n, minLiftChunk, func(lo, hi int) {
-		in := make([]uint64, e.Src.K())
-		res := make([]uint64, len(e.Dst))
-		for c := lo; c < hi; c++ {
-			for i := range p.Rows {
-				in[i] = p.Rows[i].Coeffs[c]
-			}
-			extend(in, res)
-			for j := range e.Dst {
-				out.Rows[e.Src.K()+j].Coeffs[c] = res[j]
-			}
-		}
-	})
 	return out
+}
+
+// LiftTargetsInto computes only the *target* residue rows of the lift into
+// dst (len(dst) = len(e.Dst), each row over the matching target modulus, n
+// coefficients) via the HPS kernel, allocating nothing: the chunk dispatch
+// is a recycled task and the per-coefficient residue staging lives on the
+// worker's stack. The kept source rows are the caller's to reuse — the
+// evaluator NTT-transforms them straight out of the input with no copy.
+func (e *Extender) LiftTargetsInto(p poly.RNSPoly, dst []poly.Poly) {
+	e.liftTargets(p, dst, false)
+}
+
+// LiftTargetsTraditionalInto is LiftTargetsInto through the traditional CRT
+// dataflow.
+func (e *Extender) LiftTargetsTraditionalInto(p poly.RNSPoly, dst []poly.Poly) {
+	e.liftTargets(p, dst, true)
+}
+
+func (e *Extender) liftTargets(p poly.RNSPoly, dst []poly.Poly, traditional bool) {
+	if p.Level() != e.Src.K() {
+		panic("rns: polynomial level does not match source basis")
+	}
+	if len(dst) != len(e.Dst) {
+		panic("rns: lift target row count mismatch")
+	}
+	t := getLiftTask()
+	t.e, t.src, t.dst, t.traditional = e, p.Rows, dst, traditional
+	e.Pool.RunChunksTask(p.N(), minLiftChunk, t)
+	putLiftTask(t)
+}
+
+// stackResidues bounds the basis sizes whose per-coefficient residue staging
+// fits the chunk kernels' stack arrays; the paper's 6+7 layout is well
+// inside it. Wider bases fall back to a per-chunk heap buffer.
+const stackResidues = 16
+
+// liftStripe is the coefficient width of the row-major Extend kernel: wide
+// enough to amortize the per-row constant loads, narrow enough that the y
+// staging rows and accumulator limbs stay resident in L1 across the passes.
+const liftStripe = 128
+
+// extendScratch is the stack staging of the row-major Extend kernel: the k y
+// rows, the three Acc192 limb arrays, and the rounded quotients. Callers
+// declare one per chunk and thread it through every stripe, so the ~20 KiB
+// zero-initialization happens once per chunk rather than once per stripe.
+type extendScratch struct {
+	y          [stackResidues * liftStripe]uint64
+	w0, w1, w2 [liftStripe]uint64
+	v          [liftStripe]uint64
+}
+
+// extendStripe is the HPS Extend over a stripe of w ≤ liftStripe coefficients,
+// walked row-major: in[i][:w] hold the source residues, out[j][:w] receive the
+// target residues. Per lane it runs the exact arithmetic of Extend — the same
+// Shoup products, the same Acc192 limb schedule in the same source order (the
+// three accumulator words live in parallel arrays), the same lazy sums and
+// closing reductions — so results are bit-identical; only the loop nesting
+// changes, from coefficient-major to row-major vector passes. Requires source
+// and target counts ≤ stackResidues.
+func (e *Extender) extendStripe(es *extendScratch, in, out [][]uint64, w int) {
+	yBuf := &es.y
+	w0, w1, w2, v := &es.w0, &es.w1, &es.w2, &es.v
+	k := e.Src.K()
+	// y_i = a_i·q̃_i mod q_i, one Shoup pass per source row, with the
+	// fractional sum Σ y_i/q_i accumulated alongside while y_i is hot. (The
+	// fully fused one-loop variant measured slower: the vector passes keep
+	// short independent loop bodies the compiler schedules better.)
+	for c := 0; c < w; c++ {
+		w0[c], w1[c], w2[c] = 0, 0, 0
+	}
+	for i, m := range e.Src.Mods {
+		y := yBuf[i*liftStripe : i*liftStripe+w : i*liftStripe+w]
+		m.VecScalarMulShoupInto(y, in[i][:w], e.qTilde[i], e.qTildeShoup[i])
+		f := e.Src.invFrac[i]
+		for c, yc := range y {
+			hi1, lo1 := bits.Mul64(yc, f.Lo)
+			hi2, lo2 := bits.Mul64(yc, f.Hi)
+			var cc uint64
+			w0[c], cc = bits.Add64(w0[c], lo1, 0)
+			w1[c], cc = bits.Add64(w1[c], hi1, cc)
+			w2[c] += cc
+			w1[c], cc = bits.Add64(w1[c], lo2, 0)
+			w2[c] += hi2 + cc
+		}
+	}
+	// v′ = round(Σ y_i/q_i): Acc192.Round per lane.
+	for c := 0; c < w; c++ {
+		vv := w2[c]
+		if w1[c] >= 1<<63 {
+			vv++
+		}
+		v[c] = vv
+	}
+	// out_j = Σ y_i·(q*_i mod c_j) - v′·(Q mod c_j) (mod c_j): lazy Shoup
+	// sums accumulated raw in the same i order as Extend — two y rows per
+	// pass over the output to halve its load/store traffic — and one closing
+	// pass for the reduction and quotient correction.
+	for j, d := range e.Dst {
+		base := j * k
+		row := e.qStarFlat[base : base+k : base+k]
+		rowS := e.qStarShoupFlat[base : base+k : base+k]
+		o := out[j][:w]
+		d.VecScalarMulShoupLazyInto(o, yBuf[:w], row[0], rowS[0])
+		i := 1
+		for ; i+1 < k; i += 2 {
+			d.VecScalarMulShoupLazyAdd2Into(o,
+				yBuf[i*liftStripe:i*liftStripe+w], yBuf[(i+1)*liftStripe:(i+1)*liftStripe+w],
+				row[i], rowS[i], row[i+1], rowS[i+1])
+		}
+		if i < k {
+			d.VecScalarMulShoupLazyAddInto(o, yBuf[i*liftStripe:i*liftStripe+w], row[i], rowS[i])
+		}
+		d.VecExtendFinishInto(o, v[:w], e.qMod[j], e.qModShoup[j])
+	}
+}
+
+// liftTask is the recycled ChunkTask behind LiftTargetsInto — the closure it
+// replaces would heap-escape per call.
+type liftTask struct {
+	e           *Extender
+	src, dst    []poly.Poly
+	traditional bool
+}
+
+func (t *liftTask) RunChunk(lo, hi int) {
+	e := t.e
+	k := e.Src.K()
+	kt := len(e.Dst)
+	if t.traditional || k > stackResidues || kt > stackResidues {
+		t.runScalar(lo, hi)
+		return
+	}
+	var es extendScratch
+	var in, out [stackResidues][]uint64
+	src, dst := t.src, t.dst
+	for c0 := lo; c0 < hi; c0 += liftStripe {
+		c1 := c0 + liftStripe
+		if c1 > hi {
+			c1 = hi
+		}
+		for i := 0; i < k; i++ {
+			in[i] = src[i].Coeffs[c0:c1]
+		}
+		for j := 0; j < kt; j++ {
+			out[j] = dst[j].Coeffs[c0:c1]
+		}
+		e.extendStripe(&es, in[:k], out[:kt], c1-c0)
+	}
+}
+
+// runScalar is the coefficient-major fallback: the traditional CRT dataflow
+// and bases too wide for the stripe kernel's stack staging.
+func (t *liftTask) runScalar(lo, hi int) {
+	e := t.e
+	k := e.Src.K()
+	kt := len(e.Dst)
+	var inArr, resArr [stackResidues]uint64
+	var in, res []uint64
+	if k <= stackResidues && kt <= stackResidues {
+		in, res = inArr[:k], resArr[:kt]
+	} else {
+		in, res = make([]uint64, k), make([]uint64, kt)
+	}
+	src, dst := t.src, t.dst
+	for c := lo; c < hi; c++ {
+		for i := range in {
+			in[i] = src[i].Coeffs[c]
+		}
+		if t.traditional {
+			e.ExtendTraditional(in, res)
+		} else {
+			e.Extend(in, res)
+		}
+		for j := range res {
+			dst[j].Coeffs[c] = res[j]
+		}
+	}
+}
+
+var liftTaskFree = make(chan *liftTask, 16)
+
+func getLiftTask() *liftTask {
+	select {
+	case t := <-liftTaskFree:
+		return t
+	default:
+		return new(liftTask)
+	}
+}
+
+func putLiftTask(t *liftTask) {
+	*t = liftTask{}
+	select {
+	case liftTaskFree <- t:
+	default:
+	}
 }
 
 // minLiftChunk is the smallest coefficient stripe worth a goroutine in the

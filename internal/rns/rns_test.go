@@ -474,6 +474,57 @@ func BenchmarkScaleHPS(b *testing.B) {
 	}
 }
 
+// BenchmarkLiftTargets4096 measures the full-polynomial HPS lift through the
+// row-major stripe kernel (sequential: nil pool), the per-operand cost of the
+// evaluator's Mul lift stage.
+func BenchmarkLiftTargets4096(b *testing.B) {
+	r := rand.New(rand.NewSource(9))
+	qb, pb := paperBases(b, 4096, 6, 7)
+	ext, err := NewExtender(qb, pb.Mods)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const n = 4096
+	x := poly.NewRNSPoly(qb.Mods, n)
+	for i, m := range qb.Mods {
+		for c := 0; c < n; c++ {
+			x.Rows[i].Coeffs[c] = r.Uint64() % m.Q
+		}
+	}
+	dst := make([]poly.Poly, pb.K())
+	for j, d := range pb.Mods {
+		dst[j] = poly.NewPoly(d, n)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ext.LiftTargetsInto(x, dst)
+	}
+}
+
+// BenchmarkScalePoly4096 measures the full-polynomial HPS scale through the
+// row-major stripe kernel (sequential: nil pool), the Mul rescale stage.
+func BenchmarkScalePoly4096(b *testing.B) {
+	r := rand.New(rand.NewSource(9))
+	qb, pb := paperBases(b, 4096, 6, 7)
+	sc, err := NewScaleRounder(qb, pb, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const n = 4096
+	all := append(append([]ring.Modulus(nil), qb.Mods...), pb.Mods...)
+	x := poly.NewRNSPoly(all, n)
+	for i, m := range all {
+		for c := 0; c < n; c++ {
+			x.Rows[i].Coeffs[c] = r.Uint64() % m.Q
+		}
+	}
+	out := poly.NewRNSPoly(qb.Mods, n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sc.ScalePolyInto(x, out)
+	}
+}
+
 func BenchmarkScaleTraditional(b *testing.B) {
 	r := rand.New(rand.NewSource(9))
 	qb, pb := paperBases(b, 4096, 6, 7)

@@ -2,6 +2,7 @@ package rns
 
 import (
 	"fmt"
+	"math/bits"
 
 	"repro/internal/mp"
 	"repro/internal/poly"
@@ -47,11 +48,12 @@ type ScaleRounder struct {
 	recip *mp.Reciprocal // 1/q sized for t·x dividends (traditional path)
 
 	// Target-major Shoup layout of the Block 1–3 constants (same strength
-	// reduction as Extender): wT[j][i] = w[i][j] with Shoup word wShoupT[j][i],
-	// bShoup[j] pairs with bCst[j].
-	wT      [][]uint64
-	wShoupT [][]uint64
-	bShoup  []uint64
+	// reduction as Extender), flat like the Extender's tables — one backing
+	// array, row j at [j·kq, (j+1)·kq): wFlat[j·kq+i] = w[i][j] with Shoup
+	// word wShoupFlat[j·kq+i], bShoup[j] pairs with bCst[j].
+	wFlat      []uint64
+	wShoupFlat []uint64
+	bShoup     []uint64
 }
 
 // MaxInputBits returns the largest centered-magnitude bit length the HPS
@@ -109,15 +111,14 @@ func NewScaleRounder(qb, pb *Basis, t uint64) (*ScaleRounder, error) {
 		qTilde := d.Inv(qStarFull.ModWord(d.Q))
 		s.bCst[j] = d.Mul(d.Mul(d.Reduce(t%d.Q), d.Reduce(qTilde)), pStar.ModWord(d.Q))
 	}
-	s.wT = make([][]uint64, pb.K())
-	s.wShoupT = make([][]uint64, pb.K())
+	kq := qb.K()
+	s.wFlat = make([]uint64, pb.K()*kq)
+	s.wShoupFlat = make([]uint64, pb.K()*kq)
 	s.bShoup = make([]uint64, pb.K())
 	for j, d := range pb.Mods {
-		s.wT[j] = make([]uint64, qb.K())
-		s.wShoupT[j] = make([]uint64, qb.K())
 		for i := range qb.Mods {
-			s.wT[j][i] = s.w[i][j]
-			s.wShoupT[j][i] = d.ShoupPrecomp(s.w[i][j])
+			s.wFlat[j*kq+i] = s.w[i][j]
+			s.wShoupFlat[j*kq+i] = d.ShoupPrecomp(s.w[i][j])
 		}
 		s.bShoup[j] = d.ShoupPrecomp(s.bCst[j])
 	}
@@ -140,12 +141,15 @@ func (s *ScaleRounder) Scale(xq, xp, out []uint64) {
 	if s.PB.K() > len(ypArr) {
 		yp = make([]uint64, s.PB.K())
 	}
+	kq := len(xq)
 	for j, d := range s.PB.Mods {
 		// Each lazy Shoup product is < 2·p_j < 2^32, so the k+1-term sum fits
 		// a uint64 with room to spare; one Barrett pass restores the canonical
 		// residue. xq/xp residues are canonical (< q_i resp. < p_j), which the
 		// Shoup bound x < 2^64 trivially admits.
-		row, rowS := s.wT[j], s.wShoupT[j]
+		base := j * kq
+		row := s.wFlat[base : base+kq : base+kq]
+		rowS := s.wShoupFlat[base : base+kq : base+kq]
 		sum := d.Reduce(r)
 		for i, x := range xq {
 			sum += d.MulShoupLazy(x, row[i], rowS[i])
@@ -219,41 +223,187 @@ func (s *ScaleRounder) checkLens(xq, xp, out []uint64) {
 
 // ScalePoly applies the HPS scale coefficient-wise to a full-basis RNS
 // polynomial (rows ordered q primes then p primes), returning a q-basis
-// polynomial.
+// polynomial. See ScalePolyInto for the allocation-free form.
 func (s *ScaleRounder) ScalePoly(x poly.RNSPoly) poly.RNSPoly {
-	return s.scalePolyWith(x, s.Scale)
+	out := poly.NewRNSPoly(s.QB.Mods, x.N())
+	s.scalePolyInto(x, out, false)
+	return out
 }
 
 // ScalePolyTraditional is ScalePoly through the traditional dataflow.
 func (s *ScaleRounder) ScalePolyTraditional(x poly.RNSPoly) poly.RNSPoly {
-	return s.scalePolyWith(x, s.ScaleTraditional)
+	out := poly.NewRNSPoly(s.QB.Mods, x.N())
+	s.scalePolyInto(x, out, true)
+	return out
 }
 
-func (s *ScaleRounder) scalePolyWith(x poly.RNSPoly, scale func(xq, xp, out []uint64)) poly.RNSPoly {
+// ScalePolyInto scales x into the caller-owned q-basis polynomial out,
+// allocating nothing: the chunk dispatch is a recycled task and the residue
+// staging lives on the worker's stack. out must not alias x's q rows.
+func (s *ScaleRounder) ScalePolyInto(x, out poly.RNSPoly) {
+	s.scalePolyInto(x, out, false)
+}
+
+// ScalePolyTraditionalInto is ScalePolyInto through the traditional dataflow.
+func (s *ScaleRounder) ScalePolyTraditionalInto(x, out poly.RNSPoly) {
+	s.scalePolyInto(x, out, true)
+}
+
+func (s *ScaleRounder) scalePolyInto(x, out poly.RNSPoly, traditional bool) {
 	kq, kp := s.QB.K(), s.PB.K()
 	if x.Level() != kq+kp {
 		panic("rns: ScalePoly level mismatch")
 	}
-	n := x.N()
-	out := poly.NewRNSPoly(s.QB.Mods, n)
-	s.Pool.RunChunks(n, minScaleChunk, func(lo, hi int) {
-		xq := make([]uint64, kq)
-		xp := make([]uint64, kp)
-		res := make([]uint64, kq)
-		for c := lo; c < hi; c++ {
-			for i := 0; i < kq; i++ {
-				xq[i] = x.Rows[i].Coeffs[c]
-			}
-			for j := 0; j < kp; j++ {
-				xp[j] = x.Rows[kq+j].Coeffs[c]
-			}
-			scale(xq, xp, res)
-			for i := 0; i < kq; i++ {
-				out.Rows[i].Coeffs[c] = res[i]
+	if out.Level() != kq {
+		panic("rns: ScalePoly output level mismatch")
+	}
+	t := getScaleTask()
+	t.s, t.src, t.dst, t.traditional = s, x.Rows, out.Rows, traditional
+	s.Pool.RunChunksTask(x.N(), minScaleChunk, t)
+	putScaleTask(t)
+}
+
+// scaleTask is the recycled ChunkTask behind ScalePolyInto.
+type scaleTask struct {
+	s           *ScaleRounder
+	src, dst    []poly.Poly
+	traditional bool
+}
+
+func (t *scaleTask) RunChunk(lo, hi int) {
+	s := t.s
+	kq, kp := s.QB.K(), s.PB.K()
+	if t.traditional || kq > stackResidues || kp > stackResidues {
+		t.runScalar(lo, hi)
+		return
+	}
+	// Row-major stripe kernel, the Scale analogue of Extender.extendStripe:
+	// per lane it runs the exact Block 1–3 arithmetic of Scale — the Acc192
+	// fractional sum in three parallel limb arrays (same q-row order), the lazy
+	// Shoup sums seeded with Reduce(r) and accumulated raw in the same order,
+	// the same closing reductions — then hands the yp stripe rows straight to
+	// the row-major extension. Bit-identical to the coefficient-major path.
+	// The yp stripe rows are staged directly in the extension scratch's y
+	// slots (row j at offset j·liftStripe — the same place extendStripe will
+	// put its y_j row). extendStripe consumes source row j exactly while
+	// producing y_j through a pure lane map, so the aliasing is safe and
+	// saves a second 16 KiB staging buffer.
+	var es extendScratch
+	ypBuf := &es.y
+	var w0, w1, w2, rv [liftStripe]uint64
+	var xin, in, out [stackResidues][]uint64
+	src, dst := t.src, t.dst
+	for c0 := lo; c0 < hi; c0 += liftStripe {
+		c1 := c0 + liftStripe
+		if c1 > hi {
+			c1 = hi
+		}
+		w := c1 - c0
+		// Blocks 1–2: fractional sum r = round(Σ x_i·r_i/q_i) per lane. The q
+		// source row stripes are staged once into `in` for the column walks.
+		for c := 0; c < w; c++ {
+			w0[c], w1[c], w2[c] = 0, 0, 0
+		}
+		for i := 0; i < kq; i++ {
+			f := s.theta[i]
+			x := src[i].Coeffs[c0:c1:c1]
+			xin[i] = x
+			for c, xc := range x {
+				hi1, lo1 := bits.Mul64(xc, f.Lo)
+				hi2, lo2 := bits.Mul64(xc, f.Hi)
+				var cc uint64
+				w0[c], cc = bits.Add64(w0[c], lo1, 0)
+				w1[c], cc = bits.Add64(w1[c], hi1, cc)
+				w2[c] += cc
+				w1[c], cc = bits.Add64(w1[c], lo2, 0)
+				w2[c] += hi2 + cc
 			}
 		}
-	})
-	return out
+		for c := 0; c < w; c++ {
+			vv := w2[c]
+			if w1[c] >= 1<<63 {
+				vv++
+			}
+			rv[c] = vv
+		}
+		// Blocks 2–3 per p prime: yp_j = Reduce(Reduce(r) + Σ_i x_i·W_i +
+		// x_j·B_j), the sums lazy and raw exactly as in Scale — the raw
+		// uint64 sum is accumulated in the same term order, so it is
+		// word-for-word identical.
+		for j, d := range s.PB.Mods {
+			base := j * kq
+			row := s.wFlat[base : base+kq : base+kq]
+			rowS := s.wShoupFlat[base : base+kq : base+kq]
+			yp := ypBuf[j*liftStripe : j*liftStripe+w : j*liftStripe+w]
+			d.VecReduceInto(yp, rv[:w])
+			i := 0
+			for ; i+1 < kq; i += 2 {
+				d.VecScalarMulShoupLazyAdd2Into(yp, xin[i], xin[i+1],
+					row[i], rowS[i], row[i+1], rowS[i+1])
+			}
+			if i < kq {
+				d.VecScalarMulShoupLazyAddInto(yp, xin[i], row[i], rowS[i])
+			}
+			d.VecScalarMulShoupLazyAddInto(yp, src[kq+j].Coeffs[c0:c1], s.bCst[j], s.bShoup[j])
+			d.VecReduceInto(yp, yp)
+			in[j] = yp
+		}
+		// Blocks 4–5: base switch p → q through the row-major Lift kernel.
+		for i := 0; i < kq; i++ {
+			out[i] = dst[i].Coeffs[c0:c1]
+		}
+		s.ext.extendStripe(&es, in[:kp], out[:kq], w)
+	}
+}
+
+// runScalar is the coefficient-major fallback: the traditional dataflow and
+// bases too wide for the stripe kernel's stack staging.
+func (t *scaleTask) runScalar(lo, hi int) {
+	s := t.s
+	kq, kp := s.QB.K(), s.PB.K()
+	var xqArr, xpArr, resArr [stackResidues]uint64
+	var xq, xp, res []uint64
+	if kq <= stackResidues && kp <= stackResidues {
+		xq, xp, res = xqArr[:kq], xpArr[:kp], resArr[:kq]
+	} else {
+		xq, xp, res = make([]uint64, kq), make([]uint64, kp), make([]uint64, kq)
+	}
+	src, dst := t.src, t.dst
+	for c := lo; c < hi; c++ {
+		for i := 0; i < kq; i++ {
+			xq[i] = src[i].Coeffs[c]
+		}
+		for j := 0; j < kp; j++ {
+			xp[j] = src[kq+j].Coeffs[c]
+		}
+		if t.traditional {
+			s.ScaleTraditional(xq, xp, res)
+		} else {
+			s.Scale(xq, xp, res)
+		}
+		for i := 0; i < kq; i++ {
+			dst[i].Coeffs[c] = res[i]
+		}
+	}
+}
+
+var scaleTaskFree = make(chan *scaleTask, 16)
+
+func getScaleTask() *scaleTask {
+	select {
+	case t := <-scaleTaskFree:
+		return t
+	default:
+		return new(scaleTask)
+	}
+}
+
+func putScaleTask(t *scaleTask) {
+	*t = scaleTask{}
+	select {
+	case scaleTaskFree <- t:
+	default:
+	}
 }
 
 // minScaleChunk matches the Lift fan-out grain (the Scale blocks stream
