@@ -25,7 +25,7 @@ bench-baseline:
 bench-check:
 	$(GO) run ./cmd/hebench -count $(BENCH_COUNT) -json BENCH_current.json
 	$(GO) run ./cmd/benchdiff -base BENCH_baseline.json -cur BENCH_current.json -gate-allocs \
-		-ops ntt_forward,mul_relin,engine_throughput,cluster_throughput_1,cluster_throughput_2,cluster_throughput_4,program_encsearch,sched_overlap,mux_throughput
+		-ops ntt_forward,mul_relin,engine_throughput,cluster_throughput_1,cluster_throughput_2,cluster_throughput_4,program_encsearch,sched_overlap,mux_throughput,ckks_mul_rescale
 
 # The zero-allocation wall on its own: the -benchmem hot-path benchmarks
 # print B/op and allocs/op, then benchdiff enforces the exact steady-state
@@ -34,7 +34,7 @@ bench-allocs:
 	$(GO) test -run=NONE -bench 'MulRelin|NTT' -benchtime 10x -benchmem . ./internal/poly
 	$(GO) run ./cmd/hebench -count 3 -json BENCH_current.json
 	$(GO) run ./cmd/benchdiff -base BENCH_baseline.json -cur BENCH_current.json -gate-allocs \
-		-ops ntt_forward,mul_relin
+		-ops ntt_forward,mul_relin,ckks_mul_rescale
 
 # Ring-degree sweep of the gated hot paths (forward NTT and MulInto at
 # n = 2^12..2^15, paper prime shape throughout). Writes gitignored scratch
@@ -47,19 +47,24 @@ lint:
 	golangci-lint run ./...
 
 # Five-iteration fuzz smoke over the differential fv<->hwsim targets, the
-# hardened wire-protocol decoders, and the compiled-program codec.
+# hardened wire-protocol decoders, the compiled-program codec, and the CKKS
+# key container and encoder.
 fuzz-smoke:
 	$(GO) test -run=NONE -fuzz=FuzzDiffTransform -fuzztime=5x ./internal/difftest
 	$(GO) test -run=NONE -fuzz=FuzzDiffPointwise -fuzztime=5x ./internal/difftest
 	$(GO) test -run=NONE -fuzz=FuzzDiffMulRelin -fuzztime=5x ./internal/difftest
+	$(GO) test -run=NONE -fuzz=FuzzDiffCKKSMulRescale -fuzztime=5x ./internal/difftest
 	$(GO) test -run=NONE -fuzz=FuzzDecodeRequest -fuzztime=20x ./internal/cloud
 	$(GO) test -run=NONE -fuzz=FuzzDecodeResponse -fuzztime=20x ./internal/cloud
 	$(GO) test -run=NONE -fuzz=FuzzDecodeMuxFrame -fuzztime=20x ./internal/cloud
 	$(GO) test -run=NONE -fuzz=FuzzDecodeProgram -fuzztime=20x ./internal/program
+	$(GO) test -run=NONE -fuzz=FuzzDecodeCKKSKeys -fuzztime=20x ./internal/ckks
+	$(GO) test -run=NONE -fuzz=FuzzEncoderRoundTrip -fuzztime=20x ./internal/ckks
 
 # The chaos suite: pinned-seed randomized fault schedules (BRAM flips, DMA
-# garbles, RPAU kills/stalls, limb corruption, dropped/garbled wire frames)
-# through real encrypt -> evaluate -> decrypt workloads, under the race
-# detector. Pinned seeds make a failure replayable.
+# garbles, RPAU kills/stalls, limb corruption — including during the CKKS
+# Rescale — and dropped/garbled wire frames) through real encrypt ->
+# evaluate -> decrypt workloads, under the race detector. Pinned seeds make
+# a failure replayable.
 chaos:
 	$(GO) test -race -count=1 -run 'TestChaos' ./internal/faults

@@ -42,6 +42,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/ckks"
 	"repro/internal/cloud"
 	"repro/internal/engine"
 	"repro/internal/fv"
@@ -67,6 +68,7 @@ func main() {
 	integrity := flag.Bool("integrity", false, "verify co-processor results with Freivalds fingerprints; a mismatch fails the op with a retryable integrity error instead of returning corrupted data")
 	integritySeed := flag.Int64("integrity-seed", 1, "seed for the integrity fingerprint weights")
 	pipelined := flag.Bool("pipelined", false, "stream multi-op Mul batches through the double-buffered DMA/compute pipeline (operand DMA of the next op overlaps the current op's compute)")
+	ckksServe := flag.Bool("ckks", false, "additionally serve the CKKS approximate-arithmetic commands (CmdCKKSAdd/Mul/Rotate); CKKS keys are derived from -seed on an independent PRNG stream, with rotation keys installed for slot shifts 1, 2, 4, and 8")
 	noiseGuard := flag.Bool("noise-guard", false, "reject ops whose client-declared noise budget the noise model predicts would be exhausted")
 	minNoiseBudget := flag.Float64("min-noise-budget", 1.0, "bits of predicted post-op noise budget below which the noise guard rejects (with -noise-guard)")
 	flag.Parse()
@@ -114,8 +116,32 @@ func main() {
 	kg := fv.NewKeyGenerator(params, prng)
 	sk, _, rk := kg.GenKeys()
 
+	// The CKKS lane rides alongside BFV on the same engine: its own prime
+	// chain sized to match the BFV ring, keys derived from the same -seed on
+	// an independent PRNG stream (the client repeats the derivation).
+	var cparams *ckks.Params
+	var crk *ckks.RelinKey
+	var cgalois []*ckks.GaloisKey
+	if *ckksServe {
+		ccfg := ckks.TestConfig()
+		if *paper {
+			ccfg = ckks.PaperConfig()
+		}
+		cparams, err = ckks.NewParams(ccfg)
+		if err != nil {
+			fatal(err)
+		}
+		ckg := ckks.NewKeyGenerator(cparams, sampler.NewPRNG(*seed))
+		csk, _, rk := ckg.GenKeys()
+		crk = rk
+		for r := 1; r <= 8; r *= 2 {
+			cgalois = append(cgalois, ckg.GenGaloisKey(csk, cparams.GaloisElementForRotation(r)))
+		}
+	}
+
 	eng, err := engine.New(engine.Config{
 		Params:             params,
+		CKKSParams:         cparams,
 		Variant:            hwsim.VariantHPS,
 		Workers:            *workers,
 		QueueDepth:         *queueDepth,
@@ -147,9 +173,16 @@ func main() {
 		for _, gk := range galois {
 			eng.SetGaloisKey(tenant, gk)
 		}
+		if crk != nil {
+			eng.SetCKKSRelinKey(tenant, crk)
+			for _, gk := range cgalois {
+				eng.SetCKKSGaloisKey(tenant, gk)
+			}
+		}
 	}
 
 	srv := cloud.NewServer(params, eng, logger)
+	srv.CKKSParams = cparams
 	srv.ReadTimeout = *readTimeout
 	srv.NodeID = *nodeID
 	if *debugAddr != "" {
@@ -183,8 +216,8 @@ func main() {
 	if srv.NodeID == "" {
 		srv.NodeID = bound
 	}
-	logger.Printf("heserver: %s listening on %s (n=%d, log q=%d, %d workers, queue %d, seed %d, tenants %v)",
-		srv.NodeID, bound, params.N(), params.LogQ(), eng.Workers(), *queueDepth, *seed, eng.Tenants())
+	logger.Printf("heserver: %s listening on %s (n=%d, log q=%d, %d workers, queue %d, seed %d, ckks %v, tenants %v)",
+		srv.NodeID, bound, params.N(), params.LogQ(), eng.Workers(), *queueDepth, *seed, cparams != nil, eng.Tenants())
 
 	sigs := make(chan os.Signal, 1)
 	signal.Notify(sigs, syscall.SIGUSR1, syscall.SIGINT, syscall.SIGTERM)

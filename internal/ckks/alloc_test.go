@@ -1,0 +1,78 @@
+package ckks
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"repro/internal/sampler"
+)
+
+// TestZeroAllocHotPath pins the CKKS serving hot path to zero steady-state
+// heap allocations after warm-up: MulInto (fused tensor + relinearize +
+// hybrid keyswitch + ModDown), RescaleInto, MulPlainInto, and RotateInto.
+// Like the BFV twin, the property must hold sequentially and at the
+// RPAU-shaped pool width 7 — pooled fan-out must recycle its task structs.
+func TestZeroAllocHotPath(t *testing.T) {
+	for _, pool := range []int{1, 7} {
+		pool := pool
+		t.Run(fmt.Sprintf("pool%d", pool), func(t *testing.T) {
+			cfg := TestConfig()
+			cfg.N = 1 << 12 // paper degree
+			cfg.PoolSize = pool
+			p, err := NewParams(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			prng := sampler.NewPRNG(42)
+			kg := NewKeyGenerator(p, prng)
+			sk, pk, rk := kg.GenKeys()
+			gk := kg.GenGaloisKey(sk, p.GaloisElementForRotation(1))
+			enc := NewEncoder(p)
+			encr := NewEncryptor(p, pk, prng)
+			ev := NewEvaluator(p)
+
+			slots := p.Slots()
+			vals := make([]float64, slots)
+			for i := range vals {
+				vals[i] = float64(i%7)/4.0 - 0.5
+			}
+			L := p.MaxLevel()
+			pt, err := enc.Encode(vals, L, p.DefaultScale())
+			if err != nil {
+				t.Fatal(err)
+			}
+			ctA, ctB := encr.Encrypt(pt), encr.Encrypt(pt)
+
+			measure := func(name string, fn func()) {
+				for i := 0; i < 3; i++ {
+					fn()
+				}
+				runtime.GC()
+				if n := testing.AllocsPerRun(20, fn); n != 0 {
+					t.Errorf("%s: %v allocs/op, want 0", name, n)
+				}
+			}
+
+			out := NewCiphertext(p, 1, L)
+			measure("MulInto", func() {
+				ev.MulInto(ctA, ctB, rk, out)
+			})
+
+			down := NewCiphertext(p, 1, L-1)
+			measure("RescaleInto", func() {
+				ev.RescaleInto(out, down)
+			})
+
+			outP := NewCiphertext(p, 1, L)
+			measure("MulPlainInto", func() {
+				ev.MulPlainInto(ctA, pt, outP)
+			})
+
+			outR := NewCiphertext(p, 1, L)
+			measure("RotateInto", func() {
+				ev.RotateInto(ctA, 1, gk, outR)
+			})
+		})
+	}
+}

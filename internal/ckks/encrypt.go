@@ -1,0 +1,89 @@
+package ckks
+
+import (
+	"fmt"
+
+	"repro/internal/poly"
+	"repro/internal/sampler"
+)
+
+// Encryptor produces CKKS ciphertexts: (c0, c1) = (p0·u + e1 + m, p1·u + e2)
+// at the plaintext's level — the message rides in the low bits with its
+// scale, with no Δ-multiply at encryption time (the encoder already scaled).
+type Encryptor struct {
+	params *Params
+	pk     *PublicKey
+	prng   *sampler.PRNG
+	gauss  *sampler.Gaussian
+}
+
+// NewEncryptor returns an encryptor drawing randomness from prng.
+func NewEncryptor(params *Params, pk *PublicKey, prng *sampler.PRNG) *Encryptor {
+	return &Encryptor{params: params, pk: pk, prng: prng, gauss: sampler.NewGaussian(params.Cfg.Sigma)}
+}
+
+// Encrypt encrypts pt at its level and scale.
+func (en *Encryptor) Encrypt(pt *Plaintext) *Ciphertext {
+	p := en.params
+	n := p.N()
+	level := pt.Level()
+	mods := p.QMods[:level+1]
+	tr := p.TrLevel[level]
+
+	u := sampler.SignedBinaryPoly(en.prng, mods, n)
+	e1 := en.gauss.SamplePoly(en.prng, mods, n)
+	e2 := en.gauss.SamplePoly(en.prng, mods, n)
+
+	uHat := u.Clone()
+	tr.Forward(uHat)
+
+	ct := NewCiphertext(p, 1, level)
+	ct.Scale = pt.Scale
+	// c0 = p0·u + e1 + m.
+	uHat.MulInto(prefix(en.pk.P0Hat, level+1), ct.Els[0])
+	tr.Inverse(ct.Els[0])
+	ct.Els[0].AddInto(e1, ct.Els[0])
+	ct.Els[0].AddInto(pt.Value, ct.Els[0])
+	// c1 = p1·u + e2.
+	uHat.MulInto(prefix(en.pk.P1Hat, level+1), ct.Els[1])
+	tr.Inverse(ct.Els[1])
+	ct.Els[1].AddInto(e2, ct.Els[1])
+	return ct
+}
+
+// Decryptor recovers plaintexts with the secret key.
+type Decryptor struct {
+	params *Params
+	sk     *SecretKey
+}
+
+// NewDecryptor returns a decryptor for sk.
+func NewDecryptor(params *Params, sk *SecretKey) *Decryptor {
+	return &Decryptor{params: params, sk: sk}
+}
+
+// Decrypt computes m = Σ c_i·s^i at the ciphertext's level, returning a
+// plaintext at the ciphertext's scale.
+func (de *Decryptor) Decrypt(ct *Ciphertext) *Plaintext {
+	p := de.params
+	level := ct.Level()
+	if len(ct.Els) < 1 || len(ct.Els) > 3 {
+		panic(fmt.Sprintf("ckks: cannot decrypt a %d-element ciphertext", len(ct.Els)))
+	}
+	tr := p.TrLevel[level]
+	sHat := prefix(de.sk.SHat, level+1)
+
+	// Horner over s in the NTT domain: acc = c_last; acc = acc·s + c_i.
+	acc := ct.Els[len(ct.Els)-1].Clone()
+	tr.Forward(acc)
+	tmp := poly.NewRNSPoly(p.QMods[:level+1], p.N())
+	for i := len(ct.Els) - 2; i >= 0; i-- {
+		acc.MulInto(sHat, acc)
+		ci := ct.Els[i].Clone()
+		tr.Forward(ci)
+		acc.AddInto(ci, tmp)
+		acc, tmp = tmp, acc
+	}
+	tr.Inverse(acc)
+	return &Plaintext{Value: acc, Scale: ct.Scale}
+}

@@ -1,0 +1,212 @@
+package ckks
+
+import (
+	"fmt"
+
+	"repro/internal/poly"
+	"repro/internal/rlwe"
+	"repro/internal/rns"
+	"repro/internal/sampler"
+)
+
+// SecretKey holds the signed-binary secret over AllMods (the chain plus the
+// keyswitch special prime), in both coefficient and NTT representation. A
+// level-ℓ operation uses a row subset: per-prime NTT rows are independent,
+// so sHat.Rows[:ℓ+1] is exactly the transform of the restricted secret, and
+// the p* row joins in only inside key-switch key material.
+type SecretKey struct {
+	S    poly.RNSPoly
+	SHat poly.RNSPoly
+}
+
+// PublicKey is the RLWE pair (-(a·s + e), a) over the full chain, NTT
+// domain; encryption at level ℓ consumes the row prefix.
+type PublicKey struct {
+	P0Hat poly.RNSPoly
+	P1Hat poly.RNSPoly
+}
+
+// LevelKey is one level's gadget key-switch key: ℓ+1 component pairs over
+// the extended rows (q_0..q_ℓ, p*), each encrypting p*·g_i·payload. The
+// gadget constants q*_i, q̃_i depend on the live basis, so each level needs
+// its own key material — the level-aware datapath trade-off of a rescaling
+// scheme. The p* factor is the GHS hybrid construction: the keyswitch SoP
+// lands at p* times the switched value and the evaluator ModDowns by p*,
+// dividing the gadget noise out of the message's scale range.
+type LevelKey struct {
+	Ks0Hat []poly.RNSPoly
+	Ks1Hat []poly.RNSPoly
+}
+
+// RelinKey bundles the relinearization keys of every level: Levels[ℓ] is
+// nil below level 1 (a level-0 product cannot rescale and is not served).
+type RelinKey struct {
+	Levels []*LevelKey
+}
+
+// At returns the level-ℓ key, panicking on a level the key does not carry.
+func (rk *RelinKey) At(level int) *LevelKey {
+	if level < 1 || level >= len(rk.Levels) || rk.Levels[level] == nil {
+		panic(fmt.Sprintf("ckks: no relin key at level %d", level))
+	}
+	return rk.Levels[level]
+}
+
+// GaloisKey bundles the per-level switch keys of one automorphism element.
+type GaloisKey struct {
+	G      int
+	Levels []*LevelKey
+}
+
+// At returns the level-ℓ key, panicking on a level the key does not carry.
+func (gk *GaloisKey) At(level int) *LevelKey {
+	if level < 1 || level >= len(gk.Levels) || gk.Levels[level] == nil {
+		panic(fmt.Sprintf("ckks: no Galois key for g=%d at level %d", gk.G, level))
+	}
+	return gk.Levels[level]
+}
+
+// KeyGenerator samples key material deterministically from its PRNG.
+type KeyGenerator struct {
+	params *Params
+	prng   *sampler.PRNG
+	gauss  *sampler.Gaussian
+}
+
+// NewKeyGenerator returns a generator drawing from prng (pass
+// sampler.NewRandomPRNG() for real keys, a fixed seed for reproducibility).
+func NewKeyGenerator(params *Params, prng *sampler.PRNG) *KeyGenerator {
+	return &KeyGenerator{
+		params: params,
+		prng:   prng,
+		gauss:  sampler.NewGaussian(params.Cfg.Sigma),
+	}
+}
+
+// GenSecretKey samples a fresh signed-binary secret over AllMods.
+func (kg *KeyGenerator) GenSecretKey() *SecretKey {
+	p := kg.params
+	s := sampler.SignedBinaryPoly(kg.prng, p.AllMods, p.N())
+	sHat := s.Clone()
+	p.Tr.Forward(sHat)
+	return &SecretKey{S: s, SHat: sHat}
+}
+
+// GenPublicKey derives a public key for sk over the chain (encryption never
+// touches the special prime).
+func (kg *KeyGenerator) GenPublicKey(sk *SecretKey) *PublicKey {
+	p := kg.params
+	trQ := p.TrLevel[p.MaxLevel()]
+	a := sampler.UniformPoly(kg.prng, p.QMods, p.N())
+	e := kg.gauss.SamplePoly(kg.prng, p.QMods, p.N())
+
+	aHat := a.Clone()
+	trQ.Forward(aHat)
+	as := poly.NewRNSPoly(p.QMods, p.N())
+	aHat.MulInto(prefix(sk.SHat, len(p.QMods)), as)
+	trQ.Inverse(as)
+	as.AddInto(e, as)
+	as.NegInto(as)
+	trQ.Forward(as)
+	return &PublicKey{P0Hat: as, P1Hat: aHat}
+}
+
+// prefix restricts an RNS polynomial to its first k rows (shared backing).
+func prefix(x poly.RNSPoly, k int) poly.RNSPoly {
+	return poly.RNSPoly{Rows: x.Rows[:k]}
+}
+
+// ksView assembles the level-ℓ keyswitch row set of a full AllMods
+// polynomial: the chain prefix plus the p* row (shared backing — per-prime
+// rows are independent).
+func (p *Params) ksView(x poly.RNSPoly, level int) poly.RNSPoly {
+	rows := make([]poly.Poly, 0, level+2)
+	rows = append(rows, x.Rows[:level+1]...)
+	rows = append(rows, x.Rows[p.Cfg.QCount])
+	return poly.RNSPoly{Rows: rows}
+}
+
+// ksGadgets returns the level-ℓ gadget constants over the extended rows:
+// p*·g_i mod q_j on the chain rows, 0 on the p* row (p* ≡ 0 mod p* kills
+// the payload term there, which is what lets ModDown divide it out).
+func (p *Params) ksGadgets(level int) []poly.RNSPoly {
+	base := rns.GadgetRNS(p.BasisLevel[level])
+	out := make([]poly.RNSPoly, len(base))
+	for i := range base {
+		out[i] = poly.NewRNSPoly(p.KSMods[level], 1)
+		for j := 0; j <= level; j++ {
+			m := p.QMods[j]
+			out[i].Rows[j].Coeffs[0] = m.Mul(m.Reduce(p.PMod.Q), base[i].Rows[j].Coeffs[0])
+		}
+		// The p* row stays zero.
+	}
+	return out
+}
+
+// GenRelinKey derives relinearization keys for levels 1..L: each level's
+// key encrypts p*·g_i·s² over that level's extended rows via the shared
+// gadget construction.
+func (kg *KeyGenerator) GenRelinKey(sk *SecretKey) *RelinKey {
+	p := kg.params
+	n := p.N()
+	s2Hat := poly.NewRNSPoly(p.AllMods, n)
+	sk.SHat.MulInto(sk.SHat, s2Hat)
+
+	rk := &RelinKey{Levels: make([]*LevelKey, p.Cfg.QCount)}
+	for l := 1; l <= p.MaxLevel(); l++ {
+		lk := &LevelKey{}
+		lk.Ks0Hat, lk.Ks1Hat = rlwe.GenGadgetKey(kg.prng, kg.gauss, p.TrKS[l], p.KSMods[l], n,
+			p.ksGadgets(l), p.ksView(sk.SHat, l), p.ksView(s2Hat, l))
+		rk.Levels[l] = lk
+	}
+	return rk
+}
+
+// GenGaloisKey derives per-level switch keys for the automorphism g (odd,
+// 1 ≤ g < 2n): each level's key encrypts p*·g_i·σ_g(s).
+func (kg *KeyGenerator) GenGaloisKey(sk *SecretKey, g int) *GaloisKey {
+	p := kg.params
+	n := p.N()
+	if g%2 == 0 || g < 1 || g >= 2*n {
+		panic(fmt.Sprintf("ckks: invalid Galois element %d (need odd, < 2n)", g))
+	}
+	sG := poly.NewRNSPoly(p.AllMods, n)
+	rlwe.AutomorphInto(g, sk.S, sG)
+	sGHat := sG
+	p.Tr.Forward(sGHat)
+
+	gk := &GaloisKey{G: g, Levels: make([]*LevelKey, p.Cfg.QCount)}
+	for l := 1; l <= p.MaxLevel(); l++ {
+		lk := &LevelKey{}
+		lk.Ks0Hat, lk.Ks1Hat = rlwe.GenGadgetKey(kg.prng, kg.gauss, p.TrKS[l], p.KSMods[l], n,
+			p.ksGadgets(l), p.ksView(sk.SHat, l), p.ksView(sGHat, l))
+		gk.Levels[l] = lk
+	}
+	return gk
+}
+
+// GaloisElementForRotation returns the automorphism element implementing a
+// left rotation of the slot vector by r positions (r may be negative or
+// exceed the slot count; it is reduced mod N/2).
+func (p *Params) GaloisElementForRotation(r int) int {
+	slots := p.Slots()
+	r = ((r % slots) + slots) % slots
+	m := 2 * p.N()
+	g := 1
+	for i := 0; i < r; i++ {
+		g = g * 5 % m
+	}
+	return g
+}
+
+// GaloisElementForConjugation returns the element implementing complex
+// conjugation of the slots.
+func (p *Params) GaloisElementForConjugation() int { return 2*p.N() - 1 }
+
+// GenKeys is the common bundle: secret, public, and relinearization keys.
+func (kg *KeyGenerator) GenKeys() (*SecretKey, *PublicKey, *RelinKey) {
+	sk := kg.GenSecretKey()
+	pk := kg.GenPublicKey(sk)
+	rk := kg.GenRelinKey(sk)
+	return sk, pk, rk
+}

@@ -1,0 +1,104 @@
+package ckks
+
+import (
+	"math"
+
+	"repro/internal/rlwe"
+)
+
+// PrecisionModel is the CKKS binding of the engine's shared budget-guard
+// hook. Where BFV tracks noise-budget bits (distance to decryption failure),
+// CKKS tracks precision bits: -log2 of the expected slot error for unit-
+// magnitude messages. Operations spend precision instead of noise budget —
+// the same screening interface with inverted semantics, which is why the
+// engine can gate both schemes through one rlwe.BudgetGuard.
+//
+// The bounds follow the standard CKKS heuristics (Cheon et al. 2017, with
+// the GHS hybrid keyswitch term divided by p*): fresh error ≈ 8σ√n/Δ,
+// addition sums errors, multiplication of unit messages roughly doubles the
+// relative error and the subsequent rescale adds a rounding term √n/Δ.
+type PrecisionModel struct {
+	params *Params
+	n      float64
+	sigma  float64
+	logDel float64 // log2 Δ
+	logP   float64 // log2 p*
+}
+
+// NewPrecisionModel builds a model for the parameter set.
+func NewPrecisionModel(params *Params) *PrecisionModel {
+	return &PrecisionModel{
+		params: params,
+		n:      float64(params.N()),
+		sigma:  params.Cfg.Sigma,
+		logDel: float64(params.Cfg.LogScale),
+		logP:   math.Log2(float64(params.PMod.Q)),
+	}
+}
+
+// clamp floors precision at zero: once the error reaches the message scale,
+// the slots are garbage and there is nothing left to spend.
+func clamp(bits float64) float64 {
+	if bits < 0 {
+		return 0
+	}
+	return bits
+}
+
+// Fresh predicts the precision of a public-key encryption: the dominant
+// term is e₂·s with signed-binary s, bounded by ≈ 8σ·n at scale Δ.
+func (m *PrecisionModel) Fresh() float64 {
+	logErr := math.Log2(8*m.sigma*m.n) - m.logDel
+	return clamp(-logErr)
+}
+
+// AfterAdd predicts the precision after adding two ciphertexts: errors sum,
+// costing at most one bit off the weaker operand.
+func (m *PrecisionModel) AfterAdd(bitsA, bitsB float64) float64 {
+	return clamp(math.Min(bitsA, bitsB) - 1)
+}
+
+// AfterMul predicts the precision after a multiply + relinearize + rescale
+// round. For unit-magnitude messages the relative errors add (≈1 bit), the
+// hybrid keyswitch contributes √n·ℓ·q·σ/(p*·Δ²-scaled) — small by
+// construction — and the rescale rounding adds √n/Δ'.
+func (m *PrecisionModel) AfterMul(bitsA, bitsB float64) float64 {
+	mulBits := math.Min(bitsA, bitsB) - 1
+	// Keyswitch: e_ks ≈ ℓ·√n·q·σ/p*, relative to the post-rescale scale Δ.
+	ell := float64(m.params.Cfg.QCount)
+	logKS := math.Log2(ell*math.Sqrt(m.n)*m.sigma) + float64(m.params.Cfg.PrimeBits) - m.logP - m.logDel
+	// Rescale rounding: ≈ √n(1+‖s‖₁-ish)/Δ; signed-binary s keeps it ≈ √n·n/2/Δ…
+	// the dominant term is n/2·√n in the worst case; use the mean-case √n·√(n/3).
+	logRound := math.Log2(math.Sqrt(m.n)*math.Sqrt(m.n/3.0)) - m.logDel
+	worst := math.Max(-mulBits, math.Max(logKS, logRound)) + 1
+	return clamp(-worst)
+}
+
+// AfterGalois predicts the precision after a rotation or conjugation: the
+// automorphism permutes exactly; only the hybrid keyswitch term is added.
+func (m *PrecisionModel) AfterGalois(bits float64) float64 {
+	ell := float64(m.params.Cfg.QCount)
+	logKS := math.Log2(ell*math.Sqrt(m.n)*m.sigma) + float64(m.params.Cfg.PrimeBits) - m.logP - m.logDel
+	worst := math.Max(-bits, logKS) + 1
+	return clamp(-worst)
+}
+
+// MaxDepth predicts how many multiply-rescale rounds fresh inputs survive
+// with at least margin bits of precision to spare. The chain length caps it
+// regardless (each round consumes a level).
+func (m *PrecisionModel) MaxDepth(margin float64) int {
+	bits := m.Fresh()
+	depth := 0
+	for depth < m.params.MaxLevel() {
+		nb := m.AfterMul(bits, bits)
+		if nb <= margin {
+			return depth
+		}
+		bits = nb
+		depth++
+	}
+	return depth
+}
+
+// The model is the CKKS binding of the engine's shared budget-guard hook.
+var _ rlwe.BudgetGuard = (*PrecisionModel)(nil)

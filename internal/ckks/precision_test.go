@@ -1,0 +1,86 @@
+package ckks
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// measuredBits converts a measured max slot error to precision bits.
+func measuredBits(err float64) float64 {
+	if err <= 0 {
+		return 60 // exact to float64 resolution
+	}
+	return -math.Log2(err)
+}
+
+// TestPrecisionModelIsSafe checks the analytic model is conservative: the
+// measured precision is never below the predicted one, operation by
+// operation, on unit-magnitude inputs.
+func TestPrecisionModelIsSafe(t *testing.T) {
+	tc := newTestContext(t, 30)
+	m := NewPrecisionModel(tc.params)
+	rng := rand.New(rand.NewSource(30))
+	slots := tc.params.Slots()
+	L := tc.params.MaxLevel()
+	a := randomSlots(rng, slots, 1)
+	b := randomSlots(rng, slots, 1)
+	ca := tc.encrypt(t, a, L)
+	cb := tc.encrypt(t, b, L)
+
+	// Fresh.
+	freshPred := m.Fresh()
+	got := tc.decrypt(ca)
+	if mb := measuredBits(maxSlotError(got, a)); mb < freshPred {
+		t.Fatalf("fresh: measured %.1f bits < predicted %.1f", mb, freshPred)
+	}
+
+	// Add.
+	addPred := m.AfterAdd(freshPred, freshPred)
+	want := make([]float64, slots)
+	for i := range want {
+		want[i] = a[i] + b[i]
+	}
+	got = tc.decrypt(tc.ev.Add(ca, cb))
+	if mb := measuredBits(maxSlotError(got, want)); mb < addPred {
+		t.Fatalf("add: measured %.1f bits < predicted %.1f", mb, addPred)
+	}
+
+	// Mul + rescale.
+	mulPred := m.AfterMul(freshPred, freshPred)
+	for i := range want {
+		want[i] = a[i] * b[i]
+	}
+	got = tc.decrypt(tc.ev.Rescale(tc.ev.Mul(ca, cb, tc.rk)))
+	if mb := measuredBits(maxSlotError(got, want)); mb < mulPred {
+		t.Fatalf("mul: measured %.1f bits < predicted %.1f", mb, mulPred)
+	}
+
+	// Rotation.
+	rotPred := m.AfterGalois(freshPred)
+	gk := tc.kg.GenGaloisKey(tc.sk, tc.params.GaloisElementForRotation(1))
+	for i := range want {
+		want[i] = a[(i+1)%slots]
+	}
+	got = tc.decrypt(tc.ev.Rotate(ca, 1, gk))
+	if mb := measuredBits(maxSlotError(got, want)); mb < rotPred {
+		t.Fatalf("rotate: measured %.1f bits < predicted %.1f", mb, rotPred)
+	}
+
+	if mulPred <= 0 {
+		t.Fatalf("model predicts no usable precision after one multiply — parameter set mis-sized")
+	}
+	t.Logf("predicted bits: fresh %.1f, add %.1f, mul %.1f, rotate %.1f", freshPred, addPred, mulPred, rotPred)
+}
+
+func TestPrecisionModelDepth(t *testing.T) {
+	p := testParams(t)
+	m := NewPrecisionModel(p)
+	d := m.MaxDepth(3)
+	if d < 3 {
+		t.Fatalf("model predicts depth %d < 3 — the encml serving circuit would not fit", d)
+	}
+	if d > p.MaxLevel() {
+		t.Fatalf("model predicts depth %d beyond the chain (L=%d)", d, p.MaxLevel())
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"net"
 	"time"
 
+	"repro/internal/ckks"
 	"repro/internal/fv"
 	"repro/internal/program"
 )
@@ -19,6 +20,7 @@ const DialTimeout = 5 * time.Second
 type Client struct {
 	conn   net.Conn
 	params *fv.Params
+	ckks   *ckks.Params // non-nil after EnableCKKS; required for CmdCKKS*
 	ver    uint8
 	tenant string
 	nextID uint64
@@ -80,6 +82,12 @@ func (c *Client) SetTenant(tenant string) error {
 // response-ID mismatch). A broken client must be closed, not reused.
 func (c *Client) Broken() bool { return c.broken }
 
+// EnableCKKS arms the client for approximate-arithmetic commands. The params
+// must match the server's (check ServerInfo.CKKS via Info first); CKKS
+// commands on a client without them, or on a v1 connection, fail before
+// touching the wire.
+func (c *Client) EnableCKKS(p *ckks.Params) { c.ckks = p }
+
 // watch arranges for ctx cancellation to interrupt conn I/O by slamming the
 // deadline to now. The returned stop function must be called when the
 // exchange ends; the per-exchange deadline reset in Do clears any deadline a
@@ -110,6 +118,14 @@ func (c *Client) Do(ctx context.Context, req *Request) (*Response, error) {
 	if c.broken {
 		return nil, fmt.Errorf("cloud: client connection is broken")
 	}
+	if isCKKSCmd(req.Cmd) {
+		if c.ckks == nil {
+			return nil, fmt.Errorf("cloud: %s requires EnableCKKS", cmdName(req.Cmd))
+		}
+		if c.ver < ProtoV2 {
+			return nil, fmt.Errorf("cloud: %s requires protocol v2", cmdName(req.Cmd))
+		}
+	}
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -136,7 +152,13 @@ func (c *Client) Do(ctx context.Context, req *Request) (*Response, error) {
 		c.broken = true
 		return nil, c.ctxErr(ctx, err)
 	}
-	resp, err := ReadResponseV(c.conn, c.params, req.Ver)
+	var resp *Response
+	var err error
+	if isCKKSCmd(req.Cmd) {
+		resp, err = ReadCKKSResponseV(c.conn, c.ckks, req.Ver)
+	} else {
+		resp, err = ReadResponseV(c.conn, c.params, req.Ver)
+	}
 	if err != nil {
 		c.broken = true
 		return nil, c.ctxErr(ctx, err)
@@ -196,6 +218,38 @@ func (c *Client) RotateCtx(ctx context.Context, a *fv.Ciphertext, g int) (*fv.Ci
 		return nil, 0, err
 	}
 	return resp.Result, time.Duration(resp.ComputeNanos), nil
+}
+
+// CKKSAddCtx asks the cloud to add two approximate-arithmetic ciphertexts
+// (levels aligned server-side), honoring ctx. Requires EnableCKKS.
+func (c *Client) CKKSAddCtx(ctx context.Context, a, b *ckks.Ciphertext) (*ckks.Ciphertext, time.Duration, error) {
+	resp, err := c.Do(ctx, &Request{Cmd: CmdCKKSAdd, CA: a, CB: b})
+	if err != nil {
+		return nil, 0, err
+	}
+	return resp.CKKSResult, time.Duration(resp.ComputeNanos), nil
+}
+
+// CKKSMulCtx asks the cloud to multiply two approximate-arithmetic
+// ciphertexts — relinearized and rescaled server-side, so the result sits one
+// level below the deeper operand. Requires EnableCKKS.
+func (c *Client) CKKSMulCtx(ctx context.Context, a, b *ckks.Ciphertext) (*ckks.Ciphertext, time.Duration, error) {
+	resp, err := c.Do(ctx, &Request{Cmd: CmdCKKSMul, CA: a, CB: b})
+	if err != nil {
+		return nil, 0, err
+	}
+	return resp.CKKSResult, time.Duration(resp.ComputeNanos), nil
+}
+
+// CKKSRotateCtx asks the cloud to rotate the slot vector left by r (the
+// server must hold the matching Galois key), honoring ctx. Requires
+// EnableCKKS.
+func (c *Client) CKKSRotateCtx(ctx context.Context, a *ckks.Ciphertext, r int) (*ckks.Ciphertext, time.Duration, error) {
+	resp, err := c.Do(ctx, &Request{Cmd: CmdCKKSRotate, CA: a, R: int32(r)})
+	if err != nil {
+		return nil, 0, err
+	}
+	return resp.CKKSResult, time.Duration(resp.ComputeNanos), nil
 }
 
 // PingCtx verifies the service is alive, honoring ctx.
@@ -320,6 +374,22 @@ func (c *Client) Mul(a, b *fv.Ciphertext) (*fv.Ciphertext, time.Duration, error)
 // hold the matching key).
 func (c *Client) Rotate(a *fv.Ciphertext, g int) (*fv.Ciphertext, time.Duration, error) {
 	return c.RotateCtx(context.Background(), a, g)
+}
+
+// CKKSAdd asks the cloud to add two approximate-arithmetic ciphertexts.
+func (c *Client) CKKSAdd(a, b *ckks.Ciphertext) (*ckks.Ciphertext, time.Duration, error) {
+	return c.CKKSAddCtx(context.Background(), a, b)
+}
+
+// CKKSMul asks the cloud to multiply two approximate-arithmetic ciphertexts
+// (relinearized and rescaled server-side).
+func (c *Client) CKKSMul(a, b *ckks.Ciphertext) (*ckks.Ciphertext, time.Duration, error) {
+	return c.CKKSMulCtx(context.Background(), a, b)
+}
+
+// CKKSRotate asks the cloud to rotate the slot vector left by r.
+func (c *Client) CKKSRotate(a *ckks.Ciphertext, r int) (*ckks.Ciphertext, time.Duration, error) {
+	return c.CKKSRotateCtx(context.Background(), a, r)
 }
 
 // Ping verifies the service is alive.

@@ -31,6 +31,7 @@ import (
 	"fmt"
 	"io"
 
+	"repro/internal/ckks"
 	"repro/internal/fv"
 	"repro/internal/program"
 )
@@ -80,10 +81,24 @@ const (
 	// with every output ciphertext. One round trip instead of one per gate
 	// (v2 only).
 	CmdProgram uint8 = 6
+	// CKKS approximate-arithmetic commands (v2 only): the siblings of
+	// CmdAdd/CmdMul/CmdRotate over CKKS ciphertexts. CmdCKKSMul includes the
+	// trailing rescale (the result arrives one level down); CmdCKKSRotate
+	// carries the slot rotation count in the request's R field. Servers
+	// without CKKS parameters treat these frames as malformed — clients
+	// discover support via CmdInfo's CKKS flag.
+	CmdCKKSAdd    uint8 = 7
+	CmdCKKSMul    uint8 = 8
+	CmdCKKSRotate uint8 = 9
 
 	statusOK  uint8 = 0
 	statusErr uint8 = 1
 )
+
+// isCKKSCmd reports whether cmd is one of the CKKS commands.
+func isCKKSCmd(cmd uint8) bool {
+	return cmd == CmdCKKSAdd || cmd == CmdCKKSMul || cmd == CmdCKKSRotate
+}
 
 // Error codes carried by v2 error responses. v1 responses have no code and
 // decode as CodeApp.
@@ -143,6 +158,11 @@ type Request struct {
 	ID     uint64 // request ID, echoed in the v2 response
 	Tenant string // evaluation-key namespace; "" is the default tenant
 	A, B   *fv.Ciphertext
+
+	// CA and CB are the CKKS operands (CmdCKKS* commands); R is the slot
+	// rotation count of CmdCKKSRotate.
+	CA, CB *ckks.Ciphertext
+	R      int32
 
 	// ProgBytes and Inputs carry a CmdProgram payload: the serialized
 	// program (framing validated here, semantics by program.Decode on the
@@ -215,6 +235,18 @@ func writeRequestBody(w io.Writer, params *fv.Params, req *Request) error {
 			return err
 		}
 		return req.A.WriteTo(w, params)
+	case CmdCKKSAdd, CmdCKKSMul:
+		if err := req.CA.Write(w); err != nil {
+			return err
+		}
+		return req.CB.Write(w)
+	case CmdCKKSRotate:
+		var r4 [4]byte
+		binary.LittleEndian.PutUint32(r4[:], uint32(req.R))
+		if _, err := w.Write(r4[:]); err != nil {
+			return err
+		}
+		return req.CA.Write(w)
 	}
 	if err := req.A.WriteTo(w, params); err != nil {
 		return err
@@ -222,13 +254,34 @@ func writeRequestBody(w io.Writer, params *fv.Params, req *Request) error {
 	return req.B.WriteTo(w, params)
 }
 
+// MaxCKKSRequestBytes returns the upper bound of one CmdCKKS* request: the
+// v2 header and rotation count plus two ciphertexts of at most three
+// elements at the top of the chain.
+func MaxCKKSRequestBytes(cparams *ckks.Params) int {
+	ctMax := ckks.ByteSize(3, cparams.MaxLevel(), cparams.N())
+	return 4 + 1 + 1 + 8 + 1 + MaxTenantLen + 4 + 2*ctMax
+}
+
 // ReadRequest deserializes a request in either framing. It reads at most
 // MaxRequestBytes(params) from r; a message claiming more than that fails
-// with an unexpected-EOF error instead of wedging the reader.
+// with an unexpected-EOF error instead of wedging the reader. CKKS commands
+// are rejected as malformed — use ReadRequestCKKS on CKKS-enabled servers.
 func ReadRequest(r io.Reader, params *fv.Params) (*Request, error) {
+	return ReadRequestCKKS(r, params, nil)
+}
+
+// ReadRequestCKKS is ReadRequest plus the CKKS commands, whose ciphertext
+// bodies decode under cparams. A nil cparams refuses those commands (the
+// server cannot even frame the body without the parameter set).
+func ReadRequestCKKS(r io.Reader, params *fv.Params, cparams *ckks.Params) (*Request, error) {
 	limit := MaxRequestBytes(params)
 	if pl := MaxProgramRequestBytes(params); pl > limit {
 		limit = pl
+	}
+	if cparams != nil {
+		if cl := MaxCKKSRequestBytes(cparams); cl > limit {
+			limit = cl
+		}
 	}
 	r = io.LimitReader(r, int64(limit))
 	var magic [4]byte
@@ -322,6 +375,30 @@ func ReadRequest(r io.Reader, params *fv.Params) (*Request, error) {
 			return nil, malformed(ErrMalformedRequest, "reading operand A", err)
 		}
 		return req, nil
+	case CmdCKKSAdd, CmdCKKSMul, CmdCKKSRotate:
+		if req.Ver < ProtoV2 {
+			return nil, fmt.Errorf("%w: %s requires protocol v2", ErrMalformedRequest, cmdName(req.Cmd))
+		}
+		if cparams == nil {
+			return nil, fmt.Errorf("%w: %s on a server without CKKS parameters", ErrMalformedRequest, cmdName(req.Cmd))
+		}
+		if req.Cmd == CmdCKKSRotate {
+			var r4 [4]byte
+			if _, err := io.ReadFull(r, r4[:]); err != nil {
+				return nil, malformed(ErrMalformedRequest, "truncated rotation count", err)
+			}
+			req.R = int32(binary.LittleEndian.Uint32(r4[:]))
+		}
+		var err error
+		if req.CA, err = ckks.ReadCiphertext(r, cparams); err != nil {
+			return nil, malformed(ErrMalformedRequest, "reading CKKS operand A", err)
+		}
+		if req.Cmd != CmdCKKSRotate {
+			if req.CB, err = ckks.ReadCiphertext(r, cparams); err != nil {
+				return nil, malformed(ErrMalformedRequest, "reading CKKS operand B", err)
+			}
+		}
+		return req, nil
 	case CmdAdd, CmdMul:
 	default:
 		return nil, fmt.Errorf("%w: unknown command %d", ErrMalformedRequest, req.Cmd)
@@ -350,6 +427,12 @@ func cmdName(cmd uint8) string {
 		return "info"
 	case CmdProgram:
 		return "program"
+	case CmdCKKSAdd:
+		return "ckks_add"
+	case CmdCKKSMul:
+		return "ckks_mul"
+	case CmdCKKSRotate:
+		return "ckks_rotate"
 	}
 	return fmt.Sprintf("cmd(%d)", cmd)
 }
@@ -363,6 +446,7 @@ type Response struct {
 	Ver          uint8
 	ID           uint64
 	Result       *fv.Ciphertext
+	CKKSResult   *ckks.Ciphertext // result of a CKKS command (Result is nil)
 	ComputeNanos uint64 // simulated co-processor latency
 	Worker       uint32 // which application core / co-processor served it
 }
@@ -406,6 +490,9 @@ func WriteResponse(w io.Writer, params *fv.Params, resp *Response) error {
 	if _, err := w.Write(meta[:]); err != nil {
 		return err
 	}
+	if resp.CKKSResult != nil {
+		return resp.CKKSResult.Write(w)
+	}
 	return resp.Result.WriteTo(w, params)
 }
 
@@ -417,9 +504,41 @@ func ReadResponse(r io.Reader, params *fv.Params) (*Response, error) {
 // ReadResponseV deserializes a response in the given protocol version — the
 // version of the request it answers, which the caller knows.
 func ReadResponseV(r io.Reader, params *fv.Params, ver uint8) (*Response, error) {
+	resp, ok, err := readResponseEnvelope(r, ver)
+	if err != nil || !ok {
+		return resp, err
+	}
+	ct, err := fv.ReadCiphertext(r, params)
+	if err != nil {
+		return nil, malformed(ErrMalformedResponse, "reading result", err)
+	}
+	resp.Result = ct
+	return resp, nil
+}
+
+// ReadCKKSResponseV deserializes the response to a CKKS command: the same
+// envelope, with the result decoding as a CKKS ciphertext under cparams.
+func ReadCKKSResponseV(r io.Reader, cparams *ckks.Params, ver uint8) (*Response, error) {
+	resp, ok, err := readResponseEnvelope(r, ver)
+	if err != nil || !ok {
+		return resp, err
+	}
+	ct, err := ckks.ReadCiphertext(r, cparams)
+	if err != nil {
+		return nil, malformed(ErrMalformedResponse, "reading CKKS result", err)
+	}
+	resp.CKKSResult = ct
+	return resp, nil
+}
+
+// readResponseEnvelope decodes the scheme-independent part of a response —
+// status, request ID, error or timing metadata — up to the result
+// ciphertext. ok reports whether a result body follows (false for error
+// responses, which are complete).
+func readResponseEnvelope(r io.Reader, ver uint8) (*Response, bool, error) {
 	var status [1]byte
 	if _, err := io.ReadFull(r, status[:]); err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	resp := &Response{Ver: ver}
 	switch status[0] {
@@ -428,54 +547,49 @@ func ReadResponseV(r io.Reader, params *fv.Params, ver uint8) (*Response, error)
 		if ver >= ProtoV2 {
 			var id [9]byte
 			if _, err := io.ReadFull(r, id[:]); err != nil {
-				return nil, malformed(ErrMalformedResponse, "truncated error header", err)
+				return nil, false, malformed(ErrMalformedResponse, "truncated error header", err)
 			}
 			resp.ID = binary.LittleEndian.Uint64(id[:8])
 			resp.Code = id[8]
 		}
 		var n [4]byte
 		if _, err := io.ReadFull(r, n[:]); err != nil {
-			return nil, malformed(ErrMalformedResponse, "truncated error length", err)
+			return nil, false, malformed(ErrMalformedResponse, "truncated error length", err)
 		}
 		ln := binary.LittleEndian.Uint32(n[:])
 		if ln > 1<<16 {
-			return nil, fmt.Errorf("%w: implausible error length %d", ErrMalformedResponse, ln)
+			return nil, false, fmt.Errorf("%w: implausible error length %d", ErrMalformedResponse, ln)
 		}
 		if ln == 0 {
 			// An empty message would make the decoded response look like a
 			// success (Err == "" is the discriminator callers use).
-			return nil, fmt.Errorf("%w: empty error message", ErrMalformedResponse)
+			return nil, false, fmt.Errorf("%w: empty error message", ErrMalformedResponse)
 		}
 		msg := make([]byte, ln)
 		if _, err := io.ReadFull(r, msg); err != nil {
-			return nil, malformed(ErrMalformedResponse, "truncated error message", err)
+			return nil, false, malformed(ErrMalformedResponse, "truncated error message", err)
 		}
 		resp.Err = string(msg)
-		return resp, nil
+		return resp, false, nil
 	default:
 		// A corrupted stream must not be mistaken for a success frame — the
 		// bytes after an unknown status would be parsed as a ciphertext.
-		return nil, fmt.Errorf("%w: unknown status byte %d", ErrMalformedResponse, status[0])
+		return nil, false, fmt.Errorf("%w: unknown status byte %d", ErrMalformedResponse, status[0])
 	}
 	if ver >= ProtoV2 {
 		var id [8]byte
 		if _, err := io.ReadFull(r, id[:]); err != nil {
-			return nil, malformed(ErrMalformedResponse, "truncated response ID", err)
+			return nil, false, malformed(ErrMalformedResponse, "truncated response ID", err)
 		}
 		resp.ID = binary.LittleEndian.Uint64(id[:])
 	}
 	var meta [12]byte
 	if _, err := io.ReadFull(r, meta[:]); err != nil {
-		return nil, malformed(ErrMalformedResponse, "truncated timing metadata", err)
+		return nil, false, malformed(ErrMalformedResponse, "truncated timing metadata", err)
 	}
-	ct, err := fv.ReadCiphertext(r, params)
-	if err != nil {
-		return nil, malformed(ErrMalformedResponse, "reading result", err)
-	}
-	resp.Result = ct
 	resp.ComputeNanos = binary.LittleEndian.Uint64(meta[:8])
 	resp.Worker = binary.LittleEndian.Uint32(meta[8:])
-	return resp, nil
+	return resp, true, nil
 }
 
 // ServerInfo is the CmdInfo reply: what the node is and what it speaks. The
@@ -486,6 +600,7 @@ type ServerInfo struct {
 	NodeID      string   `json:"node_id,omitempty"`
 	Workers     int      `json:"workers"`
 	TenantAware bool     `json:"tenant_aware"`
+	CKKS        bool     `json:"ckks,omitempty"` // serves the CmdCKKS* commands
 	Tenants     []string `json:"tenants,omitempty"` // namespaces with registered keys
 }
 

@@ -11,6 +11,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/ckks"
 	"repro/internal/engine"
 	"repro/internal/fv"
 	"repro/internal/hwsim"
@@ -34,8 +35,11 @@ const DefaultReadTimeout = 2 * time.Minute
 // FV cloud deployment — the client never sends secret material.
 type Server struct {
 	Params *fv.Params
-	Engine *engine.Engine
-	Logger *log.Logger
+	// CKKSParams, when non-nil, enables the CmdCKKS* commands (the engine
+	// must be built with the same Config.CKKSParams). Set before Serve.
+	CKKSParams *ckks.Params
+	Engine     *engine.Engine
+	Logger     *log.Logger
 	// ReadTimeout overrides DefaultReadTimeout when positive.
 	ReadTimeout time.Duration
 	// NodeID names this node in CmdInfo replies and cluster membership; set
@@ -211,7 +215,7 @@ func (s *Server) handle(conn net.Conn) {
 			return
 		default:
 		}
-		req, err := ReadRequest(br, s.Params)
+		req, err := ReadRequestCKKS(br, s.Params, s.CKKSParams)
 		if err != nil {
 			return // client closed, stalled past the deadline, or spoke garbage
 		}
@@ -279,6 +283,11 @@ func (s *Server) serveMux(conn net.Conn, br *bufio.Reader, timeout time.Duration
 	var wg sync.WaitGroup
 	defer wg.Wait() // flush in-flight dispatches before the conn closes
 	maxPayload := maxMuxPayload(s.Params)
+	if s.CKKSParams != nil {
+		if cl := MaxCKKSRequestBytes(s.CKKSParams) + 64; cl > maxPayload {
+			maxPayload = cl
+		}
+	}
 
 	for {
 		conn.SetReadDeadline(time.Now().Add(timeout))
@@ -304,7 +313,7 @@ func (s *Server) serveMux(conn net.Conn, br *bufio.Reader, timeout time.Duration
 			s.Logger.Printf("cloud: mux client sent frame type %d", f.Type)
 			return
 		}
-		req, err := ReadRequest(bytes.NewReader(f.Payload), s.Params)
+		req, err := ReadRequestCKKS(bytes.NewReader(f.Payload), s.Params, s.CKKSParams)
 		if err != nil {
 			// The checksum matched, so this is the client's encoder speaking
 			// garbage — deterministic, not retryable.
@@ -350,6 +359,7 @@ func (s *Server) info() *ServerInfo {
 		NodeID:      s.NodeID,
 		Workers:     s.Engine.Workers(),
 		TenantAware: true,
+		CKKS:        s.CKKSParams != nil,
 		Tenants:     s.Engine.Tenants(),
 	}
 }
@@ -370,6 +380,16 @@ func (s *Server) process(req *Request) *Response {
 	case CmdRotate:
 		op.Kind = engine.OpRotate
 		op.G = int(req.G)
+	case CmdCKKSAdd:
+		op.Kind = engine.OpCKKSAdd
+		op.CA, op.CB = req.CA, req.CB
+	case CmdCKKSMul:
+		op.Kind = engine.OpCKKSMul
+		op.CA, op.CB = req.CA, req.CB
+	case CmdCKKSRotate:
+		op.Kind = engine.OpCKKSRotate
+		op.CA = req.CA
+		op.R = int(req.R)
 	default:
 		resp.Err = fmt.Sprintf("unknown command %d", req.Cmd)
 		return resp
@@ -386,6 +406,7 @@ func (s *Server) process(req *Request) *Response {
 	s.Logger.Printf("cloud: cmd %d tenant %q served in %v by worker %d (batch %d, simulated HW %.3f ms)",
 		req.Cmd, req.Tenant, time.Since(start), res.Worker, res.Batch, res.Report.ComputeSeconds()*1e3)
 	resp.Result = res.Ct
+	resp.CKKSResult = res.CCt
 	resp.ComputeNanos = uint64(res.Report.ComputeSeconds() * 1e9)
 	resp.Worker = uint32(res.Worker)
 	return resp

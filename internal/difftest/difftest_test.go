@@ -4,6 +4,7 @@ import (
 	"sync"
 	"testing"
 
+	"repro/internal/ckks"
 	"repro/internal/fv"
 )
 
@@ -91,5 +92,44 @@ func TestDiffAddDeterministic(t *testing.T) {
 	ptB := h.PlaintextFromSeed([]byte("add-b"))
 	if err := h.DiffAdd(ptA, ptB); err != nil {
 		t.Fatal(err)
+	}
+}
+
+var (
+	ckksHarnessOnce sync.Once
+	ckksHarness     *CKKSHarness
+	ckksHarnessErr  error
+)
+
+// getCKKSHarness shares one CKKS harness across the deterministic tests and
+// the fuzz seed corpus, like getHarness does for BFV.
+func getCKKSHarness(t testing.TB) *CKKSHarness {
+	t.Helper()
+	ckksHarnessOnce.Do(func() {
+		ckksHarness, ckksHarnessErr = NewCKKS(ckks.TestConfig(), 42)
+	})
+	if ckksHarnessErr != nil {
+		t.Fatal(ckksHarnessErr)
+	}
+	return ckksHarness
+}
+
+// TestDiffCKKSMulRescaleDeterministic walks MulRescale down the whole chain
+// for a couple of pinned seed pairs: the accelerator must match the
+// software evaluator bit for bit at every level.
+func TestDiffCKKSMulRescaleDeterministic(t *testing.T) {
+	h := getCKKSHarness(t)
+	for _, c := range [][2]string{{"ckks-a-0", "ckks-b-0"}, {"ckks-a-1", "ckks-b-1"}} {
+		ca, err := h.CiphertextFromSeed([]byte(c[0]))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cb, err := h.CiphertextFromSeed([]byte(c[1]))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := h.DiffMulRescale(ca, cb); err != nil {
+			t.Fatalf("%v: %v", c, err)
+		}
 	}
 }

@@ -42,3 +42,22 @@ func FuzzDiffMulRelin(f *testing.F) {
 		}
 	})
 }
+
+func FuzzDiffCKKSMulRescale(f *testing.F) {
+	f.Add([]byte(nil), []byte(nil))
+	f.Add([]byte("x"), []byte("y"))
+	f.Fuzz(func(t *testing.T, sa, sb []byte) {
+		h := getCKKSHarness(t)
+		ca, err := h.CiphertextFromSeed(sa)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cb, err := h.CiphertextFromSeed(sb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := h.DiffMulRescale(ca, cb); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

@@ -20,6 +20,10 @@ func keyOf(op Op) batchKey {
 	if op.Kind == OpRotate {
 		k.g = op.G
 	}
+	if op.Kind == OpCKKSRotate {
+		// Group by rotation count; the worker resolves the Galois element.
+		k.g = op.R
+	}
 	return k
 }
 

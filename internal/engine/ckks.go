@@ -1,0 +1,75 @@
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/ckks"
+	"repro/internal/core"
+)
+
+// ckksWorker is a pool worker's approximate-arithmetic lane: a CKKS chain
+// accelerator for the hardware kinds plus the software evaluator and encoder
+// for plaintext-operand kinds (the co-processor has no plaintext
+// instruction, mirroring how BFV program nodes fall back to software).
+type ckksWorker struct {
+	accel *core.CKKSAccelerator
+	ev    *ckks.Evaluator
+	enc   *ckks.Encoder
+}
+
+// alignLevels drops the fresher operand's spare chain rows so both sit at
+// the more-consumed level — the standard CKKS maintenance step, done
+// server-side so clients can combine ciphertexts from different depths
+// without tracking the chain themselves. DropLevel is exact (no division).
+func (ck *ckksWorker) alignLevels(a, b *ckks.Ciphertext) (*ckks.Ciphertext, *ckks.Ciphertext) {
+	if a.Level() > b.Level() {
+		a = ck.ev.DropLevel(a, b.Level())
+	} else if b.Level() > a.Level() {
+		b = ck.ev.DropLevel(b, a.Level())
+	}
+	return a, b
+}
+
+// execCKKS serves one CKKS operation on w. Add/Mul/Rotate run on the chain
+// co-processor and report its cycles; the plaintext kinds run on the
+// application core (zero co-processor cycles in the report).
+func (e *Engine) execCKKS(w *worker, op Op, rk *ckks.RelinKey, gk *ckks.GaloisKey) (*ckks.Ciphertext, core.Report, error) {
+	ck := w.ckks
+	if ck == nil {
+		return nil, core.Report{}, ErrCKKSUnavailable
+	}
+	p := e.cfg.CKKSParams
+	switch op.Kind {
+	case OpCKKSAdd:
+		a, b := ck.alignLevels(op.CA, op.CB)
+		return ck.accel.Add(a, b)
+	case OpCKKSMul:
+		a, b := ck.alignLevels(op.CA, op.CB)
+		return ck.accel.Mul(a, b, rk)
+	case OpCKKSRotate:
+		return ck.accel.Rotate(op.CA, op.R, gk)
+	case OpCKKSAddPlain:
+		ct := op.CA
+		pt, err := ck.enc.Encode(op.Plain, ct.Level(), ct.Scale)
+		if err != nil {
+			return nil, core.Report{}, fmt.Errorf("engine: encoding add_plain operand: %w", err)
+		}
+		return ck.ev.AddPlain(ct, pt), core.Report{}, nil
+	case OpCKKSMulPlain:
+		ct := op.CA
+		level := ct.Level()
+		if level < 1 {
+			return nil, core.Report{}, fmt.Errorf("engine: mul_plain at level 0 — no level left to rescale into")
+		}
+		// Encode the constant at the scale that lands the rescaled product
+		// exactly on the default scale, whatever the operand's drift — this
+		// is what keeps long plaintext/ciphertext chains addable.
+		scale := p.ScaleUpTo(ct.Scale, level, p.DefaultScale())
+		pt, err := ck.enc.Encode(op.Plain, level, scale)
+		if err != nil {
+			return nil, core.Report{}, fmt.Errorf("engine: encoding mul_plain operand: %w", err)
+		}
+		return ck.ev.Rescale(ck.ev.MulPlain(ct, pt)), core.Report{}, nil
+	}
+	return nil, core.Report{}, fmt.Errorf("engine: unknown ckks op kind %d", uint8(op.Kind))
+}

@@ -36,6 +36,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/ckks"
 	"repro/internal/core"
 	"repro/internal/faults"
 	"repro/internal/fv"
@@ -62,6 +63,10 @@ var (
 	// garbage, so the engine refuses to compute it. Deterministic — retrying
 	// elsewhere fails the same way.
 	ErrNoiseBudget = errors.New("engine: predicted noise budget exhausted")
+	// ErrCKKSUnavailable means a CKKS operation was submitted to an engine
+	// built without Config.CKKSParams. Deterministic — the node does not
+	// serve the scheme.
+	ErrCKKSUnavailable = errors.New("engine: ckks serving not configured")
 )
 
 // OpKind enumerates the homomorphic operations the engine serves.
@@ -71,6 +76,16 @@ const (
 	OpAdd OpKind = iota + 1
 	OpMul
 	OpRotate
+	// CKKS approximate-arithmetic kinds (Config.CKKSParams must be set).
+	// Add/Mul/Rotate run on the chain co-processor; the Plain kinds execute
+	// on the application core's software evaluator (the co-processor has no
+	// plaintext-operand instruction) with the engine encoding the slot
+	// vector at the ciphertext's level.
+	OpCKKSAdd
+	OpCKKSMul
+	OpCKKSRotate
+	OpCKKSAddPlain
+	OpCKKSMulPlain
 )
 
 func (k OpKind) String() string {
@@ -81,9 +96,22 @@ func (k OpKind) String() string {
 		return "mul"
 	case OpRotate:
 		return "rotate"
+	case OpCKKSAdd:
+		return "ckks_add"
+	case OpCKKSMul:
+		return "ckks_mul"
+	case OpCKKSRotate:
+		return "ckks_rotate"
+	case OpCKKSAddPlain:
+		return "ckks_add_plain"
+	case OpCKKSMulPlain:
+		return "ckks_mul_plain"
 	}
 	return fmt.Sprintf("op(%d)", uint8(k))
 }
+
+// isCKKS reports whether k is one of the approximate-arithmetic kinds.
+func isCKKS(k OpKind) bool { return k >= OpCKKSAdd && k <= OpCKKSMulPlain }
 
 // Op is one homomorphic operation on uploaded ciphertexts.
 type Op struct {
@@ -91,6 +119,12 @@ type Op struct {
 	Tenant string // evaluation-key namespace; "" is the default tenant
 	A, B   *fv.Ciphertext
 	G      int // Galois element (OpRotate only)
+	// CKKS operands: CA (and CB for the two-ciphertext kinds), the slot
+	// rotation count R (OpCKKSRotate), and the plaintext slot vector Plain
+	// (OpCKKSAddPlain/OpCKKSMulPlain).
+	CA, CB *ckks.Ciphertext
+	R      int
+	Plain  []float64
 	// BudgetHint is the caller-declared remaining noise budget (bits) of the
 	// operands — the server cannot measure it without the secret key. Zero
 	// means unknown; the noise guardrail (Config.NoiseGuard) only screens
@@ -101,6 +135,7 @@ type Op struct {
 // Result is the outcome of a served operation.
 type Result struct {
 	Ct     *fv.Ciphertext
+	CCt    *ckks.Ciphertext // result of a CKKS kind (Ct is nil)
 	Report core.Report
 	Worker int           // which worker / simulated co-processor served it
 	Batch  int           // how many ops rode in the same batch
@@ -118,6 +153,10 @@ type Config struct {
 	// Params is the FV parameter set every worker's accelerator is built
 	// for. Required.
 	Params *fv.Params
+	// CKKSParams, when non-nil, additionally equips every worker with a CKKS
+	// chain accelerator, enabling the OpCKKS* kinds. Engines built without
+	// it refuse those kinds with ErrCKKSUnavailable.
+	CKKSParams *ckks.Params
 	// Variant selects the lift/scale architecture (default hwsim.VariantHPS).
 	Variant hwsim.Variant
 	// Workers is the number of pool workers, each owning one simulated
@@ -321,7 +360,32 @@ func New(cfg Config) (*Engine, error) {
 		if cfg.Registry != nil {
 			accel.SetMetrics(cfg.Registry)
 		}
-		e.workers = append(e.workers, newWorker(i, accel, cfg.KeyCacheSlots, fv.NewEvaluator(cfg.Params)))
+		w := newWorker(i, accel, cfg.KeyCacheSlots, fv.NewEvaluator(cfg.Params))
+		if cfg.CKKSParams != nil {
+			ca, err := core.NewCKKS(cfg.CKKSParams, 1)
+			if err != nil {
+				return nil, fmt.Errorf("engine: worker %d ckks accelerator: %w", i, err)
+			}
+			if cfg.IntegrityChecks {
+				// Offset into a disjoint seed range from the BFV co-processor
+				// so the two schemes never share check weights either.
+				if err := ca.EnableIntegrity(cfg.IntegritySeed + int64(i)*2027 + 501); err != nil {
+					return nil, fmt.Errorf("engine: worker %d ckks integrity: %w", i, err)
+				}
+			}
+			if cfg.FaultInjector != nil {
+				ca.SetFaultInjector(cfg.FaultInjector)
+			}
+			if cfg.Registry != nil {
+				ca.SetMetrics(cfg.Registry)
+			}
+			w.ckks = &ckksWorker{
+				accel: ca,
+				ev:    ckks.NewEvaluator(cfg.CKKSParams),
+				enc:   ckks.NewEncoder(cfg.CKKSParams),
+			}
+		}
+		e.workers = append(e.workers, w)
 	}
 	e.liveWorkers.Store(int32(len(e.workers)))
 	e.wg.Add(1)
@@ -400,12 +464,27 @@ func (e *Engine) SetGaloisKey(tenant string, gk *fv.GaloisKey) {
 	e.keys.setGalois(tenant, gk)
 }
 
+// SetCKKSRelinKey registers the tenant's CKKS relinearization key (all
+// level bundles; workers stream and cache it like the FV keys).
+func (e *Engine) SetCKKSRelinKey(tenant string, rk *ckks.RelinKey) {
+	e.keys.setCKKSRelin(tenant, rk)
+}
+
+// SetCKKSGaloisKey registers the tenant's CKKS key-switching key for one
+// Galois element.
+func (e *Engine) SetCKKSGaloisKey(tenant string, gk *ckks.GaloisKey) {
+	e.keys.setCKKSGalois(tenant, gk)
+}
+
 // Submit admits one operation and blocks until it completes, expires, or
 // the context is canceled. A full queue fails fast with ErrOverloaded;
 // Submit never blocks on admission.
 func (e *Engine) Submit(ctx context.Context, op Op) (*Result, error) {
 	if err := validate(op); err != nil {
 		return nil, err
+	}
+	if isCKKS(op.Kind) && e.cfg.CKKSParams == nil {
+		return nil, ErrCKKSUnavailable
 	}
 	if err := e.noiseGuard(op); err != nil {
 		return nil, err
@@ -494,6 +573,18 @@ func validate(op Op) error {
 	case OpRotate:
 		if op.A == nil {
 			return fmt.Errorf("engine: rotate needs an operand")
+		}
+	case OpCKKSAdd, OpCKKSMul:
+		if op.CA == nil || op.CB == nil {
+			return fmt.Errorf("engine: %v needs two CKKS operands", op.Kind)
+		}
+	case OpCKKSRotate:
+		if op.CA == nil {
+			return fmt.Errorf("engine: %v needs a CKKS operand", op.Kind)
+		}
+	case OpCKKSAddPlain, OpCKKSMulPlain:
+		if op.CA == nil || len(op.Plain) == 0 {
+			return fmt.Errorf("engine: %v needs a CKKS operand and a plaintext vector", op.Kind)
 		}
 	default:
 		return fmt.Errorf("engine: unknown op kind %d", op.Kind)

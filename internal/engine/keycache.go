@@ -4,6 +4,7 @@ import (
 	"sort"
 	"sync"
 
+	"repro/internal/ckks"
 	"repro/internal/fv"
 )
 
@@ -18,6 +19,10 @@ type keyStore struct {
 type tenantKeys struct {
 	relin  *fv.RelinKey
 	galois map[int]*fv.GaloisKey
+	// The CKKS keys live alongside the FV keys in the same namespace: one
+	// tenant, two schemes.
+	ckksRelin  *ckks.RelinKey
+	ckksGalois map[int]*ckks.GaloisKey
 }
 
 func newKeyStore() *keyStore {
@@ -27,7 +32,10 @@ func newKeyStore() *keyStore {
 func (s *keyStore) tenant(name string) *tenantKeys {
 	t := s.tenants[name]
 	if t == nil {
-		t = &tenantKeys{galois: make(map[int]*fv.GaloisKey)}
+		t = &tenantKeys{
+			galois:     make(map[int]*fv.GaloisKey),
+			ckksGalois: make(map[int]*ckks.GaloisKey),
+		}
 		s.tenants[name] = t
 	}
 	return t
@@ -59,6 +67,36 @@ func (s *keyStore) galois(tenant string, g int) *fv.GaloisKey {
 	defer s.mu.RUnlock()
 	if t := s.tenants[tenant]; t != nil {
 		return t.galois[g]
+	}
+	return nil
+}
+
+func (s *keyStore) setCKKSRelin(tenant string, rk *ckks.RelinKey) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.tenant(tenant).ckksRelin = rk
+}
+
+func (s *keyStore) setCKKSGalois(tenant string, gk *ckks.GaloisKey) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.tenant(tenant).ckksGalois[gk.G] = gk
+}
+
+func (s *keyStore) ckksRelinKey(tenant string) *ckks.RelinKey {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if t := s.tenants[tenant]; t != nil {
+		return t.ckksRelin
+	}
+	return nil
+}
+
+func (s *keyStore) ckksGaloisKey(tenant string, g int) *ckks.GaloisKey {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if t := s.tenants[tenant]; t != nil {
+		return t.ckksGalois[g]
 	}
 	return nil
 }

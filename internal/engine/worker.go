@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/ckks"
 	"repro/internal/core"
 	"repro/internal/fv"
 	"repro/internal/hwsim"
@@ -24,6 +25,9 @@ type worker struct {
 	// relinearization); their cost is still charged in modeled FPGA cycles
 	// so makespans stay comparable.
 	ev *fv.Evaluator
+	// ckks, when non-nil, is the worker's approximate-arithmetic lane
+	// (engine built with Config.CKKSParams).
+	ckks *ckksWorker
 
 	// Accumulated accounting, read concurrently by Stats.
 	ops       atomic.Uint64
@@ -53,6 +57,8 @@ func (e *Engine) runBatch(w *worker, b *batch) {
 	var (
 		rk        *fv.RelinKey
 		gk        *fv.GaloisKey
+		crk       *ckks.RelinKey
+		cgk       *ckks.GaloisKey
 		keyCycles hwsim.Cycles
 		keyHit    bool
 		needsKey  bool
@@ -68,6 +74,19 @@ func (e *Engine) runBatch(w *worker, b *batch) {
 		needsKey = true
 		if gk = e.keys.galois(b.key.tenant, b.key.g); gk == nil {
 			e.failBatch(b, fmt.Errorf("%w: Galois key for element %d, tenant %q", ErrNoKey, b.key.g, b.key.tenant))
+			return
+		}
+	case OpCKKSMul:
+		needsKey = true
+		if crk = e.keys.ckksRelinKey(b.key.tenant); crk == nil {
+			e.failBatch(b, fmt.Errorf("%w: CKKS relinearization key for tenant %q", ErrNoKey, b.key.tenant))
+			return
+		}
+	case OpCKKSRotate:
+		needsKey = true
+		g := e.cfg.CKKSParams.GaloisElementForRotation(b.key.g)
+		if cgk = e.keys.ckksGaloisKey(b.key.tenant, g); cgk == nil {
+			e.failBatch(b, fmt.Errorf("%w: CKKS Galois key for rotation %d (element %d), tenant %q", ErrNoKey, b.key.g, g, b.key.tenant))
 			return
 		}
 	}
@@ -86,10 +105,14 @@ func (e *Engine) runBatch(w *worker, b *batch) {
 			w.keyLoads.Add(1)
 			tc.keyLoads.Add(1)
 			var bytes int
-			if rk != nil {
+			switch {
+			case rk != nil:
 				bytes = core.RelinKeyBytes(e.cfg.Params, rk)
-			} else {
+			case gk != nil:
 				bytes = core.GaloisKeyBytes(e.cfg.Params, gk)
+			default:
+				// CKKS keys: all level bundles stream to the co-processor.
+				bytes = core.CKKSKeyBytes(e.cfg.CKKSParams, e.cfg.CKKSParams.MaxLevel())
 			}
 			keyCycles = w.accel.KeyStreamCycles(bytes)
 			w.simCycles.Add(uint64(keyCycles))
@@ -115,6 +138,7 @@ func (e *Engine) runBatch(w *worker, b *batch) {
 
 		var (
 			ct  *fv.Ciphertext
+			cct *ckks.Ciphertext
 			rep core.Report
 			err error
 		)
@@ -126,6 +150,8 @@ func (e *Engine) runBatch(w *worker, b *batch) {
 			ct, rep, err = w.accel.Mul(r.op.A, r.op.B, rk)
 		case OpRotate:
 			ct, rep, err = w.accel.Rotate(r.op.A, gk)
+		default:
+			cct, rep, err = e.execCKKS(w, r.op, crk, cgk)
 		}
 		e.m.execTime.Observe(time.Since(start))
 		if err != nil {
@@ -161,6 +187,7 @@ func (e *Engine) runBatch(w *worker, b *batch) {
 		tc.simCycles.Add(uint64(rep.ComputeCycles) + uint64(rep.KeyLoadCycles))
 		e.finish(r, &Result{
 			Ct:     ct,
+			CCt:    cct,
 			Report: rep,
 			Worker: w.id,
 			Batch:  len(b.reqs),

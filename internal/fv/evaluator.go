@@ -310,13 +310,12 @@ func (ev *Evaluator) relinearizeInto(parent obs.Scope, ct *Ciphertext, rk *Relin
 		panic(fmt.Sprintf("fv: RelinearizeInto needs a degree-1 destination, got %d elements", len(out.Els)))
 	}
 	ev.count("fv.relin")
-	s := ev.scratch()
+	ksw := ev.switcher()
 	st := parent.Child("decomp")
 	var digits []poly.RNSPoly
 	switch rk.Variant {
 	case HPS:
-		rns.DecomposeRNSPoolInto(p.Pool, p.QBasis, ct.Els[2], s.digits)
-		digits = s.digits
+		digits = ksw.Decompose(ct.Els[2])
 	case Traditional:
 		digits = rns.WordDecompose(p.QBasis, ct.Els[2], rk.LogW, rk.Ell)
 	}
@@ -327,23 +326,18 @@ func (ev *Evaluator) relinearizeInto(parent obs.Scope, ct *Ciphertext, rk *Relin
 
 	// Key-switch sum of products: digit NTTs interleaved with the MACs
 	// against the relin key, as the hardware schedule does — fused per
-	// residue row so each digit row is transformed and consumed while hot.
+	// residue row so each digit row is transformed and consumed while hot
+	// (the shared rlwe kernel; Galois rotation runs the same one).
 	st = parent.Child("sop")
-	t := &s.sop
-	t.tables, t.digits = p.TrQ.Tables, digits
-	t.rlk0, t.rlk1 = rk.Rlk0Hat, rk.Rlk1Hat
-	t.sop0, t.sop1 = s.sop0.Rows, s.sop1.Rows
-	t.raw = rawSOPSafe(p.QMods, len(digits))
-	p.Pool.RunTask(p.N()*len(s.sop0.Rows), len(s.sop0.Rows), t)
+	ksw.SumOfProducts(digits, rk.Rlk0Hat, rk.Rlk1Hat)
 	st.End()
 	st = parent.Child("intt")
-	p.TrQ.Inverse(s.sop0)
-	p.TrQ.Inverse(s.sop1)
+	ksw.InverseSoP()
 	st.End()
 
 	st = parent.Child("combine")
-	ev.ops.AddInto(ct.Els[0], s.sop0, out.Els[0])
-	ev.ops.AddInto(ct.Els[1], s.sop1, out.Els[1])
+	ev.ops.AddInto(ct.Els[0], ksw.Sop0(), out.Els[0])
+	ev.ops.AddInto(ct.Els[1], ksw.Sop1(), out.Els[1])
 	st.End()
 }
 

@@ -4,9 +4,8 @@ import (
 	"fmt"
 
 	"repro/internal/poly"
-	"repro/internal/ring"
+	"repro/internal/rlwe"
 	"repro/internal/rns"
-	"repro/internal/sampler"
 )
 
 // Galois automorphisms σ_g: a(x) ↦ a(x^g) mod (x^n + 1) for odd g, together
@@ -15,22 +14,6 @@ import (
 // the natural extension of the paper's architecture toward the richer
 // SIMD workloads (the underlying SoP datapath is exactly the ReLin one, so
 // the co-processor would execute these with the same instruction mix).
-
-// applyAutomorphismRow computes dst = σ_g(src) for one residue row in
-// coefficient representation: coefficient i moves to position i·g mod 2n,
-// negated when the exponent wraps past n (x^n ≡ -1).
-func applyAutomorphismRow(m ring.Modulus, g int, src, dst poly.Poly) {
-	n := len(src.Coeffs)
-	for i := 0; i < n; i++ {
-		j := (i * g) % (2 * n)
-		v := src.Coeffs[i]
-		if j >= n {
-			j -= n
-			v = m.Neg(v)
-		}
-		dst.Coeffs[j] = v
-	}
-}
 
 // AutomorphRNS computes σ_g over all residue rows of an RNS polynomial in
 // coefficient representation (exported for the hardware scheduler, which
@@ -44,8 +27,8 @@ func applyAutomorphism(g int, src poly.RNSPoly) poly.RNSPoly {
 	out := poly.RNSPoly{Rows: make([]poly.Poly, len(src.Rows))}
 	for i := range src.Rows {
 		out.Rows[i] = poly.NewPoly(src.Rows[i].Mod, src.Rows[i].N())
-		applyAutomorphismRow(src.Rows[i].Mod, g, src.Rows[i], out.Rows[i])
 	}
+	rlwe.AutomorphInto(g, src, out)
 	return out
 }
 
@@ -91,28 +74,9 @@ func (kg *KeyGenerator) GenGaloisKey(sk *SecretKey, g int) *GaloisKey {
 
 	gadgets := rns.GadgetRNS(p.QBasis)
 	gk := &GaloisKey{G: g}
-	for i := 0; i < p.QBasis.K(); i++ {
-		a := sampler.UniformPoly(kg.prng, p.QMods, n)
-		e := kg.gauss.SamplePoly(kg.prng, p.QMods, n)
-		aHat := a.Clone()
-		p.TrQ.Forward(aHat)
-
-		// ks0_i = -(a·s + e) + g_i·σ_g(s).
-		body := poly.NewRNSPoly(p.QMods, n)
-		aHat.MulInto(sk.SHat, body)
-		p.TrQ.Inverse(body)
-		body.AddInto(e, body)
-		body.NegInto(body)
-		for j := range p.QMods {
-			gs := poly.NewPoly(p.QMods[j], n)
-			sGHat.Rows[j].ScalarMulInto(gadgets[i].Rows[j].Coeffs[0], gs)
-			p.TrQ.Tables[j].Inverse(gs.Coeffs)
-			body.Rows[j].AddInto(gs, body.Rows[j])
-		}
-		p.TrQ.Forward(body)
-		gk.Ks0Hat = append(gk.Ks0Hat, body)
-		gk.Ks1Hat = append(gk.Ks1Hat, aHat)
-	}
+	// ks_i = (-(a·s + e) + g_i·σ_g(s), a): the shared gadget construction
+	// with payload σ_g(s).
+	gk.Ks0Hat, gk.Ks1Hat = rlwe.GenGadgetKey(kg.prng, kg.gauss, p.TrQ, p.QMods, n, gadgets, sk.SHat, sGHat)
 	return gk
 }
 
@@ -128,20 +92,14 @@ func (ev *Evaluator) ApplyGalois(ct *Ciphertext, gk *GaloisKey) *Ciphertext {
 	c0 := applyAutomorphism(gk.G, ct.Els[0])
 	c1 := applyAutomorphism(gk.G, ct.Els[1])
 
-	digits := rns.DecomposeRNSPool(p.Pool, p.QBasis, c1)
-	sop0 := poly.NewRNSPoly(p.QMods, p.N())
-	sop1 := poly.NewRNSPoly(p.QMods, p.N())
-	for i := range digits {
-		p.TrQ.Forward(digits[i])
-		digits[i].MulAddInto(gk.Ks0Hat[i], sop0)
-		digits[i].MulAddInto(gk.Ks1Hat[i], sop1)
-	}
-	p.TrQ.Inverse(sop0)
-	p.TrQ.Inverse(sop1)
+	ksw := ev.switcher()
+	digits := ksw.Decompose(c1)
+	ksw.SumOfProducts(digits, gk.Ks0Hat, gk.Ks1Hat)
+	ksw.InverseSoP()
 
 	out := NewCiphertext(p, 2)
-	c0.AddInto(sop0, out.Els[0])
-	out.Els[1] = sop1
+	c0.AddInto(ksw.Sop0(), out.Els[0])
+	copyRNS(ksw.Sop1(), out.Els[1])
 	return out
 }
 

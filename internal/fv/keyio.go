@@ -3,12 +3,10 @@ package fv
 import (
 	"encoding/binary"
 	"encoding/json"
-	"errors"
 	"fmt"
-	"hash"
-	"hash/fnv"
 	"io"
 
+	"repro/internal/keyio"
 	"repro/internal/poly"
 )
 
@@ -25,53 +23,28 @@ import (
 //	      fails with ErrCorruptKey instead of silently yielding a key that
 //	      decrypts garbage (or worse, a relin key that corrupts every Mult).
 //
-// The readers accept both; the V2 writers are what hecli keygen emits. The
-// legacy writers stay byte-identical — their output is pinned by the KAT.
+// The framing and the checksum live in internal/keyio, shared with the CKKS
+// binding; the scheme tag rides in the magic, so a CKKS key file can never
+// parse as a BFV key. This file keeps the BFV-specific header semantics and
+// payload layouts — the bytes written are identical to the pre-extraction
+// format, which the KATs pin.
+//
+// The readers accept both versions; the V2 writers are what hecli keygen
+// emits.
 
 // ErrCorruptKey reports that a v2 key file failed validation: a checksum
 // mismatch, a truncation, or a structurally invalid body. The file must be
-// regenerated or re-fetched; retrying the parse cannot help.
-var ErrCorruptKey = errors.New("fv: corrupt key file")
+// regenerated or re-fetched; retrying the parse cannot help. It is the
+// shared keyio sentinel, so errors.Is works across scheme boundaries.
+var ErrCorruptKey = keyio.ErrCorruptKey
 
 var (
 	fileMagic   = [4]byte{'F', 'V', 'k', '1'}
 	fileMagicV2 = [4]byte{'F', 'V', 'k', '2'}
 )
 
-// corrupt wraps a v2 decode failure as ErrCorruptKey. EOF mid-body is a
-// truncated file, not a clean end.
-func corrupt(err error) error {
-	if errors.Is(err, ErrCorruptKey) {
-		return err
-	}
-	if err == io.EOF {
-		err = io.ErrUnexpectedEOF
-	}
-	return fmt.Errorf("%w: %w", ErrCorruptKey, err)
-}
-
-// hashingWriter tees everything written through it into an FNV state.
-type hashingWriter struct {
-	w io.Writer
-	h hash.Hash64
-}
-
-func (hw *hashingWriter) Write(p []byte) (int, error) {
-	hw.h.Write(p) // hash.Hash never errors
-	return hw.w.Write(p)
-}
-
-// hashingReader accumulates everything read through it into an FNV state.
-type hashingReader struct {
-	r io.Reader
-	h hash.Hash64
-}
-
-func (hr *hashingReader) Read(p []byte) (int, error) {
-	n, err := hr.r.Read(p)
-	hr.h.Write(p[:n])
-	return n, err
-}
+// fvScheme tags BFV key files in the shared container.
+var fvScheme = keyio.Scheme{V1: fileMagic, V2: fileMagicV2}
 
 // WriteParamsHeader writes the legacy magic and the JSON-encoded
 // configuration.
@@ -87,13 +60,7 @@ func writeParamsBody(w io.Writer, params *Params) error {
 	if err != nil {
 		return err
 	}
-	var n [4]byte
-	binary.LittleEndian.PutUint32(n[:], uint32(len(blob)))
-	if _, err := w.Write(n[:]); err != nil {
-		return err
-	}
-	_, err = w.Write(blob)
-	return err
+	return keyio.WriteHeaderBlob(w, blob)
 }
 
 // ReadParamsHeader reads a legacy header and instantiates the parameters.
@@ -105,22 +72,14 @@ func ReadParamsHeader(r io.Reader) (*Params, error) {
 	if magic != fileMagic {
 		return nil, fmt.Errorf("fv: not a key file (magic %q)", magic)
 	}
-	return readParamsBody(r)
+	blob, err := keyio.ReadHeaderBlob(r)
+	if err != nil {
+		return nil, fmt.Errorf("fv: %w", err)
+	}
+	return paramsFromHeader(blob)
 }
 
-func readParamsBody(r io.Reader) (*Params, error) {
-	var n [4]byte
-	if _, err := io.ReadFull(r, n[:]); err != nil {
-		return nil, err
-	}
-	ln := binary.LittleEndian.Uint32(n[:])
-	if ln > 1<<16 {
-		return nil, fmt.Errorf("fv: implausible header length %d", ln)
-	}
-	blob := make([]byte, ln)
-	if _, err := io.ReadFull(r, blob); err != nil {
-		return nil, err
-	}
+func paramsFromHeader(blob []byte) (*Params, error) {
 	var cfg Config
 	if err := json.Unmarshal(blob, &cfg); err != nil {
 		return nil, err
@@ -128,24 +87,14 @@ func readParamsBody(r io.Reader) (*Params, error) {
 	return NewParams(cfg)
 }
 
-// writeChecked writes a v2 file: magic + header + body, all folded into an
-// FNV-64a checksum appended as an 8-byte little-endian trailer (the trailer
-// itself is not hashed).
+// writeChecked writes a v2 file through the shared container: magic +
+// header + body, all folded into the FNV-64a trailer.
 func writeChecked(w io.Writer, params *Params, body func(io.Writer) error) error {
-	hw := &hashingWriter{w: w, h: fnv.New64a()}
-	if _, err := hw.Write(fileMagicV2[:]); err != nil {
+	blob, err := json.Marshal(params.Cfg)
+	if err != nil {
 		return err
 	}
-	if err := writeParamsBody(hw, params); err != nil {
-		return err
-	}
-	if err := body(hw); err != nil {
-		return err
-	}
-	var sum [8]byte
-	binary.LittleEndian.PutUint64(sum[:], hw.h.Sum64())
-	_, err := w.Write(sum[:])
-	return err
+	return keyio.WriteChecked(w, fvScheme, blob, body)
 }
 
 // readKey dispatches on the file magic: FVk1 parses as before (nothing to
@@ -153,39 +102,13 @@ func writeChecked(w io.Writer, params *Params, body func(io.Writer) error) error
 // the trailer. Every v2 failure — including a structurally valid prefix cut
 // short — wraps ErrCorruptKey.
 func readKey(r io.Reader, body func(io.Reader, *Params) error) (*Params, error) {
-	var magic [4]byte
-	if _, err := io.ReadFull(r, magic[:]); err != nil {
+	v, err := keyio.Read(r, fvScheme,
+		func(blob []byte) (any, error) { return paramsFromHeader(blob) },
+		func(r io.Reader, params any) error { return body(r, params.(*Params)) })
+	if err != nil {
 		return nil, err
 	}
-	switch magic {
-	case fileMagic:
-		params, err := readParamsBody(r)
-		if err != nil {
-			return nil, err
-		}
-		return params, body(r, params)
-	case fileMagicV2:
-		hr := &hashingReader{r: r, h: fnv.New64a()}
-		hr.h.Write(magic[:])
-		params, err := readParamsBody(hr)
-		if err != nil {
-			return nil, corrupt(err)
-		}
-		if err := body(hr, params); err != nil {
-			return nil, corrupt(err)
-		}
-		want := hr.h.Sum64()
-		var sum [8]byte
-		if _, err := io.ReadFull(r, sum[:]); err != nil {
-			return nil, corrupt(fmt.Errorf("reading checksum trailer: %w", err))
-		}
-		if got := binary.LittleEndian.Uint64(sum[:]); got != want {
-			return nil, fmt.Errorf("%w: checksum mismatch (file %#x, computed %#x)", ErrCorruptKey, got, want)
-		}
-		return params, nil
-	default:
-		return nil, fmt.Errorf("fv: not a key file (magic %q)", magic)
-	}
+	return v.(*Params), nil
 }
 
 func writeRNSPoly(w io.Writer, params *Params, p poly.RNSPoly) error {

@@ -3,6 +3,7 @@ package fv
 import (
 	"repro/internal/mp"
 	"repro/internal/poly"
+	"repro/internal/rlwe"
 	"repro/internal/rns"
 	"repro/internal/sampler"
 )
@@ -112,30 +113,9 @@ func (kg *KeyGenerator) GenRelinKey(sk *SecretKey, variant LiftScaleVariant, log
 	}
 
 	rk := &RelinKey{Variant: variant, LogW: logW, Ell: ell}
-	for i := 0; i < ell; i++ {
-		a := sampler.UniformPoly(kg.prng, p.QMods, n)
-		e := kg.gauss.SamplePoly(kg.prng, p.QMods, n)
-		aHat := a.Clone()
-		p.TrQ.Forward(aHat)
-
-		// rlk0_i = -(a·s + e) + g_i·s².
-		body := poly.NewRNSPoly(p.QMods, n)
-		aHat.MulInto(sk.SHat, body)
-		p.TrQ.Inverse(body)
-		body.AddInto(e, body)
-		body.NegInto(body)
-		for j := range p.QMods {
-			gs := poly.NewPoly(p.QMods[j], n)
-			// g_i·s² has NTT rows s2Hat scaled by the row constant; bring it
-			// back to coefficients before the addition.
-			s2Hat.Rows[j].ScalarMulInto(gadgets[i].Rows[j].Coeffs[0], gs)
-			p.TrQ.Tables[j].Inverse(gs.Coeffs)
-			body.Rows[j].AddInto(gs, body.Rows[j])
-		}
-		p.TrQ.Forward(body)
-		rk.Rlk0Hat = append(rk.Rlk0Hat, body)
-		rk.Rlk1Hat = append(rk.Rlk1Hat, aHat)
-	}
+	// rlk_i = (-(a·s + e) + g_i·s², a): the shared gadget construction with
+	// payload s².
+	rk.Rlk0Hat, rk.Rlk1Hat = rlwe.GenGadgetKey(kg.prng, kg.gauss, p.TrQ, p.QMods, n, gadgets, sk.SHat, s2Hat)
 	return rk
 }
 

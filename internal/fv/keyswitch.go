@@ -2,8 +2,8 @@ package fv
 
 import (
 	"repro/internal/poly"
+	"repro/internal/rlwe"
 	"repro/internal/rns"
-	"repro/internal/sampler"
 )
 
 // General key switching: re-encrypt a ciphertext from one secret key to
@@ -23,54 +23,35 @@ type SwitchKey struct {
 // component i encrypts g_i·s_from under s_to.
 func (kg *KeyGenerator) GenSwitchKey(skFrom, skTo *SecretKey) *SwitchKey {
 	p := kg.params
-	n := p.N()
 	gadgets := rns.GadgetRNS(p.QBasis)
 	sw := &SwitchKey{}
-	for i := 0; i < p.QBasis.K(); i++ {
-		a := sampler.UniformPoly(kg.prng, p.QMods, n)
-		e := kg.gauss.SamplePoly(kg.prng, p.QMods, n)
-		aHat := a.Clone()
-		p.TrQ.Forward(aHat)
-
-		// ks0_i = -(a·s_to + e) + g_i·s_from.
-		body := poly.NewRNSPoly(p.QMods, n)
-		aHat.MulInto(skTo.SHat, body)
-		p.TrQ.Inverse(body)
-		body.AddInto(e, body)
-		body.NegInto(body)
-		for j := range p.QMods {
-			gs := poly.NewPoly(p.QMods[j], n)
-			skFrom.SHat.Rows[j].ScalarMulInto(gadgets[i].Rows[j].Coeffs[0], gs)
-			p.TrQ.Tables[j].Inverse(gs.Coeffs)
-			body.Rows[j].AddInto(gs, body.Rows[j])
-		}
-		p.TrQ.Forward(body)
-		sw.Ks0Hat = append(sw.Ks0Hat, body)
-		sw.Ks1Hat = append(sw.Ks1Hat, aHat)
-	}
+	sw.Ks0Hat, sw.Ks1Hat = rlwe.GenGadgetKey(kg.prng, kg.gauss, p.TrQ, p.QMods, p.N(), gadgets, skTo.SHat, skFrom.SHat)
 	return sw
 }
 
 // SwitchKey re-encrypts ct (valid under the switch key's source secret) to
 // the destination secret: c0' = c0 + SoP(D(c1), ks0), c1' = SoP(D(c1), ks1).
+// The decompose/SoP datapath is the shared fused relinearization kernel
+// (rlwe.KeySwitcher) with the switch key in place of the relin key.
 func (ev *Evaluator) SwitchKey(ct *Ciphertext, sw *SwitchKey) *Ciphertext {
 	p := ev.params
 	if len(ct.Els) != 2 {
 		panic("fv: SwitchKey expects a degree-1 ciphertext")
 	}
-	digits := rns.DecomposeRNSPool(p.Pool, p.QBasis, ct.Els[1])
-	sop0 := poly.NewRNSPoly(p.QMods, p.N())
-	sop1 := poly.NewRNSPoly(p.QMods, p.N())
-	for i := range digits {
-		p.TrQ.Forward(digits[i])
-		digits[i].MulAddInto(sw.Ks0Hat[i], sop0)
-		digits[i].MulAddInto(sw.Ks1Hat[i], sop1)
-	}
-	p.TrQ.Inverse(sop0)
-	p.TrQ.Inverse(sop1)
+	ksw := ev.switcher()
+	digits := ksw.Decompose(ct.Els[1])
+	ksw.SumOfProducts(digits, sw.Ks0Hat, sw.Ks1Hat)
+	ksw.InverseSoP()
 
 	out := NewCiphertext(p, 2)
-	ct.Els[0].AddInto(sop0, out.Els[0])
-	out.Els[1] = sop1
+	ct.Els[0].AddInto(ksw.Sop0(), out.Els[0])
+	copyRNS(ksw.Sop1(), out.Els[1])
 	return out
+}
+
+// copyRNS copies src's coefficients into dst (same shape).
+func copyRNS(src, dst poly.RNSPoly) {
+	for i := range src.Rows {
+		copy(dst.Rows[i].Coeffs, src.Rows[i].Coeffs)
+	}
 }

@@ -1,6 +1,10 @@
 package fv
 
-import "math"
+import (
+	"math"
+
+	"repro/internal/rlwe"
+)
 
 // Analytic noise model: conservative invariant-noise bounds for each
 // homomorphic operation, in "budget bits" (log2(q/t) minus log2 of the
@@ -98,3 +102,6 @@ func (m *NoiseModel) MaxDepth() int {
 	}
 	return depth
 }
+
+// The model is the BFV binding of the engine's shared budget-guard hook.
+var _ rlwe.BudgetGuard = (*NoiseModel)(nil)

@@ -2,7 +2,7 @@ package fv
 
 import (
 	"repro/internal/poly"
-	"repro/internal/ring"
+	"repro/internal/rlwe"
 )
 
 // evalScratch is the evaluator-owned working set of the Mul pipeline: the
@@ -29,12 +29,12 @@ type evalScratch struct {
 	t0, t1, t2     poly.RNSPoly // tensor accumulators, full basis
 	mid            *Ciphertext  // degree-2 intermediate of MulInto
 
-	digits     []poly.RNSPoly // RNS decomposition digits, q basis
-	sop0, sop1 poly.RNSPoly   // key-switch accumulators, q basis
+	// ksw owns the key-switch scratch (digits, SoP accumulators) and the
+	// fused digit-NTT+MAC kernel, shared with the CKKS binding.
+	ksw *rlwe.KeySwitcher
 
 	nttLift nttLiftTask
 	tensor  tensorTask
-	sop     sopTask
 }
 
 // scratch returns the evaluator's scratch, sizing it on first use.
@@ -53,14 +53,15 @@ func (ev *Evaluator) scratch() *evalScratch {
 	s.t1 = poly.NewRNSPoly(p.AllMods, n)
 	s.t2 = poly.NewRNSPoly(p.AllMods, n)
 	s.mid = NewCiphertext(p, 3)
-	s.digits = make([]poly.RNSPoly, p.Cfg.QCount)
-	for i := range s.digits {
-		s.digits[i] = poly.NewRNSPoly(p.QMods, n)
-	}
-	s.sop0 = poly.NewRNSPoly(p.QMods, n)
-	s.sop1 = poly.NewRNSPoly(p.QMods, n)
+	s.ksw = rlwe.NewKeySwitcher(p.Pool, p.TrQ, p.QBasis, n)
 	s.ready = true
 	return s
+}
+
+// switcher returns the evaluator's shared key-switch core, sizing the
+// scratch on first use.
+func (ev *Evaluator) switcher() *rlwe.KeySwitcher {
+	return ev.scratch().ksw
 }
 
 // nttLiftTask fuses the tail of Lift q→Q with the forward NTT over the full
@@ -97,72 +98,5 @@ func (t *tensorTask) RunIndex(i int) {
 		t.a0[i].Coeffs, t.a1[i].Coeffs, t.b0[i].Coeffs, t.b1[i].Coeffs)
 }
 
-// sopTask fuses the relinearization digit NTTs with the key-switch MACs, one
-// residue row per task: row j forward-transforms every digit's j-th row and
-// immediately accumulates it against both key halves while it is hot in
-// cache. The per-row accumulation order over digits matches the unfused
-// "transform all digits, then MAC" schedule exactly, so results are
-// bit-identical; only the interleaving across rows changes.
-type sopTask struct {
-	tables     []*poly.NTTTable
-	digits     []poly.RNSPoly
-	rlk0, rlk1 []poly.RNSPoly
-	sop0, sop1 []poly.Poly
-	raw        bool // lazy raw accumulation is in range (see rawSOPSafe)
-}
-
-func (t *sopTask) RunIndex(j int) {
-	tab := t.tables[j]
-	m := tab.Mod
-	s0 := t.sop0[j].Coeffs
-	s1 := t.sop1[j].Coeffs
-	if t.raw {
-		// Raw MAC schedule: accumulate the unreduced products of every digit
-		// (one multiply per lane) and Barrett-reduce once at the end — the
-		// same Σ mod q, at roughly half the multiplies of the eager schedule.
-		for i := range t.digits {
-			d := t.digits[i].Rows[j].Coeffs
-			tab.Forward(d)
-			if i == 0 {
-				m.VecMulRawInto(s0, d, t.rlk0[i].Rows[j].Coeffs)
-				m.VecMulRawInto(s1, d, t.rlk1[i].Rows[j].Coeffs)
-			} else {
-				m.VecMulAddRawInto(s0, d, t.rlk0[i].Rows[j].Coeffs)
-				m.VecMulAddRawInto(s1, d, t.rlk1[i].Rows[j].Coeffs)
-			}
-		}
-		m.VecReduceInto(s0, s0)
-		m.VecReduceInto(s1, s1)
-		return
-	}
-	for c := range s0 {
-		s0[c] = 0
-	}
-	for c := range s1 {
-		s1[c] = 0
-	}
-	for i := range t.digits {
-		d := t.digits[i].Rows[j].Coeffs
-		tab.Forward(d)
-		m.VecMulAddInto(s0, d, t.rlk0[i].Rows[j].Coeffs)
-		m.VecMulAddInto(s1, d, t.rlk1[i].Rows[j].Coeffs)
-	}
-}
-
-// rawSOPSafe reports whether k raw digit·key products of residues modulo the
-// widest of mods can be summed in a uint64 without leaving VecReduceInto's
-// input range: k·(maxQ-1)² < 2^63. True for every paper-scale configuration
-// (six 30-bit digits sum below 2^62.6); a wider basis falls back to the
-// eagerly reduced MAC schedule.
-func rawSOPSafe(mods []ring.Modulus, k int) bool {
-	var maxQ uint64
-	for _, m := range mods {
-		if m.Q > maxQ {
-			maxQ = m.Q
-		}
-	}
-	if k <= 0 || maxQ < 2 || maxQ >= 1<<32 {
-		return false
-	}
-	return (maxQ-1)*(maxQ-1) < (uint64(1)<<63)/uint64(k)
-}
+// The fused digit-NTT+SoP kernel and its raw-accumulation range check moved
+// to internal/rlwe (KeySwitcher), where the CKKS binding shares them.

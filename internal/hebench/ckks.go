@@ -1,0 +1,81 @@
+package hebench
+
+import (
+	"time"
+
+	"repro/internal/ckks"
+	"repro/internal/core"
+	"repro/internal/sampler"
+)
+
+// OpCKKSMulRescale names the CKKS multiply smoke benchmark: the fused
+// tensor + relinearize + hybrid-keyswitch + ModDown pipeline (MulInto)
+// followed by the chain Rescale (RescaleInto) at the paper ring degree —
+// the approximate-arithmetic sibling of mul_relin, and like it pinned to
+// zero steady-state allocations by the gate.
+const OpCKKSMulRescale = "ckks_mul_rescale"
+
+// smokeCKKSMulRescale times the steady-state CKKS Mul+Rescale path at
+// n = 2^12 on the RPAU-shaped pool, records its allocs/op for the exact
+// gate, and carries the deterministic simulated cost of the same operation
+// on the chain co-processor (compute plus per-digit key streaming).
+func smokeCKKSMulRescale(cfg SmokeConfig) (BenchResult, error) {
+	ccfg := ckks.TestConfig()
+	ccfg.N = 1 << 12  // paper degree
+	ccfg.PoolSize = 7 // RPAU-shaped, like the BFV paper suite
+	p, err := ckks.NewParams(ccfg)
+	if err != nil {
+		return BenchResult{}, err
+	}
+	prng := sampler.NewPRNG(42)
+	kg := ckks.NewKeyGenerator(p, prng)
+	_, pk, rk := kg.GenKeys()
+	enc := ckks.NewEncoder(p)
+	encr := ckks.NewEncryptor(p, pk, prng)
+	ev := ckks.NewEvaluator(p)
+
+	vals := make([]float64, p.Slots())
+	for i := range vals {
+		vals[i] = float64(i%7)/4.0 - 0.5
+	}
+	L := p.MaxLevel()
+	pt, err := enc.Encode(vals, L, p.DefaultScale())
+	if err != nil {
+		return BenchResult{}, err
+	}
+	ctA, ctB := encr.Encrypt(pt), encr.Encrypt(pt)
+	out := ckks.NewCiphertext(p, 1, L)
+	down := ckks.NewCiphertext(p, 1, L-1)
+	mulRescale := func() {
+		ev.MulInto(ctA, ctB, rk, out)
+		ev.RescaleInto(out, down)
+	}
+	mulRescale() // warm up pool, caches, and scratch
+
+	var samples []float64
+	for s := 0; s < cfg.Count; s++ {
+		start := time.Now()
+		mulRescale()
+		samples = append(samples, float64(time.Since(start).Nanoseconds()))
+	}
+	res := BenchResult{
+		Op:        OpCKKSMulRescale,
+		NsPerOp:   median(samples),
+		PoolWidth: ccfg.PoolSize,
+		Samples:   samples,
+	}
+	allocs := measureAllocs(4, mulRescale)
+	res.AllocsPerOp = &allocs
+
+	// Deterministic simulated cost of the same op on one chain co-processor.
+	accel, err := core.NewCKKS(p, 1)
+	if err != nil {
+		return BenchResult{}, err
+	}
+	_, hwRep, err := accel.Mul(ctA, ctB, rk)
+	if err != nil {
+		return BenchResult{}, err
+	}
+	res.SimCycles = uint64(hwRep.ComputeCycles)
+	return res, nil
+}

@@ -293,6 +293,13 @@ func RunSmoke(cfg SmokeConfig) (*Report, error) {
 		return nil, err
 	}
 	rep.Results = append(rep.Results, mux)
+	// CKKS Mul+Rescale at the paper degree: the approximate-arithmetic
+	// sibling of mul_relin, with the same exact allocs/op gate.
+	cmr, err := smokeCKKSMulRescale(cfg)
+	if err != nil {
+		return nil, err
+	}
+	rep.Results = append(rep.Results, cmr)
 	return rep, nil
 }
 

@@ -81,7 +81,21 @@ type Coprocessor struct {
 	RPAUs  []*RPAU
 	LiftU  *LiftUnit
 	ScaleU *ScaleUnit
+	RescU  *RescaleUnit
 	DMAEng DMA
+
+	// Basis is the CRT basis WordDecomp extracts gadget digits over (the q
+	// part of the row set). The BFV co-processor inherits it from the
+	// Extender's source basis; the CKKS chain co-processor is built with the
+	// level's prefix basis directly.
+	Basis *rns.Basis
+
+	// extendDigits widens WordDecomp's destination to the full row set
+	// (q rows plus the special prime): a gadget digit is a small integer, so
+	// its residue mod p* is one more reduction pass — the digit extension of
+	// the hybrid keyswitch. BFV keys carry no extension row, so the BFV
+	// co-processor leaves this off.
+	extendDigits bool
 
 	// Pool fans the per-prime row loops of Exec across goroutines — the
 	// simulator actually computing the way the hardware does, with every
@@ -126,31 +140,73 @@ func NewCoprocessor(qmods, pmods []ring.Modulus, n int,
 		Pool:   ext.Pool,
 		LiftU:  NewLiftUnit(ext, n, timing),
 		ScaleU: NewScaleUnit(sc, n, timing),
+		Basis:  ext.Src,
 		DMAEng: DMA{Timing: timing},
 		slots:  make([]slot, slotCount),
 		Stats:  &Stats{PerOp: map[Op]*OpStat{}},
 	}
-	// RPAU sharing per Sec. V-A1: RPAU i serves q_i and q_{kq+i}; with
-	// kp = kq+1 the last RPAU serves only the final p prime.
-	numRPAU := kq
-	if kp > numRPAU {
-		numRPAU = kp
+	if err := c.buildRPAUs(qmods, pmods); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// NewCoprocessorChain builds a CKKS chain co-processor for one level of the
+// modulus chain: the q rows are the chain prefix q_0..q_ℓ, the single p row
+// is the keyswitch special prime p*, and basis is the level's gadget
+// (digit) basis. In place of the BFV Lift/Scale engines it carries the
+// Rescale unit, and WordDecomp extends digits onto the p* row — the two
+// dataflow differences between HPS scaling and CKKS rescaling on otherwise
+// identical RPAU hardware.
+func NewCoprocessorChain(qmods []ring.Modulus, pmod ring.Modulus, basis *rns.Basis,
+	n int, pool *poly.Pool, timing Timing, slotCount int) (*Coprocessor, error) {
+
+	kq := len(qmods)
+	if kq == 0 {
+		return nil, fmt.Errorf("hwsim: chain co-processor needs at least one q prime")
+	}
+	pmods := []ring.Modulus{pmod}
+	all := append(append([]ring.Modulus(nil), qmods...), pmod)
+	c := &Coprocessor{
+		Mods: all, KQ: kq, KP: 1, N: n,
+		Variant: VariantHPS, Timing: timing,
+		Pool:         pool,
+		RescU:        NewRescaleUnit(qmods, pmod, n, timing),
+		Basis:        basis,
+		extendDigits: true,
+		DMAEng:       DMA{Timing: timing},
+		slots:        make([]slot, slotCount),
+		Stats:        &Stats{PerOp: map[Op]*OpStat{}},
+	}
+	if err := c.buildRPAUs(qmods, pmods); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// buildRPAUs applies the RPAU sharing of Sec. V-A1: RPAU i serves q_i and
+// p_i; with kp = kq+1 the last RPAU serves only the final p prime (and with
+// kp = 1, the chain shape, RPAU 0 shares the special prime).
+func (c *Coprocessor) buildRPAUs(qmods, pmods []ring.Modulus) error {
+	numRPAU := len(qmods)
+	if len(pmods) > numRPAU {
+		numRPAU = len(pmods)
 	}
 	for i := 0; i < numRPAU; i++ {
 		var served []ring.Modulus
-		if i < kq {
+		if i < len(qmods) {
 			served = append(served, qmods[i])
 		}
-		if i < kp {
+		if i < len(pmods) {
 			served = append(served, pmods[i])
 		}
-		r, err := NewRPAU(i, n, served, timing)
+		r, err := NewRPAU(i, c.N, served, c.Timing)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		c.RPAUs = append(c.RPAUs, r)
 	}
-	return c, nil
+	return nil
 }
 
 // NumRPAUs returns the RPAU count (⌈13/2⌉ = 7 for the paper set).
@@ -421,7 +477,6 @@ func (c *Coprocessor) execOp(in Instr) (Cycles, error) {
 		if s.domain[i] != domCoeff {
 			return 0, fmt.Errorf("hwsim: Decomp needs coefficient-domain input")
 		}
-		qb := c.LiftU.Ext.Src
 		src := c.row(s, i)
 		sd := c.slotAt(in.Dst)
 		c.ensureRows(sd)
@@ -429,20 +484,30 @@ func (c *Coprocessor) execOp(in Instr) (Cycles, error) {
 		// The scalar product d = x·q̃_i mod q_i is row-invariant: compute the
 		// digit stream once (the hardware's single scalar multiplier at the
 		// rearrangement port), then each RPAU reduces it into its own row.
+		// On the chain co-processor the sweep extends onto the p* row — the
+		// digit is a small integer, so its residue mod p* is just one more
+		// reduction pass through the same datapath.
+		hi := c.KQ
+		if c.extendDigits {
+			hi = c.KQ + c.KP
+		}
 		digit := make([]uint64, c.N)
-		qTilde := qb.QTilde[i]
+		qTilde := c.Basis.QTilde[i]
 		qTildeShoup := m.ShoupPrecomp(qTilde)
 		m.VecScalarMulShoupInto(digit, src.Coeffs, qTilde, qTildeShoup)
-		for j := 0; j < c.KQ; j++ {
+		for j := 0; j < hi; j++ {
 			c.row(sd, j)
 			sd.domain[j] = domCoeff
 		}
-		c.Pool.Run(c.N*c.KQ, c.KQ, func(j int) {
+		c.Pool.Run(c.N*hi, hi, func(j int) {
 			c.Mods[j].VecReduceInto(sd.rows[j].Coeffs, digit)
 		})
 		cyc = c.rpauFor(i).Rearrange()
 
 	case OpLift:
+		if c.LiftU == nil {
+			return 0, fmt.Errorf("hwsim: Lift is not implemented on the chain co-processor")
+		}
 		s := c.slotAt(in.A)
 		c.ensureRows(s)
 		qRows := make([]poly.Poly, c.KQ)
@@ -460,6 +525,9 @@ func (c *Coprocessor) execOp(in Instr) (Cycles, error) {
 		cyc = liftCycles
 
 	case OpScale:
+		if c.ScaleU == nil {
+			return 0, fmt.Errorf("hwsim: Scale is not implemented on the chain co-processor")
+		}
 		s := c.slotAt(in.A)
 		c.ensureRows(s)
 		all := make([]poly.Poly, c.KQ+c.KP)
@@ -477,6 +545,38 @@ func (c *Coprocessor) execOp(in Instr) (Cycles, error) {
 			sd.domain[j] = domCoeff
 		}
 		cyc = scaleCycles
+
+	case OpRescale:
+		if c.RescU == nil {
+			return 0, fmt.Errorf("hwsim: Rescale needs the chain co-processor")
+		}
+		// Batch Q divides by the top chain prime (rows 0..KQ → 0..KQ-1);
+		// batch P divides the extended row set by the special prime
+		// (rows 0..KQ+KP → 0..KQ) — the keyswitch ModDown.
+		hi := c.KQ
+		if in.Batch == BatchP {
+			hi = c.KQ + c.KP
+		}
+		if hi < 2 {
+			return 0, fmt.Errorf("hwsim: Rescale at the bottom of the chain")
+		}
+		s := c.slotAt(in.A)
+		c.ensureRows(s)
+		in_ := make([]poly.Poly, hi)
+		for j := 0; j < hi; j++ {
+			if s.domain[j] != domCoeff {
+				return 0, fmt.Errorf("hwsim: Rescale needs coefficient-domain input (slot %d row %d)", in.A, j)
+			}
+			in_[j] = c.row(s, j)
+		}
+		sd := c.slotAt(in.Dst)
+		c.ensureRows(sd)
+		out := make([]poly.Poly, hi-1)
+		for j := 0; j < hi-1; j++ {
+			out[j] = c.row(sd, j)
+			sd.domain[j] = domCoeff
+		}
+		cyc = c.RescU.Rescale(c.Pool, poly.RNSPoly{Rows: in_}, poly.RNSPoly{Rows: out}, in.Batch)
 
 	default:
 		return 0, fmt.Errorf("hwsim: unknown opcode %v", in.Op)

@@ -198,11 +198,21 @@ func (c *Coprocessor) instrAccessRows(in Instr) (reads, writes []rowRef) {
 	case OpRearr:
 		return span(in.A, lo, hi), nil
 	case OpDecomp:
-		return span(in.A, int(in.B), int(in.B)+1), span(in.Dst, 0, c.KQ)
+		wHi := c.KQ
+		if c.extendDigits {
+			wHi = c.KQ + c.KP
+		}
+		return span(in.A, int(in.B), int(in.B)+1), span(in.Dst, 0, wHi)
 	case OpLift:
 		return span(in.A, 0, c.KQ), span(in.A, c.KQ, c.KQ+c.KP)
 	case OpScale:
 		return span(in.A, 0, c.KQ+c.KP), span(in.Dst, 0, c.KQ)
+	case OpRescale:
+		rHi := c.KQ
+		if in.Batch == BatchP {
+			rHi = c.KQ + c.KP
+		}
+		return span(in.A, 0, rHi), span(in.Dst, 0, rHi-1)
 	}
 	return nil, nil
 }

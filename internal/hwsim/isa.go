@@ -20,6 +20,9 @@ const (
 	OpLift       // Lift q→Q, in place:             slot A gains its p rows
 	OpScale      // Scale Q→q:                      Dst(q rows) = scale(A)
 	OpDecomp     // relin digit extract:            Dst = digit B of slot A
+	OpRescale    // CKKS modulus switch: Dst = ⌊A/q_top⌉ dropping the top row
+	//              of the selected batch — [Q] divides by the top chain
+	//              prime (Rescale), [P] by the special prime (ModDown).
 	opSentinel
 )
 
@@ -33,7 +36,8 @@ var opNames = map[Op]string{
 	OpRearr:  "Memory Rearrange",
 	OpLift:   "Lift q->Q",
 	OpScale:  "Scale Q->q",
-	OpDecomp: "WordDecomp",
+	OpDecomp:  "WordDecomp",
+	OpRescale: "Rescale",
 }
 
 func (o Op) String() string {
@@ -54,7 +58,8 @@ var opMnemonics = map[Op]string{
 	OpRearr:  "rearr",
 	OpLift:   "lift",
 	OpScale:  "scale",
-	OpDecomp: "wdec",
+	OpDecomp:  "wdec",
+	OpRescale: "resc",
 }
 
 // Disasm renders the instruction in assembly form, e.g.
@@ -75,6 +80,8 @@ func (i Instr) Disasm() string {
 		return fmt.Sprintf("%-5s s%d", mn, i.A)
 	case OpScale:
 		return fmt.Sprintf("%-5s s%d, s%d", mn, i.Dst, i.A)
+	case OpRescale:
+		return fmt.Sprintf("%-5s s%d, s%d [%s]", mn, i.Dst, i.A, batch)
 	case OpDecomp:
 		return fmt.Sprintf("%-5s s%d, s%d, #%d", mn, i.Dst, i.A, i.B)
 	default:
@@ -101,7 +108,7 @@ func ValidateProgram(p *Program, memSlots int) error {
 			switch in.Op {
 			case OpNTT, OpINTT, OpRearr, OpLift:
 				used = []uint8{in.A}
-			case OpScale, OpDecomp: // Decomp's B is a digit index, not a slot
+			case OpScale, OpDecomp, OpRescale: // Decomp's B is a digit index, not a slot
 				used = []uint8{in.Dst, in.A}
 			default:
 				used = []uint8{in.Dst, in.A, in.B}

@@ -1,0 +1,66 @@
+package hwsim
+
+import (
+	"repro/internal/poly"
+	"repro/internal/ring"
+	"repro/internal/rns"
+)
+
+// RescaleUnit is the CKKS modulus-switch engine of the chain co-processor:
+// divide a polynomial by one prime of its row set with rounding, dropping
+// that residue row. The same unit serves both flavors the scheme needs —
+// Rescale (divide by the top chain prime after a multiply, batch Q) and
+// ModDown (divide the keyswitch sum-of-products by the special prime p*,
+// batch P). Functionally it runs the exact rns.Rescaler kernel the software
+// evaluator uses, so hardware/software parity on Rescale holds by
+// construction.
+//
+// Cycle model: the unit is a coefficient-wise datapath fed by the same
+// paired dual-block memory interface as the RPAU arithmetic ops. Each output
+// coefficient needs the centered top residue r' (one subtract/compare lane)
+// and one Shoup multiply-accumulate lane; the two lanes cannot fuse because
+// r' serves every output row, so the polynomial streams through twice:
+//
+//	cycles ≈ 2·(N/2 + ButterflyPipelineDepth)
+//
+// with the per-row work running on the RPAUs in parallel (one unit's
+// latency), like every other coefficient-wise instruction.
+type RescaleUnit struct {
+	// RescQ divides by the top chain prime (serves every chain prefix: the
+	// top index is inferred from the input's row count). RescP divides by
+	// the special prime over the extended keyswitch rows.
+	RescQ  *rns.Rescaler
+	RescP  *rns.Rescaler
+	Timing Timing
+	N      int
+}
+
+// NewRescaleUnit builds the unit over the chain primes and the special
+// prime.
+func NewRescaleUnit(qmods []ring.Modulus, pmod ring.Modulus, n int, timing Timing) *RescaleUnit {
+	ks := append(append([]ring.Modulus{}, qmods...), pmod)
+	return &RescaleUnit{
+		RescQ:  rns.NewRescaler(qmods),
+		RescP:  rns.NewRescaler(ks),
+		Timing: timing,
+		N:      n,
+	}
+}
+
+// UnitCycles is the latency of one full-polynomial rescale: two streaming
+// passes through the coefficient-wise datapath.
+func (u *RescaleUnit) UnitCycles() Cycles {
+	return Cycles(2 * (u.N/2 + u.Timing.ButterflyPipelineDepth))
+}
+
+// Rescale divides x (coefficient domain) by its top row's prime into out
+// (one row fewer) and returns the cycles consumed. Batch Q selects the
+// chain rescaler, batch P the special-prime (ModDown) rescaler.
+func (u *RescaleUnit) Rescale(pool *poly.Pool, x, out poly.RNSPoly, b Batch) Cycles {
+	r := u.RescQ
+	if b == BatchP {
+		r = u.RescP
+	}
+	r.RescaleInto(pool, x, out)
+	return u.UnitCycles()
+}

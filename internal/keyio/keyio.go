@@ -1,0 +1,196 @@
+// Package keyio is the scheme-tagged key-file container shared by the
+// scheme bindings (internal/fv, internal/ckks). A key file is
+//
+//	magic (4 bytes) · header length (4 bytes LE) · header blob · payload
+//
+// in its legacy (v1) form, and the same layout plus an FNV-64a checksum
+// trailer over everything from the magic through the payload in its
+// checksummed (v2) form. The magic carries the scheme tag ("FVk1"/"FVk2"
+// for BFV, "CKk1"/"CKk2" for CKKS), so a CKKS key can never parse as a BFV
+// key: the magic is the first thing a reader dispatches on.
+//
+// The container owns the framing and the integrity check; the scheme owns
+// the header semantics (its serialized Config) and the payload layout. The
+// split keeps the v1/v2 BFV files byte-compatible — fv writes the same
+// bytes through keyio that it wrote before the extraction, which its KATs
+// pin — while giving every scheme the same ErrCorruptKey hardening for
+// free.
+package keyio
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash"
+	"hash/fnv"
+	"io"
+)
+
+// ErrCorruptKey reports that a checksummed key file failed validation: a
+// checksum mismatch, a truncation, or a structurally invalid body. The file
+// must be regenerated or re-fetched; retrying the parse cannot help.
+var ErrCorruptKey = errors.New("keyio: corrupt key file")
+
+// ErrBadMagic reports that the stream does not start with either of the
+// scheme's magics — it is not a key file of this scheme at all.
+var ErrBadMagic = errors.New("keyio: not a key file")
+
+// Scheme names the two magics of one scheme's key files: V1 is the legacy
+// unchecksummed framing, V2 appends the checksum trailer.
+type Scheme struct {
+	V1, V2 [4]byte
+}
+
+// maxHeaderBytes bounds the length-prefixed header blob; a frame claiming
+// more is corrupt (or not a key file).
+const maxHeaderBytes = 1 << 16
+
+// Corrupt wraps a v2 decode failure as ErrCorruptKey. EOF mid-body is a
+// truncated file, not a clean end.
+func Corrupt(err error) error {
+	if errors.Is(err, ErrCorruptKey) {
+		return err
+	}
+	if err == io.EOF {
+		err = io.ErrUnexpectedEOF
+	}
+	return fmt.Errorf("%w: %w", ErrCorruptKey, err)
+}
+
+// hashingWriter tees everything written through it into an FNV state.
+type hashingWriter struct {
+	w io.Writer
+	h hash.Hash64
+}
+
+func (hw *hashingWriter) Write(p []byte) (int, error) {
+	hw.h.Write(p) // hash.Hash never errors
+	return hw.w.Write(p)
+}
+
+// hashingReader accumulates everything read through it into an FNV state.
+type hashingReader struct {
+	r io.Reader
+	h hash.Hash64
+}
+
+func (hr *hashingReader) Read(p []byte) (int, error) {
+	n, err := hr.r.Read(p)
+	hr.h.Write(p[:n])
+	return n, err
+}
+
+// WriteHeaderBlob writes the 4-byte little-endian length prefix and the
+// header blob itself (the scheme's serialized Config).
+func WriteHeaderBlob(w io.Writer, blob []byte) error {
+	if len(blob) > maxHeaderBytes {
+		return fmt.Errorf("keyio: header blob of %d bytes exceeds %d", len(blob), maxHeaderBytes)
+	}
+	var n [4]byte
+	binary.LittleEndian.PutUint32(n[:], uint32(len(blob)))
+	if _, err := w.Write(n[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(blob)
+	return err
+}
+
+// ReadHeaderBlob reads a length-prefixed header blob.
+func ReadHeaderBlob(r io.Reader) ([]byte, error) {
+	var n [4]byte
+	if _, err := io.ReadFull(r, n[:]); err != nil {
+		return nil, err
+	}
+	ln := binary.LittleEndian.Uint32(n[:])
+	if ln > maxHeaderBytes {
+		return nil, fmt.Errorf("implausible header length %d", ln)
+	}
+	blob := make([]byte, ln)
+	if _, err := io.ReadFull(r, blob); err != nil {
+		return nil, err
+	}
+	return blob, nil
+}
+
+// WriteLegacy writes a v1 file: magic, header blob, payload. No integrity
+// protection — kept only for byte-compatibility with pre-v2 BFV files.
+func WriteLegacy(w io.Writer, s Scheme, header []byte, payload func(io.Writer) error) error {
+	if _, err := w.Write(s.V1[:]); err != nil {
+		return err
+	}
+	if err := WriteHeaderBlob(w, header); err != nil {
+		return err
+	}
+	return payload(w)
+}
+
+// WriteChecked writes a v2 file: magic + header + payload, all folded into
+// an FNV-64a checksum appended as an 8-byte little-endian trailer (the
+// trailer itself is not hashed).
+func WriteChecked(w io.Writer, s Scheme, header []byte, payload func(io.Writer) error) error {
+	hw := &hashingWriter{w: w, h: fnv.New64a()}
+	if _, err := hw.Write(s.V2[:]); err != nil {
+		return err
+	}
+	if err := WriteHeaderBlob(hw, header); err != nil {
+		return err
+	}
+	if err := payload(hw); err != nil {
+		return err
+	}
+	var sum [8]byte
+	binary.LittleEndian.PutUint64(sum[:], hw.h.Sum64())
+	_, err := w.Write(sum[:])
+	return err
+}
+
+// Read dispatches on the file magic: V1 parses as before (nothing to
+// verify), V2 re-computes the checksum while parsing and compares it to the
+// trailer. header parses the scheme's header blob into its parameter
+// object; payload consumes the body under those parameters. Every v2
+// failure — including a structurally valid prefix cut short — wraps
+// ErrCorruptKey; a stream that starts with neither magic fails with
+// ErrBadMagic.
+func Read(r io.Reader, s Scheme, header func([]byte) (any, error), payload func(io.Reader, any) error) (any, error) {
+	var magic [4]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
+		return nil, err
+	}
+	switch magic {
+	case s.V1:
+		blob, err := ReadHeaderBlob(r)
+		if err != nil {
+			return nil, err
+		}
+		params, err := header(blob)
+		if err != nil {
+			return nil, err
+		}
+		return params, payload(r, params)
+	case s.V2:
+		hr := &hashingReader{r: r, h: fnv.New64a()}
+		hr.h.Write(magic[:])
+		blob, err := ReadHeaderBlob(hr)
+		if err != nil {
+			return nil, Corrupt(err)
+		}
+		params, err := header(blob)
+		if err != nil {
+			return nil, Corrupt(err)
+		}
+		if err := payload(hr, params); err != nil {
+			return nil, Corrupt(err)
+		}
+		want := hr.h.Sum64()
+		var sum [8]byte
+		if _, err := io.ReadFull(r, sum[:]); err != nil {
+			return nil, Corrupt(fmt.Errorf("reading checksum trailer: %w", err))
+		}
+		if got := binary.LittleEndian.Uint64(sum[:]); got != want {
+			return nil, fmt.Errorf("%w: checksum mismatch (file %#x, computed %#x)", ErrCorruptKey, got, want)
+		}
+		return params, nil
+	default:
+		return nil, fmt.Errorf("%w (magic %q)", ErrBadMagic, magic[:])
+	}
+}

@@ -1,0 +1,163 @@
+package keyio
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+var testScheme = Scheme{
+	V1: [4]byte{'T', 'S', 'k', '1'},
+	V2: [4]byte{'T', 'S', 'k', '2'},
+}
+
+// otherScheme shares the container layout but not the magics: its files must
+// never parse under testScheme.
+var otherScheme = Scheme{
+	V1: [4]byte{'X', 'X', 'k', '1'},
+	V2: [4]byte{'X', 'X', 'k', '2'},
+}
+
+func writeTestFile(t *testing.T, checked bool, header, payload []byte) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	write := WriteLegacy
+	if checked {
+		write = WriteChecked
+	}
+	err := write(&buf, testScheme, header, func(w io.Writer) error {
+		_, err := w.Write(payload)
+		return err
+	})
+	if err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// readTestFile reads a legacy file, draining the rest of the stream as the
+// payload. Checked files need readFixed: their payload callback must stop
+// before the trailer.
+func readTestFile(data []byte, s Scheme) (hdr, body []byte, err error) {
+	v, err := Read(bytes.NewReader(data), s,
+		func(blob []byte) (any, error) { return blob, nil },
+		func(r io.Reader, _ any) error {
+			body, err = io.ReadAll(r)
+			return err
+		})
+	if err != nil {
+		return nil, nil, err
+	}
+	return v.([]byte), body, nil
+}
+
+// readFixed reads files whose payload length is known (the realistic case:
+// schemes always know their payload shape from the header).
+func readFixed(data []byte, s Scheme, payloadLen int) (hdr, body []byte, err error) {
+	v, err := Read(bytes.NewReader(data), s,
+		func(blob []byte) (any, error) { return blob, nil },
+		func(r io.Reader, _ any) error {
+			body = make([]byte, payloadLen)
+			_, err := io.ReadFull(r, body)
+			return err
+		})
+	if err != nil {
+		return nil, nil, err
+	}
+	return v.([]byte), body, nil
+}
+
+func TestRoundTripLegacy(t *testing.T) {
+	header := []byte(`{"n":256}`)
+	payload := []byte("payload-bytes")
+	data := writeTestFile(t, false, header, payload)
+	hdr, body, err := readTestFile(data, testScheme)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if !bytes.Equal(hdr, header) || !bytes.Equal(body, payload) {
+		t.Fatalf("round trip mismatch: header %q body %q", hdr, body)
+	}
+}
+
+func TestRoundTripChecked(t *testing.T) {
+	header := []byte(`{"n":256}`)
+	payload := []byte("payload-bytes")
+	data := writeTestFile(t, true, header, payload)
+	hdr, body, err := readFixed(data, testScheme, len(payload))
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if !bytes.Equal(hdr, header) || !bytes.Equal(body, payload) {
+		t.Fatalf("round trip mismatch: header %q body %q", hdr, body)
+	}
+}
+
+// Every single-byte flip past the magic must fail the v2 checksum; nothing
+// may load as a (wrong) file.
+func TestCheckedBitFlip(t *testing.T) {
+	payload := []byte("payload-bytes")
+	data := writeTestFile(t, true, []byte(`{"n":1}`), payload)
+	for off := 4; off < len(data); off++ {
+		bad := append([]byte(nil), data...)
+		bad[off] ^= 0x40
+		_, _, err := readFixed(bad, testScheme, len(payload))
+		if err == nil {
+			t.Fatalf("flip at offset %d: loaded successfully", off)
+		}
+		if !errors.Is(err, ErrCorruptKey) {
+			t.Fatalf("flip at offset %d: got %v, want ErrCorruptKey", off, err)
+		}
+	}
+}
+
+// Every truncation of a v2 file must fail with ErrCorruptKey (short magic
+// excepted: that is not yet identifiable as a v2 file).
+func TestCheckedTruncation(t *testing.T) {
+	payload := []byte("payload-bytes")
+	data := writeTestFile(t, true, []byte(`{"n":1}`), payload)
+	for ln := 4; ln < len(data); ln++ {
+		_, _, err := readFixed(data[:ln], testScheme, len(payload))
+		if err == nil {
+			t.Fatalf("truncation to %d bytes: loaded successfully", ln)
+		}
+		if !errors.Is(err, ErrCorruptKey) {
+			t.Fatalf("truncation to %d bytes: got %v, want ErrCorruptKey", ln, err)
+		}
+	}
+}
+
+// A v1 file silently tolerates damage (that is why v2 exists), but a file of
+// a different scheme — same container, different magic — must be rejected up
+// front in both versions.
+func TestSchemeTagRejected(t *testing.T) {
+	for _, checked := range []bool{false, true} {
+		var buf bytes.Buffer
+		write := WriteLegacy
+		if checked {
+			write = WriteChecked
+		}
+		if err := write(&buf, otherScheme, []byte(`{}`), func(w io.Writer) error {
+			_, err := w.Write([]byte("body"))
+			return err
+		}); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+		_, _, err := readTestFile(buf.Bytes(), testScheme)
+		if !errors.Is(err, ErrBadMagic) {
+			t.Fatalf("checked=%v: got %v, want ErrBadMagic", checked, err)
+		}
+	}
+}
+
+func TestHeaderBlobBound(t *testing.T) {
+	if err := WriteHeaderBlob(io.Discard, make([]byte, maxHeaderBytes+1)); err == nil {
+		t.Fatal("oversized header blob accepted on write")
+	}
+	var frame bytes.Buffer
+	frame.Write([]byte{0xff, 0xff, 0xff, 0xff})
+	if _, err := ReadHeaderBlob(&frame); err == nil {
+		t.Fatal("implausible header length accepted on read")
+	}
+}

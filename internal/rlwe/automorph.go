@@ -1,0 +1,35 @@
+package rlwe
+
+import (
+	"repro/internal/poly"
+	"repro/internal/ring"
+)
+
+// Galois automorphisms σ_g: a(x) ↦ a(x^g) mod (x^n + 1) for odd g. Both
+// scheme bindings implement slot rotation as an automorphism followed by the
+// gadget key switch; the index permutation is scheme-independent and lives
+// here.
+
+// AutomorphRowInto computes dst = σ_g(src) for one residue row in
+// coefficient representation: coefficient i moves to position i·g mod 2n,
+// negated when the exponent wraps past n (x^n ≡ -1). dst must not alias src.
+func AutomorphRowInto(m ring.Modulus, g int, src, dst poly.Poly) {
+	n := len(src.Coeffs)
+	for i := 0; i < n; i++ {
+		j := (i * g) % (2 * n)
+		v := src.Coeffs[i]
+		if j >= n {
+			j -= n
+			v = m.Neg(v)
+		}
+		dst.Coeffs[j] = v
+	}
+}
+
+// AutomorphInto computes σ_g over all residue rows (coefficient domain).
+// dst must not alias src.
+func AutomorphInto(g int, src, dst poly.RNSPoly) {
+	for i := range src.Rows {
+		AutomorphRowInto(src.Rows[i].Mod, g, src.Rows[i], dst.Rows[i])
+	}
+}

@@ -1,0 +1,56 @@
+// Package rlwe holds the scheme-independent RLWE machinery shared by the
+// scheme bindings (internal/fv, internal/ckks): the gadget key-switching key
+// construction, the fused decompose/sum-of-products datapath that both
+// relinearization and Galois rotation execute, and the budget-guard hook the
+// serving engine screens operations through. BFV and CKKS differ in how they
+// encode messages and manage error growth; the keyswitch core they run on
+// the accelerator is the same instruction mix, which is why it lives here
+// once.
+package rlwe
+
+import (
+	"repro/internal/poly"
+	"repro/internal/ring"
+	"repro/internal/sampler"
+)
+
+// GenGadgetKey derives one gadget key-switching key: component i encrypts
+// g_i·payload under the secret sHat, where the g_i are the per-digit scalar
+// rows of the decomposition gadget (RNS gadget q*_i for the fast
+// architecture, positional w^i for the traditional one). Relinearization
+// (payload = s²), Galois switching (payload = σ_g(s)) and general key
+// switching (payload = s_from) are the same construction with a different
+// payload.
+//
+// All polynomials are over mods in the NTT domain; the sampling order (a
+// uniform, then e Gaussian, per digit) is part of the key-file contract —
+// seeded PRNGs must reproduce existing keys bit-for-bit.
+func GenGadgetKey(prng *sampler.PRNG, gauss *sampler.Gaussian, tr *poly.Transformer,
+	mods []ring.Modulus, n int, gadgets []poly.RNSPoly, sHat, payloadHat poly.RNSPoly,
+) (ks0Hat, ks1Hat []poly.RNSPoly) {
+	for i := range gadgets {
+		a := sampler.UniformPoly(prng, mods, n)
+		e := gauss.SamplePoly(prng, mods, n)
+		aHat := a.Clone()
+		tr.Forward(aHat)
+
+		// ks0_i = -(a·s + e) + g_i·payload.
+		body := poly.NewRNSPoly(mods, n)
+		aHat.MulInto(sHat, body)
+		tr.Inverse(body)
+		body.AddInto(e, body)
+		body.NegInto(body)
+		for j := range mods {
+			gs := poly.NewPoly(mods[j], n)
+			// g_i·payload has NTT rows payloadHat scaled by the row constant;
+			// bring it back to coefficients before the addition.
+			payloadHat.Rows[j].ScalarMulInto(gadgets[i].Rows[j].Coeffs[0], gs)
+			tr.Tables[j].Inverse(gs.Coeffs)
+			body.Rows[j].AddInto(gs, body.Rows[j])
+		}
+		tr.Forward(body)
+		ks0Hat = append(ks0Hat, body)
+		ks1Hat = append(ks1Hat, aHat)
+	}
+	return ks0Hat, ks1Hat
+}

@@ -1,0 +1,23 @@
+package rlwe
+
+// BudgetGuard is the admission-control hook the serving engine screens
+// hinted operations through, shared by the scheme bindings. The budget is a
+// scalar in bits whose meaning is scheme-specific — remaining noise budget
+// for BFV (decryption fails when it reaches zero), remaining significand
+// precision for CKKS (results degrade below the application's error bound) —
+// but the engine's decision is the same: predict the budget after the
+// requested operation and refuse up front if it would cross the floor,
+// instead of spending accelerator cycles producing garbage.
+type BudgetGuard interface {
+	// Fresh returns the budget of a freshly encrypted ciphertext.
+	Fresh() float64
+	// AfterAdd predicts the budget after adding ciphertexts with budgets a
+	// and b.
+	AfterAdd(a, b float64) float64
+	// AfterMul predicts the budget after multiplying (with relinearization —
+	// and, for CKKS, rescaling) ciphertexts with budgets a and b.
+	AfterMul(a, b float64) float64
+	// AfterGalois predicts the budget after a Galois rotation of a
+	// ciphertext with budget a.
+	AfterGalois(a float64) float64
+}

@@ -32,12 +32,17 @@ func DecomposeRNSPool(pool *poly.Pool, b *Basis, x poly.RNSPoly) []poly.RNSPoly 
 }
 
 // DecomposeRNSPoolInto writes the RNS digits of x into the caller-owned
-// digits slice (b.K() polynomials over b, each x.N() coefficients),
-// allocating nothing. The kernel is row-major and flat: digit i's own row is
-// one Shoup constant-multiplication pass over the source row (d_i = x_i·q̃_i
-// is already reduced modulo q_i), and every other row is a vector Barrett
+// digits slice (b.K() polynomials, each x.N() coefficients), allocating
+// nothing. The kernel is row-major and flat: digit i's own row is one Shoup
+// constant-multiplication pass over the source row (d_i = x_i·q̃_i is
+// already reduced modulo q_i), and every other row is a vector Barrett
 // re-reduction of that row — the same per-coefficient values as the scalar
 // path, walked a cache line at a time instead of a column at a time.
+//
+// The digit polynomials' first b.K() rows must be over b's moduli; any rows
+// past that (a hybrid keyswitch extending digits to a special modulus) get
+// the same replication — a digit is a small integer, so "its residue mod p"
+// is one more reduction pass, not a CRT reconstruction.
 func DecomposeRNSPoolInto(pool *poly.Pool, b *Basis, x poly.RNSPoly, digits []poly.RNSPoly) {
 	if x.Level() != b.K() {
 		panic("rns: DecomposeRNS level mismatch")
@@ -70,10 +75,11 @@ func (t *decompTask) RunIndex(i int) {
 	// a value already below q_i).
 	base := di.Rows[i].Coeffs
 	m.VecScalarMulShoupInto(base, t.src[i].Coeffs, qTilde, qTildeShoup)
-	for r, mr := range b.Mods {
+	for r := range di.Rows {
 		if r == i {
 			continue
 		}
+		mr := di.Rows[r].Mod
 		if m.Q <= 2*mr.Q {
 			// Same-width primes: the digit value d < q_i is within one
 			// subtraction of canonical mod q_r, so the replication is a

@@ -1,0 +1,184 @@
+package sched
+
+import (
+	"testing"
+
+	"repro/internal/ckks"
+	"repro/internal/hwsim"
+	"repro/internal/poly"
+	"repro/internal/sampler"
+)
+
+type ckksTestContext struct {
+	p    *ckks.Params
+	sk   *ckks.SecretKey
+	rk   *ckks.RelinKey
+	gk   *ckks.GaloisKey
+	enc  *ckks.Encoder
+	encr *ckks.Encryptor
+	ev   *ckks.Evaluator
+	hw   *CKKSScheduler
+}
+
+func newCKKSTestContext(t *testing.T) *ckksTestContext {
+	t.Helper()
+	p, err := ckks.NewParams(ckks.TestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prng := sampler.NewPRNG(42)
+	kg := ckks.NewKeyGenerator(p, prng)
+	sk, pk, rk := kg.GenKeys()
+	gk := kg.GenGaloisKey(sk, p.GaloisElementForRotation(1))
+	return &ckksTestContext{
+		p:    p,
+		sk:   sk,
+		rk:   rk,
+		gk:   gk,
+		enc:  ckks.NewEncoder(p),
+		encr: ckks.NewEncryptor(p, pk, prng),
+		ev:   ckks.NewEvaluator(p),
+		hw:   NewCKKS(p, hwsim.DefaultTiming()),
+	}
+}
+
+func (c *ckksTestContext) encryptRange(t *testing.T, seedStep int) *ckks.Ciphertext {
+	t.Helper()
+	vals := make([]float64, c.p.Slots())
+	for i := range vals {
+		vals[i] = float64((seedStep*i+1)%19)/10.0 - 0.9
+	}
+	pt, err := c.enc.Encode(vals, c.p.MaxLevel(), c.p.DefaultScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c.encr.Encrypt(pt)
+}
+
+func sameCiphertext(t *testing.T, name string, sw, hw *ckks.Ciphertext) {
+	t.Helper()
+	if len(sw.Els) != len(hw.Els) {
+		t.Fatalf("%s: element count %d vs %d", name, len(sw.Els), len(hw.Els))
+	}
+	if sw.Scale != hw.Scale {
+		t.Fatalf("%s: scale %g vs %g", name, sw.Scale, hw.Scale)
+	}
+	for e := range sw.Els {
+		if len(sw.Els[e].Rows) != len(hw.Els[e].Rows) {
+			t.Fatalf("%s: element %d row count differs", name, e)
+		}
+		for j := range sw.Els[e].Rows {
+			for i, v := range sw.Els[e].Rows[j].Coeffs {
+				if hw.Els[e].Rows[j].Coeffs[i] != v {
+					t.Fatalf("%s: element %d row %d coeff %d: sw %d, hw %d",
+						name, e, j, i, v, hw.Els[e].Rows[j].Coeffs[i])
+				}
+			}
+		}
+	}
+}
+
+// The chain co-processor must be bit-exact against the software evaluator on
+// every CKKS operation — same kernels, different dataflow.
+func TestCKKSHardwareSoftwareParity(t *testing.T) {
+	c := newCKKSTestContext(t)
+	a, b := c.encryptRange(t, 3), c.encryptRange(t, 7)
+
+	swSum := c.ev.Add(a, b)
+	hwSum, cyc, err := c.hw.Add(a, b)
+	if err != nil {
+		t.Fatalf("hw add: %v", err)
+	}
+	if cyc == 0 {
+		t.Fatal("hw add charged no cycles")
+	}
+	sameCiphertext(t, "add", swSum, hwSum)
+
+	swProd := c.ev.Rescale(c.ev.Mul(a, b, c.rk))
+	hwProd, cyc, err := c.hw.MulRescale(a, b, c.rk)
+	if err != nil {
+		t.Fatalf("hw mul: %v", err)
+	}
+	if cyc == 0 {
+		t.Fatal("hw mul charged no cycles")
+	}
+	sameCiphertext(t, "mul+rescale", swProd, hwProd)
+
+	swRot := c.ev.Rotate(a, 1, c.gk)
+	hwRot, _, err := c.hw.Rotate(a, 1, c.gk)
+	if err != nil {
+		t.Fatalf("hw rotate: %v", err)
+	}
+	sameCiphertext(t, "rotate", swRot, hwRot)
+}
+
+// Descending the chain exercises a fresh per-level co-processor at each
+// step; parity must hold at every level, not just the top.
+func TestCKKSHardwareChainDescent(t *testing.T) {
+	c := newCKKSTestContext(t)
+	sw := c.encryptRange(t, 3)
+	hw := sw.Clone()
+	for sw.Level() >= 1 {
+		swNext := c.ev.Rescale(c.ev.Mul(sw, sw, c.rk))
+		hwNext, _, err := c.hw.MulRescale(hw, hw, c.rk)
+		if err != nil {
+			t.Fatalf("hw mul at level %d: %v", hw.Level(), err)
+		}
+		sameCiphertext(t, "descent", swNext, hwNext)
+		sw, hw = swNext, hwNext
+	}
+}
+
+// The hardware result must also decode correctly — parity against software
+// plus an end-to-end slot check at depth 2.
+func TestCKKSHardwareDecodes(t *testing.T) {
+	c := newCKKSTestContext(t)
+	a, b := c.encryptRange(t, 3), c.encryptRange(t, 7)
+	prod, _, err := c.hw.MulRescale(a, b, c.rk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec := ckks.NewDecryptor(c.p, c.sk)
+	got := c.enc.Decode(dec.Decrypt(prod))
+	for i := 0; i < c.p.Slots(); i++ {
+		va := float64((3*i+1)%19)/10.0 - 0.9
+		vb := float64((7*i+1)%19)/10.0 - 0.9
+		want := va * vb
+		if d := got[i] - want; d > 1e-3 || d < -1e-3 {
+			t.Fatalf("slot %d: decoded %g, want %g", i, got[i], want)
+		}
+	}
+}
+
+// The Rescale instruction's cycle accounting: two streaming passes through
+// the coefficient-wise datapath, plus dispatch.
+func TestCKKSRescaleCycles(t *testing.T) {
+	c := newCKKSTestContext(t)
+	a, b := c.encryptRange(t, 3), c.encryptRange(t, 7)
+	c.hw.ResetStats()
+	if _, _, err := c.hw.MulRescale(a, b, c.rk); err != nil {
+		t.Fatal(err)
+	}
+	st, ok := c.hw.Stats.PerOp[hwsim.OpRescale]
+	if !ok {
+		t.Fatal("no Rescale instructions retired")
+	}
+	// 2 ModDown + 2 element rescales.
+	if st.Calls != 4 {
+		t.Fatalf("Rescale retired %d times, want 4", st.Calls)
+	}
+	timing := hwsim.DefaultTiming()
+	want := hwsim.Cycles(2*(c.p.N()/2+timing.ButterflyPipelineDepth) + timing.InstrDispatchCycles)
+	if got := st.PerCall(); got != want {
+		t.Fatalf("Rescale cycles/call = %d, want %d", got, want)
+	}
+}
+
+// A memory-file sanity check mirroring the BFV high-water test: the CKKS
+// schedule must fit the provisioned slot count.
+func TestCKKSSlotBudget(t *testing.T) {
+	if ckNumSlots > numSlots+2 {
+		t.Fatalf("ckks slot file (%d) outgrew the BFV one (%d) by more than the two ModDown slots", ckNumSlots, numSlots)
+	}
+	var _ = poly.RNSPoly{} // keep the import honest if the test shrinks
+}
