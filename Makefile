@@ -25,7 +25,7 @@ bench-baseline:
 bench-check:
 	$(GO) run ./cmd/hebench -count $(BENCH_COUNT) -json BENCH_current.json
 	$(GO) run ./cmd/benchdiff -base BENCH_baseline.json -cur BENCH_current.json -gate-allocs \
-		-ops ntt_forward,mul_relin,engine_throughput,cluster_throughput_1,cluster_throughput_2,cluster_throughput_4,program_encsearch,sched_overlap,mux_throughput,ckks_mul_rescale
+		-ops ntt_forward,mul_relin,engine_throughput,cluster_throughput_1,cluster_throughput_2,cluster_throughput_4,cluster_rolling_restart,program_encsearch,sched_overlap,mux_throughput,ckks_mul_rescale
 
 # The zero-allocation wall on its own: the -benchmem hot-path benchmarks
 # print B/op and allocs/op, then benchdiff enforces the exact steady-state

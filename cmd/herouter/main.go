@@ -16,6 +16,12 @@
 // changes. All backends must share the parameter set and seed — evaluation
 // keys are fully replicated, so any replica can serve any tenant.
 //
+// Membership is live: the CmdAdmin wire command (join/leave/drain) and the
+// -watch membership file both rebalance the ring with minimal movement,
+// migrating the moved tenants' evaluation-key state to the new owners
+// before the cutover so no request is dropped. See README "Rolling
+// restarts".
+//
 // Observability: SIGUSR1 dumps the router snapshot (membership, per-backend
 // health, retry/reroute counters, per-backend latency histograms) as JSON to
 // stderr; the same dump is emitted on graceful shutdown. With -debug-addr
@@ -56,6 +62,10 @@ func main() {
 	probeInterval := flag.Duration("probe-interval", 500*time.Millisecond, "health probe period per backend")
 	probeTimeout := flag.Duration("probe-timeout", time.Second, "health probe deadline")
 	failThreshold := flag.Int("fail-threshold", 2, "consecutive failures that eject a backend")
+	loadAware := flag.Bool("load-aware", false, "spill hot tenants from an overloaded primary to a less-loaded ring replica (EWMA latency x queue depth)")
+	loadSpill := flag.Float64("load-spill", 2.0, "primary-vs-best load ratio that triggers a load-aware spill")
+	watch := flag.String("watch", "", "membership file to poll (same format as -backends, one entry per line); joins and leaves are applied live with key-state migration")
+	watchInterval := flag.Duration("watch-interval", 2*time.Second, "poll period for -watch")
 	nodeID := flag.String("node-id", "herouter", "node name advertised in info replies")
 	readTimeout := flag.Duration("read-timeout", 2*time.Minute, "per-request read deadline on client connections")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown budget for in-flight work")
@@ -89,6 +99,10 @@ func main() {
 		usageError(fmt.Errorf("-read-timeout must be positive, got %v", *readTimeout))
 	case *drainTimeout <= 0:
 		usageError(fmt.Errorf("-drain-timeout must be positive, got %v", *drainTimeout))
+	case *loadSpill <= 1:
+		usageError(fmt.Errorf("-load-spill must be > 1, got %v", *loadSpill))
+	case *watchInterval <= 0:
+		usageError(fmt.Errorf("-watch-interval must be positive, got %v", *watchInterval))
 	}
 
 	cfg := fv.TestConfig(*tmod)
@@ -102,14 +116,16 @@ func main() {
 	logger := log.New(os.Stderr, "", log.LstdFlags)
 
 	router, err := cluster.NewRouter(cluster.Config{
-		Params:         params,
-		Backends:       backends,
-		VirtualNodes:   *vnodes,
-		Replicas:       *replicas,
-		MaxAttempts:    *attempts,
-		AttemptTimeout: *attemptTimeout,
-		PoolSize:       *poolSize,
-		Mux:            *muxMode,
+		Params:          params,
+		Backends:        backends,
+		VirtualNodes:    *vnodes,
+		Replicas:        *replicas,
+		MaxAttempts:     *attempts,
+		AttemptTimeout:  *attemptTimeout,
+		PoolSize:        *poolSize,
+		Mux:             *muxMode,
+		LoadAware:       *loadAware,
+		LoadSpillFactor: *loadSpill,
 		Health: cluster.HealthConfig{
 			Interval:      *probeInterval,
 			Timeout:       *probeTimeout,
@@ -122,6 +138,15 @@ func main() {
 	}
 	binding := obs.PublishExpvar("cluster", func() any { return router.Stats() })
 	defer binding.Unpublish()
+
+	if *watch != "" {
+		watchCtx, watchCancel := context.WithCancel(context.Background())
+		defer watchCancel()
+		go router.WatchMembership(watchCtx, func() (map[string]string, error) {
+			return loadMembershipFile(*watch)
+		}, *watchInterval)
+		logger.Printf("herouter: watching membership file %s every %v", *watch, *watchInterval)
+	}
 
 	srv := cluster.NewServer(params, router, logger)
 	srv.NodeID = *nodeID
@@ -204,6 +229,35 @@ func parseBackends(list string) ([]cluster.Backend, error) {
 		return nil, fmt.Errorf("-backends is required (comma-separated host:port or id=host:port)")
 	}
 	return out, nil
+}
+
+// loadMembershipFile reads a -watch file: -backends syntax, one entry per
+// line (blank lines and # comments skipped), returned as id -> addr.
+func loadMembershipFile(path string) (map[string]string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var entries []string
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		entries = append(entries, line)
+	}
+	if len(entries) == 0 {
+		return map[string]string{}, nil
+	}
+	backends, err := parseBackends(strings.Join(entries, ","))
+	if err != nil {
+		return nil, err
+	}
+	want := make(map[string]string, len(backends))
+	for _, b := range backends {
+		want[b.ID] = b.Addr
+	}
+	return want, nil
 }
 
 func dumpStats(logger *log.Logger, router *cluster.Router) {

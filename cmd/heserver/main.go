@@ -71,6 +71,8 @@ func main() {
 	ckksServe := flag.Bool("ckks", false, "additionally serve the CKKS approximate-arithmetic commands (CmdCKKSAdd/Mul/Rotate); CKKS keys are derived from -seed on an independent PRNG stream, with rotation keys installed for slot shifts 1, 2, 4, and 8")
 	noiseGuard := flag.Bool("noise-guard", false, "reject ops whose client-declared noise budget the noise model predicts would be exhausted")
 	minNoiseBudget := flag.Float64("min-noise-budget", 1.0, "bits of predicted post-op noise budget below which the noise guard rejects (with -noise-guard)")
+	tenantQuota := flag.Int("tenant-quota", 0, "max in-flight ops per tenant on this node; excess is rejected with a retryable quota error (0 = unlimited)")
+	tenantWeights := flag.String("tenant-weights", "", "comma-separated tenant=weight pairs biasing weighted-fair batch emission (default weight 1)")
 	flag.Parse()
 
 	// Validate before building anything: a nonsensical flag is a usage
@@ -94,11 +96,17 @@ func main() {
 		usageError(fmt.Errorf("-drain-timeout must be positive, got %v", *drainTimeout))
 	case *minNoiseBudget <= 0:
 		usageError(fmt.Errorf("-min-noise-budget must be positive, got %v", *minNoiseBudget))
+	case *tenantQuota < 0:
+		usageError(fmt.Errorf("-tenant-quota must not be negative, got %d", *tenantQuota))
 	}
 	for _, tn := range tenantList(*tenants) {
 		if len(tn) > cloud.MaxTenantLen {
 			usageError(fmt.Errorf("-tenants entry %q longer than %d bytes", tn, cloud.MaxTenantLen))
 		}
+	}
+	weights, err := parseWeights(*tenantWeights)
+	if err != nil {
+		usageError(err)
 	}
 
 	cfg := fv.TestConfig(*tmod)
@@ -154,6 +162,8 @@ func main() {
 		IntegritySeed:      *integritySeed,
 		NoiseGuard:         *noiseGuard,
 		MinNoiseBudgetBits: *minNoiseBudget,
+		TenantQuota:        *tenantQuota,
+		TenantWeights:      weights,
 	})
 	if err != nil {
 		fatal(err)
@@ -254,6 +264,29 @@ func dumpStats(logger *log.Logger, eng *engine.Engine) {
 		return
 	}
 	fmt.Fprintf(os.Stderr, "heserver engine stats: %s\n", out)
+}
+
+// parseWeights decodes the -tenant-weights flag ("a=3,b=1") into the
+// engine's fair-emission weight map; nil when the flag is empty.
+func parseWeights(s string) (map[string]int, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	out := make(map[string]int)
+	for _, entry := range strings.Split(s, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		name, val, ok := strings.Cut(entry, "=")
+		name = strings.TrimSpace(name)
+		var w int
+		if _, err := fmt.Sscanf(strings.TrimSpace(val), "%d", &w); !ok || err != nil || name == "" || w <= 0 {
+			return nil, fmt.Errorf("-tenant-weights entry %q: want tenant=positive-weight", entry)
+		}
+		out[name] = w
+	}
+	return out, nil
 }
 
 // tenantList splits the -tenants flag, dropping empties.

@@ -1,0 +1,425 @@
+package cloud
+
+// Key-state migration and cluster-administration wire support: the tenant
+// key blob (CmdKeyExport / CmdKeyImport payloads), the JSON admin control
+// messages (CmdAdmin), the shared status+ID+length response framing the
+// three commands answer with, and the client methods that speak them.
+//
+// A key blob is the complete evaluation-key state of one tenant — BFV and
+// CKKS, relinearization and Galois — as a bounded sequence of sections,
+// each wrapping one key in its checksummed v2 file container. The inner
+// containers carry their own parameter headers and checksums, so a blob
+// damaged in flight (or emitted by a node on different parameters) is
+// detected on import, never silently installed.
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/ckks"
+	"repro/internal/engine"
+	"repro/internal/fv"
+)
+
+// MaxAdminBytes bounds a CmdAdmin request body and the JSON acknowledgement
+// bodies of the migration commands. Control messages are tiny; anything
+// bigger is malformed.
+const MaxAdminBytes = 4096
+
+// maxKeyBlobSections bounds the section count of a key blob: one relin key
+// plus at most 64 Galois keys per scheme (matching the per-key gadget
+// bound the key containers enforce).
+const maxKeyBlobSections = 130
+
+// Key blob section kinds.
+const (
+	keySectionFVRelin    uint8 = 1
+	keySectionFVGalois   uint8 = 2
+	keySectionCKKSRelin  uint8 = 3
+	keySectionCKKSGalois uint8 = 4
+)
+
+var keyBlobMagic = [4]byte{'H', 'E', 'K', 'B'}
+
+// ErrKeyBlob wraps every structural decode failure of a tenant key blob.
+var ErrKeyBlob = errors.New("cloud: malformed key blob")
+
+// MaxKeyBlobBytes bounds one serialized tenant key set under the node's
+// parameter sets — the decode budget CmdKeyImport enforces before
+// allocating. Generous by construction (checksummed containers, 64-entry
+// gadget rows, 8 bytes per coefficient) so a legitimate full key set always
+// fits; its job is stopping a hostile length field, not accounting bytes.
+func MaxKeyBlobBytes(params *fv.Params, cparams *ckks.Params) int {
+	poly := 64 + params.QBasis.K()*params.N()*8
+	perKey := 256 + 2*64*poly
+	total := 64 + 65*(perKey+16)
+	if cparams != nil {
+		cpoly := 64 + (cparams.MaxLevel()+2)*cparams.N()*8
+		cperKey := 256 + 2*64*(cparams.MaxLevel()+1)*cpoly
+		total += 65 * (cperKey + 16)
+	}
+	return total
+}
+
+// EncodeTenantKeys serializes a tenant key set as a key blob. CKKS keys
+// require cparams (the node's CKKS parameter set); an empty set is an
+// error — there is nothing to migrate.
+func EncodeTenantKeys(params *fv.Params, cparams *ckks.Params, ks *engine.TenantKeySet) ([]byte, error) {
+	if ks.Empty() {
+		return nil, errors.New("cloud: empty tenant key set")
+	}
+	if (ks.CKKSRelin != nil || len(ks.CKKSGalois) > 0) && cparams == nil {
+		return nil, errors.New("cloud: key set has CKKS keys but no CKKS parameters")
+	}
+	if ks.Count() > maxKeyBlobSections {
+		return nil, fmt.Errorf("cloud: key set of %d keys exceeds %d sections", ks.Count(), maxKeyBlobSections)
+	}
+	var out bytes.Buffer
+	out.Write(keyBlobMagic[:])
+	var cnt [2]byte
+	binary.LittleEndian.PutUint16(cnt[:], uint16(ks.Count()))
+	out.Write(cnt[:])
+
+	section := func(kind uint8, write func(w io.Writer) error) error {
+		var body bytes.Buffer
+		if err := write(&body); err != nil {
+			return err
+		}
+		out.WriteByte(kind)
+		var n [4]byte
+		binary.LittleEndian.PutUint32(n[:], uint32(body.Len()))
+		out.Write(n[:])
+		out.Write(body.Bytes())
+		return nil
+	}
+	if ks.Relin != nil {
+		if err := section(keySectionFVRelin, func(w io.Writer) error {
+			return fv.WriteRelinKeyV2(w, params, ks.Relin)
+		}); err != nil {
+			return nil, err
+		}
+	}
+	for _, gk := range ks.Galois {
+		gk := gk
+		if err := section(keySectionFVGalois, func(w io.Writer) error {
+			return fv.WriteGaloisKeyV2(w, params, gk)
+		}); err != nil {
+			return nil, err
+		}
+	}
+	if ks.CKKSRelin != nil {
+		if err := section(keySectionCKKSRelin, func(w io.Writer) error {
+			return ckks.WriteRelinKeyV2(w, cparams, ks.CKKSRelin)
+		}); err != nil {
+			return nil, err
+		}
+	}
+	for _, gk := range ks.CKKSGalois {
+		gk := gk
+		if err := section(keySectionCKKSGalois, func(w io.Writer) error {
+			return ckks.WriteGaloisKeyV2(w, cparams, gk)
+		}); err != nil {
+			return nil, err
+		}
+	}
+	return out.Bytes(), nil
+}
+
+// DecodeTenantKeys parses and validates a key blob against the node's own
+// parameter sets: every section decodes through its checksummed container,
+// and a key generated under different ring parameters (or a CKKS key on a
+// node without CKKS) is refused rather than installed.
+func DecodeTenantKeys(data []byte, params *fv.Params, cparams *ckks.Params) (*engine.TenantKeySet, error) {
+	if len(data) < 6 || [4]byte(data[:4]) != keyBlobMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrKeyBlob)
+	}
+	count := int(binary.LittleEndian.Uint16(data[4:6]))
+	if count == 0 || count > maxKeyBlobSections {
+		return nil, fmt.Errorf("%w: section count %d outside (0, %d]", ErrKeyBlob, count, maxKeyBlobSections)
+	}
+	ks := &engine.TenantKeySet{}
+	off := 6
+	for i := 0; i < count; i++ {
+		if len(data)-off < 5 {
+			return nil, fmt.Errorf("%w: truncated section %d header", ErrKeyBlob, i)
+		}
+		kind := data[off]
+		n := int(binary.LittleEndian.Uint32(data[off+1 : off+5]))
+		off += 5
+		if n <= 0 || n > len(data)-off {
+			return nil, fmt.Errorf("%w: section %d length %d exceeds remaining %d bytes", ErrKeyBlob, i, n, len(data)-off)
+		}
+		body := bytes.NewReader(data[off : off+n])
+		off += n
+		switch kind {
+		case keySectionFVRelin:
+			p, rk, err := fv.ReadRelinKey(body)
+			if err != nil {
+				return nil, fmt.Errorf("%w: section %d: %w", ErrKeyBlob, i, err)
+			}
+			if err := sameFVParams(p, params); err != nil {
+				return nil, fmt.Errorf("%w: section %d: %w", ErrKeyBlob, i, err)
+			}
+			ks.Relin = rk
+		case keySectionFVGalois:
+			p, gk, err := fv.ReadGaloisKey(body)
+			if err != nil {
+				return nil, fmt.Errorf("%w: section %d: %w", ErrKeyBlob, i, err)
+			}
+			if err := sameFVParams(p, params); err != nil {
+				return nil, fmt.Errorf("%w: section %d: %w", ErrKeyBlob, i, err)
+			}
+			ks.Galois = append(ks.Galois, gk)
+		case keySectionCKKSRelin, keySectionCKKSGalois:
+			if cparams == nil {
+				return nil, fmt.Errorf("%w: section %d carries a CKKS key but this node has no CKKS parameters", ErrKeyBlob, i)
+			}
+			if kind == keySectionCKKSRelin {
+				p, rk, err := ckks.ReadRelinKey(body)
+				if err != nil {
+					return nil, fmt.Errorf("%w: section %d: %w", ErrKeyBlob, i, err)
+				}
+				if err := sameCKKSParams(p, cparams); err != nil {
+					return nil, fmt.Errorf("%w: section %d: %w", ErrKeyBlob, i, err)
+				}
+				ks.CKKSRelin = rk
+			} else {
+				p, gk, err := ckks.ReadGaloisKey(body)
+				if err != nil {
+					return nil, fmt.Errorf("%w: section %d: %w", ErrKeyBlob, i, err)
+				}
+				if err := sameCKKSParams(p, cparams); err != nil {
+					return nil, fmt.Errorf("%w: section %d: %w", ErrKeyBlob, i, err)
+				}
+				ks.CKKSGalois = append(ks.CKKSGalois, gk)
+			}
+		default:
+			return nil, fmt.Errorf("%w: section %d has unknown kind %d", ErrKeyBlob, i, kind)
+		}
+	}
+	if off != len(data) {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrKeyBlob, len(data)-off)
+	}
+	return ks, nil
+}
+
+// sameFVParams checks the decoded key's ring shape against the node's: a
+// key from a differently-parameterized fleet must not be installed.
+func sameFVParams(got, want *fv.Params) error {
+	if got.N() != want.N() || got.QBasis.K() != want.QBasis.K() {
+		return fmt.Errorf("key parameters (n=%d, k=%d) do not match node (n=%d, k=%d)",
+			got.N(), got.QBasis.K(), want.N(), want.QBasis.K())
+	}
+	return nil
+}
+
+func sameCKKSParams(got, want *ckks.Params) error {
+	if got.N() != want.N() || got.MaxLevel() != want.MaxLevel() {
+		return fmt.Errorf("CKKS key parameters (n=%d, L=%d) do not match node (n=%d, L=%d)",
+			got.N(), got.MaxLevel(), want.N(), want.MaxLevel())
+	}
+	return nil
+}
+
+// Admin operations carried by CmdAdmin.
+const (
+	AdminJoin  = "join"
+	AdminLeave = "leave"
+	AdminDrain = "drain"
+)
+
+// AdminRequest is the CmdAdmin body: one membership change for the routing
+// tier. Join needs Node and Addr; Leave and Drain need Node.
+type AdminRequest struct {
+	Op   string `json:"op"`
+	Node string `json:"node"`
+	Addr string `json:"addr,omitempty"`
+}
+
+// AdminReply acknowledges a membership change: the resulting ring members
+// and what the key-state migration moved before the cutover.
+type AdminReply struct {
+	Node            string   `json:"node"`
+	Members         []string `json:"members"`
+	MigratedTenants int      `json:"migrated_tenants"`
+	MigratedKeys    int      `json:"migrated_keys"`
+}
+
+// WriteBlobResponse writes the framing the migration and admin commands
+// answer with: status, request ID, u32 length, body — the same envelope as
+// CmdInfo, reused so one reader serves all JSON/opaque replies.
+func WriteBlobResponse(w io.Writer, id uint64, body []byte) error {
+	hdr := make([]byte, 0, 1+8+4)
+	hdr = append(hdr, statusOK)
+	hdr = binary.LittleEndian.AppendUint64(hdr, id)
+	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(len(body)))
+	if _, err := w.Write(hdr); err != nil {
+		return err
+	}
+	_, err := w.Write(body)
+	return err
+}
+
+// WriteBlobError answers a migration/admin command with a typed failure.
+func WriteBlobError(w io.Writer, id uint64, code uint8, msg string) error {
+	hdr := make([]byte, 0, 1+8+1+4)
+	hdr = append(hdr, statusErr)
+	hdr = binary.LittleEndian.AppendUint64(hdr, id)
+	hdr = append(hdr, code)
+	body := []byte(msg)
+	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(len(body)))
+	if _, err := w.Write(hdr); err != nil {
+		return err
+	}
+	_, err := w.Write(body)
+	return err
+}
+
+// ReadBlobResponse reads one migration/admin reply of at most maxLen body
+// bytes. A server-reported failure decodes as *ServerError with its code.
+func ReadBlobResponse(r io.Reader, maxLen int) (uint64, []byte, error) {
+	var status [1]byte
+	if _, err := io.ReadFull(r, status[:]); err != nil {
+		return 0, nil, err
+	}
+	switch status[0] {
+	case statusOK:
+		var hdr [12]byte // id, length
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			return 0, nil, malformed(ErrMalformedResponse, "truncated blob response header", err)
+		}
+		id := binary.LittleEndian.Uint64(hdr[:8])
+		ln := binary.LittleEndian.Uint32(hdr[8:])
+		if int64(ln) > int64(maxLen) {
+			return 0, nil, fmt.Errorf("%w: blob response length %d exceeds %d", ErrMalformedResponse, ln, maxLen)
+		}
+		body := make([]byte, ln)
+		if _, err := io.ReadFull(r, body); err != nil {
+			return 0, nil, malformed(ErrMalformedResponse, "truncated blob response body", err)
+		}
+		return id, body, nil
+	case statusErr:
+		var hdr [13]byte // id, code, message length
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			return 0, nil, malformed(ErrMalformedResponse, "truncated blob error header", err)
+		}
+		id := binary.LittleEndian.Uint64(hdr[:8])
+		code := hdr[8]
+		ln := binary.LittleEndian.Uint32(hdr[9:])
+		if ln == 0 || ln > 1<<16 {
+			return 0, nil, fmt.Errorf("%w: implausible blob error length %d", ErrMalformedResponse, ln)
+		}
+		msg := make([]byte, ln)
+		if _, err := io.ReadFull(r, msg); err != nil {
+			return 0, nil, malformed(ErrMalformedResponse, "truncated blob error message", err)
+		}
+		return id, nil, &ServerError{Code: code, Msg: string(msg)}
+	default:
+		return 0, nil, fmt.Errorf("%w: unknown status byte %d", ErrMalformedResponse, status[0])
+	}
+}
+
+// blobExchange runs one request/blob-response round trip with the client's
+// usual deadline, cancellation, and desync handling.
+func (c *Client) blobExchange(ctx context.Context, req *Request, maxLen int) ([]byte, error) {
+	if c.ver < ProtoV2 {
+		return nil, fmt.Errorf("cloud: %s requires protocol v2", cmdName(req.Cmd))
+	}
+	if c.broken {
+		return nil, fmt.Errorf("cloud: client connection is broken")
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	req.Ver = c.ver
+	if req.Tenant == "" {
+		req.Tenant = c.tenant
+	}
+	c.nextID++
+	req.ID = c.nextID
+	if d, ok := ctx.Deadline(); ok {
+		c.conn.SetDeadline(d)
+	} else {
+		c.conn.SetDeadline(time.Time{})
+	}
+	stop := c.watch(ctx)
+	defer stop()
+
+	if err := WriteRequest(c.conn, c.params, req); err != nil {
+		c.broken = true
+		return nil, c.ctxErr(ctx, err)
+	}
+	id, body, err := ReadBlobResponse(c.conn, maxLen)
+	if err != nil {
+		var se *ServerError
+		if !errors.As(err, &se) {
+			c.broken = true
+			return nil, c.ctxErr(ctx, err)
+		}
+		if id != req.ID {
+			c.broken = true
+			return nil, fmt.Errorf("cloud: blob response ID %d for request %d (stream desync)", id, req.ID)
+		}
+		return nil, err
+	}
+	if id != req.ID {
+		c.broken = true
+		return nil, fmt.Errorf("cloud: blob response ID %d for request %d (stream desync)", id, req.ID)
+	}
+	return body, nil
+}
+
+// KeyExport asks the node for the tenant's complete evaluation-key state as
+// an opaque key blob (decode with DecodeTenantKeys). A tenant with no keys
+// on the node is a *ServerError.
+func (c *Client) KeyExport(ctx context.Context, tenant string) ([]byte, error) {
+	return c.blobExchange(ctx, &Request{Cmd: CmdKeyExport, Tenant: tenant},
+		MaxKeyBlobBytes(c.params, c.ckks))
+}
+
+// ImportAck is the JSON body acknowledging a CmdKeyImport.
+type ImportAck struct {
+	Tenant string `json:"tenant"`
+	Keys   int    `json:"keys"`
+}
+
+// KeyImport installs a key blob (from KeyExport on another node) under the
+// tenant on this node, returning how many keys were registered.
+func (c *Client) KeyImport(ctx context.Context, tenant string, blob []byte) (*ImportAck, error) {
+	body, err := c.blobExchange(ctx, &Request{Cmd: CmdKeyImport, Tenant: tenant, Blob: blob}, MaxAdminBytes)
+	if err != nil {
+		return nil, err
+	}
+	var ack ImportAck
+	if err := json.Unmarshal(body, &ack); err != nil {
+		return nil, fmt.Errorf("cloud: decoding import ack: %w", err)
+	}
+	return &ack, nil
+}
+
+// Admin sends one membership control message to a routing tier. Data nodes
+// refuse the command with a *ServerError.
+func (c *Client) Admin(ctx context.Context, areq *AdminRequest) (*AdminReply, error) {
+	blob, err := json.Marshal(areq)
+	if err != nil {
+		return nil, err
+	}
+	body, err := c.blobExchange(ctx, &Request{Cmd: CmdAdmin, Blob: blob}, MaxAdminBytes)
+	if err != nil {
+		return nil, err
+	}
+	var reply AdminReply
+	if err := json.Unmarshal(body, &reply); err != nil {
+		return nil, fmt.Errorf("cloud: decoding admin reply: %w", err)
+	}
+	return &reply, nil
+}

@@ -91,6 +91,18 @@ const (
 	CmdCKKSMul    uint8 = 8
 	CmdCKKSRotate uint8 = 9
 
+	// Key-state migration commands (v2 only). CmdKeyExport asks a node for
+	// the complete evaluation-key set of the request's tenant (both schemes),
+	// answered with a checksummed key blob; CmdKeyImport installs such a blob
+	// on a node. The cluster migrator uses the pair to move tenant key state
+	// ahead of a routing cutover.
+	CmdKeyExport uint8 = 10
+	CmdKeyImport uint8 = 11
+	// CmdAdmin carries a cluster-membership control message (join / leave /
+	// drain) as a small JSON body. Only the routing tier accepts it; data
+	// nodes answer with an error.
+	CmdAdmin uint8 = 12
+
 	statusOK  uint8 = 0
 	statusErr uint8 = 1
 )
@@ -115,6 +127,11 @@ const (
 	// fault is node-local — bad BRAM, a glitched DMA, a dying compute unit —
 	// so an idempotent request should be retried, ideally on a replica.
 	CodeIntegrity uint8 = 2
+	// CodeQuota means the tenant's per-node in-flight quota refused the
+	// admission. The operation never executed and other replicas count the
+	// tenant separately, so an idempotent request may be retried elsewhere
+	// or after backoff.
+	CodeQuota uint8 = 3
 )
 
 // Protocol magics: v1 and v2 framing share the port and are told apart by
@@ -170,6 +187,12 @@ type Request struct {
 	// connection) and its input ciphertexts in program order.
 	ProgBytes []byte
 	Inputs    []*fv.Ciphertext
+
+	// Blob carries the opaque payload of CmdKeyImport (a tenant key blob,
+	// see EncodeTenantKeys) or CmdAdmin (a JSON AdminRequest). Framed as a
+	// length-prefixed byte string; semantics are validated server-side so a
+	// bad blob yields an error response, not a dropped connection.
+	Blob []byte
 }
 
 // WriteRequest serializes a request in the framing req.Ver selects.
@@ -200,8 +223,25 @@ func WriteRequest(w io.Writer, params *fv.Params, req *Request) error {
 
 func writeRequestBody(w io.Writer, params *fv.Params, req *Request) error {
 	switch req.Cmd {
-	case CmdPing, CmdInfo:
+	case CmdPing, CmdInfo, CmdKeyExport:
 		return nil
+	case CmdKeyImport, CmdAdmin:
+		// The receiver enforces the tight bound (MaxKeyBlobBytes under its
+		// own parameter sets, MaxAdminBytes for admin); the writer only
+		// refuses frames it could never legally produce.
+		if len(req.Blob) == 0 {
+			return fmt.Errorf("cloud: %s needs a payload", cmdName(req.Cmd))
+		}
+		if req.Cmd == CmdAdmin && len(req.Blob) > MaxAdminBytes {
+			return fmt.Errorf("cloud: admin payload of %d bytes exceeds %d", len(req.Blob), MaxAdminBytes)
+		}
+		var n [4]byte
+		binary.LittleEndian.PutUint32(n[:], uint32(len(req.Blob)))
+		if _, err := w.Write(n[:]); err != nil {
+			return err
+		}
+		_, err := w.Write(req.Blob)
+		return err
 	case CmdProgram:
 		l := ProgramLimits()
 		if len(req.ProgBytes) == 0 || len(req.ProgBytes) > l.MaxEncodedBytes() {
@@ -283,6 +323,9 @@ func ReadRequestCKKS(r io.Reader, params *fv.Params, cparams *ckks.Params) (*Req
 			limit = cl
 		}
 	}
+	if kl := MaxKeyBlobBytes(params, cparams) + 4 + 1 + 1 + 8 + 1 + MaxTenantLen + 4; kl > limit {
+		limit = kl
+	}
 	r = io.LimitReader(r, int64(limit))
 	var magic [4]byte
 	if _, err := io.ReadFull(r, magic[:]); err != nil {
@@ -327,9 +370,30 @@ func ReadRequestCKKS(r io.Reader, params *fv.Params, cparams *ckks.Params) (*Req
 	switch req.Cmd {
 	case CmdPing:
 		return req, nil
-	case CmdInfo:
+	case CmdInfo, CmdKeyExport:
 		if req.Ver < ProtoV2 {
 			return nil, fmt.Errorf("%w: %s requires protocol v2", ErrMalformedRequest, cmdName(req.Cmd))
+		}
+		return req, nil
+	case CmdKeyImport, CmdAdmin:
+		if req.Ver < ProtoV2 {
+			return nil, fmt.Errorf("%w: %s requires protocol v2", ErrMalformedRequest, cmdName(req.Cmd))
+		}
+		maxBlob := MaxAdminBytes
+		if req.Cmd == CmdKeyImport {
+			maxBlob = MaxKeyBlobBytes(params, cparams)
+		}
+		var n [4]byte
+		if _, err := io.ReadFull(r, n[:]); err != nil {
+			return nil, malformed(ErrMalformedRequest, "truncated payload length", err)
+		}
+		blen := binary.LittleEndian.Uint32(n[:])
+		if blen == 0 || int64(blen) > int64(maxBlob) {
+			return nil, fmt.Errorf("%w: %s payload length %d outside (0, %d]", ErrMalformedRequest, cmdName(req.Cmd), blen, maxBlob)
+		}
+		req.Blob = make([]byte, blen)
+		if _, err := io.ReadFull(r, req.Blob); err != nil {
+			return nil, malformed(ErrMalformedRequest, "truncated payload", err)
 		}
 		return req, nil
 	case CmdProgram:
@@ -433,6 +497,12 @@ func cmdName(cmd uint8) string {
 		return "ckks_mul"
 	case CmdCKKSRotate:
 		return "ckks_rotate"
+	case CmdKeyExport:
+		return "key_export"
+	case CmdKeyImport:
+		return "key_import"
+	case CmdAdmin:
+		return "admin"
 	}
 	return fmt.Sprintf("cmd(%d)", cmd)
 }
@@ -447,8 +517,8 @@ type Response struct {
 	ID           uint64
 	Result       *fv.Ciphertext
 	CKKSResult   *ckks.Ciphertext // result of a CKKS command (Result is nil)
-	ComputeNanos uint64 // simulated co-processor latency
-	Worker       uint32 // which application core / co-processor served it
+	ComputeNanos uint64           // simulated co-processor latency
+	Worker       uint32           // which application core / co-processor served it
 }
 
 // WriteResponse serializes a response in the framing resp.Ver selects.
@@ -600,7 +670,7 @@ type ServerInfo struct {
 	NodeID      string   `json:"node_id,omitempty"`
 	Workers     int      `json:"workers"`
 	TenantAware bool     `json:"tenant_aware"`
-	CKKS        bool     `json:"ckks,omitempty"` // serves the CmdCKKS* commands
+	CKKS        bool     `json:"ckks,omitempty"`    // serves the CmdCKKS* commands
 	Tenants     []string `json:"tenants,omitempty"` // namespaces with registered keys
 }
 
@@ -766,9 +836,9 @@ type ServerError struct {
 func (e *ServerError) Error() string { return "cloud: server error: " + e.Msg }
 
 // Retryable reports whether the failure was node-local — unavailability
-// (overload, shutdown) or a detected integrity fault — rather than a
-// deterministic application error, so an idempotent request may be retried
-// on a replica.
+// (overload, shutdown), a detected integrity fault, or a per-tenant quota
+// refusal — rather than a deterministic application error, so an idempotent
+// request may be retried on a replica.
 func (e *ServerError) Retryable() bool {
-	return e.Code == CodeUnavailable || e.Code == CodeIntegrity
+	return e.Code == CodeUnavailable || e.Code == CodeIntegrity || e.Code == CodeQuota
 }

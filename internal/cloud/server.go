@@ -4,8 +4,10 @@ import (
 	"bufio"
 	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"log"
 	"net"
 	"sync"
@@ -233,6 +235,13 @@ func (s *Server) handle(conn net.Conn) {
 			}
 			continue
 		}
+		if req.Cmd == CmdKeyExport || req.Cmd == CmdKeyImport || req.Cmd == CmdAdmin {
+			if err := s.writeMigrate(conn, req); err != nil {
+				s.Logger.Printf("cloud: write %s response: %v", cmdName(req.Cmd), err)
+				return
+			}
+			continue
+		}
 		resp := s.process(req)
 		if err := WriteResponse(conn, s.Params, resp); err != nil {
 			s.Logger.Printf("cloud: write response: %v", err)
@@ -339,6 +348,8 @@ func (s *Server) serveMux(conn net.Conn, br *bufio.Reader, timeout time.Duration
 				werr = WriteInfoResponse(&buf, req.ID, s.info())
 			case CmdProgram:
 				werr = WriteProgramResponse(&buf, s.Params, s.processProgram(req))
+			case CmdKeyExport, CmdKeyImport, CmdAdmin:
+				werr = s.writeMigrate(&buf, req)
 			default:
 				werr = WriteResponse(&buf, s.Params, s.process(req))
 			}
@@ -448,6 +459,39 @@ func (s *Server) processProgram(req *Request) *ProgramResponse {
 	return resp
 }
 
+// writeMigrate serves the key-migration commands against the engine's key
+// store and refuses CmdAdmin — membership control belongs to the routing
+// tier, and a data node answering it would split the ring's brain.
+func (s *Server) writeMigrate(w io.Writer, req *Request) error {
+	switch req.Cmd {
+	case CmdKeyExport:
+		ks := s.Engine.ExportTenantKeys(req.Tenant)
+		if ks.Empty() {
+			return WriteBlobError(w, req.ID, CodeApp, fmt.Sprintf("no evaluation keys for tenant %q", req.Tenant))
+		}
+		blob, err := EncodeTenantKeys(s.Params, s.CKKSParams, ks)
+		if err != nil {
+			return WriteBlobError(w, req.ID, CodeApp, err.Error())
+		}
+		s.Logger.Printf("cloud: exported %d keys for tenant %q (%d bytes)", ks.Count(), req.Tenant, len(blob))
+		return WriteBlobResponse(w, req.ID, blob)
+	case CmdKeyImport:
+		ks, err := DecodeTenantKeys(req.Blob, s.Params, s.CKKSParams)
+		if err != nil {
+			return WriteBlobError(w, req.ID, CodeApp, err.Error())
+		}
+		s.Engine.ImportTenantKeys(req.Tenant, ks)
+		s.Logger.Printf("cloud: imported %d keys for tenant %q", ks.Count(), req.Tenant)
+		body, err := json.Marshal(&ImportAck{Tenant: req.Tenant, Keys: ks.Count()})
+		if err != nil {
+			return WriteBlobError(w, req.ID, CodeApp, err.Error())
+		}
+		return WriteBlobResponse(w, req.ID, body)
+	default: // CmdAdmin
+		return WriteBlobError(w, req.ID, CodeApp, "admin: this node is not a routing tier")
+	}
+}
+
 // errCode maps an engine error to a wire error code: lifecycle and capacity
 // failures are retryable on a replica (the op never executed); a detected
 // integrity fault is node-local corruption, retryable elsewhere; everything
@@ -461,6 +505,9 @@ func errCode(err error) uint8 {
 	}
 	if errors.Is(err, hwsim.ErrIntegrity) {
 		return CodeIntegrity
+	}
+	if errors.Is(err, engine.ErrQuotaExceeded) {
+		return CodeQuota
 	}
 	return CodeApp
 }

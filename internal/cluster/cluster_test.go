@@ -51,6 +51,7 @@ type testCluster struct {
 	params   *fv.Params
 	sk       *fv.SecretKey
 	pk       *fv.PublicKey
+	rk       *fv.RelinKey
 	backends []*testBackend
 }
 
@@ -65,7 +66,7 @@ func startCluster(t *testing.T, n int, tenants []string) *testCluster {
 	}
 	kg := fv.NewKeyGenerator(params, sampler.NewPRNG(99))
 	sk, pk, rk := kg.GenKeys()
-	tc := &testCluster{params: params, sk: sk, pk: pk}
+	tc := &testCluster{params: params, sk: sk, pk: pk, rk: rk}
 	for i := 0; i < n; i++ {
 		eng, err := engine.New(engine.Config{Params: params, Workers: 2, QueueDepth: 256})
 		if err != nil {

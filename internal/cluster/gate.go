@@ -1,0 +1,104 @@
+package cluster
+
+import (
+	"context"
+	"sync"
+)
+
+// gateSet serializes routing against membership changes per tenant. A
+// migration holds the gates of the tenants it is about to move: new requests
+// for those tenants park in enter until release, while drain waits for the
+// requests already past the gate to finish. Requests are never rejected —
+// a gated request simply observes the post-flip ring when it resumes, which
+// is what makes a cutover zero-drop.
+type gateSet struct {
+	mu       sync.Mutex
+	held     map[string]chan struct{} // tenant -> closed on release
+	inflight map[string]int           // tenant -> requests past the gate
+	changed  chan struct{}            // closed+replaced on every exit
+}
+
+func newGateSet() *gateSet {
+	return &gateSet{
+		held:     make(map[string]chan struct{}),
+		inflight: make(map[string]int),
+		changed:  make(chan struct{}),
+	}
+}
+
+// enter blocks while the tenant's gate is held, then registers one in-flight
+// request. It reports whether the caller had to wait.
+func (g *gateSet) enter(ctx context.Context, tenant string) (waited bool, err error) {
+	for {
+		g.mu.Lock()
+		gate := g.held[tenant]
+		if gate == nil {
+			g.inflight[tenant]++
+			g.mu.Unlock()
+			return waited, nil
+		}
+		g.mu.Unlock()
+		waited = true
+		select {
+		case <-gate:
+		case <-ctx.Done():
+			return waited, ctx.Err()
+		}
+	}
+}
+
+// exit retires one in-flight request and wakes any drainer.
+func (g *gateSet) exit(tenant string) {
+	g.mu.Lock()
+	if g.inflight[tenant]--; g.inflight[tenant] <= 0 {
+		delete(g.inflight, tenant)
+	}
+	close(g.changed)
+	g.changed = make(chan struct{})
+	g.mu.Unlock()
+}
+
+// hold gates new requests for the tenants. Idempotent per tenant.
+func (g *gateSet) hold(tenants []string) {
+	g.mu.Lock()
+	for _, t := range tenants {
+		if g.held[t] == nil {
+			g.held[t] = make(chan struct{})
+		}
+	}
+	g.mu.Unlock()
+}
+
+// release opens the tenants' gates, waking every parked request.
+func (g *gateSet) release(tenants []string) {
+	g.mu.Lock()
+	for _, t := range tenants {
+		if ch := g.held[t]; ch != nil {
+			close(ch)
+			delete(g.held, t)
+		}
+	}
+	g.mu.Unlock()
+}
+
+// drain waits until no request of the listed tenants is in flight. The
+// caller holds their gates, so the count only falls.
+func (g *gateSet) drain(ctx context.Context, tenants []string) error {
+	for {
+		g.mu.Lock()
+		n := 0
+		for _, t := range tenants {
+			n += g.inflight[t]
+		}
+		ch := g.changed
+		g.mu.Unlock()
+		if n == 0 {
+			return nil
+		}
+		select {
+		case <-ch:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}

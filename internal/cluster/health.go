@@ -4,6 +4,7 @@ import (
 	"context"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/obs"
@@ -83,7 +84,13 @@ type probeFunc func(ctx context.Context, backend string) error
 // backendHealth is one node's state machine. All transitions happen under
 // mu; reads for routing go through routable/state.
 type backendHealth struct {
-	id string
+	id   string
+	stop chan struct{} // closed when this backend leaves the fleet
+
+	// Load signals for replica selection, updated lock-free on the request
+	// path: an EWMA of attempt latency and the number of live attempts.
+	ewmaNanos atomic.Uint64 // 0 = no sample yet
+	inflight  atomic.Int64
 
 	mu          sync.Mutex
 	state       State
@@ -109,6 +116,7 @@ type healthManager struct {
 	mu       sync.Mutex
 	rng      *rand.Rand
 	backends map[string]*backendHealth
+	started  bool
 
 	quit chan struct{}
 	wg   sync.WaitGroup
@@ -133,14 +141,25 @@ func newHealthManager(cfg HealthConfig, backends []string, probe probeFunc, reg 
 		quit:     make(chan struct{}),
 	}
 	for _, id := range backends {
-		hm.backends[id] = &backendHealth{id: id, backoff: cfg.Interval, lastChange: time.Now()}
+		hm.backends[id] = newBackendHealth(id, cfg.Interval)
 	}
 	return hm
 }
 
+func newBackendHealth(id string, interval time.Duration) *backendHealth {
+	return &backendHealth{id: id, backoff: interval, lastChange: time.Now(), stop: make(chan struct{})}
+}
+
 // start launches the probe loops.
 func (hm *healthManager) start() {
+	hm.mu.Lock()
+	hm.started = true
+	backends := make([]*backendHealth, 0, len(hm.backends))
 	for _, b := range hm.backends {
+		backends = append(backends, b)
+	}
+	hm.mu.Unlock()
+	for _, b := range backends {
 		hm.wg.Add(1)
 		go hm.run(b)
 	}
@@ -152,6 +171,35 @@ func (hm *healthManager) stop() {
 	hm.wg.Wait()
 }
 
+// add registers a backend joining the fleet and, if probing has started,
+// launches its probe loop. Idempotent.
+func (hm *healthManager) add(id string) {
+	hm.mu.Lock()
+	if _, ok := hm.backends[id]; ok {
+		hm.mu.Unlock()
+		return
+	}
+	b := newBackendHealth(id, hm.cfg.Interval)
+	hm.backends[id] = b
+	started := hm.started
+	hm.mu.Unlock()
+	if started {
+		hm.wg.Add(1)
+		go hm.run(b)
+	}
+}
+
+// remove forgets a backend and stops its probe loop.
+func (hm *healthManager) remove(id string) {
+	hm.mu.Lock()
+	b := hm.backends[id]
+	delete(hm.backends, id)
+	hm.mu.Unlock()
+	if b != nil {
+		close(b.stop)
+	}
+}
+
 func (hm *healthManager) run(b *backendHealth) {
 	defer hm.wg.Done()
 	timer := time.NewTimer(hm.delay(b))
@@ -159,6 +207,8 @@ func (hm *healthManager) run(b *backendHealth) {
 	for {
 		select {
 		case <-hm.quit:
+			return
+		case <-b.stop:
 			return
 		case <-timer.C:
 		}
@@ -277,6 +327,60 @@ func (hm *healthManager) notify(id string, from, to State) {
 	}
 }
 
+// ewmaAlpha is the smoothing factor of the per-backend latency EWMA: heavy
+// enough that one slow attempt moves the estimate, light enough that a single
+// outlier does not dominate replica selection.
+const ewmaAlpha = 0.3
+
+// observe folds one attempt's latency into the backend's EWMA.
+func (hm *healthManager) observe(id string, d time.Duration) {
+	b := hm.backend(id)
+	if b == nil || d < 0 {
+		return
+	}
+	for {
+		old := b.ewmaNanos.Load()
+		next := uint64(d)
+		if old != 0 {
+			next = uint64((1-ewmaAlpha)*float64(old) + ewmaAlpha*float64(d))
+		}
+		if next == 0 {
+			next = 1
+		}
+		if b.ewmaNanos.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// incInflight/decInflight bracket one live attempt on the backend.
+func (hm *healthManager) incInflight(id string) {
+	if b := hm.backend(id); b != nil {
+		b.inflight.Add(1)
+	}
+}
+
+func (hm *healthManager) decInflight(id string) {
+	if b := hm.backend(id); b != nil {
+		b.inflight.Add(-1)
+	}
+}
+
+// loadScore estimates the cost of sending the next request to the node:
+// expected latency scaled by queue depth. A node with no samples yet scores
+// zero — cold but idle, the cheapest place to send work.
+func (hm *healthManager) loadScore(id string) float64 {
+	b := hm.backend(id)
+	if b == nil {
+		return 0
+	}
+	inflight := b.inflight.Load()
+	if inflight < 0 {
+		inflight = 0
+	}
+	return float64(b.ewmaNanos.Load()) * float64(1+inflight)
+}
+
 // routable reports whether the node may receive traffic (healthy or on
 // half-open probation).
 func (hm *healthManager) routable(id string) bool {
@@ -291,12 +395,14 @@ func (hm *healthManager) routable(id string) bool {
 
 // BackendStatus is the health slice of a Stats snapshot.
 type BackendStatus struct {
-	ID          string `json:"id"`
-	Addr        string `json:"addr"`
-	State       string `json:"state"`
-	ConsecFails int    `json:"consec_fails,omitempty"`
-	Ejections   uint64 `json:"ejections,omitempty"`
-	LastErr     string `json:"last_err,omitempty"`
+	ID          string  `json:"id"`
+	Addr        string  `json:"addr"`
+	State       string  `json:"state"`
+	ConsecFails int     `json:"consec_fails,omitempty"`
+	Ejections   uint64  `json:"ejections,omitempty"`
+	LastErr     string  `json:"last_err,omitempty"`
+	EWMAMillis  float64 `json:"ewma_ms,omitempty"` // smoothed attempt latency
+	Inflight    int64   `json:"inflight,omitempty"`
 }
 
 func (hm *healthManager) status(id string) BackendStatus {
@@ -304,6 +410,8 @@ func (hm *healthManager) status(id string) BackendStatus {
 	if b == nil {
 		return BackendStatus{ID: id, State: "unknown"}
 	}
+	ewma := float64(b.ewmaNanos.Load()) / float64(time.Millisecond)
+	inflight := b.inflight.Load()
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	return BackendStatus{
@@ -312,5 +420,7 @@ func (hm *healthManager) status(id string) BackendStatus {
 		ConsecFails: b.consecFails,
 		Ejections:   b.ejections,
 		LastErr:     b.lastErr,
+		EWMAMillis:  ewma,
+		Inflight:    inflight,
 	}
 }

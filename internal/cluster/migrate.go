@@ -1,0 +1,441 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/cloud"
+)
+
+// ErrLastNode refuses a Leave/Drain that would empty the ring.
+var ErrLastNode = errors.New("cluster: refusing to remove the last ring member")
+
+// MigrationReport summarizes one membership change: how many tenants were
+// rebalanced onto different nodes and how many evaluation keys moved with
+// them before the cutover.
+type MigrationReport struct {
+	Node    string   `json:"node"`
+	Moved   []string `json:"moved,omitempty"` // tenants whose placement changed
+	Tenants int      `json:"tenants"`
+	Keys    int      `json:"keys"`
+}
+
+// SetMigrationHook installs a test hook called at each stage boundary of a
+// membership change: "plan", "hold", "drain", "transfer" (with the tenant),
+// "flip", "release". Chaos tests use it to kill nodes at pinned stages. The
+// hook must not call back into Join/Leave/Drain.
+func (r *Router) SetMigrationHook(h func(stage, tenant string)) {
+	r.hookMu.Lock()
+	r.migrateHook = h
+	r.hookMu.Unlock()
+}
+
+func (r *Router) hook(stage, tenant string) {
+	r.hookMu.Lock()
+	h := r.migrateHook
+	r.hookMu.Unlock()
+	if h != nil {
+		h(stage, tenant)
+	}
+}
+
+func (r *Router) logf(format string, args ...any) {
+	if r.logger != nil {
+		r.logger.Printf(format, args...)
+	}
+}
+
+// member reports whether id is currently in the ring.
+func (r *Router) member(id string) bool {
+	for _, m := range r.ring.Members() {
+		if m == id {
+			return true
+		}
+	}
+	return false
+}
+
+// scratchRing clones the live membership into a throwaway ring so the
+// post-change placement can be computed before the flip.
+func (r *Router) scratchRing(add, remove string) *Ring {
+	next := NewRing(r.cfg.VirtualNodes)
+	for _, m := range r.ring.Members() {
+		if m != remove {
+			next.Add(m)
+		}
+	}
+	if add != "" {
+		next.Add(add)
+	}
+	return next
+}
+
+// knownTenants unions the tenant namespaces (those with registered
+// evaluation keys) reported by every live ring member. Nodes that cannot be
+// reached are skipped: migration plans over the best information available.
+func (r *Router) knownTenants(ctx context.Context) []string {
+	seen := make(map[string]struct{})
+	for _, id := range r.ring.Members() {
+		addr := r.addr(id)
+		if addr == "" {
+			continue
+		}
+		cl, err := cloud.Dial(addr, r.cfg.Params)
+		if err != nil {
+			continue
+		}
+		ictx, cancel := context.WithTimeout(ctx, r.cfg.AttemptTimeout)
+		info, err := cl.Info(ictx)
+		cancel()
+		cl.Close()
+		if err != nil {
+			continue
+		}
+		for _, t := range info.Tenants {
+			seen[t] = struct{}{}
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for t := range seen {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// transferTenant copies one tenant's evaluation-key state to dest, trying
+// each source in order. A source that answers "no keys" is authoritative
+// for itself but not for the set; only when no source yields a blob and
+// none failed at the transport level is the tenant considered keyless
+// (nothing to move). Returns the number of keys installed on dest.
+func (r *Router) transferTenant(ctx context.Context, tenant string, sources []string, dest string) (int, error) {
+	destAddr := r.addr(dest)
+	if destAddr == "" {
+		return 0, fmt.Errorf("cluster: transfer %q: unknown destination %s", tenant, dest)
+	}
+	var lastErr error
+	for _, src := range sources {
+		if src == dest {
+			continue
+		}
+		addr := r.addr(src)
+		if addr == "" {
+			continue
+		}
+		cl, err := cloud.Dial(addr, r.cfg.Params)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		blob, err := cl.KeyExport(ctx, tenant)
+		cl.Close()
+		if err != nil {
+			var se *cloud.ServerError
+			if !errors.As(err, &se) {
+				// Transport failure; a ServerError means the source answered
+				// authoritatively that it holds no keys for this tenant.
+				lastErr = err
+			}
+			continue
+		}
+		dcl, err := cloud.Dial(destAddr, r.cfg.Params)
+		if err != nil {
+			return 0, fmt.Errorf("cluster: transfer %q to %s: %w", tenant, dest, err)
+		}
+		ack, err := dcl.KeyImport(ctx, tenant, blob)
+		dcl.Close()
+		if err != nil {
+			return 0, fmt.Errorf("cluster: transfer %q to %s: %w", tenant, dest, err)
+		}
+		return ack.Keys, nil
+	}
+	if lastErr != nil {
+		return 0, fmt.Errorf("cluster: transfer %q: no source produced keys: %w", tenant, lastErr)
+	}
+	// Every reachable source answered keyless: nothing to move.
+	return 0, nil
+}
+
+// Join adds a node to the fleet with zero-drop cutover: the node is probed,
+// the tenants the ring will rebalance onto it get their evaluation-key
+// state copied over first (gate -> drain -> transfer), and only then does
+// the ring flip. Any failure before the flip aborts cleanly — routing and
+// key placement are untouched. Idempotent for a node already in the ring.
+func (r *Router) Join(ctx context.Context, b Backend) (*MigrationReport, error) {
+	if b.ID == "" || b.Addr == "" {
+		return nil, fmt.Errorf("cluster: join needs ID and Addr, got %+v", b)
+	}
+	r.adminMu.Lock()
+	defer r.adminMu.Unlock()
+	if r.member(b.ID) {
+		return &MigrationReport{Node: b.ID}, nil
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	mctx, cancel := context.WithTimeout(ctx, r.cfg.MigrationTimeout)
+	defer cancel()
+
+	// Register the node's transport and health state (reused if the node
+	// was drained earlier and is rejoining).
+	r.mu.Lock()
+	fresh := false
+	if _, ok := r.addrs[b.ID]; !ok {
+		fresh = true
+		r.addrs[b.ID] = b.Addr
+		r.pools[b.ID] = r.newPoolFor(b)
+	}
+	r.mu.Unlock()
+	if fresh {
+		r.health.add(b.ID)
+	}
+	abort := func(err error) (*MigrationReport, error) {
+		r.reg.Counter("cluster_migration_failures").Add(1)
+		if fresh {
+			r.forget(b.ID)
+		}
+		return nil, err
+	}
+
+	// Never cut traffic over to a node that does not answer.
+	pctx, pcancel := context.WithTimeout(mctx, r.cfg.AttemptTimeout)
+	err := r.probe(pctx, b.ID)
+	pcancel()
+	if err != nil {
+		return abort(fmt.Errorf("cluster: join %s: probe failed: %w", b.ID, err))
+	}
+
+	r.hook("plan", "")
+	tenants := r.knownTenants(mctx)
+	next := r.scratchRing(b.ID, "")
+	var moved []string
+	for _, t := range tenants {
+		if contains(next.Lookup(t, r.cfg.Replicas), b.ID) {
+			moved = append(moved, t)
+		}
+	}
+
+	report := &MigrationReport{Node: b.ID, Moved: moved, Tenants: len(moved)}
+	r.gates.hold(moved)
+	released := false
+	release := func() {
+		if !released {
+			released = true
+			r.gates.release(moved)
+		}
+	}
+	defer release()
+	r.hook("hold", "")
+
+	dctx, dcancel := context.WithTimeout(mctx, r.cfg.DrainTimeout)
+	if err := r.gates.drain(dctx, moved); err != nil {
+		// Safe to proceed: key state is copied, never moved, so stragglers
+		// finish correctly against the old owners.
+		r.logf("cluster: join %s: drain timed out, proceeding: %v", b.ID, err)
+	}
+	dcancel()
+	r.hook("drain", "")
+
+	sources := r.ring.Members()
+	for _, t := range moved {
+		r.hook("transfer", t)
+		old := r.ring.Lookup(t, r.cfg.Replicas)
+		srcs := append(append([]string{}, old...), sources...)
+		keys, err := r.transferTenant(mctx, t, srcs, b.ID)
+		if err != nil {
+			release()
+			return abort(fmt.Errorf("cluster: join %s aborted before cutover: %w", b.ID, err))
+		}
+		report.Keys += keys
+	}
+	r.reg.Counter("cluster_migrated_tenants").Add(uint64(len(moved)))
+	r.reg.Counter("cluster_migrated_keys").Add(uint64(report.Keys))
+
+	r.ring.Add(b.ID)
+	r.hook("flip", "")
+	release()
+	r.hook("release", "")
+	r.reg.Counter("cluster_joins").Add(1)
+	r.logf("cluster: node %s joined (%d tenants, %d keys migrated)", b.ID, report.Tenants, report.Keys)
+	return report, nil
+}
+
+// Leave removes a node with zero-drop cutover: tenants losing a replica get
+// their key state copied to the nodes taking over (sourced from the leaver
+// when it still answers, its replica peers when it does not), then the ring
+// flips and the node's transport state is torn down.
+func (r *Router) Leave(ctx context.Context, id string) (*MigrationReport, error) {
+	return r.retire(ctx, id, true)
+}
+
+// Drain is Leave without forgetting the node: it keeps its transport pool
+// and health probes so a later Join readmits it without re-dialing, which
+// is the rolling-restart idiom — drain, restart, join.
+func (r *Router) Drain(ctx context.Context, id string) (*MigrationReport, error) {
+	return r.retire(ctx, id, false)
+}
+
+func (r *Router) retire(ctx context.Context, id string, forget bool) (*MigrationReport, error) {
+	r.adminMu.Lock()
+	defer r.adminMu.Unlock()
+	if !r.member(id) {
+		if forget && r.addr(id) != "" {
+			// Drained earlier: only the transport state is left to drop.
+			r.forget(id)
+			return &MigrationReport{Node: id}, nil
+		}
+		return nil, fmt.Errorf("cluster: %s is not a ring member", id)
+	}
+	if r.ring.Size() <= 1 {
+		return nil, ErrLastNode
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	mctx, cancel := context.WithTimeout(ctx, r.cfg.MigrationTimeout)
+	defer cancel()
+
+	r.hook("plan", "")
+	tenants := r.knownTenants(mctx)
+	next := r.scratchRing("", id)
+	type move struct {
+		tenant string
+		olds   []string
+		dests  []string
+	}
+	var plan []move
+	var moved []string
+	for _, t := range tenants {
+		old := r.ring.Lookup(t, r.cfg.Replicas)
+		if !contains(old, id) {
+			continue
+		}
+		var dests []string
+		for _, n := range next.Lookup(t, r.cfg.Replicas) {
+			if !contains(old, n) {
+				dests = append(dests, n)
+			}
+		}
+		moved = append(moved, t)
+		plan = append(plan, move{tenant: t, olds: old, dests: dests})
+	}
+
+	report := &MigrationReport{Node: id, Moved: moved, Tenants: len(moved)}
+	r.gates.hold(moved)
+	released := false
+	release := func() {
+		if !released {
+			released = true
+			r.gates.release(moved)
+		}
+	}
+	defer release()
+	r.hook("hold", "")
+
+	dctx, dcancel := context.WithTimeout(mctx, r.cfg.DrainTimeout)
+	if err := r.gates.drain(dctx, moved); err != nil {
+		r.logf("cluster: retire %s: drain timed out, proceeding: %v", id, err)
+	}
+	dcancel()
+	r.hook("drain", "")
+
+	for _, m := range plan {
+		r.hook("transfer", m.tenant)
+		// Prefer the leaver as the source — it certainly served this tenant
+		// — and fall back to the surviving replica peers when it is already
+		// dead (the crash-during-rolling-restart case).
+		srcs := append([]string{id}, m.olds...)
+		for _, dest := range m.dests {
+			keys, err := r.transferTenant(mctx, m.tenant, srcs, dest)
+			if err != nil {
+				release()
+				r.reg.Counter("cluster_migration_failures").Add(1)
+				return nil, fmt.Errorf("cluster: retire %s aborted before cutover: %w", id, err)
+			}
+			report.Keys += keys
+		}
+	}
+	r.reg.Counter("cluster_migrated_tenants").Add(uint64(len(moved)))
+	r.reg.Counter("cluster_migrated_keys").Add(uint64(report.Keys))
+
+	r.ring.Remove(id)
+	r.hook("flip", "")
+	release()
+	r.hook("release", "")
+	if forget {
+		r.forget(id)
+		r.reg.Counter("cluster_leaves").Add(1)
+	} else {
+		r.reg.Counter("cluster_drains").Add(1)
+	}
+	r.logf("cluster: node %s retired (forget=%v, %d tenants, %d keys migrated)", id, forget, report.Tenants, report.Keys)
+	return report, nil
+}
+
+// forget tears down a node's transport and health state. The node must
+// already be out of the ring.
+func (r *Router) forget(id string) {
+	r.health.remove(id)
+	r.mu.Lock()
+	p := r.pools[id]
+	delete(r.pools, id)
+	delete(r.addrs, id)
+	r.mu.Unlock()
+	if p != nil {
+		p.close()
+	}
+}
+
+func contains(list []string, s string) bool {
+	for _, v := range list {
+		if v == s {
+			return true
+		}
+	}
+	return false
+}
+
+// WatchMembership polls load from a membership file (one "id=addr" per
+// line, # comments) and applies the diff against the live ring as
+// join/leave calls — the file-driven counterpart of CmdAdmin, for
+// orchestrators that manage fleets by writing config. It blocks until ctx
+// ends; per-change errors are logged and retried on the next poll.
+func (r *Router) WatchMembership(ctx context.Context, load func() (map[string]string, error), interval time.Duration) {
+	if interval <= 0 {
+		interval = 2 * time.Second
+	}
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+		}
+		want, err := load()
+		if err != nil {
+			r.logf("cluster: membership watch: %v", err)
+			continue
+		}
+		if len(want) == 0 {
+			continue // refuse to interpret an empty file as "remove everything"
+		}
+		for id, addr := range want {
+			if !r.member(id) {
+				if _, err := r.Join(ctx, Backend{ID: id, Addr: addr}); err != nil {
+					r.logf("cluster: membership watch: join %s: %v", id, err)
+				}
+			}
+		}
+		for _, id := range r.ring.Members() {
+			if _, ok := want[id]; !ok {
+				if _, err := r.Leave(ctx, id); err != nil {
+					r.logf("cluster: membership watch: leave %s: %v", id, err)
+				}
+			}
+		}
+	}
+}

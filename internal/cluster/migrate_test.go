@@ -1,0 +1,510 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cloud"
+)
+
+// startKeylessCluster boots n backends with the relin key registered only
+// under the default tenant — every per-tenant namespace starts keyless, so
+// key placement is entirely in the tests' hands.
+func startKeylessCluster(t *testing.T, n int, tenants []string) *testCluster {
+	t.Helper()
+	_ = tenants
+	return startCluster(t, n, nil)
+}
+
+// registerPerCandidateSet installs the shared relin key only on each
+// tenant's current candidate-set nodes — NOT full replication — so that a
+// membership change genuinely depends on the key-state migration: the new
+// owner starts keyless and would fail every Mul if the transfer did not
+// happen before the cutover.
+func registerPerCandidateSet(t *testing.T, tc *testCluster, r *Router, tenants []string) {
+	t.Helper()
+	byID := map[string]*testBackend{}
+	for _, b := range tc.backends {
+		byID[b.id] = b
+	}
+	for _, tenant := range tenants {
+		for _, id := range r.Candidates(tenant) {
+			byID[id].eng.SetRelinKey(tenant, tc.rk)
+		}
+	}
+}
+
+// elasticHealth is a quiet probe config: deterministic, slow enough not to
+// interfere with migration assertions.
+func elasticHealth() HealthConfig {
+	return HealthConfig{Interval: 50 * time.Millisecond, Timeout: 500 * time.Millisecond, FailThreshold: 2, Seed: 1}
+}
+
+// TestJoinMigratesKeysZeroDrop grows a 3-node fleet to 4 under continuous
+// load. The joiner starts with zero evaluation keys; the migration must
+// copy the moved tenants' keys over before the flip, so the load sees no
+// error and no wrong result at any point, and the joiner ends up serving
+// real traffic.
+func TestJoinMigratesKeysZeroDrop(t *testing.T) {
+	tenants := testTenants(12)
+	tc := startKeylessCluster(t, 4, tenants) // node-3 is the spare joiner
+	initial := tc.backendList()[:3]
+	client, err := NewClient(Config{
+		Params:      tc.params,
+		Backends:    initial,
+		Replicas:    2,
+		MaxAttempts: 3,
+		Health:      elasticHealth(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	registerPerCandidateSet(t, tc, client.Router(), tenants)
+
+	var (
+		mu         sync.Mutex
+		okOps      int
+		wrong      int
+		clientErrs []error
+	)
+	a, b := tc.encrypt(t, 9), tc.encrypt(t, 13)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for l := 0; l < 3; l++ {
+		wg.Add(1)
+		go func(l int) {
+			defer wg.Done()
+			for i := l; ; i += 3 {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				tenant := tenants[i%len(tenants)]
+				ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+				prod, _, err := client.Mul(ctx, tenant, a, b)
+				cancel()
+				mu.Lock()
+				if err != nil {
+					clientErrs = append(clientErrs, fmt.Errorf("tenant %s: %w", tenant, err))
+				} else {
+					okOps++
+					if got := tc.decrypt(prod); got != 117 {
+						wrong++
+					}
+				}
+				mu.Unlock()
+			}
+		}(l)
+	}
+	// Let load flow, then join the spare node mid-traffic.
+	time.Sleep(50 * time.Millisecond)
+	joiner := tc.backends[3]
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	report, err := client.Router().Join(ctx, Backend{ID: joiner.id, Addr: joiner.addr})
+	if err != nil {
+		t.Fatalf("join: %v", err)
+	}
+	if report.Tenants == 0 || report.Keys == 0 {
+		t.Fatalf("join migrated tenants=%d keys=%d; expected the joiner to take over tenants with keys", report.Tenants, report.Keys)
+	}
+	// Keep loading after the flip so the joiner provably serves.
+	deadline := time.Now().Add(15 * time.Second)
+	for joiner.srv.Served() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("joiner never served a request after the cutover")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(clientErrs) != 0 {
+		t.Fatalf("%d dropped/failed requests during join (zero-drop violated): %v", len(clientErrs), clientErrs[0])
+	}
+	if wrong != 0 {
+		t.Fatalf("%d wrong homomorphic results during join", wrong)
+	}
+	if okOps == 0 {
+		t.Fatal("no load completed; test is vacuous")
+	}
+	snap := client.Stats()
+	if len(snap.Members) != 4 {
+		t.Fatalf("membership %v after join, want 4 nodes", snap.Members)
+	}
+	if snap.Obs.Counters["cluster_joins"] != 1 {
+		t.Fatalf("cluster_joins = %d, want 1", snap.Obs.Counters["cluster_joins"])
+	}
+	if snap.Obs.Counters["cluster_migrated_keys"] == 0 {
+		t.Fatal("no migrated keys counted")
+	}
+}
+
+// TestLeaveMigratesKeysZeroDrop shrinks a 3-node fleet under load: the
+// leaver's tenants move to survivors that did not hold their keys before,
+// and nothing fails or corrupts during the cutover.
+func TestLeaveMigratesKeysZeroDrop(t *testing.T) {
+	tenants := testTenants(12)
+	tc := startKeylessCluster(t, 3, tenants)
+	client, err := NewClient(Config{
+		Params:      tc.params,
+		Backends:    tc.backendList(),
+		Replicas:    2,
+		MaxAttempts: 3,
+		Health:      elasticHealth(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	registerPerCandidateSet(t, tc, client.Router(), tenants)
+
+	leaver := tc.backends[1]
+	var (
+		mu         sync.Mutex
+		wrong      int
+		okOps      int
+		clientErrs []error
+	)
+	a, b := tc.encrypt(t, 9), tc.encrypt(t, 13)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for l := 0; l < 3; l++ {
+		wg.Add(1)
+		go func(l int) {
+			defer wg.Done()
+			for i := l; ; i += 3 {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				tenant := tenants[i%len(tenants)]
+				ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+				prod, _, err := client.Mul(ctx, tenant, a, b)
+				cancel()
+				mu.Lock()
+				if err != nil {
+					clientErrs = append(clientErrs, fmt.Errorf("tenant %s: %w", tenant, err))
+				} else {
+					okOps++
+					if got := tc.decrypt(prod); got != 117 {
+						wrong++
+					}
+				}
+				mu.Unlock()
+			}
+		}(l)
+	}
+	time.Sleep(50 * time.Millisecond)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	report, err := client.Router().Leave(ctx, leaver.id)
+	if err != nil {
+		t.Fatalf("leave: %v", err)
+	}
+	if report.Tenants == 0 {
+		t.Fatal("leave moved no tenants; shard split is degenerate")
+	}
+	// Load continues against the shrunken fleet.
+	time.Sleep(100 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(clientErrs) != 0 {
+		t.Fatalf("%d dropped/failed requests during leave (zero-drop violated): %v", len(clientErrs), clientErrs[0])
+	}
+	if wrong != 0 {
+		t.Fatalf("%d wrong homomorphic results during leave", wrong)
+	}
+	if okOps == 0 {
+		t.Fatal("no load completed; test is vacuous")
+	}
+	snap := client.Stats()
+	if len(snap.Members) != 2 {
+		t.Fatalf("membership %v after leave, want 2 nodes", snap.Members)
+	}
+	for _, m := range snap.Members {
+		if m == leaver.id {
+			t.Fatalf("leaver %s still a ring member", leaver.id)
+		}
+	}
+	if snap.Obs.Counters["cluster_leaves"] != 1 {
+		t.Fatalf("cluster_leaves = %d, want 1", snap.Obs.Counters["cluster_leaves"])
+	}
+	// The leaver is gracefully shut down afterwards, not killed — its
+	// engine drains cleanly in the test cleanup.
+}
+
+// TestDrainAndRejoin is the rolling-restart idiom: drain a node (it leaves
+// the ring but stays dialable), then rejoin it; tenants keep being served
+// correctly at every step, including ones that moved twice.
+func TestDrainAndRejoin(t *testing.T) {
+	tenants := testTenants(8)
+	tc := startKeylessCluster(t, 3, tenants)
+	client, err := NewClient(Config{
+		Params:      tc.params,
+		Backends:    tc.backendList(),
+		Replicas:    2,
+		MaxAttempts: 3,
+		Health:      elasticHealth(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	registerPerCandidateSet(t, tc, client.Router(), tenants)
+
+	a, b := tc.encrypt(t, 9), tc.encrypt(t, 13)
+	checkAll := func(stage string) {
+		t.Helper()
+		for _, tenant := range tenants {
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			prod, _, err := client.Mul(ctx, tenant, a, b)
+			cancel()
+			if err != nil {
+				t.Fatalf("%s: tenant %s: %v", stage, tenant, err)
+			}
+			if got := tc.decrypt(prod); got != 117 {
+				t.Fatalf("%s: tenant %s: 9*13 = %d", stage, tenant, got)
+			}
+		}
+	}
+	checkAll("before drain")
+
+	node := tc.backends[2]
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if _, err := client.Router().Drain(ctx, node.id); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if got := len(client.Stats().Members); got != 2 {
+		t.Fatalf("membership size %d after drain, want 2", got)
+	}
+	checkAll("after drain")
+
+	report, err := client.Router().Join(ctx, Backend{ID: node.id, Addr: node.addr})
+	if err != nil {
+		t.Fatalf("rejoin: %v", err)
+	}
+	if got := len(client.Stats().Members); got != 3 {
+		t.Fatalf("membership size %d after rejoin, want 3", got)
+	}
+	if report.Tenants == 0 {
+		t.Fatal("rejoin moved no tenants back")
+	}
+	checkAll("after rejoin")
+
+	snap := client.Stats()
+	if snap.Obs.Counters["cluster_drains"] != 1 || snap.Obs.Counters["cluster_joins"] != 1 {
+		t.Fatalf("drain/join counters = %d/%d, want 1/1",
+			snap.Obs.Counters["cluster_drains"], snap.Obs.Counters["cluster_joins"])
+	}
+}
+
+// TestCandidatesSkipEjectedBeforeSlicing is the candidate-list contract: a
+// tenant whose hash-primary's circuit is open still gets a FULL candidate
+// set (Replicas long), drawn from the nodes further along the ring — the
+// filter runs before the slice, not after.
+func TestCandidatesSkipEjectedBeforeSlicing(t *testing.T) {
+	tenants := testTenants(16)
+	tc := startCluster(t, 3, tenants)
+	client, err := NewClient(Config{
+		Params:      tc.params,
+		Backends:    tc.backendList(),
+		Replicas:    2,
+		MaxAttempts: 3,
+		Health: HealthConfig{
+			Interval:      20 * time.Millisecond,
+			Timeout:       250 * time.Millisecond,
+			FailThreshold: 2,
+			BackoffMax:    200 * time.Millisecond,
+			Seed:          1,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	victim := tc.backends[0]
+	var victimTenant string
+	for _, tenant := range tenants {
+		if client.Router().Candidates(tenant)[0] == victim.id {
+			victimTenant = tenant
+			break
+		}
+	}
+	if victimTenant == "" {
+		t.Fatal("victim is primary for no tenant; test is vacuous")
+	}
+	victim.kill()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		ejected := false
+		for _, st := range client.Stats().Backends {
+			if st.ID == victim.id && st.State == StateEjected.String() {
+				ejected = true
+			}
+		}
+		if ejected {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("victim never ejected")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	got := client.Router().Candidates(victimTenant)
+	if len(got) != 2 {
+		t.Fatalf("candidates for tenant with ejected primary = %v, want a full set of 2", got)
+	}
+	for _, id := range got {
+		if id == victim.id {
+			t.Fatalf("ejected node %s still in candidate set %v", victim.id, got)
+		}
+	}
+}
+
+// TestAdminWireCommand drives a membership change end to end over the wire:
+// a stock cloud.Client sends CmdAdmin drain/join to the herouter front-end.
+func TestAdminWireCommand(t *testing.T) {
+	tenants := testTenants(6)
+	tc := startKeylessCluster(t, 3, tenants)
+	router, err := NewRouter(Config{
+		Params:   tc.params,
+		Backends: tc.backendList(),
+		Replicas: 2,
+		Health:   elasticHealth(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer router.Close()
+	registerPerCandidateSet(t, tc, router, tenants)
+
+	proxy := NewServer(tc.params, router, nil)
+	addr, err := proxy.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- proxy.Serve() }()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		proxy.Shutdown(ctx)
+		<-done
+	})
+
+	cl, err := cloud.Dial(addr, tc.params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	ctx := context.Background()
+	drained := tc.backends[2]
+	reply, err := cl.Admin(ctx, &cloud.AdminRequest{Op: cloud.AdminDrain, Node: drained.id})
+	if err != nil {
+		t.Fatalf("admin drain: %v", err)
+	}
+	if len(reply.Members) != 2 {
+		t.Fatalf("drain reply members %v, want 2", reply.Members)
+	}
+	reply, err = cl.Admin(ctx, &cloud.AdminRequest{Op: cloud.AdminJoin, Node: drained.id, Addr: drained.addr})
+	if err != nil {
+		t.Fatalf("admin join: %v", err)
+	}
+	if len(reply.Members) != 3 {
+		t.Fatalf("join reply members %v, want 3", reply.Members)
+	}
+	// Unknown op surfaces as a typed error, and the connection survives.
+	if _, err := cl.Admin(ctx, &cloud.AdminRequest{Op: "explode", Node: "x"}); err == nil {
+		t.Fatal("unknown admin op accepted")
+	}
+	if err := cl.Ping(); err != nil {
+		t.Fatalf("connection broken after admin error: %v", err)
+	}
+	// Leaving the last nodes one by one stops at one member.
+	if _, err := cl.Admin(ctx, &cloud.AdminRequest{Op: cloud.AdminLeave, Node: tc.backends[2].id}); err != nil {
+		t.Fatalf("leave: %v", err)
+	}
+	if _, err := cl.Admin(ctx, &cloud.AdminRequest{Op: cloud.AdminLeave, Node: tc.backends[1].id}); err != nil {
+		t.Fatalf("leave: %v", err)
+	}
+	if _, err := cl.Admin(ctx, &cloud.AdminRequest{Op: cloud.AdminLeave, Node: tc.backends[0].id}); err == nil {
+		t.Fatal("removing the last ring member was allowed")
+	}
+}
+
+// TestWatchMembership drives the file-watch path with an injected loader:
+// the router applies joins and leaves as the desired membership changes.
+func TestWatchMembership(t *testing.T) {
+	tenants := testTenants(6)
+	tc := startKeylessCluster(t, 3, tenants) // node-2 is the spare
+	router, err := NewRouter(Config{
+		Params:   tc.params,
+		Backends: tc.backendList()[:2],
+		Replicas: 2,
+		Health:   elasticHealth(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer router.Close()
+	registerPerCandidateSet(t, tc, router, tenants)
+
+	var mu sync.Mutex
+	want := map[string]string{
+		tc.backends[0].id: tc.backends[0].addr,
+		tc.backends[1].id: tc.backends[1].addr,
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	watchDone := make(chan struct{})
+	go func() {
+		defer close(watchDone)
+		router.WatchMembership(ctx, func() (map[string]string, error) {
+			mu.Lock()
+			defer mu.Unlock()
+			out := make(map[string]string, len(want))
+			for k, v := range want {
+				out[k] = v
+			}
+			return out, nil
+		}, 20*time.Millisecond)
+	}()
+
+	waitMembers := func(n int) {
+		t.Helper()
+		deadline := time.Now().Add(15 * time.Second)
+		for router.ring.Size() != n {
+			if time.Now().After(deadline) {
+				t.Fatalf("membership never reached %d: %v", n, router.ring.Members())
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	// Grow: the watcher should join the spare.
+	mu.Lock()
+	want[tc.backends[2].id] = tc.backends[2].addr
+	mu.Unlock()
+	waitMembers(3)
+	// Shrink back.
+	mu.Lock()
+	delete(want, tc.backends[2].id)
+	mu.Unlock()
+	waitMembers(2)
+	cancel()
+	<-watchDone
+}

@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"fmt"
+	"sync"
 	"testing"
 )
 
@@ -112,6 +113,122 @@ func TestRingMinimalRebalance(t *testing.T) {
 	for _, k := range keys {
 		if got := r.Lookup(k, 1)[0]; got != before[k] {
 			t.Fatalf("key %q at %s after re-add, want original %s", k, got, before[k])
+		}
+	}
+}
+
+// TestRingConcurrentResizeVsLookup hammers Lookup from many goroutines while
+// membership churns — the elastic-cluster access pattern. Run under -race;
+// the assertions check only invariants that hold at every intermediate
+// membership (no duplicates, nodes from the known universe).
+func TestRingConcurrentResizeVsLookup(t *testing.T) {
+	r := NewRing(32)
+	universe := make(map[string]bool)
+	for i := 0; i < 8; i++ {
+		id := fmt.Sprintf("n%d", i)
+		universe[id] = true
+		if i < 4 {
+			r.Add(id)
+		}
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			keys := ringKeys(50)
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				got := r.Lookup(keys[(g*13+i)%len(keys)], 3)
+				seen := map[string]bool{}
+				for _, n := range got {
+					if !universe[n] {
+						t.Errorf("lookup returned unknown node %q", n)
+						return
+					}
+					if seen[n] {
+						t.Errorf("duplicate node %q in %v", n, got)
+						return
+					}
+					seen[n] = true
+				}
+			}
+		}(g)
+	}
+	// Churn: nodes 4..7 repeatedly join and leave while lookups run.
+	for round := 0; round < 50; round++ {
+		for i := 4; i < 8; i++ {
+			r.Add(fmt.Sprintf("n%d", i))
+		}
+		for i := 4; i < 8; i++ {
+			r.Remove(fmt.Sprintf("n%d", i))
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if r.Size() != 4 {
+		t.Fatalf("membership %d after churn, want 4", r.Size())
+	}
+}
+
+// TestRingMinimalMovementOnGrowth is the property the key-state migration
+// relies on: growing the ring 1 -> 8 nodes, each join changes a tenant's
+// candidate set only by inserting the new node — every node it keeps was
+// already in the old set, so an unaffected tenant's set is bit-identical
+// and a migration only ever copies keys TO the joiner.
+func TestRingMinimalMovementOnGrowth(t *testing.T) {
+	const replicas = 2
+	r := NewRing(64)
+	keys := ringKeys(500)
+	r.Add("n0")
+	for n := 1; n < 8; n++ {
+		before := make(map[string][]string, len(keys))
+		for _, k := range keys {
+			before[k] = r.Lookup(k, replicas)
+		}
+		joiner := fmt.Sprintf("n%d", n)
+		r.Add(joiner)
+		touched := 0
+		for _, k := range keys {
+			after := r.Lookup(k, replicas)
+			old := map[string]bool{}
+			for _, v := range before[k] {
+				old[v] = true
+			}
+			gained := false
+			for _, v := range after {
+				if v == joiner {
+					gained = true
+				} else if !old[v] {
+					t.Fatalf("size %d->%d: tenant %q gained node %s that is neither old nor the joiner: %v -> %v",
+						n, n+1, k, v, before[k], after)
+				}
+			}
+			if gained {
+				touched++
+			} else if len(after) != len(before[k]) {
+				t.Fatalf("size %d->%d: tenant %q set resized without gaining the joiner: %v -> %v",
+					n, n+1, k, before[k], after)
+			} else {
+				for i := range after {
+					if after[i] != before[k][i] {
+						t.Fatalf("size %d->%d: unaffected tenant %q reordered: %v -> %v",
+							n, n+1, k, before[k], after)
+					}
+				}
+			}
+		}
+		if n >= replicas && touched == 0 {
+			t.Fatalf("size %d->%d: joiner attracted no tenants; growth is vacuous", n, n+1)
+		}
+		if n >= replicas && touched > len(keys)*2*replicas/(n+1) {
+			t.Fatalf("size %d->%d: joiner moved %d of %d tenants, far above the ~%d fair share",
+				n, n+1, touched, len(keys), len(keys)*replicas/(n+1))
 		}
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"log"
+	"sync"
 	"time"
 
 	"repro/internal/cloud"
@@ -58,6 +59,24 @@ type Config struct {
 	// treated like a retryable refusal: the walk fails over to the next
 	// replica without feeding the circuit breaker.
 	Mux bool
+	// LoadAware lets the router demote a tenant's primary in favor of a
+	// less-loaded replica when the primary's load score — EWMA attempt
+	// latency scaled by queue depth — exceeds LoadSpillFactor times the
+	// cheapest candidate's. Placement stays hash-affine for the common case;
+	// only hot-spotted tenants spill.
+	LoadAware bool
+	// LoadSpillFactor is the primary-vs-best load ratio that triggers a
+	// spill (default 2.0; values <= 1 are reset to the default).
+	LoadSpillFactor float64
+	// MigrationTimeout bounds one membership change end to end — planning,
+	// key transfers, and cutover (default 15s).
+	MigrationTimeout time.Duration
+	// DrainTimeout bounds how long a cutover waits for the moved tenants'
+	// in-flight requests before flipping anyway (default 2s). Flipping with
+	// stragglers in flight is safe — key state is transferred before the
+	// flip and never removed from the old owners — so the timeout only
+	// bounds gate latency, not correctness.
+	DrainTimeout time.Duration
 	// Health parameterizes probing and circuit breaking.
 	Health HealthConfig
 	// Registry receives ring/health/retry counters and per-backend latency
@@ -87,14 +106,22 @@ func (c Config) withDefaults() (Config, error) {
 	if c.Replicas <= 0 {
 		c.Replicas = 2
 	}
-	if c.Replicas > len(c.Backends) {
-		c.Replicas = len(c.Backends)
-	}
+	// Replicas is NOT clamped to the initial membership: the fleet is
+	// elastic, and ring lookups clamp to the live size anyway.
 	if c.MaxAttempts <= 0 {
 		c.MaxAttempts = c.Replicas
 	}
 	if c.AttemptTimeout <= 0 {
 		c.AttemptTimeout = 2 * time.Second
+	}
+	if c.LoadSpillFactor <= 1 {
+		c.LoadSpillFactor = 2.0
+	}
+	if c.MigrationTimeout <= 0 {
+		c.MigrationTimeout = 15 * time.Second
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 2 * time.Second
 	}
 	if c.Registry == nil {
 		c.Registry = obs.NewRegistry()
@@ -108,11 +135,23 @@ func (c Config) withDefaults() (Config, error) {
 type Router struct {
 	cfg    Config
 	ring   *Ring
-	addrs  map[string]string // backend ID -> address
-	pools  map[string]backendPool
 	health *healthManager
 	reg    *obs.Registry
 	logger *log.Logger
+	gates  *gateSet
+
+	mu    sync.RWMutex      // guards addrs and pools against membership changes
+	addrs map[string]string // backend ID -> address
+	pools map[string]backendPool
+
+	// adminMu serializes membership changes (join/leave/drain): migrations
+	// mutate shared routing state in stages and must not interleave.
+	adminMu sync.Mutex
+
+	// migrateHook, when set, is called at each stage boundary of a
+	// membership change (tests kill nodes at pinned stages).
+	hookMu      sync.Mutex
+	migrateHook func(stage, tenant string)
 }
 
 // NewRouter builds the ring over the membership, a connection pool and a
@@ -129,21 +168,13 @@ func NewRouter(cfg Config) (*Router, error) {
 		pools:  make(map[string]backendPool, len(cfg.Backends)),
 		reg:    cfg.Registry,
 		logger: cfg.Logger,
+		gates:  newGateSet(),
 	}
 	ids := make([]string, 0, len(cfg.Backends))
 	for _, b := range cfg.Backends {
-		b := b
 		r.ring.Add(b.ID)
 		r.addrs[b.ID] = b.Addr
-		if cfg.Mux {
-			r.pools[b.ID] = newMuxPool(func() (*cloud.MuxClient, error) {
-				return cloud.DialMux(b.Addr, cfg.Params)
-			})
-		} else {
-			r.pools[b.ID] = newConnPool(cfg.PoolSize, func() (*cloud.Client, error) {
-				return cloud.Dial(b.Addr, cfg.Params)
-			})
-		}
+		r.pools[b.ID] = r.newPoolFor(b)
 		ids = append(ids, b.ID)
 	}
 	r.health = newHealthManager(cfg.Health, ids, r.probe, r.reg, r.onStateChange)
@@ -151,10 +182,41 @@ func NewRouter(cfg Config) (*Router, error) {
 	return r, nil
 }
 
+// newPoolFor builds the transport pool for one backend.
+func (r *Router) newPoolFor(b Backend) backendPool {
+	addr := b.Addr
+	if r.cfg.Mux {
+		return newMuxPool(func() (*cloud.MuxClient, error) {
+			return cloud.DialMux(addr, r.cfg.Params)
+		})
+	}
+	return newConnPool(r.cfg.PoolSize, func() (*cloud.Client, error) {
+		return cloud.Dial(addr, r.cfg.Params)
+	})
+}
+
+// pool returns the backend's transport pool, nil when the node is unknown.
+func (r *Router) pool(id string) backendPool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.pools[id]
+}
+
+// addr returns the backend's dial address, "" when the node is unknown.
+func (r *Router) addr(id string) string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.addrs[id]
+}
+
 // Close stops the health probes and drops every pooled connection.
 func (r *Router) Close() error {
 	r.health.stop()
-	for _, p := range r.pools {
+	r.mu.Lock()
+	pools := r.pools
+	r.pools = make(map[string]backendPool)
+	r.mu.Unlock()
+	for _, p := range pools {
 		p.close()
 	}
 	return nil
@@ -168,19 +230,70 @@ func (r *Router) onStateChange(id string, from, to State) {
 
 // probe is the health check: one Ping over a pooled connection.
 func (r *Router) probe(ctx context.Context, id string) error {
-	cl, err := r.pools[id].get()
+	p := r.pool(id)
+	if p == nil {
+		return fmt.Errorf("cluster: unknown backend %s", id)
+	}
+	cl, err := p.get()
 	if err != nil {
 		return err
 	}
 	err = cl.PingCtx(ctx)
-	r.pools[id].put(cl) // put closes it if the ping broke the stream
+	p.put(cl) // put closes it if the ping broke the stream
 	return err
 }
 
-// Candidates returns the tenant's preference list (primary first), before
-// health filtering.
+// Candidates returns the tenant's routable preference list, Replicas long
+// when enough healthy nodes exist: the full ring walk is filtered through
+// the circuit breakers BEFORE slicing, so a tenant whose hash-primary is
+// ejected still gets a full candidate set instead of a truncated one. With
+// every node ejected it degrades to the unfiltered list so callers can
+// still attempt (and count) the failures.
 func (r *Router) Candidates(tenant string) []string {
-	return r.ring.Lookup(tenant, r.cfg.Replicas)
+	c, _, _ := r.candidatesFor(tenant)
+	return c
+}
+
+// candidatesFor computes Candidates and additionally reports whether the
+// hash-primary was displaced by health filtering (the caller counts these
+// as reroutes) and whether any routable node exists at all.
+func (r *Router) candidatesFor(tenant string) (list []string, rerouted, routable bool) {
+	full := r.ring.Lookup(tenant, 0) // entire preference order
+	if len(full) == 0 {
+		return nil, false, false
+	}
+	n := r.cfg.Replicas
+	if n > len(full) {
+		n = len(full)
+	}
+	list = make([]string, 0, n)
+	for _, node := range full {
+		if r.health.routable(node) {
+			list = append(list, node)
+			if len(list) >= n {
+				break
+			}
+		}
+	}
+	if len(list) == 0 {
+		// Every node is ejected: hand back the raw prefix so callers can
+		// still name the candidates in errors and stats.
+		return full[:n], false, false
+	}
+	rerouted = list[0] != full[0]
+	if r.cfg.LoadAware && len(list) > 1 {
+		best, bestScore := 0, r.health.loadScore(list[0])
+		for i := 1; i < len(list); i++ {
+			if s := r.health.loadScore(list[i]); s < bestScore {
+				best, bestScore = i, s
+			}
+		}
+		if best != 0 && r.health.loadScore(list[0]) > r.cfg.LoadSpillFactor*bestScore {
+			list[0], list[best] = list[best], list[0]
+			r.reg.Counter("cluster_load_reroutes").Add(1)
+		}
+	}
+	return list, rerouted, true
 }
 
 // isIdempotent reports whether a command may be retried on a replica after
@@ -230,29 +343,41 @@ func routeWithFailover[T any](r *Router, ctx context.Context, tenant string, cmd
 		ctx = context.Background()
 	}
 	r.reg.Counter("cluster_requests").Add(1)
-	candidates := r.ring.Lookup(tenant, r.cfg.Replicas)
+	// Park behind the tenant's gate while a migration is moving its key
+	// state; on resume the candidates below reflect the post-flip ring.
+	waited, err := r.gates.enter(ctx, tenant)
+	if waited {
+		r.reg.Counter("cluster_gated_requests").Add(1)
+	}
+	if err != nil {
+		r.reg.Counter("cluster_errors").Add(1)
+		return zero, err
+	}
+	defer r.gates.exit(tenant)
+	candidates, rerouted, routable := r.candidatesFor(tenant)
 	if len(candidates) == 0 {
 		r.reg.Counter("cluster_errors").Add(1)
 		return zero, ErrNoBackends
+	}
+	if !routable {
+		r.reg.Counter("cluster_errors").Add(1)
+		return zero, fmt.Errorf("%w %q (candidates %v all ejected)", ErrNoBackends, tenant, candidates)
+	}
+	if rerouted {
+		// The tenant's primary is ejected; a replica takes over.
+		r.reg.Counter("cluster_reroutes").Add(1)
 	}
 	var (
 		lastErr  error
 		attempts int
 	)
-	for i, node := range candidates {
+	for _, node := range candidates {
 		if err := ctx.Err(); err != nil {
 			r.reg.Counter("cluster_errors").Add(1)
 			return zero, err
 		}
 		if attempts >= r.cfg.MaxAttempts {
 			break
-		}
-		if !r.health.routable(node) {
-			if i == 0 {
-				// The tenant's primary is ejected; a replica takes over.
-				r.reg.Counter("cluster_reroutes").Add(1)
-			}
-			continue
 		}
 		if attempts > 0 {
 			r.reg.Counter("cluster_retries").Add(1)
@@ -296,15 +421,25 @@ func tryOn[T any](r *Router, ctx context.Context, node string,
 	var zero T
 	actx, cancel := context.WithTimeout(ctx, r.cfg.AttemptTimeout)
 	defer cancel()
-	cl, err := r.pools[node].get()
+	p := r.pool(node)
+	if p == nil {
+		err := fmt.Errorf("cluster: unknown backend %s", node)
+		r.health.reportFailure(node, err)
+		return zero, err
+	}
+	cl, err := p.get()
 	if err != nil {
 		r.health.reportFailure(node, err)
 		return zero, fmt.Errorf("cluster: dial %s: %w", node, err)
 	}
+	r.health.incInflight(node)
 	start := time.Now()
 	resp, err := exchange(actx, cl)
-	r.reg.Histogram("cluster_backend_latency:" + node).Observe(time.Since(start))
-	r.pools[node].put(cl) // closes it when the exchange broke the stream
+	elapsed := time.Since(start)
+	r.health.decInflight(node)
+	r.health.observe(node, elapsed)
+	r.reg.Histogram("cluster_backend_latency:" + node).Observe(elapsed)
+	p.put(cl) // closes it when the exchange broke the stream
 	if err != nil {
 		var se *cloud.ServerError
 		if errors.As(err, &se) || errors.Is(err, cloud.ErrWindowExhausted) {
@@ -357,7 +492,7 @@ func (r *Router) Stats() RouterStats {
 	s := RouterStats{Members: members, Obs: r.reg.Snapshot()}
 	for _, id := range members {
 		st := r.health.status(id)
-		st.Addr = r.addrs[id]
+		st.Addr = r.addr(id)
 		s.Backends = append(s.Backends, st)
 	}
 	return s

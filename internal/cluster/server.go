@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"log"
@@ -189,6 +190,14 @@ func (s *Server) serveOne(conn net.Conn, req *cloud.Request) error {
 			resp.Result = fv.NewCiphertext(s.Params, 2)
 		}
 		return cloud.WriteResponse(conn, s.Params, resp)
+	case cloud.CmdAdmin:
+		return s.serveAdmin(conn, clientID, req)
+	case cloud.CmdKeyExport, cloud.CmdKeyImport:
+		// Key migration is node-direct: the router's migration engine dials
+		// the data nodes itself, and proxying key blobs through the routing
+		// tier would only widen the window where state lives in one place.
+		return cloud.WriteBlobError(conn, clientID, cloud.CodeApp,
+			"cluster: key export/import is not served at the routing tier")
 	case cloud.CmdProgram:
 		resp, err := s.Router.DoProgram(context.Background(), req)
 		if err != nil {
@@ -221,4 +230,46 @@ func (s *Server) serveOne(conn net.Conn, req *cloud.Request) error {
 	s.mu.Unlock()
 	resp.Ver, resp.ID = clientVer, clientID
 	return cloud.WriteResponse(conn, s.Params, resp)
+}
+
+// serveAdmin applies one membership change (join/leave/drain) to the router
+// and acknowledges with the resulting ring and migration totals.
+func (s *Server) serveAdmin(conn net.Conn, id uint64, req *cloud.Request) error {
+	var areq cloud.AdminRequest
+	if err := json.Unmarshal(req.Blob, &areq); err != nil {
+		return cloud.WriteBlobError(conn, id, cloud.CodeApp, "cluster: bad admin request: "+err.Error())
+	}
+	// Membership changes drain and transfer key state; give them the
+	// router's full migration budget, not the connection read timeout.
+	ctx := context.Background()
+	var (
+		rep *MigrationReport
+		err error
+	)
+	switch areq.Op {
+	case cloud.AdminJoin:
+		rep, err = s.Router.Join(ctx, Backend{ID: areq.Node, Addr: areq.Addr})
+	case cloud.AdminLeave:
+		rep, err = s.Router.Leave(ctx, areq.Node)
+	case cloud.AdminDrain:
+		rep, err = s.Router.Drain(ctx, areq.Node)
+	default:
+		err = fmt.Errorf("cluster: unknown admin op %q", areq.Op)
+	}
+	if err != nil {
+		return cloud.WriteBlobError(conn, id, cloud.CodeApp, err.Error())
+	}
+	reply := &cloud.AdminReply{
+		Node:            areq.Node,
+		Members:         s.Router.ring.Members(),
+		MigratedTenants: rep.Tenants,
+		MigratedKeys:    rep.Keys,
+	}
+	body, err := json.Marshal(reply)
+	if err != nil {
+		return cloud.WriteBlobError(conn, id, cloud.CodeApp, err.Error())
+	}
+	s.Logger.Printf("cluster: admin %s %s: members=%v tenants=%d keys=%d",
+		areq.Op, areq.Node, reply.Members, rep.Tenants, rep.Keys)
+	return cloud.WriteBlobResponse(conn, id, body)
 }

@@ -36,17 +36,65 @@ type batch struct {
 
 // dispatch is the batcher goroutine: it drains the admission queue into
 // per-key pending groups and emits them to the worker pool. A group is
-// emitted as soon as it reaches MaxBatch; partial groups are emitted when
-// the queue runs empty (plus an optional BatchLinger wait for stragglers).
+// emitted once it reaches MaxBatch; partial groups are emitted when the
+// queue runs empty (plus an optional BatchLinger wait for stragglers).
 // Requests that expired while queued are dropped here, before any worker
 // sees them.
+//
+// Emission order is weighted-fair across tenants rather than FIFO: every
+// tenant accumulates virtual time — ops emitted divided by its
+// Config.TenantWeights weight — and whenever anything is emitted, pending
+// groups go out in ascending virtual-time order (arrival order breaks
+// ties). A tenant flooding full batches therefore cannot starve a light
+// tenant's partial batch: the light tenant's virtual time stays behind the
+// flooder's, so its group jumps the line at the next emission point. An
+// idle tenant's clock is clamped forward on re-activation, so sitting out
+// earns no credit.
 func (e *Engine) dispatch() {
 	defer e.wg.Done()
 	defer close(e.batches)
 
 	pending := make(map[batchKey]*batch)
-	var order []batchKey // FIFO flush order across groups
+	var order []batchKey // arrival order: iteration + virtual-time tie-break
 	total := 0
+
+	vtime := make(map[string]float64) // per-tenant virtual clock
+	var globalVT float64              // virtual start of the last emission
+	weight := func(tenant string) float64 {
+		if w := e.cfg.TenantWeights[tenant]; w > 0 {
+			return float64(w)
+		}
+		return 1
+	}
+	// emitFair hands b to the pool and advances its tenant's clock by the
+	// weighted op count, clamping idle tenants up to globalVT first.
+	emitFair := func(b *batch) {
+		t := b.key.tenant
+		start := vtime[t]
+		if start < globalVT {
+			start = globalVT
+		}
+		vtime[t] = start + float64(len(b.reqs))/weight(t)
+		globalVT = start
+		e.emit(b)
+	}
+	// emitNext emits the pending group whose tenant has the least virtual
+	// time (earliest-arrived wins ties) and returns its key.
+	emitNext := func() batchKey {
+		best := -1
+		for i, k := range order {
+			if best < 0 || vtime[k.tenant] < vtime[order[best].tenant] {
+				best = i
+			}
+		}
+		k := order[best]
+		order = append(order[:best], order[best+1:]...)
+		b := pending[k]
+		delete(pending, k)
+		total -= len(b.reqs)
+		emitFair(b)
+		return k
+	}
 
 	admit := func(r *request) {
 		if r.expired(time.Now()) {
@@ -63,25 +111,17 @@ func (e *Engine) dispatch() {
 		b.reqs = append(b.reqs, r)
 		total++
 		if len(b.reqs) >= e.cfg.MaxBatch {
-			e.emit(b)
-			total -= len(b.reqs)
-			delete(pending, k)
-			for i, ord := range order {
-				if ord == k {
-					order = append(order[:i], order[i+1:]...)
-					break
-				}
+			// A full group forces an emission point; everything cheaper in
+			// virtual time goes out ahead of it.
+			for pending[k] != nil {
+				emitNext()
 			}
 		}
 	}
 	flushAll := func() {
-		for _, k := range order {
-			if b := pending[k]; b != nil {
-				e.emit(b)
-				delete(pending, k)
-			}
+		for len(order) > 0 {
+			emitNext()
 		}
-		order = order[:0]
 		total = 0
 	}
 

@@ -67,6 +67,11 @@ var (
 	// built without Config.CKKSParams. Deterministic — the node does not
 	// serve the scheme.
 	ErrCKKSUnavailable = errors.New("engine: ckks serving not configured")
+	// ErrQuotaExceeded means the tenant already has Config.TenantQuota
+	// operations in flight on this node: admission is refused so one flooding
+	// tenant sheds its own load instead of filling the shared queue. Like
+	// ErrOverloaded it is transient — the caller should back off and retry.
+	ErrQuotaExceeded = errors.New("engine: per-tenant quota exceeded")
 )
 
 // OpKind enumerates the homomorphic operations the engine serves.
@@ -230,6 +235,19 @@ type Config struct {
 	// wavefronts without increasing throughput, so excess submissions fail
 	// fast with ErrOverloaded like single ops do.
 	MaxPrograms int
+
+	// TenantQuota caps how many operations one tenant may have in flight on
+	// this node (admitted but not yet completed; a program counts as one).
+	// Beyond the cap Submit fails fast with ErrQuotaExceeded, so a flooding
+	// tenant is shed before it can fill the shared admission queue.
+	// 0 disables the cap.
+	TenantQuota int
+	// TenantWeights sets per-tenant weights for the batcher's weighted-fair
+	// emission order (default weight 1 for any tenant not listed). A tenant
+	// with weight 2 is charged half as much virtual time per op, so it gets
+	// twice the dispatch share under contention. Purely an ordering policy:
+	// total work and per-batch accounting are unchanged.
+	TenantWeights map[string]int
 }
 
 func (c *Config) withDefaults() (Config, error) {
@@ -476,6 +494,19 @@ func (e *Engine) SetCKKSGaloisKey(tenant string, gk *ckks.GaloisKey) {
 	e.keys.setCKKSGalois(tenant, gk)
 }
 
+// ExportTenantKeys snapshots every evaluation key registered for the tenant
+// — both schemes — for key-state migration to another node. Returns nil if
+// the tenant has no keys here.
+func (e *Engine) ExportTenantKeys(tenant string) *TenantKeySet {
+	return e.keys.export(tenant)
+}
+
+// ImportTenantKeys registers a migrated key set under the tenant, replacing
+// any keys of the same identity. Nil set is a no-op.
+func (e *Engine) ImportTenantKeys(tenant string, ks *TenantKeySet) {
+	e.keys.importSet(tenant, ks)
+}
+
 // Submit admits one operation and blocks until it completes, expires, or
 // the context is canceled. A full queue fails fast with ErrOverloaded;
 // Submit never blocks on admission.
@@ -492,6 +523,10 @@ func (e *Engine) Submit(ctx context.Context, op Op) (*Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	tc := e.tenant(op.Tenant)
+	if err := e.admitTenant(tc); err != nil {
+		return nil, err
+	}
 	now := time.Now()
 	r := &request{op: op, ctx: ctx, enqueued: now, done: make(chan struct{})}
 	if d, ok := ctx.Deadline(); ok {
@@ -506,6 +541,7 @@ func (e *Engine) Submit(ctx context.Context, op Op) (*Result, error) {
 	e.mu.RLock()
 	if e.closed {
 		e.mu.RUnlock()
+		tc.inflight.Add(-1)
 		return nil, ErrShutdown
 	}
 	select {
@@ -513,6 +549,7 @@ func (e *Engine) Submit(ctx context.Context, op Op) (*Result, error) {
 		e.mu.RUnlock()
 	default:
 		e.mu.RUnlock()
+		tc.inflight.Add(-1)
 		e.m.rejected.Add(1)
 		return nil, ErrOverloaded
 	}
@@ -638,8 +675,24 @@ func (e *Engine) resubmit(r *request) bool {
 	}
 }
 
-// finish completes a request exactly once.
+// admitTenant charges one in-flight unit against the tenant's quota,
+// refusing with ErrQuotaExceeded past the cap. The caller must release the
+// unit (inflight.Add(-1)) exactly once on every exit path — for queued
+// operations that release point is finish.
+func (e *Engine) admitTenant(tc *tenantCounters) error {
+	n := tc.inflight.Add(1)
+	if q := e.cfg.TenantQuota; q > 0 && n > int64(q) {
+		tc.inflight.Add(-1)
+		tc.quotaRejected.Add(1)
+		e.m.quotaRejected.Add(1)
+		return ErrQuotaExceeded
+	}
+	return nil
+}
+
+// finish completes a request exactly once, releasing its tenant-quota unit.
 func (e *Engine) finish(r *request, res *Result, err error) {
+	e.tenant(r.op.Tenant).inflight.Add(-1)
 	r.res, r.err = res, err
 	close(r.done)
 }

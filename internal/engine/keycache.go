@@ -101,6 +101,90 @@ func (s *keyStore) ckksGaloisKey(tenant string, g int) *ckks.GaloisKey {
 	return nil
 }
 
+// TenantKeySet is one tenant's complete evaluation-key state, both schemes
+// — the unit key-state migration moves between nodes. Galois keys are
+// ordered by element so serialization is deterministic.
+type TenantKeySet struct {
+	Relin      *fv.RelinKey
+	Galois     []*fv.GaloisKey
+	CKKSRelin  *ckks.RelinKey
+	CKKSGalois []*ckks.GaloisKey
+}
+
+// Empty reports whether the set carries no keys at all.
+func (ks *TenantKeySet) Empty() bool {
+	return ks == nil || (ks.Relin == nil && len(ks.Galois) == 0 &&
+		ks.CKKSRelin == nil && len(ks.CKKSGalois) == 0)
+}
+
+// Count returns how many individual keys the set carries.
+func (ks *TenantKeySet) Count() int {
+	if ks == nil {
+		return 0
+	}
+	n := len(ks.Galois) + len(ks.CKKSGalois)
+	if ks.Relin != nil {
+		n++
+	}
+	if ks.CKKSRelin != nil {
+		n++
+	}
+	return n
+}
+
+// export snapshots the tenant's keys, nil if the tenant is unknown. The key
+// objects themselves are shared, not copied: they are immutable after
+// registration.
+func (s *keyStore) export(tenant string) *TenantKeySet {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	t := s.tenants[tenant]
+	if t == nil {
+		return nil
+	}
+	ks := &TenantKeySet{Relin: t.relin, CKKSRelin: t.ckksRelin}
+	gs := make([]int, 0, len(t.galois))
+	for g := range t.galois {
+		gs = append(gs, g)
+	}
+	sort.Ints(gs)
+	for _, g := range gs {
+		ks.Galois = append(ks.Galois, t.galois[g])
+	}
+	gs = gs[:0]
+	for g := range t.ckksGalois {
+		gs = append(gs, g)
+	}
+	sort.Ints(gs)
+	for _, g := range gs {
+		ks.CKKSGalois = append(ks.CKKSGalois, t.ckksGalois[g])
+	}
+	return ks
+}
+
+// importSet registers every key in ks under the tenant, replacing keys of
+// the same identity and keeping any others already present.
+func (s *keyStore) importSet(tenant string, ks *TenantKeySet) {
+	if ks == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t := s.tenant(tenant)
+	if ks.Relin != nil {
+		t.relin = ks.Relin
+	}
+	for _, gk := range ks.Galois {
+		t.galois[gk.G] = gk
+	}
+	if ks.CKKSRelin != nil {
+		t.ckksRelin = ks.CKKSRelin
+	}
+	for _, gk := range ks.CKKSGalois {
+		t.ckksGalois[gk.G] = gk
+	}
+}
+
 // names returns the registered tenant namespaces, sorted.
 func (s *keyStore) names() []string {
 	s.mu.RLock()
@@ -138,20 +222,22 @@ func newKeyCache(capacity int) *keyCache {
 
 // touch marks id as used. It reports whether the key was already resident;
 // on a miss the least recently used key is evicted if the cache is full,
-// and evicted reports whether that happened.
-func (c *keyCache) touch(id residentKey) (hit, evicted bool) {
+// with the victim's identity returned so the caller can attribute the
+// eviction to its tenant.
+func (c *keyCache) touch(id residentKey) (hit bool, victim residentKey, evicted bool) {
 	for i, k := range c.order {
 		if k == id {
 			c.order = append(append(c.order[:i:i], c.order[i+1:]...), id)
-			return true, false
+			return true, residentKey{}, false
 		}
 	}
 	if len(c.order) >= c.cap {
+		victim = c.order[0]
 		c.order = c.order[1:]
 		evicted = true
 	}
 	c.order = append(c.order, id)
-	return false, evicted
+	return false, victim, evicted
 }
 
 // len reports how many keys are resident.

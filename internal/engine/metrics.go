@@ -33,6 +33,7 @@ type metrics struct {
 	integrityRetries atomic.Uint64
 	quarantined      atomic.Uint64
 	noiseRejected    atomic.Uint64
+	quotaRejected    atomic.Uint64
 
 	// Program-mode counters: programs completed and the DAG nodes they
 	// executed (a program is one admission unit but many ops).
@@ -55,13 +56,17 @@ type metrics struct {
 }
 
 // tenantCounters accumulates per-tenant accounting; all atomics, updated by
-// workers and snapshotted by Stats without locks.
+// workers and snapshotted by Stats without locks. inflight is the tenant's
+// live admission count — the value the TenantQuota cap compares against.
 type tenantCounters struct {
-	completed atomic.Uint64
-	failed    atomic.Uint64
-	keyLoads  atomic.Uint64
-	simCycles atomic.Uint64
-	programs  atomic.Uint64
+	completed     atomic.Uint64
+	failed        atomic.Uint64
+	keyLoads      atomic.Uint64
+	keyEvictions  atomic.Uint64
+	simCycles     atomic.Uint64
+	programs      atomic.Uint64
+	quotaRejected atomic.Uint64
+	inflight      atomic.Int64
 }
 
 // TenantStats is the per-tenant slice of a Stats snapshot: how much load a
@@ -76,6 +81,13 @@ type TenantStats struct {
 	SimSeconds float64
 	// Programs counts whole compiled programs this tenant completed here.
 	Programs uint64
+	// KeyEvictions counts this tenant's keys evicted from worker caches by
+	// other key loads — the cache-pressure cost migration planning watches.
+	KeyEvictions uint64
+	// QuotaRejected counts admissions refused by the per-tenant quota;
+	// Inflight is the tenant's current live admission count.
+	QuotaRejected uint64
+	Inflight      int64
 }
 
 // WorkerStats is the per-worker accounting slice of a Stats snapshot.
@@ -122,6 +134,7 @@ type Stats struct {
 	IntegrityRetries uint64
 	Quarantined      uint64
 	NoiseRejected    uint64
+	QuotaRejected    uint64
 	LiveWorkers      int
 
 	// Programs counts completed compiled programs; ProgramNodes the DAG
@@ -153,6 +166,18 @@ type Stats struct {
 	Pool *poly.PoolStats `json:",omitempty"`
 }
 
+// keyEvicted records one evaluation-key eviction, attributed to the tenant
+// whose key was displaced: the engine-global counter, the victim tenant's
+// counter, and (when a Registry is wired) the per-tenant obs counter the
+// migration tooling watches for cache pressure.
+func (e *Engine) keyEvicted(tenant string) {
+	e.m.keyEvicted.Add(1)
+	e.tenant(tenant).keyEvictions.Add(1)
+	if e.cfg.Registry != nil {
+		e.cfg.Registry.Counter("keycache_evictions:" + tenant).Add(1)
+	}
+}
+
 // Stats snapshots the engine's observability counters.
 func (e *Engine) Stats() Stats {
 	s := Stats{
@@ -173,6 +198,7 @@ func (e *Engine) Stats() Stats {
 		IntegrityRetries:     e.m.integrityRetries.Load(),
 		Quarantined:          e.m.quarantined.Load(),
 		NoiseRejected:        e.m.noiseRejected.Load(),
+		QuotaRejected:        e.m.quotaRejected.Load(),
 		LiveWorkers:          int(e.liveWorkers.Load()),
 		Programs:             e.m.programs.Load(),
 		ProgramNodes:         e.m.programNodes.Load(),
@@ -204,12 +230,15 @@ func (e *Engine) Stats() Stats {
 		for name, tc := range e.tenants {
 			cyc := tc.simCycles.Load()
 			s.PerTenant[name] = TenantStats{
-				Completed:  tc.completed.Load(),
-				Failed:     tc.failed.Load(),
-				KeyLoads:   tc.keyLoads.Load(),
-				SimCycles:  cyc,
-				SimSeconds: hwsim.Cycles(cyc).Seconds(),
-				Programs:   tc.programs.Load(),
+				Completed:     tc.completed.Load(),
+				Failed:        tc.failed.Load(),
+				KeyLoads:      tc.keyLoads.Load(),
+				SimCycles:     cyc,
+				SimSeconds:    hwsim.Cycles(cyc).Seconds(),
+				Programs:      tc.programs.Load(),
+				KeyEvictions:  tc.keyEvictions.Load(),
+				QuotaRejected: tc.quotaRejected.Load(),
+				Inflight:      tc.inflight.Load(),
 			}
 		}
 	}

@@ -115,9 +115,15 @@ func (e *Engine) SubmitProgram(ctx context.Context, op ProgramOp) (*ProgramResul
 	}
 
 	// Admission: one slot per in-flight program, non-blocking like Submit.
+	// A program also charges one unit of the tenant's in-flight quota.
+	tc := e.tenant(op.Tenant)
+	if err := e.admitTenant(tc); err != nil {
+		return nil, err
+	}
 	select {
 	case e.progSlots <- struct{}{}:
 	default:
+		tc.inflight.Add(-1)
 		e.m.rejected.Add(1)
 		return nil, ErrOverloaded
 	}
@@ -125,6 +131,7 @@ func (e *Engine) SubmitProgram(ctx context.Context, op ProgramOp) (*ProgramResul
 	if e.closed {
 		e.mu.RUnlock()
 		<-e.progSlots
+		tc.inflight.Add(-1)
 		return nil, ErrShutdown
 	}
 	// progWG is raised under the same lock that Shutdown takes to set
@@ -134,6 +141,7 @@ func (e *Engine) SubmitProgram(ctx context.Context, op ProgramOp) (*ProgramResul
 	defer func() {
 		e.progWG.Done()
 		<-e.progSlots
+		tc.inflight.Add(-1)
 	}()
 
 	now := time.Now()
@@ -147,7 +155,6 @@ func (e *Engine) SubmitProgram(ctx context.Context, op ProgramOp) (*ProgramResul
 		}
 	}
 	e.m.submitted.Add(1)
-	tc := e.tenant(op.Tenant)
 
 	res, err := e.runProgram(ctx, op, deadline)
 	if err != nil {

@@ -1,0 +1,248 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// waitTenantInflight polls until the tenant's live admission count reaches
+// want, failing the test after a generous deadline.
+func waitTenantInflight(t *testing.T, e *Engine, tenant string, want int64) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if st, ok := e.Stats().PerTenant[tenant]; ok && st.Inflight >= want {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("tenant %q never reached %d in-flight operations", tenant, want)
+}
+
+// TestTenantQuotaRejectsExcess: with TenantQuota = 2 and the worker frozen,
+// a third concurrent submission from the same tenant must be refused with
+// ErrQuotaExceeded immediately (not queued), the refusal must show up in
+// both the global and per-tenant counters, and the quota unit must be
+// released once the in-flight work completes so the tenant can submit again.
+func TestTenantQuotaRejectsExcess(t *testing.T) {
+	params := testParams(t)
+	tn := newTenant(t, params, "quota-tenant", 11)
+	e := newEngine(t, params, Config{Workers: 1, MaxBatch: 1, QueueDepth: 16, TenantQuota: 2})
+	e.SetRelinKey(tn.name, tn.rk)
+
+	gate := make(chan struct{})
+	var release sync.Once
+	defer release.Do(func() { close(gate) })
+	e.testExecHook = func(int) { <-gate }
+
+	a := tn.encrypt(params, 9, 301)
+	b := tn.encrypt(params, 13, 302)
+
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = e.Submit(context.Background(), Op{Kind: OpMul, Tenant: tn.name, A: a, B: b})
+		}(i)
+	}
+	waitTenantInflight(t, e, tn.name, 2)
+
+	if _, err := e.Submit(context.Background(), Op{Kind: OpMul, Tenant: tn.name, A: a, B: b}); !errors.Is(err, ErrQuotaExceeded) {
+		t.Fatalf("third submission over quota returned %v, want ErrQuotaExceeded", err)
+	}
+	st := e.Stats()
+	if st.QuotaRejected != 1 {
+		t.Fatalf("global QuotaRejected = %d, want 1", st.QuotaRejected)
+	}
+	if ts := st.PerTenant[tn.name]; ts.QuotaRejected != 1 {
+		t.Fatalf("tenant QuotaRejected = %d, want 1", ts.QuotaRejected)
+	}
+
+	release.Do(func() { close(gate) })
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("admitted submission %d failed: %v", i, err)
+		}
+	}
+
+	// The quota units were released on completion: a fresh submission fits.
+	res, err := e.Submit(context.Background(), Op{Kind: OpMul, Tenant: tn.name, A: a, B: b})
+	if err != nil {
+		t.Fatalf("post-drain submission: %v", err)
+	}
+	if got := tn.decrypt(params, res.Ct); got != 9*13%params.Cfg.T {
+		t.Fatalf("decrypt = %d, want %d", got, 9*13%params.Cfg.T)
+	}
+	if ts := e.Stats().PerTenant[tn.name]; ts.Inflight != 0 {
+		t.Fatalf("tenant Inflight = %d after drain, want 0", ts.Inflight)
+	}
+}
+
+// TestWFQLightTenantJumpsFlood exercises the weighted-fair emission order:
+// a flooding tenant's virtual clock advances with every emitted batch, so a
+// light tenant's earlier-queued single op is emitted ahead of the flooder's
+// NEXT batch even though the flooder's partial group arrived first. Under
+// plain FIFO the light op would sit behind the whole flood.
+//
+// Schedule (Workers = 1, MaxBatch = 4, long linger so nothing flushes on
+// its own):
+//
+//  1. flood wave 1 (4 ops) fills a batch -> emitted, worker frozen on it;
+//     the flooder's virtual time advances 0 -> 4
+//  2. one more flood op queues (pending, would restart at vtime 4)
+//  3. one light op queues (pending, vtime 0)
+//  4. three more flood ops complete the flooder's second batch -> emission
+//     point: the light group (vtime 0) must jump ahead of flood wave 2
+func TestWFQLightTenantJumpsFlood(t *testing.T) {
+	params := testParams(t)
+	flood := newTenant(t, params, "flood", 21)
+	light := newTenant(t, params, "light", 22)
+	e := newEngine(t, params, Config{
+		Workers:       1,
+		MaxBatch:      4,
+		QueueDepth:    32,
+		BatchLinger:   time.Minute, // partial groups only move at emission points
+		TenantWeights: map[string]int{"flood": 1, "light": 1},
+	})
+	e.SetRelinKey(flood.name, flood.rk)
+	e.SetRelinKey(light.name, light.rk)
+
+	gate := make(chan struct{})
+	entered := make(chan struct{}, 16)
+	var release sync.Once
+	defer release.Do(func() { close(gate) })
+	e.testExecHook = func(int) {
+		entered <- struct{}{}
+		<-gate
+		// Released: pace later batches so the previous batch's submitters
+		// get to record their completions first.
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	var (
+		wg             sync.WaitGroup
+		floodCompleted atomic.Int64
+		lightSaw       atomic.Int64
+	)
+	submitFlood := func() {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			a := flood.encrypt(params, 3, 401)
+			b := flood.encrypt(params, 5, 402)
+			if _, err := e.Submit(context.Background(), Op{Kind: OpMul, Tenant: flood.name, A: a, B: b}); err != nil {
+				t.Errorf("flood submit: %v", err)
+				return
+			}
+			floodCompleted.Add(1)
+		}()
+	}
+
+	// Wave 1: a full flood batch grabs the (frozen) worker.
+	for i := 0; i < 4; i++ {
+		submitFlood()
+	}
+	select {
+	case <-entered:
+	case <-time.After(5 * time.Second):
+		t.Fatal("flood wave 1 never reached the worker")
+	}
+
+	// One straggler flood op, then the light op, both left pending.
+	submitFlood()
+	time.Sleep(20 * time.Millisecond)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		a := light.encrypt(params, 7, 403)
+		b := light.encrypt(params, 2, 404)
+		res, err := e.Submit(context.Background(), Op{Kind: OpMul, Tenant: light.name, A: a, B: b})
+		if err != nil {
+			t.Errorf("light submit: %v", err)
+			return
+		}
+		lightSaw.Store(floodCompleted.Load())
+		if got := light.decrypt(params, res.Ct); got != 14 {
+			t.Errorf("light decrypt = %d, want 14", got)
+		}
+	}()
+	time.Sleep(20 * time.Millisecond)
+
+	// Three more flood ops complete the flooder's second batch and force
+	// the emission point that must favor the light tenant.
+	for i := 0; i < 3; i++ {
+		submitFlood()
+	}
+	time.Sleep(20 * time.Millisecond)
+
+	release.Do(func() { close(gate) })
+	wg.Wait()
+
+	// The light op must have completed before any wave-2 flood op: at most
+	// the four wave-1 completions were visible to it.
+	if saw := lightSaw.Load(); saw > 4 {
+		t.Fatalf("light tenant completed after %d flood ops — it waited behind the flood (WFQ should emit it after wave 1, i.e. at most 4)", saw)
+	}
+	if got := floodCompleted.Load(); got != 8 {
+		t.Fatalf("flood completed %d ops, want 8", got)
+	}
+}
+
+// TestKeyCacheEvictionMetricsPerTenant: with a single one-slot worker cache,
+// alternating tenants evict each other's resident relinearization key on
+// every switch; the evictions must be attributed to the VICTIM tenant in
+// Stats().PerTenant and mirrored to the obs registry as
+// "keycache_evictions:<tenant>" counters.
+func TestKeyCacheEvictionMetricsPerTenant(t *testing.T) {
+	params := testParams(t)
+	ta := newTenant(t, params, "alpha", 31)
+	tb := newTenant(t, params, "beta", 32)
+	reg := obs.NewRegistry()
+	e := newEngine(t, params, Config{Workers: 1, MaxBatch: 1, KeyCacheSlots: 1, Registry: reg})
+	e.SetRelinKey(ta.name, ta.rk)
+	e.SetRelinKey(tb.name, tb.rk)
+
+	mul := func(tn *tenant, v1, v2, seed uint64) {
+		t.Helper()
+		a := tn.encrypt(params, v1, seed)
+		b := tn.encrypt(params, v2, seed+1)
+		res, err := e.Submit(context.Background(), Op{Kind: OpMul, Tenant: tn.name, A: a, B: b})
+		if err != nil {
+			t.Fatalf("mul for %q: %v", tn.name, err)
+		}
+		if got, want := tn.decrypt(params, res.Ct), v1*v2%params.Cfg.T; got != want {
+			t.Fatalf("decrypt for %q = %d, want %d", tn.name, got, want)
+		}
+	}
+
+	mul(ta, 3, 4, 501)  // loads alpha's key (cold, no eviction)
+	mul(tb, 5, 6, 503)  // evicts alpha
+	mul(ta, 7, 8, 505)  // evicts beta
+	mul(tb, 9, 10, 507) // evicts alpha again
+
+	st := e.Stats()
+	if st.KeyEvictions != 3 {
+		t.Fatalf("global KeyEvictions = %d, want 3", st.KeyEvictions)
+	}
+	if got := st.PerTenant[ta.name].KeyEvictions; got != 2 {
+		t.Fatalf("alpha KeyEvictions = %d, want 2 (victim attribution)", got)
+	}
+	if got := st.PerTenant[tb.name].KeyEvictions; got != 1 {
+		t.Fatalf("beta KeyEvictions = %d, want 1 (victim attribution)", got)
+	}
+	if got := reg.Counter("keycache_evictions:" + ta.name).Value(); got != 2 {
+		t.Fatalf("registry keycache_evictions:alpha = %d, want 2", got)
+	}
+	if got := reg.Counter("keycache_evictions:" + tb.name).Value(); got != 1 {
+		t.Fatalf("registry keycache_evictions:beta = %d, want 1", got)
+	}
+}

@@ -92,11 +92,11 @@ func (e *Engine) runBatch(w *worker, b *batch) {
 	}
 	if needsKey {
 		id := residentKey{tenant: b.key.tenant, kind: b.key.kind, g: b.key.g}
-		hit, evicted := w.cache.touch(id)
+		hit, victim, evicted := w.cache.touch(id)
 		w.resident.Store(int64(w.cache.len()))
 		keyHit = hit
 		if evicted {
-			e.m.keyEvicted.Add(1)
+			e.keyEvicted(victim.tenant)
 		}
 		if hit {
 			e.m.keyHits.Add(1)

@@ -71,6 +71,13 @@ func (p *Proxy) Close() error {
 
 func (p *Proxy) track(c net.Conn) {
 	p.mu.Lock()
+	if p.closed.Load() {
+		// Close already swept the map: registering now would leave the
+		// connection unsevered and Close's wg.Wait stuck behind its pumps.
+		p.mu.Unlock()
+		c.Close()
+		return
+	}
 	p.conns[c] = struct{}{}
 	p.mu.Unlock()
 }

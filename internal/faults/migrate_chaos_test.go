@@ -1,0 +1,380 @@
+// Chaos schedules for the elastic-cluster key-state migration: a node dies
+// at a pinned point INSIDE a membership change (join, leave) and the
+// contract must hold anyway — no request is dropped, no request returns a
+// silently wrong ciphertext, and the migration either completes or aborts
+// cleanly with routing untouched. The kill points are the migration hook
+// stages (hold → drain → transfer → flip), so every phase boundary of the
+// cutover protocol is crashed into at least once; seeds pin the workload
+// interleave so a failure replays exactly.
+package faults_test
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/cloud"
+	"repro/internal/cluster"
+	"repro/internal/engine"
+	"repro/internal/faults"
+	"repro/internal/obs"
+)
+
+// migTenants is the key namespace universe for the migration schedules;
+// every node holds the fixture relin key under every name, so any replica
+// can serve any tenant and a killed source always has a live fallback.
+var migTenants = []string{"mt-0", "mt-1", "mt-2", "mt-3", "mt-4", "mt-5", "mt-6", "mt-7"}
+
+// migNode is one in-process heserver behind a kill-able fault proxy. The
+// proxy is the node's only public address: closing it refuses new dials and
+// severs live connections, which is a crash as far as the router, the
+// health probes, and the migration's key-transfer dials can tell.
+type migNode struct {
+	id      string
+	eng     *engine.Engine
+	srv     *cloud.Server
+	proxy   *faults.Proxy
+	done    chan error
+	killeds sync.Once
+}
+
+func (n *migNode) kill() { n.killeds.Do(func() { n.proxy.Close() }) }
+
+func (n *migNode) backend() cluster.Backend {
+	return cluster.Backend{ID: n.id, Addr: n.proxy.Addr()}
+}
+
+// startMigNodes boots n fresh nodes (engine + server + proxy), each holding
+// the fixture keys for every migration tenant.
+func startMigNodes(t *testing.T, fx *chaosFixture, n int) []*migNode {
+	t.Helper()
+	inj := faults.New(1) // no armed specs: the proxies relay cleanly until killed
+	nodes := make([]*migNode, n)
+	for i := range nodes {
+		eng, err := engine.New(engine.Config{Params: fx.params, Workers: 1, QueueDepth: 64})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, tn := range migTenants {
+			eng.SetRelinKey(tn, fx.rk)
+		}
+		srv := cloud.NewServer(fx.params, eng, nil)
+		srv.NodeID = fmt.Sprintf("mig-%d", i)
+		addr, err := srv.Listen("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := faults.NewProxy(addr, inj)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nd := &migNode{id: fmt.Sprintf("m%d", i), eng: eng, srv: srv, proxy: p, done: make(chan error, 1)}
+		go func() { nd.done <- srv.Serve() }()
+		nodes[i] = nd
+	}
+	t.Cleanup(func() {
+		for _, nd := range nodes {
+			nd.kill()
+			nd.srv.Close()
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			if err := nd.eng.Shutdown(ctx); err != nil {
+				t.Errorf("node %s shutdown: %v", nd.id, err)
+			}
+			cancel()
+			<-nd.done
+		}
+	})
+	return nodes
+}
+
+// migRouter fronts the given nodes with failover headroom for exactly one
+// dead member: 2 replicas, 3 attempts, fast probes so a killed node is
+// ejected within a couple of probe periods.
+func migRouter(t *testing.T, fx *chaosFixture, nodes []*migNode) (*cluster.Router, *obs.Registry) {
+	t.Helper()
+	var members []cluster.Backend
+	for _, nd := range nodes {
+		members = append(members, nd.backend())
+	}
+	reg := obs.NewRegistry()
+	router, err := cluster.NewRouter(cluster.Config{
+		Params:         fx.params,
+		Backends:       members,
+		Replicas:       2,
+		MaxAttempts:    3,
+		AttemptTimeout: 5 * time.Second,
+		Registry:       reg,
+		Health:         cluster.HealthConfig{Interval: 50 * time.Millisecond, Timeout: 500 * time.Millisecond, FailThreshold: 2, Seed: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { router.Close() })
+	return router, reg
+}
+
+// migTraffic starts a continuous multiply workload over all migration
+// tenants and returns a stop function that halts it and reports (errors,
+// silent corruptions, completed ops). Zero-drop means errors must be zero:
+// a request that races the cutover parks at the tenant gate or fails over
+// to a live replica — it never surfaces a transport error to the client.
+func migTraffic(t *testing.T, fx *chaosFixture, router *cluster.Router, seed int64) func() (int64, int64, int64) {
+	t.Helper()
+	var (
+		wg     sync.WaitGroup
+		stop   = make(chan struct{})
+		errs   atomic.Int64
+		wrong  atomic.Int64
+		okOps  atomic.Int64
+		logged atomic.Int64
+	)
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed + int64(g)))
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				tenant := migTenants[rng.Intn(len(migTenants))]
+				ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+				resp, err := router.Do(ctx, &cloud.Request{Cmd: cloud.CmdMul, Tenant: tenant, A: fx.cts[0], B: fx.cts[1]})
+				cancel()
+				if err != nil {
+					errs.Add(1)
+					if logged.Add(1) <= 3 {
+						t.Logf("traffic error (tenant %s): %v", tenant, err)
+					}
+					continue
+				}
+				if !resp.Result.Equal(fx.want[1]) {
+					wrong.Add(1)
+					continue
+				}
+				okOps.Add(1)
+			}
+		}(g)
+	}
+	return func() (int64, int64, int64) {
+		close(stop)
+		wg.Wait()
+		return errs.Load(), wrong.Load(), okOps.Load()
+	}
+}
+
+// migSweep sends one multiply per tenant after the dust settles; every one
+// must succeed with the bit-identical reference result.
+func migSweep(t *testing.T, fx *chaosFixture, router *cluster.Router) {
+	t.Helper()
+	for _, tenant := range migTenants {
+		ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+		resp, err := router.Do(ctx, &cloud.Request{Cmd: cloud.CmdMul, Tenant: tenant, A: fx.cts[0], B: fx.cts[1]})
+		cancel()
+		if err != nil {
+			t.Fatalf("post-migration sweep, tenant %s: %v", tenant, err)
+		}
+		if !resp.Result.Equal(fx.want[1]) {
+			t.Fatalf("post-migration sweep, tenant %s: SILENT CORRUPTION", tenant)
+		}
+	}
+}
+
+// hookKill arms a one-shot node kill at the named migration stage.
+func hookKill(router *cluster.Router, stage string, victim *migNode) *atomic.Bool {
+	var fired atomic.Bool
+	router.SetMigrationHook(func(s, _ string) {
+		if s == stage && fired.CompareAndSwap(false, true) {
+			victim.kill()
+		}
+	})
+	return &fired
+}
+
+var migKillStages = []string{"hold", "drain", "transfer", "flip"}
+
+// TestChaosMigrationJoinKillTarget crashes the JOINING node at each stage
+// of its own admission. Before the ring flip the join must abort cleanly —
+// membership unchanged, a migration-failure recorded, traffic untouched.
+// At the flip the join has already committed; the dead joiner is then just
+// a failed member the health probes eject while replicas absorb its load.
+// Either way: zero dropped requests, zero wrong results.
+func TestChaosMigrationJoinKillTarget(t *testing.T) {
+	fx := fixture(t)
+	for i, stage := range migKillStages {
+		stage := stage
+		t.Run(fmt.Sprintf("schedule-%02d-kill-joiner-at-%s", i, stage), func(t *testing.T) {
+			nodes := startMigNodes(t, fx, 4)
+			joiner := nodes[3]
+			router, reg := migRouter(t, fx, nodes[:3])
+			fired := hookKill(router, stage, joiner)
+
+			stopTraffic := migTraffic(t, fx, router, int64(6000+i))
+			time.Sleep(100 * time.Millisecond) // let the workload reach steady state
+
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			report, err := router.Join(ctx, joiner.backend())
+			cancel()
+
+			errs, wrong, ok := stopTraffic()
+			if !fired.Load() {
+				t.Fatalf("kill stage %q never fired", stage)
+			}
+			if wrong != 0 {
+				t.Fatalf("%d SILENTLY WRONG results during join crash", wrong)
+			}
+			if errs != 0 {
+				t.Fatalf("%d client-visible errors during join crash; zero-drop violated", errs)
+			}
+			if ok == 0 {
+				t.Fatal("workload completed no operations; schedule is vacuous")
+			}
+			members := router.Stats().Members
+			if stage == "flip" {
+				// Committed before the crash: the dead joiner is a member.
+				if err != nil {
+					t.Fatalf("join killed at flip should have committed: %v", err)
+				}
+				if len(members) != 4 || report.Tenants == 0 {
+					t.Fatalf("committed join: members %v, report %+v", members, report)
+				}
+			} else {
+				if err == nil {
+					t.Fatalf("join with joiner killed at %q reported success", stage)
+				}
+				if len(members) != 3 {
+					t.Fatalf("aborted join left membership %v, want the original 3", members)
+				}
+				if got := reg.Counter("cluster_migration_failures").Value(); got == 0 {
+					t.Fatal("aborted join not recorded in cluster_migration_failures")
+				}
+			}
+			migSweep(t, fx, router)
+		})
+	}
+}
+
+// TestChaosMigrationLeaveKillLeaver crashes the LEAVING node at each stage
+// of its retirement — the rolling-restart-meets-hardware-failure case. The
+// leave must still complete: the transfer prefers the leaver as key source
+// but falls back to the surviving replica peers, so the keys arrive at the
+// new owners and the ring drops the dead node exactly as planned.
+func TestChaosMigrationLeaveKillLeaver(t *testing.T) {
+	fx := fixture(t)
+	for i, stage := range migKillStages {
+		stage := stage
+		t.Run(fmt.Sprintf("schedule-%02d-kill-leaver-at-%s", i, stage), func(t *testing.T) {
+			nodes := startMigNodes(t, fx, 3)
+			leaver := nodes[1]
+			router, reg := migRouter(t, fx, nodes)
+			fired := hookKill(router, stage, leaver)
+
+			stopTraffic := migTraffic(t, fx, router, int64(6100+i))
+			time.Sleep(100 * time.Millisecond)
+
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			report, err := router.Leave(ctx, leaver.id)
+			cancel()
+
+			errs, wrong, ok := stopTraffic()
+			if !fired.Load() {
+				t.Fatalf("kill stage %q never fired", stage)
+			}
+			if err != nil {
+				t.Fatalf("leave must survive the leaver's crash (replica fallback): %v", err)
+			}
+			if wrong != 0 {
+				t.Fatalf("%d SILENTLY WRONG results during leave crash", wrong)
+			}
+			if errs != 0 {
+				t.Fatalf("%d client-visible errors during leave crash; zero-drop violated", errs)
+			}
+			if ok == 0 {
+				t.Fatal("workload completed no operations; schedule is vacuous")
+			}
+			members := router.Stats().Members
+			if len(members) != 2 {
+				t.Fatalf("membership %v after leave, want 2 nodes", members)
+			}
+			for _, m := range members {
+				if m == leaver.id {
+					t.Fatalf("dead leaver %s still a ring member", leaver.id)
+				}
+			}
+			if report.Tenants == 0 || report.Keys == 0 {
+				t.Fatalf("leave moved no key state (%+v); fallback export did not run", report)
+			}
+			if got := reg.Counter("cluster_leaves").Value(); got != 1 {
+				t.Fatalf("cluster_leaves = %d, want 1", got)
+			}
+			migSweep(t, fx, router)
+		})
+	}
+}
+
+// TestChaosMigrationJoinKillSource crashes a SOURCE node (a surviving
+// member holding the keys being copied) at the transfer stage of a join,
+// one schedule per victim. The transfer must route around it — every
+// tenant's keys are replicated on the other members — and the join commits
+// with the dead source ejected by the health probes.
+func TestChaosMigrationJoinKillSource(t *testing.T) {
+	fx := fixture(t)
+	// Four schedules: each of the three members dies once, plus one control
+	// schedule with no kill proving the harness itself is quiet.
+	for i := 0; i < 4; i++ {
+		i := i
+		name := "control-no-kill"
+		if i < 3 {
+			name = fmt.Sprintf("kill-source-m%d", i)
+		}
+		t.Run(fmt.Sprintf("schedule-%02d-%s", i, name), func(t *testing.T) {
+			nodes := startMigNodes(t, fx, 4)
+			joiner := nodes[3]
+			router, reg := migRouter(t, fx, nodes[:3])
+			var fired *atomic.Bool
+			if i < 3 {
+				fired = hookKill(router, "transfer", nodes[i])
+			}
+
+			stopTraffic := migTraffic(t, fx, router, int64(6200+i))
+			time.Sleep(100 * time.Millisecond)
+
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			report, err := router.Join(ctx, joiner.backend())
+			cancel()
+
+			errs, wrong, ok := stopTraffic()
+			if fired != nil && !fired.Load() {
+				t.Fatal("source kill never fired")
+			}
+			if err != nil {
+				t.Fatalf("join must survive a source crash (replicated keys): %v", err)
+			}
+			if wrong != 0 {
+				t.Fatalf("%d SILENTLY WRONG results during source crash", wrong)
+			}
+			if errs != 0 {
+				t.Fatalf("%d client-visible errors during source crash; zero-drop violated", errs)
+			}
+			if ok == 0 {
+				t.Fatal("workload completed no operations; schedule is vacuous")
+			}
+			if members := router.Stats().Members; len(members) != 4 {
+				t.Fatalf("membership %v after join, want 4 nodes", members)
+			}
+			if report.Tenants == 0 || report.Keys == 0 {
+				t.Fatalf("join moved no key state (%+v)", report)
+			}
+			if got := reg.Counter("cluster_joins").Value(); got != 1 {
+				t.Fatalf("cluster_joins = %d, want 1", got)
+			}
+			migSweep(t, fx, router)
+		})
+	}
+}

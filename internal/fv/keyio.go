@@ -306,3 +306,83 @@ func ReadRelinKey(r io.Reader) (*Params, *RelinKey, error) {
 	}
 	return params, rk, nil
 }
+
+func writeGaloisKeyBody(w io.Writer, params *Params, gk *GaloisKey) error {
+	var meta [8]byte
+	binary.LittleEndian.PutUint32(meta[:4], uint32(gk.G))
+	binary.LittleEndian.PutUint32(meta[4:], uint32(len(gk.Ks0Hat)))
+	if _, err := w.Write(meta[:]); err != nil {
+		return err
+	}
+	for i := range gk.Ks0Hat {
+		if err := writeRNSPoly(w, params, gk.Ks0Hat[i]); err != nil {
+			return err
+		}
+		if err := writeRNSPoly(w, params, gk.Ks1Hat[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func readGaloisKeyBody(r io.Reader, params *Params) (*GaloisKey, error) {
+	var meta [8]byte
+	if _, err := io.ReadFull(r, meta[:]); err != nil {
+		return nil, err
+	}
+	g := int(binary.LittleEndian.Uint32(meta[:4]))
+	if g%2 == 0 || g < 1 || g >= 2*params.N() {
+		return nil, fmt.Errorf("fv: invalid Galois element %d in key file", g)
+	}
+	count := binary.LittleEndian.Uint32(meta[4:])
+	if count == 0 || count > 64 {
+		return nil, fmt.Errorf("fv: implausible Galois component count %d", count)
+	}
+	gk := &GaloisKey{G: g}
+	for i := uint32(0); i < count; i++ {
+		p0, err := readRNSPoly(r, params)
+		if err != nil {
+			return nil, err
+		}
+		p1, err := readRNSPoly(r, params)
+		if err != nil {
+			return nil, err
+		}
+		gk.Ks0Hat = append(gk.Ks0Hat, p0)
+		gk.Ks1Hat = append(gk.Ks1Hat, p1)
+	}
+	return gk, nil
+}
+
+// WriteGaloisKey serializes params + one Galois key-switching key in the
+// legacy (unchecksummed) format.
+func WriteGaloisKey(w io.Writer, params *Params, gk *GaloisKey) error {
+	if err := WriteParamsHeader(w, params); err != nil {
+		return err
+	}
+	return writeGaloisKeyBody(w, params, gk)
+}
+
+// WriteGaloisKeyV2 serializes a Galois key with the checksum trailer — the
+// container key-state migration ships between cluster nodes.
+func WriteGaloisKeyV2(w io.Writer, params *Params, gk *GaloisKey) error {
+	return writeChecked(w, params, func(w io.Writer) error {
+		return writeGaloisKeyBody(w, params, gk)
+	})
+}
+
+// ReadGaloisKey reads a Galois key and its parameters, in either file
+// version. A damaged v2 container fails with an error wrapping
+// ErrCorruptKey.
+func ReadGaloisKey(r io.Reader) (*Params, *GaloisKey, error) {
+	var gk *GaloisKey
+	params, err := readKey(r, func(r io.Reader, params *Params) error {
+		var err error
+		gk, err = readGaloisKeyBody(r, params)
+		return err
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return params, gk, nil
+}

@@ -300,6 +300,13 @@ func RunSmoke(cfg SmokeConfig) (*Report, error) {
 		return nil, err
 	}
 	rep.Results = append(rep.Results, cmr)
+	// Elastic fleet under a rolling restart: leave + rejoin with key-state
+	// migration, gated on the 3-node static floor and its simulated makespan.
+	roll, err := smokeRollingRestart(cfg)
+	if err != nil {
+		return nil, err
+	}
+	rep.Results = append(rep.Results, roll)
 	return rep, nil
 }
 

@@ -1,0 +1,246 @@
+package hebench
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/cloud"
+	"repro/internal/cluster"
+	"repro/internal/engine"
+	"repro/internal/fv"
+	"repro/internal/hwsim"
+	"repro/internal/sampler"
+)
+
+// RollingRestartOp names the elastic-fleet benchmark: a 4-node cluster
+// absorbing a rolling restart (leave + rejoin of one node, with key-state
+// migration) under continuous load.
+const RollingRestartOp = "cluster_rolling_restart"
+
+// smokeRollingRestart measures the cluster makespan per op across a rolling
+// restart: phase A runs a tenant-sharded Mult burst on 4 nodes, one node
+// then LEAVES (its tenants' evaluation keys migrate to the survivors),
+// phase B runs the burst on the 3 survivors, the node REJOINS (keys
+// migrate back), and phase C runs the burst on 4 nodes again. The metric
+// is the sum of the per-phase simulated makespans (busiest node's busy
+// cycles in that phase) divided by the total op count — deterministic for
+// the same reasons as smokeCluster: pure-hash placement, modeled per-op
+// cycles, and once-per-tenant key loads.
+//
+// The acceptance floor is built in: the rolling fleet must deliver at
+// least the throughput of a static 3-node cluster, i.e. paying for the
+// fourth node plus two live migrations must never be WORSE than simply
+// not having the node at all. A regression in the migration path (dropped
+// placement minimality, cutover serialization leaking into the data path)
+// shows up as a violated floor or as a moved SimCycles value in the
+// baseline gate.
+func smokeRollingRestart(cfg SmokeConfig) (BenchResult, error) {
+	params, rk, ctA, ctB, tenants, err := rollingInputs(cfg)
+	if err != nil {
+		return BenchResult{}, err
+	}
+
+	// The static floor: the same burst volume on 3 nodes that never change.
+	floorPerOp, err := runRollingFloor(cfg, 3)
+	if err != nil {
+		return BenchResult{}, fmt.Errorf("rolling restart floor: %w", err)
+	}
+
+	var samples []float64
+	var simPerOp uint64
+	for s := 0; s < cfg.Count; s++ {
+		perOp, err := runRollingRestartSample(params, rk, ctA, ctB, tenants, cfg.ClusterOps)
+		if err != nil {
+			return BenchResult{}, err
+		}
+		simPerOp = perOp
+		samples = append(samples, hwsim.Cycles(perOp).Seconds()*1e9)
+	}
+	if simPerOp > floorPerOp {
+		return BenchResult{}, fmt.Errorf(
+			"rolling restart fleet ran at %d cycles/op, worse than the %d cycles/op 3-node static floor",
+			simPerOp, floorPerOp)
+	}
+	return BenchResult{
+		Op:            RollingRestartOp,
+		NsPerOp:       median(samples),
+		SimCycles:     simPerOp,
+		PoolWidth:     4,
+		Samples:       samples,
+		Deterministic: true,
+	}, nil
+}
+
+// rollingInputs builds the shared workload state: the parameter set, keys,
+// the two input ciphertexts, and the tenant universe — identical to
+// smokeCluster's so the floor comparison is apples to apples.
+func rollingInputs(cfg SmokeConfig) (*fv.Params, *fv.RelinKey, *fv.Ciphertext, *fv.Ciphertext, []string, error) {
+	params, err := fv.NewParams(fv.TestConfig(65537))
+	if err != nil {
+		return nil, nil, nil, nil, nil, err
+	}
+	kg := fv.NewKeyGenerator(params, sampler.NewPRNG(42))
+	_, pk, rk := kg.GenKeys()
+	enc := fv.NewEncryptor(params, pk, sampler.NewPRNG(7))
+	pt := fv.NewPlaintext(params)
+	pt.Coeffs[0] = 3
+	ctA := enc.Encrypt(pt)
+	pt.Coeffs[0] = 5
+	ctB := enc.Encrypt(pt)
+	tenants := make([]string, cfg.ClusterTenants)
+	for i := range tenants {
+		tenants[i] = fmt.Sprintf("tenant-%02d", i)
+	}
+	return params, rk, ctA, ctB, tenants, nil
+}
+
+// runRollingFloor measures the static n-node makespan per op at the rolling
+// bench's burst volume.
+func runRollingFloor(cfg SmokeConfig, nodes int) (uint64, error) {
+	params, rk, ctA, ctB, tenants, err := rollingInputs(cfg)
+	if err != nil {
+		return 0, err
+	}
+	return runClusterSample(params, rk, ctA, ctB, tenants, nodes, cfg.ClusterOps)
+}
+
+// runRollingRestartSample boots the 4-node fleet, runs the three phases
+// around a leave + rejoin of the last node, and returns the summed phase
+// makespans per op.
+func runRollingRestartSample(params *fv.Params, rk *fv.RelinKey, ctA, ctB *fv.Ciphertext,
+	tenants []string, ops int) (uint64, error) {
+	const nodes = 4
+	type node struct {
+		eng *engine.Engine
+		srv *cloud.Server
+	}
+	var (
+		up       []node
+		backends []cluster.Backend
+	)
+	defer func() {
+		for _, nd := range up {
+			nd.srv.Close()
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			nd.eng.Shutdown(ctx)
+			cancel()
+		}
+	}()
+	for i := 0; i < nodes; i++ {
+		eng, err := engine.New(engine.Config{
+			Params:     params,
+			Workers:    1,
+			QueueDepth: 4 * ops,
+			MaxBatch:   4,
+			// Big enough that a tenant's key loads at most once per node
+			// over the whole scenario, whatever the phase placement.
+			KeyCacheSlots: len(tenants) + 1,
+		})
+		if err != nil {
+			return 0, err
+		}
+		eng.SetRelinKey(cloud.DefaultTenant, rk)
+		for _, tn := range tenants {
+			eng.SetRelinKey(tn, rk)
+		}
+		srv := cloud.NewServer(params, eng, nil)
+		srv.NodeID = fmt.Sprintf("bench-node-%d", i)
+		addr, err := srv.Listen("127.0.0.1:0")
+		if err != nil {
+			return 0, err
+		}
+		go srv.Serve()
+		up = append(up, node{eng: eng, srv: srv})
+		backends = append(backends, cluster.Backend{ID: srv.NodeID, Addr: addr})
+	}
+
+	client, err := cluster.NewClient(cluster.Config{
+		Params:   params,
+		Backends: backends,
+		Health:   cluster.HealthConfig{Interval: time.Minute, Seed: 1},
+	})
+	if err != nil {
+		return 0, err
+	}
+	defer client.Close()
+
+	busy := func() []uint64 {
+		out := make([]uint64, len(up))
+		for i, nd := range up {
+			for _, w := range nd.eng.Stats().PerWorker {
+				out[i] += w.SimCycles
+			}
+		}
+		return out
+	}
+	burst := func() error {
+		workers := 4 * nodes
+		idx := make(chan int, ops)
+		for i := 0; i < ops; i++ {
+			idx <- i
+		}
+		close(idx)
+		errs := make(chan error, workers)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range idx {
+					if _, _, err := client.Mul(context.Background(), tenants[i%len(tenants)], ctA, ctB); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		close(errs)
+		return <-errs
+	}
+	// phase runs one burst and returns its simulated makespan: the busiest
+	// node's busy-cycle delta (nodes run concurrently in simulated time).
+	phase := func() (uint64, error) {
+		before := busy()
+		if err := burst(); err != nil {
+			return 0, err
+		}
+		after := busy()
+		var makespan uint64
+		for i := range after {
+			if d := after[i] - before[i]; d > makespan {
+				makespan = d
+			}
+		}
+		return makespan, nil
+	}
+
+	restarted := backends[nodes-1]
+	mA, err := phase()
+	if err != nil {
+		return 0, fmt.Errorf("phase A (4 nodes): %w", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	left, err := client.Router().Leave(ctx, restarted.ID)
+	if err != nil {
+		return 0, fmt.Errorf("leave %s: %w", restarted.ID, err)
+	}
+	if left.Tenants == 0 || left.Keys == 0 {
+		return 0, fmt.Errorf("leave %s migrated no key state (%+v): scenario is vacuous", restarted.ID, left)
+	}
+	mB, err := phase()
+	if err != nil {
+		return 0, fmt.Errorf("phase B (3 nodes): %w", err)
+	}
+	if _, err := client.Router().Join(ctx, restarted); err != nil {
+		return 0, fmt.Errorf("rejoin %s: %w", restarted.ID, err)
+	}
+	mC, err := phase()
+	if err != nil {
+		return 0, fmt.Errorf("phase C (4 nodes): %w", err)
+	}
+	return (mA + mB + mC) / uint64(3*ops), nil
+}

@@ -1,0 +1,48 @@
+package hebench
+
+import "testing"
+
+// TestRollingRestartBench is the elastic-fleet acceptance gate: the 4-node
+// fleet absorbing a leave + rejoin (with key-state migration) must at least
+// match the 3-node static floor — smokeRollingRestart enforces the floor
+// internally, so a successful run IS the gate — and the simulated makespan
+// must reproduce bit-for-bit across runs.
+func TestRollingRestartBench(t *testing.T) {
+	if testing.Short() {
+		t.Skip("boots three 4-node fleets")
+	}
+	cfg := SmokeConfig{Count: 1}.withDefaults()
+	res, err := smokeRollingRestart(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Deterministic {
+		t.Fatalf("result not marked deterministic: %+v", res)
+	}
+	if res.SimCycles == 0 || res.NsPerOp <= 0 {
+		t.Fatalf("empty measurement: %+v", res)
+	}
+	if res.PoolWidth != 4 {
+		t.Fatalf("pool width %d, want 4", res.PoolWidth)
+	}
+
+	// The restart window runs one node short, so the fleet cannot reach the
+	// static 4-node makespan either — it must land between the two.
+	static4, err := runRollingFloor(cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SimCycles < static4 {
+		t.Fatalf("rolling fleet (%d cycles/op) beat the static 4-node fleet (%d): the restart cost vanished",
+			res.SimCycles, static4)
+	}
+
+	again, err := smokeRollingRestart(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.SimCycles != res.SimCycles {
+		t.Fatalf("rerun moved: %d -> %d cycles/op", res.SimCycles, again.SimCycles)
+	}
+	t.Logf("rolling restart: %d cycles/op (static 4-node %d)", res.SimCycles, static4)
+}
